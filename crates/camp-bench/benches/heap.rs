@@ -1,0 +1,60 @@
+//! Heap arity ablation: the paper adopts an 8-ary implicit heap on the
+//! advice of Larkin–Sen–Tarjan. This bench compares arities 2/4/8/16 under
+//! CAMP's actual heap workload (insert / update / pop with a small, mostly
+//! stable population — one node per queue) and under GDS's (one node per
+//! cached item).
+
+use camp_core::heap::DaryHeap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn churn<const D: usize>(population: u32, operations: u64) -> u64 {
+    let mut heap = DaryHeap::<u64, D>::new();
+    for i in 0..population {
+        heap.insert(i, u64::from(i).wrapping_mul(2654435761));
+    }
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    for _ in 0..operations {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = (state % u64::from(population)) as u32;
+        match state % 3 {
+            0 => heap.update(id, state >> 8),
+            1 => {
+                if let Some((popped, key)) = heap.pop() {
+                    heap.insert(popped, key.wrapping_add(state & 0xFFFF));
+                }
+            }
+            _ => {
+                if let Some(key) = heap.remove(id) {
+                    heap.insert(id, key.wrapping_add(1));
+                }
+            }
+        }
+    }
+    heap.node_visits()
+}
+
+fn bench_arity(c: &mut Criterion) {
+    // CAMP-like: tens of queues. GDS-like: tens of thousands of items.
+    for &(label, population) in &[("camp-like-64", 64u32), ("gds-like-65536", 65_536)] {
+        let mut group = c.benchmark_group(format!("heap_arity/{label}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter(2), |b| {
+            b.iter(|| churn::<2>(population, 100_000))
+        });
+        group.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter(|| churn::<4>(population, 100_000))
+        });
+        group.bench_function(BenchmarkId::from_parameter(8), |b| {
+            b.iter(|| churn::<8>(population, 100_000))
+        });
+        group.bench_function(BenchmarkId::from_parameter(16), |b| {
+            b.iter(|| churn::<16>(population, 100_000))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_arity);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Concurrency scaling of the hash-partitioned CAMP (§4.1).
+//!
+//! Fixed workload (8 worker threads driving a skewed mixed get/insert
+//! stream), varying shard counts: more shards → less lock contention. The
+//! 1-shard row is the coarse-lock baseline a naive `Mutex<Camp>` would
+//! give.
+//!
+//! Note: on a single-core host the threads serialize regardless, so this
+//! bench then measures sharding *overhead* (expect flat numbers with a
+//! slight rise at high shard counts); the contention relief only shows on
+//! multicore hardware.
+
+use std::sync::Arc;
+
+use camp_core::{Precision, ShardedCamp};
+use camp_workload::BgConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const THREADS: usize = 8;
+
+fn requests() -> Arc<Vec<(u64, u64, u64)>> {
+    Arc::new(
+        BgConfig::paper_scaled(20_000, 80_000, 13)
+            .generate()
+            .iter()
+            .map(|r| (r.key, r.size, r.cost))
+            .collect(),
+    )
+}
+
+fn drive(cache: &ShardedCamp<u64, ()>, requests: &[(u64, u64, u64)], worker: usize) -> u64 {
+    let mut hits = 0;
+    // Each worker walks the trace from a different offset so the workers
+    // collide on hot keys (contention) but not in lockstep.
+    let start = worker * requests.len() / THREADS;
+    for i in 0..requests.len() / THREADS {
+        let (key, size, cost) = requests[(start + i) % requests.len()];
+        if cache.get(&key).is_some() {
+            hits += 1;
+        } else {
+            cache.insert(key, (), size, cost);
+        }
+    }
+    hits
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let requests = requests();
+    let unique: u64 = {
+        let mut seen = std::collections::HashMap::new();
+        for &(k, s, _) in requests.iter() {
+            seen.insert(k, s);
+        }
+        seen.values().sum()
+    };
+    let capacity = unique / 4;
+
+    let mut group = c.benchmark_group("sharded_camp_8threads");
+    group.throughput(Throughput::Elements(
+        (requests.len() / THREADS * THREADS) as u64,
+    ));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| {
+                let cache: Arc<ShardedCamp<u64, ()>> =
+                    Arc::new(ShardedCamp::new(capacity, Precision::Bits(5), shards));
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|worker| {
+                        let cache = Arc::clone(&cache);
+                        let requests = Arc::clone(&requests);
+                        std::thread::spawn(move || drive(&cache, &requests, worker))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

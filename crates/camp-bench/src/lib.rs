@@ -1,0 +1,202 @@
+//! # camp-bench — the experiment harness regenerating the CAMP paper's
+//! tables and figures
+//!
+//! Every table and figure of the paper's evaluation maps to an experiment
+//! id (see [`EXPERIMENTS`]); the `repro` binary runs them:
+//!
+//! ```text
+//! cargo run --release -p camp-bench --bin repro -- fig5c
+//! cargo run --release -p camp-bench --bin repro -- all --scale small
+//! cargo run --release -p camp-bench --bin repro -- fig9a --scale paper --out results/
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/` (policy operation
+//! throughput, heap arity ablation, rounding, slab allocation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod plot;
+pub mod scale;
+pub mod table;
+
+use std::path::Path;
+
+pub use crate::scale::Scale;
+pub use crate::table::Table;
+
+/// Every experiment id with a one-line description.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "Table 1: regular vs CAMP rounding at precision 4"),
+    ("fig4", "Fig 4: heap nodes visited, GDS vs CAMP, vs cache size"),
+    ("fig5a", "Fig 5a: cost-miss ratio vs precision (3 cache sizes, incl. inf)"),
+    ("fig5b", "Fig 5b: number of LRU queues vs precision"),
+    ("fig5c", "Fig 5c: cost-miss ratio vs cache size (CAMP/LRU/Pooled/GDS)"),
+    ("fig5d", "Fig 5d: miss rate vs cache size (same runs)"),
+    ("fig6a", "Fig 6a: cost-miss ratio vs cache size, evolving patterns"),
+    ("fig6b", "Fig 6b: miss rate vs cache size, evolving patterns"),
+    ("fig6c", "Fig 6c: TF1 cache occupancy over time, ratio 0.25"),
+    ("fig6d", "Fig 6d: TF1 cache occupancy over time, ratio 0.75"),
+    ("fig7", "Fig 7: miss rate vs cache size, variable sizes / constant cost"),
+    ("fig8a", "Fig 8a: cost-miss ratio vs cache size, equi-size / variable costs"),
+    ("fig8b", "Fig 8b: miss rate vs cache size (same runs)"),
+    ("fig8c", "Fig 8c: queues vs precision, both traces"),
+    ("fig9", "Figs 9a-9c: live-server replay (cost-miss, run time, miss rate)"),
+    ("fig9a", "alias of fig9 (cost-miss table)"),
+    ("fig9b", "alias of fig9 (run-time table)"),
+    ("fig9c", "alias of fig9 (miss-rate table)"),
+    ("ablation-tiebreak", "CAMP(inf) vs exact GDS: residual approximation error"),
+    ("ablation-multiplier", "adaptive vs fixed integerization multiplier"),
+    ("ablation-pooling", "the three Pooled-LRU memory splits side by side"),
+    ("extension-policies", "LRU-K / 2Q / ARC / GD-Wheel / GDSF / LFU / admission vs CAMP"),
+    ("extension-hierarchy", "two-level memory+SSD hierarchy (paper s6)"),
+    ("extension-timeline", "windowed cost-miss timeline over the evolving workload"),
+    ("extension-drift", "gradually rotating hot sets: CAMP vs LRU/GDSF/LFU"),
+    ("custom", "CAMP/LRU/Pooled/GDS comparison on a user trace (--trace FILE)"),
+];
+
+/// Runs one experiment (or `all`), returning the rendered report.
+///
+/// # Errors
+///
+/// Returns a message for unknown ids or CSV write failures.
+pub fn run_experiment(
+    id: &str,
+    scale: Scale,
+    out_dir: Option<&Path>,
+) -> Result<String, String> {
+    run_experiment_with_trace(id, scale, out_dir, None)
+}
+
+/// Like [`run_experiment`], with an optional user trace for the `custom`
+/// experiment.
+///
+/// # Errors
+///
+/// Returns a message for unknown ids, a missing/unreadable trace, or CSV
+/// write failures.
+pub fn run_experiment_with_trace(
+    id: &str,
+    scale: Scale,
+    out_dir: Option<&Path>,
+    trace_path: Option<&Path>,
+) -> Result<String, String> {
+    run_experiment_full(id, scale, out_dir, trace_path, false)
+}
+
+/// The full entry point: optional user trace and optional ASCII charts
+/// under each table.
+///
+/// # Errors
+///
+/// Returns a message for unknown ids, a missing/unreadable trace, or CSV
+/// write failures.
+pub fn run_experiment_full(
+    id: &str,
+    scale: Scale,
+    out_dir: Option<&Path>,
+    trace_path: Option<&Path>,
+    plot: bool,
+) -> Result<String, String> {
+    let tables: Vec<(String, Table)> = match id {
+        "table1" => experiments::table1(),
+        "fig4" => experiments::fig4(scale),
+        "fig5a" => experiments::fig5a(scale),
+        "fig5b" => experiments::fig5b(scale),
+        "fig5c" => experiments::fig5c(scale),
+        "fig5d" => experiments::fig5d(scale),
+        "fig6a" => experiments::fig6a(scale),
+        "fig6b" => experiments::fig6b(scale),
+        "fig6c" => experiments::fig6c(scale),
+        "fig6d" => experiments::fig6d(scale),
+        "fig7" => experiments::fig7(scale),
+        "fig8a" => experiments::fig8a(scale),
+        "fig8b" => experiments::fig8b(scale),
+        "fig8c" => experiments::fig8c(scale),
+        "fig9" | "fig9a" | "fig9b" | "fig9c" => experiments::fig9(scale),
+        "ablation-tiebreak" => experiments::ablation_tiebreak(scale),
+        "ablation-multiplier" => experiments::ablation_multiplier(scale),
+        "ablation-pooling" => experiments::ablation_pooling(scale),
+        "extension-policies" => experiments::extension_policies(scale),
+        "extension-hierarchy" => experiments::extension_hierarchy(scale),
+        "extension-timeline" => experiments::extension_timeline(scale),
+        "extension-drift" => experiments::extension_drift(scale),
+        "custom" => {
+            let Some(path) = trace_path else {
+                return Err("the custom experiment requires --trace FILE".into());
+            };
+            let trace = camp_workload::Trace::load(path)
+                .map_err(|e| format!("loading {}: {e}", path.display()))?;
+            if trace.is_empty() {
+                return Err("the supplied trace is empty".into());
+            }
+            experiments::custom(&trace)
+        }
+        "all" => {
+            let mut out = String::new();
+            for (id, _) in EXPERIMENTS {
+                // Skip the aliases (fig9 covers them) and the
+                // user-trace-only experiment.
+                if matches!(*id, "fig9a" | "fig9b" | "fig9c" | "custom") {
+                    continue;
+                }
+                out.push_str(&run_experiment_full(id, scale, out_dir, None, plot)?);
+                out.push('\n');
+            }
+            return Ok(out);
+        }
+        other => {
+            return Err(format!(
+                "unknown experiment `{other}`; known ids:\n{}",
+                EXPERIMENTS
+                    .iter()
+                    .map(|(id, desc)| format!("  {id:<22} {desc}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ))
+        }
+    };
+    let mut out = String::new();
+    for (name, table) in tables {
+        out.push_str(&format!("== {name} (scale: {scale}) ==\n"));
+        out.push_str(&table.render());
+        // Table 1 is categorical bit patterns and the landmark tables are
+        // textual: charts would be meaningless for them.
+        let plottable = name != "table1" && !name.ends_with("-landmarks");
+        if plot && plottable {
+            if let Some(chart) = plot::chart_for_table(&table, 64, 16) {
+                out.push('\n');
+                out.push_str(&chart);
+            }
+        }
+        if let Some(dir) = out_dir {
+            let path = table
+                .save_csv(dir, &name)
+                .map_err(|e| format!("saving {name}.csv: {e}"))?;
+            out.push_str(&format!("[csv: {}]\n", path.display()));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_lists_ids() {
+        let err = run_experiment("nope", Scale::Small, None).unwrap_err();
+        assert!(err.contains("fig5c"));
+        assert!(err.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn table1_renders_the_paper_rows() {
+        let out = run_experiment("table1", Scale::Small, None).unwrap();
+        assert!(out.contains("101100000"), "{out}");
+        assert!(out.contains("000000111"), "{out}");
+    }
+}

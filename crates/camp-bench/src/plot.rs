@@ -1,0 +1,201 @@
+//! Terminal line charts for the experiment tables.
+//!
+//! The paper's artifacts are *figures*; `repro --plot` renders each
+//! regenerated table as an ASCII chart so the curve shapes (who wins,
+//! where curves cross, where they flatten) are visible without leaving the
+//! terminal or exporting the CSVs.
+
+use crate::table::Table;
+
+/// One plotted series: a marker character and its y-values.
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    marker: char,
+    values: Vec<Option<f64>>,
+}
+
+const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders a table as an ASCII line chart, treating the first column as
+/// the x-axis labels and every other column as one series. Returns `None`
+/// when the table has no numeric series to plot (e.g. Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use camp_bench::plot::chart_for_table;
+/// use camp_bench::table::Table;
+///
+/// let mut table = Table::new(vec!["x", "camp", "lru"]);
+/// table.row(vec!["0.1".into(), "0.9".into(), "0.95".into()]);
+/// table.row(vec!["0.5".into(), "0.2".into(), "0.60".into()]);
+/// table.row(vec!["1.0".into(), "0.0".into(), "0.10".into()]);
+/// let chart = chart_for_table(&table, 40, 10).expect("numeric table");
+/// assert!(chart.contains("camp"));
+/// ```
+#[must_use]
+pub fn chart_for_table(table: &Table, width: usize, height: usize) -> Option<String> {
+    let headers = table.headers();
+    let rows = table.rows();
+    if headers.len() < 2 || rows.len() < 2 {
+        return None;
+    }
+    let parse = |cell: &str| -> Option<f64> {
+        // Accept plain numbers and simple suffixed values like "3.69s".
+        let trimmed = cell.trim().trim_end_matches(|c: char| c.is_alphabetic());
+        trimmed.parse::<f64>().ok().filter(|v| v.is_finite())
+    };
+    let mut series: Vec<Series> = Vec::new();
+    for (column, header) in headers.iter().enumerate().skip(1) {
+        let values: Vec<Option<f64>> = rows.iter().map(|r| parse(&r[column])).collect();
+        if values.iter().filter(|v| v.is_some()).count() >= 2 {
+            series.push(Series {
+                name: header.clone(),
+                marker: MARKERS[(column - 1) % MARKERS.len()],
+                values,
+            });
+        }
+    }
+    if series.is_empty() {
+        return None;
+    }
+
+    let flat: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().flatten().copied())
+        .collect();
+    let mut y_min = flat.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut y_max = flat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+
+    let width = width.max(16);
+    let height = height.max(4);
+    let points = rows.len();
+    let mut grid = vec![vec![' '; width]; height];
+    let x_for = |index: usize| -> usize {
+        if points == 1 {
+            0
+        } else {
+            index * (width - 1) / (points - 1)
+        }
+    };
+    let y_for = |value: f64| -> usize {
+        let normalized = (value - y_min) / (y_max - y_min);
+        let row = ((1.0 - normalized) * (height - 1) as f64).round() as usize;
+        row.min(height - 1)
+    };
+    for s in &series {
+        for (index, value) in s.values.iter().enumerate() {
+            if let Some(v) = value {
+                let (x, y) = (x_for(index), y_for(*v));
+                // Later series overwrite on collision; the legend
+                // disambiguates trends, not exact collisions.
+                grid[y][x] = s.marker;
+            }
+        }
+    }
+
+    let y_label_width = 10;
+    let mut out = String::new();
+    for (row_index, row) in grid.iter().enumerate() {
+        let label = if row_index == 0 {
+            format!("{y_max:>9.4}")
+        } else if row_index == height - 1 {
+            format!("{y_min:>9.4}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&format!("{label} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_width));
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // X labels: first and last.
+    let first = rows.first().map(|r| r[0].clone()).unwrap_or_default();
+    let last = rows.last().map(|r| r[0].clone()).unwrap_or_default();
+    let gap = width.saturating_sub(first.len() + last.len());
+    out.push_str(&" ".repeat(y_label_width));
+    out.push_str(&first);
+    out.push_str(&" ".repeat(gap));
+    out.push_str(&last);
+    out.push('\n');
+    // Legend.
+    out.push_str(&" ".repeat(y_label_width));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.marker, s.name))
+        .collect();
+    out.push_str(&legend.join("   "));
+    out.push('\n');
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_table() -> Table {
+        let mut table = Table::new(vec!["ratio", "camp", "lru"]);
+        for (x, a, b) in [(0.1, 0.9, 0.97), (0.3, 0.4, 0.8), (0.5, 0.1, 0.5), (1.0, 0.0, 0.0)]
+        {
+            table.row(vec![format!("{x}"), format!("{a}"), format!("{b}")]);
+        }
+        table
+    }
+
+    #[test]
+    fn renders_all_series_and_legend() {
+        let chart = chart_for_table(&numeric_table(), 40, 10).unwrap();
+        assert!(chart.contains("* camp"));
+        assert!(chart.contains("o lru"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        // Axis bounds rendered.
+        assert!(chart.contains("0.9700"));
+        assert!(chart.contains("0.0000"));
+    }
+
+    #[test]
+    fn non_numeric_tables_are_skipped() {
+        let mut table = Table::new(vec!["x (binary)", "regular", "camp"]);
+        table.row(vec!["101101011".into(), "101100000".into(), "101100000".into()]);
+        table.row(vec!["001010011".into(), "001010000".into(), "001010000".into()]);
+        // Binary strings parse as huge numbers — that's fine, they're still
+        // numeric. A genuinely textual table is skipped:
+        let mut text = Table::new(vec!["policy", "verdict"]);
+        text.row(vec!["camp".into(), "never".into()]);
+        text.row(vec!["lru".into(), "early".into()]);
+        assert!(chart_for_table(&text, 40, 8).is_none());
+    }
+
+    #[test]
+    fn single_row_tables_are_skipped() {
+        let mut table = Table::new(vec!["x", "y"]);
+        table.row(vec!["1".into(), "2".into()]);
+        assert!(chart_for_table(&table, 40, 8).is_none());
+    }
+
+    #[test]
+    fn suffixed_values_parse() {
+        let mut table = Table::new(vec!["ratio", "time"]);
+        table.row(vec!["0.1".into(), "3.69s".into()]);
+        table.row(vec!["0.5".into(), "2.47s".into()]);
+        let chart = chart_for_table(&table, 30, 6).unwrap();
+        assert!(chart.contains("3.6900"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut table = Table::new(vec!["x", "flat"]);
+        table.row(vec!["1".into(), "5".into()]);
+        table.row(vec!["2".into(), "5".into()]);
+        let chart = chart_for_table(&table, 30, 6).unwrap();
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,458 @@
+//! The significant-bit rounding scheme at the heart of CAMP.
+//!
+//! CAMP bounds the number of LRU queues it maintains by rounding every
+//! cost-to-size ratio to `p` significant binary digits before using it as a
+//! queue label (paper §2, Table 1). Unlike regular fixed-point rounding, the
+//! amount rounded away is *proportional to the value itself*, so values of
+//! different orders of magnitude always stay distinct (Proposition 2) and the
+//! relative error is bounded by `2^(-p+1)` (Proposition 3).
+//!
+//! The module also provides [`RatioRounder`], which performs the full
+//! three-step H-value preparation described in the paper: integerize the
+//! fractional cost-to-size ratio using an adaptively maintained multiplier
+//! (the largest value size observed so far), round the integer to the chosen
+//! [`Precision`], and hand back the rounded ratio that selects an LRU queue.
+
+use std::fmt;
+
+/// How many significant binary digits of a cost-to-size ratio CAMP keeps.
+///
+/// `Precision::Bits(p)` preserves the `p` most significant bits starting at
+/// the highest non-zero bit; everything below is zeroed. `Precision::Infinite`
+/// disables rounding entirely, which makes CAMP's eviction decisions
+/// equivalent to GDS on integerized ratios — this is the "∞" configuration of
+/// Figure 5a.
+///
+/// # Examples
+///
+/// ```
+/// use camp_core::rounding::Precision;
+///
+/// let p = Precision::Bits(4);
+/// assert_eq!(p.round(0b1011_01011), 0b1011_00000);
+/// assert_eq!(Precision::Infinite.round(0b1011_01011), 0b1011_01011);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// Keep this many significant bits (must be at least 1).
+    Bits(u8),
+    /// Keep every bit: no rounding after integerization.
+    Infinite,
+}
+
+impl Precision {
+    /// The paper's headline configuration (`p = 5`, used in Figures 5c–9).
+    pub const PAPER_DEFAULT: Precision = Precision::Bits(5);
+
+    /// Rounds `x` by preserving only the most significant bits.
+    ///
+    /// Given a non-zero `x` whose highest non-zero bit is at (1-based)
+    /// position `b`, `Bits(p)` zeroes the `b - p` low-order bits when
+    /// `b > p` and leaves `x` untouched otherwise. Zero rounds to zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use camp_core::rounding::Precision;
+    ///
+    /// // The four rows of the paper's Table 1 (precision 4):
+    /// assert_eq!(Precision::Bits(4).round(0b101101011), 0b101100000);
+    /// assert_eq!(Precision::Bits(4).round(0b001010011), 0b001010000);
+    /// assert_eq!(Precision::Bits(4).round(0b000001010), 0b000001010);
+    /// assert_eq!(Precision::Bits(4).round(0b000000111), 0b000000111);
+    /// ```
+    #[must_use]
+    pub fn round(self, x: u64) -> u64 {
+        match self {
+            Precision::Infinite => x,
+            Precision::Bits(p) => round_to_significant_bits(x, u32::from(p.max(1))),
+        }
+    }
+
+    /// The worst-case relative error `ε = 2^(-p+1)` of this precision, such
+    /// that `x <= (1 + ε) * round(x)` for all `x` (Proposition 3).
+    ///
+    /// Returns `0.0` for [`Precision::Infinite`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use camp_core::rounding::Precision;
+    ///
+    /// assert_eq!(Precision::Bits(1).epsilon(), 1.0);
+    /// assert_eq!(Precision::Bits(5).epsilon(), 0.0625);
+    /// assert_eq!(Precision::Infinite.epsilon(), 0.0);
+    /// ```
+    #[must_use]
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Precision::Infinite => 0.0,
+            Precision::Bits(p) => (-(f64::from(p)) + 1.0).exp2(),
+        }
+    }
+
+    /// Upper bound on the number of distinct rounded values for inputs in
+    /// `1..=max_value` (Proposition 2): `(ceil(log2(max_value + 1)) - p + 1) * 2^p`.
+    ///
+    /// This bounds the number of LRU queues CAMP can ever materialize.
+    /// Returns `None` for [`Precision::Infinite`] (the bound is just
+    /// `max_value`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use camp_core::rounding::Precision;
+    ///
+    /// // With U = 1023 (10 bits) and p = 4 there are at most (10-4+1)*16 values.
+    /// assert_eq!(Precision::Bits(4).distinct_value_bound(1023), Some(112));
+    /// assert_eq!(Precision::Infinite.distinct_value_bound(1023), None);
+    /// ```
+    #[must_use]
+    pub fn distinct_value_bound(self, max_value: u64) -> Option<u64> {
+        match self {
+            Precision::Infinite => None,
+            Precision::Bits(p) => {
+                let p = u64::from(p.max(1));
+                let bits = u64::from(64 - max_value.leading_zeros()); // ceil(log2(U+1))
+                let groups = bits.saturating_sub(p).saturating_add(1);
+                Some(groups.saturating_mul(1u64 << p.min(63)))
+            }
+        }
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision::PAPER_DEFAULT
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Bits(p) => write!(f, "{p}"),
+            Precision::Infinite => f.write_str("∞"),
+        }
+    }
+}
+
+/// Rounds `x` down to its `p` most significant bits (`p >= 1`).
+///
+/// This is the integer rounding scheme of Matias, Sahinalp and Young that the
+/// paper adopts: let `b` be the position of the highest non-zero bit of `x`;
+/// if `b > p`, zero out the `b - p` low-order bits, otherwise return `x`
+/// unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use camp_core::rounding::round_to_significant_bits;
+///
+/// assert_eq!(round_to_significant_bits(0b101101011, 4), 0b101100000);
+/// assert_eq!(round_to_significant_bits(0b111, 4), 0b111); // b <= p: unchanged
+/// assert_eq!(round_to_significant_bits(0, 4), 0);
+/// ```
+#[must_use]
+pub fn round_to_significant_bits(x: u64, p: u32) -> u64 {
+    debug_assert!(p >= 1, "precision must be at least one bit");
+    if x == 0 {
+        return 0;
+    }
+    let b = 64 - x.leading_zeros(); // 1-based index of the highest set bit
+    if b <= p {
+        x
+    } else {
+        let shift = b - p;
+        (x >> shift) << shift
+    }
+}
+
+/// Rounds `x` with *regular* fixed-point rounding: zero the low `cut` bits.
+///
+/// This is the left-hand column of the paper's Table 1, provided only so the
+/// comparison the paper makes can be regenerated; CAMP itself never uses it
+/// (it keeps too much information for large values and too little for small
+/// ones).
+///
+/// # Examples
+///
+/// ```
+/// use camp_core::rounding::round_regular;
+///
+/// assert_eq!(round_regular(0b101101011, 4), 0b101100000);
+/// assert_eq!(round_regular(0b000001010, 4), 0);
+/// ```
+#[must_use]
+pub fn round_regular(x: u64, cut: u32) -> u64 {
+    if cut >= 64 {
+        0
+    } else {
+        (x >> cut) << cut
+    }
+}
+
+/// Converts fractional cost-to-size ratios into rounded integer queue labels.
+///
+/// The paper's three-step H-value computation (§2): first integerize
+/// `cost / size` by multiplying with a lower-bound-derived multiplier — the
+/// largest value size observed so far, maintained adaptively — then round the
+/// integer to the configured [`Precision`], yielding the label of the LRU
+/// queue the key-value pair belongs to. Existing labels are *not*
+/// retroactively updated when the multiplier grows; only future roundings use
+/// the new value, exactly as the paper prescribes for efficiency.
+///
+/// # Examples
+///
+/// ```
+/// use camp_core::rounding::{Precision, RatioRounder};
+///
+/// let mut rounder = RatioRounder::new(Precision::Bits(4));
+/// // First reference: the adaptive multiplier becomes 100 (the observed size),
+/// // so cost/size = 50/100 integerizes to 50, which rounds to 4 bits as 48.
+/// assert_eq!(rounder.rounded_ratio(50, 100), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatioRounder {
+    precision: Precision,
+    max_size_seen: u64,
+    fixed_multiplier: Option<u64>,
+}
+
+impl RatioRounder {
+    /// Creates a rounder with the given precision and the adaptive
+    /// multiplier the paper uses (largest observed size).
+    #[must_use]
+    pub fn new(precision: Precision) -> Self {
+        RatioRounder {
+            precision,
+            max_size_seen: 1,
+            fixed_multiplier: None,
+        }
+    }
+
+    /// Creates a rounder with a fixed multiplier instead of the adaptive one.
+    ///
+    /// Used by the `ablation-multiplier` experiment to quantify what the
+    /// adaptive scheme buys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is zero.
+    #[must_use]
+    pub fn with_fixed_multiplier(precision: Precision, multiplier: u64) -> Self {
+        assert!(multiplier > 0, "multiplier must be positive");
+        RatioRounder {
+            precision,
+            max_size_seen: 1,
+            fixed_multiplier: Some(multiplier),
+        }
+    }
+
+    /// The configured precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The multiplier that will be used for the next conversion.
+    #[must_use]
+    pub fn multiplier(&self) -> u64 {
+        self.fixed_multiplier.unwrap_or(self.max_size_seen)
+    }
+
+    /// Records that a key-value pair of `size` bytes was referenced, growing
+    /// the adaptive multiplier if this is the largest size seen so far.
+    pub fn observe_size(&mut self, size: u64) {
+        if size > self.max_size_seen {
+            self.max_size_seen = size;
+        }
+    }
+
+    /// Integerizes `cost / size` with the current multiplier, rounding to the
+    /// nearest integer and clamping to at least 1 so that every cached pair
+    /// advances `L` when evicted.
+    ///
+    /// Does **not** update the adaptive multiplier; call
+    /// [`RatioRounder::observe_size`] first (or use
+    /// [`RatioRounder::rounded_ratio`], which does both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn integerize(&self, cost: u64, size: u64) -> u64 {
+        assert!(size > 0, "key-value pairs have positive size");
+        let num = u128::from(cost) * u128::from(self.multiplier());
+        let den = u128::from(size);
+        let ratio = (num + den / 2) / den; // round to nearest
+        u64::try_from(ratio).unwrap_or(u64::MAX).max(1)
+    }
+
+    /// The full pipeline: observe `size`, integerize `cost / size`, and round
+    /// the result to the configured precision. The returned label identifies
+    /// the LRU queue for the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn rounded_ratio(&mut self, cost: u64, size: u64) -> u64 {
+        self.observe_size(size);
+        self.precision.round(self.integerize(cost, size))
+    }
+}
+
+impl Default for RatioRounder {
+    fn default() -> Self {
+        RatioRounder::new(Precision::default())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unusual_byte_groupings)] // groupings mirror the paper's Table 1 layout
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_camp_rounding_rows() {
+        // The right-hand column of the paper's Table 1 (precision 4).
+        assert_eq!(Precision::Bits(4).round(0b1011_01011), 0b1011_00000);
+        assert_eq!(Precision::Bits(4).round(0b00_1010_011), 0b00_1010_000);
+        assert_eq!(Precision::Bits(4).round(0b00000_1010), 0b00000_1010);
+        assert_eq!(Precision::Bits(4).round(0b000000_111), 0b000000_111);
+    }
+
+    #[test]
+    fn table1_regular_rounding_rows() {
+        // The left-hand column of the paper's Table 1 (cut 4 low bits).
+        assert_eq!(round_regular(0b10110_1011, 4), 0b10110_0000);
+        assert_eq!(round_regular(0b00101_0011, 4), 0b00101_0000);
+        assert_eq!(round_regular(0b00000_1010, 4), 0);
+        assert_eq!(round_regular(0b00000_0111, 4), 0);
+    }
+
+    #[test]
+    fn rounding_zero_and_small_values_are_exact() {
+        for p in 1..=8 {
+            assert_eq!(round_to_significant_bits(0, p), 0);
+            for x in 1..(1u64 << p) {
+                assert_eq!(round_to_significant_bits(x, p), x, "p={p} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        for p in 1..=10 {
+            for x in [1u64, 3, 7, 100, 1000, 12345, u64::MAX, u64::MAX / 3] {
+                let once = round_to_significant_bits(x, p);
+                assert_eq!(round_to_significant_bits(once, p), once);
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_error_bound_matches_proposition_3() {
+        // x <= (1 + 2^{-p+1}) * round(x), checked exactly in integers:
+        // x - round(x) <= 2^{b-p} and round(x) >= 2^{b-1}.
+        for p in 1..=12u32 {
+            for x in [1u64, 2, 3, 9, 100, 1023, 1024, 1025, 999_999, u64::MAX] {
+                let r = round_to_significant_bits(x, p);
+                assert!(r <= x);
+                let b = 64 - x.leading_zeros();
+                if b > p {
+                    assert!(x - r < 1u64 << (b - p), "p={p} x={x} r={r}");
+                    assert!(r >= 1u64 << (b - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precision_one_keeps_only_highest_bit() {
+        assert_eq!(round_to_significant_bits(0b1111, 1), 0b1000);
+        assert_eq!(round_to_significant_bits(u64::MAX, 1), 1u64 << 63);
+    }
+
+    #[test]
+    fn epsilon_values() {
+        assert_eq!(Precision::Bits(1).epsilon(), 1.0);
+        assert_eq!(Precision::Bits(2).epsilon(), 0.5);
+        assert_eq!(Precision::Bits(5).epsilon(), 0.0625);
+        assert_eq!(Precision::Infinite.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn distinct_value_bound_counts_observed_labels() {
+        // Exhaustively round every value in 1..=U and check Proposition 2.
+        let max = 4096u64;
+        for p in 1..=6u8 {
+            let precision = Precision::Bits(p);
+            let mut labels: std::collections::BTreeSet<u64> =
+                Default::default();
+            for x in 1..=max {
+                labels.insert(precision.round(x));
+            }
+            let bound = precision.distinct_value_bound(max).unwrap();
+            assert!(
+                (labels.len() as u64) <= bound,
+                "p={p}: {} labels > bound {bound}",
+                labels.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rounder_adapts_multiplier_upward_only() {
+        let mut r = RatioRounder::new(Precision::Bits(5));
+        assert_eq!(r.multiplier(), 1);
+        r.observe_size(512);
+        assert_eq!(r.multiplier(), 512);
+        r.observe_size(100);
+        assert_eq!(r.multiplier(), 512);
+        r.observe_size(1024);
+        assert_eq!(r.multiplier(), 1024);
+    }
+
+    #[test]
+    fn rounder_fixed_multiplier_never_moves() {
+        let mut r = RatioRounder::with_fixed_multiplier(Precision::Bits(5), 1000);
+        r.observe_size(1 << 40);
+        assert_eq!(r.multiplier(), 1000);
+    }
+
+    #[test]
+    fn integerize_rounds_to_nearest_and_clamps_to_one() {
+        let r = RatioRounder::with_fixed_multiplier(Precision::Infinite, 100);
+        assert_eq!(r.integerize(1, 100), 1); // 1/100*100 = 1
+        assert_eq!(r.integerize(0, 100), 1); // clamped
+        assert_eq!(r.integerize(1, 3), 33); // 100/3 = 33.3 -> 33
+        assert_eq!(r.integerize(1, 6), 17); // 100/6 = 16.7 -> 17
+        assert_eq!(r.integerize(10_000, 1), 1_000_000);
+    }
+
+    #[test]
+    fn integerize_preserves_sub_unit_ratios() {
+        // Two ratios below 1 that regular rounding would conflate must map to
+        // distinct integers once the multiplier covers the largest size.
+        let mut r = RatioRounder::new(Precision::Infinite);
+        r.observe_size(10_000);
+        let tiny = r.integerize(1, 10_000); // ratio 0.0001
+        let small = r.integerize(1, 100); // ratio 0.01
+        assert!(tiny < small, "tiny={tiny} small={small}");
+        assert_eq!(tiny, 1);
+        assert_eq!(small, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn integerize_rejects_zero_size() {
+        let _ = RatioRounder::default().integerize(1, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Precision::Bits(5).to_string(), "5");
+        assert_eq!(Precision::Infinite.to_string(), "∞");
+    }
+}

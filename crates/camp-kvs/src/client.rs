@@ -1,0 +1,320 @@
+//! A blocking client for the KVS server — the reproduction's stand-in for
+//! the Whalin memcached client the paper's request generator used (§4).
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A fetched value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    /// The value bytes.
+    pub data: Vec<u8>,
+    /// The flags stored with it.
+    pub flags: u32,
+}
+
+/// A blocking text-protocol client.
+///
+/// # Examples
+///
+/// ```no_run
+/// use camp_kvs::client::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:11211")?;
+/// client.set(b"greeting", b"hello", 0, 0)?;
+/// let value = client.get(b"greeting")?.expect("stored");
+/// assert_eq!(value.data, b"hello");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from establishing the connection.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// `get <key>` — returns the value if resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Value>> {
+        self.send_line(b"get", key, None)?;
+        self.read_get_response(key)
+    }
+
+    /// `iqget <key>` — like `get`, but a miss arms the server's IQ cost
+    /// timer for this key.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn iqget(&mut self, key: &[u8]) -> io::Result<Option<Value>> {
+        self.send_line(b"iqget", key, None)?;
+        self.read_get_response(key)
+    }
+
+    /// `set <key> <flags> <exptime> <len>` + data.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors; `Ok(false)` when the server replied with an
+    /// error status (e.g. the object was too large).
+    pub fn set(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64) -> io::Result<bool> {
+        self.send_set(b"set", key, value, flags, exptime, None)
+    }
+
+    /// `iqset`, optionally with an explicit cost hint (the paper's
+    /// "application provided hints" channel).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors; `Ok(false)` on a server error status.
+    pub fn iqset(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u64,
+        cost_hint: Option<u64>,
+    ) -> io::Result<bool> {
+        self.send_set(b"iqset", key, value, flags, exptime, cost_hint)
+    }
+
+    /// `add` — stores only if the key is absent. `Ok(false)` when the key
+    /// already exists (or on a server error status).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors as `io::Error`.
+    pub fn add(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64) -> io::Result<bool> {
+        self.send_set(b"add", key, value, flags, exptime, None)
+    }
+
+    /// `replace` — stores only if the key is present.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors as `io::Error`.
+    pub fn replace(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u64,
+    ) -> io::Result<bool> {
+        self.send_set(b"replace", key, value, flags, exptime, None)
+    }
+
+    /// `incr <key> <delta>` — returns the new value, or `None` when the key
+    /// is absent or non-numeric.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn incr(&mut self, key: &[u8], delta: u64) -> io::Result<Option<u64>> {
+        self.arith(b"incr", key, delta)
+    }
+
+    /// `decr <key> <delta>` — like [`Client::incr`], floored at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn decr(&mut self, key: &[u8], delta: u64) -> io::Result<Option<u64>> {
+        self.arith(b"decr", key, delta)
+    }
+
+    fn arith(&mut self, verb: &[u8], key: &[u8], delta: u64) -> io::Result<Option<u64>> {
+        self.send_line(verb, key, Some(&delta.to_string()))?;
+        let line = self.read_line()?;
+        if line == b"NOT_FOUND" {
+            return Ok(None);
+        }
+        std::str::from_utf8(&line)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Some)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad incr/decr response")
+            })
+    }
+
+    /// `touch <key> <exptime>` — updates a resident key's expiry.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn touch(&mut self, key: &[u8], exptime: u64) -> io::Result<bool> {
+        self.send_line(b"touch", key, Some(&exptime.to_string()))?;
+        let line = self.read_line()?;
+        Ok(line == b"TOUCHED")
+    }
+
+    /// `flush_all` — drops every item on the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn flush_all(&mut self) -> io::Result<()> {
+        self.writer.write_all(b"flush_all\r\n")?;
+        let line = self.read_line()?;
+        if line == b"OK" {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "flush_all failed"))
+        }
+    }
+
+    /// `version` — the server's version banner.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn version(&mut self) -> io::Result<String> {
+        self.writer.write_all(b"version\r\n")?;
+        let line = self.read_line()?;
+        Ok(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// `delete <key>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn delete(&mut self, key: &[u8]) -> io::Result<bool> {
+        self.send_line(b"delete", key, None)?;
+        let line = self.read_line()?;
+        Ok(line == b"DELETED")
+    }
+
+    /// `stats` — returns the STAT table.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn stats(&mut self) -> io::Result<BTreeMap<String, String>> {
+        self.writer.write_all(b"stats\r\n")?;
+        let mut out = BTreeMap::new();
+        loop {
+            let line = self.read_line()?;
+            if line == b"END" {
+                return Ok(out);
+            }
+            let text = String::from_utf8_lossy(&line);
+            if let Some(rest) = text.strip_prefix("STAT ") {
+                if let Some((name, value)) = rest.split_once(' ') {
+                    out.insert(name.to_owned(), value.to_owned());
+                }
+            }
+        }
+    }
+
+    /// `quit` — asks the server to close the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.writer.write_all(b"quit\r\n")
+    }
+
+    fn send_line(&mut self, verb: &[u8], key: &[u8], extra: Option<&str>) -> io::Result<()> {
+        self.writer.write_all(verb)?;
+        self.writer.write_all(b" ")?;
+        self.writer.write_all(key)?;
+        if let Some(extra) = extra {
+            self.writer.write_all(b" ")?;
+            self.writer.write_all(extra.as_bytes())?;
+        }
+        self.writer.write_all(b"\r\n")
+    }
+
+    fn send_set(
+        &mut self,
+        verb: &[u8],
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u64,
+        cost_hint: Option<u64>,
+    ) -> io::Result<bool> {
+        self.writer.write_all(verb)?;
+        self.writer.write_all(b" ")?;
+        self.writer.write_all(key)?;
+        match cost_hint {
+            Some(cost) => {
+                write!(self.writer, " {flags} {exptime} {} {cost}\r\n", value.len())?
+            }
+            None => write!(self.writer, " {flags} {exptime} {}\r\n", value.len())?,
+        }
+        self.writer.write_all(value)?;
+        self.writer.write_all(b"\r\n")?;
+        let line = self.read_line()?;
+        Ok(line == b"STORED")
+    }
+
+    fn read_get_response(&mut self, expected_key: &[u8]) -> io::Result<Option<Value>> {
+        let mut result = None;
+        loop {
+            let line = self.read_line()?;
+            if line == b"END" {
+                return Ok(result);
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            let Some(rest) = text.strip_prefix("VALUE ") else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected response line: {text}"),
+                ));
+            };
+            let mut fields = rest.split(' ');
+            let key = fields.next().unwrap_or_default();
+            let flags: u32 = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad flags"))?;
+            let len: usize = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+            let mut data = vec![0u8; len];
+            self.reader.read_exact(&mut data)?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            if key.as_bytes() == expected_key {
+                result = Some(Value { data, flags });
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<Vec<u8>> {
+        let mut line = Vec::new();
+        let read = self.reader.read_until(b'\n', &mut line)?;
+        if read == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

@@ -1,0 +1,136 @@
+//! On-chunk item encoding.
+//!
+//! Each chunk stores one item: a fixed header (lengths, flags, cost, expiry)
+//! followed by the key bytes and the value bytes — mirroring Twemcache's
+//! item layout ("the size required to store ki-vi along with some meta-data
+//! header information").
+
+use bytes::{Buf, BufMut};
+
+/// The fixed header size in bytes.
+pub const HEADER_LEN: usize = 2 + 4 + 4 + 8 + 8;
+
+/// A decoded item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item<'a> {
+    /// The key bytes.
+    pub key: &'a [u8],
+    /// The value bytes.
+    pub value: &'a [u8],
+    /// Opaque client flags (memcached protocol field).
+    pub flags: u32,
+    /// The cost of computing this pair (the IQ framework's piggybacked
+    /// service time, or a client hint).
+    pub cost: u64,
+    /// Absolute expiry in unix seconds; 0 = never.
+    pub expires_at: u64,
+}
+
+impl<'a> Item<'a> {
+    /// Total encoded size of an item with this key and value.
+    #[must_use]
+    pub fn encoded_len(key_len: usize, value_len: usize) -> usize {
+        HEADER_LEN + key_len + value_len
+    }
+
+    /// Encodes the item into `buf` (which must be large enough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small or the key exceeds 64 KiB.
+    pub fn encode_into(&self, mut buf: &mut [u8]) {
+        let need = Item::encoded_len(self.key.len(), self.value.len());
+        assert!(buf.len() >= need, "buffer too small for item");
+        let key_len = u16::try_from(self.key.len()).expect("key exceeds 64 KiB");
+        buf.put_u16(key_len);
+        buf.put_u32(u32::try_from(self.value.len()).expect("value exceeds 4 GiB"));
+        buf.put_u32(self.flags);
+        buf.put_u64(self.cost);
+        buf.put_u64(self.expires_at);
+        buf.put_slice(self.key);
+        buf.put_slice(self.value);
+    }
+
+    /// Decodes an item from a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk contents are malformed (shorter than the header
+    /// claims) — chunks are only ever written by [`Item::encode_into`].
+    #[must_use]
+    pub fn decode(mut buf: &'a [u8]) -> Item<'a> {
+        assert!(buf.len() >= HEADER_LEN, "chunk shorter than item header");
+        let key_len = buf.get_u16() as usize;
+        let value_len = buf.get_u32() as usize;
+        let flags = buf.get_u32();
+        let cost = buf.get_u64();
+        let expires_at = buf.get_u64();
+        assert!(
+            buf.len() >= key_len + value_len,
+            "chunk shorter than the encoded item"
+        );
+        let key = &buf[..key_len];
+        let value = &buf[key_len..key_len + value_len];
+        Item {
+            key,
+            value,
+            flags,
+            cost,
+            expires_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let item = Item {
+            key: b"user:42",
+            value: b"{\"name\":\"alice\"}",
+            flags: 7,
+            cost: 10_000,
+            expires_at: 1_900_000_000,
+        };
+        let mut buf = vec![0u8; Item::encoded_len(item.key.len(), item.value.len()) + 13];
+        item.encode_into(&mut buf);
+        let decoded = Item::decode(&buf);
+        assert_eq!(decoded, item);
+    }
+
+    #[test]
+    fn empty_value_roundtrip() {
+        let item = Item {
+            key: b"k",
+            value: b"",
+            flags: 0,
+            cost: 0,
+            expires_at: 0,
+        };
+        let mut buf = vec![0u8; Item::encoded_len(1, 0)];
+        item.encode_into(&mut buf);
+        assert_eq!(Item::decode(&buf), item);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn undersized_buffer_panics() {
+        let item = Item {
+            key: b"key",
+            value: b"value",
+            flags: 0,
+            cost: 0,
+            expires_at: 0,
+        };
+        let mut buf = vec![0u8; 10];
+        item.encode_into(&mut buf);
+    }
+
+    #[test]
+    fn encoded_len_matches_layout() {
+        assert_eq!(Item::encoded_len(0, 0), HEADER_LEN);
+        assert_eq!(Item::encoded_len(3, 5), HEADER_LEN + 8);
+    }
+}

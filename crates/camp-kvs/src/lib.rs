@@ -1,0 +1,60 @@
+//! # camp-kvs — a Twemcache-like key-value server with CAMP eviction
+//!
+//! The paper's §4 implements CAMP inside IQ Twemcache (Twitter's memcached
+//! fork with the IQ consistency framework) and shows that CAMP's replacement
+//! decisions cost no more wall-clock time than LRU's. This crate rebuilds
+//! that substrate in Rust, from the allocator up:
+//!
+//! * [`slab`] — Twemcache's slab allocator (1 MiB slabs, 1.25x class
+//!   growth, calcification + random slab eviction), with real backing
+//!   memory;
+//! * [`buddy`] — the §5 alternative space manager (binary buddy system,
+//!   immune to calcification);
+//! * [`item`] — the on-chunk item encoding (header + key + value);
+//! * [`store`] — the cache store: hash index + slab memory + pluggable
+//!   LRU/CAMP eviction driven by slab exhaustion;
+//! * [`protocol`] — the memcached text protocol plus the IQ framework's
+//!   `iqget`/`iqset` with timestamp-difference (or hinted) costs;
+//! * [`shard`] — hash-partitioned multi-shard stores (the §4.1 scaling
+//!   recipe);
+//! * [`server`] / [`client`] — a threaded TCP server and a blocking client;
+//! * [`replay`] — the §4 trace-replay driver behind Figures 9a–9c.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use camp_kvs::client::Client;
+//! use camp_kvs::server::Server;
+//! use camp_kvs::store::StoreConfig;
+//!
+//! let server = Server::start("127.0.0.1:0", StoreConfig::camp_with_memory(64 << 20))?;
+//! let mut client = Client::connect(server.local_addr())?;
+//!
+//! // A miss arms the IQ cost timer; the set records the computation cost.
+//! assert!(client.iqget(b"profile:42")?.is_none());
+//! client.iqset(b"profile:42", b"...expensive value...", 0, 0, None)?;
+//! assert!(client.iqget(b"profile:42")?.is_some());
+//!
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buddy;
+pub mod client;
+pub mod item;
+pub mod protocol;
+pub mod replay;
+pub mod shard;
+pub mod server;
+pub mod slab;
+pub mod store;
+
+pub use crate::client::Client;
+pub use crate::replay::{replay_trace, ReplayReport};
+pub use crate::server::Server;
+pub use crate::store::{EvictionMode, Store, StoreConfig, StoreError, StoreStats};

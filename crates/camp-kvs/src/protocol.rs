@@ -1,0 +1,430 @@
+//! The memcached-style text protocol, extended with the IQ framework's
+//! `iqget`/`iqset` commands (paper §4).
+//!
+//! Supported commands (all lines end `\r\n`; `<data>` blocks are raw bytes
+//! of the announced length followed by `\r\n`):
+//!
+//! ```text
+//! get <key> [<key>...]                          -> VALUE/END
+//! iqget <key>                                   -> VALUE/END (registers miss time)
+//! set <key> <flags> <exptime> <bytes>\r\n<data> -> STORED
+//! add / replace <key> <flags> <exptime> <bytes>\r\n<data> -> STORED | NOT_STORED
+//! iqset <key> <flags> <exptime> <bytes> [cost]\r\n<data> -> STORED
+//! incr / decr <key> <delta>                     -> <new value> | NOT_FOUND
+//! touch <key> <exptime>                         -> TOUCHED | NOT_FOUND
+//! delete <key>                                  -> DELETED | NOT_FOUND
+//! flush_all                                     -> OK
+//! version                                       -> VERSION camp-kvs/<semver>
+//! stats                                         -> STAT lines, END
+//! quit                                          -> connection closed
+//! ```
+//!
+//! `iqset`'s optional trailing `cost` token is the "application provided
+//! hints" channel the paper mentions; without it the server uses the
+//! elapsed time since the corresponding `iqget` miss — the IQ framework's
+//! timestamp-difference cost.
+
+use std::fmt;
+
+/// A parsed command line (data blocks are read separately by the caller,
+/// guided by [`SetHeader::bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get` / `gets` with one or more keys.
+    Get {
+        /// The requested keys.
+        keys: Vec<Vec<u8>>,
+    },
+    /// `iqget`: like `get` but a miss registers the IQ miss timestamp.
+    IqGet {
+        /// The requested key.
+        key: Vec<u8>,
+    },
+    /// `set`, `add`, `replace` or `iqset`; the data block of
+    /// `header.bytes` bytes follows.
+    Set {
+        /// Parsed header fields.
+        header: SetHeader,
+    },
+    /// `incr <key> <delta>` / `decr <key> <delta>`.
+    Arith {
+        /// The key whose numeric value changes.
+        key: Vec<u8>,
+        /// The delta to apply.
+        delta: u64,
+        /// Whether this is an increment (else decrement).
+        up: bool,
+    },
+    /// `touch <key> <exptime>`.
+    Touch {
+        /// The key whose expiry changes.
+        key: Vec<u8>,
+        /// The new expiry (memcached semantics).
+        exptime: u64,
+    },
+    /// `delete <key>`.
+    Delete {
+        /// The key to delete.
+        key: Vec<u8>,
+    },
+    /// `flush_all`.
+    FlushAll,
+    /// `version`.
+    Version,
+    /// `stats`.
+    Stats,
+    /// `quit`.
+    Quit,
+}
+
+/// Which storage command a [`SetHeader`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetVerb {
+    /// Unconditional store.
+    Set,
+    /// Store only if absent.
+    Add,
+    /// Store only if present.
+    Replace,
+    /// Unconditional store with IQ cost semantics.
+    IqSet,
+}
+
+/// Header fields of a `set`/`iqset` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetHeader {
+    /// The key being stored.
+    pub key: Vec<u8>,
+    /// Opaque client flags.
+    pub flags: u32,
+    /// Relative or absolute expiry, memcached semantics (0 = never).
+    pub exptime: u64,
+    /// Length of the data block that follows.
+    pub bytes: usize,
+    /// Explicit cost hint (only on `iqset`).
+    pub cost_hint: Option<u64>,
+    /// Which storage verb this header came from.
+    pub verb: SetVerb,
+}
+
+/// A protocol parse error, rendered to the client as
+/// `CLIENT_ERROR <reason>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    reason: &'static str,
+}
+
+impl ProtocolError {
+    fn new(reason: &'static str) -> Self {
+        ProtocolError { reason }
+    }
+
+    /// The reason string sent to the client.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        self.reason
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CLIENT_ERROR {}", self.reason)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Maximum key length accepted (memcached's limit is 250).
+pub const MAX_KEY_LEN: usize = 250;
+
+fn parse_u64(token: &[u8], what: &'static str) -> Result<u64, ProtocolError> {
+    std::str::from_utf8(token)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ProtocolError::new(what))
+}
+
+fn validate_key(key: &[u8]) -> Result<(), ProtocolError> {
+    if key.is_empty() {
+        return Err(ProtocolError::new("empty key"));
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err(ProtocolError::new("key too long"));
+    }
+    if key.iter().any(|&b| b <= b' ' || b == 0x7f) {
+        return Err(ProtocolError::new("key contains control or space bytes"));
+    }
+    Ok(())
+}
+
+/// Parses one command line (without the trailing `\r\n`).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on unknown commands or malformed arguments.
+pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
+    let mut tokens = line
+        .split(|&b| b == b' ')
+        .filter(|t| !t.is_empty());
+    let verb = tokens.next().ok_or(ProtocolError::new("empty command"))?;
+    match verb {
+        b"get" | b"gets" => {
+            let keys: Vec<Vec<u8>> = tokens.map(<[u8]>::to_vec).collect();
+            if keys.is_empty() {
+                return Err(ProtocolError::new("get requires at least one key"));
+            }
+            for key in &keys {
+                validate_key(key)?;
+            }
+            Ok(Command::Get { keys })
+        }
+        b"iqget" => {
+            let key = tokens
+                .next()
+                .ok_or(ProtocolError::new("iqget requires a key"))?
+                .to_vec();
+            validate_key(&key)?;
+            if tokens.next().is_some() {
+                return Err(ProtocolError::new("iqget takes exactly one key"));
+            }
+            Ok(Command::IqGet { key })
+        }
+        b"set" | b"iqset" | b"add" | b"replace" => {
+            let set_verb = match verb {
+                b"iqset" => SetVerb::IqSet,
+                b"add" => SetVerb::Add,
+                b"replace" => SetVerb::Replace,
+                _ => SetVerb::Set,
+            };
+            let iq = set_verb == SetVerb::IqSet;
+            let key = tokens
+                .next()
+                .ok_or(ProtocolError::new("set requires a key"))?
+                .to_vec();
+            validate_key(&key)?;
+            let flags = parse_u64(
+                tokens.next().ok_or(ProtocolError::new("missing flags"))?,
+                "bad flags",
+            )?;
+            let flags =
+                u32::try_from(flags).map_err(|_| ProtocolError::new("bad flags"))?;
+            let exptime = parse_u64(
+                tokens.next().ok_or(ProtocolError::new("missing exptime"))?,
+                "bad exptime",
+            )?;
+            let bytes = parse_u64(
+                tokens.next().ok_or(ProtocolError::new("missing bytes"))?,
+                "bad bytes",
+            )? as usize;
+            let cost_hint = match tokens.next() {
+                Some(token) if iq => Some(parse_u64(token, "bad cost")?),
+                Some(_) => return Err(ProtocolError::new("unexpected token after bytes")),
+                None => None,
+            };
+            if tokens.next().is_some() {
+                return Err(ProtocolError::new("trailing tokens"));
+            }
+            Ok(Command::Set {
+                header: SetHeader {
+                    key,
+                    flags,
+                    exptime,
+                    bytes,
+                    cost_hint,
+                    verb: set_verb,
+                },
+            })
+        }
+        b"incr" | b"decr" => {
+            let key = tokens
+                .next()
+                .ok_or(ProtocolError::new("incr/decr requires a key"))?
+                .to_vec();
+            validate_key(&key)?;
+            let delta = parse_u64(
+                tokens.next().ok_or(ProtocolError::new("missing delta"))?,
+                "bad delta",
+            )?;
+            if tokens.next().is_some() {
+                return Err(ProtocolError::new("trailing tokens"));
+            }
+            Ok(Command::Arith {
+                key,
+                delta,
+                up: verb == b"incr",
+            })
+        }
+        b"touch" => {
+            let key = tokens
+                .next()
+                .ok_or(ProtocolError::new("touch requires a key"))?
+                .to_vec();
+            validate_key(&key)?;
+            let exptime = parse_u64(
+                tokens.next().ok_or(ProtocolError::new("missing exptime"))?,
+                "bad exptime",
+            )?;
+            if tokens.next().is_some() {
+                return Err(ProtocolError::new("trailing tokens"));
+            }
+            Ok(Command::Touch { key, exptime })
+        }
+        b"flush_all" => Ok(Command::FlushAll),
+        b"version" => Ok(Command::Version),
+        b"delete" => {
+            let key = tokens
+                .next()
+                .ok_or(ProtocolError::new("delete requires a key"))?
+                .to_vec();
+            validate_key(&key)?;
+            Ok(Command::Delete { key })
+        }
+        b"stats" => Ok(Command::Stats),
+        b"quit" => Ok(Command::Quit),
+        _ => Err(ProtocolError::new("unknown command")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_variants() {
+        assert_eq!(
+            parse_command(b"get alpha").unwrap(),
+            Command::Get {
+                keys: vec![b"alpha".to_vec()]
+            }
+        );
+        assert_eq!(
+            parse_command(b"gets a b c").unwrap(),
+            Command::Get {
+                keys: vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+            }
+        );
+        assert!(parse_command(b"get").is_err());
+    }
+
+    #[test]
+    fn parses_iqget() {
+        assert_eq!(
+            parse_command(b"iqget k1").unwrap(),
+            Command::IqGet { key: b"k1".to_vec() }
+        );
+        assert!(parse_command(b"iqget a b").is_err());
+        assert!(parse_command(b"iqget").is_err());
+    }
+
+    #[test]
+    fn parses_set_and_iqset() {
+        let cmd = parse_command(b"set k 7 0 5").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Set {
+                header: SetHeader {
+                    key: b"k".to_vec(),
+                    flags: 7,
+                    exptime: 0,
+                    bytes: 5,
+                    cost_hint: None,
+                    verb: SetVerb::Set,
+                }
+            }
+        );
+        let cmd = parse_command(b"iqset k 0 60 10 12345").unwrap();
+        match cmd {
+            Command::Set { header } => {
+                assert_eq!(header.verb, SetVerb::IqSet);
+                assert_eq!(header.cost_hint, Some(12_345));
+                assert_eq!(header.exptime, 60);
+                assert_eq!(header.bytes, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Plain set rejects a cost token.
+        assert!(parse_command(b"set k 0 0 5 99").is_err());
+    }
+
+    #[test]
+    fn parses_delete_stats_quit() {
+        assert_eq!(
+            parse_command(b"delete kk").unwrap(),
+            Command::Delete { key: b"kk".to_vec() }
+        );
+        assert_eq!(parse_command(b"stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command(b"quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_command(b"").is_err());
+        assert!(parse_command(b"frobnicate x").is_err());
+        assert!(parse_command(b"set k x 0 5").is_err());
+        assert!(parse_command(b"set k 0 0").is_err());
+        let long_key = vec![b'a'; 251];
+        let mut line = b"get ".to_vec();
+        line.extend_from_slice(&long_key);
+        assert!(parse_command(&line).is_err());
+    }
+
+    #[test]
+    fn rejects_keys_with_spaces_or_control_bytes() {
+        assert!(parse_command(b"delete bad\x01key").is_err());
+        // A key token cannot contain a space (it would split), but control
+        // characters can sneak in.
+        assert!(parse_command(&[b'g', b'e', b't', b' ', 0x7f]).is_err());
+    }
+
+    #[test]
+    fn parses_add_replace_arith_touch_flush_version() {
+        match parse_command(b"add k 0 0 3").unwrap() {
+            Command::Set { header } => assert_eq!(header.verb, SetVerb::Add),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command(b"replace k 0 0 3").unwrap() {
+            Command::Set { header } => assert_eq!(header.verb, SetVerb::Replace),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_command(b"incr counter 5").unwrap(),
+            Command::Arith {
+                key: b"counter".to_vec(),
+                delta: 5,
+                up: true
+            }
+        );
+        assert_eq!(
+            parse_command(b"decr counter 2").unwrap(),
+            Command::Arith {
+                key: b"counter".to_vec(),
+                delta: 2,
+                up: false
+            }
+        );
+        assert_eq!(
+            parse_command(b"touch k 300").unwrap(),
+            Command::Touch {
+                key: b"k".to_vec(),
+                exptime: 300
+            }
+        );
+        assert_eq!(parse_command(b"flush_all").unwrap(), Command::FlushAll);
+        assert_eq!(parse_command(b"version").unwrap(), Command::Version);
+        // add/replace reject a cost token like plain set does.
+        assert!(parse_command(b"add k 0 0 5 99").is_err());
+        assert!(parse_command(b"incr k").is_err());
+        assert!(parse_command(b"incr k five").is_err());
+        assert!(parse_command(b"touch k").is_err());
+    }
+
+    #[test]
+    fn tolerates_repeated_spaces() {
+        assert_eq!(
+            parse_command(b"get   a").unwrap(),
+            Command::Get {
+                keys: vec![b"a".to_vec()]
+            }
+        );
+    }
+}

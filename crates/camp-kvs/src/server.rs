@@ -1,0 +1,453 @@
+//! The TCP server: a Twemcache-like KVS speaking the text protocol.
+//!
+//! One thread per connection over a shared, hash-partitioned
+//! [`ShardedStore`]. [`Server::start`] uses a single shard (one lock, the
+//! stock-Twemcache arrangement); [`Server::start_sharded`] partitions keys
+//! over independently locked shards — the paper's §4.1 vertical-scaling
+//! recipe, where threads touching different partitions never contend.
+//!
+//! The IQ framework's cost computation lives here: `iqget` misses record a
+//! timestamp, and a later `iqset` for the same key uses the elapsed
+//! microseconds as the pair's cost — "the difference between these two
+//! timestamps is used as the cost of the key-value pair" (§4) — unless the
+//! client supplied an explicit cost hint.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::protocol::{parse_command, Command, SetHeader, SetVerb};
+use crate::shard::ShardedStore;
+use crate::store::{StoreConfig, StoreError, StoreStats};
+
+/// Shared server state.
+#[derive(Debug)]
+struct Shared {
+    store: ShardedStore,
+    /// IQ miss registry: key -> time of the `iqget` miss.
+    iq_misses: Mutex<HashMap<Vec<u8>, Instant>>,
+    shutdown: AtomicBool,
+}
+
+/// A running KVS server.
+///
+/// # Examples
+///
+/// ```no_run
+/// use camp_kvs::server::Server;
+/// use camp_kvs::store::StoreConfig;
+///
+/// let server = Server::start("127.0.0.1:0", StoreConfig::camp_with_memory(16 << 20))?;
+/// println!("listening on {}", server.local_addr());
+/// server.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn start(addr: &str, config: StoreConfig) -> io::Result<Server> {
+        Server::start_sharded(addr, config, 1)
+    }
+
+    /// Like [`Server::start`], with the store hash-partitioned over
+    /// `shards` independently locked shards (the §4.1 scaling recipe).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn start_sharded(addr: &str, config: StoreConfig, shards: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: ShardedStore::new(config, shards),
+            iq_misses: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("camp-kvs-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the store counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.shared.store.stats()
+    }
+
+    /// Number of live items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops accepting connections and joins the accept thread. Existing
+    /// connections end when their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.signal_shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.signal_shutdown();
+            if let Some(handle) = self.accept_thread.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let conn_shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("camp-kvs-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &conn_shared);
+                    });
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        let read = reader.read_until(b'\n', &mut line)?;
+        if read == 0 {
+            return Ok(()); // client closed
+        }
+        while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            line.pop();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        match parse_command(&line) {
+            Ok(Command::Quit) => return Ok(()),
+            Ok(command) => {
+                if !execute(command, &mut reader, &mut writer, shared)? {
+                    return Ok(());
+                }
+            }
+            Err(err) => {
+                writeln_crlf(&mut writer, &err.to_string())?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+/// Executes one command; returns false when the connection should close.
+fn execute<R: Read, W: Write>(
+    command: Command,
+    reader: &mut BufReader<R>,
+    writer: &mut BufWriter<W>,
+    shared: &Arc<Shared>,
+) -> io::Result<bool> {
+    match command {
+        Command::Get { keys } => {
+            for key in keys {
+                let hit = shared.store.get(&key);
+                if let Some(result) = hit {
+                    write_value(writer, &key, &result.value, result.flags)?;
+                }
+            }
+            writeln_crlf(writer, "END")?;
+        }
+        Command::IqGet { key } => {
+            let hit = shared.store.get(&key);
+            match hit {
+                Some(result) => {
+                    write_value(writer, &key, &result.value, result.flags)?;
+                }
+                None => {
+                    // Register the miss time for the cost computation.
+                    shared
+                        .iq_misses
+                        .lock()
+                        .insert(key.clone(), Instant::now());
+                }
+            }
+            writeln_crlf(writer, "END")?;
+        }
+        Command::Set { header } => {
+            let data = read_data_block(reader, header.bytes)?;
+            let response = apply_set(&header, &data, shared);
+            writeln_crlf(writer, response)?;
+        }
+        Command::Delete { key } => {
+            let deleted = shared.store.delete(&key);
+            writeln_crlf(writer, if deleted { "DELETED" } else { "NOT_FOUND" })?;
+        }
+        Command::Arith { key, delta, up } => {
+            let result = if up {
+                shared.store.incr(&key, delta)
+            } else {
+                shared.store.decr(&key, delta)
+            };
+            match result {
+                Some(value) => writeln_crlf(writer, &value.to_string())?,
+                None => writeln_crlf(writer, "NOT_FOUND")?,
+            }
+        }
+        Command::Touch { key, exptime } => {
+            let touched = shared.store.touch(&key, expiry_to_absolute(exptime));
+            writeln_crlf(writer, if touched { "TOUCHED" } else { "NOT_FOUND" })?;
+        }
+        Command::FlushAll => {
+            shared.store.flush_all();
+            shared.iq_misses.lock().clear();
+            writeln_crlf(writer, "OK")?;
+        }
+        Command::Version => {
+            writeln_crlf(
+                writer,
+                concat!("VERSION camp-kvs/", env!("CARGO_PKG_VERSION")),
+            )?;
+        }
+        Command::Stats => {
+            let (stats, len, census) = (
+                shared.store.stats(),
+                shared.store.len(),
+                shared.store.slab_census(),
+            );
+            writeln_crlf(writer, &format!("STAT curr_items {len}"))?;
+            writeln_crlf(writer, &format!("STAT get_hits {}", stats.get_hits))?;
+            writeln_crlf(writer, &format!("STAT get_misses {}", stats.get_misses))?;
+            writeln_crlf(writer, &format!("STAT cmd_set {}", stats.sets))?;
+            writeln_crlf(writer, &format!("STAT evictions {}", stats.evictions))?;
+            writeln_crlf(
+                writer,
+                &format!("STAT slab_reassignments {}", stats.slab_reassignments),
+            )?;
+            writeln_crlf(writer, &format!("STAT slab_reclaims {}", stats.slab_reclaims))?;
+            writeln_crlf(writer, &format!("STAT expired {}", stats.expired))?;
+            for (chunk_size, slabs, items) in census {
+                if slabs > 0 {
+                    writeln_crlf(
+                        writer,
+                        &format!("STAT slab_class:{chunk_size} slabs={slabs} items={items}"),
+                    )?;
+                }
+            }
+            writeln_crlf(writer, "END")?;
+        }
+        Command::Quit => return Ok(false),
+    }
+    writer.flush()?;
+    Ok(true)
+}
+
+fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static str {
+    let iq = header.verb == SetVerb::IqSet;
+    // Cost: explicit hint, else the IQ registry's elapsed time, else 0.
+    let cost = match header.cost_hint {
+        Some(hint) => hint,
+        None if iq => {
+            let started = shared.iq_misses.lock().remove(&header.key);
+            started
+                .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
+                .unwrap_or(0)
+        }
+        None => 0,
+    };
+    if iq && header.cost_hint.is_some() {
+        // The hint supersedes the registry entry.
+        shared.iq_misses.lock().remove(&header.key);
+    }
+    let expires_at = expiry_to_absolute(header.exptime);
+    let result = match header.verb {
+        SetVerb::Set | SetVerb::IqSet => shared
+            .store
+            .set(&header.key, data, header.flags, expires_at, cost)
+            .map(|()| true),
+        SetVerb::Add => shared
+            .store
+            .add(&header.key, data, header.flags, expires_at, cost),
+        SetVerb::Replace => shared
+            .store
+            .replace(&header.key, data, header.flags, expires_at, cost),
+    };
+    match result {
+        Ok(true) => "STORED",
+        Ok(false) => "NOT_STORED",
+        Err(StoreError::ValueTooLarge { .. }) => "SERVER_ERROR object too large for cache",
+        Err(StoreError::OutOfMemory) => "SERVER_ERROR out of memory storing object",
+    }
+}
+
+/// Memcached expiry semantics: 0 = never; values up to 30 days are
+/// relative seconds; larger values are absolute unix timestamps.
+fn expiry_to_absolute(exptime: u64) -> u64 {
+    const THIRTY_DAYS: u64 = 60 * 60 * 24 * 30;
+    if exptime == 0 {
+        0
+    } else if exptime <= THIRTY_DAYS {
+        unix_now() + exptime
+    } else {
+        exptime
+    }
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn read_data_block<R: Read>(reader: &mut BufReader<R>, bytes: usize) -> io::Result<Vec<u8>> {
+    let mut data = vec![0u8; bytes];
+    reader.read_exact(&mut data)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "data block not terminated by CRLF",
+        ));
+    }
+    Ok(data)
+}
+
+fn write_value<W: Write>(
+    writer: &mut BufWriter<W>,
+    key: &[u8],
+    value: &[u8],
+    flags: u32,
+) -> io::Result<()> {
+    writer.write_all(b"VALUE ")?;
+    writer.write_all(key)?;
+    write!(writer, " {flags} {}\r\n", value.len())?;
+    writer.write_all(value)?;
+    writer.write_all(b"\r\n")
+}
+
+fn writeln_crlf<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slab::SlabConfig;
+    use crate::store::EvictionMode;
+    use camp_core::Precision;
+
+    fn test_server() -> Server {
+        Server::start(
+            "127.0.0.1:0",
+            StoreConfig {
+                slab: SlabConfig::small(16 * 1024, 8),
+                eviction: EvictionMode::Camp(Precision::Bits(5)),
+            },
+        )
+        .expect("bind test server")
+    }
+
+    #[test]
+    fn expiry_semantics() {
+        assert_eq!(expiry_to_absolute(0), 0);
+        let relative = expiry_to_absolute(60);
+        assert!(relative > unix_now() + 50 && relative <= unix_now() + 61);
+        assert_eq!(expiry_to_absolute(4_000_000_000), 4_000_000_000);
+    }
+
+    #[test]
+    fn starts_and_shuts_down_cleanly() {
+        let server = test_server();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+        server.shutdown();
+        // After shutdown the port stops accepting new work (either refused
+        // outright or closed immediately after accept).
+    }
+
+    #[test]
+    fn raw_socket_session() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"set hello 5 0 5\r\nworld\r\nget hello\r\nquit\r\n")
+            .unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.contains("STORED"), "{text}");
+        assert!(text.contains("VALUE hello 5 5"), "{text}");
+        assert!(text.contains("world"), "{text}");
+        assert!(text.contains("END"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_command_gets_client_error() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"bogus\r\nquit\r\n").unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        assert!(String::from_utf8_lossy(&response).contains("CLIENT_ERROR"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,330 @@
+//! Hash-partitioned store sharding — the paper's §4.1 vertical-scaling
+//! recipe.
+//!
+//! "CAMP may represent each LRU queue as multiple physical queues and hash
+//! partition keys across these physical queues to further enhance
+//! concurrent access." [`ShardedStore`] applies that idea one level up:
+//! keys are hash-partitioned across `N` independent [`Store`]s, each with
+//! its own slab arena, CAMP instance and lock, so threads operating on
+//! different shards never contend. Each shard runs the full eviction
+//! policy over its partition; with a uniform hash, the per-shard `L` terms
+//! advance in lockstep and global eviction quality is preserved to within
+//! partition noise (measured by the `extension-policies` experiments and
+//! the concurrency tests).
+
+use std::hash::{BuildHasher, RandomState};
+
+use parking_lot::Mutex;
+
+use crate::slab::SlabConfig;
+use crate::store::{GetResult, Store, StoreConfig, StoreError, StoreStats};
+
+/// A store partitioned over independent, individually locked shards.
+///
+/// # Examples
+///
+/// ```
+/// use camp_kvs::shard::ShardedStore;
+/// use camp_kvs::store::StoreConfig;
+///
+/// let store = ShardedStore::new(StoreConfig::camp_with_memory(8 << 20), 4);
+/// store.set(b"k", b"v", 0, 0, 10)?;
+/// assert_eq!(store.get(b"k").expect("resident").value, b"v");
+/// # Ok::<(), camp_kvs::store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Mutex<Store>>,
+    hasher: RandomState,
+}
+
+impl ShardedStore {
+    /// Creates `shards` independent stores, dividing the slab budget of
+    /// `config` evenly (each shard receives at least one slab).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(config: StoreConfig, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        let per_shard_slabs = (config.slab.max_slabs / shards as u32).max(1);
+        let shard_config = StoreConfig {
+            slab: SlabConfig {
+                max_slabs: per_shard_slabs,
+                ..config.slab
+            },
+            eviction: config.eviction,
+        };
+        ShardedStore {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Store::new(shard_config)))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Store> {
+        
+        
+        let index = (self.hasher.hash_one(key) % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Looks up `key` in its shard (recency updated there).
+    pub fn get(&self, key: &[u8]) -> Option<GetResult> {
+        self.shard_for(key).lock().get(key)
+    }
+
+    /// Stores a pair in its shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`StoreError`].
+    pub fn set(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        expires_at: u64,
+        cost: u64,
+    ) -> Result<(), StoreError> {
+        self.shard_for(key).lock().set(key, value, flags, expires_at, cost)
+    }
+
+    /// Deletes `key` from its shard.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.shard_for(key).lock().delete(key)
+    }
+
+    /// Stores only if absent (`add`), atomically within the shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`StoreError`].
+    pub fn add(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        expires_at: u64,
+        cost: u64,
+    ) -> Result<bool, StoreError> {
+        self.shard_for(key).lock().add(key, value, flags, expires_at, cost)
+    }
+
+    /// Stores only if present (`replace`), atomically within the shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`StoreError`].
+    pub fn replace(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        expires_at: u64,
+        cost: u64,
+    ) -> Result<bool, StoreError> {
+        self.shard_for(key)
+            .lock()
+            .replace(key, value, flags, expires_at, cost)
+    }
+
+    /// Atomic numeric increment within the shard.
+    pub fn incr(&self, key: &[u8], delta: u64) -> Option<u64> {
+        self.shard_for(key).lock().incr(key, delta)
+    }
+
+    /// Atomic numeric decrement within the shard (floored at zero).
+    pub fn decr(&self, key: &[u8], delta: u64) -> Option<u64> {
+        self.shard_for(key).lock().decr(key, delta)
+    }
+
+    /// Updates a resident key's expiry.
+    pub fn touch(&self, key: &[u8], expires_at: u64) -> bool {
+        self.shard_for(key).lock().touch(key, expires_at)
+    }
+
+    /// Drops every item from every shard.
+    pub fn flush_all(&self) {
+        for shard in &self.shards {
+            shard.lock().flush_all();
+        }
+    }
+
+    /// Whether `key` is resident.
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.shard_for(key).lock().contains(key)
+    }
+
+    /// Total live items across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters across shards.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.get_hits += s.get_hits;
+            total.get_misses += s.get_misses;
+            total.sets += s.sets;
+            total.deletes += s.deletes;
+            total.evictions += s.evictions;
+            total.slab_reassignments += s.slab_reassignments;
+            total.slab_reclaims += s.slab_reclaims;
+            total.expired += s.expired;
+        }
+        total
+    }
+
+    /// Aggregated slab census `(chunk_size, slabs, items)` across shards.
+    #[must_use]
+    pub fn slab_census(&self) -> Vec<(u32, usize, u64)> {
+        let mut merged: std::collections::BTreeMap<u32, (usize, u64)> = Default::default();
+        for shard in &self.shards {
+            for (chunk_size, slabs, items) in shard.lock().slab_census() {
+                let entry = merged.entry(chunk_size).or_default();
+                entry.0 += slabs;
+                entry.1 += items;
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(chunk, (slabs, items))| (chunk, slabs, items))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EvictionMode;
+    use camp_core::Precision;
+    use std::sync::Arc;
+
+    fn sharded(shards: usize) -> ShardedStore {
+        ShardedStore::new(
+            StoreConfig {
+                slab: SlabConfig::small(16 * 1024, 16),
+                eviction: EvictionMode::Camp(Precision::Bits(5)),
+            },
+            shards,
+        )
+    }
+
+    #[test]
+    fn basic_roundtrip_across_shards() {
+        let store = sharded(4);
+        for i in 0..100u32 {
+            let key = format!("key-{i}");
+            store.set(key.as_bytes(), format!("v{i}").as_bytes(), 0, 0, 1).unwrap();
+        }
+        assert_eq!(store.len(), 100);
+        for i in 0..100u32 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                store.get(key.as_bytes()).unwrap().value,
+                format!("v{i}").as_bytes()
+            );
+        }
+        assert!(store.delete(b"key-50"));
+        assert!(!store.contains(b"key-50"));
+        assert_eq!(store.len(), 99);
+        let stats = store.stats();
+        assert_eq!(stats.sets, 100);
+        assert_eq!(stats.get_hits, 100);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace_reasonably() {
+        let store = sharded(8);
+        for i in 0..800u32 {
+            let key = format!("key-{i}");
+            store.set(key.as_bytes(), b"x", 0, 0, 1).unwrap();
+        }
+        // No shard should be empty with 800 uniform keys over 8 shards.
+        for shard in &store.shards {
+            let len = shard.lock().len();
+            assert!(len > 30, "suspiciously unbalanced shard: {len}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_safe_and_consistent() {
+        let store = Arc::new(sharded(4));
+        let threads: Vec<_> = (0..8)
+            .map(|worker: u64| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut state = worker + 1;
+                    for _ in 0..2_000 {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let key = format!("k{}", state % 500);
+                        match state % 4 {
+                            0 => {
+                                store
+                                    .set(key.as_bytes(), &[0u8; 64], 0, 0, state % 1000)
+                                    .unwrap();
+                            }
+                            1 => {
+                                store.delete(key.as_bytes());
+                            }
+                            _ => {
+                                let _ = store.get(key.as_bytes());
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // The aggregate remains coherent.
+        let stats = store.stats();
+        assert!(stats.sets > 0);
+        assert_eq!(
+            store.len() as u64,
+            store
+                .slab_census()
+                .iter()
+                .map(|&(_, _, items)| items)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn single_shard_matches_plain_store_semantics() {
+        let store = sharded(1);
+        store.set(b"a", b"1", 0, 0, 10).unwrap();
+        store.set(b"a", b"2", 0, 0, 10).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"a").unwrap().value, b"2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedStore::new(StoreConfig::camp_with_memory(1 << 20), 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end tests: real TCP server, real client, real slab memory.
+
+use camp_core::Precision;
+use camp_kvs::client::Client;
+use camp_kvs::replay::replay_trace;
+use camp_kvs::server::Server;
+use camp_kvs::slab::SlabConfig;
+use camp_kvs::store::{EvictionMode, StoreConfig};
+use camp_workload::BgConfig;
+
+fn start(eviction: EvictionMode, slab_size: u32, slabs: u32) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        StoreConfig {
+            slab: SlabConfig::small(slab_size, slabs),
+            eviction,
+        },
+    )
+    .expect("bind server")
+}
+
+#[test]
+fn set_get_delete_over_the_wire() {
+    let server = start(EvictionMode::Camp(Precision::Bits(5)), 16 * 1024, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    assert!(client.get(b"missing").unwrap().is_none());
+    assert!(client.set(b"alpha", b"value-one", 42, 0).unwrap());
+    let value = client.get(b"alpha").unwrap().expect("stored");
+    assert_eq!(value.data, b"value-one");
+    assert_eq!(value.flags, 42);
+
+    assert!(client.delete(b"alpha").unwrap());
+    assert!(!client.delete(b"alpha").unwrap());
+    assert!(client.get(b"alpha").unwrap().is_none());
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn iq_cycle_records_cost_via_timestamps() {
+    let server = start(EvictionMode::Camp(Precision::Bits(5)), 16 * 1024, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Miss arms the timer.
+    assert!(client.iqget(b"expensive").unwrap().is_none());
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    // The set computes cost = elapsed micros (no hint).
+    assert!(client.iqset(b"expensive", b"v", 0, 0, None).unwrap());
+    assert!(client.iqget(b"expensive").unwrap().is_some());
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn stats_reflect_activity() {
+    let server = start(EvictionMode::Lru, 16 * 1024, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set(b"a", b"1", 0, 0).unwrap();
+    client.set(b"b", b"2", 0, 0).unwrap();
+    client.get(b"a").unwrap();
+    client.get(b"nope").unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["curr_items"], "2");
+    assert_eq!(stats["cmd_set"], "2");
+    assert_eq!(stats["get_hits"], "1");
+    assert_eq!(stats["get_misses"], "1");
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn multiple_concurrent_clients() {
+    let server = start(EvictionMode::Camp(Precision::Bits(5)), 64 * 1024, 8);
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4)
+        .map(|worker: u32| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..50u32 {
+                    let key = format!("w{worker}-k{i}");
+                    assert!(client
+                        .set(key.as_bytes(), format!("value-{i}").as_bytes(), 0, 0)
+                        .unwrap());
+                    let got = client.get(key.as_bytes()).unwrap().unwrap();
+                    assert_eq!(got.data, format!("value-{i}").as_bytes());
+                }
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(server.len(), 200);
+    server.shutdown();
+}
+
+#[test]
+fn camp_server_beats_lru_server_on_cost_miss() {
+    // A scaled-down Figure 9a: replay the same three-tier-cost trace
+    // against an LRU server and a CAMP server with identical memory.
+    let trace = BgConfig::paper_scaled(400, 15_000, 77).generate();
+
+    let run = |mode: EvictionMode| {
+        let server = start(mode, 64 * 1024, 16);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let report = replay_trace(&mut client, &trace).unwrap();
+        client.quit().unwrap();
+        server.shutdown();
+        report
+    };
+
+    let lru = run(EvictionMode::Lru);
+    let camp = run(EvictionMode::Camp(Precision::Bits(5)));
+
+    assert!(lru.requests == trace.len() && camp.requests == trace.len());
+    assert!(camp.misses > 0, "cache must be under pressure for the test");
+    assert!(
+        camp.cost_miss_ratio() <= lru.cost_miss_ratio() + 0.02,
+        "camp {:.4} should not lose to lru {:.4}",
+        camp.cost_miss_ratio(),
+        lru.cost_miss_ratio()
+    );
+    assert!(
+        camp.cost_miss_ratio() < lru.cost_miss_ratio() * 0.9,
+        "camp {:.4} should clearly beat lru {:.4} on three-tier costs",
+        camp.cost_miss_ratio(),
+        lru.cost_miss_ratio()
+    );
+}
+
+#[test]
+fn server_survives_value_too_large() {
+    let server = start(EvictionMode::Lru, 4096, 2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Larger than a slab: rejected but the connection stays healthy.
+    assert!(!client.set(b"big", &vec![0u8; 8192], 0, 0).unwrap());
+    assert!(client.set(b"ok", b"fine", 0, 0).unwrap());
+    assert_eq!(client.get(b"ok").unwrap().unwrap().data, b"fine");
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn sharded_server_handles_concurrent_clients() {
+    let server = Server::start_sharded(
+        "127.0.0.1:0",
+        StoreConfig {
+            slab: SlabConfig::small(64 * 1024, 16),
+            eviction: EvictionMode::Camp(Precision::Bits(5)),
+        },
+        4,
+    )
+    .expect("bind sharded server");
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..8)
+        .map(|worker: u32| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..100u32 {
+                    let key = format!("w{worker}-k{i}");
+                    assert!(client
+                        .set(key.as_bytes(), format!("value-{worker}-{i}").as_bytes(), 0, 0)
+                        .unwrap());
+                    let got = client.get(key.as_bytes()).unwrap().unwrap();
+                    assert_eq!(got.data, format!("value-{worker}-{i}").as_bytes());
+                    if i % 7 == 0 {
+                        assert!(client.delete(key.as_bytes()).unwrap());
+                    }
+                }
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // 8 workers x 100 keys, 15 deleted each (i % 7 == 0 for i in 0..100).
+    assert_eq!(server.len(), 8 * (100 - 15));
+    server.shutdown();
+}
+
+#[test]
+fn sharded_and_unsharded_servers_agree_on_replay_quality() {
+    let trace = BgConfig::paper_scaled(300, 8_000, 55).generate();
+    // Each shard needs enough slabs to populate its size classes — too few
+    // slabs per shard fragments the memory and thrashes.
+    let run = |shards: usize| {
+        let server = Server::start_sharded(
+            "127.0.0.1:0",
+            StoreConfig {
+                slab: SlabConfig::small(8 * 1024, 64),
+                eviction: EvictionMode::Camp(Precision::Bits(5)),
+            },
+            shards,
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let report = replay_trace(&mut client, &trace).unwrap();
+        client.quit().unwrap();
+        server.shutdown();
+        report.cost_miss_ratio()
+    };
+    let unsharded = run(1);
+    let sharded = run(4);
+    // Hash partitioning adds noise but must not change the outcome class.
+    assert!(
+        (sharded - unsharded).abs() < 0.15,
+        "sharded {sharded:.4} vs unsharded {unsharded:.4}"
+    );
+}
+
+#[test]
+fn extended_commands_over_the_wire() {
+    let server = start(EvictionMode::Camp(Precision::Bits(5)), 16 * 1024, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // add / replace semantics.
+    assert!(client.add(b"k", b"first", 0, 0).unwrap());
+    assert!(!client.add(b"k", b"second", 0, 0).unwrap());
+    assert_eq!(client.get(b"k").unwrap().unwrap().data, b"first");
+    assert!(client.replace(b"k", b"third", 0, 0).unwrap());
+    assert!(!client.replace(b"absent", b"x", 0, 0).unwrap());
+    assert_eq!(client.get(b"k").unwrap().unwrap().data, b"third");
+
+    // incr / decr.
+    client.set(b"counter", b"41", 0, 0).unwrap();
+    assert_eq!(client.incr(b"counter", 1).unwrap(), Some(42));
+    assert_eq!(client.decr(b"counter", 100).unwrap(), Some(0));
+    assert_eq!(client.incr(b"nope", 1).unwrap(), None);
+    assert_eq!(client.incr(b"k", 1).unwrap(), None, "non-numeric value");
+
+    // touch.
+    client.set(b"ttl", b"v", 0, 3600).unwrap();
+    assert!(client.touch(b"ttl", 7200).unwrap());
+    assert!(!client.touch(b"missing", 60).unwrap());
+
+    // version and flush_all.
+    assert!(client.version().unwrap().starts_with("VERSION camp-kvs/"));
+    client.flush_all().unwrap();
+    assert!(client.get(b"k").unwrap().is_none());
+    assert_eq!(server.len(), 0);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn malformed_data_block_closes_only_that_connection() {
+    use std::io::{Read, Write};
+    let server = start(EvictionMode::Lru, 16 * 1024, 8);
+    let addr = server.local_addr();
+
+    // A set whose data block is not CRLF-terminated: the connection is
+    // dropped (protocol desync), but the server survives.
+    {
+        let mut bad = std::net::TcpStream::connect(addr).unwrap();
+        bad.write_all(b"set k 0 0 5\r\nhelloXX").unwrap();
+        bad.shutdown(std::net::Shutdown::Write).ok();
+        let mut sink = Vec::new();
+        let _ = bad.read_to_end(&mut sink);
+    }
+
+    // A fresh client works fine afterwards.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.set(b"alive", b"yes", 0, 0).unwrap());
+    assert_eq!(client.get(b"alive").unwrap().unwrap().data, b"yes");
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn huge_announced_length_is_survivable() {
+    use std::io::{Read, Write};
+    let server = start(EvictionMode::Lru, 16 * 1024, 8);
+    let addr = server.local_addr();
+    {
+        // Announce 10 bytes but send fewer and close: read_exact fails and
+        // the connection ends without storing anything.
+        let mut bad = std::net::TcpStream::connect(addr).unwrap();
+        bad.write_all(b"set partial 0 0 10\r\nabc").unwrap();
+        bad.shutdown(std::net::Shutdown::Write).ok();
+        let mut sink = Vec::new();
+        let _ = bad.read_to_end(&mut sink);
+    }
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.get(b"partial").unwrap().is_none());
+    client.quit().unwrap();
+    server.shutdown();
+}

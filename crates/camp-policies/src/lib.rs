@@ -1,0 +1,69 @@
+//! # camp-policies — eviction policies around CAMP
+//!
+//! The shared [`EvictionPolicy`] trait plus every replacement algorithm the
+//! CAMP paper evaluates against or surveys:
+//!
+//! * [`Lru`] — the size-aware LRU baseline (§3);
+//! * [`Gds`] — exact Greedy Dual Size, the algorithm CAMP approximates (§2);
+//! * [`PooledLru`] — the human-partitioned multi-pool baseline (§3, ref 18);
+//! * [`LruK`], [`TwoQ`], [`Arc`] — the recency/frequency adaptive policies
+//!   from the related-work discussion (§5);
+//! * [`GdWheel`] — the other GDS approximation the paper compares itself to
+//!   in prose (§5, ref 14);
+//! * [`Gdsf`] (the Squid proxy's frequency-aware GDS variant) and [`Lfu`]
+//!   — extension baselines beyond the paper's own set;
+//! * [`BeladyMin`] — a clairvoyant offline reference bound;
+//! * [`admission`] — admission-control wrappers (the paper's future work,
+//!   §6).
+//!
+//! The CAMP algorithm itself lives in [`camp_core`] and implements
+//! [`EvictionPolicy`] through this crate, so all policies are drop-in
+//! interchangeable in the simulator and benchmarks.
+//!
+//! ```
+//! use camp_core::{Camp, Precision};
+//! use camp_policies::{CacheRequest, EvictionPolicy, Gds, Lru};
+//!
+//! let mut policies: Vec<Box<dyn EvictionPolicy>> = vec![
+//!     Box::new(Camp::<u64, ()>::new(1 << 16, Precision::Bits(5))),
+//!     Box::new(Lru::new(1 << 16)),
+//!     Box::new(Gds::new(1 << 16)),
+//! ];
+//! let mut evicted = Vec::new();
+//! for policy in &mut policies {
+//!     policy.reference(CacheRequest::new(7, 128, 10), &mut evicted);
+//!     assert!(policy.contains(7));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod arc;
+pub mod gd_wheel;
+pub mod gds;
+pub mod gdsf;
+pub mod lfu;
+pub mod lru;
+pub mod lru_k;
+pub mod offline;
+pub mod policy;
+pub mod pooled_lru;
+pub mod two_q;
+
+mod util;
+
+pub use crate::admission::{Admission, AdmissionRule};
+pub use crate::arc::Arc;
+pub use crate::gd_wheel::GdWheel;
+pub use crate::gds::Gds;
+pub use crate::gdsf::Gdsf;
+pub use crate::lfu::Lfu;
+pub use crate::lru::Lru;
+pub use crate::lru_k::LruK;
+pub use crate::offline::BeladyMin;
+pub use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+pub use crate::pooled_lru::{PooledLru, PoolSplit};
+pub use crate::two_q::TwoQ;

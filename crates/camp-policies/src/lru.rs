@@ -1,0 +1,250 @@
+//! Size-aware LRU: the paper's primary baseline.
+//!
+//! Classic least-recently-used eviction with byte accounting: a miss inserts
+//! at the MRU end; when space runs out, entries are evicted from the LRU end
+//! regardless of cost or size. Built on the same arena + intrusive list as
+//! CAMP's queues, so per-operation costs are directly comparable.
+
+use std::collections::HashMap;
+
+use camp_core::arena::{Arena, EntryId};
+use camp_core::lru_list::{Linked, Links, LruList};
+
+use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    size: u64,
+    links: Links,
+}
+
+impl Linked for Entry {
+    fn links(&self) -> &Links {
+        &self.links
+    }
+    fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+}
+
+/// A byte-capacity LRU cache over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use camp_policies::{CacheRequest, EvictionPolicy, Lru};
+///
+/// let mut lru = Lru::new(100);
+/// let mut evicted = Vec::new();
+/// lru.reference(CacheRequest::new(1, 60, 0), &mut evicted);
+/// lru.reference(CacheRequest::new(2, 40, 0), &mut evicted);
+/// // Referencing key 1 refreshes it, so key 2 is the LRU victim.
+/// lru.reference(CacheRequest::new(1, 60, 0), &mut evicted);
+/// lru.reference(CacheRequest::new(3, 40, 0), &mut evicted);
+/// assert_eq!(evicted, vec![2]);
+/// ```
+#[derive(Debug)]
+pub struct Lru {
+    map: HashMap<u64, EntryId>,
+    arena: Arena<Entry>,
+    list: LruList,
+    capacity: u64,
+    used: u64,
+}
+
+impl Lru {
+    /// Creates an LRU cache with the given byte capacity.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        Lru {
+            map: HashMap::new(),
+            arena: Arena::new(),
+            list: LruList::new(),
+            capacity,
+            used: 0,
+        }
+    }
+
+    /// The key next in line for eviction, if any.
+    #[must_use]
+    pub fn victim(&self) -> Option<u64> {
+        self.list
+            .front()
+            .and_then(|id| self.arena.get(id))
+            .map(|e| e.key)
+    }
+
+    /// Iterates over resident keys from LRU to MRU.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.list
+            .iter(&self.arena)
+            .filter_map(|id| self.arena.get(id).map(|e| e.key))
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+        let Some(id) = self.list.pop_front(&mut self.arena) else {
+            return false;
+        };
+        let entry = self.arena.remove(id).expect("live LRU head");
+        self.map.remove(&entry.key);
+        self.used -= entry.size;
+        evicted.push(entry.key);
+        true
+    }
+
+    fn detach(&mut self, key: u64) -> Option<u64> {
+        let id = self.map.remove(&key)?;
+        self.list.unlink(&mut self.arena, id);
+        let entry = self.arena.remove(id).expect("live entry");
+        self.used -= entry.size;
+        Some(entry.size)
+    }
+}
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> String {
+        "lru".to_owned()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+        assert!(req.size > 0, "key-value pairs have positive size");
+        if let Some(&id) = self.map.get(&req.key) {
+            self.list.move_to_back(&mut self.arena, id);
+            return AccessOutcome::Hit;
+        }
+        if req.size > self.capacity {
+            return AccessOutcome::MissBypassed;
+        }
+        while self.used + req.size > self.capacity {
+            let ok = self.evict_one(evicted);
+            debug_assert!(ok, "byte accounting out of sync");
+        }
+        let id = self.arena.insert(Entry {
+            key: req.key,
+            size: req.size,
+            links: Links::new(),
+        });
+        self.list.push_back(&mut self.arena, id);
+        self.map.insert(req.key, id);
+        self.used += req.size;
+        AccessOutcome::MissInserted
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        self.detach(key).is_some()
+    }
+
+    fn queue_count(&self) -> Option<usize> {
+        Some(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(lru: &mut Lru, key: u64, size: u64) -> (AccessOutcome, Vec<u64>) {
+        let mut evicted = Vec::new();
+        let out = lru.reference(CacheRequest::new(key, size, 0), &mut evicted);
+        (out, evicted)
+    }
+
+    #[test]
+    fn evicts_in_recency_order() {
+        let mut lru = Lru::new(30);
+        touch(&mut lru, 1, 10);
+        touch(&mut lru, 2, 10);
+        touch(&mut lru, 3, 10);
+        let (_, ev) = touch(&mut lru, 4, 10);
+        assert_eq!(ev, vec![1]);
+        let (_, ev) = touch(&mut lru, 5, 10);
+        assert_eq!(ev, vec![2]);
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut lru = Lru::new(30);
+        touch(&mut lru, 1, 10);
+        touch(&mut lru, 2, 10);
+        touch(&mut lru, 3, 10);
+        let (out, _) = touch(&mut lru, 1, 10);
+        assert_eq!(out, AccessOutcome::Hit);
+        let (_, ev) = touch(&mut lru, 4, 10);
+        assert_eq!(ev, vec![2]);
+        assert!(lru.contains(1));
+    }
+
+    #[test]
+    fn large_insert_evicts_several() {
+        let mut lru = Lru::new(30);
+        touch(&mut lru, 1, 10);
+        touch(&mut lru, 2, 10);
+        touch(&mut lru, 3, 10);
+        let (out, ev) = touch(&mut lru, 4, 25);
+        assert_eq!(out, AccessOutcome::MissInserted);
+        assert_eq!(ev, vec![1, 2, 3]);
+        assert_eq!(lru.used_bytes(), 25);
+    }
+
+    #[test]
+    fn oversized_request_bypasses() {
+        let mut lru = Lru::new(30);
+        touch(&mut lru, 1, 10);
+        let (out, ev) = touch(&mut lru, 2, 31);
+        assert_eq!(out, AccessOutcome::MissBypassed);
+        assert!(ev.is_empty());
+        assert!(lru.contains(1));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut lru = Lru::new(30);
+        touch(&mut lru, 1, 10);
+        touch(&mut lru, 2, 20);
+        assert!(EvictionPolicy::remove(&mut lru, 1));
+        assert!(!EvictionPolicy::remove(&mut lru, 1));
+        assert_eq!(lru.used_bytes(), 20);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn iter_and_victim_follow_lru_order() {
+        let mut lru = Lru::new(100);
+        for k in 1..=4 {
+            touch(&mut lru, k, 10);
+        }
+        touch(&mut lru, 2, 10); // refresh 2
+        assert_eq!(lru.iter().collect::<Vec<_>>(), vec![1, 3, 4, 2]);
+        assert_eq!(lru.victim(), Some(1));
+    }
+
+    #[test]
+    fn ignores_cost_entirely() {
+        // LRU's defining weakness in the paper: it evicts the expensive pair
+        // as readily as a cheap one.
+        let mut lru = Lru::new(30);
+        let mut evicted = Vec::new();
+        lru.reference(CacheRequest::new(1, 10, 1_000_000), &mut evicted);
+        lru.reference(CacheRequest::new(2, 10, 1), &mut evicted);
+        lru.reference(CacheRequest::new(3, 10, 1), &mut evicted);
+        lru.reference(CacheRequest::new(4, 10, 1), &mut evicted);
+        assert_eq!(evicted, vec![1]);
+    }
+}

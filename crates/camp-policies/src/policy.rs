@@ -1,0 +1,215 @@
+//! The common interface every eviction policy in this workspace implements.
+//!
+//! The paper's simulator (§3) drives each algorithm the same way: a request
+//! generator references a key; on a miss it inserts the missing pair, which
+//! may evict residents. [`EvictionPolicy::reference`] captures exactly that
+//! interaction, so CAMP, LRU, GDS, Pooled-LRU and the related-work policies
+//! are interchangeable inside the simulator, the KVS server, the tests, and
+//! the benchmark harness.
+
+use camp_core::{Camp, InsertOutcome};
+
+/// One key reference as it appears in a trace row: the key, the byte size of
+/// its value, and the cost to (re)compute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheRequest {
+    /// Trace-wide unique key identifier.
+    pub key: u64,
+    /// Value size in bytes (positive).
+    pub size: u64,
+    /// Cost of computing the pair (non-negative integer, as in the paper).
+    pub cost: u64,
+}
+
+impl CacheRequest {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(key: u64, size: u64, cost: u64) -> Self {
+        CacheRequest { key, size, cost }
+    }
+}
+
+/// What a [`EvictionPolicy::reference`] call observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// The key was resident: a cache hit.
+    Hit,
+    /// The key was absent and has been inserted (possibly evicting others).
+    MissInserted,
+    /// The key was absent and was *not* admitted (too large, or declined by
+    /// an admission policy).
+    MissBypassed,
+}
+
+impl AccessOutcome {
+    /// Whether this outcome is a miss (inserted or bypassed).
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A cache eviction policy driven by a stream of key references.
+///
+/// Implementations manage a fixed byte budget. `reference` performs the
+/// paper's get-then-insert-on-miss cycle in one call and reports evicted
+/// keys through the caller-supplied buffer (so hot loops can reuse one
+/// allocation).
+pub trait EvictionPolicy {
+    /// Short, stable, human-readable policy name (e.g. `"camp(p=5)"`).
+    fn name(&self) -> String;
+
+    /// The byte capacity this policy manages.
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently occupied.
+    fn used_bytes(&self) -> u64;
+
+    /// Number of resident keys.
+    fn len(&self) -> usize;
+
+    /// Whether no keys are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is resident, without updating recency.
+    fn contains(&self, key: u64) -> bool;
+
+    /// References `req.key`: a hit updates recency metadata; a miss inserts
+    /// the pair, appending any evicted keys to `evicted`.
+    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome;
+
+    /// Removes `key` if resident. Returns whether it was.
+    fn remove(&mut self, key: u64) -> bool;
+
+    /// Number of internal queues/pools, for policies where that is a
+    /// meaningful quantity (CAMP: non-empty LRU queues; Pooled-LRU: pools).
+    fn queue_count(&self) -> Option<usize> {
+        None
+    }
+
+    /// Heap nodes visited so far, for heap-based policies (the Figure 4
+    /// metric).
+    fn heap_node_visits(&self) -> Option<u64> {
+        None
+    }
+
+    /// Structural heap operations performed so far.
+    fn heap_update_ops(&self) -> Option<u64> {
+        None
+    }
+
+    /// Resets instrumentation counters (not the cache contents).
+    fn reset_instrumentation(&mut self) {}
+}
+
+/// [`EvictionPolicy`] for the real thing: a [`Camp`] cache over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use camp_core::{Camp, Precision};
+/// use camp_policies::{CacheRequest, EvictionPolicy};
+///
+/// let mut camp: Camp<u64, ()> = Camp::new(1000, Precision::Bits(5));
+/// let mut evicted = Vec::new();
+/// let outcome = camp.reference(CacheRequest::new(1, 100, 5), &mut evicted);
+/// assert!(outcome.is_miss());
+/// assert!(EvictionPolicy::contains(&camp, 1));
+/// ```
+impl EvictionPolicy for Camp<u64, ()> {
+    fn name(&self) -> String {
+        format!("camp(p={})", self.precision())
+    }
+
+    fn capacity(&self) -> u64 {
+        Camp::capacity(self)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        Camp::used_bytes(self)
+    }
+
+    fn len(&self) -> usize {
+        Camp::len(self)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        Camp::contains(self, &key)
+    }
+
+    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+        if self.get(&req.key).is_some() {
+            return AccessOutcome::Hit;
+        }
+        let mut pairs = Vec::new();
+        let outcome =
+            self.insert_with_evictions(req.key, (), req.size, req.cost, &mut pairs);
+        evicted.extend(pairs.into_iter().map(|(k, ())| k));
+        match outcome {
+            InsertOutcome::RejectedTooLarge => AccessOutcome::MissBypassed,
+            _ => AccessOutcome::MissInserted,
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        Camp::remove(self, &key).is_some()
+    }
+
+    fn queue_count(&self) -> Option<usize> {
+        Some(Camp::queue_count(self))
+    }
+
+    fn heap_node_visits(&self) -> Option<u64> {
+        Some(Camp::heap_node_visits(self))
+    }
+
+    fn heap_update_ops(&self) -> Option<u64> {
+        Some(Camp::heap_update_ops(self))
+    }
+
+    fn reset_instrumentation(&mut self) {
+        Camp::reset_instrumentation(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_core::Precision;
+
+    #[test]
+    fn camp_implements_the_trait() {
+        let mut camp: Camp<u64, ()> = Camp::new(100, Precision::Bits(5));
+        let mut evicted = Vec::new();
+        assert_eq!(
+            camp.reference(CacheRequest::new(1, 60, 10), &mut evicted),
+            AccessOutcome::MissInserted
+        );
+        assert_eq!(
+            camp.reference(CacheRequest::new(1, 60, 10), &mut evicted),
+            AccessOutcome::Hit
+        );
+        assert_eq!(
+            camp.reference(CacheRequest::new(2, 60, 10), &mut evicted),
+            AccessOutcome::MissInserted
+        );
+        assert_eq!(evicted, vec![1]);
+        assert_eq!(
+            camp.reference(CacheRequest::new(3, 101, 10), &mut evicted),
+            AccessOutcome::MissBypassed
+        );
+        assert!(EvictionPolicy::remove(&mut camp, 2));
+        assert!(!EvictionPolicy::remove(&mut camp, 2));
+        assert_eq!(EvictionPolicy::len(&camp), 0);
+        assert!(camp.name().starts_with("camp"));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(!AccessOutcome::Hit.is_miss());
+        assert!(AccessOutcome::MissInserted.is_miss());
+        assert!(AccessOutcome::MissBypassed.is_miss());
+    }
+}

@@ -1,0 +1,43 @@
+//! Small shared internals for the policy implementations.
+
+/// Allocates dense `u32` ids with recycling, for use as heap ids.
+#[derive(Debug, Default)]
+pub(crate) struct IdAllocator {
+    next: u32,
+    free: Vec<u32>,
+}
+
+impl IdAllocator {
+    pub(crate) fn allocate(&mut self) -> u32 {
+        if let Some(id) = self.free.pop() {
+            id
+        } else {
+            let id = self.next;
+            self.next = self
+                .next
+                .checked_add(1)
+                .expect("id space exhausted");
+            id
+        }
+    }
+
+    pub(crate) fn release(&mut self, id: u32) {
+        self.free.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_dense_and_recycles() {
+        let mut alloc = IdAllocator::default();
+        assert_eq!(alloc.allocate(), 0);
+        assert_eq!(alloc.allocate(), 1);
+        assert_eq!(alloc.allocate(), 2);
+        alloc.release(1);
+        assert_eq!(alloc.allocate(), 1);
+        assert_eq!(alloc.allocate(), 3);
+    }
+}

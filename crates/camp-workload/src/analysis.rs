@@ -1,0 +1,258 @@
+//! Trace analysis: the statistics that justify a synthetic trace.
+//!
+//! DESIGN.md's substitution argument rests on the generated traces having
+//! the paper's stated shape — "approximately 70% of requests referencing
+//! 20% of keys", per-key-stable sizes/costs, three (or a continuum of)
+//! cost tiers. This module measures those properties on any [`Trace`], so
+//! the claim is checkable rather than asserted, and so users feeding their
+//! *own* trace files in can see what the algorithms will face.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// Popularity skew measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct SkewReport {
+    /// Fraction of requests going to the most popular 20% of keys — the
+    /// paper's headline skew statistic.
+    pub top20_request_share: f64,
+    /// Fraction of requests going to the most popular 1% of keys.
+    pub top1_request_share: f64,
+    /// Number of distinct keys.
+    pub unique_keys: usize,
+    /// Requests per key, averaged.
+    pub mean_references_per_key: f64,
+}
+
+/// Cost-structure measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct CostReport {
+    /// Number of distinct cost values.
+    pub distinct_costs: usize,
+    /// Smallest and largest cost.
+    pub cost_range: (u64, u64),
+    /// Share of the *total request cost* carried by each of the (up to 8)
+    /// most expensive distinct cost values, descending.
+    pub top_cost_shares: Vec<(u64, f64)>,
+    /// Whether every key kept one cost for the whole trace (the paper's
+    /// invariant).
+    pub costs_stable_per_key: bool,
+    /// Whether every key kept one size for the whole trace.
+    pub sizes_stable_per_key: bool,
+}
+
+/// Reference-locality measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct LocalityReport {
+    /// Median reuse distance (number of intervening requests between
+    /// consecutive references to the same key), over re-references.
+    pub median_reuse_distance: u64,
+    /// 90th-percentile reuse distance.
+    pub p90_reuse_distance: u64,
+    /// Fraction of requests that are re-references (non-cold).
+    pub rereference_share: f64,
+}
+
+/// Measures popularity skew.
+///
+/// # Examples
+///
+/// ```
+/// use camp_workload::analysis::skew_report;
+/// use camp_workload::BgConfig;
+///
+/// let trace = BgConfig::paper_scaled(5_000, 100_000, 1).generate();
+/// let skew = skew_report(&trace);
+/// // The paper's 70/20 configuration:
+/// assert!((0.62..0.80).contains(&skew.top20_request_share));
+/// ```
+#[must_use]
+pub fn skew_report(trace: &Trace) -> SkewReport {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for r in trace {
+        *counts.entry(r.key).or_default() += 1;
+    }
+    let mut freqs: Vec<u64> = counts.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = freqs.iter().sum();
+    let share = |fraction: f64| -> f64 {
+        if freqs.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let take = ((freqs.len() as f64 * fraction).ceil() as usize).max(1);
+        let top: u64 = freqs[..take.min(freqs.len())].iter().sum();
+        top as f64 / total as f64
+    };
+    SkewReport {
+        top20_request_share: share(0.20),
+        top1_request_share: share(0.01),
+        unique_keys: freqs.len(),
+        mean_references_per_key: if freqs.is_empty() {
+            0.0
+        } else {
+            total as f64 / freqs.len() as f64
+        },
+    }
+}
+
+/// Measures the cost structure and the per-key stability invariants.
+#[must_use]
+pub fn cost_report(trace: &Trace) -> CostReport {
+    let mut cost_totals: HashMap<u64, u64> = HashMap::new();
+    let mut per_key: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut costs_stable = true;
+    let mut sizes_stable = true;
+    let (mut min_cost, mut max_cost) = (u64::MAX, 0u64);
+    for r in trace {
+        *cost_totals.entry(r.cost).or_default() += r.cost;
+        min_cost = min_cost.min(r.cost);
+        max_cost = max_cost.max(r.cost);
+        match per_key.get(&r.key) {
+            Some(&(size, cost)) => {
+                if cost != r.cost {
+                    costs_stable = false;
+                }
+                if size != r.size {
+                    sizes_stable = false;
+                }
+            }
+            None => {
+                per_key.insert(r.key, (r.size, r.cost));
+            }
+        }
+    }
+    let grand_total: u64 = cost_totals.values().sum();
+    let mut shares: Vec<(u64, f64)> = cost_totals
+        .iter()
+        .map(|(&cost, &total)| (cost, total as f64 / grand_total.max(1) as f64))
+        .collect();
+    shares.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+    shares.truncate(8);
+    CostReport {
+        distinct_costs: cost_totals.len(),
+        cost_range: if trace.is_empty() {
+            (0, 0)
+        } else {
+            (min_cost, max_cost)
+        },
+        top_cost_shares: shares,
+        costs_stable_per_key: costs_stable,
+        sizes_stable_per_key: sizes_stable,
+    }
+}
+
+/// Measures reuse distances (temporal locality).
+#[must_use]
+pub fn locality_report(trace: &Trace) -> LocalityReport {
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    let mut distances: Vec<u64> = Vec::new();
+    for (i, r) in trace.iter().enumerate() {
+        if let Some(&prev) = last_seen.get(&r.key) {
+            distances.push((i - prev - 1) as u64);
+        }
+        last_seen.insert(r.key, i);
+    }
+    distances.sort_unstable();
+    // Nearest-rank percentile: the smallest value with at least q of the
+    // mass at or below it.
+    let percentile = |q: f64| -> u64 {
+        if distances.is_empty() {
+            0
+        } else {
+            let rank = (q * distances.len() as f64).ceil() as usize;
+            distances[rank.clamp(1, distances.len()) - 1]
+        }
+    };
+    LocalityReport {
+        median_reuse_distance: percentile(0.5),
+        p90_reuse_distance: percentile(0.9),
+        rereference_share: if trace.is_empty() {
+            0.0
+        } else {
+            distances.len() as f64 / trace.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bg::BgConfig;
+    use crate::trace::TraceRecord;
+
+    #[test]
+    fn paper_trace_matches_its_advertised_shape() {
+        let trace = BgConfig::paper_scaled(10_000, 150_000, 7).generate();
+        let skew = skew_report(&trace);
+        assert!(
+            (0.62..0.80).contains(&skew.top20_request_share),
+            "70/20 skew off: {skew:?}"
+        );
+        let cost = cost_report(&trace);
+        assert_eq!(cost.distinct_costs, 3);
+        assert_eq!(cost.cost_range, (1, 10_000));
+        assert!(cost.costs_stable_per_key);
+        assert!(cost.sizes_stable_per_key);
+        // The 10K tier dominates total cost (the property Pooled-LRU's
+        // cost-proportional split exploits).
+        assert_eq!(cost.top_cost_shares[0].0, 10_000);
+        assert!(cost.top_cost_shares[0].1 > 0.9);
+        let locality = locality_report(&trace);
+        assert!(locality.rereference_share > 0.8);
+        assert!(locality.median_reuse_distance < locality.p90_reuse_distance);
+    }
+
+    #[test]
+    fn uniform_trace_has_no_skew() {
+        let trace = BgConfig {
+            skew: crate::bg::Skew::Uniform,
+            ..BgConfig::paper_scaled(1_000, 50_000, 3)
+        }
+        .generate();
+        let skew = skew_report(&trace);
+        assert!(
+            skew.top20_request_share < 0.30,
+            "uniform trace showed skew: {skew:?}"
+        );
+    }
+
+    #[test]
+    fn instability_is_detected() {
+        let trace = Trace::from_records(vec![
+            TraceRecord::new(1, 10, 5),
+            TraceRecord::new(1, 10, 9), // cost changed!
+        ]);
+        let cost = cost_report(&trace);
+        assert!(!cost.costs_stable_per_key);
+        assert!(cost.sizes_stable_per_key);
+    }
+
+    #[test]
+    fn empty_trace_reports_are_zeroed() {
+        let trace = Trace::default();
+        assert_eq!(skew_report(&trace).unique_keys, 0);
+        assert_eq!(cost_report(&trace).distinct_costs, 0);
+        assert_eq!(locality_report(&trace).rereference_share, 0.0);
+    }
+
+    #[test]
+    fn reuse_distance_computation() {
+        // keys: a . . a -> distance 2; b b -> distance 0.
+        let trace = Trace::from_records(vec![
+            TraceRecord::new(1, 10, 1),
+            TraceRecord::new(2, 10, 1),
+            TraceRecord::new(2, 10, 1),
+            TraceRecord::new(1, 10, 1),
+        ]);
+        let report = locality_report(&trace);
+        assert_eq!(report.rereference_share, 0.5);
+        assert_eq!(report.median_reuse_distance, 0);
+        assert_eq!(report.p90_reuse_distance, 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! `tracegen` — generate and inspect CAMP trace files.
+//!
+//! ```text
+//! tracegen generate --out trace.txt [--members N] [--requests N] [--seed N]
+//!                   [--workload three-tier|variable-size|equi-size|rdbms]
+//! tracegen evolving --out trace.txt --traces 10 [--members N] [--requests N] [--seed N]
+//! tracegen info trace.txt
+//! ```
+
+use std::process::ExitCode;
+
+use camp_workload::analysis::{cost_report, locality_report, skew_report};
+use camp_workload::{evolving_workload, ActionSpec, BgConfig, CostModel, SizeModel, Trace};
+
+fn usage() -> &'static str {
+    "usage:\n  tracegen generate --out FILE [--members N] [--requests N] [--seed N]\n                    [--workload three-tier|variable-size|equi-size|rdbms]\n  tracegen evolving --out FILE --traces N [--members N] [--requests N] [--seed N]\n  tracegen info FILE\n"
+}
+
+struct Options {
+    out: Option<String>,
+    members: u64,
+    requests: usize,
+    seed: u64,
+    workload: String,
+    traces: u32,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        out: None,
+        members: 20_000,
+        requests: 400_000,
+        seed: 2014,
+        workload: "three-tier".to_owned(),
+        traces: 10,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            iter.next().ok_or(format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => options.out = Some(value("--out")?.clone()),
+            "--members" => {
+                options.members = value("--members")?
+                    .parse()
+                    .map_err(|_| "bad --members")?;
+            }
+            "--requests" => {
+                options.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "bad --requests")?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?;
+            }
+            "--workload" => options.workload = value("--workload")?.clone(),
+            "--traces" => {
+                options.traces = value("--traces")?.parse().map_err(|_| "bad --traces")?;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn config_for(options: &Options) -> Result<BgConfig, String> {
+    let base = match options.workload.as_str() {
+        "three-tier" => BgConfig::paper_scaled(options.members, options.requests, options.seed),
+        "variable-size" => BgConfig::variable_size_constant_cost(
+            options.members,
+            options.requests,
+            options.seed,
+        ),
+        "equi-size" => {
+            BgConfig::equi_size_variable_cost(options.members, options.requests, options.seed)
+        }
+        "rdbms" => BgConfig {
+            actions: vec![ActionSpec::new(
+                "kv-reference",
+                1.0,
+                SizeModel::bg_default(),
+                CostModel::rdbms_default(),
+            )],
+            ..BgConfig::paper_scaled(options.members, options.requests, options.seed)
+        },
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    Ok(base)
+}
+
+fn print_info(trace: &Trace) {
+    let stats = trace.stats();
+    println!("requests          : {}", stats.requests);
+    println!("unique keys       : {}", stats.unique_keys);
+    println!(
+        "unique bytes      : {} ({:.1} MiB)",
+        stats.unique_bytes,
+        stats.unique_bytes as f64 / (1 << 20) as f64
+    );
+    println!("sizes             : {}..{} bytes", stats.min_size, stats.max_size);
+    println!("distinct costs    : {}", stats.distinct_costs);
+    println!("total cost        : {}", stats.total_cost);
+    let skew = skew_report(trace);
+    println!(
+        "skew              : top-20% of keys take {:.1}% of requests (top-1%: {:.1}%)",
+        skew.top20_request_share * 100.0,
+        skew.top1_request_share * 100.0
+    );
+    let cost = cost_report(trace);
+    println!(
+        "per-key stability : costs {} / sizes {}",
+        if cost.costs_stable_per_key { "stable" } else { "UNSTABLE" },
+        if cost.sizes_stable_per_key { "stable" } else { "UNSTABLE" },
+    );
+    for (value, share) in &cost.top_cost_shares {
+        println!("  cost {value:>10} carries {:.1}% of total cost", share * 100.0);
+    }
+    let locality = locality_report(trace);
+    println!(
+        "locality          : {:.1}% re-references, reuse distance median {} / p90 {}",
+        locality.rereference_share * 100.0,
+        locality.median_reuse_distance,
+        locality.p90_reuse_distance
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "generate" | "evolving" => {
+            let options = match parse_options(&args[1..]) {
+                Ok(options) => options,
+                Err(message) => {
+                    eprintln!("{message}\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(out) = options.out.clone() else {
+                eprintln!("--out is required\n\n{}", usage());
+                return ExitCode::FAILURE;
+            };
+            let config = match config_for(&options) {
+                Ok(config) => config,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace = if command == "evolving" {
+                evolving_workload(&config, options.traces)
+            } else {
+                config.generate()
+            };
+            if let Err(error) = trace.save(&out) {
+                eprintln!("failed to write {out}: {error}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} rows to {out}", trace.len());
+            print_info(&trace);
+            ExitCode::SUCCESS
+        }
+        "info" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("info requires a file\n\n{}", usage());
+                return ExitCode::FAILURE;
+            };
+            match Trace::load(path) {
+                Ok(trace) => {
+                    print_info(&trace);
+                    ExitCode::SUCCESS
+                }
+                Err(error) => {
+                    eprintln!("failed to read {path}: {error}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "--help" | "-h" => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # camp-workload — BG-like trace generation for CAMP experiments
+//!
+//! The CAMP paper evaluates on traces produced by the BG social-networking
+//! benchmark: ~4M rows of `(key, size, cost)` references with 70%-of-requests
+//! -to-20%-of-keys skew and per-key-stable sizes and costs. This crate
+//! regenerates traces with the same statistical shape, entirely in process
+//! and seeded for bit-for-bit reproducibility:
+//!
+//! * [`zipf`] — skewed popularity samplers (Zipf and exact hot/cold 70/20);
+//! * [`models`] — per-key stable size and cost models, including the paper's
+//!   synthetic `{1, 100, 10K}` costs and an RDBMS-latency surrogate;
+//! * [`bg`] — the BG-like generator with an interactive-action mix;
+//! * [`trace`] — trace records, statistics, and a plain-text file codec;
+//! * [`multi`] — disjoint multi-trace concatenation for the §3.1 evolving
+//!   access-pattern experiments;
+//! * [`analysis`] — skew/cost/locality reports that verify a trace has the
+//!   paper's advertised shape;
+//! * [`drift`] — gradually rotating hot sets, the smooth counterpart to the
+//!   §3.1 abrupt shifts.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use camp_workload::BgConfig;
+//!
+//! // A scaled-down version of the paper's headline trace.
+//! let trace = BgConfig::paper_scaled(10_000, 50_000, 42).generate();
+//! let stats = trace.stats();
+//! assert_eq!(stats.requests, 50_000);
+//! // Cache-size *ratios* divide by this:
+//! assert!(stats.unique_bytes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod bg;
+pub mod drift;
+pub mod models;
+pub mod multi;
+pub mod trace;
+pub mod zipf;
+
+pub use crate::bg::{ActionSpec, BgConfig, Skew};
+pub use crate::drift::DriftConfig;
+pub use crate::models::{CostModel, SizeModel};
+pub use crate::multi::{concat_disjoint, evolving_workload};
+pub use crate::trace::{ParseTraceError, Trace, TraceRecord, TraceStats};

@@ -1,0 +1,301 @@
+//! Per-key size and cost models.
+//!
+//! The paper fixes a key-value pair's size and cost for the lifetime of a
+//! trace ("Once a cost is assigned to a key-value pair, it remains in effect
+//! for the entire trace"). Both models here are therefore *pure functions of
+//! the key* (plus the generator seed): sampling the same key twice always
+//! yields the same size and cost, without storing per-key state.
+//!
+//! The concrete models cover every workload in the evaluation:
+//!
+//! * [`CostModel::ThreeTier`] — the synthetic `{1, 100, 10K}` costs with
+//!   equal probability (Figures 4–6, 9);
+//! * [`CostModel::Constant`] — identical costs (Figure 7);
+//! * [`CostModel::LogUniform`] — many distinct cost values over a wide range
+//!   (Figure 8's "equi-sized pairs with varying costs");
+//! * [`CostModel::ServiceTime`] — a lognormal RDBMS query-latency surrogate
+//!   for the paper's "cost is the time required to compute the pair by
+//!   issuing queries to the RDBMS";
+//! * [`SizeModel::Fixed`], [`SizeModel::Uniform`], [`SizeModel::LogNormal`]
+//!   — equi-sized and variable-sized values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mixes a key id and a stream label into a per-key RNG seed
+/// (SplitMix64-style finalizer).
+fn key_seed(seed: u64, key: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn key_rng(seed: u64, key: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(key_seed(seed, key, stream))
+}
+
+/// Samples a standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// How value sizes are assigned to keys.
+///
+/// # Examples
+///
+/// ```
+/// use camp_workload::models::SizeModel;
+///
+/// let model = SizeModel::Uniform { min: 100, max: 1000 };
+/// let a = model.size_of(42, 7);
+/// // Deterministic per key:
+/// assert_eq!(a, model.size_of(42, 7));
+/// assert!((100..=1000).contains(&a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// Every value has exactly this many bytes (Figure 8's equi-sized
+    /// pairs).
+    Fixed(u64),
+    /// Sizes uniform in `min..=max`.
+    Uniform {
+        /// Smallest size in bytes (must be positive).
+        min: u64,
+        /// Largest size in bytes.
+        max: u64,
+    },
+    /// Lognormal sizes — the heavy-tailed shape of real KVS values — clamped
+    /// to `min..=max`.
+    LogNormal {
+        /// Location parameter of `ln(size)`.
+        mu: f64,
+        /// Scale parameter of `ln(size)`.
+        sigma: f64,
+        /// Lower clamp in bytes (must be positive).
+        min: u64,
+        /// Upper clamp in bytes.
+        max: u64,
+    },
+}
+
+impl SizeModel {
+    /// The paper's BG-like profile: lognormal around ~1 KiB, 64 B – 64 KiB.
+    #[must_use]
+    pub fn bg_default() -> Self {
+        SizeModel::LogNormal {
+            mu: 6.9, // e^6.9 ~ 992 bytes
+            sigma: 0.8,
+            min: 64,
+            max: 64 * 1024,
+        }
+    }
+
+    /// The size of `key`'s value under generator seed `seed`.
+    /// Deterministic: the same `(seed, key)` always yields the same size.
+    #[must_use]
+    pub fn size_of(&self, seed: u64, key: u64) -> u64 {
+        match *self {
+            SizeModel::Fixed(bytes) => bytes.max(1),
+            SizeModel::Uniform { min, max } => {
+                debug_assert!(min >= 1 && min <= max);
+                key_rng(seed, key, 1).random_range(min..=max)
+            }
+            SizeModel::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
+                let mut rng = key_rng(seed, key, 1);
+                let sample = (mu + sigma * standard_normal(&mut rng)).exp();
+                (sample as u64).clamp(min.max(1), max)
+            }
+        }
+    }
+}
+
+/// How recomputation costs are assigned to keys.
+///
+/// # Examples
+///
+/// ```
+/// use camp_workload::models::CostModel;
+///
+/// let model = CostModel::paper_three_tier();
+/// let cost = model.cost_of(42, 99);
+/// assert!([1, 100, 10_000].contains(&cost));
+/// assert_eq!(cost, model.cost_of(42, 99)); // stable per key
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Every key has this cost (Figure 7).
+    Constant(u64),
+    /// Each key draws one value from the list with equal probability — the
+    /// paper's synthetic `{1, 100, 10K}` assignment.
+    ThreeTier(Vec<u64>),
+    /// Costs log-uniform in `min..=max`: many distinct values across orders
+    /// of magnitude (Figure 8).
+    LogUniform {
+        /// Smallest cost (must be positive).
+        min: u64,
+        /// Largest cost.
+        max: u64,
+    },
+    /// A lognormal RDBMS service-time surrogate, in microseconds, clamped to
+    /// `min..=max`. Stands in for the paper's measured query latencies.
+    ServiceTime {
+        /// Location parameter of `ln(cost)`.
+        mu: f64,
+        /// Scale parameter of `ln(cost)`.
+        sigma: f64,
+        /// Lower clamp.
+        min: u64,
+        /// Upper clamp.
+        max: u64,
+    },
+}
+
+impl CostModel {
+    /// The paper's synthetic `{1, 100, 10K}` cost assignment.
+    #[must_use]
+    pub fn paper_three_tier() -> Self {
+        CostModel::ThreeTier(vec![1, 100, 10_000])
+    }
+
+    /// An RDBMS-latency-like surrogate: median ~3 ms, spread over roughly
+    /// 0.1 ms – 10 s, in microseconds.
+    #[must_use]
+    pub fn rdbms_default() -> Self {
+        CostModel::ServiceTime {
+            mu: 8.0, // e^8 ~ 3 ms in microseconds
+            sigma: 1.5,
+            min: 100,
+            max: 10_000_000,
+        }
+    }
+
+    /// The cost of computing `key`'s value under generator seed `seed`.
+    /// Deterministic: the same `(seed, key)` always yields the same cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `ThreeTier` list is empty.
+    #[must_use]
+    pub fn cost_of(&self, seed: u64, key: u64) -> u64 {
+        match self {
+            CostModel::Constant(cost) => *cost,
+            CostModel::ThreeTier(values) => {
+                assert!(!values.is_empty(), "cost tier list must be non-empty");
+                let idx = key_rng(seed, key, 2).random_range(0..values.len());
+                values[idx]
+            }
+            CostModel::LogUniform { min, max } => {
+                debug_assert!(*min >= 1 && min <= max);
+                let mut rng = key_rng(seed, key, 2);
+                let (lo, hi) = ((*min as f64).ln(), (*max as f64).ln());
+                let sample = (lo + (hi - lo) * rng.random::<f64>()).exp();
+                (sample as u64).clamp(*min, *max)
+            }
+            CostModel::ServiceTime {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
+                let mut rng = key_rng(seed, key, 2);
+                let sample = (mu + sigma * standard_normal(&mut rng)).exp();
+                (sample as u64).clamp((*min).max(1), *max)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_stable_per_key() {
+        for model in [
+            SizeModel::Fixed(512),
+            SizeModel::Uniform { min: 10, max: 99 },
+            SizeModel::bg_default(),
+        ] {
+            for key in 0..50 {
+                assert_eq!(model.size_of(7, key), model.size_of(7, key));
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let model = SizeModel::Uniform { min: 10, max: 20 };
+        for key in 0..200 {
+            let s = model.size_of(1, key);
+            assert!((10..=20).contains(&s));
+        }
+        let model = SizeModel::bg_default();
+        for key in 0..200 {
+            let s = model.size_of(1, key);
+            assert!((64..=65536).contains(&s));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let model = SizeModel::Uniform { min: 1, max: 1_000_000 };
+        let same = (0..100)
+            .filter(|&k| model.size_of(1, k) == model.size_of(2, k))
+            .count();
+        assert!(same < 5, "seeds should decorrelate assignments: {same}");
+    }
+
+    #[test]
+    fn three_tier_is_roughly_uniform_over_tiers() {
+        let model = CostModel::paper_three_tier();
+        let mut counts = [0u64; 3];
+        for key in 0..30_000u64 {
+            match model.cost_of(5, key) {
+                1 => counts[0] += 1,
+                100 => counts[1] += 1,
+                10_000 => counts[2] += 1,
+                other => panic!("unexpected cost {other}"),
+            }
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "tier imbalance: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn log_uniform_spans_orders_of_magnitude() {
+        let model = CostModel::LogUniform { min: 1, max: 100_000 };
+        let costs: Vec<u64> = (0..5_000).map(|k| model.cost_of(3, k)).collect();
+        assert!(costs.iter().any(|&c| c < 10));
+        assert!(costs.iter().any(|&c| c > 10_000));
+        let distinct: std::collections::HashSet<u64> = costs.iter().copied().collect();
+        assert!(distinct.len() > 1000, "expected many distinct costs");
+    }
+
+    #[test]
+    fn service_time_is_clamped_and_stable() {
+        let model = CostModel::rdbms_default();
+        for key in 0..500 {
+            let c = model.cost_of(11, key);
+            assert!((100..=10_000_000).contains(&c));
+            assert_eq!(c, model.cost_of(11, key));
+        }
+    }
+
+    #[test]
+    fn constant_cost_is_constant() {
+        let model = CostModel::Constant(42);
+        assert!((0..100).all(|k| model.cost_of(9, k) == 42));
+    }
+}

@@ -1,0 +1,142 @@
+//! Multi-trace concatenation: the §3.1 evolving-access-pattern workload.
+//!
+//! The paper's adaptation experiment runs ten 4M-row traces back to back,
+//! where "requests from different traces are given distinct identification,
+//! so any request from a given trace file will never be requested again
+//! after that trace" — a sudden, total shift of the working set at every
+//! boundary. [`concat_disjoint`] stitches traces together with disjoint key
+//! namespaces and per-source `trace_id`s (which the simulator's occupancy
+//! tracker uses for Figures 6c/6d), and [`evolving_workload`] builds the
+//! whole ten-trace sequence from one configuration.
+
+use crate::bg::BgConfig;
+use crate::trace::{Trace, TraceRecord};
+
+/// Concatenates traces, remapping keys into disjoint namespaces and
+/// stamping each row with the index of its source trace.
+///
+/// Keys are offset so that trace `i`'s keys occupy
+/// `[offset_i, offset_i + max_key_i]`, where offsets accumulate; the
+/// original relative key structure within each trace is preserved.
+///
+/// # Examples
+///
+/// ```
+/// use camp_workload::multi::concat_disjoint;
+/// use camp_workload::trace::{Trace, TraceRecord};
+///
+/// let a = Trace::from_records(vec![TraceRecord::new(0, 10, 1)]);
+/// let b = Trace::from_records(vec![TraceRecord::new(0, 20, 2)]);
+/// let joined = concat_disjoint([a, b]);
+/// assert_eq!(joined.len(), 2);
+/// let keys: Vec<u64> = joined.iter().map(|r| r.key).collect();
+/// assert_ne!(keys[0], keys[1], "keys from different traces must not collide");
+/// assert_eq!(joined.records()[1].trace_id, 1);
+/// ```
+#[must_use]
+pub fn concat_disjoint<I: IntoIterator<Item = Trace>>(traces: I) -> Trace {
+    let mut records = Vec::new();
+    let mut offset = 0u64;
+    for (index, trace) in traces.into_iter().enumerate() {
+        let mut max_key = 0u64;
+        for r in &trace {
+            max_key = max_key.max(r.key);
+            records.push(TraceRecord {
+                key: offset + r.key,
+                size: r.size,
+                cost: r.cost,
+                trace_id: u32::try_from(index).expect("too many traces"),
+            });
+        }
+        if !trace.is_empty() {
+            offset += max_key + 1;
+        }
+    }
+    Trace::from_records(records)
+}
+
+/// Builds the §3.1 evolving workload: `count` copies of `base`, each with a
+/// different seed (so the key *populations* differ, not just ids), joined
+/// with disjoint key spaces.
+///
+/// # Examples
+///
+/// ```
+/// use camp_workload::bg::BgConfig;
+/// use camp_workload::multi::evolving_workload;
+///
+/// let base = BgConfig::paper_scaled(200, 1_000, 7);
+/// let trace = evolving_workload(&base, 3);
+/// assert_eq!(trace.len(), 3_000);
+/// ```
+#[must_use]
+pub fn evolving_workload(base: &BgConfig, count: u32) -> Trace {
+    let traces = (0..count).map(|i| {
+        BgConfig {
+            seed: base.seed.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9)),
+            ..base.clone()
+        }
+        .generate()
+    });
+    concat_disjoint(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_spaces_are_disjoint() {
+        let base = BgConfig::paper_scaled(300, 2_000, 11);
+        let joined = evolving_workload(&base, 4);
+        let mut per_trace: Vec<std::collections::HashSet<u64>> =
+            vec![Default::default(); 4];
+        for r in &joined {
+            per_trace[r.trace_id as usize].insert(r.key);
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    per_trace[i].is_disjoint(&per_trace[j]),
+                    "traces {i} and {j} share keys"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_preserved_and_ids_ascend() {
+        let base = BgConfig::paper_scaled(100, 500, 3);
+        let joined = evolving_workload(&base, 3);
+        assert_eq!(joined.len(), 1500);
+        let ids: Vec<u32> = joined.iter().map(|r| r.trace_id).collect();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ids[0], 0);
+        assert_eq!(*ids.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_populations() {
+        let base = BgConfig::paper_scaled(100, 500, 3);
+        let joined = evolving_workload(&base, 2);
+        // Re-subtract the offsets: the two traces should differ in content,
+        // not only in namespace.
+        let first: Vec<(u64, u64)> = joined
+            .iter()
+            .filter(|r| r.trace_id == 0)
+            .map(|r| (r.size, r.cost))
+            .collect();
+        let second: Vec<(u64, u64)> = joined
+            .iter()
+            .filter(|r| r.trace_id == 1)
+            .map(|r| (r.size, r.cost))
+            .collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn empty_traces_are_tolerated() {
+        let joined = concat_disjoint([Trace::default(), Trace::default()]);
+        assert!(joined.is_empty());
+    }
+}

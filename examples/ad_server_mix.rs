@@ -1,0 +1,88 @@
+//! The paper's introductory scenario: two applications sharing one cache.
+//!
+//! "One shows the profile of members while a second determines the displayed
+//! advertisements. There may exist millions of key-value pairs corresponding
+//! to different member profiles, each computed using a simple database
+//! look-up […]. The second application may consist of thousands of key-value
+//! pairs computed using a machine-learning algorithm that […] required hours
+//! of execution."
+//!
+//! This example shows CAMP partitioning memory between the two *without*
+//! the human-configured pools the paper's baseline needs — and re-balancing
+//! on its own when the ad models stop being referenced.
+//!
+//! Run with `cargo run --release --example ad_server_mix`.
+
+use camp::core::{Camp, Precision};
+use camp::policies::{CacheRequest, EvictionPolicy, Lru};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PROFILE_SIZE: u64 = 1_024; // ~1 KiB database rows
+const PROFILE_COST: u64 = 5; // milliseconds: a simple lookup
+const MODEL_SIZE: u64 = 65_536; // 64 KiB ML models
+const MODEL_COST: u64 = 3_600_000; // milliseconds: hours of training
+
+const PROFILES: u64 = 50_000;
+const MODELS: u64 = 200;
+const MODEL_KEY_BASE: u64 = 1 << 32;
+
+fn mixed_request(rng: &mut StdRng, ad_share: f64) -> CacheRequest {
+    if rng.random::<f64>() < ad_share {
+        let key = MODEL_KEY_BASE + rng.random_range(0..MODELS);
+        CacheRequest::new(key, MODEL_SIZE, MODEL_COST)
+    } else {
+        CacheRequest::new(rng.random_range(0..PROFILES), PROFILE_SIZE, PROFILE_COST)
+    }
+}
+
+fn run(policy: &mut dyn EvictionPolicy, phases: &[(usize, f64)]) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut evicted = Vec::new();
+    for &(requests, ad_share) in phases {
+        let (mut missed_cost, mut total_cost) = (0u64, 0u64);
+        for _ in 0..requests {
+            let req = mixed_request(&mut rng, ad_share);
+            evicted.clear();
+            let outcome = policy.reference(req, &mut evicted);
+            total_cost += req.cost;
+            if outcome.is_miss() {
+                missed_cost += req.cost;
+            }
+        }
+        // How much memory each application holds at the end of the phase.
+        let model_bytes: u64 = (0..MODELS)
+            .filter(|&m| policy.contains(MODEL_KEY_BASE + m))
+            .count() as u64
+            * MODEL_SIZE;
+        println!(
+            "  phase(ad_share={ad_share:.0e}): cost-miss {:>6.4}, ad-model memory {:>5.1}%",
+            missed_cost as f64 / total_cost.max(1) as f64,
+            100.0 * model_bytes as f64 / policy.capacity() as f64,
+        );
+    }
+}
+
+fn main() {
+    // Memory holds ~10% of the profiles plus all models, but something has
+    // to give: the cache is heavily contended.
+    let capacity = PROFILES / 10 * PROFILE_SIZE + MODELS * MODEL_SIZE / 2;
+
+    // Phase 1+2: ads are 1% of traffic (but ~all of the cost).
+    // Phase 3: the ad application is decommissioned (share 0) — CAMP must
+    // hand its memory back to the profiles without reconfiguration.
+    let phases = [(200_000, 0.01), (200_000, 0.01), (400_000, 0.0)];
+
+    println!("capacity: {:.1} MiB", capacity as f64 / (1 << 20) as f64);
+    println!("LRU (cost-blind):");
+    let mut lru = Lru::new(capacity);
+    run(&mut lru, &phases);
+
+    println!("CAMP (p=5, no pools, no operator):");
+    let mut camp: Camp<u64, ()> = Camp::new(capacity, Precision::Bits(5));
+    run(&mut camp, &phases);
+
+    println!();
+    println!("CAMP keeps the hours-to-recompute ad models resident while ads run,");
+    println!("then ages them out once the application is gone — no repartitioning.");
+}

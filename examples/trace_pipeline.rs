@@ -1,0 +1,57 @@
+//! The file-based workflow: generate a trace, persist it, validate its
+//! shape, and replay it through the simulator — the loop a researcher
+//! evaluating their own traces would follow (swap step 1 for your own
+//! trace file in the same `key size cost [trace_id]` text format).
+//!
+//! Run with `cargo run --release --example trace_pipeline`.
+
+use camp::core::{Camp, Precision};
+use camp::policies::{EvictionPolicy, Gds, Lru};
+use camp::sim::simulate;
+use camp::workload::analysis::{cost_report, locality_report, skew_report};
+use camp::workload::{BgConfig, Trace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate (or bring your own trace file).
+    let path = std::env::temp_dir().join("camp-pipeline.trace");
+    let trace = BgConfig::paper_scaled(10_000, 200_000, 7).generate();
+    trace.save(&path)?;
+    println!("wrote {} rows to {}", trace.len(), path.display());
+
+    // 2. Reload: everything downstream works off the file alone.
+    let trace = Trace::load(&path)?;
+
+    // 3. Validate the workload shape before trusting any results.
+    let skew = skew_report(&trace);
+    let cost = cost_report(&trace);
+    let locality = locality_report(&trace);
+    println!(
+        "shape: top-20% keys take {:.1}% of requests, {} distinct costs, \
+         {:.0}% re-references",
+        skew.top20_request_share * 100.0,
+        cost.distinct_costs,
+        locality.rereference_share * 100.0,
+    );
+    assert!(cost.costs_stable_per_key, "per-key cost stability violated");
+
+    // 4. Simulate at a quarter of the working set.
+    let capacity = trace.stats().unique_bytes / 4;
+    let mut policies: Vec<Box<dyn EvictionPolicy>> = vec![
+        Box::new(Camp::<u64, ()>::new(capacity, Precision::Bits(5))),
+        Box::new(Gds::new(capacity)),
+        Box::new(Lru::new(capacity)),
+    ];
+    println!("\n{:<12} {:>10} {:>10}", "policy", "cost-miss", "miss-rate");
+    for policy in &mut policies {
+        let report = simulate(policy.as_mut(), &trace);
+        println!(
+            "{:<12} {:>10.4} {:>10.4}",
+            report.policy,
+            report.metrics.cost_miss_ratio(),
+            report.metrics.miss_rate(),
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

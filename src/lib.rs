@@ -1,0 +1,34 @@
+//! # camp — a reproduction of *CAMP: A Cost Adaptive Multi-Queue Eviction
+//! Policy for Key-Value Stores* (Middleware 2014)
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] ([`camp_core`]) — the CAMP algorithm itself;
+//! * [`policies`] ([`camp_policies`]) — LRU, GDS, Pooled-LRU, LRU-K, 2Q,
+//!   ARC, GD-Wheel, Belady-MIN and admission control behind one trait;
+//! * [`workload`] ([`camp_workload`]) — BG-like trace generation;
+//! * [`sim`] ([`camp_sim`]) — the trace-driven simulator of the paper's §3;
+//! * [`kvs`] ([`camp_kvs`]) — the Twemcache-like server of the paper's §4.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use camp::core::{Camp, Precision};
+//! use camp::sim::simulate;
+//! use camp::workload::BgConfig;
+//!
+//! let trace = BgConfig::paper_scaled(1_000, 20_000, 42).generate();
+//! let capacity = trace.stats().unique_bytes / 4;
+//! let mut cache: Camp<u64, ()> = Camp::new(capacity, Precision::Bits(5));
+//! let report = simulate(&mut cache, &trace);
+//! assert!(report.metrics.cost_miss_ratio() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use camp_core as core;
+pub use camp_kvs as kvs;
+pub use camp_policies as policies;
+pub use camp_sim as sim;
+pub use camp_workload as workload;
