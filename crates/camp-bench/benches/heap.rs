@@ -4,8 +4,8 @@
 //! stable population — one node per queue) and under GDS's (one node per
 //! cached item).
 
+use camp_bench::micro::Group;
 use camp_core::heap::DaryHeap;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn churn<const D: usize>(population: u32, operations: u64) -> u64 {
     let mut heap = DaryHeap::<u64, D>::new();
@@ -35,26 +35,13 @@ fn churn<const D: usize>(population: u32, operations: u64) -> u64 {
     heap.node_visits()
 }
 
-fn bench_arity(c: &mut Criterion) {
+fn main() {
     // CAMP-like: tens of queues. GDS-like: tens of thousands of items.
     for &(label, population) in &[("camp-like-64", 64u32), ("gds-like-65536", 65_536)] {
-        let mut group = c.benchmark_group(format!("heap_arity/{label}"));
-        group.sample_size(10);
-        group.bench_function(BenchmarkId::from_parameter(2), |b| {
-            b.iter(|| churn::<2>(population, 100_000))
-        });
-        group.bench_function(BenchmarkId::from_parameter(4), |b| {
-            b.iter(|| churn::<4>(population, 100_000))
-        });
-        group.bench_function(BenchmarkId::from_parameter(8), |b| {
-            b.iter(|| churn::<8>(population, 100_000))
-        });
-        group.bench_function(BenchmarkId::from_parameter(16), |b| {
-            b.iter(|| churn::<16>(population, 100_000))
-        });
-        group.finish();
+        let group = Group::new(&format!("heap_arity/{label}"), 100_000, 10);
+        group.case("2", || churn::<2>(population, 100_000));
+        group.case("4", || churn::<4>(population, 100_000));
+        group.case("8", || churn::<8>(population, 100_000));
+        group.case("16", || churn::<16>(population, 100_000));
     }
 }
-
-criterion_group!(benches, bench_arity);
-criterion_main!(benches);

@@ -1,13 +1,15 @@
 //! Per-operation throughput of the eviction policies.
 //!
 //! The paper's efficiency claim — "CAMP is as fast as LRU" while GDS pays
-//! `O(log n)` heap maintenance per hit — measured directly: each benchmark
-//! drives one policy through a pre-generated skewed request stream.
+//! `O(log n)` heap maintenance per hit — measured directly: each case
+//! drives one policy through a pre-generated skewed request stream. Every
+//! policy is built through the same [`EvictionMode`] spec layer the
+//! simulator and the KVS server use.
 
+use camp_bench::micro::Group;
 use camp_core::{Camp, Precision};
-use camp_policies::{Arc, CacheRequest, EvictionPolicy, GdWheel, Gds, Lru, LruK, TwoQ};
+use camp_policies::{CacheRequest, EvictionMode, EvictionPolicy, Gds, Lru};
 use camp_workload::BgConfig;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn requests() -> Vec<CacheRequest> {
     BgConfig::paper_scaled(50_000, 200_000, 7)
@@ -20,16 +22,16 @@ fn requests() -> Vec<CacheRequest> {
 fn drive(policy: &mut dyn EvictionPolicy, requests: &[CacheRequest]) -> u64 {
     let mut evicted = Vec::new();
     let mut hits = 0u64;
-    for &req in requests {
+    for req in requests {
         evicted.clear();
-        if !policy.reference(req, &mut evicted).is_miss() {
+        if !policy.reference(*req, &mut evicted).is_miss() {
             hits += 1;
         }
     }
     hits
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let requests = requests();
     let unique: u64 = {
         let mut seen = std::collections::HashMap::new();
@@ -40,88 +42,34 @@ fn bench_policies(c: &mut Criterion) {
     };
     let capacity = unique / 4;
 
-    let mut group = c.benchmark_group("policy_ops");
-    group.throughput(Throughput::Elements(requests.len() as u64));
-    group.sample_size(10);
-
-    group.bench_function(BenchmarkId::new("camp", "p5"), |b| {
-        b.iter(|| {
-            let mut policy = Camp::<u64, ()>::new(capacity, Precision::Bits(5));
-            drive(&mut policy, &requests)
-        })
+    let group = Group::new("policy_ops", requests.len() as u64, 10);
+    for name in EvictionMode::all_names() {
+        let mode: EvictionMode = name.parse().expect("documented name parses");
+        group.case(name, || {
+            let mut policy = mode.build::<u64>(capacity);
+            drive(&mut *policy, &requests)
+        });
+    }
+    // CAMP precision ablation beyond the spec defaults.
+    group.case("camp:1", || {
+        let mut policy = Camp::<u64, ()>::new(capacity, Precision::Bits(1));
+        drive(&mut policy, &requests)
     });
-    group.bench_function(BenchmarkId::new("camp", "p1"), |b| {
-        b.iter(|| {
-            let mut policy = Camp::<u64, ()>::new(capacity, Precision::Bits(1));
-            drive(&mut policy, &requests)
-        })
+    group.case("camp:inf", || {
+        let mut policy = Camp::<u64, ()>::new(capacity, Precision::Infinite);
+        drive(&mut policy, &requests)
     });
-    group.bench_function(BenchmarkId::new("camp", "inf"), |b| {
-        b.iter(|| {
-            let mut policy = Camp::<u64, ()>::new(capacity, Precision::Infinite);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.bench_function("lru", |b| {
-        b.iter(|| {
-            let mut policy = Lru::new(capacity);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.bench_function("gds", |b| {
-        b.iter(|| {
-            let mut policy = Gds::new(capacity);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.bench_function("gd-wheel", |b| {
-        b.iter(|| {
-            let mut policy = GdWheel::new(capacity);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.bench_function("lru-2", |b| {
-        b.iter(|| {
-            let mut policy = LruK::new(capacity, 2);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.bench_function("2q", |b| {
-        b.iter(|| {
-            let mut policy = TwoQ::new(capacity);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.bench_function("arc", |b| {
-        b.iter(|| {
-            let mut policy = Arc::new(capacity);
-            drive(&mut policy, &requests)
-        })
-    });
-    group.finish();
 
     // The hit path in isolation: everything resident, no evictions — the
     // regime where CAMP's "no heap update unless the head changes" shines.
-    let mut group = c.benchmark_group("hit_path");
-    group.throughput(Throughput::Elements(requests.len() as u64));
-    group.sample_size(10);
-    group.bench_function("camp-p5", |b| {
-        let mut policy = Camp::<u64, ()>::new(u64::MAX, Precision::Bits(5));
-        drive(&mut policy, &requests); // warm: everything resident
-        b.iter(|| drive(&mut policy, &requests))
-    });
-    group.bench_function("lru", |b| {
-        let mut policy = Lru::new(u64::MAX);
-        drive(&mut policy, &requests);
-        b.iter(|| drive(&mut policy, &requests))
-    });
-    group.bench_function("gds", |b| {
-        let mut policy = Gds::new(u64::MAX);
-        drive(&mut policy, &requests);
-        b.iter(|| drive(&mut policy, &requests))
-    });
-    group.finish();
+    let group = Group::new("hit_path", requests.len() as u64, 10);
+    let mut camp = Camp::<u64, ()>::new(u64::MAX, Precision::Bits(5));
+    drive(&mut camp, &requests); // warm: everything resident
+    group.case("camp-p5", || drive(&mut camp, &requests));
+    let mut lru = Lru::new(u64::MAX);
+    drive(&mut lru, &requests);
+    group.case("lru", || drive(&mut lru, &requests));
+    let mut gds = Gds::new(u64::MAX);
+    drive(&mut gds, &requests);
+    group.case("gds", || drive(&mut gds, &requests));
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

@@ -2,48 +2,37 @@
 //! integerize-then-round pipeline sit on CAMP's miss path, so they must be
 //! a handful of ALU operations.
 
+use camp_bench::micro::Group;
 use camp_core::rounding::{round_to_significant_bits, Precision, RatioRounder};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_rounding(c: &mut Criterion) {
+fn main() {
     let inputs: Vec<u64> = (0..4096u64)
         .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15).max(1))
         .collect();
 
-    let mut group = c.benchmark_group("rounding");
-    group.throughput(Throughput::Elements(inputs.len() as u64));
-    group.bench_function("significant_bits_p5", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &x in &inputs {
-                acc ^= round_to_significant_bits(black_box(x), 5);
-            }
-            acc
-        })
+    let group = Group::new("rounding", inputs.len() as u64, 50);
+    group.case("significant_bits_p5", || {
+        let mut acc = 0u64;
+        for &x in &inputs {
+            acc ^= round_to_significant_bits(black_box(x), 5);
+        }
+        acc
     });
-    group.bench_function("precision_round_p5", |b| {
-        let p = Precision::Bits(5);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &x in &inputs {
-                acc ^= p.round(black_box(x));
-            }
-            acc
-        })
+    let p = Precision::Bits(5);
+    group.case("precision_round_p5", || {
+        let mut acc = 0u64;
+        for &x in &inputs {
+            acc ^= p.round(black_box(x));
+        }
+        acc
     });
-    group.bench_function("full_pipeline_rounded_ratio", |b| {
-        b.iter(|| {
-            let mut rounder = RatioRounder::new(Precision::Bits(5));
-            let mut acc = 0u64;
-            for &x in &inputs {
-                acc ^= rounder.rounded_ratio(black_box(x), (x % 4096) + 1);
-            }
-            acc
-        })
+    group.case("full_pipeline_rounded_ratio", || {
+        let mut rounder = RatioRounder::new(Precision::Bits(5));
+        let mut acc = 0u64;
+        for &x in &inputs {
+            acc ^= rounder.rounded_ratio(black_box(x), (x % 4096) + 1);
+        }
+        acc
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_rounding);
-criterion_main!(benches);

@@ -12,9 +12,9 @@
 
 use std::sync::Arc;
 
+use camp_bench::micro::Group;
 use camp_core::{Precision, ShardedCamp};
 use camp_workload::BgConfig;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const THREADS: usize = 8;
 
@@ -44,7 +44,7 @@ fn drive(cache: &ShardedCamp<u64, ()>, requests: &[(u64, u64, u64)], worker: usi
     hits
 }
 
-fn bench_sharding(c: &mut Criterion) {
+fn main() {
     let requests = requests();
     let unique: u64 = {
         let mut seen = std::collections::HashMap::new();
@@ -55,32 +55,26 @@ fn bench_sharding(c: &mut Criterion) {
     };
     let capacity = unique / 4;
 
-    let mut group = c.benchmark_group("sharded_camp_8threads");
-    group.throughput(Throughput::Elements(
+    let group = Group::new(
+        "sharded_camp_8threads",
         (requests.len() / THREADS * THREADS) as u64,
-    ));
-    group.sample_size(10);
+        10,
+    );
     for shards in [1usize, 2, 4, 8, 16] {
-        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
-            b.iter(|| {
-                let cache: Arc<ShardedCamp<u64, ()>> =
-                    Arc::new(ShardedCamp::new(capacity, Precision::Bits(5), shards));
-                let handles: Vec<_> = (0..THREADS)
-                    .map(|worker| {
-                        let cache = Arc::clone(&cache);
-                        let requests = Arc::clone(&requests);
-                        std::thread::spawn(move || drive(&cache, &requests, worker))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker"))
-                    .sum::<u64>()
-            })
+        group.case(&shards.to_string(), || {
+            let cache: Arc<ShardedCamp<u64, ()>> =
+                Arc::new(ShardedCamp::new(capacity, Precision::Bits(5), shards));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|worker| {
+                    let cache = Arc::clone(&cache);
+                    let requests = Arc::clone(&requests);
+                    std::thread::spawn(move || drive(&cache, &requests, worker))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sharding);
-criterion_main!(benches);

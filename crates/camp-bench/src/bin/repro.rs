@@ -76,7 +76,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    match run_experiment_full(&experiment, scale, out_dir.as_deref(), trace_path.as_deref(), plot) {
+    match run_experiment_full(
+        &experiment,
+        scale,
+        out_dir.as_deref(),
+        trace_path.as_deref(),
+        plot,
+    ) {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS

@@ -272,7 +272,10 @@ fn occupancy_at(scale: Scale, ratio: f64, name: &str) -> Vec<(String, Table)> {
     let policies: Vec<(&str, Box<dyn EvictionPolicy>)> = vec![
         ("camp(p=5)", camp_at(cap, Precision::Bits(5))),
         ("lru", Box::new(Lru::new(cap))),
-        ("pooled-cost", Box::new(pooled_cost_proportional(&trace, cap))),
+        (
+            "pooled-cost",
+            Box::new(pooled_cost_proportional(&trace, cap)),
+        ),
     ];
     for (label, mut policy) in policies {
         let report = Simulation::new(&trace)
@@ -358,12 +361,7 @@ pub fn fig7(scale: Scale) -> Vec<(String, Table)> {
 
 fn equi_size_sweep(scale: Scale) -> (Table, Table) {
     let trace = scale.equi_size_trace();
-    let mut cost_table = Table::new(vec![
-        "cache-ratio",
-        "camp(p=5)",
-        "lru",
-        "pooled-range",
-    ]);
+    let mut cost_table = Table::new(vec!["cache-ratio", "camp(p=5)", "lru", "pooled-range"]);
     let mut miss_table = cost_table.clone();
     for ratio in RATIO_GRID {
         let cap = capacity(&trace, ratio);
@@ -463,19 +461,17 @@ pub fn fig9(scale: Scale) -> Vec<(String, Table)> {
         let slab_size: u32 = 64 * 1024;
         let slab = SlabConfig::small(
             slab_size,
-            u32::try_from(memory / u64::from(slab_size)).unwrap_or(1).max(1),
+            u32::try_from(memory / u64::from(slab_size))
+                .unwrap_or(1)
+                .max(1),
         );
         let mut cost_row = vec![format!("{ratio:.2}")];
         let mut time_row = cost_row.clone();
         let mut miss_row = cost_row.clone();
-        for eviction in [
-            EvictionMode::Lru,
-            EvictionMode::Camp(Precision::Bits(5)),
-        ] {
+        for eviction in [EvictionMode::Lru, EvictionMode::Camp(Precision::Bits(5))] {
             let server = Server::start("127.0.0.1:0", StoreConfig { slab, eviction })
                 .expect("bind figure-9 server");
-            let mut client =
-                Client::connect(server.local_addr()).expect("connect figure-9 client");
+            let mut client = Client::connect(server.local_addr()).expect("connect figure-9 client");
             let report = replay_trace(&mut client, &trace).expect("replay trace");
             let _ = client.quit();
             server.shutdown();
@@ -503,12 +499,7 @@ pub fn fig9(scale: Scale) -> Vec<(String, Table)> {
 #[must_use]
 pub fn ablation_tiebreak(scale: Scale) -> Vec<(String, Table)> {
     let trace = scale.three_tier_trace();
-    let mut table = Table::new(vec![
-        "cache-ratio",
-        "camp(p=inf)",
-        "gds",
-        "relative-delta",
-    ]);
+    let mut table = Table::new(vec!["cache-ratio", "camp(p=inf)", "gds", "relative-delta"]);
     for ratio in [0.05, 0.1, 0.25, 0.5, 0.75] {
         let cap = capacity(&trace, ratio);
         let mut camp = Camp::<u64, ()>::new(cap, Precision::Infinite);
@@ -623,12 +614,7 @@ pub fn ablation_pooling(scale: Scale) -> Vec<(String, Table)> {
 pub fn extension_policies(scale: Scale) -> Vec<(String, Table)> {
     use camp_policies::{Admission, AdmissionRule, Arc, GdWheel, Gdsf, Lfu, LruK, TwoQ};
     let trace = scale.three_tier_trace();
-    let mut table = Table::new(vec![
-        "cache-ratio",
-        "policy",
-        "cost-miss",
-        "miss-rate",
-    ]);
+    let mut table = Table::new(vec!["cache-ratio", "policy", "cost-miss", "miss-rate"]);
     for ratio in [0.1, 0.25, 0.5] {
         let cap = capacity(&trace, ratio);
         let mut policies: Vec<Box<dyn EvictionPolicy>> = vec![
@@ -757,13 +743,7 @@ pub fn custom(trace: &Trace) -> Vec<(String, Table)> {
             .collect()
     };
 
-    let mut cost_table = Table::new(vec![
-        "cache-ratio",
-        "camp(p=5)",
-        "lru",
-        "pooled",
-        "gds",
-    ]);
+    let mut cost_table = Table::new(vec!["cache-ratio", "camp(p=5)", "lru", "pooled", "gds"]);
     let mut miss_table = cost_table.clone();
     for ratio in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let cap = camp_sim::capacity_for_ratio(&stats, ratio);
@@ -801,19 +781,9 @@ pub fn extension_drift(scale: Scale) -> Vec<(String, Table)> {
     use camp_policies::{Gdsf, Lfu, Lru};
     use camp_workload::DriftConfig;
 
-    let trace = DriftConfig::paper_scaled(
-        scale.members() / 2,
-        scale.requests(),
-        HARNESS_SEED,
-    )
-    .generate();
-    let mut table = Table::new(vec![
-        "cache-ratio",
-        "camp(p=5)",
-        "lru",
-        "gdsf",
-        "lfu",
-    ]);
+    let trace =
+        DriftConfig::paper_scaled(scale.members() / 2, scale.requests(), HARNESS_SEED).generate();
+    let mut table = Table::new(vec!["cache-ratio", "camp(p=5)", "lru", "gdsf", "lfu"]);
     for ratio in [0.05, 0.1, 0.25, 0.5] {
         let cap = capacity(&trace, ratio);
         let mut policies: Vec<Box<dyn EvictionPolicy>> = vec![

@@ -18,6 +18,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod micro;
 pub mod plot;
 pub mod scale;
 pub mod table;
@@ -30,31 +31,79 @@ pub use crate::table::Table;
 /// Every experiment id with a one-line description.
 pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("table1", "Table 1: regular vs CAMP rounding at precision 4"),
-    ("fig4", "Fig 4: heap nodes visited, GDS vs CAMP, vs cache size"),
-    ("fig5a", "Fig 5a: cost-miss ratio vs precision (3 cache sizes, incl. inf)"),
+    (
+        "fig4",
+        "Fig 4: heap nodes visited, GDS vs CAMP, vs cache size",
+    ),
+    (
+        "fig5a",
+        "Fig 5a: cost-miss ratio vs precision (3 cache sizes, incl. inf)",
+    ),
     ("fig5b", "Fig 5b: number of LRU queues vs precision"),
-    ("fig5c", "Fig 5c: cost-miss ratio vs cache size (CAMP/LRU/Pooled/GDS)"),
+    (
+        "fig5c",
+        "Fig 5c: cost-miss ratio vs cache size (CAMP/LRU/Pooled/GDS)",
+    ),
     ("fig5d", "Fig 5d: miss rate vs cache size (same runs)"),
-    ("fig6a", "Fig 6a: cost-miss ratio vs cache size, evolving patterns"),
-    ("fig6b", "Fig 6b: miss rate vs cache size, evolving patterns"),
+    (
+        "fig6a",
+        "Fig 6a: cost-miss ratio vs cache size, evolving patterns",
+    ),
+    (
+        "fig6b",
+        "Fig 6b: miss rate vs cache size, evolving patterns",
+    ),
     ("fig6c", "Fig 6c: TF1 cache occupancy over time, ratio 0.25"),
     ("fig6d", "Fig 6d: TF1 cache occupancy over time, ratio 0.75"),
-    ("fig7", "Fig 7: miss rate vs cache size, variable sizes / constant cost"),
-    ("fig8a", "Fig 8a: cost-miss ratio vs cache size, equi-size / variable costs"),
+    (
+        "fig7",
+        "Fig 7: miss rate vs cache size, variable sizes / constant cost",
+    ),
+    (
+        "fig8a",
+        "Fig 8a: cost-miss ratio vs cache size, equi-size / variable costs",
+    ),
     ("fig8b", "Fig 8b: miss rate vs cache size (same runs)"),
     ("fig8c", "Fig 8c: queues vs precision, both traces"),
-    ("fig9", "Figs 9a-9c: live-server replay (cost-miss, run time, miss rate)"),
+    (
+        "fig9",
+        "Figs 9a-9c: live-server replay (cost-miss, run time, miss rate)",
+    ),
     ("fig9a", "alias of fig9 (cost-miss table)"),
     ("fig9b", "alias of fig9 (run-time table)"),
     ("fig9c", "alias of fig9 (miss-rate table)"),
-    ("ablation-tiebreak", "CAMP(inf) vs exact GDS: residual approximation error"),
-    ("ablation-multiplier", "adaptive vs fixed integerization multiplier"),
-    ("ablation-pooling", "the three Pooled-LRU memory splits side by side"),
-    ("extension-policies", "LRU-K / 2Q / ARC / GD-Wheel / GDSF / LFU / admission vs CAMP"),
-    ("extension-hierarchy", "two-level memory+SSD hierarchy (paper s6)"),
-    ("extension-timeline", "windowed cost-miss timeline over the evolving workload"),
-    ("extension-drift", "gradually rotating hot sets: CAMP vs LRU/GDSF/LFU"),
-    ("custom", "CAMP/LRU/Pooled/GDS comparison on a user trace (--trace FILE)"),
+    (
+        "ablation-tiebreak",
+        "CAMP(inf) vs exact GDS: residual approximation error",
+    ),
+    (
+        "ablation-multiplier",
+        "adaptive vs fixed integerization multiplier",
+    ),
+    (
+        "ablation-pooling",
+        "the three Pooled-LRU memory splits side by side",
+    ),
+    (
+        "extension-policies",
+        "LRU-K / 2Q / ARC / GD-Wheel / GDSF / LFU / admission vs CAMP",
+    ),
+    (
+        "extension-hierarchy",
+        "two-level memory+SSD hierarchy (paper s6)",
+    ),
+    (
+        "extension-timeline",
+        "windowed cost-miss timeline over the evolving workload",
+    ),
+    (
+        "extension-drift",
+        "gradually rotating hot sets: CAMP vs LRU/GDSF/LFU",
+    ),
+    (
+        "custom",
+        "CAMP/LRU/Pooled/GDS comparison on a user trace (--trace FILE)",
+    ),
 ];
 
 /// Runs one experiment (or `all`), returning the rendered report.
@@ -62,11 +111,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
 /// # Errors
 ///
 /// Returns a message for unknown ids or CSV write failures.
-pub fn run_experiment(
-    id: &str,
-    scale: Scale,
-    out_dir: Option<&Path>,
-) -> Result<String, String> {
+pub fn run_experiment(id: &str, scale: Scale, out_dir: Option<&Path>) -> Result<String, String> {
     run_experiment_with_trace(id, scale, out_dir, None)
 }
 

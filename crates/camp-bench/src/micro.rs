@@ -1,0 +1,64 @@
+//! A minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the benches use this self-contained
+//! timer instead of an external harness: each case runs a closure a fixed
+//! number of times after a warm-up pass and reports best / mean wall time
+//! plus derived throughput. Honour `--bench` noise: these numbers are for
+//! relative comparison on one machine, not absolute claims.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group, printed as an aligned table.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    /// Work items per closure invocation, for ops/s derivation (0 = skip).
+    elements: u64,
+    iters: u32,
+}
+
+impl Group {
+    /// Creates a group; `elements` is the per-iteration work-item count
+    /// used to derive throughput (pass 0 to omit).
+    #[must_use]
+    pub fn new(name: &str, elements: u64, iters: u32) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_owned(),
+            elements,
+            iters: iters.max(1),
+        }
+    }
+
+    /// Times `f`, printing best and mean wall time over the iterations.
+    /// The closure's return value is consumed with [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn case<T, F: FnMut() -> T>(&self, label: &str, mut f: F) {
+        black_box(f()); // warm-up: fill caches, fault pages, JIT branch predictors
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        let mean = total / self.iters;
+        let rate = if self.elements > 0 && best > Duration::ZERO {
+            format!(
+                "  {:>10.1} Melem/s",
+                self.elements as f64 / best.as_secs_f64() / 1e6
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<28} best {:>10.3?}  mean {:>10.3?}{rate}",
+            format!("{}/{label}", self.name),
+            best,
+            mean,
+        );
+    }
+}

@@ -142,8 +142,12 @@ mod tests {
 
     fn numeric_table() -> Table {
         let mut table = Table::new(vec!["ratio", "camp", "lru"]);
-        for (x, a, b) in [(0.1, 0.9, 0.97), (0.3, 0.4, 0.8), (0.5, 0.1, 0.5), (1.0, 0.0, 0.0)]
-        {
+        for (x, a, b) in [
+            (0.1, 0.9, 0.97),
+            (0.3, 0.4, 0.8),
+            (0.5, 0.1, 0.5),
+            (1.0, 0.0, 0.0),
+        ] {
             table.row(vec![format!("{x}"), format!("{a}"), format!("{b}")]);
         }
         table
@@ -164,8 +168,16 @@ mod tests {
     #[test]
     fn non_numeric_tables_are_skipped() {
         let mut table = Table::new(vec!["x (binary)", "regular", "camp"]);
-        table.row(vec!["101101011".into(), "101100000".into(), "101100000".into()]);
-        table.row(vec!["001010011".into(), "001010000".into(), "001010000".into()]);
+        table.row(vec![
+            "101101011".into(),
+            "101100000".into(),
+            "101100000".into(),
+        ]);
+        table.row(vec![
+            "001010011".into(),
+            "001010000".into(),
+            "001010000".into(),
+        ]);
         // Binary strings parse as huge numbers — that's fine, they're still
         // numeric. A genuinely textual table is skipped:
         let mut text = Table::new(vec!["policy", "verdict"]);

@@ -107,8 +107,7 @@ impl Scale {
     /// Figure 8's trace: equi-sized values, continuous costs.
     #[must_use]
     pub fn equi_size_trace(self) -> Trace {
-        BgConfig::equi_size_variable_cost(self.members(), self.requests(), HARNESS_SEED)
-            .generate()
+        BgConfig::equi_size_variable_cost(self.members(), self.requests(), HARNESS_SEED).generate()
     }
 
     /// The §3.1 workload: ten disjoint trace files back to back.

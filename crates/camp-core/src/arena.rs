@@ -143,8 +143,7 @@ impl<T> Arena<T> {
                 generation: slot.generation,
             }
         } else {
-            let index = u32::try_from(self.slots.len())
-                .expect("arena exceeded u32::MAX slots");
+            let index = u32::try_from(self.slots.len()).expect("arena exceeded u32::MAX slots");
             self.slots.push(Slot {
                 generation: 0,
                 value: Some(value),

@@ -584,10 +584,7 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
             .expect("touch: entry points at a dead queue");
         let was_head = queue.list.front() == Some(id);
         queue.list.move_to_back(&mut self.arena, id);
-        self.arena
-            .get_mut(id)
-            .expect("touch: stale entry")
-            .h = new_h;
+        self.arena.get_mut(id).expect("touch: stale entry").h = new_h;
         if was_head {
             // The head changed (or, for a singleton queue, its priority did):
             // this is the only case where CAMP touches the heap on a hit.
@@ -677,8 +674,7 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
             self.queues[idx as usize] = Some(queue);
             idx
         } else {
-            let idx = u32::try_from(self.queues.len())
-                .expect("more than u32::MAX distinct queues");
+            let idx = u32::try_from(self.queues.len()).expect("more than u32::MAX distinct queues");
             self.queues.push(Some(queue));
             idx
         };

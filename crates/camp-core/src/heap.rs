@@ -288,11 +288,7 @@ impl<K: Ord, const D: usize> DaryHeap<K, D> {
                 );
             }
         }
-        let live = self
-            .positions
-            .iter()
-            .filter(|&&p| p != ABSENT)
-            .count();
+        let live = self.positions.iter().filter(|&&p| p != ABSENT).count();
         assert_eq!(live, self.items.len());
     }
 }
@@ -473,8 +469,7 @@ mod tests {
                 }
                 _ => {
                     let heap_min = heap.pop();
-                    let model_min =
-                        model.iter().min_by_key(|&(_, v)| *v).map(|(&k, &v)| (k, v));
+                    let model_min = model.iter().min_by_key(|&(_, v)| *v).map(|(&k, &v)| (k, v));
                     match (heap_min, model_min) {
                         (None, None) => {}
                         (Some((_, hk)), Some((_, mv))) => {

@@ -55,6 +55,7 @@ pub mod arena;
 pub mod camp;
 pub mod heap;
 pub mod lru_list;
+pub mod rng;
 pub mod rounding;
 pub mod sharded;
 

@@ -388,8 +388,7 @@ mod tests {
         let max = 4096u64;
         for p in 1..=6u8 {
             let precision = Precision::Bits(p);
-            let mut labels: std::collections::BTreeSet<u64> =
-                Default::default();
+            let mut labels: std::collections::BTreeSet<u64> = Default::default();
             for x in 1..=max {
                 labels.insert(precision.round(x));
             }

@@ -64,7 +64,10 @@ impl<K, V> std::fmt::Debug for ShardedCamp<K, V> {
 
 impl<K: Eq + Hash + Clone, V: Clone> ShardedCamp<K, V> {
     /// Creates a cache of `capacity` total bytes split evenly over
-    /// `shards` partitions.
+    /// `shards` partitions. The division remainder is spread over the
+    /// first shards (one extra byte each) so the total budget is exactly
+    /// `capacity`, not `shards * floor(capacity / shards)`; every shard
+    /// gets at least one byte.
     ///
     /// # Panics
     ///
@@ -72,10 +75,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCamp<K, V> {
     #[must_use]
     pub fn new(capacity: u64, precision: Precision, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard is required");
-        let per_shard = (capacity / shards as u64).max(1);
+        let base = capacity / shards as u64;
+        let remainder = capacity % shards as u64;
         ShardedCamp {
-            shards: (0..shards)
-                .map(|_| Mutex::new(Camp::new(per_shard, precision)))
+            shards: (0..shards as u64)
+                .map(|i| {
+                    let extra = u64::from(i < remainder);
+                    Mutex::new(Camp::new((base + extra).max(1), precision))
+                })
                 .collect(),
             hasher: RandomState::new(),
         }
@@ -216,6 +223,10 @@ mod tests {
     fn capacity_is_split_and_respected_per_shard() {
         let sharded: ShardedCamp<u64, ()> = ShardedCamp::new(400, Precision::Bits(5), 4);
         assert_eq!(sharded.capacity(), 400);
+        // A capacity that does not divide evenly is preserved exactly: the
+        // remainder goes to the first shards instead of being dropped.
+        let uneven: ShardedCamp<u64, ()> = ShardedCamp::new(403, Precision::Bits(5), 4);
+        assert_eq!(uneven.capacity(), 403);
         for key in 0..200 {
             sharded.insert(key, (), 10, 1);
             assert!(sharded.used_bytes() <= 400);

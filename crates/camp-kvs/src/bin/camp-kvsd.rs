@@ -1,12 +1,17 @@
 //! `camp-kvsd` — the Twemcache-like key-value server as a daemon.
 //!
 //! ```text
-//! camp-kvsd [--listen ADDR] [--memory-mb N] [--eviction camp|lru]
-//!           [--precision N|inf] [--shards N] [--slab-kb N]
+//! camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]
+//!           [--shards N] [--slab-kb N]
 //! ```
 //!
-//! Speaks the memcached-style text protocol with the IQ framework's
-//! `iqget`/`iqset` extensions; see the `camp-kvs` crate documentation.
+//! `--policy` accepts any spec understood by
+//! [`EvictionMode`](camp_kvs::store::EvictionMode) — `lru`, `camp`,
+//! `camp:BITS`, `camp:inf`, `gds`, `gdsf`, `lfu`, `lru-k:K`, `2q`, `arc`,
+//! `gd-wheel`, `pooled-lru[:B1,B2,..]` — so the daemon runs the same
+//! pluggable policy layer as the simulator. Speaks the memcached-style text
+//! protocol with the IQ framework's `iqget`/`iqset` extensions; see the
+//! `camp-kvs` crate documentation.
 
 use std::process::ExitCode;
 
@@ -15,22 +20,27 @@ use camp_kvs::server::Server;
 use camp_kvs::slab::SlabConfig;
 use camp_kvs::store::{EvictionMode, StoreConfig};
 
-fn usage() -> &'static str {
-    "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--eviction camp|lru]\n                 [--precision N|inf] [--shards N] [--slab-kb N]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --eviction camp\n          --precision 5 --shards 1 --slab-kb 1024\n"
+fn usage() -> String {
+    format!(
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        EvictionMode::HELP
+    )
 }
 
 fn main() -> ExitCode {
     let mut listen = "127.0.0.1:11311".to_owned();
     let mut memory_mb: u64 = 64;
-    let mut eviction = "camp".to_owned();
-    let mut precision = Precision::PAPER_DEFAULT;
+    let mut policy: Option<EvictionMode> = None;
+    let mut legacy_eviction: Option<String> = None;
+    let mut legacy_precision = Precision::PAPER_DEFAULT;
     let mut shards: usize = 1;
     let mut slab_kb: u32 = 1024;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
-            args.next().ok_or_else(|| format!("{what} requires a value"))
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
         };
         let result: Result<(), String> = (|| {
             match arg.as_str() {
@@ -40,15 +50,20 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|_| "bad --memory-mb".to_owned())?;
                 }
-                "--eviction" => eviction = value("--eviction")?,
+                "--policy" => {
+                    policy = Some(
+                        value("--policy")?
+                            .parse()
+                            .map_err(|e| format!("bad --policy: {e}"))?,
+                    );
+                }
+                "--eviction" => legacy_eviction = Some(value("--eviction")?),
                 "--precision" => {
                     let text = value("--precision")?;
-                    precision = if text == "inf" {
+                    legacy_precision = if text == "inf" {
                         Precision::Infinite
                     } else {
-                        Precision::Bits(
-                            text.parse().map_err(|_| "bad --precision".to_owned())?,
-                        )
+                        Precision::Bits(text.parse().map_err(|_| "bad --precision".to_owned())?)
                     };
                 }
                 "--shards" => {
@@ -75,20 +90,22 @@ fn main() -> ExitCode {
         }
     }
 
-    let eviction = match eviction.as_str() {
-        "camp" => EvictionMode::Camp(precision),
-        "lru" => EvictionMode::Lru,
-        other => {
-            eprintln!("unknown eviction policy `{other}` (use camp or lru)");
+    let eviction = match (policy, legacy_eviction.as_deref()) {
+        (Some(mode), _) => mode,
+        (None, Some("camp")) => EvictionMode::Camp(legacy_precision),
+        (None, Some("lru")) => EvictionMode::Lru,
+        (None, Some(other)) => {
+            eprintln!("unknown eviction policy `{other}` (use --policy; see --help)");
             return ExitCode::FAILURE;
         }
+        (None, None) => EvictionMode::Camp(legacy_precision),
     };
     let slab_size = slab_kb.saturating_mul(1024).max(4096);
     let max_slabs =
         u32::try_from((memory_mb * 1024 * 1024) / u64::from(slab_size)).unwrap_or(u32::MAX);
     let config = StoreConfig {
         slab: SlabConfig::small(slab_size, max_slabs.max(1)),
-        eviction,
+        eviction: eviction.clone(),
     };
 
     let server = match Server::start_sharded(&listen, config, shards.max(1)) {
@@ -99,9 +116,8 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "camp-kvsd listening on {} ({memory_mb} MiB, {:?}, {} shard(s), {} KiB slabs)",
+        "camp-kvsd listening on {} ({memory_mb} MiB, policy {eviction}, {} shard(s), {} KiB slabs)",
         server.local_addr(),
-        eviction,
         shards.max(1),
         slab_size / 1024,
     );

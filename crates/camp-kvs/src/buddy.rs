@@ -118,7 +118,13 @@ impl BuddyAllocator {
         let mut free: Vec<Vec<u32>> = (0..=max_order).map(|_| Vec::new()).collect();
         free[max_order as usize].push(0);
         let allocated = (0..=max_order)
-            .map(|order| vec![false; (arena_size >> (order + min_block.trailing_zeros() as u8) as u32).max(1) as usize])
+            .map(|order| {
+                vec![
+                    false;
+                    (arena_size >> (order + min_block.trailing_zeros() as u8) as u32).max(1)
+                        as usize
+                ]
+            })
             .collect();
         BuddyAllocator {
             data: vec![0u8; arena_size as usize].into_boxed_slice(),

@@ -150,9 +150,7 @@ impl Client {
             .ok()
             .and_then(|s| s.parse().ok())
             .map(Some)
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "bad incr/decr response")
-            })
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad incr/decr response"))
     }
 
     /// `touch <key> <exptime>` — updates a resident key's expiry.
@@ -177,7 +175,10 @@ impl Client {
         if line == b"OK" {
             Ok(())
         } else {
-            Err(io::Error::new(io::ErrorKind::InvalidData, "flush_all failed"))
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "flush_all failed",
+            ))
         }
     }
 
@@ -258,9 +259,7 @@ impl Client {
         self.writer.write_all(b" ")?;
         self.writer.write_all(key)?;
         match cost_hint {
-            Some(cost) => {
-                write!(self.writer, " {flags} {exptime} {} {cost}\r\n", value.len())?
-            }
+            Some(cost) => write!(self.writer, " {flags} {exptime} {} {cost}\r\n", value.len())?,
             None => write!(self.writer, " {flags} {exptime} {}\r\n", value.len())?,
         }
         self.writer.write_all(value)?;

@@ -5,8 +5,6 @@
 //! item layout ("the size required to store ki-vi along with some meta-data
 //! header information").
 
-use bytes::{Buf, BufMut};
-
 /// The fixed header size in bytes.
 pub const HEADER_LEN: usize = 2 + 4 + 4 + 8 + 8;
 
@@ -38,17 +36,19 @@ impl<'a> Item<'a> {
     /// # Panics
     ///
     /// Panics if the buffer is too small or the key exceeds 64 KiB.
-    pub fn encode_into(&self, mut buf: &mut [u8]) {
+    pub fn encode_into(&self, buf: &mut [u8]) {
         let need = Item::encoded_len(self.key.len(), self.value.len());
         assert!(buf.len() >= need, "buffer too small for item");
         let key_len = u16::try_from(self.key.len()).expect("key exceeds 64 KiB");
-        buf.put_u16(key_len);
-        buf.put_u32(u32::try_from(self.value.len()).expect("value exceeds 4 GiB"));
-        buf.put_u32(self.flags);
-        buf.put_u64(self.cost);
-        buf.put_u64(self.expires_at);
-        buf.put_slice(self.key);
-        buf.put_slice(self.value);
+        let value_len = u32::try_from(self.value.len()).expect("value exceeds 4 GiB");
+        buf[0..2].copy_from_slice(&key_len.to_be_bytes());
+        buf[2..6].copy_from_slice(&value_len.to_be_bytes());
+        buf[6..10].copy_from_slice(&self.flags.to_be_bytes());
+        buf[10..18].copy_from_slice(&self.cost.to_be_bytes());
+        buf[18..26].copy_from_slice(&self.expires_at.to_be_bytes());
+        let key_end = HEADER_LEN + self.key.len();
+        buf[HEADER_LEN..key_end].copy_from_slice(self.key);
+        buf[key_end..key_end + self.value.len()].copy_from_slice(self.value);
     }
 
     /// Decodes an item from a chunk.
@@ -58,19 +58,20 @@ impl<'a> Item<'a> {
     /// Panics if the chunk contents are malformed (shorter than the header
     /// claims) — chunks are only ever written by [`Item::encode_into`].
     #[must_use]
-    pub fn decode(mut buf: &'a [u8]) -> Item<'a> {
+    pub fn decode(buf: &'a [u8]) -> Item<'a> {
         assert!(buf.len() >= HEADER_LEN, "chunk shorter than item header");
-        let key_len = buf.get_u16() as usize;
-        let value_len = buf.get_u32() as usize;
-        let flags = buf.get_u32();
-        let cost = buf.get_u64();
-        let expires_at = buf.get_u64();
+        let key_len = u16::from_be_bytes(buf[0..2].try_into().unwrap()) as usize;
+        let value_len = u32::from_be_bytes(buf[2..6].try_into().unwrap()) as usize;
+        let flags = u32::from_be_bytes(buf[6..10].try_into().unwrap());
+        let cost = u64::from_be_bytes(buf[10..18].try_into().unwrap());
+        let expires_at = u64::from_be_bytes(buf[18..26].try_into().unwrap());
+        let body = &buf[HEADER_LEN..];
         assert!(
-            buf.len() >= key_len + value_len,
+            body.len() >= key_len + value_len,
             "chunk shorter than the encoded item"
         );
-        let key = &buf[..key_len];
-        let value = &buf[key_len..key_len + value_len];
+        let key = &body[..key_len];
+        let value = &body[key_len..key_len + value_len];
         Item {
             key,
             value,

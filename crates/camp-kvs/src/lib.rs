@@ -49,10 +49,11 @@ pub mod client;
 pub mod item;
 pub mod protocol;
 pub mod replay;
-pub mod shard;
 pub mod server;
+pub mod shard;
 pub mod slab;
 pub mod store;
+mod sync;
 
 pub use crate::client::Client;
 pub use crate::replay::{replay_trace, ReplayReport};

@@ -163,9 +163,7 @@ fn validate_key(key: &[u8]) -> Result<(), ProtocolError> {
 ///
 /// Returns [`ProtocolError`] on unknown commands or malformed arguments.
 pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
-    let mut tokens = line
-        .split(|&b| b == b' ')
-        .filter(|t| !t.is_empty());
+    let mut tokens = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
     let verb = tokens.next().ok_or(ProtocolError::new("empty command"))?;
     match verb {
         b"get" | b"gets" => {
@@ -206,8 +204,7 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
                 tokens.next().ok_or(ProtocolError::new("missing flags"))?,
                 "bad flags",
             )?;
-            let flags =
-                u32::try_from(flags).map_err(|_| ProtocolError::new("bad flags"))?;
+            let flags = u32::try_from(flags).map_err(|_| ProtocolError::new("bad flags"))?;
             let exptime = parse_u64(
                 tokens.next().ok_or(ProtocolError::new("missing exptime"))?,
                 "bad exptime",
@@ -310,7 +307,9 @@ mod tests {
     fn parses_iqget() {
         assert_eq!(
             parse_command(b"iqget k1").unwrap(),
-            Command::IqGet { key: b"k1".to_vec() }
+            Command::IqGet {
+                key: b"k1".to_vec()
+            }
         );
         assert!(parse_command(b"iqget a b").is_err());
         assert!(parse_command(b"iqget").is_err());
@@ -350,7 +349,9 @@ mod tests {
     fn parses_delete_stats_quit() {
         assert_eq!(
             parse_command(b"delete kk").unwrap(),
-            Command::Delete { key: b"kk".to_vec() }
+            Command::Delete {
+                key: b"kk".to_vec()
+            }
         );
         assert_eq!(parse_command(b"stats").unwrap(), Command::Stats);
         assert_eq!(parse_command(b"quit").unwrap(), Command::Quit);

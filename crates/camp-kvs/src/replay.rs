@@ -97,13 +97,8 @@ pub fn replay_trace(client: &mut Client, trace: &Trace) -> io::Result<ReplayRepo
             if value_buf.len() < value_len {
                 value_buf.resize(value_len, 0xCA);
             }
-            let stored = client.iqset(
-                &key_buf,
-                &value_buf[..value_len],
-                0,
-                0,
-                Some(record.cost),
-            )?;
+            let stored =
+                client.iqset(&key_buf, &value_buf[..value_len], 0, 0, Some(record.cost))?;
             if !stored {
                 report.rejected_sets += 1;
             }

@@ -10,28 +10,103 @@
 //! timestamp, and a later `iqset` for the same key uses the elapsed
 //! microseconds as the pair's cost — "the difference between these two
 //! timestamps is used as the cost of the key-value pair" (§4) — unless the
-//! client supplied an explicit cost hint.
+//! client supplied an explicit cost hint. The miss registry is striped with
+//! the same hash the store uses for sharding, so `iqget`/`iqset` traffic on
+//! different shards never contends on a single registry lock.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::protocol::{parse_command, Command, SetHeader, SetVerb};
 use crate::shard::ShardedStore;
 use crate::store::{StoreConfig, StoreError, StoreStats};
+use crate::sync::lock;
+
+/// How long an unmatched `iqget` miss is remembered. A client that never
+/// issues the paired `iqset` (crashed, gave up) would otherwise leak its
+/// registry entry forever; the sweep drops entries past this age.
+const IQ_MISS_TTL: Duration = Duration::from_secs(120);
+
+/// One lock-striped partition of the IQ miss registry.
+#[derive(Debug)]
+struct IqStripe {
+    misses: HashMap<Vec<u8>, Instant>,
+    last_sweep: Instant,
+}
+
+/// IQ miss registry: key -> time of the `iqget` miss, partitioned into one
+/// stripe per store shard (indexed by [`ShardedStore::shard_index`], so a
+/// key's registry stripe and store shard are guarded by different locks but
+/// partition identically).
+#[derive(Debug)]
+struct IqRegistry {
+    stripes: Vec<Mutex<IqStripe>>,
+}
+
+impl IqRegistry {
+    fn new(stripes: usize) -> IqRegistry {
+        IqRegistry {
+            stripes: (0..stripes)
+                .map(|_| {
+                    Mutex::new(IqStripe {
+                        misses: HashMap::new(),
+                        last_sweep: Instant::now(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Records a miss timestamp, sweeping the stripe's expired entries at
+    /// most once per TTL period (amortized O(1) per record).
+    fn record_miss(&self, stripe: usize, key: Vec<u8>) {
+        let mut guard = lock(&self.stripes[stripe]);
+        let now = Instant::now();
+        if now.duration_since(guard.last_sweep) >= IQ_MISS_TTL {
+            guard
+                .misses
+                .retain(|_, started| now.duration_since(*started) < IQ_MISS_TTL);
+            guard.last_sweep = now;
+        }
+        guard.misses.insert(key, now);
+    }
+
+    /// Consumes the registered miss time for `key`, if any and not expired.
+    fn take(&self, stripe: usize, key: &[u8]) -> Option<Instant> {
+        lock(&self.stripes[stripe])
+            .misses
+            .remove(key)
+            .filter(|started| started.elapsed() < IQ_MISS_TTL)
+    }
+
+    fn discard(&self, stripe: usize, key: &[u8]) {
+        lock(&self.stripes[stripe]).misses.remove(key);
+    }
+
+    fn clear(&self) {
+        for stripe in &self.stripes {
+            lock(stripe).misses.clear();
+        }
+    }
+}
 
 /// Shared server state.
 #[derive(Debug)]
 struct Shared {
     store: ShardedStore,
-    /// IQ miss registry: key -> time of the `iqget` miss.
-    iq_misses: Mutex<HashMap<Vec<u8>, Instant>>,
+    iq_misses: IqRegistry,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The registry stripe for `key` — same hash partition as the store.
+    fn iq_stripe(&self, key: &[u8]) -> usize {
+        self.store.shard_index(key)
+    }
 }
 
 /// A running KVS server.
@@ -76,7 +151,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             store: ShardedStore::new(config, shards),
-            iq_misses: Mutex::new(HashMap::new()),
+            iq_misses: IqRegistry::new(shards),
             shutdown: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -223,8 +298,7 @@ fn execute<R: Read, W: Write>(
                     // Register the miss time for the cost computation.
                     shared
                         .iq_misses
-                        .lock()
-                        .insert(key.clone(), Instant::now());
+                        .record_miss(shared.iq_stripe(&key), key.clone());
                 }
             }
             writeln_crlf(writer, "END")?;
@@ -255,7 +329,7 @@ fn execute<R: Read, W: Write>(
         }
         Command::FlushAll => {
             shared.store.flush_all();
-            shared.iq_misses.lock().clear();
+            shared.iq_misses.clear();
             writeln_crlf(writer, "OK")?;
         }
         Command::Version => {
@@ -270,6 +344,17 @@ fn execute<R: Read, W: Write>(
                 shared.store.len(),
                 shared.store.slab_census(),
             );
+            let policy_names = shared.store.policy_names();
+            if let Some(name) = policy_names.first() {
+                writeln_crlf(writer, &format!("STAT policy {name}"))?;
+            }
+            writeln_crlf(
+                writer,
+                &format!("STAT shards {}", shared.store.shard_count()),
+            )?;
+            for (i, name) in policy_names.iter().enumerate() {
+                writeln_crlf(writer, &format!("STAT shard:{i}:policy {name}"))?;
+            }
             writeln_crlf(writer, &format!("STAT curr_items {len}"))?;
             writeln_crlf(writer, &format!("STAT get_hits {}", stats.get_hits))?;
             writeln_crlf(writer, &format!("STAT get_misses {}", stats.get_misses))?;
@@ -279,7 +364,10 @@ fn execute<R: Read, W: Write>(
                 writer,
                 &format!("STAT slab_reassignments {}", stats.slab_reassignments),
             )?;
-            writeln_crlf(writer, &format!("STAT slab_reclaims {}", stats.slab_reclaims))?;
+            writeln_crlf(
+                writer,
+                &format!("STAT slab_reclaims {}", stats.slab_reclaims),
+            )?;
             writeln_crlf(writer, &format!("STAT expired {}", stats.expired))?;
             for (chunk_size, slabs, items) in census {
                 if slabs > 0 {
@@ -303,7 +391,9 @@ fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static 
     let cost = match header.cost_hint {
         Some(hint) => hint,
         None if iq => {
-            let started = shared.iq_misses.lock().remove(&header.key);
+            let started = shared
+                .iq_misses
+                .take(shared.iq_stripe(&header.key), &header.key);
             started
                 .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
                 .unwrap_or(0)
@@ -312,7 +402,9 @@ fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static 
     };
     if iq && header.cost_hint.is_some() {
         // The hint supersedes the registry entry.
-        shared.iq_misses.lock().remove(&header.key);
+        shared
+            .iq_misses
+            .discard(shared.iq_stripe(&header.key), &header.key);
     }
     let expires_at = expiry_to_absolute(header.exptime);
     let result = match header.verb {

@@ -13,11 +13,11 @@
 //! the concurrency tests).
 
 use std::hash::{BuildHasher, RandomState};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::slab::SlabConfig;
 use crate::store::{GetResult, Store, StoreConfig, StoreError, StoreStats};
+use crate::sync::lock;
 
 /// A store partitioned over independent, individually locked shards.
 ///
@@ -40,7 +40,9 @@ pub struct ShardedStore {
 
 impl ShardedStore {
     /// Creates `shards` independent stores, dividing the slab budget of
-    /// `config` evenly (each shard receives at least one slab).
+    /// `config` evenly. The division remainder is spread over the first
+    /// shards (one extra slab each) so no memory is silently dropped; every
+    /// shard receives at least one slab.
     ///
     /// # Panics
     ///
@@ -48,17 +50,22 @@ impl ShardedStore {
     #[must_use]
     pub fn new(config: StoreConfig, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard is required");
-        let per_shard_slabs = (config.slab.max_slabs / shards as u32).max(1);
-        let shard_config = StoreConfig {
-            slab: SlabConfig {
-                max_slabs: per_shard_slabs,
-                ..config.slab
-            },
-            eviction: config.eviction,
-        };
+        let shards_u32 = shards as u32;
+        let base = config.slab.max_slabs / shards_u32;
+        let remainder = config.slab.max_slabs % shards_u32;
         ShardedStore {
-            shards: (0..shards)
-                .map(|_| Mutex::new(Store::new(shard_config)))
+            shards: (0..shards_u32)
+                .map(|i| {
+                    let extra = u32::from(i < remainder);
+                    let shard_config = StoreConfig {
+                        slab: SlabConfig {
+                            max_slabs: (base + extra).max(1),
+                            ..config.slab
+                        },
+                        eviction: config.eviction.clone(),
+                    };
+                    Mutex::new(Store::new(shard_config))
+                })
                 .collect(),
             hasher: RandomState::new(),
         }
@@ -70,16 +77,25 @@ impl ShardedStore {
         self.shards.len()
     }
 
+    /// The shard index `key` hashes to (stable for this store instance).
+    #[must_use]
+    pub fn shard_index(&self, key: &[u8]) -> usize {
+        (self.hasher.hash_one(key) % self.shards.len() as u64) as usize
+    }
+
+    /// The active policy name of each shard, in shard order.
+    #[must_use]
+    pub fn policy_names(&self) -> Vec<String> {
+        self.shards.iter().map(|s| lock(s).policy_name()).collect()
+    }
+
     fn shard_for(&self, key: &[u8]) -> &Mutex<Store> {
-        
-        
-        let index = (self.hasher.hash_one(key) % self.shards.len() as u64) as usize;
-        &self.shards[index]
+        &self.shards[self.shard_index(key)]
     }
 
     /// Looks up `key` in its shard (recency updated there).
     pub fn get(&self, key: &[u8]) -> Option<GetResult> {
-        self.shard_for(key).lock().get(key)
+        lock(self.shard_for(key)).get(key)
     }
 
     /// Stores a pair in its shard.
@@ -95,12 +111,12 @@ impl ShardedStore {
         expires_at: u64,
         cost: u64,
     ) -> Result<(), StoreError> {
-        self.shard_for(key).lock().set(key, value, flags, expires_at, cost)
+        lock(self.shard_for(key)).set(key, value, flags, expires_at, cost)
     }
 
     /// Deletes `key` from its shard.
     pub fn delete(&self, key: &[u8]) -> bool {
-        self.shard_for(key).lock().delete(key)
+        lock(self.shard_for(key)).delete(key)
     }
 
     /// Stores only if absent (`add`), atomically within the shard.
@@ -116,7 +132,7 @@ impl ShardedStore {
         expires_at: u64,
         cost: u64,
     ) -> Result<bool, StoreError> {
-        self.shard_for(key).lock().add(key, value, flags, expires_at, cost)
+        lock(self.shard_for(key)).add(key, value, flags, expires_at, cost)
     }
 
     /// Stores only if present (`replace`), atomically within the shard.
@@ -132,43 +148,41 @@ impl ShardedStore {
         expires_at: u64,
         cost: u64,
     ) -> Result<bool, StoreError> {
-        self.shard_for(key)
-            .lock()
-            .replace(key, value, flags, expires_at, cost)
+        lock(self.shard_for(key)).replace(key, value, flags, expires_at, cost)
     }
 
     /// Atomic numeric increment within the shard.
     pub fn incr(&self, key: &[u8], delta: u64) -> Option<u64> {
-        self.shard_for(key).lock().incr(key, delta)
+        lock(self.shard_for(key)).incr(key, delta)
     }
 
     /// Atomic numeric decrement within the shard (floored at zero).
     pub fn decr(&self, key: &[u8], delta: u64) -> Option<u64> {
-        self.shard_for(key).lock().decr(key, delta)
+        lock(self.shard_for(key)).decr(key, delta)
     }
 
     /// Updates a resident key's expiry.
     pub fn touch(&self, key: &[u8], expires_at: u64) -> bool {
-        self.shard_for(key).lock().touch(key, expires_at)
+        lock(self.shard_for(key)).touch(key, expires_at)
     }
 
     /// Drops every item from every shard.
     pub fn flush_all(&self) {
         for shard in &self.shards {
-            shard.lock().flush_all();
+            lock(shard).flush_all();
         }
     }
 
     /// Whether `key` is resident.
     #[must_use]
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.shard_for(key).lock().contains(key)
+        lock(self.shard_for(key)).contains(key)
     }
 
     /// Total live items across shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
     /// Whether every shard is empty.
@@ -182,7 +196,7 @@ impl ShardedStore {
     pub fn stats(&self) -> StoreStats {
         let mut total = StoreStats::default();
         for shard in &self.shards {
-            let s = shard.lock().stats();
+            let s = lock(shard).stats();
             total.get_hits += s.get_hits;
             total.get_misses += s.get_misses;
             total.sets += s.sets;
@@ -200,7 +214,7 @@ impl ShardedStore {
     pub fn slab_census(&self) -> Vec<(u32, usize, u64)> {
         let mut merged: std::collections::BTreeMap<u32, (usize, u64)> = Default::default();
         for shard in &self.shards {
-            for (chunk_size, slabs, items) in shard.lock().slab_census() {
+            for (chunk_size, slabs, items) in lock(shard).slab_census() {
                 let entry = merged.entry(chunk_size).or_default();
                 entry.0 += slabs;
                 entry.1 += items;
@@ -235,7 +249,9 @@ mod tests {
         let store = sharded(4);
         for i in 0..100u32 {
             let key = format!("key-{i}");
-            store.set(key.as_bytes(), format!("v{i}").as_bytes(), 0, 0, 1).unwrap();
+            store
+                .set(key.as_bytes(), format!("v{i}").as_bytes(), 0, 0, 1)
+                .unwrap();
         }
         assert_eq!(store.len(), 100);
         for i in 0..100u32 {
@@ -262,7 +278,7 @@ mod tests {
         }
         // No shard should be empty with 800 uniform keys over 8 shards.
         for shard in &store.shards {
-            let len = shard.lock().len();
+            let len = lock(shard).len();
             assert!(len > 30, "suspiciously unbalanced shard: {len}");
         }
     }
@@ -326,5 +342,38 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedStore::new(StoreConfig::camp_with_memory(1 << 20), 0);
+    }
+
+    #[test]
+    fn slab_remainder_is_distributed_not_dropped() {
+        // 10 slabs over 4 shards: 3 + 3 + 2 + 2, not 2 * 4 = 8.
+        let store = ShardedStore::new(
+            StoreConfig {
+                slab: SlabConfig::small(4096, 10),
+                eviction: EvictionMode::Lru,
+            },
+            4,
+        );
+        let budgets: Vec<u32> = store
+            .shards
+            .iter()
+            .map(|s| lock(s).slab_config().max_slabs)
+            .collect();
+        assert_eq!(budgets, vec![3, 3, 2, 2]);
+        assert_eq!(budgets.iter().sum::<u32>(), 10);
+    }
+
+    #[test]
+    fn shard_index_routes_consistently_and_names_policies() {
+        let store = sharded(4);
+        assert_eq!(store.policy_names(), vec!["camp(p=5)"; 4]);
+        for i in 0..50u32 {
+            let key = format!("key-{i}");
+            let idx = store.shard_index(key.as_bytes());
+            assert!(idx < store.shard_count());
+            assert_eq!(idx, store.shard_index(key.as_bytes()), "index is stable");
+            store.set(key.as_bytes(), b"v", 0, 0, 1).unwrap();
+            assert!(lock(&store.shards[idx]).contains(key.as_bytes()));
+        }
     }
 }

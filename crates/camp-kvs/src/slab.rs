@@ -15,8 +15,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use camp_core::rng::Rng64;
 
 /// Configuration of the slab geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +40,7 @@ impl SlabConfig {
             slab_size,
             min_chunk: 120,
             growth_percent: 125,
-            max_slabs: u32::try_from((bytes / u64::from(slab_size)).max(1))
-                .unwrap_or(u32::MAX),
+            max_slabs: u32::try_from((bytes / u64::from(slab_size)).max(1)).unwrap_or(u32::MAX),
         }
     }
 
@@ -132,7 +130,10 @@ impl fmt::Display for SlabError {
                 write!(f, "item of {requested} bytes exceeds the slab size {max}")
             }
             SlabError::NoMemory { class } => {
-                write!(f, "no free chunks for slab class {class} and no unassigned slabs")
+                write!(
+                    f,
+                    "no free chunks for slab class {class} and no unassigned slabs"
+                )
             }
         }
     }
@@ -177,7 +178,7 @@ pub struct SlabAllocator {
     class_sizes: Vec<u32>,
     classes: Vec<SlabClass>,
     slabs: Vec<Slab>,
-    rng: StdRng,
+    rng: Rng64,
     slab_evictions: u64,
 }
 
@@ -198,7 +199,7 @@ impl SlabAllocator {
             class_sizes,
             classes,
             slabs: Vec::new(),
-            rng: StdRng::seed_from_u64(0x517AB),
+            rng: Rng64::seed_from_u64(0x517AB),
             slab_evictions: 0,
         }
     }
@@ -403,7 +404,7 @@ impl SlabAllocator {
         if candidates.is_empty() {
             return None;
         }
-        let slab_index = candidates[self.rng.random_range(0..candidates.len())];
+        let slab_index = candidates[self.rng.range_usize(0, candidates.len())];
         let slab = &self.slabs[slab_index as usize];
         let class = slab.class;
         let victims: Vec<ChunkRef> = slab
@@ -483,8 +484,8 @@ mod tests {
         // "a single slab of class 1 can fit 8737 (1 MB / 120 byte) chunks"
         let config = SlabConfig::default();
         assert_eq!(config.slab_size / 120, 8738); // integer division
-        // (The paper says 8737 — off-by-one in the paper's rounding; we
-        // follow exact integer division.)
+                                                  // (The paper says 8737 — off-by-one in the paper's rounding; we
+                                                  // follow exact integer division.)
     }
 
     #[test]

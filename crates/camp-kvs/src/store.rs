@@ -1,10 +1,12 @@
 //! The cache store: slab-backed item storage with pluggable eviction.
 //!
 //! This is the heart of the Twemcache-like server of the paper's §4: a hash
-//! index over items stored in slab chunks, with eviction decided by either
-//! LRU (stock Twemcache) or CAMP (the paper's IQ Twemcache modification).
-//! Unlike the simulator — where capacity is a logical byte budget — eviction
-//! here is driven by *slab memory exhaustion*, faithfully reproducing the
+//! index over items stored in slab chunks, with eviction decided by any
+//! [`EvictionPolicy`] from the shared policy layer — stock Twemcache LRU,
+//! the paper's CAMP, or any of the surveyed baselines (GDS, GDSF, LRU-K,
+//! 2Q, ARC, GD-Wheel, pooled LRU), selected by [`EvictionMode`]. Unlike
+//! the simulator — where capacity is a logical byte budget — eviction here
+//! is driven by *slab memory exhaustion*, faithfully reproducing the
 //! allocation protocol of §5:
 //!
 //! 1. reuse a free chunk of the item's slab class;
@@ -13,27 +15,25 @@
 //!    that empties for the needed class;
 //! 4. if the memory is calcified (evictions never free the right class),
 //!    force a *random slab eviction* and reassign the slab.
+//!
+//! The policy tracks logical item bytes against the physical slab budget.
+//! Because chunk rounding makes physical usage exceed logical usage, slab
+//! exhaustion fires first and the policy acts as a pure victim selector,
+//! exactly as in the paper's IQ Twemcache modification.
 
 use std::collections::HashMap;
 
-use camp_core::arena::{Arena, EntryId};
-use camp_core::lru_list::{Linked, Links, LruList};
-use camp_core::{Camp, Precision};
+pub use camp_policies::EvictionMode;
+use camp_policies::{AccessOutcome, CacheRequest, EvictionPolicy};
 
 use crate::item::Item;
 use crate::slab::{ChunkRef, SlabAllocator, SlabConfig, SlabError};
 
-/// Which replacement policy the store runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EvictionMode {
-    /// Stock Twemcache: least-recently-used.
-    Lru,
-    /// The paper's contribution, at the given rounding precision.
-    Camp(Precision),
-}
-
 /// Store configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Not `Copy`: [`EvictionMode`] can carry non-`Copy` parameters (pooled-LRU
+/// boundaries). Clone it where a copy used to be taken.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreConfig {
     /// Slab geometry and memory budget.
     pub slab: SlabConfig,
@@ -42,22 +42,25 @@ pub struct StoreConfig {
 }
 
 impl StoreConfig {
+    /// A store with the given memory and policy.
+    #[must_use]
+    pub fn with_memory(bytes: u64, eviction: EvictionMode) -> Self {
+        StoreConfig {
+            slab: SlabConfig::with_memory(bytes),
+            eviction,
+        }
+    }
+
     /// A CAMP store with the paper's default precision and the given memory.
     #[must_use]
     pub fn camp_with_memory(bytes: u64) -> Self {
-        StoreConfig {
-            slab: SlabConfig::with_memory(bytes),
-            eviction: EvictionMode::Camp(Precision::PAPER_DEFAULT),
-        }
+        StoreConfig::with_memory(bytes, EvictionMode::default())
     }
 
     /// An LRU store with the given memory.
     #[must_use]
     pub fn lru_with_memory(bytes: u64) -> Self {
-        StoreConfig {
-            slab: SlabConfig::with_memory(bytes),
-            eviction: EvictionMode::Lru,
-        }
+        StoreConfig::with_memory(bytes, EvictionMode::Lru)
     }
 }
 
@@ -122,123 +125,6 @@ pub struct GetResult {
     pub cost: u64,
 }
 
-#[derive(Debug)]
-struct LruNode {
-    key: Box<[u8]>,
-    chunk: ChunkRef,
-    links: Links,
-}
-
-impl Linked for LruNode {
-    fn links(&self) -> &Links {
-        &self.links
-    }
-    fn links_mut(&mut self) -> &mut Links {
-        &mut self.links
-    }
-}
-
-/// A plain LRU index over byte keys (stock Twemcache behaviour).
-#[derive(Debug, Default)]
-struct ByteLru {
-    map: HashMap<Box<[u8]>, EntryId>,
-    arena: Arena<LruNode>,
-    list: LruList,
-}
-
-impl ByteLru {
-    fn get(&mut self, key: &[u8]) -> Option<ChunkRef> {
-        let &id = self.map.get(key)?;
-        self.list.move_to_back(&mut self.arena, id);
-        self.arena.get(id).map(|n| n.chunk)
-    }
-
-    fn peek(&self, key: &[u8]) -> Option<ChunkRef> {
-        let &id = self.map.get(key)?;
-        self.arena.get(id).map(|n| n.chunk)
-    }
-
-    fn insert(&mut self, key: Box<[u8]>, chunk: ChunkRef) {
-        debug_assert!(!self.map.contains_key(&key));
-        let id = self.arena.insert(LruNode {
-            key: key.clone(),
-            chunk,
-            links: Links::new(),
-        });
-        self.list.push_back(&mut self.arena, id);
-        self.map.insert(key, id);
-    }
-
-    fn remove(&mut self, key: &[u8]) -> Option<ChunkRef> {
-        let id = self.map.remove(key)?;
-        self.list.unlink(&mut self.arena, id);
-        self.arena.remove(id).map(|n| n.chunk)
-    }
-
-    fn victim(&self) -> Option<&[u8]> {
-        self.list
-            .front()
-            .and_then(|id| self.arena.get(id))
-            .map(|n| n.key.as_ref())
-    }
-
-    fn len(&self) -> usize {
-        self.map.len()
-    }
-}
-
-#[derive(Debug)]
-enum Index {
-    Lru(ByteLru),
-    Camp(Box<Camp<Box<[u8]>, ChunkRef>>),
-}
-
-impl Index {
-    fn get(&mut self, key: &[u8]) -> Option<ChunkRef> {
-        match self {
-            Index::Lru(lru) => lru.get(key),
-            Index::Camp(camp) => camp.get(key).copied(),
-        }
-    }
-
-    fn peek(&self, key: &[u8]) -> Option<ChunkRef> {
-        match self {
-            Index::Lru(lru) => lru.peek(key),
-            Index::Camp(camp) => camp.peek(key).copied(),
-        }
-    }
-
-    fn insert(&mut self, key: Box<[u8]>, chunk: ChunkRef, size: u64, cost: u64) {
-        match self {
-            Index::Lru(lru) => lru.insert(key, chunk),
-            Index::Camp(camp) => {
-                camp.insert(key, chunk, size, cost);
-            }
-        }
-    }
-
-    fn remove(&mut self, key: &[u8]) -> Option<ChunkRef> {
-        match self {
-            Index::Lru(lru) => lru.remove(key),
-            Index::Camp(camp) => camp.remove(key),
-        }
-    }
-
-    fn victim(&self) -> Option<Box<[u8]>> {
-        match self {
-            Index::Lru(lru) => lru.victim().map(Box::from),
-            Index::Camp(camp) => camp.victim().cloned(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Index::Lru(lru) => lru.len(),
-            Index::Camp(camp) => camp.len(),
-        }
-    }
-}
-
 /// The slab-backed cache store.
 ///
 /// # Examples
@@ -251,14 +137,28 @@ impl Index {
 /// let hit = store.get(b"user:1").expect("resident");
 /// assert_eq!(hit.value, b"alice");
 /// assert_eq!(hit.cost, 1_000);
+/// assert_eq!(store.policy_name(), "camp(p=5)");
 /// # Ok::<(), camp_kvs::store::StoreError>(())
 /// ```
-#[derive(Debug)]
 pub struct Store {
     slabs: SlabAllocator,
-    index: Index,
+    /// Chunk locations, keyed by the wire key. Residency here is the source
+    /// of truth; the policy mirrors it for victim selection.
+    index: HashMap<Box<[u8]>, ChunkRef>,
+    policy: Box<dyn EvictionPolicy<Box<[u8]>> + Send>,
     mode: EvictionMode,
     stats: StoreStats,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("policy", &self.policy.name())
+            .field("mode", &self.mode)
+            .field("len", &self.index.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Store {
@@ -269,17 +169,10 @@ impl Store {
     /// Creates a store.
     #[must_use]
     pub fn new(config: StoreConfig) -> Self {
-        let index = match config.eviction {
-            EvictionMode::Lru => Index::Lru(ByteLru::default()),
-            EvictionMode::Camp(precision) => {
-                // The slab allocator enforces capacity; CAMP only selects
-                // victims, so its own byte budget is unbounded.
-                Index::Camp(Box::new(Camp::new(u64::MAX, precision)))
-            }
-        };
         Store {
             slabs: SlabAllocator::new(config.slab),
-            index,
+            index: HashMap::new(),
+            policy: config.eviction.build(policy_budget(&config.slab)),
             mode: config.eviction,
             stats: StoreStats::default(),
         }
@@ -287,8 +180,14 @@ impl Store {
 
     /// The eviction policy in use.
     #[must_use]
-    pub fn eviction_mode(&self) -> EvictionMode {
-        self.mode
+    pub fn eviction_mode(&self) -> &EvictionMode {
+        &self.mode
+    }
+
+    /// The active policy's self-reported name (e.g. `camp(p=5)`).
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
     }
 
     /// Number of live items.
@@ -300,7 +199,7 @@ impl Store {
     /// Whether the store holds no items.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.index.len() == 0
+        self.index.is_empty()
     }
 
     /// Cumulative counters.
@@ -315,6 +214,12 @@ impl Store {
         self.slabs.class_census()
     }
 
+    /// The slab geometry this store was built with.
+    #[must_use]
+    pub fn slab_config(&self) -> &SlabConfig {
+        self.slabs.config()
+    }
+
     /// Looks up `key`, updating recency. Expired items are dropped.
     pub fn get(&mut self, key: &[u8]) -> Option<GetResult> {
         self.get_at(key, unix_now())
@@ -322,24 +227,30 @@ impl Store {
 
     /// Like [`Store::get`] with an explicit clock (for tests and replay).
     pub fn get_at(&mut self, key: &[u8], now: u64) -> Option<GetResult> {
-        let Some(chunk) = self.index.get(key) else {
+        let Some(&chunk) = self.index.get(key) else {
             self.stats.get_misses += 1;
             return None;
         };
-        let item = Item::decode(self.slabs.read(chunk));
-        if item.expires_at != 0 && item.expires_at <= now {
-            let _ = item;
-            self.index.remove(key);
+        let result = {
+            let item = Item::decode(self.slabs.read(chunk));
+            if item.expires_at != 0 && item.expires_at <= now {
+                None
+            } else {
+                Some(GetResult {
+                    value: item.value.to_vec(),
+                    flags: item.flags,
+                    cost: item.cost,
+                })
+            }
+        };
+        let Some(result) = result else {
+            self.remove_entry(key);
             self.slabs.free(chunk);
             self.stats.expired += 1;
             self.stats.get_misses += 1;
             return None;
-        }
-        let result = GetResult {
-            value: item.value.to_vec(),
-            flags: item.flags,
-            cost: item.cost,
         };
+        self.policy.touch(&Box::from(key));
         self.stats.get_hits += 1;
         Some(result)
     }
@@ -347,7 +258,7 @@ impl Store {
     /// Whether `key` is resident (no recency update, no expiry check).
     #[must_use]
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.index.peek(key).is_some()
+        self.index.contains_key(key)
     }
 
     /// Stores a key-value pair with the given flags, absolute expiry (unix
@@ -366,11 +277,10 @@ impl Store {
         cost: u64,
     ) -> Result<(), StoreError> {
         let total = Item::encoded_len(key.len(), value.len());
-        let total =
-            u32::try_from(total).map_err(|_| StoreError::ValueTooLarge {
-                requested: u32::MAX,
-                max: self.slabs.config().slab_size,
-            })?;
+        let total = u32::try_from(total).map_err(|_| StoreError::ValueTooLarge {
+            requested: u32::MAX,
+            max: self.slabs.config().slab_size,
+        })?;
         let class = match self.slabs.class_for(total) {
             Ok(class) => class,
             Err(SlabError::ItemTooLarge { requested, max }) => {
@@ -379,7 +289,7 @@ impl Store {
             Err(SlabError::NoMemory { .. }) => unreachable!("class_for never reports memory"),
         };
         // Replace semantics: drop the old item first.
-        if let Some(old) = self.index.remove(key) {
+        if let Some(old) = self.remove_entry(key) {
             self.free_chunk(old, class);
         }
         let chunk = self.allocate_with_eviction(total, class)?;
@@ -393,8 +303,27 @@ impl Store {
         let mut buf = vec![0u8; total as usize];
         item.encode_into(&mut buf);
         self.slabs.write(chunk, &buf);
-        self.index
-            .insert(Box::from(key), chunk, u64::from(total), cost);
+        // Register with the policy; it may evict on its own logical budget
+        // (rare — slab exhaustion normally fires first, above).
+        let boxed_key: Box<[u8]> = Box::from(key);
+        let mut evicted = Vec::new();
+        let outcome = self.policy.reference(
+            CacheRequest::new(boxed_key.clone(), u64::from(total), cost),
+            &mut evicted,
+        );
+        for victim in evicted {
+            if let Some(victim_chunk) = self.index.remove(&victim) {
+                self.free_chunk(victim_chunk, class);
+                self.stats.evictions += 1;
+            }
+        }
+        if outcome == AccessOutcome::MissBypassed {
+            // The policy refused the item (can only happen when the whole
+            // budget is smaller than one item): undo the allocation.
+            self.slabs.free(chunk);
+            return Err(StoreError::OutOfMemory);
+        }
+        self.index.insert(boxed_key, chunk);
         self.stats.sets += 1;
         Ok(())
     }
@@ -454,7 +383,7 @@ impl Store {
     }
 
     fn add_signed(&mut self, key: &[u8], delta: u64, up: bool) -> Option<u64> {
-        let chunk = self.index.peek(key)?;
+        let &chunk = self.index.get(key)?;
         let (current, flags, cost, expires_at) = {
             let item = Item::decode(self.slabs.read(chunk));
             let text = std::str::from_utf8(item.value).ok()?;
@@ -475,7 +404,7 @@ impl Store {
     /// Updates the expiry of a resident key in place (memcached `touch`).
     /// Returns whether the key was resident.
     pub fn touch(&mut self, key: &[u8], expires_at: u64) -> bool {
-        let Some(chunk) = self.index.peek(key) else {
+        let Some(&chunk) = self.index.get(key) else {
             return false;
         };
         // The expiry lives at a fixed header offset: after the key length
@@ -488,19 +417,17 @@ impl Store {
 
     /// Drops every item (memcached `flush_all`).
     pub fn flush_all(&mut self) {
-        while let Some(victim) = self.index.victim() {
-            let chunk = self
-                .index
-                .remove(&victim)
-                .expect("victim is resident");
-            // No class preference during a flush; keep the slab's class.
+        for (_, chunk) in self.index.drain() {
             self.slabs.free(chunk);
         }
+        // A fresh policy instance is cheaper and simpler than removing every
+        // key from the old one.
+        self.policy = self.mode.build(policy_budget(self.slabs.config()));
     }
 
     /// Deletes `key`. Returns whether it was resident.
     pub fn delete(&mut self, key: &[u8]) -> bool {
-        match self.index.remove(key) {
+        match self.remove_entry(key) {
             Some(chunk) => {
                 let class = chunk.class();
                 self.free_chunk(chunk, class);
@@ -509,6 +436,16 @@ impl Store {
             }
             None => false,
         }
+    }
+
+    /// Removes `key` from both the index and the policy.
+    fn remove_entry(&mut self, key: &[u8]) -> Option<ChunkRef> {
+        let chunk = self.index.remove(key)?;
+        // The policy may not know the key (e.g. replaced while the policy
+        // had already evicted it on its own budget) — residency in the
+        // index is what counts.
+        self.policy.remove(&Box::from(key));
+        Some(chunk)
     }
 
     /// Frees a chunk; if its slab empties and a different class needs
@@ -524,11 +461,7 @@ impl Store {
     }
 
     /// The §5 allocation protocol.
-    fn allocate_with_eviction(
-        &mut self,
-        total: u32,
-        class: u8,
-    ) -> Result<ChunkRef, StoreError> {
+    fn allocate_with_eviction(&mut self, total: u32, class: u8) -> Result<ChunkRef, StoreError> {
         for _ in 0..Self::MAX_EVICTIONS_PER_ALLOC {
             match self.slabs.allocate(total) {
                 Ok(chunk) => return Ok(chunk),
@@ -544,15 +477,12 @@ impl Store {
                         continue;
                     }
                     // Step 4: evict by policy.
-                    let Some(victim) = self.index.victim() else {
+                    let Some(victim) = self.policy.victim() else {
                         // Nothing left to evict and no reusable slab: the
                         // item cannot fit.
                         return Err(StoreError::OutOfMemory);
                     };
-                    let chunk = self
-                        .index
-                        .remove(&victim)
-                        .expect("victim is resident");
+                    let chunk = self.remove_entry(&victim).expect("victim is resident");
                     self.free_chunk(chunk, class);
                     self.stats.evictions += 1;
                 }
@@ -564,14 +494,21 @@ impl Store {
         };
         for chunk in victims {
             let key: Box<[u8]> = Item::decode(self.slabs.read(chunk)).key.into();
-            self.index.remove(&key).expect("slab item is indexed");
+            self.remove_entry(&key).expect("slab item is indexed");
             self.slabs.free(chunk);
             self.stats.evictions += 1;
         }
         self.slabs.complete_reassign(slab_index, class);
         self.stats.slab_reassignments += 1;
-        self.slabs.allocate(total).map_err(|_| StoreError::OutOfMemory)
+        self.slabs
+            .allocate(total)
+            .map_err(|_| StoreError::OutOfMemory)
     }
+}
+
+/// The logical byte budget handed to the policy: the full slab memory.
+fn policy_budget(slab: &SlabConfig) -> u64 {
+    u64::from(slab.slab_size) * u64::from(slab.max_slabs)
 }
 
 fn unix_now() -> u64 {
@@ -584,6 +521,7 @@ fn unix_now() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use camp_core::Precision;
 
     fn small_store(mode: EvictionMode) -> Store {
         Store::new(StoreConfig {
@@ -592,14 +530,21 @@ mod tests {
         })
     }
 
+    fn all_modes() -> Vec<EvictionMode> {
+        EvictionMode::all_names()
+            .into_iter()
+            .map(|n| n.parse().unwrap())
+            .collect()
+    }
+
     #[test]
-    fn set_get_delete_roundtrip_both_modes() {
-        for mode in [EvictionMode::Lru, EvictionMode::Camp(Precision::Bits(5))] {
-            let mut store = small_store(mode);
+    fn set_get_delete_roundtrip_all_modes() {
+        for mode in all_modes() {
+            let mut store = small_store(mode.clone());
             store.set(b"alpha", b"1111", 3, 0, 50).unwrap();
             store.set(b"beta", b"2222", 0, 0, 60).unwrap();
             let got = store.get(b"alpha").unwrap();
-            assert_eq!(got.value, b"1111");
+            assert_eq!(got.value, b"1111", "{mode}");
             assert_eq!(got.flags, 3);
             assert_eq!(got.cost, 50);
             assert!(store.delete(b"alpha"));
@@ -611,6 +556,7 @@ mod tests {
             assert_eq!(stats.get_hits, 1);
             assert_eq!(stats.get_misses, 1);
             assert_eq!(stats.deletes, 1);
+            assert!(!store.policy_name().is_empty());
         }
     }
 
@@ -639,9 +585,27 @@ mod tests {
     }
 
     #[test]
+    fn every_mode_survives_slab_pressure() {
+        for mode in all_modes() {
+            let mut store = small_store(mode.clone());
+            for i in 0..400u32 {
+                let key = format!("key-{i:04}");
+                let cost = 1 + u64::from(i % 7) * 100;
+                store.set(key.as_bytes(), &[0u8; 60], 0, 0, cost).unwrap();
+                // Index and policy must agree on the resident set size.
+                assert_eq!(store.len(), store.index.len(), "{mode}");
+            }
+            assert!(store.stats().evictions > 0, "{mode}: no evictions");
+            assert!(store.len() < 400, "{mode}");
+        }
+    }
+
+    #[test]
     fn camp_store_protects_expensive_items() {
         let mut store = small_store(EvictionMode::Camp(Precision::Bits(5)));
-        store.set(b"expensive", &[7u8; 60], 0, 0, 1_000_000).unwrap();
+        store
+            .set(b"expensive", &[7u8; 60], 0, 0, 1_000_000)
+            .unwrap();
         for i in 0..600u32 {
             let key = format!("cheap-{i:04}");
             store.set(key.as_bytes(), &[0u8; 60], 0, 0, 1).unwrap();
@@ -661,6 +625,22 @@ mod tests {
         assert!(
             !lru_store.contains(b"expensive"),
             "LRU is cost-blind and must have evicted it"
+        );
+    }
+
+    #[test]
+    fn gds_store_also_protects_expensive_items() {
+        let mut store = small_store(EvictionMode::Gds);
+        store
+            .set(b"expensive", &[7u8; 60], 0, 0, 1_000_000)
+            .unwrap();
+        for i in 0..600u32 {
+            let key = format!("cheap-{i:04}");
+            store.set(key.as_bytes(), &[0u8; 60], 0, 0, 1).unwrap();
+        }
+        assert!(
+            store.contains(b"expensive"),
+            "GDS must keep the expensive item under cheap churn"
         );
     }
 
@@ -737,24 +717,29 @@ mod tests {
         let mut store = small_store(EvictionMode::Lru);
         store.set(b"t", b"v", 0, 100, 1).unwrap();
         assert!(store.touch(b"t", 500));
-        assert!(store.get_at(b"t", 300).is_some(), "touched key must live on");
+        assert!(
+            store.get_at(b"t", 300).is_some(),
+            "touched key must live on"
+        );
         assert!(store.get_at(b"t", 500).is_none());
         assert!(!store.touch(b"missing", 1));
     }
 
     #[test]
     fn flush_all_empties_the_store() {
-        let mut store = small_store(EvictionMode::Camp(Precision::Bits(5)));
-        for i in 0..20u32 {
-            store
-                .set(format!("k{i}").as_bytes(), b"v", 0, 0, 1)
-                .unwrap();
+        for mode in all_modes() {
+            let mut store = small_store(mode.clone());
+            for i in 0..20u32 {
+                store
+                    .set(format!("k{i}").as_bytes(), b"v", 0, 0, 1)
+                    .unwrap();
+            }
+            store.flush_all();
+            assert!(store.is_empty(), "{mode}");
+            // Memory is reusable afterwards.
+            store.set(b"fresh", b"v", 0, 0, 1).unwrap();
+            assert!(store.contains(b"fresh"));
         }
-        store.flush_all();
-        assert!(store.is_empty());
-        // Memory is reusable afterwards.
-        store.set(b"fresh", b"v", 0, 0, 1).unwrap();
-        assert!(store.contains(b"fresh"));
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Poison-recovering lock helper.
+//!
+//! The server holds shard locks only around store operations that maintain
+//! their own invariants, so a panicking connection thread must not wedge
+//! every later request on a `PoisonError`.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

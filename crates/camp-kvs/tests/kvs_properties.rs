@@ -1,44 +1,52 @@
 //! Property tests for the KVS substrate: the protocol parser never panics,
-//! the store matches a reference model under arbitrary operation sequences,
-//! and the two allocators conserve memory.
+//! the store matches a reference model under arbitrary operation sequences
+//! (for every pluggable eviction policy), and the two allocators conserve
+//! memory. Seeded random exploration via `camp_core::rng::Rng64`.
 
-use camp_core::Precision;
+use camp_core::rng::Rng64;
 use camp_kvs::buddy::BuddyAllocator;
 use camp_kvs::protocol::parse_command;
 use camp_kvs::slab::{SlabAllocator, SlabConfig};
 use camp_kvs::store::{EvictionMode, Store, StoreConfig, StoreError};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------- protocol
 
-proptest! {
-    /// Arbitrary byte lines never panic the parser — they parse or they
-    /// produce a protocol error.
-    #[test]
-    fn parser_never_panics(line in prop::collection::vec(any::<u8>(), 0..300)) {
+/// Arbitrary byte lines never panic the parser — they parse or they
+/// produce a protocol error.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng64::seed_from_u64(0x9a75e5);
+    for _ in 0..4_000 {
+        let len = rng.range_usize(0, 300);
+        let line: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = parse_command(&line);
     }
+}
 
-    /// Lines without interior newlines round-trip through the grammar:
-    /// every successfully parsed storage command reports a sane byte count
-    /// and a valid key.
-    #[test]
-    fn parsed_set_headers_are_sane(
-        key in "[a-zA-Z0-9:_-]{1,64}",
-        flags in any::<u32>(),
-        exptime in any::<u32>(),
-        bytes in 0usize..100_000,
-    ) {
+/// Well-formed storage commands round-trip through the grammar: every
+/// successfully parsed `set` header reports the key, flags, expiry and
+/// byte count it was given.
+#[test]
+fn parsed_set_headers_are_sane() {
+    const KEY_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:_-";
+    let mut rng = Rng64::seed_from_u64(0x5e7);
+    for _ in 0..2_000 {
+        let key: String = (0..rng.range_usize(1, 65))
+            .map(|_| KEY_CHARS[rng.range_usize(0, KEY_CHARS.len())] as char)
+            .collect();
+        let flags = rng.next_u64() as u32;
+        let exptime = rng.next_u64() as u32;
+        let bytes = rng.range_usize(0, 100_000);
         let line = format!("set {key} {flags} {exptime} {bytes}");
         match parse_command(line.as_bytes()).expect("well-formed set must parse") {
             camp_kvs::protocol::Command::Set { header } => {
-                prop_assert_eq!(header.key, key.into_bytes());
-                prop_assert_eq!(header.flags, flags);
-                prop_assert_eq!(header.exptime, u64::from(exptime));
-                prop_assert_eq!(header.bytes, bytes);
-                prop_assert_eq!(header.cost_hint, None);
+                assert_eq!(header.key, key.into_bytes());
+                assert_eq!(header.flags, flags);
+                assert_eq!(header.exptime, u64::from(exptime));
+                assert_eq!(header.bytes, bytes);
+                assert_eq!(header.cost_hint, None);
             }
-            other => prop_assert!(false, "unexpected parse: {other:?}"),
+            other => panic!("unexpected parse: {other:?}"),
         }
     }
 }
@@ -55,133 +63,154 @@ enum StoreOp {
     FlushAll,
 }
 
-fn store_ops() -> impl Strategy<Value = Vec<StoreOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            5 => (any::<u8>(), 0u16..2_000, 0u64..10_000)
-                .prop_map(|(key, value_len, cost)| StoreOp::Set { key, value_len, cost }),
-            4 => any::<u8>().prop_map(StoreOp::Get),
-            2 => any::<u8>().prop_map(StoreOp::Delete),
-            1 => any::<u8>().prop_map(StoreOp::Incr),
-            1 => (any::<u8>(), 0u16..500).prop_map(|(key, value_len)| StoreOp::Add { key, value_len }),
-            1 => Just(StoreOp::FlushAll),
-        ],
-        0..200,
-    )
+fn random_ops(rng: &mut Rng64) -> Vec<StoreOp> {
+    let count = rng.range_usize(0, 200);
+    (0..count)
+        .map(|_| {
+            let key = rng.next_u64() as u8;
+            match rng.range_u64(0, 14) {
+                0..=4 => StoreOp::Set {
+                    key,
+                    value_len: rng.range_u64(0, 2_000) as u16,
+                    cost: rng.range_u64(0, 10_000),
+                },
+                5..=8 => StoreOp::Get(key),
+                9..=10 => StoreOp::Delete(key),
+                11 => StoreOp::Incr(key),
+                12 => StoreOp::Add {
+                    key,
+                    value_len: rng.range_u64(0, 500) as u16,
+                },
+                _ => StoreOp::FlushAll,
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// The store agrees with a HashMap model on membership and values, for
-    /// both eviction modes, under arbitrary op sequences — with the model
-    /// pruned by whatever the store evicted (evictions are policy choices,
-    /// not correctness violations).
-    #[test]
-    fn store_matches_model(ops in store_ops(), lru in any::<bool>()) {
-        let eviction = if lru {
-            EvictionMode::Lru
-        } else {
-            EvictionMode::Camp(Precision::Bits(5))
-        };
-        let mut store = Store::new(StoreConfig {
-            slab: SlabConfig::small(8 * 1024, 8),
-            eviction,
-        });
-        let mut model: std::collections::HashMap<u8, Vec<u8>> = Default::default();
-        for op in &ops {
-            match *op {
-                StoreOp::Set { key, value_len, cost } => {
-                    let value = vec![key; value_len as usize];
-                    match store.set(&[key], &value, 0, 0, cost) {
-                        Ok(()) => {
-                            model.insert(key, value);
-                        }
-                        Err(StoreError::ValueTooLarge { .. }) => {
-                            // Unstorable: model unchanged, store unchanged.
-                        }
-                        Err(StoreError::OutOfMemory) => {
-                            prop_assert!(false, "8 slabs cannot OOM on 2KB values");
-                        }
+/// The store agrees with a HashMap model on membership and values, for
+/// **every** eviction mode the spec layer can build, under arbitrary op
+/// sequences — with the model pruned by whatever the store evicted
+/// (evictions are policy choices, not correctness violations).
+#[test]
+fn store_matches_model_under_every_policy() {
+    let modes: Vec<EvictionMode> = EvictionMode::all_names()
+        .iter()
+        .map(|name| name.parse().expect("documented name parses"))
+        .collect();
+    for mode in &modes {
+        for seed in 0..12u64 {
+            let mut rng = Rng64::seed_from_u64(0xC0DE ^ seed);
+            let ops = random_ops(&mut rng);
+            check_store_against_model(mode.clone(), &ops);
+        }
+    }
+}
+
+fn check_store_against_model(eviction: EvictionMode, ops: &[StoreOp]) {
+    let mut store = Store::new(StoreConfig {
+        slab: SlabConfig::small(8 * 1024, 8),
+        eviction,
+    });
+    let mut model: std::collections::HashMap<u8, Vec<u8>> = Default::default();
+    for op in ops {
+        match *op {
+            StoreOp::Set {
+                key,
+                value_len,
+                cost,
+            } => {
+                let value = vec![key; value_len as usize];
+                match store.set(&[key], &value, 0, 0, cost) {
+                    Ok(()) => {
+                        model.insert(key, value);
+                    }
+                    Err(StoreError::ValueTooLarge { .. }) => {
+                        // Unstorable: model unchanged, store unchanged.
+                    }
+                    Err(StoreError::OutOfMemory) => {
+                        panic!("8 slabs cannot OOM on 2KB values");
                     }
                 }
-                StoreOp::Add { key, value_len } => {
-                    let value = vec![key; value_len as usize];
-                    let was_resident = store.contains(&[key]);
-                    if let Ok(stored) = store.add(&[key], &value, 0, 0, 1) {
-                        prop_assert_eq!(
-                            stored,
-                            !was_resident,
-                            "add must store exactly when the key was absent"
-                        );
-                        if stored {
-                            model.insert(key, value);
-                        }
+            }
+            StoreOp::Add { key, value_len } => {
+                let value = vec![key; value_len as usize];
+                let was_resident = store.contains(&[key]);
+                if let Ok(stored) = store.add(&[key], &value, 0, 0, 1) {
+                    assert_eq!(
+                        stored, !was_resident,
+                        "add must store exactly when the key was absent"
+                    );
+                    if stored {
+                        model.insert(key, value);
                     }
                 }
-                StoreOp::Get(key) => {
-                    let got = store.get(&[key]);
-                    if let Some(result) = &got {
-                        let want = model.get(&key);
-                        prop_assert_eq!(
-                            Some(&result.value),
-                            want,
-                            "store returned a value the model disagrees with"
-                        );
-                    }
-                    // A model hit with a store miss means the store evicted
-                    // the key: prune the model.
-                    if got.is_none() {
-                        model.remove(&key);
-                    }
+            }
+            StoreOp::Get(key) => {
+                let got = store.get(&[key]);
+                if let Some(result) = &got {
+                    let want = model.get(&key);
+                    assert_eq!(
+                        Some(&result.value),
+                        want,
+                        "store returned a value the model disagrees with"
+                    );
                 }
-                StoreOp::Delete(key) => {
-                    store.delete(&[key]);
+                // A model hit with a store miss means the store evicted
+                // the key: prune the model.
+                if got.is_none() {
                     model.remove(&key);
                 }
-                StoreOp::Incr(key) => {
-                    if let Some(next) = store.incr(&[key], 1) {
-                        model.insert(key, next.to_string().into_bytes());
-                    }
-                }
-                StoreOp::FlushAll => {
-                    store.flush_all();
-                    model.clear();
-                    prop_assert!(store.is_empty());
+            }
+            StoreOp::Delete(key) => {
+                store.delete(&[key]);
+                model.remove(&key);
+            }
+            StoreOp::Incr(key) => {
+                if let Some(next) = store.incr(&[key], 1) {
+                    model.insert(key, next.to_string().into_bytes());
                 }
             }
-            // Evictions may have removed model keys; len is bounded by it.
-            prop_assert!(store.len() <= u8::MAX as usize + 1);
+            StoreOp::FlushAll => {
+                store.flush_all();
+                model.clear();
+                assert!(store.is_empty());
+            }
         }
-        // Every store resident must be model-known (the converse can fail
-        // through evictions, which only shrink the store).
-        for key in 0..=u8::MAX {
-            if store.contains(&[key]) {
-                // Residents the model evicted are impossible: only
-                // store evictions prune the model, and those also remove
-                // store residency.
-                prop_assert!(
-                    model.contains_key(&key),
-                    "store holds {key} which the model does not"
-                );
-            }
+        // Evictions may have removed model keys; len is bounded by it.
+        assert!(store.len() <= u8::MAX as usize + 1);
+    }
+    // Every store resident must be model-known (the converse can fail
+    // through evictions, which only shrink the store).
+    for key in 0..=u8::MAX {
+        if store.contains(&[key]) {
+            // Residents the model evicted are impossible: only store
+            // evictions prune the model, and those also remove residency.
+            assert!(
+                model.contains_key(&key),
+                "store holds {key} which the model does not ({})",
+                store.policy_name()
+            );
         }
     }
 }
 
 // -------------------------------------------------------------- allocators
 
-proptest! {
-    /// The slab allocator conserves chunks: every allocated chunk is
-    /// distinct, frees recycle, and item counts match.
-    #[test]
-    fn slab_allocator_conserves_chunks(
-        sizes in prop::collection::vec(1u32..3_000, 1..200),
-    ) {
+/// The slab allocator conserves chunks: every allocated chunk is distinct,
+/// frees recycle, and item counts match.
+#[test]
+fn slab_allocator_conserves_chunks() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::seed_from_u64(0x51ab ^ seed);
+        let sizes: Vec<u32> = (0..rng.range_usize(1, 200))
+            .map(|_| rng.range_u64(1, 3_000) as u32)
+            .collect();
         let mut slabs = SlabAllocator::new(SlabConfig::small(16 * 1024, 4));
         let mut live = std::collections::HashSet::new();
         for (i, &size) in sizes.iter().enumerate() {
             match slabs.allocate(size) {
                 Ok(chunk) => {
-                    prop_assert!(live.insert(chunk), "chunk handed out twice");
+                    assert!(live.insert(chunk), "chunk handed out twice");
                 }
                 Err(_) => {
                     // Free half the live chunks and continue.
@@ -195,15 +224,19 @@ proptest! {
                 }
             }
             let census_items: u64 = slabs.class_census().iter().map(|&(_, _, n)| n).sum();
-            prop_assert_eq!(census_items as usize, live.len());
+            assert_eq!(census_items as usize, live.len());
         }
     }
+}
 
-    /// The buddy allocator conserves bytes exactly and coalesces fully.
-    #[test]
-    fn buddy_conserves_bytes(
-        ops in prop::collection::vec((any::<bool>(), 1u32..5_000), 1..300),
-    ) {
+/// The buddy allocator conserves bytes exactly and coalesces fully.
+#[test]
+fn buddy_conserves_bytes() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::seed_from_u64(0xB0DD ^ seed);
+        let ops: Vec<(bool, u32)> = (0..rng.range_usize(1, 300))
+            .map(|_| (rng.chance(0.5), rng.range_u64(1, 5_000) as u32))
+            .collect();
         let arena = 1u32 << 15;
         let mut buddy = BuddyAllocator::new(arena, 64);
         let mut live = Vec::new();
@@ -218,14 +251,14 @@ proptest! {
                 .iter()
                 .map(|b| u64::from(buddy.block_size(b.order())))
                 .sum();
-            prop_assert_eq!(buddy.live_bytes(), block_bytes);
-            prop_assert_eq!(buddy.live_blocks(), live.len());
+            assert_eq!(buddy.live_bytes(), block_bytes);
+            assert_eq!(buddy.live_blocks(), live.len());
         }
         for block in live {
             buddy.free(block);
         }
-        prop_assert_eq!(buddy.live_bytes(), 0);
+        assert_eq!(buddy.live_bytes(), 0);
         // Full coalescing: the whole arena is allocatable again.
-        prop_assert!(buddy.allocate(arena).is_ok());
+        assert!(buddy.allocate(arena).is_ok());
     }
 }

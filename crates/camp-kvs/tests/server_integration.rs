@@ -165,7 +165,12 @@ fn sharded_server_handles_concurrent_clients() {
                 for i in 0..100u32 {
                     let key = format!("w{worker}-k{i}");
                     assert!(client
-                        .set(key.as_bytes(), format!("value-{worker}-{i}").as_bytes(), 0, 0)
+                        .set(
+                            key.as_bytes(),
+                            format!("value-{worker}-{i}").as_bytes(),
+                            0,
+                            0
+                        )
                         .unwrap());
                     let got = client.get(key.as_bytes()).unwrap().unwrap();
                     assert_eq!(got.data, format!("value-{worker}-{i}").as_bytes());

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 /// The admission decision rules available to [`Admission`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,18 +54,18 @@ pub enum AdmissionRule {
 /// assert!(cache.is_empty());
 /// // A repeated key gets in.
 /// cache.reference(CacheRequest::new(3, 10, 0), &mut evicted);
-/// assert!(cache.contains(3));
+/// assert!(cache.contains(&3));
 /// ```
 #[derive(Debug)]
-pub struct Admission<P> {
+pub struct Admission<P, K = u64> {
     inner: P,
     rule: AdmissionRule,
-    ghost: HashMap<u64, u64>,
-    ghost_order: VecDeque<u64>,
+    ghost: HashMap<K, u64>,
+    ghost_order: VecDeque<K>,
     bypassed: u64,
 }
 
-impl<P: EvictionPolicy> Admission<P> {
+impl<K: CacheKey, P: EvictionPolicy<K>> Admission<P, K> {
     /// Wraps `inner` with `rule`.
     ///
     /// # Panics
@@ -103,23 +103,22 @@ impl<P: EvictionPolicy> Admission<P> {
         self.bypassed
     }
 
-    fn admit(&mut self, req: CacheRequest) -> bool {
+    fn admit(&mut self, req: &CacheRequest<K>) -> bool {
         match self.rule {
             AdmissionRule::Always => true,
             AdmissionRule::SizeBelow(limit) => req.size < limit,
             AdmissionRule::RatioAtLeast { num, den } => {
                 // cost/size >= num/den  <=>  cost*den >= num*size
-                u128::from(req.cost) * u128::from(den)
-                    >= u128::from(num) * u128::from(req.size)
+                u128::from(req.cost) * u128::from(den) >= u128::from(num) * u128::from(req.size)
             }
             AdmissionRule::SecondMiss { window } => {
-                let count = self.ghost.entry(req.key).or_insert(0);
+                let count = self.ghost.entry(req.key.clone()).or_insert(0);
                 if *count > 0 {
                     self.ghost.remove(&req.key);
                     return true;
                 }
                 *count = 1;
-                self.ghost_order.push_back(req.key);
+                self.ghost_order.push_back(req.key.clone());
                 while self.ghost.len() > window {
                     if let Some(old) = self.ghost_order.pop_front() {
                         self.ghost.remove(&old);
@@ -133,7 +132,7 @@ impl<P: EvictionPolicy> Admission<P> {
     }
 }
 
-impl<P: EvictionPolicy> EvictionPolicy for Admission<P> {
+impl<K: CacheKey, P: EvictionPolicy<K>> EvictionPolicy<K> for Admission<P, K> {
     fn name(&self) -> String {
         format!("{}+admission", self.inner.name())
     }
@@ -150,15 +149,15 @@ impl<P: EvictionPolicy> EvictionPolicy for Admission<P> {
         self.inner.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
+    fn contains(&self, key: &K) -> bool {
         self.inner.contains(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
-        if self.inner.contains(req.key) {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
+        if self.inner.contains(&req.key) {
             return self.inner.reference(req, evicted);
         }
-        if self.admit(req) {
+        if self.admit(&req) {
             self.inner.reference(req, evicted)
         } else {
             self.bypassed += 1;
@@ -166,7 +165,15 @@ impl<P: EvictionPolicy> EvictionPolicy for Admission<P> {
         }
     }
 
-    fn remove(&mut self, key: u64) -> bool {
+    fn touch(&mut self, key: &K) -> bool {
+        self.inner.touch(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        self.inner.victim()
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
         self.inner.remove(key)
     }
 
@@ -200,7 +207,10 @@ mod tests {
     fn always_is_transparent() {
         let mut a = Admission::new(Lru::new(30), AdmissionRule::Always);
         let mut ev = Vec::new();
-        assert_eq!(a.reference(req(1, 10, 0), &mut ev), AccessOutcome::MissInserted);
+        assert_eq!(
+            a.reference(req(1, 10, 0), &mut ev),
+            AccessOutcome::MissInserted
+        );
         assert_eq!(a.reference(req(1, 10, 0), &mut ev), AccessOutcome::Hit);
         assert_eq!(a.bypassed(), 0);
     }
@@ -209,10 +219,16 @@ mod tests {
     fn size_filter_blocks_large_values() {
         let mut a = Admission::new(Lru::new(100), AdmissionRule::SizeBelow(20));
         let mut ev = Vec::new();
-        assert_eq!(a.reference(req(1, 25, 0), &mut ev), AccessOutcome::MissBypassed);
-        assert_eq!(a.reference(req(2, 10, 0), &mut ev), AccessOutcome::MissInserted);
+        assert_eq!(
+            a.reference(req(1, 25, 0), &mut ev),
+            AccessOutcome::MissBypassed
+        );
+        assert_eq!(
+            a.reference(req(2, 10, 0), &mut ev),
+            AccessOutcome::MissInserted
+        );
         assert_eq!(a.bypassed(), 1);
-        assert!(!a.contains(1));
+        assert!(!a.contains(&1));
     }
 
     #[test]
@@ -223,17 +239,29 @@ mod tests {
         );
         let mut ev = Vec::new();
         // cost 4 / size 10 < 1/2: rejected.
-        assert_eq!(a.reference(req(1, 10, 4), &mut ev), AccessOutcome::MissBypassed);
+        assert_eq!(
+            a.reference(req(1, 10, 4), &mut ev),
+            AccessOutcome::MissBypassed
+        );
         // cost 5 / size 10 == 1/2: admitted.
-        assert_eq!(a.reference(req(2, 10, 5), &mut ev), AccessOutcome::MissInserted);
+        assert_eq!(
+            a.reference(req(2, 10, 5), &mut ev),
+            AccessOutcome::MissInserted
+        );
     }
 
     #[test]
     fn second_miss_admits_repeaters_only() {
         let mut a = Admission::new(Lru::new(100), AdmissionRule::SecondMiss { window: 8 });
         let mut ev = Vec::new();
-        assert_eq!(a.reference(req(1, 10, 0), &mut ev), AccessOutcome::MissBypassed);
-        assert_eq!(a.reference(req(1, 10, 0), &mut ev), AccessOutcome::MissInserted);
+        assert_eq!(
+            a.reference(req(1, 10, 0), &mut ev),
+            AccessOutcome::MissBypassed
+        );
+        assert_eq!(
+            a.reference(req(1, 10, 0), &mut ev),
+            AccessOutcome::MissInserted
+        );
         assert_eq!(a.reference(req(1, 10, 0), &mut ev), AccessOutcome::Hit);
     }
 
@@ -247,7 +275,10 @@ mod tests {
             a.reference(req(k, 10, 0), &mut ev);
         }
         // Key 1's first miss has been forgotten.
-        assert_eq!(a.reference(req(1, 10, 0), &mut ev), AccessOutcome::MissBypassed);
+        assert_eq!(
+            a.reference(req(1, 10, 0), &mut ev),
+            AccessOutcome::MissBypassed
+        );
     }
 
     #[test]

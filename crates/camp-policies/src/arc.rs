@@ -20,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Region {
@@ -36,12 +36,12 @@ struct Resident {
 }
 
 #[derive(Debug)]
-struct Node {
-    key: u64,
+struct Node<K> {
+    key: K,
     links: Links,
 }
 
-impl Linked for Node {
+impl<K> Linked for Node<K> {
     fn links(&self) -> &Links {
         &self.links
     }
@@ -52,39 +52,50 @@ impl Linked for Node {
 
 /// A ghost list: remembers keys and sizes of recently evicted entries in
 /// LRU order, with O(1) membership and lazy mid-list deletion.
-#[derive(Debug, Default)]
-struct GhostList {
-    map: HashMap<u64, (u64, u64)>, // key -> (size, stamp)
-    order: VecDeque<(u64, u64)>,   // (key, stamp)
+#[derive(Debug)]
+struct GhostList<K> {
+    map: HashMap<K, (u64, u64)>, // key -> (size, stamp)
+    order: VecDeque<(K, u64)>,   // (key, stamp)
     bytes: u64,
     next_stamp: u64,
 }
 
-impl GhostList {
-    fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+impl<K: CacheKey> Default for GhostList<K> {
+    fn default() -> Self {
+        GhostList {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            next_stamp: 0,
+        }
+    }
+}
+
+impl<K: CacheKey> GhostList<K> {
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
     }
 
     fn bytes(&self) -> u64 {
         self.bytes
     }
 
-    fn push_mru(&mut self, key: u64, size: u64) {
-        self.remove(key);
+    fn push_mru(&mut self, key: K, size: u64) {
+        self.remove(&key);
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        self.map.insert(key, (size, stamp));
+        self.map.insert(key.clone(), (size, stamp));
         self.order.push_back((key, stamp));
         self.bytes += size;
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
-        let (size, _) = self.map.remove(&key)?;
+    fn remove(&mut self, key: &K) -> Option<u64> {
+        let (size, _) = self.map.remove(key)?;
         self.bytes -= size;
         Some(size)
     }
 
-    fn pop_lru(&mut self) -> Option<u64> {
+    fn pop_lru(&mut self) -> Option<K> {
         while let Some((key, stamp)) = self.order.pop_front() {
             if let Some(&(size, live_stamp)) = self.map.get(&key) {
                 if live_stamp == stamp {
@@ -102,7 +113,7 @@ impl GhostList {
     }
 }
 
-/// The ARC replacement policy over `u64` keys, generalized to byte sizes.
+/// The ARC replacement policy, generalized to byte sizes.
 ///
 /// # Examples
 ///
@@ -113,24 +124,24 @@ impl GhostList {
 /// let mut evicted = Vec::new();
 /// cache.reference(CacheRequest::new(1, 10, 0), &mut evicted);
 /// cache.reference(CacheRequest::new(1, 10, 0), &mut evicted); // promotes to T2
-/// assert!(cache.contains(1));
+/// assert!(cache.contains(&1));
 /// ```
 #[derive(Debug)]
-pub struct Arc {
+pub struct Arc<K = u64> {
     capacity: u64,
     p: u64,
     used: u64,
     t1_bytes: u64,
     t2_bytes: u64,
-    residents: HashMap<u64, Resident>,
+    residents: HashMap<K, Resident>,
     t1: LruList,
     t2: LruList,
-    arena: Arena<Node>,
-    b1: GhostList,
-    b2: GhostList,
+    arena: Arena<Node<K>>,
+    b1: GhostList<K>,
+    b2: GhostList<K>,
 }
 
-impl Arc {
+impl<K: CacheKey> Arc<K> {
     /// Creates an ARC cache with the given byte capacity.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
@@ -162,7 +173,7 @@ impl Arc {
         (self.t1_bytes, self.t2_bytes)
     }
 
-    fn push_node(arena: &mut Arena<Node>, list: &mut LruList, key: u64) -> EntryId {
+    fn push_node(arena: &mut Arena<Node<K>>, list: &mut LruList, key: K) -> EntryId {
         let id = arena.insert(Node {
             key,
             links: Links::new(),
@@ -171,21 +182,26 @@ impl Arc {
         id
     }
 
+    /// Whether the next `REPLACE` takes from `T1` (else `T2`).
+    fn replace_from_t1(&self, in_b2: bool) -> bool {
+        let from_t1 = !self.t1.is_empty()
+            && (self.t1_bytes > self.p || (in_b2 && self.t1_bytes >= self.p && self.t1_bytes > 0));
+        from_t1 || self.t2.is_empty()
+    }
+
     /// The ARC `REPLACE` subroutine, generalized to bytes: evict one entry
     /// from `T1` if it is over target (or at target on a B2 hit), else from
     /// `T2`, recording it in the matching ghost list.
-    fn replace(&mut self, in_b2: bool, evicted: &mut Vec<u64>) -> bool {
-        let from_t1 = !self.t1.is_empty()
-            && (self.t1_bytes > self.p || (in_b2 && self.t1_bytes >= self.p && self.t1_bytes > 0));
-        let (list, arena) = if from_t1 || self.t2.is_empty() {
-            (&mut self.t1, &mut self.arena)
+    fn replace(&mut self, in_b2: bool, evicted: &mut Vec<K>) -> bool {
+        let list = if self.replace_from_t1(in_b2) {
+            &mut self.t1
         } else {
-            (&mut self.t2, &mut self.arena)
+            &mut self.t2
         };
-        let Some(id) = list.pop_front(arena) else {
+        let Some(id) = list.pop_front(&mut self.arena) else {
             return false;
         };
-        let node = arena.remove(id).expect("live list node");
+        let node = self.arena.remove(id).expect("live list node");
         let resident = self
             .residents
             .remove(&node.key)
@@ -194,11 +210,11 @@ impl Arc {
         match resident.region {
             Region::T1 => {
                 self.t1_bytes -= resident.size;
-                self.b1.push_mru(node.key, resident.size);
+                self.b1.push_mru(node.key.clone(), resident.size);
             }
             Region::T2 => {
                 self.t2_bytes -= resident.size;
-                self.b2.push_mru(node.key, resident.size);
+                self.b2.push_mru(node.key.clone(), resident.size);
             }
         }
         evicted.push(node.key);
@@ -218,12 +234,12 @@ impl Arc {
         }
     }
 
-    fn admit_to_t2(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) {
+    fn admit_to_t2(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) {
         while self.used + req.size > self.capacity {
             let ok = self.replace(false, evicted);
             debug_assert!(ok, "byte accounting out of sync");
         }
-        let id = Self::push_node(&mut self.arena, &mut self.t2, req.key);
+        let id = Self::push_node(&mut self.arena, &mut self.t2, req.key.clone());
         self.residents.insert(
             req.key,
             Resident {
@@ -235,9 +251,31 @@ impl Arc {
         self.used += req.size;
         self.t2_bytes += req.size;
     }
+
+    fn on_hit(&mut self, key: &K) -> bool {
+        // Case I: hit in T1 or T2 — promote to T2 MRU.
+        let Some(resident) = self.residents.get_mut(key) else {
+            return false;
+        };
+        let id = resident.id;
+        match resident.region {
+            Region::T1 => {
+                resident.region = Region::T2;
+                let size = resident.size;
+                self.t1.unlink(&mut self.arena, id);
+                self.t2.push_back(&mut self.arena, id);
+                self.t1_bytes -= size;
+                self.t2_bytes += size;
+            }
+            Region::T2 => {
+                self.t2.move_to_back(&mut self.arena, id);
+            }
+        }
+        true
+    }
 }
 
-impl EvictionPolicy for Arc {
+impl<K: CacheKey> EvictionPolicy<K> for Arc<K> {
     fn name(&self) -> String {
         "arc".to_owned()
     }
@@ -254,35 +292,20 @@ impl EvictionPolicy for Arc {
         self.residents.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.residents.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.residents.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
-        // Case I: hit in T1 or T2 — promote to T2 MRU.
-        if let Some(resident) = self.residents.get_mut(&req.key) {
-            let id = resident.id;
-            match resident.region {
-                Region::T1 => {
-                    resident.region = Region::T2;
-                    let size = resident.size;
-                    self.t1.unlink(&mut self.arena, id);
-                    self.t2.push_back(&mut self.arena, id);
-                    self.t1_bytes -= size;
-                    self.t2_bytes += size;
-                }
-                Region::T2 => {
-                    self.t2.move_to_back(&mut self.arena, id);
-                }
-            }
+        if self.on_hit(&req.key) {
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
             return AccessOutcome::MissBypassed;
         }
         // Case II: ghost hit in B1 — recency is winning, grow p.
-        if self.b1.contains(req.key) {
+        if self.b1.contains(&req.key) {
             let delta = if self.b1.bytes() > 0 {
                 (u128::from(req.size) * u128::from(self.b2.bytes().max(1))
                     / u128::from(self.b1.bytes())) as u64
@@ -290,13 +313,13 @@ impl EvictionPolicy for Arc {
                 req.size
             };
             self.p = (self.p + delta.max(req.size)).min(self.capacity);
-            self.b1.remove(req.key);
+            self.b1.remove(&req.key);
             self.admit_to_t2(req, evicted);
             self.trim_ghosts();
             return AccessOutcome::MissInserted;
         }
         // Case III: ghost hit in B2 — frequency is winning, shrink p.
-        if self.b2.contains(req.key) {
+        if self.b2.contains(&req.key) {
             let delta = if self.b2.bytes() > 0 {
                 (u128::from(req.size) * u128::from(self.b1.bytes().max(1))
                     / u128::from(self.b2.bytes())) as u64
@@ -304,7 +327,7 @@ impl EvictionPolicy for Arc {
                 req.size
             };
             self.p = self.p.saturating_sub(delta.max(req.size));
-            self.b2.remove(req.key);
+            self.b2.remove(&req.key);
             self.admit_to_t2(req, evicted);
             self.trim_ghosts();
             return AccessOutcome::MissInserted;
@@ -314,7 +337,7 @@ impl EvictionPolicy for Arc {
             let ok = self.replace(false, evicted);
             debug_assert!(ok, "byte accounting out of sync");
         }
-        let id = Self::push_node(&mut self.arena, &mut self.t1, req.key);
+        let id = Self::push_node(&mut self.arena, &mut self.t1, req.key.clone());
         self.residents.insert(
             req.key,
             Resident {
@@ -329,8 +352,25 @@ impl EvictionPolicy for Arc {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(resident) = self.residents.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        self.on_hit(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        let list = if self.replace_from_t1(false) {
+            &self.t1
+        } else {
+            &self.t2
+        };
+        list.front()
+            .or_else(|| self.t1.front())
+            .or_else(|| self.t2.front())
+            .and_then(|id| self.arena.get(id))
+            .map(|node| node.key.clone())
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(resident) = self.residents.remove(key) else {
             return false;
         };
         self.used -= resident.size;
@@ -398,7 +438,7 @@ mod tests {
         for k in 1000..1100 {
             touch(&mut c, k);
         }
-        let survivors = (0..5).filter(|&k| c.contains(k)).count();
+        let survivors = (0..5).filter(|&k| c.contains(&k)).count();
         assert!(survivors >= 3, "scan displaced the hot set: {survivors}/5");
     }
 
@@ -411,10 +451,25 @@ mod tests {
         }
         let p_before = c.p_target();
         // Key 0 is long gone from T1 but remembered in B1.
-        assert!(!c.contains(0));
+        assert!(!c.contains(&0));
         touch(&mut c, 0);
         assert!(c.p_target() >= p_before, "B1 hit must not shrink p");
-        assert!(c.contains(0));
+        assert!(c.contains(&0));
+    }
+
+    #[test]
+    fn touch_promotes_and_victim_matches_replace() {
+        let mut c = Arc::new(100);
+        touch(&mut c, 1);
+        assert!(EvictionPolicy::touch(&mut c, &1));
+        assert_eq!(c.region_bytes(), (0, 10));
+        assert!(!EvictionPolicy::touch(&mut c, &9));
+        touch(&mut c, 2);
+        // The victim is the next key REPLACE would take.
+        let expected = EvictionPolicy::victim(&c).unwrap();
+        let mut ev = Vec::new();
+        c.replace(false, &mut ev);
+        assert_eq!(ev, vec![expected]);
     }
 
     #[test]
@@ -423,11 +478,11 @@ mod tests {
         touch(&mut c, 1); // T1
         touch(&mut c, 2);
         touch(&mut c, 2); // T2
-        assert!(EvictionPolicy::remove(&mut c, 1));
-        assert!(EvictionPolicy::remove(&mut c, 2));
+        assert!(EvictionPolicy::remove(&mut c, &1));
+        assert!(EvictionPolicy::remove(&mut c, &2));
         assert_eq!(c.used_bytes(), 0);
         assert_eq!(c.region_bytes(), (0, 0));
-        assert!(!EvictionPolicy::remove(&mut c, 1));
+        assert!(!EvictionPolicy::remove(&mut c, &1));
     }
 
     #[test]

@@ -23,15 +23,15 @@ use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 use camp_core::rounding::{Precision, RatioRounder};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 const WHEEL_BITS: u32 = 8;
 const WHEEL_SLOTS: usize = 1 << WHEEL_BITS; // 256
 const LEVELS: usize = 8; // 8 levels x 8 bits: the full u64 priority space
 
 #[derive(Debug)]
-struct Entry {
-    key: u64,
+struct Entry<K> {
+    key: K,
     size: u64,
     ratio: u64,
     deadline: u64,
@@ -40,7 +40,7 @@ struct Entry {
     links: Links,
 }
 
-impl Linked for Entry {
+impl<K> Linked for Entry<K> {
     fn links(&self) -> &Links {
         &self.links
     }
@@ -49,7 +49,7 @@ impl Linked for Entry {
     }
 }
 
-/// The GD-Wheel replacement policy over `u64` keys.
+/// The GD-Wheel replacement policy.
 ///
 /// # Examples
 ///
@@ -64,9 +64,9 @@ impl Linked for Entry {
 /// assert_eq!(evicted, vec![2]); // the cheap pair went first
 /// ```
 #[derive(Debug)]
-pub struct GdWheel {
-    map: HashMap<u64, EntryId>,
-    arena: Arena<Entry>,
+pub struct GdWheel<K = u64> {
+    map: HashMap<K, EntryId>,
+    arena: Arena<Entry<K>>,
     /// `LEVELS * WHEEL_SLOTS` LRU queues, row-major by level.
     slots: Vec<LruList>,
     rounder: RatioRounder,
@@ -76,7 +76,7 @@ pub struct GdWheel {
     migrations: u64,
 }
 
-impl GdWheel {
+impl<K: CacheKey> GdWheel<K> {
     /// The largest priority the wheels can represent. With eight 8-bit
     /// levels this is the whole `u64` space, so the clock can never
     /// saturate within a feasible trace (saturation would degenerate the
@@ -152,20 +152,36 @@ impl GdWheel {
         self.slots[level * WHEEL_SLOTS + slot].unlink(&mut self.arena, id);
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
-        loop {
-            let mut found: Option<(usize, usize)> = None;
-            'levels: for level in 0..LEVELS {
-                let hand = Self::digit(self.l, level);
-                for off in 0..WHEEL_SLOTS {
-                    let slot = (hand + off) % WHEEL_SLOTS;
-                    if !self.slots[level * WHEEL_SLOTS + slot].is_empty() {
-                        found = Some((level, slot));
-                        break 'levels;
-                    }
+    /// The first non-empty slot in clock order, if any.
+    fn next_slot(&self) -> Option<(usize, usize)> {
+        for level in 0..LEVELS {
+            let hand = Self::digit(self.l, level);
+            for off in 0..WHEEL_SLOTS {
+                let slot = (hand + off) % WHEEL_SLOTS;
+                if !self.slots[level * WHEEL_SLOTS + slot].is_empty() {
+                    return Some((level, slot));
                 }
             }
-            let Some((level, slot)) = found else {
+        }
+        None
+    }
+
+    fn on_hit(&mut self, key: &K) -> bool {
+        let Some(&id) = self.map.get(key) else {
+            return false;
+        };
+        // Hit: refresh the deadline and re-bucket (O(1), no migration).
+        self.unplace(id);
+        let ratio = self.arena.get(id).expect("live entry").ratio;
+        let deadline = self.l.saturating_add(ratio);
+        self.arena.get_mut(id).expect("live entry").deadline = deadline;
+        self.place(id);
+        true
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
+        loop {
+            let Some((level, slot)) = self.next_slot() else {
                 return false;
             };
             if level == 0 {
@@ -197,7 +213,7 @@ impl GdWheel {
     }
 }
 
-impl EvictionPolicy for GdWheel {
+impl<K: CacheKey> EvictionPolicy<K> for GdWheel<K> {
     fn name(&self) -> String {
         "gd-wheel".to_owned()
     }
@@ -214,19 +230,13 @@ impl EvictionPolicy for GdWheel {
         self.map.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
-        if let Some(&id) = self.map.get(&req.key) {
-            // Hit: refresh the deadline and re-bucket (O(1), no migration).
-            self.unplace(id);
-            let ratio = self.arena.get(id).expect("live entry").ratio;
-            let deadline = self.l.saturating_add(ratio);
-            self.arena.get_mut(id).expect("live entry").deadline = deadline;
-            self.place(id);
+        if self.on_hit(&req.key) {
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
@@ -239,7 +249,7 @@ impl EvictionPolicy for GdWheel {
         let ratio = self.rounder.rounded_ratio(req.cost, req.size);
         let deadline = self.l.saturating_add(ratio);
         let id = self.arena.insert(Entry {
-            key: req.key,
+            key: req.key.clone(),
             size: req.size,
             ratio,
             deadline,
@@ -253,8 +263,29 @@ impl EvictionPolicy for GdWheel {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(id) = self.map.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        self.on_hit(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        let (level, slot) = self.next_slot()?;
+        let list = &self.slots[level * WHEEL_SLOTS + slot];
+        if level == 0 {
+            return list
+                .front()
+                .and_then(|id| self.arena.get(id))
+                .map(|e| e.key.clone());
+        }
+        // A higher-level slot would be migrated first; its earliest-deadline
+        // entry is the one the clock advances to.
+        list.iter(&self.arena)
+            .filter_map(|id| self.arena.get(id))
+            .min_by_key(|e| e.deadline)
+            .map(|e| e.key.clone())
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(id) = self.map.remove(key) else {
             return false;
         };
         self.unplace(id);
@@ -281,7 +312,7 @@ mod tests {
         for k in 2..40 {
             touch(&mut c, k, 10, 1);
         }
-        assert!(c.contains(1));
+        assert!(c.contains(&1));
     }
 
     #[test]
@@ -292,7 +323,7 @@ mod tests {
         for _ in 0..100_000 {
             key += 1;
             touch(&mut c, key, 10, 1);
-            if !c.contains(999) {
+            if !c.contains(&999) {
                 return;
             }
         }
@@ -357,7 +388,21 @@ mod tests {
         assert_eq!(out, AccessOutcome::Hit);
         let (_, ev) = touch(&mut c, 4, 10, 5);
         assert_eq!(ev, vec![2]);
-        assert!(c.contains(1));
+        assert!(c.contains(&1));
+    }
+
+    #[test]
+    fn touch_and_victim() {
+        let mut c = GdWheel::new(30);
+        touch(&mut c, 1, 10, 5);
+        touch(&mut c, 2, 10, 5);
+        touch(&mut c, 3, 10, 5);
+        assert!(EvictionPolicy::touch(&mut c, &1));
+        assert!(!EvictionPolicy::touch(&mut c, &9));
+        // The victim matches the next actual eviction.
+        let expected = EvictionPolicy::victim(&c);
+        let (_, ev) = touch(&mut c, 4, 10, 5);
+        assert_eq!(expected, ev.first().copied());
     }
 
     #[test]
@@ -373,7 +418,7 @@ mod tests {
             touch(&mut c, key, 10, 10_000_000); // very expensive churn
         }
         assert!(
-            c.l_value() < GdWheel::MAX_PRIORITY / 2,
+            c.l_value() < GdWheel::<u64>::MAX_PRIORITY / 2,
             "clock saturating: {}",
             c.l_value()
         );
@@ -385,15 +430,15 @@ mod tests {
             key += 1;
             touch(&mut c, key, 10, 1);
         }
-        assert!(c.contains(expensive), "late-trace cost blindness");
+        assert!(c.contains(&expensive), "late-trace cost blindness");
     }
 
     #[test]
     fn remove_works() {
         let mut c = GdWheel::new(30);
         touch(&mut c, 1, 10, 5);
-        assert!(EvictionPolicy::remove(&mut c, 1));
-        assert!(!EvictionPolicy::remove(&mut c, 1));
+        assert!(EvictionPolicy::remove(&mut c, &1));
+        assert!(!EvictionPolicy::remove(&mut c, &1));
         assert_eq!(c.used_bytes(), 0);
     }
 }

@@ -19,11 +19,11 @@ use camp_core::arena::{Arena, EntryId};
 use camp_core::heap::OctonaryHeap;
 use camp_core::rounding::{Precision, RatioRounder};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 #[derive(Debug)]
-struct Entry {
-    key: u64,
+struct Entry<K> {
+    key: K,
     size: u64,
     ratio: u64,
 }
@@ -42,12 +42,12 @@ struct Entry {
 /// gds.reference(CacheRequest::new(3, 50, 1), &mut evicted);
 /// // The cheap pair went first.
 /// assert_eq!(evicted, vec![2]);
-/// assert!(gds.contains(1));
+/// assert!(gds.contains(&1));
 /// ```
 #[derive(Debug)]
-pub struct Gds {
-    map: HashMap<u64, EntryId>,
-    arena: Arena<Entry>,
+pub struct Gds<K = u64> {
+    map: HashMap<K, EntryId>,
+    arena: Arena<Entry<K>>,
     /// Heap ids are arena slot indices; this table resolves them back to
     /// generation-checked handles in O(1).
     by_slot: Vec<Option<EntryId>>,
@@ -58,7 +58,7 @@ pub struct Gds {
     used: u64,
 }
 
-impl Gds {
+impl<K: CacheKey> Gds<K> {
     /// Creates a GDS cache with exact (unrounded) integerized ratios.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
@@ -89,19 +89,19 @@ impl Gds {
 
     /// The key with the minimum priority (the next victim), if any.
     #[must_use]
-    pub fn victim(&self) -> Option<u64> {
+    pub fn victim(&self) -> Option<K> {
         let (idx, _) = self.heap.peek()?;
-        self.entry_by_heap_id(idx).map(|e| e.key)
+        self.entry_by_heap_id(idx).map(|e| e.key.clone())
     }
 
     /// The current priority of a resident key.
     #[must_use]
-    pub fn priority_of(&self, key: u64) -> Option<u128> {
-        let id = *self.map.get(&key)?;
+    pub fn priority_of(&self, key: &K) -> Option<u128> {
+        let id = *self.map.get(key)?;
         self.heap.key_of(id.index()).copied()
     }
 
-    fn entry_by_heap_id(&self, idx: u32) -> Option<&Entry> {
+    fn entry_by_heap_id(&self, idx: u32) -> Option<&Entry<K>> {
         let id = (*self.by_slot.get(idx as usize)?)?;
         self.arena.get(id)
     }
@@ -114,7 +114,21 @@ impl Gds {
         self.by_slot[idx] = Some(id);
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+    fn on_hit(&mut self, id: EntryId) {
+        // Hit: Algorithm 1 line 2 — L <- min_{q in M \ {p}} H(q), then
+        // H(p) <- L + ratio(p). Removing p first makes the heap minimum
+        // exactly that excluded minimum.
+        let idx = id.index();
+        self.heap.remove(idx).expect("resident key has a heap node");
+        if let Some((_, &min)) = self.heap.peek() {
+            debug_assert!(min >= self.l);
+            self.l = min;
+        }
+        let ratio = self.arena.get(id).expect("live entry").ratio;
+        self.heap.insert(idx, self.l + u128::from(ratio));
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
         let Some((idx, h)) = self.heap.pop() else {
             return false;
         };
@@ -136,7 +150,7 @@ impl Gds {
     }
 }
 
-impl EvictionPolicy for Gds {
+impl<K: CacheKey> EvictionPolicy<K> for Gds<K> {
     fn name(&self) -> String {
         match self.rounder.precision() {
             Precision::Infinite => "gds".to_owned(),
@@ -156,24 +170,14 @@ impl EvictionPolicy for Gds {
         self.map.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
         if let Some(&id) = self.map.get(&req.key) {
-            // Hit: Algorithm 1 line 2 — L <- min_{q in M \ {p}} H(q), then
-            // H(p) <- L + ratio(p). Removing p first makes the heap minimum
-            // exactly that excluded minimum.
-            let idx = id.index();
-            self.heap.remove(idx).expect("resident key has a heap node");
-            if let Some((_, &min)) = self.heap.peek() {
-                debug_assert!(min >= self.l);
-                self.l = min;
-            }
-            let ratio = self.arena.get(id).expect("live entry").ratio;
-            self.heap.insert(idx, self.l + u128::from(ratio));
+            self.on_hit(id);
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
@@ -186,7 +190,7 @@ impl EvictionPolicy for Gds {
         let ratio = self.rounder.rounded_ratio(req.cost, req.size);
         let h = self.l + u128::from(ratio);
         let id = self.arena.insert(Entry {
-            key: req.key,
+            key: req.key.clone(),
             size: req.size,
             ratio,
         });
@@ -197,8 +201,20 @@ impl EvictionPolicy for Gds {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(id) = self.map.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        let Some(&id) = self.map.get(key) else {
+            return false;
+        };
+        self.on_hit(id);
+        true
+    }
+
+    fn victim(&self) -> Option<K> {
+        Gds::victim(self)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(id) = self.map.remove(key) else {
             return false;
         };
         self.heap.remove(id.index());
@@ -243,7 +259,7 @@ mod tests {
         for k in 2..=30 {
             touch(&mut gds, k, 10, 1);
         }
-        assert!(gds.contains(1));
+        assert!(gds.contains(&1));
     }
 
     #[test]
@@ -254,7 +270,7 @@ mod tests {
         for _ in 0..10_000 {
             key += 1;
             touch(&mut gds, key, 10, 1);
-            if !gds.contains(999) {
+            if !gds.contains(&999) {
                 return;
             }
         }
@@ -266,14 +282,14 @@ mod tests {
         let mut gds = Gds::new(100);
         touch(&mut gds, 1, 10, 100);
         touch(&mut gds, 2, 10, 100);
-        let p1_before = gds.priority_of(1).unwrap();
+        let p1_before = gds.priority_of(&1).unwrap();
         // Advance L by churning evictions.
         for k in 10..40 {
             touch(&mut gds, k, 10, 1);
         }
         let (out, _) = touch(&mut gds, 1, 10, 100);
         assert_eq!(out, AccessOutcome::Hit);
-        assert!(gds.priority_of(1).unwrap() >= p1_before);
+        assert!(gds.priority_of(&1).unwrap() >= p1_before);
     }
 
     #[test]
@@ -305,11 +321,24 @@ mod tests {
     }
 
     #[test]
+    fn policy_touch_matches_hit_path() {
+        let mut gds = Gds::new(30);
+        touch(&mut gds, 1, 10, 1);
+        touch(&mut gds, 2, 10, 100);
+        touch(&mut gds, 3, 10, 50);
+        // Touching the cheapest raises its priority past key 3's.
+        assert!(EvictionPolicy::touch(&mut gds, &1));
+        assert!(!EvictionPolicy::touch(&mut gds, &9));
+        let (_, ev) = touch(&mut gds, 4, 10, 200);
+        assert_eq!(ev, vec![3]);
+    }
+
+    #[test]
     fn remove_and_reject() {
         let mut gds = Gds::new(30);
         touch(&mut gds, 1, 10, 1);
-        assert!(EvictionPolicy::remove(&mut gds, 1));
-        assert!(!EvictionPolicy::remove(&mut gds, 1));
+        assert!(EvictionPolicy::remove(&mut gds, &1));
+        assert!(!EvictionPolicy::remove(&mut gds, &1));
         assert_eq!(gds.used_bytes(), 0);
         let (out, _) = touch(&mut gds, 2, 31, 1);
         assert_eq!(out, AccessOutcome::MissBypassed);

@@ -18,7 +18,7 @@ use camp_core::arena::{Arena, EntryId};
 use camp_core::heap::OctonaryHeap;
 use camp_core::rounding::{Precision, RatioRounder};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 /// Frequencies beyond this no longer raise the priority (overflow guard;
 /// in practice hit counts this high mean the pair is effectively pinned
@@ -26,14 +26,14 @@ use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
 const MAX_FREQUENCY: u64 = 1 << 20;
 
 #[derive(Debug)]
-struct Entry {
-    key: u64,
+struct Entry<K> {
+    key: K,
     size: u64,
     ratio: u64,
     frequency: u64,
 }
 
-/// The GDSF cache over `u64` keys.
+/// The GDSF cache.
 ///
 /// # Examples
 ///
@@ -51,11 +51,12 @@ struct Entry {
 /// // The in-frequent pair goes first.
 /// gdsf.reference(CacheRequest::new(3, 40, 10), &mut evicted);
 /// assert_eq!(evicted, vec![2]);
+/// assert!(gdsf.contains(&1));
 /// ```
 #[derive(Debug)]
-pub struct Gdsf {
-    map: HashMap<u64, EntryId>,
-    arena: Arena<Entry>,
+pub struct Gdsf<K = u64> {
+    map: HashMap<K, EntryId>,
+    arena: Arena<Entry<K>>,
     by_slot: Vec<Option<EntryId>>,
     heap: OctonaryHeap<u128>,
     rounder: RatioRounder,
@@ -64,7 +65,7 @@ pub struct Gdsf {
     used: u64,
 }
 
-impl Gdsf {
+impl<K: CacheKey> Gdsf<K> {
     /// Creates a GDSF cache with the given byte capacity.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
@@ -88,13 +89,21 @@ impl Gdsf {
 
     /// The access frequency GDSF has recorded for a resident key.
     #[must_use]
-    pub fn frequency_of(&self, key: u64) -> Option<u64> {
-        let id = *self.map.get(&key)?;
+    pub fn frequency_of(&self, key: &K) -> Option<u64> {
+        let id = *self.map.get(key)?;
         self.arena.get(id).map(|e| e.frequency)
     }
 
-    fn priority(&self, entry: &Entry) -> u128 {
-        self.l + u128::from(entry.ratio) * u128::from(entry.frequency.min(MAX_FREQUENCY))
+    /// The key with the minimum priority (the next victim), if any.
+    #[must_use]
+    pub fn victim(&self) -> Option<K> {
+        let (idx, _) = self.heap.peek()?;
+        let id = (*self.by_slot.get(idx as usize)?)?;
+        self.arena.get(id).map(|e| e.key.clone())
+    }
+
+    fn priority(&self, ratio: u64, frequency: u64) -> u128 {
+        self.l + u128::from(ratio) * u128::from(frequency.min(MAX_FREQUENCY))
     }
 
     fn track_slot(&mut self, id: EntryId) {
@@ -105,7 +114,23 @@ impl Gdsf {
         self.by_slot[idx] = Some(id);
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+    fn on_hit(&mut self, id: EntryId) {
+        let idx = id.index();
+        self.heap.remove(idx).expect("resident key has a heap node");
+        if let Some((_, &min)) = self.heap.peek() {
+            debug_assert!(min >= self.l);
+            self.l = min;
+        }
+        let (ratio, frequency) = {
+            let entry = self.arena.get_mut(id).expect("live entry");
+            entry.frequency = entry.frequency.saturating_add(1);
+            (entry.ratio, entry.frequency)
+        };
+        let priority = self.priority(ratio, frequency);
+        self.heap.insert(idx, priority);
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
         let Some((idx, h)) = self.heap.pop() else {
             return false;
         };
@@ -126,7 +151,7 @@ impl Gdsf {
     }
 }
 
-impl EvictionPolicy for Gdsf {
+impl<K: CacheKey> EvictionPolicy<K> for Gdsf<K> {
     fn name(&self) -> String {
         "gdsf".to_owned()
     }
@@ -143,32 +168,14 @@ impl EvictionPolicy for Gdsf {
         self.map.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
         if let Some(&id) = self.map.get(&req.key) {
-            let idx = id.index();
-            self.heap.remove(idx).expect("resident key has a heap node");
-            if let Some((_, &min)) = self.heap.peek() {
-                debug_assert!(min >= self.l);
-                self.l = min;
-            }
-            let priority = {
-                let entry = self.arena.get_mut(id).expect("live entry");
-                entry.frequency = entry.frequency.saturating_add(1);
-                // Borrow dance: compute with the updated frequency.
-                let snapshot = Entry {
-                    key: entry.key,
-                    size: entry.size,
-                    ratio: entry.ratio,
-                    frequency: entry.frequency,
-                };
-                self.priority(&snapshot)
-            };
-            self.heap.insert(idx, priority);
+            self.on_hit(id);
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
@@ -179,14 +186,13 @@ impl EvictionPolicy for Gdsf {
             debug_assert!(ok, "byte accounting out of sync");
         }
         let ratio = self.rounder.rounded_ratio(req.cost, req.size);
-        let entry = Entry {
-            key: req.key,
+        let h = self.priority(ratio, 1);
+        let id = self.arena.insert(Entry {
+            key: req.key.clone(),
             size: req.size,
             ratio,
             frequency: 1,
-        };
-        let h = self.priority(&entry);
-        let id = self.arena.insert(entry);
+        });
         self.track_slot(id);
         self.heap.insert(id.index(), h);
         self.map.insert(req.key, id);
@@ -194,8 +200,20 @@ impl EvictionPolicy for Gdsf {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(id) = self.map.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        let Some(&id) = self.map.get(key) else {
+            return false;
+        };
+        self.on_hit(id);
+        true
+    }
+
+    fn victim(&self) -> Option<K> {
+        Gdsf::victim(self)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(id) = self.map.remove(key) else {
             return false;
         };
         self.heap.remove(id.index());
@@ -237,7 +255,7 @@ mod tests {
         for _ in 0..4 {
             touch(&mut c, 1, 40, 10);
         }
-        assert_eq!(c.frequency_of(1), Some(5));
+        assert_eq!(c.frequency_of(&1), Some(5));
         // 2 and 3 are single-hit: one of them (LRU-arbitrary under ties)
         // goes before 1 does.
         let (_, ev) = touch(&mut c, 4, 40, 10);
@@ -253,7 +271,7 @@ mod tests {
         touch(&mut c, 3, 40, 1);
         let (_, ev) = touch(&mut c, 4, 40, 1);
         assert_eq!(ev, vec![2], "cheap unreferenced pair goes first");
-        assert!(c.contains(1));
+        assert!(c.contains(&1));
     }
 
     #[test]
@@ -278,10 +296,29 @@ mod tests {
             touch(&mut c, k, 10, 5);
             assert!(c.used_bytes() <= 100);
         }
-        let resident: Vec<u64> = (0..50).filter(|&k| c.contains(k)).collect();
+        let resident: Vec<u64> = (0..50).filter(|&k| c.contains(&k)).collect();
         assert_eq!(resident.len(), 10);
-        assert!(EvictionPolicy::remove(&mut c, resident[0]));
+        assert!(EvictionPolicy::remove(&mut c, &resident[0]));
         assert_eq!(c.len(), 9);
+    }
+
+    #[test]
+    fn touch_bumps_frequency() {
+        let mut c = Gdsf::new(120);
+        touch(&mut c, 1, 40, 10);
+        assert!(EvictionPolicy::touch(&mut c, &1));
+        assert!(EvictionPolicy::touch(&mut c, &1));
+        assert!(!EvictionPolicy::touch(&mut c, &9));
+        assert_eq!(c.frequency_of(&1), Some(3));
+    }
+
+    #[test]
+    fn victim_is_minimum_priority() {
+        let mut c = Gdsf::new(120);
+        touch(&mut c, 1, 40, 100);
+        touch(&mut c, 2, 40, 1);
+        touch(&mut c, 3, 40, 50);
+        assert_eq!(c.victim(), Some(2));
     }
 
     #[test]

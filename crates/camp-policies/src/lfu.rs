@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use camp_core::heap::OctonaryHeap;
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 use crate::util::IdAllocator;
 
 #[derive(Debug)]
@@ -22,7 +22,7 @@ struct Resident {
     frequency: u64,
 }
 
-/// The LFU replacement policy over `u64` keys.
+/// The LFU replacement policy.
 ///
 /// # Examples
 ///
@@ -38,20 +38,20 @@ struct Resident {
 /// cache.reference(CacheRequest::new(4, 10, 0), &mut evicted);
 /// // 2 was the least-frequently, least-recently used.
 /// assert_eq!(evicted, vec![2]);
-/// assert!(cache.contains(1));
+/// assert!(cache.contains(&1));
 /// ```
 #[derive(Debug)]
-pub struct Lfu {
+pub struct Lfu<K = u64> {
     capacity: u64,
     used: u64,
     clock: u64,
-    residents: HashMap<u64, Resident>,
-    by_heap_id: HashMap<u32, u64>,
+    residents: HashMap<K, Resident>,
+    by_heap_id: HashMap<u32, K>,
     heap: OctonaryHeap<u128>,
     ids: IdAllocator,
 }
 
-impl Lfu {
+impl<K: CacheKey> Lfu<K> {
     /// Creates an LFU cache with the given byte capacity.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
@@ -68,15 +68,28 @@ impl Lfu {
 
     /// The recorded frequency of a resident key.
     #[must_use]
-    pub fn frequency_of(&self, key: u64) -> Option<u64> {
-        self.residents.get(&key).map(|r| r.frequency)
+    pub fn frequency_of(&self, key: &K) -> Option<u64> {
+        self.residents.get(key).map(|r| r.frequency)
     }
 
     fn heap_key(frequency: u64, last_used: u64) -> u128 {
         (u128::from(frequency) << 64) | u128::from(last_used)
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+    fn on_hit(&mut self, key: &K) -> bool {
+        self.clock += 1;
+        let now = self.clock;
+        let Some(resident) = self.residents.get_mut(key) else {
+            return false;
+        };
+        resident.frequency = resident.frequency.saturating_add(1);
+        let heap_key = Self::heap_key(resident.frequency, now);
+        let heap_id = resident.heap_id;
+        self.heap.update(heap_id, heap_key);
+        true
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
         let Some((heap_id, _)) = self.heap.pop() else {
             return false;
         };
@@ -92,7 +105,7 @@ impl Lfu {
     }
 }
 
-impl EvictionPolicy for Lfu {
+impl<K: CacheKey> EvictionPolicy<K> for Lfu<K> {
     fn name(&self) -> String {
         "lfu".to_owned()
     }
@@ -109,31 +122,26 @@ impl EvictionPolicy for Lfu {
         self.residents.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.residents.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.residents.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
-        self.clock += 1;
-        let now = self.clock;
-        if let Some(resident) = self.residents.get_mut(&req.key) {
-            resident.frequency = resident.frequency.saturating_add(1);
-            let key = Self::heap_key(resident.frequency, now);
-            let heap_id = resident.heap_id;
-            self.heap.update(heap_id, key);
+        if self.on_hit(&req.key) {
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
             return AccessOutcome::MissBypassed;
         }
+        let now = self.clock;
         while self.used + req.size > self.capacity {
             let ok = self.evict_one(evicted);
             debug_assert!(ok, "byte accounting out of sync");
         }
         let heap_id = self.ids.allocate();
         self.heap.insert(heap_id, Self::heap_key(1, now));
-        self.by_heap_id.insert(heap_id, req.key);
+        self.by_heap_id.insert(heap_id, req.key.clone());
         self.residents.insert(
             req.key,
             Resident {
@@ -146,8 +154,17 @@ impl EvictionPolicy for Lfu {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(resident) = self.residents.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        self.on_hit(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        let (heap_id, _) = self.heap.peek()?;
+        self.by_heap_id.get(&heap_id).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(resident) = self.residents.remove(key) else {
             return false;
         };
         self.heap.remove(resident.heap_id);
@@ -189,7 +206,7 @@ mod tests {
         assert_eq!(ev, vec![3]);
         let (_, ev) = touch(&mut c, 5); // 4 has freq 1, evicted next
         assert_eq!(ev, vec![4]);
-        assert!(c.contains(1) && c.contains(2));
+        assert!(c.contains(&1) && c.contains(&2));
     }
 
     #[test]
@@ -215,7 +232,7 @@ mod tests {
             touch(&mut c, k);
         }
         assert!(
-            c.contains(1),
+            c.contains(&1),
             "LFU keeps the stale-hot key (expected pathology)"
         );
     }
@@ -226,7 +243,7 @@ mod tests {
         for _ in 0..5 {
             touch(&mut c, 7);
         }
-        assert_eq!(c.frequency_of(7), Some(5));
+        assert_eq!(c.frequency_of(&7), Some(5));
         for k in 0..20 {
             touch(&mut c, k);
             assert!(c.used_bytes() <= 40);
@@ -234,11 +251,23 @@ mod tests {
     }
 
     #[test]
+    fn touch_and_victim() {
+        let mut c = Lfu::new(30);
+        touch(&mut c, 1);
+        touch(&mut c, 2);
+        touch(&mut c, 3);
+        assert!(EvictionPolicy::touch(&mut c, &1));
+        assert!(!EvictionPolicy::touch(&mut c, &9));
+        // 2 is now the least-frequent, least-recent resident.
+        assert_eq!(EvictionPolicy::victim(&c), Some(2));
+    }
+
+    #[test]
     fn remove_and_bypass() {
         let mut c = Lfu::new(30);
         touch(&mut c, 1);
-        assert!(EvictionPolicy::remove(&mut c, 1));
-        assert!(!EvictionPolicy::remove(&mut c, 1));
+        assert!(EvictionPolicy::remove(&mut c, &1));
+        assert!(!EvictionPolicy::remove(&mut c, &1));
         let mut ev = Vec::new();
         let out = c.reference(CacheRequest::new(2, 31, 0), &mut ev);
         assert_eq!(out, AccessOutcome::MissBypassed);

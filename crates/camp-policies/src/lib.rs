@@ -18,7 +18,11 @@
 //!
 //! The CAMP algorithm itself lives in [`camp_core`] and implements
 //! [`EvictionPolicy`] through this crate, so all policies are drop-in
-//! interchangeable in the simulator and benchmarks.
+//! interchangeable in the simulator, benchmarks, and the KVS server.
+//!
+//! Every policy is generic over its key type ([`CacheKey`]): the simulator
+//! drives them with `u64` trace keys, the KVS server with `Box<[u8]>`
+//! wire keys — same instances, no glue layer.
 //!
 //! ```
 //! use camp_core::{Camp, Precision};
@@ -32,8 +36,19 @@
 //! let mut evicted = Vec::new();
 //! for policy in &mut policies {
 //!     policy.reference(CacheRequest::new(7, 128, 10), &mut evicted);
-//!     assert!(policy.contains(7));
+//!     assert!(policy.contains(&7));
 //! }
+//! ```
+//!
+//! Policies can also be resolved by name through [`EvictionMode`], the
+//! configuration surface shared by the `camp-sim` CLI and `camp-kvsd`:
+//!
+//! ```
+//! use camp_policies::{EvictionMode, EvictionPolicy};
+//!
+//! let mode: EvictionMode = "camp:5".parse().unwrap();
+//! let policy: Box<dyn EvictionPolicy<Box<[u8]>>> = mode.build(1 << 20);
+//! assert_eq!(policy.name(), "camp(p=5)");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +66,7 @@ pub mod lru_k;
 pub mod offline;
 pub mod policy;
 pub mod pooled_lru;
+pub mod spec;
 pub mod two_q;
 
 mod util;
@@ -64,6 +80,7 @@ pub use crate::lfu::Lfu;
 pub use crate::lru::Lru;
 pub use crate::lru_k::LruK;
 pub use crate::offline::BeladyMin;
-pub use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
-pub use crate::pooled_lru::{PooledLru, PoolSplit};
+pub use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+pub use crate::pooled_lru::{PoolSplit, PooledLru};
+pub use crate::spec::EvictionMode;
 pub use crate::two_q::TwoQ;

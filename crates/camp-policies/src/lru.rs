@@ -10,16 +10,16 @@ use std::collections::HashMap;
 use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 #[derive(Debug)]
-struct Entry {
-    key: u64,
+struct Entry<K> {
+    key: K,
     size: u64,
     links: Links,
 }
 
-impl Linked for Entry {
+impl<K> Linked for Entry<K> {
     fn links(&self) -> &Links {
         &self.links
     }
@@ -28,7 +28,7 @@ impl Linked for Entry {
     }
 }
 
-/// A byte-capacity LRU cache over `u64` keys.
+/// A byte-capacity LRU cache.
 ///
 /// # Examples
 ///
@@ -45,15 +45,15 @@ impl Linked for Entry {
 /// assert_eq!(evicted, vec![2]);
 /// ```
 #[derive(Debug)]
-pub struct Lru {
-    map: HashMap<u64, EntryId>,
-    arena: Arena<Entry>,
+pub struct Lru<K = u64> {
+    map: HashMap<K, EntryId>,
+    arena: Arena<Entry<K>>,
     list: LruList,
     capacity: u64,
     used: u64,
 }
 
-impl Lru {
+impl<K: CacheKey> Lru<K> {
     /// Creates an LRU cache with the given byte capacity.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
@@ -68,21 +68,21 @@ impl Lru {
 
     /// The key next in line for eviction, if any.
     #[must_use]
-    pub fn victim(&self) -> Option<u64> {
+    pub fn victim(&self) -> Option<K> {
         self.list
             .front()
             .and_then(|id| self.arena.get(id))
-            .map(|e| e.key)
+            .map(|e| e.key.clone())
     }
 
     /// Iterates over resident keys from LRU to MRU.
-    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
         self.list
             .iter(&self.arena)
-            .filter_map(|id| self.arena.get(id).map(|e| e.key))
+            .filter_map(|id| self.arena.get(id).map(|e| e.key.clone()))
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
         let Some(id) = self.list.pop_front(&mut self.arena) else {
             return false;
         };
@@ -93,8 +93,8 @@ impl Lru {
         true
     }
 
-    fn detach(&mut self, key: u64) -> Option<u64> {
-        let id = self.map.remove(&key)?;
+    fn detach(&mut self, key: &K) -> Option<u64> {
+        let id = self.map.remove(key)?;
         self.list.unlink(&mut self.arena, id);
         let entry = self.arena.remove(id).expect("live entry");
         self.used -= entry.size;
@@ -102,7 +102,7 @@ impl Lru {
     }
 }
 
-impl EvictionPolicy for Lru {
+impl<K: CacheKey> EvictionPolicy<K> for Lru<K> {
     fn name(&self) -> String {
         "lru".to_owned()
     }
@@ -119,11 +119,11 @@ impl EvictionPolicy for Lru {
         self.map.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
         if let Some(&id) = self.map.get(&req.key) {
             self.list.move_to_back(&mut self.arena, id);
@@ -137,7 +137,7 @@ impl EvictionPolicy for Lru {
             debug_assert!(ok, "byte accounting out of sync");
         }
         let id = self.arena.insert(Entry {
-            key: req.key,
+            key: req.key.clone(),
             size: req.size,
             links: Links::new(),
         });
@@ -147,7 +147,19 @@ impl EvictionPolicy for Lru {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
+    fn touch(&mut self, key: &K) -> bool {
+        let Some(&id) = self.map.get(key) else {
+            return false;
+        };
+        self.list.move_to_back(&mut self.arena, id);
+        true
+    }
+
+    fn victim(&self) -> Option<K> {
+        Lru::victim(self)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
         self.detach(key).is_some()
     }
 
@@ -188,7 +200,7 @@ mod tests {
         assert_eq!(out, AccessOutcome::Hit);
         let (_, ev) = touch(&mut lru, 4, 10);
         assert_eq!(ev, vec![2]);
-        assert!(lru.contains(1));
+        assert!(lru.contains(&1));
     }
 
     #[test]
@@ -210,7 +222,7 @@ mod tests {
         let (out, ev) = touch(&mut lru, 2, 31);
         assert_eq!(out, AccessOutcome::MissBypassed);
         assert!(ev.is_empty());
-        assert!(lru.contains(1));
+        assert!(lru.contains(&1));
     }
 
     #[test]
@@ -218,8 +230,8 @@ mod tests {
         let mut lru = Lru::new(30);
         touch(&mut lru, 1, 10);
         touch(&mut lru, 2, 20);
-        assert!(EvictionPolicy::remove(&mut lru, 1));
-        assert!(!EvictionPolicy::remove(&mut lru, 1));
+        assert!(EvictionPolicy::remove(&mut lru, &1));
+        assert!(!EvictionPolicy::remove(&mut lru, &1));
         assert_eq!(lru.used_bytes(), 20);
         assert_eq!(lru.len(), 1);
     }
@@ -233,6 +245,29 @@ mod tests {
         touch(&mut lru, 2, 10); // refresh 2
         assert_eq!(lru.iter().collect::<Vec<_>>(), vec![1, 3, 4, 2]);
         assert_eq!(lru.victim(), Some(1));
+    }
+
+    #[test]
+    fn touch_refreshes_without_insert() {
+        let mut lru = Lru::new(30);
+        touch(&mut lru, 1, 10);
+        touch(&mut lru, 2, 10);
+        assert!(EvictionPolicy::touch(&mut lru, &1));
+        assert!(!EvictionPolicy::touch(&mut lru, &9));
+        assert_eq!(EvictionPolicy::victim(&lru), Some(2));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn byte_keys_work() {
+        let mut lru: Lru<Box<[u8]>> = Lru::new(30);
+        let a: Box<[u8]> = Box::from(&b"a"[..]);
+        let b: Box<[u8]> = Box::from(&b"b"[..]);
+        let mut evicted = Vec::new();
+        lru.reference(CacheRequest::new(a.clone(), 20, 0), &mut evicted);
+        lru.reference(CacheRequest::new(b.clone(), 20, 0), &mut evicted);
+        assert_eq!(evicted, vec![a]);
+        assert!(lru.contains(&b));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 
 use camp_core::heap::OctonaryHeap;
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 use crate::util::IdAllocator;
 
 #[derive(Debug)]
@@ -25,7 +25,7 @@ struct Resident {
     history: VecDeque<u64>,
 }
 
-/// The LRU-K replacement policy over `u64` keys.
+/// The LRU-K replacement policy.
 ///
 /// # Examples
 ///
@@ -42,25 +42,25 @@ struct Resident {
 /// // 2 and 3 have infinite backward 2-distance; 2 is older, so it goes.
 /// cache.reference(CacheRequest::new(4, 10, 0), &mut evicted);
 /// assert_eq!(evicted, vec![2]);
-/// assert!(cache.contains(1));
+/// assert!(cache.contains(&1));
 /// ```
 #[derive(Debug)]
-pub struct LruK {
+pub struct LruK<K = u64> {
     k: usize,
     capacity: u64,
     used: u64,
     clock: u64,
-    residents: HashMap<u64, Resident>,
-    by_heap_id: HashMap<u32, u64>,
+    residents: HashMap<K, Resident>,
+    by_heap_id: HashMap<u32, K>,
     heap: OctonaryHeap<u128>,
     ids: IdAllocator,
     /// Retained reference history for evicted keys, bounded FIFO.
-    ghosts: HashMap<u64, VecDeque<u64>>,
-    ghost_order: VecDeque<u64>,
+    ghosts: HashMap<K, VecDeque<u64>>,
+    ghost_order: VecDeque<K>,
     ghost_capacity: usize,
 }
 
-impl LruK {
+impl<K: CacheKey> LruK<K> {
     /// Default number of retained ghost histories.
     const DEFAULT_GHOSTS: usize = 4096;
 
@@ -106,11 +106,11 @@ impl LruK {
         (u128::from(kth) << 64) | u128::from(last)
     }
 
-    fn record_ghost(&mut self, key: u64, history: VecDeque<u64>) {
+    fn record_ghost(&mut self, key: K, history: VecDeque<u64>) {
         if self.ghost_capacity == 0 {
             return;
         }
-        if self.ghosts.insert(key, history).is_none() {
+        if self.ghosts.insert(key.clone(), history).is_none() {
             self.ghost_order.push_back(key);
         }
         while self.ghosts.len() > self.ghost_capacity {
@@ -123,7 +123,24 @@ impl LruK {
         }
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+    fn on_hit(&mut self, key: &K) -> bool {
+        self.clock += 1;
+        let now = self.clock;
+        let k = self.k;
+        let Some(resident) = self.residents.get_mut(key) else {
+            return false;
+        };
+        resident.history.push_back(now);
+        while resident.history.len() > k {
+            resident.history.pop_front();
+        }
+        let heap_key = Self::heap_key(k, &resident.history);
+        let heap_id = resident.heap_id;
+        self.heap.update(heap_id, heap_key);
+        true
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
         let Some((heap_id, _)) = self.heap.pop() else {
             return false;
         };
@@ -134,13 +151,13 @@ impl LruK {
         let resident = self.residents.remove(&key).expect("resident entry");
         self.used -= resident.size;
         self.ids.release(heap_id);
-        self.record_ghost(key, resident.history);
+        self.record_ghost(key.clone(), resident.history);
         evicted.push(key);
         true
     }
 }
 
-impl EvictionPolicy for LruK {
+impl<K: CacheKey> EvictionPolicy<K> for LruK<K> {
     fn name(&self) -> String {
         format!("lru-{}", self.k)
     }
@@ -157,27 +174,19 @@ impl EvictionPolicy for LruK {
         self.residents.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.residents.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.residents.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
-        self.clock += 1;
-        let now = self.clock;
-        if let Some(resident) = self.residents.get_mut(&req.key) {
-            resident.history.push_back(now);
-            while resident.history.len() > self.k {
-                resident.history.pop_front();
-            }
-            let key = Self::heap_key(self.k, &resident.history);
-            let heap_id = resident.heap_id;
-            self.heap.update(heap_id, key);
+        if self.on_hit(&req.key) {
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
             return AccessOutcome::MissBypassed;
         }
+        let now = self.clock;
         while self.used + req.size > self.capacity {
             let ok = self.evict_one(evicted);
             debug_assert!(ok, "byte accounting out of sync");
@@ -191,7 +200,7 @@ impl EvictionPolicy for LruK {
         let heap_id = self.ids.allocate();
         let key = Self::heap_key(self.k, &history);
         self.heap.insert(heap_id, key);
-        self.by_heap_id.insert(heap_id, req.key);
+        self.by_heap_id.insert(heap_id, req.key.clone());
         self.residents.insert(
             req.key,
             Resident {
@@ -204,8 +213,17 @@ impl EvictionPolicy for LruK {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(resident) = self.residents.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        self.on_hit(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        let (heap_id, _) = self.heap.peek()?;
+        self.by_heap_id.get(&heap_id).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(resident) = self.residents.remove(key) else {
             return false;
         };
         self.heap.remove(resident.heap_id);
@@ -257,7 +275,7 @@ mod tests {
         assert_eq!(ev, vec![2]);
         let (_, ev) = touch(&mut c, 5);
         assert_eq!(ev, vec![3]);
-        assert!(c.contains(1));
+        assert!(c.contains(&1));
     }
 
     #[test]
@@ -273,7 +291,7 @@ mod tests {
         assert_eq!(ev, vec![2]);
         let (_, ev) = touch(&mut c, 4); // next one-timer displaces 3, not 1
         assert_eq!(ev, vec![3]);
-        assert!(c.contains(1));
+        assert!(c.contains(&1));
     }
 
     #[test]
@@ -288,16 +306,30 @@ mod tests {
         for k in 0..50 {
             touch(&mut c, k);
         }
-        assert!(c.contains(100), "hot key 100 displaced by scan");
-        assert!(c.contains(101), "hot key 101 displaced by scan");
+        assert!(c.contains(&100), "hot key 100 displaced by scan");
+        assert!(c.contains(&101), "hot key 101 displaced by scan");
+    }
+
+    #[test]
+    fn touch_and_victim() {
+        let mut c = LruK::new(30, 2);
+        touch(&mut c, 1);
+        touch(&mut c, 2);
+        touch(&mut c, 3);
+        // All one-timers: 1 is oldest, hence the victim.
+        assert_eq!(EvictionPolicy::victim(&c), Some(1));
+        assert!(EvictionPolicy::touch(&mut c, &1));
+        // 1 now has two references and outranks the remaining one-timers.
+        assert_eq!(EvictionPolicy::victim(&c), Some(2));
+        assert!(!EvictionPolicy::touch(&mut c, &9));
     }
 
     #[test]
     fn remove_and_reject() {
         let mut c = LruK::new(30, 2);
         touch(&mut c, 1);
-        assert!(EvictionPolicy::remove(&mut c, 1));
-        assert!(!EvictionPolicy::remove(&mut c, 1));
+        assert!(EvictionPolicy::remove(&mut c, &1));
+        assert!(!EvictionPolicy::remove(&mut c, &1));
         assert_eq!(c.used_bytes(), 0);
         let mut ev = Vec::new();
         let out = c.reference(CacheRequest::new(9, 31, 0), &mut ev);

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use camp_core::heap::OctonaryHeap;
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 use crate::util::IdAllocator;
 
 /// The MIN policy. Construct it from the exact key sequence it will be
@@ -37,29 +37,29 @@ use crate::util::IdAllocator;
 /// assert!(min.len() <= 2);
 /// ```
 #[derive(Debug)]
-pub struct BeladyMin {
+pub struct BeladyMin<K = u64> {
     capacity: u64,
     used: u64,
     clock: usize,
     /// `next_use[i]` = index of the next reference of the key referenced at
     /// trace position `i` (usize::MAX when never referenced again).
     next_use: Vec<usize>,
-    expected: Vec<u64>,
-    residents: HashMap<u64, (u32, u64)>, // key -> (heap id, size)
-    by_heap_id: HashMap<u32, u64>,
+    expected: Vec<K>,
+    residents: HashMap<K, (u32, u64)>, // key -> (heap id, size)
+    by_heap_id: HashMap<u32, K>,
     /// Max-heap on next use, expressed as a min-heap on the complement.
     heap: OctonaryHeap<u64>,
     ids: IdAllocator,
 }
 
-impl BeladyMin {
+impl<K: CacheKey> BeladyMin<K> {
     /// Builds MIN for the given capacity and key sequence.
     #[must_use]
-    pub fn from_keys(capacity: u64, keys: &[u64]) -> Self {
+    pub fn from_keys(capacity: u64, keys: &[K]) -> Self {
         let mut next_use = vec![usize::MAX; keys.len()];
-        let mut last_seen: HashMap<u64, usize> = HashMap::new();
-        for (i, &key) in keys.iter().enumerate().rev() {
-            if let Some(&later) = last_seen.get(&key) {
+        let mut last_seen: HashMap<&K, usize> = HashMap::new();
+        for (i, key) in keys.iter().enumerate().rev() {
+            if let Some(&later) = last_seen.get(key) {
                 next_use[i] = later;
             }
             last_seen.insert(key, i);
@@ -88,7 +88,7 @@ impl BeladyMin {
         u64::MAX - next as u64
     }
 
-    fn evict_one(&mut self, evicted: &mut Vec<u64>) -> bool {
+    fn evict_one(&mut self, evicted: &mut Vec<K>) -> bool {
         let Some((heap_id, _)) = self.heap.pop() else {
             return false;
         };
@@ -104,7 +104,7 @@ impl BeladyMin {
     }
 }
 
-impl EvictionPolicy for BeladyMin {
+impl<K: CacheKey> EvictionPolicy<K> for BeladyMin<K> {
     fn name(&self) -> String {
         "belady-min".to_owned()
     }
@@ -121,15 +121,15 @@ impl EvictionPolicy for BeladyMin {
         self.residents.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.residents.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.residents.contains_key(key)
     }
 
     /// # Panics
     ///
     /// Panics if called more times than the trace has rows, or with a key
     /// that differs from the trace row at this position.
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
         assert!(
             self.clock < self.expected.len(),
@@ -158,14 +158,25 @@ impl EvictionPolicy for BeladyMin {
         }
         let heap_id = self.ids.allocate();
         self.heap.insert(heap_id, Self::heap_key(next));
-        self.by_heap_id.insert(heap_id, req.key);
+        self.by_heap_id.insert(heap_id, req.key.clone());
         self.residents.insert(req.key, (heap_id, req.size));
         self.used += req.size;
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some((heap_id, size)) = self.residents.remove(&key) else {
+    /// MIN's bookkeeping is driven by trace position, not by out-of-band
+    /// touches, so this only reports residency.
+    fn touch(&mut self, key: &K) -> bool {
+        self.residents.contains_key(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        let (heap_id, _) = self.heap.peek()?;
+        self.by_heap_id.get(&heap_id).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some((heap_id, size)) = self.residents.remove(key) else {
             return false;
         };
         self.heap.remove(heap_id);

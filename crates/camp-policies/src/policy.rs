@@ -6,25 +6,40 @@
 //! interaction, so CAMP, LRU, GDS, Pooled-LRU and the related-work policies
 //! are interchangeable inside the simulator, the KVS server, the tests, and
 //! the benchmark harness.
+//!
+//! The trait is generic over the key type. The simulator uses the default
+//! `u64` trace keys; the KVS server drives the *same* policy implementations
+//! over `Box<[u8]>` protocol keys. Two extra methods serve the server's
+//! slab store, where memory pressure (not the policy's byte budget) decides
+//! *when* to evict: [`EvictionPolicy::victim`] exposes the next eviction
+//! candidate without mutating, and [`EvictionPolicy::touch`] applies the
+//! hit path of `reference` on its own (the store's `get`).
 
 use camp_core::{Camp, InsertOutcome};
+
+/// Keys an eviction policy can manage: hashable, clonable (for eviction
+/// reporting), and debuggable. Blanket-implemented; `u64` trace keys and
+/// the server's `Box<[u8]>` protocol keys both qualify.
+pub trait CacheKey: Eq + std::hash::Hash + Clone + std::fmt::Debug {}
+
+impl<T: Eq + std::hash::Hash + Clone + std::fmt::Debug> CacheKey for T {}
 
 /// One key reference as it appears in a trace row: the key, the byte size of
 /// its value, and the cost to (re)compute it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheRequest {
-    /// Trace-wide unique key identifier.
-    pub key: u64,
+pub struct CacheRequest<K = u64> {
+    /// The referenced key.
+    pub key: K,
     /// Value size in bytes (positive).
     pub size: u64,
     /// Cost of computing the pair (non-negative integer, as in the paper).
     pub cost: u64,
 }
 
-impl CacheRequest {
+impl<K> CacheRequest<K> {
     /// Convenience constructor.
     #[must_use]
-    pub fn new(key: u64, size: u64, cost: u64) -> Self {
+    pub fn new(key: K, size: u64, cost: u64) -> Self {
         CacheRequest { key, size, cost }
     }
 }
@@ -54,8 +69,10 @@ impl AccessOutcome {
 /// Implementations manage a fixed byte budget. `reference` performs the
 /// paper's get-then-insert-on-miss cycle in one call and reports evicted
 /// keys through the caller-supplied buffer (so hot loops can reuse one
-/// allocation).
-pub trait EvictionPolicy {
+/// allocation). `touch` and `victim` split that cycle apart for callers —
+/// like the slab store — that decide admission and eviction timing
+/// themselves.
+pub trait EvictionPolicy<K: CacheKey = u64> {
     /// Short, stable, human-readable policy name (e.g. `"camp(p=5)"`).
     fn name(&self) -> String;
 
@@ -74,14 +91,23 @@ pub trait EvictionPolicy {
     }
 
     /// Whether `key` is resident, without updating recency.
-    fn contains(&self, key: u64) -> bool;
+    fn contains(&self, key: &K) -> bool;
 
     /// References `req.key`: a hit updates recency metadata; a miss inserts
     /// the pair, appending any evicted keys to `evicted`.
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome;
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome;
+
+    /// Applies the hit path of [`EvictionPolicy::reference`] alone: updates
+    /// recency/frequency metadata for a resident `key`. Returns whether the
+    /// key was resident (a miss records nothing).
+    fn touch(&mut self, key: &K) -> bool;
+
+    /// The key this policy would evict next, without evicting it. `None`
+    /// when empty.
+    fn victim(&self) -> Option<K>;
 
     /// Removes `key` if resident. Returns whether it was.
-    fn remove(&mut self, key: u64) -> bool;
+    fn remove(&mut self, key: &K) -> bool;
 
     /// Number of internal queues/pools, for policies where that is a
     /// meaningful quantity (CAMP: non-empty LRU queues; Pooled-LRU: pools).
@@ -104,7 +130,8 @@ pub trait EvictionPolicy {
     fn reset_instrumentation(&mut self) {}
 }
 
-/// [`EvictionPolicy`] for the real thing: a [`Camp`] cache over `u64` keys.
+/// [`EvictionPolicy`] for the real thing: a [`Camp`] cache over any key
+/// type.
 ///
 /// # Examples
 ///
@@ -116,9 +143,9 @@ pub trait EvictionPolicy {
 /// let mut evicted = Vec::new();
 /// let outcome = camp.reference(CacheRequest::new(1, 100, 5), &mut evicted);
 /// assert!(outcome.is_miss());
-/// assert!(EvictionPolicy::contains(&camp, 1));
+/// assert!(EvictionPolicy::contains(&camp, &1));
 /// ```
-impl EvictionPolicy for Camp<u64, ()> {
+impl<K: CacheKey> EvictionPolicy<K> for Camp<K, ()> {
     fn name(&self) -> String {
         format!("camp(p={})", self.precision())
     }
@@ -135,17 +162,16 @@ impl EvictionPolicy for Camp<u64, ()> {
         Camp::len(self)
     }
 
-    fn contains(&self, key: u64) -> bool {
-        Camp::contains(self, &key)
+    fn contains(&self, key: &K) -> bool {
+        Camp::contains(self, key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         if self.get(&req.key).is_some() {
             return AccessOutcome::Hit;
         }
         let mut pairs = Vec::new();
-        let outcome =
-            self.insert_with_evictions(req.key, (), req.size, req.cost, &mut pairs);
+        let outcome = self.insert_with_evictions(req.key, (), req.size, req.cost, &mut pairs);
         evicted.extend(pairs.into_iter().map(|(k, ())| k));
         match outcome {
             InsertOutcome::RejectedTooLarge => AccessOutcome::MissBypassed,
@@ -153,8 +179,16 @@ impl EvictionPolicy for Camp<u64, ()> {
         }
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        Camp::remove(self, &key).is_some()
+    fn touch(&mut self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn victim(&self) -> Option<K> {
+        Camp::victim(self).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        Camp::remove(self, key).is_some()
     }
 
     fn queue_count(&self) -> Option<usize> {
@@ -200,10 +234,39 @@ mod tests {
             camp.reference(CacheRequest::new(3, 101, 10), &mut evicted),
             AccessOutcome::MissBypassed
         );
-        assert!(EvictionPolicy::remove(&mut camp, 2));
-        assert!(!EvictionPolicy::remove(&mut camp, 2));
+        assert!(EvictionPolicy::remove(&mut camp, &2));
+        assert!(!EvictionPolicy::remove(&mut camp, &2));
         assert_eq!(EvictionPolicy::len(&camp), 0);
-        assert!(camp.name().starts_with("camp"));
+        assert!(EvictionPolicy::name(&camp).starts_with("camp"));
+    }
+
+    #[test]
+    fn camp_over_byte_keys_implements_the_trait() {
+        let mut camp: Camp<Box<[u8]>, ()> = Camp::new(100, Precision::Bits(5));
+        let key: Box<[u8]> = Box::from(&b"user:1"[..]);
+        let mut evicted: Vec<Box<[u8]>> = Vec::new();
+        assert_eq!(
+            camp.reference(CacheRequest::new(key.clone(), 60, 10), &mut evicted),
+            AccessOutcome::MissInserted
+        );
+        assert!(EvictionPolicy::contains(&camp, &key));
+        assert!(EvictionPolicy::touch(&mut camp, &key));
+        assert_eq!(EvictionPolicy::victim(&camp), Some(key.clone()));
+        assert!(EvictionPolicy::remove(&mut camp, &key));
+        assert!(EvictionPolicy::is_empty(&camp));
+    }
+
+    #[test]
+    fn touch_and_victim_follow_recency() {
+        let mut camp: Camp<u64, ()> = Camp::new(1000, Precision::Bits(5));
+        let mut evicted = Vec::new();
+        camp.reference(CacheRequest::new(1, 10, 5), &mut evicted);
+        camp.reference(CacheRequest::new(2, 10, 5), &mut evicted);
+        // Same queue (same ratio); 1 is the LRU victim until touched.
+        assert_eq!(EvictionPolicy::victim(&camp), Some(1));
+        assert!(EvictionPolicy::touch(&mut camp, &1));
+        assert_eq!(EvictionPolicy::victim(&camp), Some(2));
+        assert!(!EvictionPolicy::touch(&mut camp, &99));
     }
 
     #[test]

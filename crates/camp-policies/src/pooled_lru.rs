@@ -12,7 +12,7 @@
 //! from an idle one, which is exactly the weakness Figures 5d and 8a expose.
 
 use crate::lru::Lru;
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 /// How the available memory is divided among the pools.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,16 +48,16 @@ pub enum PoolSplit {
 ///
 /// let mut evicted = Vec::new();
 /// pooled.reference(CacheRequest::new(1, 10, 10_000), &mut evicted);
-/// assert!(pooled.contains(1));
+/// assert!(pooled.contains(&1));
 /// ```
 #[derive(Debug)]
-pub struct PooledLru {
-    pools: Vec<Lru>,
+pub struct PooledLru<K = u64> {
+    pools: Vec<Lru<K>>,
     boundaries: Vec<u64>,
     capacity: u64,
 }
 
-impl PooledLru {
+impl<K: CacheKey> PooledLru<K> {
     /// Creates a pooled cache over the given cost boundaries.
     ///
     /// # Panics
@@ -74,16 +74,11 @@ impl PooledLru {
         );
         let weights: Vec<f64> = match split {
             PoolSplit::Uniform => vec![1.0; boundaries.len()],
-            PoolSplit::ProportionalToLowerBound => boundaries
-                .iter()
-                .map(|&b| b.max(1) as f64)
-                .collect(),
+            PoolSplit::ProportionalToLowerBound => {
+                boundaries.iter().map(|&b| b.max(1) as f64).collect()
+            }
             PoolSplit::Weighted(w) => {
-                assert_eq!(
-                    w.len(),
-                    boundaries.len(),
-                    "one weight per pool is required"
-                );
+                assert_eq!(w.len(), boundaries.len(), "one weight per pool is required");
                 assert!(w.iter().all(|&x| x >= 0.0), "weights must be non-negative");
                 w
             }
@@ -124,7 +119,7 @@ impl PooledLru {
     }
 }
 
-impl EvictionPolicy for PooledLru {
+impl<K: CacheKey> EvictionPolicy<K> for PooledLru<K> {
     fn name(&self) -> String {
         format!("pooled-lru({} pools)", self.pools.len())
     }
@@ -141,16 +136,34 @@ impl EvictionPolicy for PooledLru {
         self.pools.iter().map(EvictionPolicy::len).sum()
     }
 
-    fn contains(&self, key: u64) -> bool {
+    fn contains(&self, key: &K) -> bool {
         self.pools.iter().any(|p| p.contains(key))
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         let pool = self.pool_of(req.cost);
         self.pools[pool].reference(req, evicted)
     }
 
-    fn remove(&mut self, key: u64) -> bool {
+    fn touch(&mut self, key: &K) -> bool {
+        self.pools.iter_mut().any(|p| p.touch(key))
+    }
+
+    fn victim(&self) -> Option<K> {
+        // The frozen partition has no global eviction order; offer the LRU
+        // tail of the fullest pool (by fill fraction) as the candidate.
+        self.pools
+            .iter()
+            .filter(|p| !p.is_empty())
+            .max_by(|a, b| {
+                let fa = a.used_bytes() as f64 / (a.capacity().max(1)) as f64;
+                let fb = b.used_bytes() as f64 / (b.capacity().max(1)) as f64;
+                fa.total_cmp(&fb)
+            })
+            .and_then(Lru::victim)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
         self.pools.iter_mut().any(|p| p.remove(key))
     }
 
@@ -171,7 +184,7 @@ mod tests {
 
     #[test]
     fn routes_by_cost_range() {
-        let p = PooledLru::new(3000, &[1, 100, 10_000], PoolSplit::Uniform);
+        let p: PooledLru = PooledLru::new(3000, &[1, 100, 10_000], PoolSplit::Uniform);
         assert_eq!(p.pool_of(1), 0);
         assert_eq!(p.pool_of(99), 0);
         assert_eq!(p.pool_of(100), 1);
@@ -184,7 +197,7 @@ mod tests {
 
     #[test]
     fn uniform_split_divides_evenly() {
-        let p = PooledLru::new(3000, &[1, 100, 10_000], PoolSplit::Uniform);
+        let p: PooledLru = PooledLru::new(3000, &[1, 100, 10_000], PoolSplit::Uniform);
         assert_eq!(p.pool_capacities(), vec![1000, 1000, 1000]);
     }
 
@@ -192,7 +205,7 @@ mod tests {
     fn lower_bound_split_gives_almost_everything_to_the_expensive_pool() {
         // The paper: "99% of the cache is dedicated to the pool of expensive
         // key-value pairs."
-        let p = PooledLru::new(
+        let p: PooledLru = PooledLru::new(
             1_000_000,
             &[1, 100, 10_000],
             PoolSplit::ProportionalToLowerBound,
@@ -204,11 +217,7 @@ mod tests {
 
     #[test]
     fn weighted_split_follows_weights() {
-        let p = PooledLru::new(
-            1000,
-            &[1, 100],
-            PoolSplit::Weighted(vec![3.0, 1.0]),
-        );
+        let p: PooledLru = PooledLru::new(1000, &[1, 100], PoolSplit::Weighted(vec![3.0, 1.0]));
         assert_eq!(p.pool_capacities(), vec![750, 250]);
     }
 
@@ -223,7 +232,7 @@ mod tests {
         touch(&mut p, 100, 10, 500);
         let (_, ev) = touch(&mut p, 4, 10, 1);
         assert_eq!(ev, vec![1]);
-        assert!(p.contains(100));
+        assert!(p.contains(&100));
     }
 
     #[test]
@@ -251,16 +260,29 @@ mod tests {
         let mut p = PooledLru::new(60, &[1, 100], PoolSplit::Uniform);
         touch(&mut p, 1, 10, 1);
         touch(&mut p, 2, 10, 500);
-        assert!(p.contains(1) && p.contains(2));
-        assert!(EvictionPolicy::remove(&mut p, 2));
-        assert!(!p.contains(2));
+        assert!(p.contains(&1) && p.contains(&2));
+        assert!(EvictionPolicy::remove(&mut p, &2));
+        assert!(!p.contains(&2));
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn touch_and_victim_cross_pools() {
+        let mut p = PooledLru::new(60, &[1, 100], PoolSplit::Uniform);
+        touch(&mut p, 1, 10, 1);
+        touch(&mut p, 2, 10, 500);
+        assert!(EvictionPolicy::touch(&mut p, &1));
+        assert!(EvictionPolicy::touch(&mut p, &2));
+        assert!(!EvictionPolicy::touch(&mut p, &9));
+        // Both pools are equally full; victim must be a resident key.
+        let v = EvictionPolicy::victim(&p).unwrap();
+        assert!(p.contains(&v));
     }
 
     #[test]
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_boundaries_panic() {
-        let _ = PooledLru::new(100, &[100, 1], PoolSplit::Uniform);
+        let _: PooledLru = PooledLru::new(100, &[100, 1], PoolSplit::Uniform);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 
-use crate::policy::{AccessOutcome, CacheRequest, EvictionPolicy};
+use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Region {
@@ -34,12 +34,12 @@ struct Resident {
 }
 
 #[derive(Debug)]
-struct AmNode {
-    key: u64,
+struct AmNode<K> {
+    key: K,
     links: Links,
 }
 
-impl Linked for AmNode {
+impl<K> Linked for AmNode<K> {
     fn links(&self) -> &Links {
         &self.links
     }
@@ -48,7 +48,7 @@ impl Linked for AmNode {
     }
 }
 
-/// The 2Q replacement policy over `u64` keys.
+/// The 2Q replacement policy.
 ///
 /// # Examples
 ///
@@ -58,25 +58,25 @@ impl Linked for AmNode {
 /// let mut cache = TwoQ::new(100);
 /// let mut evicted = Vec::new();
 /// cache.reference(CacheRequest::new(1, 10, 0), &mut evicted);
-/// assert!(cache.contains(1)); // in probation (A1in)
+/// assert!(cache.contains(&1)); // in probation (A1in)
 /// ```
 #[derive(Debug)]
-pub struct TwoQ {
+pub struct TwoQ<K = u64> {
     capacity: u64,
     kin: u64,
     kout: u64,
     used: u64,
     a1in_bytes: u64,
-    residents: HashMap<u64, Resident>,
-    a1in: VecDeque<u64>,
+    residents: HashMap<K, Resident>,
+    a1in: VecDeque<K>,
     am: LruList,
-    am_arena: Arena<AmNode>,
-    a1out: VecDeque<(u64, u64)>, // (key, size)
-    a1out_set: HashMap<u64, u64>,
+    am_arena: Arena<AmNode<K>>,
+    a1out: VecDeque<(K, u64)>, // (key, size)
+    a1out_set: HashMap<K, u64>,
     a1out_bytes: u64,
 }
 
-impl TwoQ {
+impl<K: CacheKey> TwoQ<K> {
     /// Creates a 2Q cache with the recommended 25%/50% `Kin`/`Kout` split.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
@@ -115,8 +115,8 @@ impl TwoQ {
         self.a1out_set.len()
     }
 
-    fn push_ghost(&mut self, key: u64, size: u64) {
-        if self.a1out_set.insert(key, size).is_none() {
+    fn push_ghost(&mut self, key: K, size: u64) {
+        if self.a1out_set.insert(key.clone(), size).is_none() {
             self.a1out.push_back((key, size));
             self.a1out_bytes += size;
         }
@@ -131,11 +131,16 @@ impl TwoQ {
         }
     }
 
+    /// Whether the next reclaim drains the probation FIFO (the 2Q
+    /// `reclaimfor` choice).
+    fn reclaim_from_a1in(&self) -> bool {
+        self.a1in_bytes > self.kin || self.am.is_empty()
+    }
+
     /// Frees one resident entry, preferring the probation FIFO when it is
     /// over its threshold (the 2Q `reclaimfor` routine).
-    fn reclaim_one(&mut self, evicted: &mut Vec<u64>) -> bool {
-        let from_a1in = self.a1in_bytes > self.kin || self.am.is_empty();
-        let key = if from_a1in {
+    fn reclaim_one(&mut self, evicted: &mut Vec<K>) -> bool {
+        let key = if self.reclaim_from_a1in() {
             self.a1in.pop_front()
         } else {
             self.am
@@ -150,13 +155,13 @@ impl TwoQ {
             self.a1in_bytes -= resident.size;
             // Only probation evictions are remembered: a re-reference soon
             // after proves the key deserves Am.
-            self.push_ghost(key, resident.size);
+            self.push_ghost(key.clone(), resident.size);
         }
         evicted.push(key);
         true
     }
 
-    fn push_am(&mut self, key: u64) -> EntryId {
+    fn push_am(&mut self, key: K) -> EntryId {
         let id = self.am_arena.insert(AmNode {
             key,
             links: Links::new(),
@@ -164,9 +169,26 @@ impl TwoQ {
         self.am.push_back(&mut self.am_arena, id);
         id
     }
+
+    fn on_hit(&mut self, key: &K) -> bool {
+        let Some(resident) = self.residents.get(key) else {
+            return false;
+        };
+        match resident.region {
+            Region::Am => {
+                // LRU refresh within Am, O(1) on the intrusive list.
+                let id = resident.am_id.expect("Am resident has a node");
+                self.am.move_to_back(&mut self.am_arena, id);
+            }
+            Region::A1In => {
+                // The original 2Q leaves A1in references in place (FIFO).
+            }
+        }
+        true
+    }
 }
 
-impl EvictionPolicy for TwoQ {
+impl<K: CacheKey> EvictionPolicy<K> for TwoQ<K> {
     fn name(&self) -> String {
         "2q".to_owned()
     }
@@ -183,23 +205,13 @@ impl EvictionPolicy for TwoQ {
         self.residents.len()
     }
 
-    fn contains(&self, key: u64) -> bool {
-        self.residents.contains_key(&key)
+    fn contains(&self, key: &K) -> bool {
+        self.residents.contains_key(key)
     }
 
-    fn reference(&mut self, req: CacheRequest, evicted: &mut Vec<u64>) -> AccessOutcome {
+    fn reference(&mut self, req: CacheRequest<K>, evicted: &mut Vec<K>) -> AccessOutcome {
         assert!(req.size > 0, "key-value pairs have positive size");
-        if let Some(resident) = self.residents.get(&req.key) {
-            match resident.region {
-                Region::Am => {
-                    // LRU refresh within Am, O(1) on the intrusive list.
-                    let id = resident.am_id.expect("Am resident has a node");
-                    self.am.move_to_back(&mut self.am_arena, id);
-                }
-                Region::A1In => {
-                    // The original 2Q leaves A1in references in place (FIFO).
-                }
-            }
+        if self.on_hit(&req.key) {
             return AccessOutcome::Hit;
         }
         if req.size > self.capacity {
@@ -212,9 +224,9 @@ impl EvictionPolicy for TwoQ {
         }
         let region = if remembered { Region::Am } else { Region::A1In };
         let am_id = match region {
-            Region::Am => Some(self.push_am(req.key)),
+            Region::Am => Some(self.push_am(req.key.clone())),
             Region::A1In => {
-                self.a1in.push_back(req.key);
+                self.a1in.push_back(req.key.clone());
                 self.a1in_bytes += req.size;
                 None
             }
@@ -231,8 +243,25 @@ impl EvictionPolicy for TwoQ {
         AccessOutcome::MissInserted
     }
 
-    fn remove(&mut self, key: u64) -> bool {
-        let Some(resident) = self.residents.remove(&key) else {
+    fn touch(&mut self, key: &K) -> bool {
+        self.on_hit(key)
+    }
+
+    fn victim(&self) -> Option<K> {
+        if self.reclaim_from_a1in() {
+            if let Some(key) = self.a1in.front() {
+                return Some(key.clone());
+            }
+        }
+        self.am
+            .front()
+            .and_then(|id| self.am_arena.get(id))
+            .map(|node| node.key.clone())
+            .or_else(|| self.a1in.front().cloned())
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        let Some(resident) = self.residents.remove(key) else {
             return false;
         };
         self.used -= resident.size;
@@ -243,7 +272,7 @@ impl EvictionPolicy for TwoQ {
                 self.am_arena.remove(id);
             }
             Region::A1In => {
-                if let Some(pos) = self.a1in.iter().position(|&k| k == key) {
+                if let Some(pos) = self.a1in.iter().position(|k| k == key) {
                     self.a1in.remove(pos);
                 }
                 self.a1in_bytes -= resident.size;
@@ -271,7 +300,7 @@ mod tests {
     fn first_timers_enter_probation() {
         let mut c = TwoQ::new(100);
         touch(&mut c, 1);
-        assert!(c.contains(1));
+        assert!(c.contains(&1));
         assert_eq!(c.a1in_bytes(), 10);
     }
 
@@ -284,7 +313,7 @@ mod tests {
         touch(&mut c, 3);
         touch(&mut c, 4);
         touch(&mut c, 5);
-        assert!(!c.contains(1), "1 should have left probation");
+        assert!(!c.contains(&1), "1 should have left probation");
         assert!(c.a1out_len() > 0);
         // Re-reference: 1 is remembered and admitted straight into Am.
         let (out, _) = touch(&mut c, 1);
@@ -294,7 +323,7 @@ mod tests {
         for k in 10..14 {
             touch(&mut c, k);
         }
-        assert!(c.contains(1), "Am member displaced by scan");
+        assert!(c.contains(&1), "Am member displaced by scan");
     }
 
     #[test]
@@ -316,7 +345,10 @@ mod tests {
         for k in 0..40u64 {
             touch(&mut c, 1000 + k);
         }
-        assert!(c.contains(1) && c.contains(2), "scan displaced the hot set");
+        assert!(
+            c.contains(&1) && c.contains(&2),
+            "scan displaced the hot set"
+        );
     }
 
     #[test]
@@ -329,13 +361,27 @@ mod tests {
     }
 
     #[test]
+    fn victim_matches_next_reclaim() {
+        let mut c = TwoQ::with_thresholds(40, 10, 40);
+        for k in 1..=4 {
+            touch(&mut c, k);
+        }
+        // The cache is full and probation is over its 10-byte threshold;
+        // the probation FIFO head is the advertised and actual victim.
+        let expected = EvictionPolicy::victim(&c);
+        assert_eq!(expected, Some(1));
+        let (_, ev) = touch(&mut c, 5);
+        assert_eq!(expected, ev.first().copied());
+    }
+
+    #[test]
     fn remove_from_both_regions() {
         let mut c = TwoQ::with_thresholds(60, 20, 40);
         touch(&mut c, 1);
-        assert!(EvictionPolicy::remove(&mut c, 1));
+        assert!(EvictionPolicy::remove(&mut c, &1));
         assert_eq!(c.used_bytes(), 0);
         assert_eq!(c.a1in_bytes(), 0);
-        assert!(!EvictionPolicy::remove(&mut c, 1));
+        assert!(!EvictionPolicy::remove(&mut c, &1));
     }
 
     #[test]

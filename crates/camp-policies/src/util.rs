@@ -13,10 +13,7 @@ impl IdAllocator {
             id
         } else {
             let id = self.next;
-            self.next = self
-                .next
-                .checked_add(1)
-                .expect("id space exhausted");
+            self.next = self.next.checked_add(1).expect("id space exhausted");
             id
         }
     }

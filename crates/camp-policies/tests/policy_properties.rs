@@ -1,12 +1,12 @@
 //! Properties every eviction policy must satisfy, checked generically, plus
 //! comparative properties between CAMP and the algorithms it approximates.
 
+use camp_core::rng::Rng64;
 use camp_core::{Camp, Precision};
 use camp_policies::{
-    AccessOutcome, Admission, AdmissionRule, Arc, CacheRequest, EvictionPolicy, GdWheel, Gds,
-    Gdsf, Lfu, Lru, LruK, PoolSplit, PooledLru, TwoQ,
+    AccessOutcome, Admission, AdmissionRule, Arc, CacheRequest, EvictionPolicy, GdWheel, Gds, Gdsf,
+    Lfu, Lru, LruK, PoolSplit, PooledLru, TwoQ,
 };
-use proptest::prelude::*;
 
 fn all_policies(capacity: u64) -> Vec<Box<dyn EvictionPolicy>> {
     vec![
@@ -34,20 +34,25 @@ fn all_policies(capacity: u64) -> Vec<Box<dyn EvictionPolicy>> {
     ]
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Reference(u64),
     Remove(u64),
+    Touch(u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            8 => (0u64..48).prop_map(Op::Reference),
-            1 => (0u64..48).prop_map(Op::Remove),
-        ],
-        0..400,
-    )
+fn random_ops(rng: &mut Rng64) -> Vec<Op> {
+    let len = rng.range_usize(0, 400);
+    (0..len)
+        .map(|_| {
+            let key = rng.range_u64(0, 48);
+            match rng.range_u64(0, 10) {
+                0 => Op::Remove(key),
+                1 => Op::Touch(key),
+                _ => Op::Reference(key),
+            }
+        })
+        .collect()
 }
 
 /// Per the paper, a key's size and cost are fixed for the whole trace:
@@ -58,11 +63,16 @@ fn request_for(key: u64) -> CacheRequest {
     CacheRequest::new(key, size, cost)
 }
 
-proptest! {
-    /// Universal contract: byte budget respected, membership consistent
-    /// with reported outcomes, removals final.
-    #[test]
-    fn every_policy_honours_the_contract(ops in ops(), capacity in 50u64..400) {
+/// Universal contract: byte budget respected, membership consistent with
+/// reported outcomes, removals final. Seeded random exploration over every
+/// policy (our stand-in for property-based testing, which would need an
+/// external crate).
+#[test]
+fn every_policy_honours_the_contract() {
+    for seed in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let ops = random_ops(&mut rng);
+        let capacity = rng.range_u64(50, 400);
         for policy in &mut all_policies(capacity) {
             let mut resident: std::collections::HashMap<u64, u64> = Default::default();
             let mut evicted = Vec::new();
@@ -75,62 +85,80 @@ proptest! {
                         let had = resident.contains_key(&key);
                         let out = policy.reference(req, &mut evicted);
                         for k in &evicted {
-                            prop_assert!(
+                            assert!(
                                 resident.remove(k).is_some(),
-                                "{}: evicted non-resident {k}",
+                                "{} (seed {seed}): evicted non-resident {k}",
                                 policy.name()
                             );
                         }
                         match out {
                             AccessOutcome::Hit => {
-                                prop_assert!(had, "{}: hit on absent key", policy.name());
-                                prop_assert!(resident.contains_key(&key));
+                                assert!(had, "{}: hit on absent key", policy.name());
+                                assert!(resident.contains_key(&key));
                             }
                             AccessOutcome::MissInserted => {
-                                prop_assert!(!had, "{}: miss on resident key", policy.name());
+                                assert!(!had, "{}: miss on resident key", policy.name());
                                 resident.insert(key, size);
-                                prop_assert!(
-                                    policy.contains(key),
+                                assert!(
+                                    policy.contains(&key),
                                     "{}: inserted key not resident",
                                     policy.name()
                                 );
                             }
                             AccessOutcome::MissBypassed => {
-                                prop_assert!(!had);
-                                prop_assert!(!policy.contains(key));
+                                assert!(!had);
+                                assert!(!policy.contains(&key));
                             }
                         }
                     }
                     Op::Remove(key) => {
                         evicted.clear();
-                        let removed = policy.remove(key);
-                        prop_assert_eq!(
+                        let removed = policy.remove(&key);
+                        assert_eq!(
                             removed,
                             resident.remove(&key).is_some(),
-                            "{}: remove disagrees with model",
+                            "{} (seed {seed}): remove disagrees with model",
                             policy.name()
                         );
-                        prop_assert!(!policy.contains(key));
+                        assert!(!policy.contains(&key));
+                    }
+                    Op::Touch(key) => {
+                        // touch must report residency and never change it.
+                        let touched = policy.touch(&key);
+                        assert_eq!(
+                            touched,
+                            resident.contains_key(&key),
+                            "{} (seed {seed}): touch disagrees with model",
+                            policy.name()
+                        );
                     }
                 }
-                prop_assert!(
+                assert!(
                     policy.used_bytes() <= capacity,
-                    "{}: over capacity",
+                    "{} (seed {seed}): over capacity",
                     policy.name()
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     policy.len(),
                     resident.len(),
-                    "{}: len mismatch",
+                    "{} (seed {seed}): len mismatch",
                     policy.name()
                 );
                 let used: u64 = resident.values().sum();
-                prop_assert_eq!(
+                assert_eq!(
                     policy.used_bytes(),
                     used,
-                    "{}: used bytes mismatch",
+                    "{} (seed {seed}): used bytes mismatch",
                     policy.name()
                 );
+                // The advertised victim must always be a resident key.
+                if let Some(v) = policy.victim() {
+                    assert!(
+                        resident.contains_key(&v),
+                        "{} (seed {seed}): victim {v} not resident",
+                        policy.name()
+                    );
+                }
             }
         }
     }
@@ -138,10 +166,7 @@ proptest! {
 
 /// Drives a policy over a synthetic skewed workload and returns
 /// (miss_count, missed_cost, total_cost) over non-cold requests.
-fn run_workload(
-    policy: &mut dyn EvictionPolicy,
-    requests: &[(u64, u64, u64)],
-) -> (u64, u64, u64) {
+fn run_workload(policy: &mut dyn EvictionPolicy, requests: &[(u64, u64, u64)]) -> (u64, u64, u64) {
     let mut seen = std::collections::HashSet::new();
     let mut evicted = Vec::new();
     let (mut misses, mut missed_cost, mut total_cost) = (0u64, 0u64, 0u64);

@@ -111,7 +111,7 @@ impl TwoLevelCache {
             AccessOutcome::MissInserted | AccessOutcome::MissBypassed => {
                 // Consult L2 (the data may be on the device); a hit there
                 // is consumed — the pair just moved (back) into L1.
-                if self.l2.remove(req.key) {
+                if self.l2.remove(&req.key) {
                     LevelHit::L2
                 } else {
                     LevelHit::Miss
@@ -129,7 +129,7 @@ impl TwoLevelCache {
                 self.l2
                     .reference(CacheRequest::new(key, size, cost), &mut l2_evicted);
                 for gone in &l2_evicted {
-                    if !self.l1.contains(*gone) {
+                    if !self.l1.contains(gone) {
                         self.sizes.remove(gone);
                     }
                 }

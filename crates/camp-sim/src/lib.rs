@@ -47,7 +47,7 @@ pub use crate::metrics::SimMetrics;
 pub use crate::simulator::{
     simulate, OccupancyConfig, OccupancySample, OccupancySeries, SimReport, Simulation,
 };
-pub use crate::timeline::{windowed_metrics, WindowPoint};
 pub use crate::sweep::{
     capacity_for_ratio, sweep_ratios, sweep_ratios_parallel, SweepPoint, DEFAULT_RATIOS,
 };
+pub use crate::timeline::{windowed_metrics, WindowPoint};

@@ -230,16 +230,14 @@ mod tests {
     use super::*;
     use camp_core::{Camp, Precision};
     use camp_policies::Lru;
-    use camp_workload::BgConfig;
     use camp_workload::multi::evolving_workload;
+    use camp_workload::BgConfig;
 
     #[test]
     fn cold_requests_are_excluded() {
         // Every key referenced exactly once: all requests are cold, so the
         // rates are zero regardless of cache size.
-        let trace: Trace = (0..100)
-            .map(|k| TraceRecord::new(k, 10, 100))
-            .collect();
+        let trace: Trace = (0..100).map(|k| TraceRecord::new(k, 10, 100)).collect();
         let mut lru = Lru::new(50);
         let report = simulate(&mut lru, &trace);
         assert_eq!(report.metrics.cold_requests, 100);
@@ -285,8 +283,7 @@ mod tests {
     #[test]
     fn camp_report_includes_instrumentation() {
         let trace = BgConfig::paper_scaled(300, 10_000, 2).generate();
-        let mut camp: Camp<u64, ()> =
-            Camp::new(trace.stats().unique_bytes / 4, Precision::Bits(5));
+        let mut camp: Camp<u64, ()> = Camp::new(trace.stats().unique_bytes / 4, Precision::Bits(5));
         let report = simulate(&mut camp, &trace);
         assert!(report.queue_count.is_some());
         assert!(report.heap_node_visits.unwrap() > 0);

@@ -82,7 +82,8 @@ pub fn windowed_metrics(
             current.metrics.total_cost = current.metrics.total_cost.saturating_add(record.cost);
             if outcome.is_miss() {
                 current.metrics.misses += 1;
-                current.metrics.missed_cost = current.metrics.missed_cost.saturating_add(record.cost);
+                current.metrics.missed_cost =
+                    current.metrics.missed_cost.saturating_add(record.cost);
             } else {
                 current.metrics.hits += 1;
             }

@@ -9,12 +9,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::trace::Trace;
 
 /// Popularity skew measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct SkewReport {
     /// Fraction of requests going to the most popular 20% of keys — the
@@ -29,7 +27,7 @@ pub struct SkewReport {
 }
 
 /// Cost-structure measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct CostReport {
     /// Number of distinct cost values.
@@ -47,7 +45,7 @@ pub struct CostReport {
 }
 
 /// Reference-locality measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct LocalityReport {
     /// Median reuse distance (number of intervening requests between

@@ -22,16 +22,14 @@
 //! assert!(stats.unique_keys > 1_000);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use camp_core::rng::Rng64;
 
 use crate::models::{CostModel, SizeModel};
 use crate::trace::{Trace, TraceRecord};
 use crate::zipf::{HotCold, Permutation, Zipf};
 
 /// How member popularity is skewed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Skew {
     /// The paper's configuration: `hot_probability` of requests go to
     /// `hot_fraction` of members (default 0.7 / 0.2).
@@ -64,7 +62,7 @@ impl Skew {
 /// One interactive action of the social network, with its own key space and
 /// value profile. Keys are `(action index, member)` pairs flattened into a
 /// disjoint range per action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActionSpec {
     /// Human-readable action name (e.g. `"view-profile"`).
     pub name: String,
@@ -79,12 +77,7 @@ pub struct ActionSpec {
 impl ActionSpec {
     /// Convenience constructor.
     #[must_use]
-    pub fn new(
-        name: &str,
-        weight: f64,
-        size_model: SizeModel,
-        cost_model: CostModel,
-    ) -> Self {
+    pub fn new(name: &str, weight: f64, size_model: SizeModel, cost_model: CostModel) -> Self {
         ActionSpec {
             name: name.to_owned(),
             weight,
@@ -95,7 +88,7 @@ impl ActionSpec {
 }
 
 /// Configuration for the BG-like generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BgConfig {
     /// Number of members in the social network.
     pub members: u64,
@@ -265,7 +258,7 @@ impl BgConfig {
         let total_weight: f64 = self.actions.iter().map(|a| a.weight).sum();
         assert!(total_weight > 0.0, "action weights must be positive");
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let permutation = Permutation::new(self.members, self.seed ^ 0xA5A5_A5A5);
         let zipf = match self.skew {
             Skew::Zipf { theta } => Some(Zipf::new(self.members, theta)),
@@ -292,14 +285,12 @@ impl BgConfig {
         for _ in 0..self.requests {
             let rank = match self.skew {
                 Skew::Zipf { .. } => zipf.as_ref().expect("zipf built").sample(&mut rng),
-                Skew::HotCold { .. } => {
-                    hot_cold.as_ref().expect("hot-cold built").sample(&mut rng)
-                }
-                Skew::Uniform => rng.random_range(0..self.members),
+                Skew::HotCold { .. } => hot_cold.as_ref().expect("hot-cold built").sample(&mut rng),
+                Skew::Uniform => rng.range_u64(0, self.members),
             };
             let member = permutation.apply(rank);
             let action_idx = {
-                let u: f64 = rng.random();
+                let u: f64 = rng.next_f64();
                 cumulative
                     .iter()
                     .position(|&c| u <= c)
@@ -364,8 +355,7 @@ mod tests {
     #[test]
     fn three_tier_costs_present() {
         let trace = BgConfig::paper_scaled(1000, 10_000, 2).generate();
-        let costs: std::collections::HashSet<u64> =
-            trace.iter().map(|r| r.cost).collect();
+        let costs: std::collections::HashSet<u64> = trace.iter().map(|r| r.cost).collect();
         assert_eq!(
             costs,
             [1u64, 100, 10_000].into_iter().collect(),

@@ -42,14 +42,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--out" => options.out = Some(value("--out")?.clone()),
             "--members" => {
-                options.members = value("--members")?
-                    .parse()
-                    .map_err(|_| "bad --members")?;
+                options.members = value("--members")?.parse().map_err(|_| "bad --members")?;
             }
             "--requests" => {
-                options.requests = value("--requests")?
-                    .parse()
-                    .map_err(|_| "bad --requests")?;
+                options.requests = value("--requests")?.parse().map_err(|_| "bad --requests")?;
             }
             "--seed" => {
                 options.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?;
@@ -67,11 +63,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn config_for(options: &Options) -> Result<BgConfig, String> {
     let base = match options.workload.as_str() {
         "three-tier" => BgConfig::paper_scaled(options.members, options.requests, options.seed),
-        "variable-size" => BgConfig::variable_size_constant_cost(
-            options.members,
-            options.requests,
-            options.seed,
-        ),
+        "variable-size" => {
+            BgConfig::variable_size_constant_cost(options.members, options.requests, options.seed)
+        }
         "equi-size" => {
             BgConfig::equi_size_variable_cost(options.members, options.requests, options.seed)
         }
@@ -98,7 +92,10 @@ fn print_info(trace: &Trace) {
         stats.unique_bytes,
         stats.unique_bytes as f64 / (1 << 20) as f64
     );
-    println!("sizes             : {}..{} bytes", stats.min_size, stats.max_size);
+    println!(
+        "sizes             : {}..{} bytes",
+        stats.min_size, stats.max_size
+    );
     println!("distinct costs    : {}", stats.distinct_costs);
     println!("total cost        : {}", stats.total_cost);
     let skew = skew_report(trace);
@@ -110,11 +107,22 @@ fn print_info(trace: &Trace) {
     let cost = cost_report(trace);
     println!(
         "per-key stability : costs {} / sizes {}",
-        if cost.costs_stable_per_key { "stable" } else { "UNSTABLE" },
-        if cost.sizes_stable_per_key { "stable" } else { "UNSTABLE" },
+        if cost.costs_stable_per_key {
+            "stable"
+        } else {
+            "UNSTABLE"
+        },
+        if cost.sizes_stable_per_key {
+            "stable"
+        } else {
+            "UNSTABLE"
+        },
     );
     for (value, share) in &cost.top_cost_shares {
-        println!("  cost {value:>10} carries {:.1}% of total cost", share * 100.0);
+        println!(
+            "  cost {value:>10} carries {:.1}% of total cost",
+            share * 100.0
+        );
     }
     let locality = locality_report(trace);
     println!(

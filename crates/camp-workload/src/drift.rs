@@ -10,16 +10,14 @@
 //! balance recency against cost (LFU's squatting pathology, CAMP's rising
 //! `L`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use camp_core::rng::Rng64;
 
 use crate::models::{CostModel, SizeModel};
 use crate::trace::{Trace, TraceRecord};
 use crate::zipf::Permutation;
 
 /// Configuration for the drifting-workload generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriftConfig {
     /// Key-space size.
     pub members: u64,
@@ -79,10 +77,10 @@ impl DriftConfig {
         );
         assert!(self.rotations >= 0.0, "rotations must be non-negative");
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let permutation = Permutation::new(self.members, self.seed ^ 0x5151_5151);
-        let hot_size = ((self.members as f64 * self.hot_fraction).ceil() as u64)
-            .clamp(1, self.members);
+        let hot_size =
+            ((self.members as f64 * self.hot_fraction).ceil() as u64).clamp(1, self.members);
 
         let mut records = Vec::with_capacity(self.requests);
         for t in 0..self.requests {
@@ -90,12 +88,12 @@ impl DriftConfig {
             let progress = t as f64 / self.requests.max(1) as f64;
             let hot_start =
                 ((progress * self.rotations * self.members as f64) as u64) % self.members;
-            let hot = rng.random::<f64>() < self.hot_probability;
+            let hot = rng.chance(self.hot_probability);
             let rank = if hot || hot_size == self.members {
-                (hot_start + rng.random_range(0..hot_size)) % self.members
+                (hot_start + rng.range_u64(0, hot_size)) % self.members
             } else {
                 // Cold tail: anywhere outside the hot window.
-                let offset = rng.random_range(hot_size..self.members);
+                let offset = rng.range_u64(hot_size, self.members);
                 (hot_start + offset) % self.members
             };
             let key = permutation.apply(rank);

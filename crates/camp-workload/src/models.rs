@@ -19,9 +19,7 @@
 //! * [`SizeModel::Fixed`], [`SizeModel::Uniform`], [`SizeModel::LogNormal`]
 //!   — equi-sized and variable-sized values.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use camp_core::rng::Rng64;
 
 /// Mixes a key id and a stream label into a per-key RNG seed
 /// (SplitMix64-style finalizer).
@@ -34,14 +32,14 @@ fn key_seed(seed: u64, key: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn key_rng(seed: u64, key: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(key_seed(seed, key, stream))
+fn key_rng(seed: u64, key: u64, stream: u64) -> Rng64 {
+    Rng64::seed_from_u64(key_seed(seed, key, stream))
 }
 
 /// Samples a standard normal via Box–Muller.
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random();
+fn standard_normal(rng: &mut Rng64) -> f64 {
+    let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
@@ -58,7 +56,7 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// assert_eq!(a, model.size_of(42, 7));
 /// assert!((100..=1000).contains(&a));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeModel {
     /// Every value has exactly this many bytes (Figure 8's equi-sized
     /// pairs).
@@ -104,7 +102,7 @@ impl SizeModel {
             SizeModel::Fixed(bytes) => bytes.max(1),
             SizeModel::Uniform { min, max } => {
                 debug_assert!(min >= 1 && min <= max);
-                key_rng(seed, key, 1).random_range(min..=max)
+                key_rng(seed, key, 1).range_u64_inclusive(min, max)
             }
             SizeModel::LogNormal {
                 mu,
@@ -132,7 +130,7 @@ impl SizeModel {
 /// assert!([1, 100, 10_000].contains(&cost));
 /// assert_eq!(cost, model.cost_of(42, 99)); // stable per key
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CostModel {
     /// Every key has this cost (Figure 7).
     Constant(u64),
@@ -192,14 +190,14 @@ impl CostModel {
             CostModel::Constant(cost) => *cost,
             CostModel::ThreeTier(values) => {
                 assert!(!values.is_empty(), "cost tier list must be non-empty");
-                let idx = key_rng(seed, key, 2).random_range(0..values.len());
+                let idx = key_rng(seed, key, 2).range_usize(0, values.len());
                 values[idx]
             }
             CostModel::LogUniform { min, max } => {
                 debug_assert!(*min >= 1 && min <= max);
                 let mut rng = key_rng(seed, key, 2);
                 let (lo, hi) = ((*min as f64).ln(), (*max as f64).ln());
-                let sample = (lo + (hi - lo) * rng.random::<f64>()).exp();
+                let sample = (lo + (hi - lo) * rng.next_f64()).exp();
                 (sample as u64).clamp(*min, *max)
             }
             CostModel::ServiceTime {
@@ -249,7 +247,10 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_assignments() {
-        let model = SizeModel::Uniform { min: 1, max: 1_000_000 };
+        let model = SizeModel::Uniform {
+            min: 1,
+            max: 1_000_000,
+        };
         let same = (0..100)
             .filter(|&k| model.size_of(1, k) == model.size_of(2, k))
             .count();
@@ -275,7 +276,10 @@ mod tests {
 
     #[test]
     fn log_uniform_spans_orders_of_magnitude() {
-        let model = CostModel::LogUniform { min: 1, max: 100_000 };
+        let model = CostModel::LogUniform {
+            min: 1,
+            max: 100_000,
+        };
         let costs: Vec<u64> = (0..5_000).map(|k| model.cost_of(3, k)).collect();
         assert!(costs.iter().any(|&c| c < 10));
         assert!(costs.iter().any(|&c| c > 10_000));

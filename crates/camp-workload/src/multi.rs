@@ -73,7 +73,9 @@ pub fn concat_disjoint<I: IntoIterator<Item = Trace>>(traces: I) -> Trace {
 pub fn evolving_workload(base: &BgConfig, count: u32) -> Trace {
     let traces = (0..count).map(|i| {
         BgConfig {
-            seed: base.seed.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9)),
+            seed: base
+                .seed
+                .wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9)),
             ..base.clone()
         }
         .generate()
@@ -89,8 +91,7 @@ mod tests {
     fn key_spaces_are_disjoint() {
         let base = BgConfig::paper_scaled(300, 2_000, 11);
         let joined = evolving_workload(&base, 4);
-        let mut per_trace: Vec<std::collections::HashSet<u64>> =
-            vec![Default::default(); 4];
+        let mut per_trace: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
         for r in &joined {
             per_trace[r.trace_id as usize].insert(r.key);
         }

@@ -12,11 +12,9 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 /// One trace row: a reference to `key`, whose value is `size` bytes and
 /// costs `cost` to compute, issued by trace file `trace_id`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceRecord {
     /// Referenced key.
     pub key: u64,
@@ -44,7 +42,7 @@ impl TraceRecord {
 /// Summary statistics of a trace, as needed by the experiment harness (the
 /// cache-size *ratio* axis of every figure divides the cache size by
 /// `unique_bytes`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct TraceStats {
     /// Total number of rows.
@@ -81,7 +79,7 @@ pub struct TraceStats {
 /// assert_eq!(stats.unique_keys, 2);
 /// assert_eq!(stats.unique_bytes, 400);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }
@@ -340,10 +338,18 @@ impl fmt::Display for ParseTraceError {
                 write!(f, "line {}: missing field `{what}`", self.line)
             }
             ParseTraceErrorKind::BadNumber(what) => {
-                write!(f, "line {}: field `{what}` is not a valid number", self.line)
+                write!(
+                    f,
+                    "line {}: field `{what}` is not a valid number",
+                    self.line
+                )
             }
             ParseTraceErrorKind::ZeroSize => {
-                write!(f, "line {}: key-value pairs must have positive size", self.line)
+                write!(
+                    f,
+                    "line {}: key-value pairs must have positive size",
+                    self.line
+                )
             }
         }
     }

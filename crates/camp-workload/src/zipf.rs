@@ -8,8 +8,7 @@
 //! permutation ([`Permutation`]) so that popularity rank is decoupled from
 //! key-id order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use camp_core::rng::Rng64;
 
 /// A Zipf-distributed sampler over `0..n` with exponent `theta`.
 ///
@@ -20,12 +19,11 @@ use rand::{Rng, SeedableRng};
 /// # Examples
 ///
 /// ```
+/// use camp_core::rng::Rng64;
 /// use camp_workload::zipf::Zipf;
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
 ///
 /// let zipf = Zipf::new(1000, 0.99);
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = Rng64::seed_from_u64(1);
 /// let draws: Vec<u64> = (0..1000).map(|_| zipf.sample(&mut rng)).collect();
 /// // Rank 0 is the most popular item by a wide margin.
 /// let zeros = draws.iter().filter(|&&d| d == 0).count();
@@ -85,8 +83,8 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..n` (0 = most popular).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.random();
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u: f64 = rng.next_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -114,12 +112,11 @@ impl Zipf {
 /// # Examples
 ///
 /// ```
+/// use camp_core::rng::Rng64;
 /// use camp_workload::zipf::HotCold;
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
 ///
 /// let sampler = HotCold::paper_default(1000);
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = Rng64::seed_from_u64(7);
 /// let hot_draws = (0..10_000)
 ///     .filter(|_| sampler.sample(&mut rng) < 200)
 ///     .count();
@@ -174,12 +171,12 @@ impl HotCold {
     }
 
     /// Draws one rank in `0..n` (ranks below `hot_keys()` are hot).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let hot = rng.random::<f64>() < self.hot_probability;
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let hot = rng.chance(self.hot_probability);
         if hot || self.hot_keys == self.n {
-            rng.random_range(0..self.hot_keys)
+            rng.range_u64(0, self.hot_keys)
         } else {
-            rng.random_range(self.hot_keys..self.n)
+            rng.range_u64(self.hot_keys, self.n)
         }
     }
 }
@@ -213,11 +210,8 @@ impl Permutation {
     pub fn new(n: u64, seed: u64) -> Self {
         let n32 = u32::try_from(n).expect("permutation domain exceeds u32::MAX");
         let mut forward: Vec<u32> = (0..n32).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in (1..forward.len()).rev() {
-            let j = rng.random_range(0..=i);
-            forward.swap(i, j);
-        }
+        let mut rng = Rng64::seed_from_u64(seed);
+        rng.shuffle(&mut forward);
         Permutation { forward }
     }
 
@@ -251,7 +245,7 @@ mod tests {
     #[test]
     fn zipf_is_heavily_skewed() {
         let zipf = Zipf::new(10_000, 0.99);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let mut counts = vec![0u64; 10_000];
         for _ in 0..100_000 {
             counts[zipf.sample(&mut rng) as usize] += 1;
@@ -268,7 +262,7 @@ mod tests {
     fn zipf_stays_in_range() {
         for n in [1u64, 2, 10, 1000] {
             let zipf = Zipf::new(n, 0.5);
-            let mut rng = StdRng::seed_from_u64(9);
+            let mut rng = Rng64::seed_from_u64(9);
             for _ in 0..1000 {
                 assert!(zipf.sample(&mut rng) < n);
             }
@@ -279,7 +273,7 @@ mod tests {
     fn hot_cold_hits_the_70_20_target() {
         let s = HotCold::paper_default(10_000);
         assert_eq!(s.hot_keys(), 2000);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         let trials = 200_000;
         let hot = (0..trials)
             .filter(|_| s.sample(&mut rng) < s.hot_keys())
@@ -291,7 +285,7 @@ mod tests {
     #[test]
     fn hot_cold_covers_the_cold_range_too() {
         let s = HotCold::new(100, 0.2, 0.7);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         let mut seen_cold = false;
         for _ in 0..1000 {
             if s.sample(&mut rng) >= 20 {

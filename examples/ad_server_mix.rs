@@ -15,8 +15,7 @@
 
 use camp::core::{Camp, Precision};
 use camp::policies::{CacheRequest, EvictionPolicy, Lru};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use camp_core::rng::Rng64;
 
 const PROFILE_SIZE: u64 = 1_024; // ~1 KiB database rows
 const PROFILE_COST: u64 = 5; // milliseconds: a simple lookup
@@ -27,17 +26,17 @@ const PROFILES: u64 = 50_000;
 const MODELS: u64 = 200;
 const MODEL_KEY_BASE: u64 = 1 << 32;
 
-fn mixed_request(rng: &mut StdRng, ad_share: f64) -> CacheRequest {
-    if rng.random::<f64>() < ad_share {
-        let key = MODEL_KEY_BASE + rng.random_range(0..MODELS);
+fn mixed_request(rng: &mut Rng64, ad_share: f64) -> CacheRequest {
+    if rng.chance(ad_share) {
+        let key = MODEL_KEY_BASE + rng.range_u64(0, MODELS);
         CacheRequest::new(key, MODEL_SIZE, MODEL_COST)
     } else {
-        CacheRequest::new(rng.random_range(0..PROFILES), PROFILE_SIZE, PROFILE_COST)
+        CacheRequest::new(rng.range_u64(0, PROFILES), PROFILE_SIZE, PROFILE_COST)
     }
 }
 
 fn run(policy: &mut dyn EvictionPolicy, phases: &[(usize, f64)]) {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng64::seed_from_u64(7);
     let mut evicted = Vec::new();
     for &(requests, ad_share) in phases {
         let (mut missed_cost, mut total_cost) = (0u64, 0u64);
@@ -52,7 +51,7 @@ fn run(policy: &mut dyn EvictionPolicy, phases: &[(usize, f64)]) {
         }
         // How much memory each application holds at the end of the phase.
         let model_bytes: u64 = (0..MODELS)
-            .filter(|&m| policy.contains(MODEL_KEY_BASE + m))
+            .filter(|&m| policy.contains(&(MODEL_KEY_BASE + m)))
             .count() as u64
             * MODEL_SIZE;
         println!(

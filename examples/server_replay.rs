@@ -27,7 +27,12 @@ fn main() -> std::io::Result<()> {
     // so scale the slab size down with the memory (64 KiB slabs here).
     let memory = stats.unique_bytes / 4;
     let slab_size = 64 * 1024;
-    let slab = SlabConfig::small(slab_size, u32::try_from(memory / u64::from(slab_size)).unwrap_or(1).max(1));
+    let slab = SlabConfig::small(
+        slab_size,
+        u32::try_from(memory / u64::from(slab_size))
+            .unwrap_or(1)
+            .max(1),
+    );
     println!(
         "server memory: {:.1} MiB ({} slabs of {} KiB)",
         memory as f64 / (1 << 20) as f64,

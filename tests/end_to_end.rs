@@ -17,11 +17,8 @@ fn headline_result_camp_beats_lru_and_pooled_on_cost() {
         let cap = camp::sim::capacity_for_ratio(&stats, ratio);
         let mut camp_policy: Camp<u64, ()> = Camp::new(cap, Precision::Bits(5));
         let mut lru = Lru::new(cap);
-        let mut pooled = PooledLru::new(
-            cap,
-            &[1, 100, 10_000],
-            PoolSplit::ProportionalToLowerBound,
-        );
+        let mut pooled =
+            PooledLru::new(cap, &[1, 100, 10_000], PoolSplit::ProportionalToLowerBound);
         let camp_cost = simulate(&mut camp_policy, &trace).metrics.cost_miss_ratio();
         let lru_cost = simulate(&mut lru, &trace).metrics.cost_miss_ratio();
         let pooled_cost = simulate(&mut pooled, &trace).metrics.cost_miss_ratio();

@@ -15,10 +15,11 @@ fn run_server(trace: &camp::workload::Trace, memory: u64, eviction: EvictionMode
     let slab_size: u32 = 32 * 1024;
     let slab = SlabConfig::small(
         slab_size,
-        u32::try_from(memory / u64::from(slab_size)).unwrap_or(1).max(1),
+        u32::try_from(memory / u64::from(slab_size))
+            .unwrap_or(1)
+            .max(1),
     );
-    let server =
-        Server::start("127.0.0.1:0", StoreConfig { slab, eviction }).expect("bind server");
+    let server = Server::start("127.0.0.1:0", StoreConfig { slab, eviction }).expect("bind server");
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let report = replay_trace(&mut client, trace).expect("replay");
     let _ = client.quit();
@@ -62,7 +63,10 @@ fn server_replay_is_deterministic_in_hit_accounting() {
     let trace = BgConfig::paper_scaled(800, 15_000, 31).generate();
     let memory = trace.stats().unique_bytes / 3;
     let run = || {
-        let slab = SlabConfig::small(32 * 1024, u32::try_from(memory / (32 * 1024)).unwrap().max(1));
+        let slab = SlabConfig::small(
+            32 * 1024,
+            u32::try_from(memory / (32 * 1024)).unwrap().max(1),
+        );
         let server = Server::start(
             "127.0.0.1:0",
             StoreConfig {
