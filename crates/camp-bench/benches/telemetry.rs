@@ -1,0 +1,94 @@
+//! Telemetry overhead: the cost of one histogram record, and the store get
+//! path with and without the timing wrapper the server puts around it.
+//!
+//! The acceptance bar for the telemetry layer is that recording is within
+//! noise on the get path: a record is three relaxed `fetch_add`s and one
+//! `fetch_max` against a store operation that hashes, locks a shard and
+//! copies the value out.
+//!
+//! Run with `cargo bench -p camp-bench --bench telemetry`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use camp_bench::micro::Group;
+use camp_kvs::slab::SlabConfig;
+use camp_kvs::store::{EvictionMode, Store, StoreConfig};
+use camp_telemetry::Histogram;
+
+const OPS: u64 = 1_000_000;
+
+fn histogram_record_cost() {
+    let group = Group::new("histogram", OPS, 20);
+    let histogram = Histogram::new();
+    group.case("record", || {
+        for i in 0..OPS {
+            histogram.record(i & 0xFFFF);
+        }
+        histogram.count()
+    });
+    group.case("record+clock", || {
+        // What the server actually does per command: read the clock twice
+        // and record the difference.
+        let mut acc = 0u64;
+        for _ in 0..OPS {
+            let started = Instant::now();
+            acc = acc.wrapping_add(1);
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            histogram.record(micros);
+        }
+        acc
+    });
+    group.case("snapshot+quantiles", || {
+        let snap = histogram.snapshot();
+        (snap.quantile(0.5), snap.quantile(0.99))
+    });
+}
+
+fn store_get_path() {
+    const KEYS: u64 = 10_000;
+    let mut store = Store::new(StoreConfig {
+        slab: SlabConfig::small(64 * 1024, 64),
+        eviction: EvictionMode::default(),
+    });
+    for i in 0..KEYS {
+        let key = format!("key-{i:05}");
+        store
+            .set(key.as_bytes(), &[0u8; 64], 0, 0, i % 1000)
+            .unwrap();
+    }
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("key-{i:05}")).collect();
+
+    let group = Group::new("get-path", KEYS * 20, 10);
+    group.case("bare", || {
+        let mut hits = 0u64;
+        for _ in 0..20 {
+            for key in &keys {
+                if store.get(black_box(key.as_bytes())).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    let histogram = Histogram::new();
+    group.case("timed+recorded", || {
+        let mut hits = 0u64;
+        for _ in 0..20 {
+            for key in &keys {
+                let started = Instant::now();
+                if store.get(black_box(key.as_bytes())).is_some() {
+                    hits += 1;
+                }
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                histogram.record(micros);
+            }
+        }
+        hits
+    });
+}
+
+fn main() {
+    histogram_record_cost();
+    store_get_path();
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]
-//!           [--shards N] [--slab-kb N]
+//!           [--shards N] [--slab-kb N] [--metrics-addr ADDR]
+//!           [--log-level LEVEL]
 //! ```
 //!
 //! `--policy` accepts any spec understood by
@@ -12,17 +13,24 @@
 //! pluggable policy layer as the simulator. Speaks the memcached-style text
 //! protocol with the IQ framework's `iqget`/`iqset` extensions; see the
 //! `camp-kvs` crate documentation.
+//!
+//! `--metrics-addr` additionally serves a Prometheus text exposition over
+//! HTTP (scrape any path); `stats detail` reports the same telemetry over
+//! the cache protocol itself. `--log-level` gates the structured
+//! `key=value` log lines written to stderr (default `info`).
 
 use std::process::ExitCode;
 
 use camp_core::Precision;
-use camp_kvs::server::Server;
+use camp_kvs::server::{Server, ServerOptions};
 use camp_kvs::slab::SlabConfig;
 use camp_kvs::store::{EvictionMode, StoreConfig};
+use camp_telemetry::{kvlog, LogLevel};
 
 fn usage() -> String {
     format!(
-        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        LogLevel::HELP,
         EvictionMode::HELP
     )
 }
@@ -35,6 +43,7 @@ fn main() -> ExitCode {
     let mut legacy_precision = Precision::PAPER_DEFAULT;
     let mut shards: usize = 1;
     let mut slab_kb: u32 = 1024;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +85,13 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|_| "bad --slab-kb".to_owned())?;
                 }
+                "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+                "--log-level" => {
+                    let level: LogLevel = value("--log-level")?
+                        .parse()
+                        .map_err(|e| format!("bad --log-level: {e}"))?;
+                    camp_telemetry::set_level(level);
+                }
                 "--help" | "-h" => {
                     print!("{}", usage());
                     std::process::exit(0);
@@ -108,20 +124,30 @@ fn main() -> ExitCode {
         eviction: eviction.clone(),
     };
 
-    let server = match Server::start_sharded(&listen, config, shards.max(1)) {
+    let options = ServerOptions {
+        config,
+        shards: shards.max(1),
+        metrics_addr,
+    };
+    let server = match Server::start_with(&listen, options) {
         Ok(server) => server,
         Err(error) => {
-            eprintln!("failed to bind {listen}: {error}");
+            kvlog!(LogLevel::Error, "bind_failed", addr = listen, error = error);
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "camp-kvsd listening on {} ({memory_mb} MiB, policy {eviction}, {} shard(s), {} KiB slabs)",
-        server.local_addr(),
-        shards.max(1),
-        slab_size / 1024,
+    kvlog!(
+        LogLevel::Info,
+        "camp_kvsd_ready",
+        addr = server.local_addr(),
+        memory_mb = memory_mb,
+        policy = eviction,
+        shards = shards.max(1),
+        slab_kb = slab_size / 1024,
     );
-    println!("press Ctrl-C to stop");
+    if let Some(addr) = server.metrics_addr() {
+        kvlog!(LogLevel::Info, "metrics_exposition", addr = addr);
+    }
     // Park forever; connections are served by background threads.
     loop {
         std::thread::park();

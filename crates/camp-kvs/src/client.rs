@@ -211,6 +211,42 @@ impl Client {
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn stats(&mut self) -> io::Result<BTreeMap<String, String>> {
         self.writer.write_all(b"stats\r\n")?;
+        self.read_stat_table()
+    }
+
+    /// `stats detail` — the full telemetry table: everything `stats`
+    /// reports plus per-command latency quantiles (`latency:get:p99_us`),
+    /// per-shard policy internals (`policy:0:l_value`), eviction causes and
+    /// the IQ registry gauges.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn stats_detail(&mut self) -> io::Result<BTreeMap<String, String>> {
+        self.writer.write_all(b"stats detail\r\n")?;
+        self.read_stat_table()
+    }
+
+    /// `stats reset` — zeroes the server's counters and histograms (cache
+    /// contents are untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations as `io::Error`.
+    pub fn stats_reset(&mut self) -> io::Result<()> {
+        self.writer.write_all(b"stats reset\r\n")?;
+        let line = self.read_line()?;
+        if line == b"RESET" {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stats reset failed",
+            ))
+        }
+    }
+
+    fn read_stat_table(&mut self) -> io::Result<BTreeMap<String, String>> {
         let mut out = BTreeMap::new();
         loop {
             let line = self.read_line()?;

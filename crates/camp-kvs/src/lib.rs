@@ -47,6 +47,7 @@
 pub mod buddy;
 pub mod client;
 pub mod item;
+pub mod metrics;
 pub mod protocol;
 pub mod replay;
 pub mod server;

@@ -1,0 +1,588 @@
+//! The server's telemetry surface: per-command latency histograms and the
+//! snapshot/rendering layer behind `stats`, `stats detail`, and the
+//! `--metrics-addr` Prometheus exposition.
+//!
+//! Recording sits on the per-request hot path, so [`ServerMetrics`] is
+//! atomics all the way down: each command's latency goes into a lock-free
+//! [`Histogram`] and the connection counters are plain `AtomicU64`s — no
+//! mutex is taken that the seed server did not already take. Reading is the
+//! cold path: [`TelemetryReport`] gathers a point-in-time copy of
+//! everything (store counters, per-shard rows, policy internals, IQ
+//! registry gauges) and renders it as either memcached `STAT` lines or
+//! Prometheus text, so both protocols speak one vocabulary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use camp_telemetry::{Exposition, Histogram, HistogramSnapshot, MetricKind};
+
+use crate::shard::ShardSnapshot;
+use crate::store::StoreStats;
+
+/// The command classes that get their own latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    /// `get`/`gets`.
+    Get,
+    /// `iqget`.
+    IqGet,
+    /// `set`/`add`/`replace`.
+    Set,
+    /// `iqset`.
+    IqSet,
+    /// `delete`.
+    Delete,
+    /// Everything else (`incr`, `touch`, `flush_all`, `stats`, ...).
+    Other,
+}
+
+impl CmdKind {
+    /// Every kind, in display order.
+    pub const ALL: [CmdKind; 6] = [
+        CmdKind::Get,
+        CmdKind::IqGet,
+        CmdKind::Set,
+        CmdKind::IqSet,
+        CmdKind::Delete,
+        CmdKind::Other,
+    ];
+
+    /// The command name used in `STAT latency:<name>:*` lines and
+    /// `camp_<name>_latency_us` metric families.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CmdKind::Get => "get",
+            CmdKind::IqGet => "iqget",
+            CmdKind::Set => "set",
+            CmdKind::IqSet => "iqset",
+            CmdKind::Delete => "delete",
+            CmdKind::Other => "other",
+        }
+    }
+}
+
+/// Lock-free server-side counters and latency histograms.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    latency: [Histogram; 6],
+    /// Connections accepted.
+    pub connections_opened: AtomicU64,
+    /// Connections that have ended.
+    pub connections_closed: AtomicU64,
+    /// Lines rejected with `CLIENT_ERROR`.
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh, zeroed metrics.
+    #[must_use]
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    fn index(kind: CmdKind) -> usize {
+        CmdKind::ALL.iter().position(|&k| k == kind).unwrap_or(5)
+    }
+
+    /// Records one command's handling latency in microseconds. Wait-free.
+    pub fn record_latency(&self, kind: CmdKind, micros: u64) {
+        self.latency[Self::index(kind)].record(micros);
+    }
+
+    /// The histogram backing `kind` (snapshots, merges, tests).
+    #[must_use]
+    pub fn latency(&self, kind: CmdKind) -> &Histogram {
+        &self.latency[Self::index(kind)]
+    }
+
+    /// Zeroes every histogram and counter (the `stats reset` command).
+    pub fn reset(&self) {
+        for histogram in &self.latency {
+            histogram.reset();
+        }
+        self.connections_opened.store(0, Ordering::Relaxed);
+        self.connections_closed.store(0, Ordering::Relaxed);
+        self.protocol_errors.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshots every per-command histogram, in [`CmdKind::ALL`] order.
+    #[must_use]
+    pub fn latency_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        CmdKind::ALL
+            .iter()
+            .map(|&kind| (kind.name(), self.latency(kind).snapshot()))
+            .collect()
+    }
+}
+
+/// A point-in-time copy of every telemetry surface the server exposes,
+/// assembled under no long-held lock and rendered to either protocol.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct TelemetryReport {
+    /// Server version string.
+    pub version: &'static str,
+    /// The (first shard's) policy name.
+    pub policy: String,
+    /// Per-shard telemetry rows, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Cross-shard aggregate counters.
+    pub totals: StoreStats,
+    /// Aggregate live items.
+    pub curr_items: usize,
+    /// Aggregate slab census `(chunk_size, slabs, items)`.
+    pub slab_census: Vec<(u32, usize, u64)>,
+    /// Per-command latency snapshots `(command, histogram)`.
+    pub latencies: Vec<(&'static str, HistogramSnapshot)>,
+    /// Connections accepted so far.
+    pub connections_opened: u64,
+    /// Connections ended so far.
+    pub connections_closed: u64,
+    /// Protocol parse errors so far.
+    pub protocol_errors: u64,
+    /// Unmatched `iqget` misses currently registered.
+    pub iq_miss_registry_size: u64,
+    /// Registry entries dropped by the TTL sweep so far.
+    pub iq_sweep_reclaimed: u64,
+}
+
+impl TelemetryReport {
+    /// Aggregate logical bytes resident.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.used_bytes).sum()
+    }
+
+    /// The `stats` summary table (the seed's surface plus the per-shard
+    /// breakdown and eviction causes).
+    #[must_use]
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!("STAT policy {}", self.policy));
+        lines.push(format!("STAT shards {}", self.shards.len()));
+        for (i, shard) in self.shards.iter().enumerate() {
+            lines.push(format!("STAT shard:{i}:policy {}", shard.policy));
+        }
+        lines.push(format!("STAT curr_items {}", self.curr_items));
+        lines.push(format!("STAT bytes {}", self.used_bytes()));
+        let t = &self.totals;
+        lines.push(format!("STAT get_hits {}", t.get_hits));
+        lines.push(format!("STAT get_misses {}", t.get_misses));
+        lines.push(format!("STAT cmd_set {}", t.sets));
+        lines.push(format!("STAT evictions {}", t.evictions));
+        lines.push(format!("STAT slab_evictions {}", t.slab_evictions));
+        lines.push(format!("STAT slab_reassignments {}", t.slab_reassignments));
+        lines.push(format!("STAT slab_reclaims {}", t.slab_reclaims));
+        lines.push(format!("STAT expired {}", t.expired));
+        for (i, shard) in self.shards.iter().enumerate() {
+            let s = &shard.stats;
+            lines.push(format!(
+                "STAT shard:{i} items={} bytes={} hits={} misses={} evictions={}",
+                shard.items,
+                shard.used_bytes,
+                s.get_hits,
+                s.get_misses,
+                s.evictions + s.slab_evictions,
+            ));
+        }
+        for &(chunk_size, slabs, items) in &self.slab_census {
+            if slabs > 0 {
+                lines.push(format!(
+                    "STAT slab_class:{chunk_size} slabs={slabs} items={items}"
+                ));
+            }
+        }
+        lines
+    }
+
+    /// The `stats detail` table: the summary plus latency quantiles per
+    /// command, eviction causes, per-shard policy internals, connection
+    /// counters, and the IQ registry gauges.
+    #[must_use]
+    pub fn detail_lines(&self) -> Vec<String> {
+        let mut lines = self.summary_lines();
+        lines.push(format!("STAT deletes {}", self.totals.deletes));
+        lines.push(format!("STAT evictions:capacity {}", self.totals.evictions));
+        lines.push(format!(
+            "STAT evictions:slab_reassign {}",
+            self.totals.slab_evictions
+        ));
+        lines.push(format!("STAT evictions:expired {}", self.totals.expired));
+        for (command, snap) in &self.latencies {
+            lines.push(format!("STAT latency:{command}:count {}", snap.count));
+            lines.push(format!(
+                "STAT latency:{command}:p50_us {}",
+                snap.quantile(0.5)
+            ));
+            lines.push(format!(
+                "STAT latency:{command}:p90_us {}",
+                snap.quantile(0.9)
+            ));
+            lines.push(format!(
+                "STAT latency:{command}:p99_us {}",
+                snap.quantile(0.99)
+            ));
+            lines.push(format!(
+                "STAT latency:{command}:p999_us {}",
+                snap.quantile(0.999)
+            ));
+            lines.push(format!("STAT latency:{command}:max_us {}", snap.max));
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            for gauge in &shard.policy_stats.gauges {
+                match &gauge.label {
+                    Some((_, label_value)) => lines.push(format!(
+                        "STAT policy:{i}:{}:{label_value} {}",
+                        gauge.name, gauge.value
+                    )),
+                    None => {
+                        lines.push(format!("STAT policy:{i}:{} {}", gauge.name, gauge.value));
+                    }
+                }
+            }
+        }
+        lines.push(format!(
+            "STAT connections_opened {}",
+            self.connections_opened
+        ));
+        lines.push(format!(
+            "STAT connections_closed {}",
+            self.connections_closed
+        ));
+        lines.push(format!("STAT protocol_errors {}", self.protocol_errors));
+        lines.push(format!(
+            "STAT iq_miss_registry_size {}",
+            self.iq_miss_registry_size
+        ));
+        lines.push(format!(
+            "STAT iq_sweep_reclaimed {}",
+            self.iq_sweep_reclaimed
+        ));
+        lines
+    }
+
+    /// The Prometheus text exposition served on `--metrics-addr`. Every
+    /// family is emitted even at zero so scrapers and the CI smoke test see
+    /// a stable schema from the first scrape.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut exp = Exposition::new();
+        exp.family(
+            "camp_build_info",
+            "server version and configuration (constant 1)",
+            MetricKind::Gauge,
+        );
+        let shard_count = self.shards.len().to_string();
+        exp.int_value(
+            "camp_build_info",
+            &[
+                ("version", self.version),
+                ("policy", &self.policy),
+                ("shards", &shard_count),
+            ],
+            1,
+        );
+
+        for (command, snap) in &self.latencies {
+            let family = format!("camp_{command}_latency_us");
+            exp.family(
+                &family,
+                "command handling latency in microseconds",
+                MetricKind::Summary,
+            );
+            exp.summary(&family, &[], snap);
+        }
+
+        let t = &self.totals;
+        let counters: [(&str, &str, u64); 8] = [
+            ("camp_get_hits_total", "get/iqget hits", t.get_hits),
+            ("camp_get_misses_total", "get/iqget misses", t.get_misses),
+            ("camp_cmd_set_total", "successful stores", t.sets),
+            ("camp_deletes_total", "successful deletes", t.deletes),
+            (
+                "camp_slab_reassignments_total",
+                "random slab evictions forced by calcification",
+                t.slab_reassignments,
+            ),
+            (
+                "camp_slab_reclaims_total",
+                "slabs reclaimed after emptying naturally",
+                t.slab_reclaims,
+            ),
+            (
+                "camp_connections_opened_total",
+                "connections accepted",
+                self.connections_opened,
+            ),
+            (
+                "camp_protocol_errors_total",
+                "lines rejected with CLIENT_ERROR",
+                self.protocol_errors,
+            ),
+        ];
+        for (name, help, value) in counters {
+            exp.family(name, help, MetricKind::Counter);
+            exp.int_value(name, &[], value);
+        }
+
+        exp.family(
+            "camp_evictions_total",
+            "items dropped, by cause",
+            MetricKind::Counter,
+        );
+        exp.int_value(
+            "camp_evictions_total",
+            &[("cause", "capacity")],
+            t.evictions,
+        );
+        exp.int_value(
+            "camp_evictions_total",
+            &[("cause", "slab_reassign")],
+            t.slab_evictions,
+        );
+        exp.int_value("camp_evictions_total", &[("cause", "expired")], t.expired);
+
+        exp.family("camp_items", "live items", MetricKind::Gauge);
+        exp.int_value("camp_items", &[], self.curr_items as u64);
+        exp.family(
+            "camp_used_bytes",
+            "logical bytes resident",
+            MetricKind::Gauge,
+        );
+        exp.int_value("camp_used_bytes", &[], self.used_bytes());
+
+        exp.family(
+            "camp_shard_items",
+            "live items per shard",
+            MetricKind::Gauge,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            exp.int_value(
+                "camp_shard_items",
+                &[("shard", &i.to_string())],
+                shard.items as u64,
+            );
+        }
+        exp.family(
+            "camp_shard_used_bytes",
+            "logical bytes resident per shard",
+            MetricKind::Gauge,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            exp.int_value(
+                "camp_shard_used_bytes",
+                &[("shard", &i.to_string())],
+                shard.used_bytes,
+            );
+        }
+        exp.family(
+            "camp_shard_hits_total",
+            "get/iqget hits per shard",
+            MetricKind::Counter,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            exp.int_value(
+                "camp_shard_hits_total",
+                &[("shard", &i.to_string())],
+                shard.stats.get_hits,
+            );
+        }
+        exp.family(
+            "camp_shard_misses_total",
+            "get/iqget misses per shard",
+            MetricKind::Counter,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            exp.int_value(
+                "camp_shard_misses_total",
+                &[("shard", &i.to_string())],
+                shard.stats.get_misses,
+            );
+        }
+        exp.family(
+            "camp_shard_evictions_total",
+            "evictions per shard (all causes)",
+            MetricKind::Counter,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            exp.int_value(
+                "camp_shard_evictions_total",
+                &[("shard", &i.to_string())],
+                shard.stats.evictions + shard.stats.slab_evictions,
+            );
+        }
+
+        // Policy-internal gauges: one family per distinct gauge name, in
+        // first-seen order, sampled per shard (plus any sub-dimension label
+        // the gauge carries, e.g. CAMP's per-queue lengths by ratio).
+        let mut names: Vec<&'static str> = Vec::new();
+        for shard in &self.shards {
+            for gauge in &shard.policy_stats.gauges {
+                if !names.contains(&gauge.name) {
+                    names.push(gauge.name);
+                }
+            }
+        }
+        for name in names {
+            let family = format!("camp_policy_{name}");
+            exp.family(&family, "policy-internal gauge", MetricKind::Gauge);
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard_label = i.to_string();
+                for gauge in shard.policy_stats.gauges.iter().filter(|g| g.name == name) {
+                    match &gauge.label {
+                        Some((key, value)) => exp.int_value(
+                            &family,
+                            &[("shard", &shard_label), (key, value)],
+                            gauge.value,
+                        ),
+                        None => {
+                            exp.int_value(&family, &[("shard", &shard_label)], gauge.value);
+                        }
+                    }
+                }
+            }
+        }
+
+        exp.family(
+            "camp_iq_miss_registry_size",
+            "unmatched iqget misses currently registered",
+            MetricKind::Gauge,
+        );
+        exp.int_value(
+            "camp_iq_miss_registry_size",
+            &[],
+            self.iq_miss_registry_size,
+        );
+        exp.family(
+            "camp_iq_sweep_reclaimed_total",
+            "iq miss-registry entries dropped by the TTL sweep",
+            MetricKind::Counter,
+        );
+        exp.int_value(
+            "camp_iq_sweep_reclaimed_total",
+            &[],
+            self.iq_sweep_reclaimed,
+        );
+
+        exp.family(
+            "camp_slab_class_slabs",
+            "slabs assigned per chunk-size class",
+            MetricKind::Gauge,
+        );
+        for &(chunk_size, slabs, _) in &self.slab_census {
+            exp.int_value(
+                "camp_slab_class_slabs",
+                &[("chunk_size", &chunk_size.to_string())],
+                slabs as u64,
+            );
+        }
+        exp.family(
+            "camp_slab_class_items",
+            "items resident per chunk-size class",
+            MetricKind::Gauge,
+        );
+        for &(chunk_size, _, items) in &self.slab_census {
+            exp.int_value(
+                "camp_slab_class_items",
+                &[("chunk_size", &chunk_size.to_string())],
+                items,
+            );
+        }
+        exp.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_policies::PolicyStats;
+
+    fn sample_report() -> TelemetryReport {
+        let histogram = Histogram::new();
+        for v in [10u64, 20, 3000] {
+            histogram.record(v);
+        }
+        let mut policy_stats = PolicyStats::default();
+        policy_stats.push("l_value", 17);
+        policy_stats.push("queue_count", 3);
+        policy_stats.push("heap_visits", 44);
+        policy_stats.push_labelled("queue_len", "ratio", "8", 2);
+        TelemetryReport {
+            version: "test",
+            policy: "camp(p=5)".to_owned(),
+            shards: vec![ShardSnapshot {
+                stats: StoreStats::default(),
+                items: 2,
+                used_bytes: 128,
+                policy: "camp(p=5)".to_owned(),
+                policy_stats,
+            }],
+            totals: StoreStats::default(),
+            curr_items: 2,
+            slab_census: vec![(120, 1, 2)],
+            latencies: vec![("get", histogram.snapshot())],
+            connections_opened: 1,
+            connections_closed: 0,
+            protocol_errors: 0,
+            iq_miss_registry_size: 5,
+            iq_sweep_reclaimed: 2,
+        }
+    }
+
+    #[test]
+    fn detail_lines_cover_every_surface() {
+        let text = sample_report().detail_lines().join("\n");
+        for needle in [
+            "STAT latency:get:p50_us",
+            "STAT latency:get:p99_us",
+            "STAT policy:0:l_value 17",
+            "STAT policy:0:queue_count 3",
+            "STAT policy:0:heap_visits 44",
+            "STAT policy:0:queue_len:8 2",
+            "STAT evictions:capacity",
+            "STAT evictions:slab_reassign",
+            "STAT evictions:expired",
+            "STAT iq_miss_registry_size 5",
+            "STAT iq_sweep_reclaimed 2",
+            "STAT shard:0 items=2",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_names_every_family() {
+        let text = sample_report().render_prometheus();
+        for needle in [
+            "# TYPE camp_get_latency_us summary",
+            "camp_get_latency_us{quantile=\"0.5\"}",
+            "camp_get_latency_us_count 3",
+            "camp_policy_l_value{shard=\"0\"} 17",
+            "camp_policy_heap_visits{shard=\"0\"} 44",
+            "camp_policy_queue_len{shard=\"0\",ratio=\"8\"} 2",
+            "camp_evictions_total{cause=\"capacity\"}",
+            "camp_iq_miss_registry_size 5",
+            "camp_build_info{version=\"test\",policy=\"camp(p=5)\",shards=\"1\"} 1",
+            "camp_slab_class_items{chunk_size=\"120\"} 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn metrics_record_and_reset() {
+        let metrics = ServerMetrics::new();
+        metrics.record_latency(CmdKind::Get, 100);
+        metrics.record_latency(CmdKind::Set, 200);
+        metrics.connections_opened.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(metrics.latency(CmdKind::Get).count(), 1);
+        assert_eq!(metrics.latency(CmdKind::Set).count(), 1);
+        assert_eq!(metrics.latency(CmdKind::Delete).count(), 0);
+        metrics.reset();
+        assert_eq!(metrics.latency(CmdKind::Get).count(), 0);
+        assert_eq!(metrics.connections_opened.load(Ordering::Relaxed), 0);
+        let snaps = metrics.latency_snapshots();
+        assert_eq!(snaps.len(), 6);
+        assert_eq!(snaps[0].0, "get");
+    }
+}

@@ -16,6 +16,11 @@
 //! flush_all                                     -> OK
 //! version                                       -> VERSION camp-kvs/<semver>
 //! stats                                         -> STAT lines, END
+//! stats detail                                  -> extended STAT lines (latency
+//!                                                  quantiles, per-shard rows,
+//!                                                  policy internals), END
+//! stats reset                                   -> RESET (zeroes counters and
+//!                                                  histograms)
 //! quit                                          -> connection closed
 //! ```
 //!
@@ -71,10 +76,26 @@ pub enum Command {
     FlushAll,
     /// `version`.
     Version,
-    /// `stats`.
-    Stats,
+    /// `stats` / `stats detail` / `stats reset`.
+    Stats {
+        /// Which stats surface was requested.
+        scope: StatsScope,
+    },
     /// `quit`.
     Quit,
+}
+
+/// The argument of a `stats` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsScope {
+    /// Bare `stats`: the aggregate counter table.
+    Summary,
+    /// `stats detail`: per-shard breakdown, latency quantiles, policy
+    /// internals, IQ registry gauges.
+    Detail,
+    /// `stats reset`: zero the counters and histograms, re-baselining
+    /// measurement (responds `RESET`).
+    Reset,
 }
 
 /// Which storage command a [`SetHeader`] came from.
@@ -276,7 +297,18 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
             validate_key(&key)?;
             Ok(Command::Delete { key })
         }
-        b"stats" => Ok(Command::Stats),
+        b"stats" => {
+            let scope = match tokens.next() {
+                None => StatsScope::Summary,
+                Some(b"detail") => StatsScope::Detail,
+                Some(b"reset") => StatsScope::Reset,
+                Some(_) => return Err(ProtocolError::new("unknown stats argument")),
+            };
+            if tokens.next().is_some() {
+                return Err(ProtocolError::new("trailing tokens"));
+            }
+            Ok(Command::Stats { scope })
+        }
         b"quit" => Ok(Command::Quit),
         _ => Err(ProtocolError::new("unknown command")),
     }
@@ -353,8 +385,31 @@ mod tests {
                 key: b"kk".to_vec()
             }
         );
-        assert_eq!(parse_command(b"stats").unwrap(), Command::Stats);
+        assert_eq!(
+            parse_command(b"stats").unwrap(),
+            Command::Stats {
+                scope: StatsScope::Summary
+            }
+        );
         assert_eq!(parse_command(b"quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn parses_stats_scopes() {
+        assert_eq!(
+            parse_command(b"stats detail").unwrap(),
+            Command::Stats {
+                scope: StatsScope::Detail
+            }
+        );
+        assert_eq!(
+            parse_command(b"stats reset").unwrap(),
+            Command::Stats {
+                scope: StatsScope::Reset
+            }
+        );
+        assert!(parse_command(b"stats bogus").is_err());
+        assert!(parse_command(b"stats detail extra").is_err());
     }
 
     #[test]

@@ -13,15 +13,24 @@
 //! client supplied an explicit cost hint. The miss registry is striped with
 //! the same hash the store uses for sharding, so `iqget`/`iqset` traffic on
 //! different shards never contends on a single registry lock.
+//!
+//! Every command is timed at this layer into per-command lock-free
+//! histograms ([`ServerMetrics`]); `stats detail` reports the quantiles and
+//! the policies' internal gauges, and [`ServerOptions::metrics_addr`]
+//! additionally serves the whole [`TelemetryReport`] as Prometheus text
+//! over plain HTTP for scraping.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::protocol::{parse_command, Command, SetHeader, SetVerb};
+use camp_telemetry::{kvlog, LogLevel};
+
+use crate::metrics::{CmdKind, ServerMetrics, TelemetryReport};
+use crate::protocol::{parse_command, Command, SetHeader, SetVerb, StatsScope};
 use crate::shard::ShardedStore;
 use crate::store::{StoreConfig, StoreError, StoreStats};
 use crate::sync::lock;
@@ -45,6 +54,10 @@ struct IqStripe {
 #[derive(Debug)]
 struct IqRegistry {
     stripes: Vec<Mutex<IqStripe>>,
+    /// Entries dropped by the TTL sweep, cumulatively (a `stats detail` /
+    /// exposition gauge: it measures clients that armed the cost timer and
+    /// never came back).
+    swept: AtomicU64,
 }
 
 impl IqRegistry {
@@ -58,6 +71,7 @@ impl IqRegistry {
                     })
                 })
                 .collect(),
+            swept: AtomicU64::new(0),
         }
     }
 
@@ -67,9 +81,14 @@ impl IqRegistry {
         let mut guard = lock(&self.stripes[stripe]);
         let now = Instant::now();
         if now.duration_since(guard.last_sweep) >= IQ_MISS_TTL {
+            let before = guard.misses.len();
             guard
                 .misses
                 .retain(|_, started| now.duration_since(*started) < IQ_MISS_TTL);
+            let reclaimed = (before - guard.misses.len()) as u64;
+            if reclaimed > 0 {
+                self.swept.fetch_add(reclaimed, Ordering::Relaxed);
+            }
             guard.last_sweep = now;
         }
         guard.misses.insert(key, now);
@@ -92,6 +111,11 @@ impl IqRegistry {
             lock(stripe).misses.clear();
         }
     }
+
+    /// Unmatched misses currently registered, across stripes.
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock(s).misses.len()).sum()
+    }
 }
 
 /// Shared server state.
@@ -99,6 +123,7 @@ impl IqRegistry {
 struct Shared {
     store: ShardedStore,
     iq_misses: IqRegistry,
+    metrics: ServerMetrics,
     shutdown: AtomicBool,
 }
 
@@ -106,6 +131,30 @@ impl Shared {
     /// The registry stripe for `key` — same hash partition as the store.
     fn iq_stripe(&self, key: &[u8]) -> usize {
         self.store.shard_index(key)
+    }
+}
+
+/// Everything [`Server::start_with`] needs beyond the bind address.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Store geometry and eviction policy.
+    pub config: StoreConfig,
+    /// Number of independently locked store shards.
+    pub shards: usize,
+    /// Bind address for the Prometheus text exposition (e.g.
+    /// `127.0.0.1:9184`, port 0 for ephemeral). `None` disables it.
+    pub metrics_addr: Option<String>,
+}
+
+impl ServerOptions {
+    /// Single-shard options with no metrics listener.
+    #[must_use]
+    pub fn new(config: StoreConfig) -> ServerOptions {
+        ServerOptions {
+            config,
+            shards: 1,
+            metrics_addr: None,
+        }
     }
 }
 
@@ -126,7 +175,9 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    metrics_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -137,7 +188,7 @@ impl Server {
     ///
     /// Returns any I/O error from binding the listener.
     pub fn start(addr: &str, config: StoreConfig) -> io::Result<Server> {
-        Server::start_sharded(addr, config, 1)
+        Server::start_with(addr, ServerOptions::new(config))
     }
 
     /// Like [`Server::start`], with the store hash-partitioned over
@@ -147,21 +198,61 @@ impl Server {
     ///
     /// Returns any I/O error from binding the listener.
     pub fn start_sharded(addr: &str, config: StoreConfig, shards: usize) -> io::Result<Server> {
+        Server::start_with(
+            addr,
+            ServerOptions {
+                shards,
+                ..ServerOptions::new(config)
+            },
+        )
+    }
+
+    /// The general entry point: binds `addr`, optionally binds the metrics
+    /// exposition listener, and starts the accept loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding either listener.
+    pub fn start_with(addr: &str, options: ServerOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let policy = options.config.eviction.to_string();
         let shared = Arc::new(Shared {
-            store: ShardedStore::new(config, shards),
-            iq_misses: IqRegistry::new(shards),
+            store: ShardedStore::new(options.config, options.shards),
+            iq_misses: IqRegistry::new(options.shards),
+            metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("camp-kvs-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))?;
+        let (metrics_addr, metrics_thread) = match options.metrics_addr.as_deref() {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let bound = listener.local_addr()?;
+                let metrics_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("camp-kvs-metrics".into())
+                    .spawn(move || metrics_loop(&listener, &metrics_shared))?;
+                kvlog!(LogLevel::Info, "metrics_listener_started", addr = bound);
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
+        kvlog!(
+            LogLevel::Info,
+            "server_started",
+            addr = local_addr,
+            shards = options.shards,
+            policy = policy,
+        );
         Ok(Server {
             shared,
             local_addr,
+            metrics_addr,
             accept_thread: Some(accept_thread),
+            metrics_thread,
         })
     }
 
@@ -169,6 +260,12 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound metrics-exposition address, when one was requested.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Snapshot of the store counters.
@@ -189,19 +286,30 @@ impl Server {
         self.len() == 0
     }
 
-    /// Stops accepting connections and joins the accept thread. Existing
+    /// Stops accepting connections and joins the accept threads. Existing
     /// connections end when their clients disconnect.
     pub fn shutdown(mut self) {
         self.signal_shutdown();
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.join_threads();
     }
 
     fn signal_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop.
+        kvlog!(LogLevel::Info, "server_stopping", addr = self.local_addr);
+        // Unblock the accept loops.
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.metrics_thread.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -209,9 +317,7 @@ impl Drop for Server {
     fn drop(&mut self) {
         if self.accept_thread.is_some() {
             self.signal_shutdown();
-            if let Some(handle) = self.accept_thread.take() {
-                let _ = handle.join();
-            }
+            self.join_threads();
         }
     }
 }
@@ -227,7 +333,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let _ = std::thread::Builder::new()
                     .name("camp-kvs-conn".into())
                     .spawn(move || {
-                        let _ = handle_connection(stream, &conn_shared);
+                        conn_shared
+                            .metrics
+                            .connections_opened
+                            .fetch_add(1, Ordering::Relaxed);
+                        if let Err(err) = handle_connection(stream, &conn_shared) {
+                            kvlog!(LogLevel::Debug, "connection_error", error = err);
+                        }
+                        conn_shared
+                            .metrics
+                            .connections_closed
+                            .fetch_add(1, Ordering::Relaxed);
                     });
             }
             Err(_) => {
@@ -264,10 +380,32 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                 }
             }
             Err(err) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                kvlog!(LogLevel::Debug, "protocol_error", error = err);
                 writeln_crlf(&mut writer, &err.to_string())?;
                 writer.flush()?;
             }
         }
+    }
+}
+
+/// The command class `command` is timed under.
+fn cmd_kind(command: &Command) -> CmdKind {
+    match command {
+        Command::Get { .. } => CmdKind::Get,
+        Command::IqGet { .. } => CmdKind::IqGet,
+        Command::Set { header } => {
+            if header.verb == SetVerb::IqSet {
+                CmdKind::IqSet
+            } else {
+                CmdKind::Set
+            }
+        }
+        Command::Delete { .. } => CmdKind::Delete,
+        _ => CmdKind::Other,
     }
 }
 
@@ -278,6 +416,8 @@ fn execute<R: Read, W: Write>(
     writer: &mut BufWriter<W>,
     shared: &Arc<Shared>,
 ) -> io::Result<bool> {
+    let kind = cmd_kind(&command);
+    let started = Instant::now();
     match command {
         Command::Get { keys } => {
             for key in keys {
@@ -330,6 +470,7 @@ fn execute<R: Read, W: Write>(
         Command::FlushAll => {
             shared.store.flush_all();
             shared.iq_misses.clear();
+            kvlog!(LogLevel::Info, "flush_all");
             writeln_crlf(writer, "OK")?;
         }
         Command::Version => {
@@ -338,51 +479,104 @@ fn execute<R: Read, W: Write>(
                 concat!("VERSION camp-kvs/", env!("CARGO_PKG_VERSION")),
             )?;
         }
-        Command::Stats => {
-            let (stats, len, census) = (
-                shared.store.stats(),
-                shared.store.len(),
-                shared.store.slab_census(),
-            );
-            let policy_names = shared.store.policy_names();
-            if let Some(name) = policy_names.first() {
-                writeln_crlf(writer, &format!("STAT policy {name}"))?;
-            }
-            writeln_crlf(
-                writer,
-                &format!("STAT shards {}", shared.store.shard_count()),
-            )?;
-            for (i, name) in policy_names.iter().enumerate() {
-                writeln_crlf(writer, &format!("STAT shard:{i}:policy {name}"))?;
-            }
-            writeln_crlf(writer, &format!("STAT curr_items {len}"))?;
-            writeln_crlf(writer, &format!("STAT get_hits {}", stats.get_hits))?;
-            writeln_crlf(writer, &format!("STAT get_misses {}", stats.get_misses))?;
-            writeln_crlf(writer, &format!("STAT cmd_set {}", stats.sets))?;
-            writeln_crlf(writer, &format!("STAT evictions {}", stats.evictions))?;
-            writeln_crlf(
-                writer,
-                &format!("STAT slab_reassignments {}", stats.slab_reassignments),
-            )?;
-            writeln_crlf(
-                writer,
-                &format!("STAT slab_reclaims {}", stats.slab_reclaims),
-            )?;
-            writeln_crlf(writer, &format!("STAT expired {}", stats.expired))?;
-            for (chunk_size, slabs, items) in census {
-                if slabs > 0 {
-                    writeln_crlf(
-                        writer,
-                        &format!("STAT slab_class:{chunk_size} slabs={slabs} items={items}"),
-                    )?;
+        Command::Stats { scope } => match scope {
+            StatsScope::Summary => {
+                for stat_line in telemetry_report(shared).summary_lines() {
+                    writeln_crlf(writer, &stat_line)?;
                 }
+                writeln_crlf(writer, "END")?;
             }
-            writeln_crlf(writer, "END")?;
-        }
+            StatsScope::Detail => {
+                for stat_line in telemetry_report(shared).detail_lines() {
+                    writeln_crlf(writer, &stat_line)?;
+                }
+                writeln_crlf(writer, "END")?;
+            }
+            StatsScope::Reset => {
+                shared.store.reset_stats();
+                shared.metrics.reset();
+                shared.iq_misses.swept.store(0, Ordering::Relaxed);
+                kvlog!(LogLevel::Info, "stats_reset");
+                writeln_crlf(writer, "RESET")?;
+            }
+        },
         Command::Quit => return Ok(false),
     }
     writer.flush()?;
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_latency(kind, micros);
     Ok(true)
+}
+
+/// Assembles the full telemetry snapshot behind `stats`, `stats detail`
+/// and the Prometheus exposition.
+fn telemetry_report(shared: &Shared) -> TelemetryReport {
+    let shards = shared.store.per_shard();
+    TelemetryReport {
+        version: env!("CARGO_PKG_VERSION"),
+        policy: shards.first().map(|s| s.policy.clone()).unwrap_or_default(),
+        curr_items: shards.iter().map(|s| s.items).sum(),
+        totals: shared.store.stats(),
+        slab_census: shared.store.slab_census(),
+        latencies: shared.metrics.latency_snapshots(),
+        connections_opened: shared.metrics.connections_opened.load(Ordering::Relaxed),
+        connections_closed: shared.metrics.connections_closed.load(Ordering::Relaxed),
+        protocol_errors: shared.metrics.protocol_errors.load(Ordering::Relaxed),
+        iq_miss_registry_size: shared.iq_misses.len() as u64,
+        iq_sweep_reclaimed: shared.iq_misses.swept.load(Ordering::Relaxed),
+        shards,
+    }
+}
+
+/// The metrics accept loop: each connection gets one scrape response.
+/// Scrapes are served inline (no per-connection thread) — a scraper
+/// arrives every few seconds, not thousands per second.
+fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Err(err) = serve_metrics_once(stream, shared) {
+                    kvlog!(LogLevel::Debug, "metrics_scrape_error", error = err);
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Answers one HTTP request with the Prometheus text exposition. Any
+/// request line works (`GET /metrics`, `GET /` — there is only one page);
+/// headers are read and discarded up to the blank line.
+fn serve_metrics_once(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut header_line = String::new();
+    loop {
+        header_line.clear();
+        let read = reader.read_line(&mut header_line)?;
+        if read == 0 || header_line == "\r\n" || header_line == "\n" {
+            break;
+        }
+    }
+    let body = telemetry_report(shared).render_prometheus();
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
 }
 
 fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static str {
@@ -510,6 +704,7 @@ mod tests {
         let server = test_server();
         let addr = server.local_addr();
         assert_ne!(addr.port(), 0);
+        assert!(server.metrics_addr().is_none());
         server.shutdown();
         // After shutdown the port stops accepting new work (either refused
         // outright or closed immediately after accept).
@@ -540,6 +735,35 @@ mod tests {
         let mut response = Vec::new();
         stream.read_to_end(&mut response).unwrap();
         assert!(String::from_utf8_lossy(&response).contains("CLIENT_ERROR"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_listener_serves_prometheus_text() {
+        let server = Server::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                config: StoreConfig {
+                    slab: SlabConfig::small(16 * 1024, 8),
+                    eviction: EvictionMode::Camp(Precision::Bits(5)),
+                },
+                shards: 2,
+                metrics_addr: Some("127.0.0.1:0".into()),
+            },
+        )
+        .expect("bind with metrics");
+        let metrics_addr = server.metrics_addr().expect("metrics bound");
+        let mut stream = TcpStream::connect(metrics_addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("camp_get_latency_us"), "{text}");
+        assert!(text.contains("camp_policy_heap_visits"), "{text}");
+        assert!(text.contains("camp_evictions_total{cause=\"capacity\"}"));
         server.shutdown();
     }
 }

@@ -15,9 +15,27 @@
 use std::hash::{BuildHasher, RandomState};
 use std::sync::Mutex;
 
+use camp_policies::PolicyStats;
+
 use crate::slab::SlabConfig;
 use crate::store::{GetResult, Store, StoreConfig, StoreError, StoreStats};
 use crate::sync::lock;
+
+/// One shard's telemetry snapshot (see [`ShardedStore::per_shard`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ShardSnapshot {
+    /// The shard's cumulative counters.
+    pub stats: StoreStats,
+    /// Live items in the shard.
+    pub items: usize,
+    /// Logical bytes resident in the shard.
+    pub used_bytes: u64,
+    /// The shard's policy name.
+    pub policy: String,
+    /// The shard policy's internal gauges.
+    pub policy_stats: PolicyStats,
+}
 
 /// A store partitioned over independent, individually locked shards.
 ///
@@ -202,11 +220,41 @@ impl ShardedStore {
             total.sets += s.sets;
             total.deletes += s.deletes;
             total.evictions += s.evictions;
+            total.slab_evictions += s.slab_evictions;
             total.slab_reassignments += s.slab_reassignments;
             total.slab_reclaims += s.slab_reclaims;
             total.expired += s.expired;
         }
         total
+    }
+
+    /// Per-shard telemetry snapshots, in shard order. Each shard is locked
+    /// briefly in turn, so the rows are per-shard consistent (not a global
+    /// atomic cut — fine for observability).
+    #[must_use]
+    pub fn per_shard(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let guard = lock(shard);
+                ShardSnapshot {
+                    stats: guard.stats(),
+                    items: guard.len(),
+                    used_bytes: guard.used_bytes(),
+                    policy: guard.policy_name(),
+                    policy_stats: guard.policy_stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// Zeroes every shard's counters and policy instrumentation (the
+    /// `stats reset` command). Each shard resets atomically under its own
+    /// lock; shards are visited in order.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            lock(shard).reset_stats();
+        }
     }
 
     /// Aggregated slab census `(chunk_size, slabs, items)` across shards.

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 pub use camp_policies::EvictionMode;
-use camp_policies::{AccessOutcome, CacheRequest, EvictionPolicy};
+use camp_policies::{AccessOutcome, CacheRequest, EvictionPolicy, PolicyStats};
 
 use crate::item::Item;
 use crate::slab::{ChunkRef, SlabAllocator, SlabConfig, SlabError};
@@ -76,8 +76,12 @@ pub struct StoreStats {
     pub sets: u64,
     /// Successful deletes.
     pub deletes: u64,
-    /// Items evicted by the replacement policy.
+    /// Items evicted by the replacement policy (cause: capacity).
     pub evictions: u64,
+    /// Items evicted as collateral of a forced random slab reassignment
+    /// (cause: slab reassignment) — counted separately from `evictions` so
+    /// the two causes sum, not overlap.
+    pub slab_evictions: u64,
     /// Random slab evictions forced by calcification.
     pub slab_reassignments: u64,
     /// Slabs reclaimed for another class after emptying naturally.
@@ -206,6 +210,27 @@ impl Store {
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         self.stats
+    }
+
+    /// Logical bytes resident, as accounted by the eviction policy.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.policy.used_bytes()
+    }
+
+    /// The active policy's internal gauges (CAMP: `L`, queue lengths, heap
+    /// visits; others: whatever they can answer).
+    #[must_use]
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.policy.policy_stats()
+    }
+
+    /// Zeroes the cumulative counters and the policy's instrumentation
+    /// (heap-visit counters). Cache contents are untouched — this
+    /// re-baselines measurement, `flush_all` empties the cache.
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+        self.policy.reset_instrumentation();
     }
 
     /// Slab diagnostics: `(chunk_size, slabs, items)` per class.
@@ -496,7 +521,7 @@ impl Store {
             let key: Box<[u8]> = Item::decode(self.slabs.read(chunk)).key.into();
             self.remove_entry(&key).expect("slab item is indexed");
             self.slabs.free(chunk);
-            self.stats.evictions += 1;
+            self.stats.slab_evictions += 1;
         }
         self.slabs.complete_reassign(slab_index, class);
         self.stats.slab_reassignments += 1;

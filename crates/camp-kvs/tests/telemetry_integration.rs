@@ -1,0 +1,253 @@
+//! End-to-end telemetry tests over real TCP: the `stats detail` table, the
+//! `stats reset` command, and the Prometheus exposition listener, exercised
+//! against every eviction mode.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use camp_core::Precision;
+use camp_kvs::client::Client;
+use camp_kvs::server::{Server, ServerOptions};
+use camp_kvs::slab::SlabConfig;
+use camp_kvs::store::{EvictionMode, StoreConfig};
+
+fn options(mode: EvictionMode, shards: usize) -> ServerOptions {
+    ServerOptions {
+        config: StoreConfig {
+            slab: SlabConfig::small(16 * 1024, 8),
+            eviction: mode,
+        },
+        shards,
+        metrics_addr: Some("127.0.0.1:0".into()),
+    }
+}
+
+fn scrape(server: &Server) -> String {
+    let addr = server.metrics_addr().expect("metrics listener bound");
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "content type: {head}"
+    );
+    body.to_owned()
+}
+
+fn parse_u64(table: &BTreeMap<String, String>, key: &str) -> u64 {
+    table
+        .get(key)
+        .unwrap_or_else(|| panic!("missing STAT {key} in {table:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("STAT {key} is not a number"))
+}
+
+/// The acceptance scenario: under `--policy camp:5`, `stats detail` and the
+/// exposition both report per-command latency quantiles and the policy's
+/// internal gauges.
+#[test]
+fn stats_detail_reports_quantiles_and_camp_internals() {
+    let server = Server::start_with(
+        "127.0.0.1:0",
+        options(EvictionMode::Camp(Precision::Bits(5)), 1),
+    )
+    .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Drive traffic with distinct costs so CAMP builds several queues, and
+    // enough volume to fill every latency histogram we assert on.
+    for i in 0..120u32 {
+        let key = format!("key-{i:03}");
+        let cost = 1 + u64::from(i % 4) * 1000;
+        assert!(client
+            .iqset(key.as_bytes(), &[0u8; 64], 0, 0, Some(cost))
+            .unwrap());
+    }
+    for i in 0..20u32 {
+        let key = format!("plain-{i:02}");
+        assert!(client.set(key.as_bytes(), &[0u8; 32], 0, 0).unwrap());
+    }
+    for i in 0..120u32 {
+        let key = format!("key-{i:03}");
+        let _ = client.get(key.as_bytes()).unwrap();
+        let _ = client.iqget(key.as_bytes()).unwrap();
+    }
+    client.delete(b"key-000").unwrap();
+    // An unmatched iqget miss arms the registry gauge.
+    assert!(client.iqget(b"never-set").unwrap().is_none());
+
+    let detail = client.stats_detail().expect("stats detail");
+
+    // Latency quantiles, per command.
+    for command in ["get", "iqget", "set", "iqset", "delete"] {
+        let count = parse_u64(&detail, &format!("latency:{command}:count"));
+        assert!(count > 0, "{command} histogram is empty: {detail:?}");
+        let p50 = parse_u64(&detail, &format!("latency:{command}:p50_us"));
+        let p99 = parse_u64(&detail, &format!("latency:{command}:p99_us"));
+        let max = parse_u64(&detail, &format!("latency:{command}:max_us"));
+        assert!(p50 <= p99, "{command}: p50 {p50} > p99 {p99}");
+        assert!(p99 <= max.max(1), "{command}: p99 {p99} > max {max}");
+    }
+
+    // At least four policy-internal gauges: L, queue count, heap visits,
+    // and the eviction-cause split.
+    assert!(detail.contains_key("policy:0:l_value"), "{detail:?}");
+    assert!(parse_u64(&detail, "policy:0:queue_count") >= 2);
+    assert!(parse_u64(&detail, "policy:0:heap_visits") > 0);
+    assert!(detail.contains_key("evictions:capacity"));
+    assert!(detail.contains_key("evictions:slab_reassign"));
+    assert!(detail.contains_key("evictions:expired"));
+    // Per-ratio queue lengths ride along as labelled gauges.
+    assert!(
+        detail.keys().any(|k| k.starts_with("policy:0:queue_len:")),
+        "{detail:?}"
+    );
+    // IQ registry gauges.
+    assert!(parse_u64(&detail, "iq_miss_registry_size") >= 1);
+    assert!(detail.contains_key("iq_sweep_reclaimed"));
+
+    // The exposition agrees: same counters, same internals.
+    let body = scrape(&server);
+    for needle in [
+        "# TYPE camp_get_latency_us summary",
+        "camp_get_latency_us{quantile=\"0.5\"}",
+        "camp_get_latency_us{quantile=\"0.99\"}",
+        "camp_iqset_latency_us_count",
+        "camp_policy_l_value{shard=\"0\"}",
+        "camp_policy_queue_count{shard=\"0\"}",
+        "camp_policy_heap_visits{shard=\"0\"}",
+        "camp_policy_queue_len{shard=\"0\",ratio=",
+        "camp_evictions_total{cause=\"capacity\"}",
+        "camp_evictions_total{cause=\"slab_reassign\"}",
+        "camp_evictions_total{cause=\"expired\"}",
+        "camp_iq_miss_registry_size 1",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in:\n{body}");
+    }
+    let hits = parse_u64(&detail, "get_hits");
+    assert!(
+        body.contains(&format!("camp_get_hits_total {hits}")),
+        "protocol and exposition disagree on get_hits"
+    );
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// Every eviction mode serves a scrapeable exposition with the universal
+/// families present — the schema does not depend on the policy.
+#[test]
+fn every_mode_exposes_the_universal_families() {
+    for name in EvictionMode::all_names() {
+        let mode: EvictionMode = name.parse().expect("valid mode name");
+        let server = Server::start_with("127.0.0.1:0", options(mode, 2)).expect("start server");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for i in 0..40u32 {
+            let key = format!("k{i}");
+            assert!(client.set(key.as_bytes(), &[0u8; 32], 0, 0).unwrap());
+            let _ = client.get(key.as_bytes()).unwrap();
+        }
+        let body = scrape(&server);
+        for needle in [
+            "# TYPE camp_get_latency_us summary",
+            "# TYPE camp_set_latency_us summary",
+            "# TYPE camp_delete_latency_us summary",
+            "# TYPE camp_iqget_latency_us summary",
+            "# TYPE camp_iqset_latency_us summary",
+            "camp_get_hits_total 40",
+            "camp_cmd_set_total 40",
+            "camp_evictions_total{cause=\"capacity\"}",
+            "camp_policy_items{shard=\"0\"}",
+            "camp_policy_items{shard=\"1\"}",
+            "camp_policy_used_bytes{shard=\"0\"}",
+            "camp_shard_items{shard=\"0\"}",
+            "camp_iq_miss_registry_size 0",
+            "camp_build_info{",
+        ] {
+            assert!(
+                body.contains(needle),
+                "{name}: missing {needle} in:\n{body}"
+            );
+        }
+        client.quit().unwrap();
+        server.shutdown();
+    }
+}
+
+/// `stats reset` zeroes counters and histograms without touching contents.
+#[test]
+fn stats_reset_zeroes_counters_but_keeps_items() {
+    let server = Server::start_with(
+        "127.0.0.1:0",
+        options(EvictionMode::Camp(Precision::Bits(5)), 2),
+    )
+    .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for i in 0..30u32 {
+        let key = format!("k{i}");
+        assert!(client.set(key.as_bytes(), &[0u8; 32], 0, 0).unwrap());
+        let _ = client.get(key.as_bytes()).unwrap();
+    }
+    let before = client.stats_detail().unwrap();
+    assert_eq!(parse_u64(&before, "get_hits"), 30);
+    assert!(parse_u64(&before, "latency:set:count") >= 30);
+    assert!(parse_u64(&before, "policy:0:heap_visits") > 0);
+
+    client.stats_reset().expect("stats reset");
+
+    let after = client.stats_detail().unwrap();
+    assert_eq!(parse_u64(&after, "get_hits"), 0);
+    assert_eq!(parse_u64(&after, "cmd_set"), 0);
+    // The reset and this stats query themselves land in the fresh "other"
+    // histogram, but the data-path histograms restart from zero...
+    assert_eq!(parse_u64(&after, "latency:set:count"), 0);
+    assert_eq!(parse_u64(&after, "latency:get:count"), 0);
+    // ...heap instrumentation re-baselines...
+    assert_eq!(parse_u64(&after, "policy:0:heap_visits"), 0);
+    // ...and the cache contents survive.
+    assert_eq!(parse_u64(&after, "curr_items"), 30);
+    assert!(client.get(b"k0").unwrap().is_some());
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// The `stats` summary carries the per-shard breakdown, and the shard rows
+/// sum to the aggregate.
+#[test]
+fn summary_breaks_down_per_shard() {
+    let server =
+        Server::start_with("127.0.0.1:0", options(EvictionMode::Lru, 4)).expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for i in 0..80u32 {
+        let key = format!("key-{i}");
+        assert!(client.set(key.as_bytes(), &[0u8; 32], 0, 0).unwrap());
+    }
+    let stats = client.stats().expect("stats");
+    let mut shard_items = 0u64;
+    let mut rows = 0;
+    for shard in 0..4 {
+        let row = stats
+            .get(&format!("shard:{shard}"))
+            .unwrap_or_else(|| panic!("missing shard {shard} row in {stats:?}"));
+        // Row format: `items=N bytes=N hits=N misses=N evictions=N`.
+        let items_field = row
+            .split(' ')
+            .find_map(|f| f.strip_prefix("items="))
+            .expect("items field");
+        shard_items += items_field.parse::<u64>().expect("numeric items");
+        rows += 1;
+    }
+    assert_eq!(rows, 4);
+    assert_eq!(shard_items, parse_u64(&stats, "curr_items"));
+    client.quit().unwrap();
+    server.shutdown();
+}

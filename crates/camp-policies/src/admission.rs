@@ -192,6 +192,12 @@ impl<K: CacheKey, P: EvictionPolicy<K>> EvictionPolicy<K> for Admission<P, K> {
     fn reset_instrumentation(&mut self) {
         self.inner.reset_instrumentation();
     }
+
+    fn policy_stats(&self) -> crate::policy::PolicyStats {
+        let mut stats = self.inner.policy_stats();
+        stats.push("admission_bypassed", self.bypassed);
+        stats
+    }
 }
 
 #[cfg(test)]

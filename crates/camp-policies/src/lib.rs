@@ -80,7 +80,9 @@ pub use crate::lfu::Lfu;
 pub use crate::lru::Lru;
 pub use crate::lru_k::LruK;
 pub use crate::offline::BeladyMin;
-pub use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+pub use crate::policy::{
+    AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyGauge, PolicyStats,
+};
 pub use crate::pooled_lru::{PoolSplit, PooledLru};
 pub use crate::spec::EvictionMode;
 pub use crate::two_q::TwoQ;

@@ -44,6 +44,62 @@ impl<K> CacheRequest<K> {
     }
 }
 
+/// One named policy-internal gauge, optionally carrying a sub-dimension
+/// label (e.g. CAMP's per-queue lengths, labelled by rounded ratio).
+///
+/// Names are short snake_case identifiers; renderers prefix them with
+/// `policy:` (the `stats detail` protocol command) or `camp_policy_` (the
+/// Prometheus exposition), so the same gauge vocabulary serves both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyGauge {
+    /// Gauge name (`l_value`, `queue_count`, `heap_visits`, ...).
+    pub name: &'static str,
+    /// Optional sub-dimension as a `(label_key, label_value)` pair.
+    pub label: Option<(&'static str, String)>,
+    /// Current value.
+    pub value: u64,
+}
+
+/// A snapshot of a policy's internal gauges — the
+/// [`EvictionPolicy::policy_stats`] hook's return value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// The gauges, in the policy's preferred display order.
+    pub gauges: Vec<PolicyGauge>,
+}
+
+impl PolicyStats {
+    /// Appends an unlabelled gauge.
+    pub fn push(&mut self, name: &'static str, value: u64) {
+        self.gauges.push(PolicyGauge {
+            name,
+            label: None,
+            value,
+        });
+    }
+
+    /// Appends a gauge with a sub-dimension label.
+    pub fn push_labelled(
+        &mut self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: impl Into<String>,
+        value: u64,
+    ) {
+        self.gauges.push(PolicyGauge {
+            name,
+            label: Some((label_key, label_value.into())),
+            value,
+        });
+    }
+
+    /// The value of the first gauge called `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+}
+
 /// What a [`EvictionPolicy::reference`] call observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessOutcome {
@@ -128,6 +184,29 @@ pub trait EvictionPolicy<K: CacheKey = u64> {
 
     /// Resets instrumentation counters (not the cache contents).
     fn reset_instrumentation(&mut self) {}
+
+    /// Snapshot of this policy's internal gauges, for the telemetry layer.
+    ///
+    /// The default assembles the universal gauges every policy can answer
+    /// (items, bytes, capacity) plus whichever optional hooks the policy
+    /// implements; policies with richer internals (CAMP's `L`, per-queue
+    /// lengths) override and extend it.
+    fn policy_stats(&self) -> PolicyStats {
+        let mut stats = PolicyStats::default();
+        stats.push("items", self.len() as u64);
+        stats.push("used_bytes", self.used_bytes());
+        stats.push("capacity_bytes", self.capacity());
+        if let Some(queues) = self.queue_count() {
+            stats.push("queue_count", queues as u64);
+        }
+        if let Some(visits) = self.heap_node_visits() {
+            stats.push("heap_visits", visits);
+        }
+        if let Some(updates) = self.heap_update_ops() {
+            stats.push("heap_updates", updates);
+        }
+        stats
+    }
 }
 
 /// [`EvictionPolicy`] for the real thing: a [`Camp`] cache over any key
@@ -206,6 +285,29 @@ impl<K: CacheKey> EvictionPolicy<K> for Camp<K, ()> {
     fn reset_instrumentation(&mut self) {
         Camp::reset_instrumentation(self);
     }
+
+    fn policy_stats(&self) -> PolicyStats {
+        let mut stats = PolicyStats::default();
+        stats.push("items", Camp::len(self) as u64);
+        stats.push("used_bytes", Camp::used_bytes(self));
+        stats.push("capacity_bytes", Camp::capacity(self));
+        stats.push("queue_count", Camp::queue_count(self) as u64);
+        stats.push("heap_visits", Camp::heap_node_visits(self));
+        stats.push("heap_updates", Camp::heap_update_ops(self));
+        // L is u128 internally; saturate for exposition (it only nears
+        // u64::MAX after ~584k years of microsecond-cost churn).
+        stats.push("l_value", u64::try_from(self.l_value()).unwrap_or(u64::MAX));
+        stats.push("ratio_multiplier", self.multiplier());
+        for queue in self.queue_census() {
+            stats.push_labelled(
+                "queue_len",
+                "ratio",
+                queue.ratio.to_string(),
+                queue.len as u64,
+            );
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +369,57 @@ mod tests {
         assert!(EvictionPolicy::touch(&mut camp, &1));
         assert_eq!(EvictionPolicy::victim(&camp), Some(2));
         assert!(!EvictionPolicy::touch(&mut camp, &99));
+    }
+
+    #[test]
+    fn every_policy_reports_universal_gauges() {
+        use crate::spec::EvictionMode;
+        for name in EvictionMode::all_names() {
+            let mode: EvictionMode = name.parse().unwrap();
+            let mut policy: Box<dyn EvictionPolicy> = mode.build(1 << 16);
+            let mut evicted = Vec::new();
+            for key in 0..20u64 {
+                policy.reference(CacheRequest::new(key, 256, 1 + key % 5), &mut evicted);
+                policy.reference(CacheRequest::new(key, 256, 1 + key % 5), &mut evicted);
+            }
+            let stats = policy.policy_stats();
+            assert!(stats.get("items").unwrap() > 0, "{name}");
+            assert!(stats.get("used_bytes").unwrap() > 0, "{name}");
+            assert_eq!(stats.get("capacity_bytes"), Some(1 << 16), "{name}");
+            assert_eq!(stats.get("missing"), None);
+        }
+    }
+
+    #[test]
+    fn camp_stats_expose_policy_internals() {
+        let mut camp: Camp<u64, ()> = Camp::new(10_000, Precision::Bits(5));
+        let mut evicted = Vec::new();
+        for key in 0..30u64 {
+            // Three distinct cost/size ratios -> three queues.
+            camp.reference(
+                CacheRequest::new(key, 100, 1 + (key % 3) * 400),
+                &mut evicted,
+            );
+        }
+        let stats = EvictionPolicy::<u64>::policy_stats(&camp);
+        assert_eq!(stats.get("queue_count"), Some(3));
+        assert!(stats.get("l_value").is_some());
+        assert!(stats.get("ratio_multiplier").unwrap() >= 1);
+        assert!(stats.get("heap_visits").unwrap() > 0);
+        let queue_lens: Vec<&PolicyGauge> = stats
+            .gauges
+            .iter()
+            .filter(|g| g.name == "queue_len")
+            .collect();
+        assert_eq!(queue_lens.len(), 3, "one labelled gauge per queue");
+        assert!(queue_lens
+            .iter()
+            .all(|g| { matches!(&g.label, Some(("ratio", value)) if !value.is_empty()) }));
+        assert_eq!(
+            queue_lens.iter().map(|g| g.value).sum::<u64>(),
+            stats.get("items").unwrap(),
+            "queue lengths must sum to the resident count"
+        );
     }
 
     #[test]
