@@ -1,0 +1,120 @@
+//! Server hot-path benchmarks: command parsing and get-response
+//! serialization — the per-request work between the socket and the store.
+//!
+//! The `get_serialize` group contrasts the two response paths the server
+//! has had: the copying one (`Store::get` hands back an owned value, the
+//! caller formats a `VALUE` block around it) and the visitor one
+//! (`Store::get_with` + `resp::append_value` serialize straight from the
+//! arena chunk into a reusable buffer). The second is the live hot path.
+
+use std::hint::black_box;
+use std::io::Write;
+
+use camp_bench::micro::Group;
+use camp_kvs::protocol::{parse_command, Command};
+use camp_kvs::resp;
+use camp_kvs::slab::SlabConfig;
+use camp_kvs::store::{EvictionMode, Store, StoreConfig};
+
+const PARSE_LINES: u64 = 100_000;
+const GET_OPS: u64 = 100_000;
+
+fn main() {
+    let group = Group::new("parse", PARSE_LINES, 20);
+    group.case("get_single_key", || {
+        let line: &[u8] = b"get key-00001234";
+        let mut gets = 0u64;
+        for _ in 0..PARSE_LINES {
+            match parse_command(black_box(line)) {
+                Ok(Command::Get { ref keys }) => gets += keys.len() as u64,
+                _ => unreachable!("line is a valid get"),
+            }
+        }
+        gets
+    });
+    group.case("get_eight_keys", || {
+        let line: &[u8] = b"get k0 k1 k2 k3 k4 k5 k6 k7";
+        let mut keys_seen = 0u64;
+        for _ in 0..PARSE_LINES {
+            match parse_command(black_box(line)) {
+                Ok(Command::Get { ref keys }) => keys_seen += keys.len() as u64,
+                _ => unreachable!("line is a valid get"),
+            }
+        }
+        keys_seen
+    });
+    group.case("set_header", || {
+        let line: &[u8] = b"set key-00001234 7 0 100";
+        let mut bytes = 0u64;
+        for _ in 0..PARSE_LINES {
+            match parse_command(black_box(line)) {
+                Ok(Command::Set { ref header }) => bytes += header.bytes as u64,
+                _ => unreachable!("line is a valid set"),
+            }
+        }
+        bytes
+    });
+    group.case("iqset_cost_hint", || {
+        let line: &[u8] = b"iqset key-00001234 7 0 100 2500";
+        let mut cost = 0u64;
+        for _ in 0..PARSE_LINES {
+            match parse_command(black_box(line)) {
+                Ok(Command::Set { ref header }) => cost += header.cost_hint.unwrap_or(0),
+                _ => unreachable!("line is a valid iqset"),
+            }
+        }
+        cost
+    });
+
+    // A resident working set the gets always hit, so both cases measure
+    // pure serialize cost rather than miss handling.
+    let mut store = Store::new(StoreConfig {
+        slab: SlabConfig::small(8 << 20, 8),
+        eviction: EvictionMode::Lru,
+    });
+    let value = vec![0xABu8; 100];
+    let keys: Vec<Vec<u8>> = (0..1024)
+        .map(|i| format!("key-{i:08}").into_bytes())
+        .collect();
+    for key in &keys {
+        store.set(key, &value, 0, 0, 1).expect("prefill set");
+    }
+
+    let group = Group::new("get_serialize", GET_OPS, 10);
+    group.case("copying_get_plus_format", || {
+        let mut response = Vec::new();
+        let mut bytes = 0u64;
+        for i in 0..GET_OPS {
+            let key = &keys[(i % 1024) as usize];
+            response.clear();
+            let hit = store.get(key).expect("key is resident");
+            let _ = write!(
+                response,
+                "VALUE {} {} {}\r\n",
+                String::from_utf8_lossy(key),
+                hit.flags,
+                hit.value.len()
+            );
+            response.extend_from_slice(&hit.value);
+            response.extend_from_slice(b"\r\nEND\r\n");
+            bytes += black_box(&response).len() as u64;
+        }
+        bytes
+    });
+    group.case("get_with_append_value", || {
+        let mut response = Vec::new();
+        let mut bytes = 0u64;
+        for i in 0..GET_OPS {
+            let key = &keys[(i % 1024) as usize];
+            response.clear();
+            store
+                .get_with(key, |item| {
+                    resp::append_value(&mut response, key, item.flags, item.value);
+                })
+                .expect("key is resident");
+            response.extend_from_slice(b"END\r\n");
+            bytes += black_box(&response).len() as u64;
+        }
+        bytes
+    });
+}

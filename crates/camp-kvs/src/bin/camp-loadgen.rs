@@ -1,0 +1,525 @@
+//! `camp-loadgen` — a closed-loop load generator for `camp-kvsd`.
+//!
+//! ```text
+//! camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]
+//!              [--duration-secs S] [--warmup-secs S] [--get-ratio R]
+//!              [--keys N] [--value-bytes N] [--seed N]
+//!              [--out FILE] [--label TEXT]
+//! ```
+//!
+//! Each connection runs a closed loop: it assembles a pipeline of `DEPTH`
+//! commands (GET/SET mixed by `--get-ratio`, keys drawn uniformly from
+//! `--keys` via the in-repo `Rng64`), writes the whole batch in one
+//! segment, then reads all `DEPTH` responses — exactly the traffic shape
+//! the server's flush coalescing is built for. Client-side latency is
+//! recorded per command class into `camp-telemetry` histograms (each op in
+//! a batch is charged the batch round-trip, the closed-loop convention),
+//! and the main thread samples the completed-op counter every 250 ms so
+//! the run's throughput *trajectory* — not just the average — lands in the
+//! machine-readable report.
+//!
+//! The report is written to `--out` (default `BENCH_server.json`):
+//! ops/sec, p50/p90/p99/max per command class, hit ratio, and the
+//! trajectory samples, plus the full config so before/after runs are
+//! comparable. The process exits nonzero if zero ops completed, which is
+//! what the CI smoke step asserts.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use camp_core::rng::Rng64;
+use camp_telemetry::{Histogram, HistogramSnapshot};
+
+#[derive(Debug, Clone)]
+struct Config {
+    addr: String,
+    connections: usize,
+    pipeline: usize,
+    duration_secs: f64,
+    warmup_secs: f64,
+    get_ratio: f64,
+    keys: u64,
+    value_bytes: usize,
+    seed: u64,
+    out: String,
+    label: String,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:11311".to_owned(),
+            connections: 4,
+            pipeline: 16,
+            duration_secs: 5.0,
+            warmup_secs: 0.5,
+            get_ratio: 0.9,
+            keys: 10_000,
+            value_bytes: 100,
+            seed: 42,
+            out: "BENCH_server.json".to_owned(),
+            label: String::new(),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --out BENCH_server.json\n"
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--connections" => {
+                config.connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "bad --connections".to_owned())?;
+            }
+            "--pipeline" => {
+                config.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|_| "bad --pipeline".to_owned())?;
+            }
+            "--duration-secs" => {
+                config.duration_secs = value("--duration-secs")?
+                    .parse()
+                    .map_err(|_| "bad --duration-secs".to_owned())?;
+            }
+            "--warmup-secs" => {
+                config.warmup_secs = value("--warmup-secs")?
+                    .parse()
+                    .map_err(|_| "bad --warmup-secs".to_owned())?;
+            }
+            "--get-ratio" => {
+                config.get_ratio = value("--get-ratio")?
+                    .parse()
+                    .map_err(|_| "bad --get-ratio".to_owned())?;
+            }
+            "--keys" => {
+                config.keys = value("--keys")?
+                    .parse()
+                    .map_err(|_| "bad --keys".to_owned())?;
+            }
+            "--value-bytes" => {
+                config.value_bytes = value("--value-bytes")?
+                    .parse()
+                    .map_err(|_| "bad --value-bytes".to_owned())?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_owned())?;
+            }
+            "--out" => config.out = value("--out")?,
+            "--label" => config.label = value("--label")?,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if config.connections == 0 || config.pipeline == 0 || config.keys == 0 {
+        return Err("--connections, --pipeline and --keys must be positive".to_owned());
+    }
+    if !(0.0..=1.0).contains(&config.get_ratio) {
+        return Err("--get-ratio must be in [0, 1]".to_owned());
+    }
+    Ok(config)
+}
+
+/// Counters and histograms shared by every worker.
+struct Totals {
+    stop: AtomicBool,
+    /// Completed ops (every class).
+    ops: AtomicU64,
+    gets: AtomicU64,
+    sets: AtomicU64,
+    hits: AtomicU64,
+    errors: AtomicU64,
+    get_latency: Histogram,
+    set_latency: Histogram,
+}
+
+impl Totals {
+    fn new() -> Totals {
+        Totals {
+            stop: AtomicBool::new(false),
+            ops: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            sets: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            get_latency: Histogram::new(),
+            set_latency: Histogram::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Get,
+    Set,
+}
+
+fn push_key(buf: &mut Vec<u8>, id: u64) {
+    // Fixed-width keys: "key-00001234".
+    let _ = write!(buf, "key-{id:08}");
+}
+
+/// Pre-stores every key so the measured phase runs mostly hits (batches of
+/// 128 pipelined sets).
+fn prefill(config: &Config, value: &[u8]) -> io::Result<()> {
+    let stream = TcpStream::connect(&config.addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut request = Vec::new();
+    let mut line = Vec::new();
+    let mut pending = 0usize;
+    for id in 0..config.keys {
+        request.extend_from_slice(b"set ");
+        push_key(&mut request, id);
+        let _ = write!(request, " 0 0 {}\r\n", value.len());
+        request.extend_from_slice(value);
+        request.extend_from_slice(b"\r\n");
+        pending += 1;
+        if pending == 128 || id + 1 == config.keys {
+            writer.write_all(&request)?;
+            request.clear();
+            for _ in 0..pending {
+                read_line(&mut reader, &mut line)?;
+                if line != b"STORED" {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("prefill: {}", String::from_utf8_lossy(&line)),
+                    ));
+                }
+            }
+            pending = 0;
+        }
+    }
+    writer.write_all(b"quit\r\n")
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>, line: &mut Vec<u8>) -> io::Result<()> {
+    line.clear();
+    let read = reader.read_until(b'\n', line)?;
+    if read == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+/// Consumes one GET response (VALUE blocks until END); returns whether the
+/// key was a hit, or `None` on a protocol error.
+fn read_get_response(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    skip: &mut Vec<u8>,
+) -> io::Result<Option<bool>> {
+    let mut hit = false;
+    loop {
+        read_line(reader, line)?;
+        if line == b"END" {
+            return Ok(Some(hit));
+        }
+        if !line.starts_with(b"VALUE ") {
+            return Ok(None);
+        }
+        // Data-block length is the last space-separated token.
+        let len: usize = line
+            .rsplit(|&b| b == b' ')
+            .next()
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad VALUE header"))?;
+        if skip.len() < len + 2 {
+            skip.resize(len + 2, 0);
+        }
+        reader.read_exact(&mut skip[..len + 2])?;
+        hit = true;
+    }
+}
+
+fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8>>) {
+    let result = (|| -> io::Result<()> {
+        let stream = TcpStream::connect(&config.addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut rng = Rng64::seed_from_u64(config.seed ^ (worker_id.wrapping_mul(0x9E37_79B9)));
+        let mut request = Vec::new();
+        let mut ops: Vec<Op> = Vec::with_capacity(config.pipeline);
+        let mut line = Vec::new();
+        let mut skip = Vec::new();
+        while !totals.stop.load(Ordering::Relaxed) {
+            request.clear();
+            ops.clear();
+            for _ in 0..config.pipeline {
+                let id = rng.range_u64(0, config.keys);
+                if rng.chance(config.get_ratio) {
+                    request.extend_from_slice(b"get ");
+                    push_key(&mut request, id);
+                    request.extend_from_slice(b"\r\n");
+                    ops.push(Op::Get);
+                } else {
+                    request.extend_from_slice(b"set ");
+                    push_key(&mut request, id);
+                    let _ = write!(request, " 0 0 {}\r\n", value.len());
+                    request.extend_from_slice(&value);
+                    request.extend_from_slice(b"\r\n");
+                    ops.push(Op::Set);
+                }
+            }
+            let started = Instant::now();
+            writer.write_all(&request)?;
+            let mut hits = 0u64;
+            let mut errors = 0u64;
+            for &op in &ops {
+                match op {
+                    Op::Get => match read_get_response(&mut reader, &mut line, &mut skip)? {
+                        Some(true) => hits += 1,
+                        Some(false) => {}
+                        None => errors += 1,
+                    },
+                    Op::Set => {
+                        read_line(&mut reader, &mut line)?;
+                        if line != b"STORED" {
+                            errors += 1;
+                        }
+                    }
+                }
+            }
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut gets = 0u64;
+            let mut sets = 0u64;
+            for &op in &ops {
+                match op {
+                    Op::Get => {
+                        totals.get_latency.record(micros);
+                        gets += 1;
+                    }
+                    Op::Set => {
+                        totals.set_latency.record(micros);
+                        sets += 1;
+                    }
+                }
+            }
+            totals.ops.fetch_add(gets + sets, Ordering::Relaxed);
+            totals.gets.fetch_add(gets, Ordering::Relaxed);
+            totals.sets.fetch_add(sets, Ordering::Relaxed);
+            totals.hits.fetch_add(hits, Ordering::Relaxed);
+            if errors > 0 {
+                totals.errors.fetch_add(errors, Ordering::Relaxed);
+            }
+        }
+        writer.write_all(b"quit\r\n")
+    })();
+    if let Err(err) = result {
+        eprintln!("camp-loadgen: worker {worker_id}: {err}");
+        totals.errors.fetch_add(1, Ordering::Relaxed);
+        // A dead worker must not wedge the run; the others keep going.
+    }
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn command_json(name: &str, snap: &HistogramSnapshot) -> String {
+    format!(
+        "\"{name}\": {{\"ops\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"mean_us\": {:.1}}}",
+        snap.count,
+        snap.quantile(0.5),
+        snap.quantile(0.9),
+        snap.quantile(0.99),
+        snap.max,
+        snap.mean(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    config: &Config,
+    elapsed_secs: f64,
+    total_ops: u64,
+    hit_ratio: f64,
+    errors: u64,
+    trajectory: &[(f64, u64, f64)],
+    get_snap: &HistogramSnapshot,
+    set_snap: &HistogramSnapshot,
+) -> String {
+    let ops_per_sec = if elapsed_secs > 0.0 {
+        total_ops as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    let samples: Vec<String> = trajectory
+        .iter()
+        .map(|&(t, cumulative, rate)| {
+            format!(
+                "{{\"t_secs\": {t:.3}, \"cumulative_ops\": {cumulative}, \"interval_ops_per_sec\": {rate:.1}}}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
+        escape_json(&config.label),
+        escape_json(&config.addr),
+        config.connections,
+        config.pipeline,
+        config.get_ratio,
+        config.keys,
+        config.value_bytes,
+        config.duration_secs,
+        config.warmup_secs,
+        config.seed,
+        command_json("get", get_snap),
+        command_json("set", set_snap),
+        samples.join(", "),
+    )
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = Arc::new(vec![b'x'; config.value_bytes]);
+    if let Err(err) = prefill(&config, &value) {
+        eprintln!(
+            "camp-loadgen: prefill against {} failed: {err}",
+            config.addr
+        );
+        return ExitCode::FAILURE;
+    }
+    let totals = Arc::new(Totals::new());
+    let workers: Vec<_> = (0..config.connections)
+        .map(|i| {
+            let config = config.clone();
+            let totals = Arc::clone(&totals);
+            let value = Arc::clone(&value);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{i}"))
+                .spawn(move || worker(config, totals, i as u64, value))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    // Warm up, then re-baseline every counter and histogram so the report
+    // reflects steady state only.
+    std::thread::sleep(Duration::from_secs_f64(config.warmup_secs.max(0.0)));
+    totals.get_latency.reset();
+    totals.set_latency.reset();
+    let ops_base = totals.ops.load(Ordering::Relaxed);
+    let gets_base = totals.gets.load(Ordering::Relaxed);
+    let hits_base = totals.hits.load(Ordering::Relaxed);
+    let errors_base = totals.errors.load(Ordering::Relaxed);
+    let started = Instant::now();
+
+    // Sample the throughput trajectory every 250 ms.
+    let mut trajectory: Vec<(f64, u64, f64)> = Vec::new();
+    let mut last_t = 0.0f64;
+    let mut last_ops = 0u64;
+    while started.elapsed().as_secs_f64() < config.duration_secs {
+        let remaining = config.duration_secs - started.elapsed().as_secs_f64();
+        std::thread::sleep(Duration::from_secs_f64(remaining.clamp(0.0, 0.25)));
+        let t = started.elapsed().as_secs_f64();
+        let cumulative = totals.ops.load(Ordering::Relaxed) - ops_base;
+        let rate = if t > last_t {
+            (cumulative - last_ops) as f64 / (t - last_t)
+        } else {
+            0.0
+        };
+        trajectory.push((t, cumulative, rate));
+        last_t = t;
+        last_ops = cumulative;
+    }
+    totals.stop.store(true, Ordering::Relaxed);
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let total_ops = totals.ops.load(Ordering::Relaxed) - ops_base;
+    for handle in workers {
+        let _ = handle.join();
+    }
+
+    let gets = totals.gets.load(Ordering::Relaxed) - gets_base;
+    let hits = totals.hits.load(Ordering::Relaxed) - hits_base;
+    let errors = totals.errors.load(Ordering::Relaxed) - errors_base;
+    let hit_ratio = if gets > 0 {
+        hits as f64 / gets as f64
+    } else {
+        0.0
+    };
+    let get_snap = totals.get_latency.snapshot();
+    let set_snap = totals.set_latency.snapshot();
+    let report = render_report(
+        &config,
+        elapsed_secs,
+        total_ops,
+        hit_ratio,
+        errors,
+        &trajectory,
+        &get_snap,
+        &set_snap,
+    );
+    if let Err(err) = std::fs::write(&config.out, &report) {
+        eprintln!("camp-loadgen: writing {} failed: {err}", config.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "camp-loadgen: {:.0} ops/sec over {elapsed_secs:.2}s ({total_ops} ops, hit ratio {hit_ratio:.3}, {errors} errors)",
+        if elapsed_secs > 0.0 {
+            total_ops as f64 / elapsed_secs
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  get: {} ops, p50 {}us p99 {}us | set: {} ops, p50 {}us p99 {}us",
+        get_snap.count,
+        get_snap.quantile(0.5),
+        get_snap.quantile(0.99),
+        set_snap.count,
+        set_snap.quantile(0.5),
+        set_snap.quantile(0.99),
+    );
+    println!("  report written to {}", config.out);
+    if total_ops == 0 {
+        eprintln!("camp-loadgen: no operations completed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

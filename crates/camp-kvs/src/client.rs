@@ -31,6 +31,10 @@ pub struct Value {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Reusable response-line buffer: one connection reads thousands of
+    /// lines, so `read_line` fills this in place instead of allocating a
+    /// fresh `Vec` per line.
+    line: Vec<u8>,
 }
 
 impl Client {
@@ -45,6 +49,7 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            line: Vec::new(),
         })
     }
 
@@ -142,11 +147,11 @@ impl Client {
 
     fn arith(&mut self, verb: &[u8], key: &[u8], delta: u64) -> io::Result<Option<u64>> {
         self.send_line(verb, key, Some(&delta.to_string()))?;
-        let line = self.read_line()?;
-        if line == b"NOT_FOUND" {
+        self.read_line()?;
+        if self.line == b"NOT_FOUND" {
             return Ok(None);
         }
-        std::str::from_utf8(&line)
+        std::str::from_utf8(&self.line)
             .ok()
             .and_then(|s| s.parse().ok())
             .map(Some)
@@ -160,8 +165,8 @@ impl Client {
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn touch(&mut self, key: &[u8], exptime: u64) -> io::Result<bool> {
         self.send_line(b"touch", key, Some(&exptime.to_string()))?;
-        let line = self.read_line()?;
-        Ok(line == b"TOUCHED")
+        self.read_line()?;
+        Ok(self.line == b"TOUCHED")
     }
 
     /// `flush_all` — drops every item on the server.
@@ -171,8 +176,8 @@ impl Client {
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn flush_all(&mut self) -> io::Result<()> {
         self.writer.write_all(b"flush_all\r\n")?;
-        let line = self.read_line()?;
-        if line == b"OK" {
+        self.read_line()?;
+        if self.line == b"OK" {
             Ok(())
         } else {
             Err(io::Error::new(
@@ -189,8 +194,8 @@ impl Client {
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn version(&mut self) -> io::Result<String> {
         self.writer.write_all(b"version\r\n")?;
-        let line = self.read_line()?;
-        Ok(String::from_utf8_lossy(&line).into_owned())
+        self.read_line()?;
+        Ok(String::from_utf8_lossy(&self.line).into_owned())
     }
 
     /// `delete <key>`.
@@ -200,8 +205,8 @@ impl Client {
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn delete(&mut self, key: &[u8]) -> io::Result<bool> {
         self.send_line(b"delete", key, None)?;
-        let line = self.read_line()?;
-        Ok(line == b"DELETED")
+        self.read_line()?;
+        Ok(self.line == b"DELETED")
     }
 
     /// `stats` — returns the STAT table.
@@ -235,8 +240,8 @@ impl Client {
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn stats_reset(&mut self) -> io::Result<()> {
         self.writer.write_all(b"stats reset\r\n")?;
-        let line = self.read_line()?;
-        if line == b"RESET" {
+        self.read_line()?;
+        if self.line == b"RESET" {
             Ok(())
         } else {
             Err(io::Error::new(
@@ -249,11 +254,11 @@ impl Client {
     fn read_stat_table(&mut self) -> io::Result<BTreeMap<String, String>> {
         let mut out = BTreeMap::new();
         loop {
-            let line = self.read_line()?;
-            if line == b"END" {
+            self.read_line()?;
+            if self.line == b"END" {
                 return Ok(out);
             }
-            let text = String::from_utf8_lossy(&line);
+            let text = String::from_utf8_lossy(&self.line);
             if let Some(rest) = text.strip_prefix("STAT ") {
                 if let Some((name, value)) = rest.split_once(' ') {
                     out.insert(name.to_owned(), value.to_owned());
@@ -300,56 +305,63 @@ impl Client {
         }
         self.writer.write_all(value)?;
         self.writer.write_all(b"\r\n")?;
-        let line = self.read_line()?;
-        Ok(line == b"STORED")
+        self.read_line()?;
+        Ok(self.line == b"STORED")
     }
 
     fn read_get_response(&mut self, expected_key: &[u8]) -> io::Result<Option<Value>> {
         let mut result = None;
         loop {
-            let line = self.read_line()?;
-            if line == b"END" {
+            self.read_line()?;
+            if self.line == b"END" {
                 return Ok(result);
             }
-            let text = String::from_utf8_lossy(&line).into_owned();
-            let Some(rest) = text.strip_prefix("VALUE ") else {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected response line: {text}"),
-                ));
+            // Parse the header fields out of the reusable line buffer
+            // before `read_exact` needs the reader again.
+            let (key_matches, flags, len) = {
+                let text = String::from_utf8_lossy(&self.line);
+                let Some(rest) = text.strip_prefix("VALUE ") else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response line: {text}"),
+                    ));
+                };
+                let mut fields = rest.split(' ');
+                let key = fields.next().unwrap_or_default();
+                let flags: u32 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad flags"))?;
+                let len: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                (key.as_bytes() == expected_key, flags, len)
             };
-            let mut fields = rest.split(' ');
-            let key = fields.next().unwrap_or_default();
-            let flags: u32 = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad flags"))?;
-            let len: usize = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
             let mut data = vec![0u8; len];
             self.reader.read_exact(&mut data)?;
             let mut crlf = [0u8; 2];
             self.reader.read_exact(&mut crlf)?;
-            if key.as_bytes() == expected_key {
+            if key_matches {
                 result = Some(Value { data, flags });
             }
         }
     }
 
-    fn read_line(&mut self) -> io::Result<Vec<u8>> {
-        let mut line = Vec::new();
-        let read = self.reader.read_until(b'\n', &mut line)?;
+    /// Reads one line into the reusable `self.line` buffer, stripped of
+    /// its CRLF terminator. Allocation-free once the buffer is warm.
+    fn read_line(&mut self) -> io::Result<()> {
+        self.line.clear();
+        let read = self.reader.read_until(b'\n', &mut self.line)?;
         if read == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
         }
-        while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
-            line.pop();
+        while self.line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            self.line.pop();
         }
-        Ok(line)
+        Ok(())
     }
 }

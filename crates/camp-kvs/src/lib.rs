@@ -50,6 +50,7 @@ pub mod item;
 pub mod metrics;
 pub mod protocol;
 pub mod replay;
+pub mod resp;
 pub mod server;
 pub mod shard;
 pub mod slab;

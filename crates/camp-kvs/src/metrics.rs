@@ -65,6 +65,9 @@ impl CmdKind {
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     latency: [Histogram; 6],
+    /// Wire bytes consumed per command class (command line plus any data
+    /// block, terminators included).
+    bytes_read: [AtomicU64; 6],
     /// Connections accepted.
     pub connections_opened: AtomicU64,
     /// Connections that have ended.
@@ -95,10 +98,33 @@ impl ServerMetrics {
         &self.latency[Self::index(kind)]
     }
 
+    /// Adds wire bytes consumed by one command of class `kind`. Wait-free.
+    pub fn record_bytes(&self, kind: CmdKind, bytes: u64) {
+        self.bytes_read[Self::index(kind)].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Wire bytes consumed so far by commands of class `kind`.
+    #[must_use]
+    pub fn bytes_read(&self, kind: CmdKind) -> u64 {
+        self.bytes_read[Self::index(kind)].load(Ordering::Relaxed)
+    }
+
+    /// Per-command byte counters, in [`CmdKind::ALL`] order.
+    #[must_use]
+    pub fn bytes_read_snapshot(&self) -> Vec<(&'static str, u64)> {
+        CmdKind::ALL
+            .iter()
+            .map(|&kind| (kind.name(), self.bytes_read(kind)))
+            .collect()
+    }
+
     /// Zeroes every histogram and counter (the `stats reset` command).
     pub fn reset(&self) {
         for histogram in &self.latency {
             histogram.reset();
+        }
+        for counter in &self.bytes_read {
+            counter.store(0, Ordering::Relaxed);
         }
         self.connections_opened.store(0, Ordering::Relaxed);
         self.connections_closed.store(0, Ordering::Relaxed);
@@ -134,6 +160,8 @@ pub struct TelemetryReport {
     pub slab_census: Vec<(u32, usize, u64)>,
     /// Per-command latency snapshots `(command, histogram)`.
     pub latencies: Vec<(&'static str, HistogramSnapshot)>,
+    /// Wire bytes consumed per command class `(command, bytes)`.
+    pub bytes_read: Vec<(&'static str, u64)>,
     /// Connections accepted so far.
     pub connections_opened: u64,
     /// Connections ended so far.
@@ -228,6 +256,9 @@ impl TelemetryReport {
             ));
             lines.push(format!("STAT latency:{command}:max_us {}", snap.max));
         }
+        for (command, bytes) in &self.bytes_read {
+            lines.push(format!("STAT bytes_read:{command} {bytes}"));
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             for gauge in &shard.policy_stats.gauges {
                 match &gauge.label {
@@ -291,6 +322,15 @@ impl TelemetryReport {
                 MetricKind::Summary,
             );
             exp.summary(&family, &[], snap);
+        }
+
+        exp.family(
+            "camp_bytes_read_total",
+            "wire bytes consumed per command class",
+            MetricKind::Counter,
+        );
+        for (command, bytes) in &self.bytes_read {
+            exp.int_value("camp_bytes_read_total", &[("cmd", command)], *bytes);
         }
 
         let t = &self.totals;
@@ -521,6 +561,7 @@ mod tests {
             curr_items: 2,
             slab_census: vec![(120, 1, 2)],
             latencies: vec![("get", histogram.snapshot())],
+            bytes_read: vec![("get", 640), ("set", 1280)],
             connections_opened: 1,
             connections_closed: 0,
             protocol_errors: 0,
@@ -545,6 +586,8 @@ mod tests {
             "STAT iq_miss_registry_size 5",
             "STAT iq_sweep_reclaimed 2",
             "STAT shard:0 items=2",
+            "STAT bytes_read:get 640",
+            "STAT bytes_read:set 1280",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -564,6 +607,8 @@ mod tests {
             "camp_iq_miss_registry_size 5",
             "camp_build_info{version=\"test\",policy=\"camp(p=5)\",shards=\"1\"} 1",
             "camp_slab_class_items{chunk_size=\"120\"} 2",
+            "camp_bytes_read_total{cmd=\"get\"} 640",
+            "camp_bytes_read_total{cmd=\"set\"} 1280",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -574,12 +619,20 @@ mod tests {
         let metrics = ServerMetrics::new();
         metrics.record_latency(CmdKind::Get, 100);
         metrics.record_latency(CmdKind::Set, 200);
+        metrics.record_bytes(CmdKind::Get, 10);
+        metrics.record_bytes(CmdKind::Get, 15);
         metrics.connections_opened.fetch_add(1, Ordering::Relaxed);
         assert_eq!(metrics.latency(CmdKind::Get).count(), 1);
         assert_eq!(metrics.latency(CmdKind::Set).count(), 1);
         assert_eq!(metrics.latency(CmdKind::Delete).count(), 0);
+        assert_eq!(metrics.bytes_read(CmdKind::Get), 25);
+        assert_eq!(metrics.bytes_read(CmdKind::Set), 0);
+        let bytes = metrics.bytes_read_snapshot();
+        assert_eq!(bytes.len(), 6);
+        assert_eq!(bytes[0], ("get", 25));
         metrics.reset();
         assert_eq!(metrics.latency(CmdKind::Get).count(), 0);
+        assert_eq!(metrics.bytes_read(CmdKind::Get), 0);
         assert_eq!(metrics.connections_opened.load(Ordering::Relaxed), 0);
         let snaps = metrics.latency_snapshots();
         assert_eq!(snaps.len(), 6);

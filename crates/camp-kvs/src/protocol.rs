@@ -28,33 +28,118 @@
 //! hints" channel the paper mentions; without it the server uses the
 //! elapsed time since the corresponding `iqget` miss — the IQ framework's
 //! timestamp-difference cost.
+//!
+//! # Zero-allocation parsing
+//!
+//! Parsing sits on the per-request hot path, so [`parse_command`] does not
+//! allocate: every key in the returned [`Command`] is a `&[u8]` slice
+//! borrowed from the caller's line buffer, and a multi-key `get` collects
+//! its keys into a [`KeyList`] whose first [`INLINE_KEYS`] entries live
+//! inline on the stack (only a pathological request with more keys spills
+//! to the heap). The server converts a key to an owned `Box<[u8]>` only at
+//! the store boundary, when an item is actually inserted.
 
 use std::fmt;
 
+/// Keys a [`KeyList`] stores inline before spilling to the heap. Multi-key
+/// `get`s beyond this are legal but take one `Vec` allocation.
+pub const INLINE_KEYS: usize = 8;
+
+/// A small-vector of borrowed keys: up to [`INLINE_KEYS`] entries inline,
+/// the rest spilled to a heap `Vec`. This keeps the common multi-key `get`
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct KeyList<'a> {
+    inline: [&'a [u8]; INLINE_KEYS],
+    len: usize,
+    spill: Vec<&'a [u8]>,
+}
+
+impl<'a> KeyList<'a> {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> KeyList<'a> {
+        KeyList {
+            inline: [b""; INLINE_KEYS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a key (allocation-free up to [`INLINE_KEYS`] entries).
+    pub fn push(&mut self, key: &'a [u8]) {
+        if self.len < INLINE_KEYS {
+            self.inline[self.len] = key;
+        } else {
+            self.spill.push(key);
+        }
+        self.len += 1;
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the keys in request order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u8]> + '_ {
+        self.inline[..self.len.min(INLINE_KEYS)]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
+
+impl<'a> FromIterator<&'a [u8]> for KeyList<'a> {
+    fn from_iter<I: IntoIterator<Item = &'a [u8]>>(iter: I) -> KeyList<'a> {
+        let mut list = KeyList::new();
+        for key in iter {
+            list.push(key);
+        }
+        list
+    }
+}
+
+impl<'a> PartialEq for KeyList<'a> {
+    fn eq(&self, other: &KeyList<'a>) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for KeyList<'_> {}
+
 /// A parsed command line (data blocks are read separately by the caller,
-/// guided by [`SetHeader::bytes`]).
+/// guided by [`SetHeader::bytes`]). Key fields borrow from the line buffer
+/// handed to [`parse_command`]; see the module docs.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Command {
+pub enum Command<'a> {
     /// `get` / `gets` with one or more keys.
     Get {
-        /// The requested keys.
-        keys: Vec<Vec<u8>>,
+        /// The requested keys (borrowed; inline up to [`INLINE_KEYS`]).
+        keys: KeyList<'a>,
     },
     /// `iqget`: like `get` but a miss registers the IQ miss timestamp.
     IqGet {
         /// The requested key.
-        key: Vec<u8>,
+        key: &'a [u8],
     },
     /// `set`, `add`, `replace` or `iqset`; the data block of
     /// `header.bytes` bytes follows.
     Set {
         /// Parsed header fields.
-        header: SetHeader,
+        header: SetHeader<'a>,
     },
     /// `incr <key> <delta>` / `decr <key> <delta>`.
     Arith {
         /// The key whose numeric value changes.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// The delta to apply.
         delta: u64,
         /// Whether this is an increment (else decrement).
@@ -63,14 +148,14 @@ pub enum Command {
     /// `touch <key> <exptime>`.
     Touch {
         /// The key whose expiry changes.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// The new expiry (memcached semantics).
         exptime: u64,
     },
     /// `delete <key>`.
     Delete {
         /// The key to delete.
-        key: Vec<u8>,
+        key: &'a [u8],
     },
     /// `flush_all`.
     FlushAll,
@@ -112,10 +197,10 @@ pub enum SetVerb {
 }
 
 /// Header fields of a `set`/`iqset` command.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SetHeader {
-    /// The key being stored.
-    pub key: Vec<u8>,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetHeader<'a> {
+    /// The key being stored (borrowed from the line buffer).
+    pub key: &'a [u8],
     /// Opaque client flags.
     pub flags: u32,
     /// Relative or absolute expiry, memcached semantics (0 = never).
@@ -178,31 +263,33 @@ fn validate_key(key: &[u8]) -> Result<(), ProtocolError> {
     Ok(())
 }
 
-/// Parses one command line (without the trailing `\r\n`).
+/// Parses one command line (without the trailing `\r\n`). Allocation-free
+/// for every command with at most [`INLINE_KEYS`] keys: the returned
+/// [`Command`] borrows its key slices from `line`.
 ///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on unknown commands or malformed arguments.
-pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
+pub fn parse_command(line: &[u8]) -> Result<Command<'_>, ProtocolError> {
     let mut tokens = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
     let verb = tokens.next().ok_or(ProtocolError::new("empty command"))?;
     match verb {
         b"get" | b"gets" => {
-            let keys: Vec<Vec<u8>> = tokens.map(<[u8]>::to_vec).collect();
+            let mut keys = KeyList::new();
+            for key in tokens {
+                validate_key(key)?;
+                keys.push(key);
+            }
             if keys.is_empty() {
                 return Err(ProtocolError::new("get requires at least one key"));
-            }
-            for key in &keys {
-                validate_key(key)?;
             }
             Ok(Command::Get { keys })
         }
         b"iqget" => {
             let key = tokens
                 .next()
-                .ok_or(ProtocolError::new("iqget requires a key"))?
-                .to_vec();
-            validate_key(&key)?;
+                .ok_or(ProtocolError::new("iqget requires a key"))?;
+            validate_key(key)?;
             if tokens.next().is_some() {
                 return Err(ProtocolError::new("iqget takes exactly one key"));
             }
@@ -218,9 +305,8 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
             let iq = set_verb == SetVerb::IqSet;
             let key = tokens
                 .next()
-                .ok_or(ProtocolError::new("set requires a key"))?
-                .to_vec();
-            validate_key(&key)?;
+                .ok_or(ProtocolError::new("set requires a key"))?;
+            validate_key(key)?;
             let flags = parse_u64(
                 tokens.next().ok_or(ProtocolError::new("missing flags"))?,
                 "bad flags",
@@ -256,9 +342,8 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
         b"incr" | b"decr" => {
             let key = tokens
                 .next()
-                .ok_or(ProtocolError::new("incr/decr requires a key"))?
-                .to_vec();
-            validate_key(&key)?;
+                .ok_or(ProtocolError::new("incr/decr requires a key"))?;
+            validate_key(key)?;
             let delta = parse_u64(
                 tokens.next().ok_or(ProtocolError::new("missing delta"))?,
                 "bad delta",
@@ -275,9 +360,8 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
         b"touch" => {
             let key = tokens
                 .next()
-                .ok_or(ProtocolError::new("touch requires a key"))?
-                .to_vec();
-            validate_key(&key)?;
+                .ok_or(ProtocolError::new("touch requires a key"))?;
+            validate_key(key)?;
             let exptime = parse_u64(
                 tokens.next().ok_or(ProtocolError::new("missing exptime"))?,
                 "bad exptime",
@@ -292,9 +376,8 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
         b"delete" => {
             let key = tokens
                 .next()
-                .ok_or(ProtocolError::new("delete requires a key"))?
-                .to_vec();
-            validate_key(&key)?;
+                .ok_or(ProtocolError::new("delete requires a key"))?;
+            validate_key(key)?;
             Ok(Command::Delete { key })
         }
         b"stats" => {
@@ -318,18 +401,22 @@ pub fn parse_command(line: &[u8]) -> Result<Command, ProtocolError> {
 mod tests {
     use super::*;
 
+    fn keys<'a>(raw: &[&'a [u8]]) -> KeyList<'a> {
+        raw.iter().copied().collect()
+    }
+
     #[test]
     fn parses_get_variants() {
         assert_eq!(
             parse_command(b"get alpha").unwrap(),
             Command::Get {
-                keys: vec![b"alpha".to_vec()]
+                keys: keys(&[b"alpha"])
             }
         );
         assert_eq!(
             parse_command(b"gets a b c").unwrap(),
             Command::Get {
-                keys: vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+                keys: keys(&[b"a", b"b", b"c"])
             }
         );
         assert!(parse_command(b"get").is_err());
@@ -339,9 +426,7 @@ mod tests {
     fn parses_iqget() {
         assert_eq!(
             parse_command(b"iqget k1").unwrap(),
-            Command::IqGet {
-                key: b"k1".to_vec()
-            }
+            Command::IqGet { key: b"k1" }
         );
         assert!(parse_command(b"iqget a b").is_err());
         assert!(parse_command(b"iqget").is_err());
@@ -354,7 +439,7 @@ mod tests {
             cmd,
             Command::Set {
                 header: SetHeader {
-                    key: b"k".to_vec(),
+                    key: b"k",
                     flags: 7,
                     exptime: 0,
                     bytes: 5,
@@ -381,9 +466,7 @@ mod tests {
     fn parses_delete_stats_quit() {
         assert_eq!(
             parse_command(b"delete kk").unwrap(),
-            Command::Delete {
-                key: b"kk".to_vec()
-            }
+            Command::Delete { key: b"kk" }
         );
         assert_eq!(
             parse_command(b"stats").unwrap(),
@@ -445,7 +528,7 @@ mod tests {
         assert_eq!(
             parse_command(b"incr counter 5").unwrap(),
             Command::Arith {
-                key: b"counter".to_vec(),
+                key: b"counter",
                 delta: 5,
                 up: true
             }
@@ -453,7 +536,7 @@ mod tests {
         assert_eq!(
             parse_command(b"decr counter 2").unwrap(),
             Command::Arith {
-                key: b"counter".to_vec(),
+                key: b"counter",
                 delta: 2,
                 up: false
             }
@@ -461,7 +544,7 @@ mod tests {
         assert_eq!(
             parse_command(b"touch k 300").unwrap(),
             Command::Touch {
-                key: b"k".to_vec(),
+                key: b"k",
                 exptime: 300
             }
         );
@@ -479,8 +562,71 @@ mod tests {
         assert_eq!(
             parse_command(b"get   a").unwrap(),
             Command::Get {
-                keys: vec![b"a".to_vec()]
+                keys: keys(&[b"a"])
             }
         );
+    }
+
+    #[test]
+    fn key_list_spills_past_inline_capacity() {
+        let mut line = b"get".to_vec();
+        let names: Vec<String> = (0..INLINE_KEYS + 3).map(|i| format!("k{i:02}")).collect();
+        for name in &names {
+            line.push(b' ');
+            line.extend_from_slice(name.as_bytes());
+        }
+        match parse_command(&line).unwrap() {
+            Command::Get { keys } => {
+                assert_eq!(keys.len(), INLINE_KEYS + 3);
+                let got: Vec<&[u8]> = keys.iter().collect();
+                let want: Vec<&[u8]> = names.iter().map(|n| n.as_bytes()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parsed_keys_borrow_the_line_buffer() {
+        // The whole point of the borrowed parse: keys are slices into the
+        // caller's buffer, not copies.
+        let line = b"gets alpha beta".to_vec();
+        let range = line.as_ptr() as usize..line.as_ptr() as usize + line.len();
+        match parse_command(&line).unwrap() {
+            Command::Get { keys } => {
+                for key in keys.iter() {
+                    assert!(range.contains(&(key.as_ptr() as usize)));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_buffer_reuse_across_commands_preserves_owned_keys() {
+        // Simulates the server's connection loop: one reusable line buffer,
+        // successive commands parsed from it. Anything the server keeps
+        // beyond one command (e.g. the IQ miss registry's key) must be
+        // converted to owned bytes; this checks that reuse of the buffer
+        // cannot corrupt such a conversion, and that the second parse's
+        // borrowed keys see the *new* contents.
+        let mut line = Vec::new();
+        line.extend_from_slice(b"iqget session:42");
+        let owned_key: Vec<u8> = match parse_command(&line).unwrap() {
+            Command::IqGet { key } => key.to_vec(),
+            other => panic!("unexpected {other:?}"),
+        };
+        // Reuse the buffer for a different, longer command.
+        line.clear();
+        line.extend_from_slice(b"set another-key-entirely 1 0 3");
+        match parse_command(&line).unwrap() {
+            Command::Set { header } => {
+                assert_eq!(header.key, b"another-key-entirely");
+                assert_eq!(header.bytes, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The owned copy from the first command is untouched by the reuse.
+        assert_eq!(owned_key, b"session:42");
     }
 }

@@ -355,31 +355,79 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Whether the connection's read buffer already holds a complete further
+/// command line. If it does, the client pipelined and the next response is
+/// coming right up — flushing now would waste a syscall per command. A
+/// buffer holding only a *partial* line (no `\n`) does not count: the
+/// client may be waiting on our responses before sending the rest, so we
+/// must flush to avoid a deadlock.
+fn pipeline_pending(buffered: &[u8]) -> bool {
+    !buffered.is_empty() && buffered.contains(&b'\n')
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // Per-connection scratch buffers, reused across commands: the steady
+    // state of this loop allocates nothing. `line` backs the borrowed
+    // `Command<'_>` keys, `data` holds one set data block, `response`
+    // accumulates get VALUE blocks before one bulk write.
     let mut line = Vec::new();
+    let mut data = Vec::new();
+    let mut response = Vec::new();
     loop {
         line.clear();
         let read = reader.read_until(b'\n', &mut line)?;
         if read == 0 {
+            writer.flush()?;
             return Ok(()); // client closed
         }
+        let mut wire_bytes = read as u64;
         while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
             line.pop();
         }
         if line.is_empty() {
+            if !pipeline_pending(reader.buffer()) {
+                writer.flush()?;
+            }
             continue;
         }
         match parse_command(&line) {
-            Ok(Command::Quit) => return Ok(()),
+            Ok(Command::Quit) => {
+                writer.flush()?;
+                return Ok(());
+            }
             Ok(command) => {
-                if !execute(command, &mut reader, &mut writer, shared)? {
+                let kind = cmd_kind(&command);
+                // Read the set data block *before* starting the clock: the
+                // upload time belongs to the client/network, not to the
+                // command's service-time histogram.
+                let block: &[u8] = match &command {
+                    Command::Set { header } => {
+                        read_data_block(&mut reader, &mut data, header.bytes)?;
+                        wire_bytes += header.bytes as u64 + 2;
+                        &data
+                    }
+                    _ => &[],
+                };
+                shared.metrics.record_bytes(kind, wire_bytes);
+                let started = Instant::now();
+                let keep = execute(&command, block, &mut writer, &mut response, shared)?;
+                // Pipelining-aware flush coalescing: a burst of N commands
+                // produces one syscall-level write, not N.
+                if !pipeline_pending(reader.buffer()) {
+                    writer.flush()?;
+                }
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared.metrics.record_latency(kind, micros);
+                if !keep {
+                    writer.flush()?;
                     return Ok(());
                 }
             }
             Err(err) => {
+                shared.metrics.record_bytes(CmdKind::Other, wire_bytes);
                 shared
                     .metrics
                     .protocol_errors
@@ -409,54 +457,64 @@ fn cmd_kind(command: &Command) -> CmdKind {
     }
 }
 
-/// Executes one command; returns false when the connection should close.
-fn execute<R: Read, W: Write>(
-    command: Command,
-    reader: &mut BufReader<R>,
+/// Executes one command against `shared`, writing the reply to `writer`
+/// (which the caller flushes when no pipelined command is pending).
+/// `data` is the already-read set data block (empty otherwise); `response`
+/// is the connection's reusable get-serialization buffer. Returns false
+/// when the connection should close.
+fn execute<W: Write>(
+    command: &Command<'_>,
+    data: &[u8],
     writer: &mut BufWriter<W>,
+    response: &mut Vec<u8>,
     shared: &Arc<Shared>,
 ) -> io::Result<bool> {
-    let kind = cmd_kind(&command);
-    let started = Instant::now();
-    match command {
-        Command::Get { keys } => {
-            for key in keys {
-                let hit = shared.store.get(&key);
-                if let Some(result) = hit {
-                    write_value(writer, &key, &result.value, result.flags)?;
-                }
+    match *command {
+        Command::Get { ref keys } => {
+            // Copy-free: each hit's VALUE block is serialized straight from
+            // the slab chunk into `response` (inside the shard lock); all
+            // keys resolve before the writer is touched, then one bulk
+            // write delivers the whole reply.
+            response.clear();
+            for key in keys.iter() {
+                shared.store.get_with(key, |item| {
+                    crate::resp::append_value(response, key, item.flags, item.value);
+                });
             }
-            writeln_crlf(writer, "END")?;
+            response.extend_from_slice(b"END\r\n");
+            writer.write_all(response)?;
         }
         Command::IqGet { key } => {
-            let hit = shared.store.get(&key);
-            match hit {
-                Some(result) => {
-                    write_value(writer, &key, &result.value, result.flags)?;
-                }
-                None => {
-                    // Register the miss time for the cost computation.
-                    shared
-                        .iq_misses
-                        .record_miss(shared.iq_stripe(&key), key.clone());
-                }
+            response.clear();
+            let hit = shared
+                .store
+                .get_with(key, |item| {
+                    crate::resp::append_value(response, key, item.flags, item.value);
+                })
+                .is_some();
+            if !hit {
+                // Register the miss time for the cost computation — the one
+                // place the get path needs an owned key.
+                shared
+                    .iq_misses
+                    .record_miss(shared.iq_stripe(key), key.to_vec());
             }
-            writeln_crlf(writer, "END")?;
+            response.extend_from_slice(b"END\r\n");
+            writer.write_all(response)?;
         }
-        Command::Set { header } => {
-            let data = read_data_block(reader, header.bytes)?;
-            let response = apply_set(&header, &data, shared);
-            writeln_crlf(writer, response)?;
+        Command::Set { ref header } => {
+            let reply = apply_set(header, data, shared);
+            writeln_crlf(writer, reply)?;
         }
         Command::Delete { key } => {
-            let deleted = shared.store.delete(&key);
+            let deleted = shared.store.delete(key);
             writeln_crlf(writer, if deleted { "DELETED" } else { "NOT_FOUND" })?;
         }
         Command::Arith { key, delta, up } => {
             let result = if up {
-                shared.store.incr(&key, delta)
+                shared.store.incr(key, delta)
             } else {
-                shared.store.decr(&key, delta)
+                shared.store.decr(key, delta)
             };
             match result {
                 Some(value) => writeln_crlf(writer, &value.to_string())?,
@@ -464,7 +522,7 @@ fn execute<R: Read, W: Write>(
             }
         }
         Command::Touch { key, exptime } => {
-            let touched = shared.store.touch(&key, expiry_to_absolute(exptime));
+            let touched = shared.store.touch(key, expiry_to_absolute(exptime));
             writeln_crlf(writer, if touched { "TOUCHED" } else { "NOT_FOUND" })?;
         }
         Command::FlushAll => {
@@ -502,9 +560,6 @@ fn execute<R: Read, W: Write>(
         },
         Command::Quit => return Ok(false),
     }
-    writer.flush()?;
-    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    shared.metrics.record_latency(kind, micros);
     Ok(true)
 }
 
@@ -519,6 +574,7 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         totals: shared.store.stats(),
         slab_census: shared.store.slab_census(),
         latencies: shared.metrics.latency_snapshots(),
+        bytes_read: shared.metrics.bytes_read_snapshot(),
         connections_opened: shared.metrics.connections_opened.load(Ordering::Relaxed),
         connections_closed: shared.metrics.connections_closed.load(Ordering::Relaxed),
         protocol_errors: shared.metrics.protocol_errors.load(Ordering::Relaxed),
@@ -579,7 +635,7 @@ fn serve_metrics_once(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()>
     writer.flush()
 }
 
-fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static str {
+fn apply_set(header: &SetHeader<'_>, data: &[u8], shared: &Arc<Shared>) -> &'static str {
     let iq = header.verb == SetVerb::IqSet;
     // Cost: explicit hint, else the IQ registry's elapsed time, else 0.
     let cost = match header.cost_hint {
@@ -587,7 +643,7 @@ fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static 
         None if iq => {
             let started = shared
                 .iq_misses
-                .take(shared.iq_stripe(&header.key), &header.key);
+                .take(shared.iq_stripe(header.key), header.key);
             started
                 .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
                 .unwrap_or(0)
@@ -598,20 +654,20 @@ fn apply_set(header: &SetHeader, data: &[u8], shared: &Arc<Shared>) -> &'static 
         // The hint supersedes the registry entry.
         shared
             .iq_misses
-            .discard(shared.iq_stripe(&header.key), &header.key);
+            .discard(shared.iq_stripe(header.key), header.key);
     }
     let expires_at = expiry_to_absolute(header.exptime);
     let result = match header.verb {
         SetVerb::Set | SetVerb::IqSet => shared
             .store
-            .set(&header.key, data, header.flags, expires_at, cost)
+            .set(header.key, data, header.flags, expires_at, cost)
             .map(|()| true),
         SetVerb::Add => shared
             .store
-            .add(&header.key, data, header.flags, expires_at, cost),
+            .add(header.key, data, header.flags, expires_at, cost),
         SetVerb::Replace => shared
             .store
-            .replace(&header.key, data, header.flags, expires_at, cost),
+            .replace(header.key, data, header.flags, expires_at, cost),
     };
     match result {
         Ok(true) => "STORED",
@@ -641,9 +697,20 @@ fn unix_now() -> u64 {
         .unwrap_or(0)
 }
 
-fn read_data_block<R: Read>(reader: &mut BufReader<R>, bytes: usize) -> io::Result<Vec<u8>> {
-    let mut data = vec![0u8; bytes];
-    reader.read_exact(&mut data)?;
+/// Reads a `bytes`-long data block plus its CRLF terminator into the
+/// connection's reusable scratch buffer (growing but never reallocating
+/// once warm, and never zero-filling more than the growth delta).
+fn read_data_block<R: Read>(
+    reader: &mut BufReader<R>,
+    data: &mut Vec<u8>,
+    bytes: usize,
+) -> io::Result<()> {
+    if data.len() < bytes {
+        data.resize(bytes, 0);
+    } else {
+        data.truncate(bytes);
+    }
+    reader.read_exact(data)?;
     let mut crlf = [0u8; 2];
     reader.read_exact(&mut crlf)?;
     if &crlf != b"\r\n" {
@@ -652,20 +719,7 @@ fn read_data_block<R: Read>(reader: &mut BufReader<R>, bytes: usize) -> io::Resu
             "data block not terminated by CRLF",
         ));
     }
-    Ok(data)
-}
-
-fn write_value<W: Write>(
-    writer: &mut BufWriter<W>,
-    key: &[u8],
-    value: &[u8],
-    flags: u32,
-) -> io::Result<()> {
-    writer.write_all(b"VALUE ")?;
-    writer.write_all(key)?;
-    write!(writer, " {flags} {}\r\n", value.len())?;
-    writer.write_all(value)?;
-    writer.write_all(b"\r\n")
+    Ok(())
 }
 
 fn writeln_crlf<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {

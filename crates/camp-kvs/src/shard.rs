@@ -116,6 +116,18 @@ impl ShardedStore {
         lock(self.shard_for(key)).get(key)
     }
 
+    /// Copy-free lookup: applies `f` to the item inside its slab chunk
+    /// while the shard lock is held (see [`Store::get_with`]). The server's
+    /// get path uses this to serialize the wire response without copying
+    /// the value out of the arena first.
+    pub fn get_with<R>(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&crate::item::Item<'_>) -> R,
+    ) -> Option<R> {
+        lock(self.shard_for(key)).get_with(key, f)
+    }
+
     /// Stores a pair in its shard.
     ///
     /// # Errors
@@ -315,6 +327,20 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.sets, 100);
         assert_eq!(stats.get_hits, 100);
+    }
+
+    #[test]
+    fn get_with_serializes_under_the_shard_lock() {
+        let store = sharded(4);
+        store.set(b"k", b"vv", 5, 0, 1).unwrap();
+        let mut out = Vec::new();
+        let flags = store.get_with(b"k", |item| {
+            out.extend_from_slice(item.value);
+            item.flags
+        });
+        assert_eq!(flags, Some(5));
+        assert_eq!(out, b"vv");
+        assert!(store.get_with(b"nope", |_| ()).is_none());
     }
 
     #[test]

@@ -152,6 +152,11 @@ pub struct Store {
     policy: Box<dyn EvictionPolicy<Box<[u8]>> + Send>,
     mode: EvictionMode,
     stats: StoreStats,
+    /// Reusable item-encoding scratch: the set path allocates nothing once
+    /// this buffer's capacity covers the largest item seen.
+    encode_buf: Vec<u8>,
+    /// Reusable victim list handed to `EvictionPolicy::reference`.
+    evicted_scratch: Vec<Box<[u8]>>,
 }
 
 impl std::fmt::Debug for Store {
@@ -179,6 +184,8 @@ impl Store {
             policy: config.eviction.build(policy_budget(&config.slab)),
             mode: config.eviction,
             stats: StoreStats::default(),
+            encode_buf: Vec::new(),
+            evicted_scratch: Vec::new(),
         }
     }
 
@@ -252,32 +259,47 @@ impl Store {
 
     /// Like [`Store::get`] with an explicit clock (for tests and replay).
     pub fn get_at(&mut self, key: &[u8], now: u64) -> Option<GetResult> {
-        let Some(&chunk) = self.index.get(key) else {
+        self.get_with_at(key, now, |item| GetResult {
+            value: item.value.to_vec(),
+            flags: item.flags,
+            cost: item.cost,
+        })
+    }
+
+    /// Copy-free lookup: on a live hit, applies `f` to the [`Item`] while
+    /// it still resides in its slab chunk and returns the result. Recency
+    /// is updated and expired items are dropped, exactly like
+    /// [`Store::get`], but no bytes are copied out of the arena — the
+    /// server's get path serializes the wire response from inside the
+    /// visitor. This path is allocation-free: the policy is touched with
+    /// the index's own key box, not a fresh one.
+    pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(&Item<'_>) -> R) -> Option<R> {
+        self.get_with_at(key, unix_now(), f)
+    }
+
+    /// Like [`Store::get_with`] with an explicit clock.
+    pub fn get_with_at<R>(
+        &mut self,
+        key: &[u8],
+        now: u64,
+        f: impl FnOnce(&Item<'_>) -> R,
+    ) -> Option<R> {
+        let Some((stored_key, &chunk)) = self.index.get_key_value(key) else {
             self.stats.get_misses += 1;
             return None;
         };
-        let result = {
-            let item = Item::decode(self.slabs.read(chunk));
-            if item.expires_at != 0 && item.expires_at <= now {
-                None
-            } else {
-                Some(GetResult {
-                    value: item.value.to_vec(),
-                    flags: item.flags,
-                    cost: item.cost,
-                })
-            }
-        };
-        let Some(result) = result else {
-            self.remove_entry(key);
-            self.slabs.free(chunk);
-            self.stats.expired += 1;
-            self.stats.get_misses += 1;
-            return None;
-        };
-        self.policy.touch(&Box::from(key));
-        self.stats.get_hits += 1;
-        Some(result)
+        let item = Item::decode(self.slabs.read(chunk));
+        if item.expires_at == 0 || item.expires_at > now {
+            self.policy.touch(stored_key);
+            self.stats.get_hits += 1;
+            return Some(f(&item));
+        }
+        // Expired: drop it lazily.
+        self.remove_entry(key);
+        self.slabs.free(chunk);
+        self.stats.expired += 1;
+        self.stats.get_misses += 1;
+        None
     }
 
     /// Whether `key` is resident (no recency update, no expiry check).
@@ -313,10 +335,15 @@ impl Store {
             }
             Err(SlabError::NoMemory { .. }) => unreachable!("class_for never reports memory"),
         };
-        // Replace semantics: drop the old item first.
-        if let Some(old) = self.remove_entry(key) {
-            self.free_chunk(old, class);
-        }
+        // Replace semantics: drop the old item first, keeping its key box
+        // so a replace reuses it instead of allocating a fresh one.
+        let recycled_key = match self.remove_entry(key) {
+            Some((old_key, old_chunk)) => {
+                self.free_chunk(old_chunk, class);
+                Some(old_key)
+            }
+            None => None,
+        };
         let chunk = self.allocate_with_eviction(total, class)?;
         let item = Item {
             key,
@@ -325,30 +352,33 @@ impl Store {
             cost,
             expires_at,
         };
-        let mut buf = vec![0u8; total as usize];
-        item.encode_into(&mut buf);
-        self.slabs.write(chunk, &buf);
-        // Register with the policy; it may evict on its own logical budget
-        // (rare — slab exhaustion normally fires first, above).
-        let boxed_key: Box<[u8]> = Box::from(key);
-        let mut evicted = Vec::new();
+        item.encode_to(&mut self.encode_buf);
+        self.slabs.write(chunk, &self.encode_buf);
+        // Register with the policy; the key box is *moved* into the request
+        // (recycled from a replaced entry when possible). The policy may
+        // evict on its own logical budget (rare — slab exhaustion normally
+        // fires first, above).
+        let policy_key: Box<[u8]> = recycled_key.unwrap_or_else(|| Box::from(key));
+        let mut evicted = std::mem::take(&mut self.evicted_scratch);
+        evicted.clear();
         let outcome = self.policy.reference(
-            CacheRequest::new(boxed_key.clone(), u64::from(total), cost),
+            CacheRequest::new(policy_key, u64::from(total), cost),
             &mut evicted,
         );
-        for victim in evicted {
+        for victim in evicted.drain(..) {
             if let Some(victim_chunk) = self.index.remove(&victim) {
                 self.free_chunk(victim_chunk, class);
                 self.stats.evictions += 1;
             }
         }
+        self.evicted_scratch = evicted;
         if outcome == AccessOutcome::MissBypassed {
             // The policy refused the item (can only happen when the whole
             // budget is smaller than one item): undo the allocation.
             self.slabs.free(chunk);
             return Err(StoreError::OutOfMemory);
         }
-        self.index.insert(boxed_key, chunk);
+        self.index.insert(Box::from(key), chunk);
         self.stats.sets += 1;
         Ok(())
     }
@@ -453,7 +483,7 @@ impl Store {
     /// Deletes `key`. Returns whether it was resident.
     pub fn delete(&mut self, key: &[u8]) -> bool {
         match self.remove_entry(key) {
-            Some(chunk) => {
+            Some((_old_key, chunk)) => {
                 let class = chunk.class();
                 self.free_chunk(chunk, class);
                 self.stats.deletes += 1;
@@ -463,14 +493,17 @@ impl Store {
         }
     }
 
-    /// Removes `key` from both the index and the policy.
-    fn remove_entry(&mut self, key: &[u8]) -> Option<ChunkRef> {
-        let chunk = self.index.remove(key)?;
+    /// Removes `key` from both the index and the policy, handing back the
+    /// index's owned key box (callers reuse it to avoid re-allocating) and
+    /// the chunk. The policy lookup uses that same box — nothing is
+    /// allocated here.
+    fn remove_entry(&mut self, key: &[u8]) -> Option<(Box<[u8]>, ChunkRef)> {
+        let (stored_key, chunk) = self.index.remove_entry(key)?;
         // The policy may not know the key (e.g. replaced while the policy
         // had already evicted it on its own budget) — residency in the
         // index is what counts.
-        self.policy.remove(&Box::from(key));
-        Some(chunk)
+        self.policy.remove(&stored_key);
+        Some((stored_key, chunk))
     }
 
     /// Frees a chunk; if its slab empties and a different class needs
@@ -507,7 +540,7 @@ impl Store {
                         // item cannot fit.
                         return Err(StoreError::OutOfMemory);
                     };
-                    let chunk = self.remove_entry(&victim).expect("victim is resident");
+                    let (_, chunk) = self.remove_entry(&victim).expect("victim is resident");
                     self.free_chunk(chunk, class);
                     self.stats.evictions += 1;
                 }
@@ -667,6 +700,47 @@ mod tests {
             store.contains(b"expensive"),
             "GDS must keep the expensive item under cheap churn"
         );
+    }
+
+    #[test]
+    fn get_with_visits_the_resident_item() {
+        let mut store = small_store(EvictionMode::Lru);
+        store.set(b"k", b"value-bytes", 9, 0, 33).unwrap();
+        let mut out = Vec::new();
+        let seen = store.get_with(b"k", |item| {
+            out.extend_from_slice(item.value);
+            (item.flags, item.cost)
+        });
+        assert_eq!(seen, Some((9, 33)));
+        assert_eq!(out, b"value-bytes");
+        assert!(store.get_with(b"missing", |_| ()).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.get_hits, 1);
+        assert_eq!(stats.get_misses, 1);
+    }
+
+    #[test]
+    fn get_with_updates_recency() {
+        let mut store = small_store(EvictionMode::Lru);
+        store.set(b"pinned", &[0u8; 60], 0, 0, 1).unwrap();
+        for i in 0..300u32 {
+            // Keep touching the pinned key through the visitor API while
+            // churning enough cheap keys to force evictions.
+            store.get_with(b"pinned", |_| ()).unwrap();
+            let key = format!("churn-{i:04}");
+            store.set(key.as_bytes(), &[0u8; 60], 0, 0, 1).unwrap();
+        }
+        assert!(store.stats().evictions > 0);
+        assert!(store.contains(b"pinned"), "touched key must survive LRU");
+    }
+
+    #[test]
+    fn get_with_drops_expired_items() {
+        let mut store = small_store(EvictionMode::Lru);
+        store.set(b"ttl", b"v", 0, 100, 1).unwrap();
+        assert!(store.get_with_at(b"ttl", 100, |_| ()).is_none());
+        assert_eq!(store.stats().expired, 1);
+        assert_eq!(store.len(), 0);
     }
 
     #[test]

@@ -280,6 +280,60 @@ fn malformed_data_block_closes_only_that_connection() {
 }
 
 #[test]
+fn pipelined_segment_is_answered_in_order_and_fully_timed() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let server = start(EvictionMode::Camp(Precision::Bits(5)), 16 * 1024, 8);
+    let addr = server.local_addr();
+
+    // One TCP segment carrying the whole mixed pipeline: the server must
+    // coalesce flushes while commands remain buffered, yet answer every
+    // command, in order, in one concatenated response.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"set a 0 0 3\r\nAAA\r\nset b 1 0 3\r\nBBB\r\nget a b\r\nget missing\r\ndelete a\r\nget a\r\nquit\r\n",
+            )
+            .unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        assert_eq!(
+            response,
+            b"STORED\r\nSTORED\r\nVALUE a 0 3\r\nAAA\r\nVALUE b 1 3\r\nBBB\r\nEND\r\nEND\r\nDELETED\r\nEND\r\n"
+        );
+    }
+
+    // A pipeline ending in a bare empty line must still flush (the
+    // coalescing rule may not hold a finished response hostage).
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"get b\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "VALUE b 1 3\r\n");
+        let mut rest = [0u8; 5 + 5]; // "BBB\r\n" + "END\r\n"
+        reader.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"BBB\r\nEND\r\n");
+        stream.write_all(b"quit\r\n").unwrap();
+    }
+
+    // Every pipelined command was individually timed and its wire bytes
+    // accounted: 4 gets across both segments (multi-key counts once),
+    // 2 sets, 1 delete.
+    let mut client = Client::connect(addr).unwrap();
+    let detail = client.stats_detail().unwrap();
+    assert_eq!(detail["latency:get:count"], "4");
+    assert_eq!(detail["latency:set:count"], "2");
+    assert_eq!(detail["latency:delete:count"], "1");
+    assert!(detail["bytes_read:get"].parse::<u64>().unwrap() > 0);
+    // Sets account for header + data block: two sets of "set x f 0 3\r\nXXX\r\n".
+    assert_eq!(detail["bytes_read:set"], "36");
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
 fn huge_announced_length_is_survivable() {
     use std::io::{Read, Write};
     let server = start(EvictionMode::Lru, 16 * 1024, 8);
