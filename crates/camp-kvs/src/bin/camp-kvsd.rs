@@ -3,7 +3,8 @@
 //! ```text
 //! camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]
 //!           [--shards N] [--slab-kb N] [--metrics-addr ADDR]
-//!           [--log-level LEVEL]
+//!           [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]
+//!           [--idle-secs N] [--drain-secs N] [--chaos SPEC]
 //! ```
 //!
 //! `--policy` accepts any spec understood by
@@ -18,18 +19,28 @@
 //! HTTP (scrape any path); `stats detail` reports the same telemetry over
 //! the cache protocol itself. `--log-level` gates the structured
 //! `key=value` log lines written to stderr (default `info`).
+//!
+//! The daemon exits gracefully on SIGTERM/SIGINT: the listener closes
+//! immediately, in-flight commands complete, and connections still busy
+//! after `--drain-secs` are severed. A clean drain (and even a forced
+//! sever) exits 0; the drain report is logged. `--chaos` injects
+//! deterministic faults for resilience testing (see
+//! [`camp_kvs::fault`]).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use camp_core::Precision;
+use camp_kvs::fault::FaultPlan;
 use camp_kvs::server::{Server, ServerOptions};
+use camp_kvs::signals::SignalWatcher;
 use camp_kvs::slab::SlabConfig;
 use camp_kvs::store::{EvictionMode, StoreConfig};
 use camp_telemetry::{kvlog, LogLevel};
 
 fn usage() -> String {
     format!(
-        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
         LogLevel::HELP,
         EvictionMode::HELP
     )
@@ -44,6 +55,11 @@ fn main() -> ExitCode {
     let mut shards: usize = 1;
     let mut slab_kb: u32 = 1024;
     let mut metrics_addr: Option<String> = None;
+    let mut max_conns: usize = 1024;
+    let mut max_value_bytes: usize = camp_kvs::protocol::DEFAULT_MAX_VALUE_LEN;
+    let mut idle_secs: u64 = 60;
+    let mut drain_secs: u64 = 5;
+    let mut chaos: Option<FaultPlan> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +102,33 @@ fn main() -> ExitCode {
                         .map_err(|_| "bad --slab-kb".to_owned())?;
                 }
                 "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+                "--max-conns" => {
+                    max_conns = value("--max-conns")?
+                        .parse()
+                        .map_err(|_| "bad --max-conns".to_owned())?;
+                }
+                "--max-value-bytes" => {
+                    max_value_bytes = value("--max-value-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --max-value-bytes".to_owned())?;
+                }
+                "--idle-secs" => {
+                    idle_secs = value("--idle-secs")?
+                        .parse()
+                        .map_err(|_| "bad --idle-secs".to_owned())?;
+                }
+                "--drain-secs" => {
+                    drain_secs = value("--drain-secs")?
+                        .parse()
+                        .map_err(|_| "bad --drain-secs".to_owned())?;
+                }
+                "--chaos" => {
+                    chaos = Some(
+                        value("--chaos")?
+                            .parse()
+                            .map_err(|e| format!("bad --chaos: {e}"))?,
+                    );
+                }
                 "--log-level" => {
                     let level: LogLevel = value("--log-level")?
                         .parse()
@@ -124,10 +167,25 @@ fn main() -> ExitCode {
         eviction: eviction.clone(),
     };
 
+    // Install the handlers before the server starts accepting, so a
+    // signal delivered at any point after bind is never fatal.
+    let signals = match SignalWatcher::install() {
+        Ok(watcher) => watcher,
+        Err(error) => {
+            kvlog!(LogLevel::Error, "signal_install_failed", error = error);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let chaos_banner = chaos.as_ref().map(ToString::to_string);
     let options = ServerOptions {
         config,
         shards: shards.max(1),
         metrics_addr,
+        max_conns,
+        max_value_len: max_value_bytes.max(1),
+        idle_timeout: Duration::from_secs(idle_secs),
+        fault_plan: chaos,
     };
     let server = match Server::start_with(&listen, options) {
         Ok(server) => server,
@@ -144,12 +202,29 @@ fn main() -> ExitCode {
         policy = eviction,
         shards = shards.max(1),
         slab_kb = slab_size / 1024,
+        max_conns = max_conns,
+        max_value_bytes = max_value_bytes,
+        idle_secs = idle_secs,
+        drain_secs = drain_secs,
     );
     if let Some(addr) = server.metrics_addr() {
         kvlog!(LogLevel::Info, "metrics_exposition", addr = addr);
     }
-    // Park forever; connections are served by background threads.
-    loop {
-        std::thread::park();
+    if let Some(spec) = chaos_banner {
+        kvlog!(LogLevel::Warn, "chaos_enabled", plan = spec);
     }
+
+    // Block until SIGTERM/SIGINT, then drain gracefully.
+    let signal = signals.wait();
+    kvlog!(LogLevel::Info, "signal_received", signal = signal);
+    let report = server.shutdown_with_drain(Duration::from_secs(drain_secs));
+    kvlog!(
+        LogLevel::Info,
+        "camp_kvsd_exit",
+        drained = report.drained,
+        severed = report.severed,
+        requests_completed = report.requests_completed,
+        elapsed_ms = report.elapsed_ms,
+    );
+    ExitCode::SUCCESS
 }

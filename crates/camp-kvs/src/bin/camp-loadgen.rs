@@ -4,6 +4,7 @@
 //! camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]
 //!              [--duration-secs S] [--warmup-secs S] [--get-ratio R]
 //!              [--keys N] [--value-bytes N] [--seed N]
+//!              [--retries N] [--expect-errors]
 //!              [--out FILE] [--label TEXT]
 //! ```
 //!
@@ -18,11 +19,20 @@
 //! the run's throughput *trajectory* — not just the average — lands in the
 //! machine-readable report.
 //!
+//! `--retries N` makes the run resilient for chaos testing: a worker whose
+//! connection dies mid-batch reconnects and re-issues the whole batch
+//! (sets and gets are idempotent, so a replay is safe) up to N times
+//! before charging the batch's ops as errors and moving on; the prefill
+//! retries per batch the same way. `--expect-errors` declares that errors
+//! are part of the experiment (a `--chaos` server is on the other side):
+//! the error/retry/reconnect counts land in the report's `resilience`
+//! object and the process still exits 0 — only a run that completes zero
+//! ops fails.
+//!
 //! The report is written to `--out` (default `BENCH_server.json`):
-//! ops/sec, p50/p90/p99/max per command class, hit ratio, and the
-//! trajectory samples, plus the full config so before/after runs are
-//! comparable. The process exits nonzero if zero ops completed, which is
-//! what the CI smoke step asserts.
+//! ops/sec, p50/p90/p99/max per command class, hit ratio, error and
+//! resilience counters, and the trajectory samples, plus the full config
+//! so before/after runs are comparable.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -45,6 +55,8 @@ struct Config {
     keys: u64,
     value_bytes: usize,
     seed: u64,
+    retries: u32,
+    expect_errors: bool,
     out: String,
     label: String,
 }
@@ -61,6 +73,8 @@ impl Default for Config {
             keys: 10_000,
             value_bytes: 100,
             seed: 42,
+            retries: 0,
+            expect_errors: false,
             out: "BENCH_server.json".to_owned(),
             label: String::new(),
         }
@@ -68,7 +82,7 @@ impl Default for Config {
 }
 
 fn usage() -> &'static str {
-    "usage: camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --out BENCH_server.json\n"
+    "usage: camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n"
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -121,6 +135,12 @@ fn parse_args() -> Result<Config, String> {
                     .parse()
                     .map_err(|_| "bad --seed".to_owned())?;
             }
+            "--retries" => {
+                config.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries".to_owned())?;
+            }
+            "--expect-errors" => config.expect_errors = true,
             "--out" => config.out = value("--out")?,
             "--label" => config.label = value("--label")?,
             "--help" | "-h" => {
@@ -148,6 +168,10 @@ struct Totals {
     sets: AtomicU64,
     hits: AtomicU64,
     errors: AtomicU64,
+    /// Whole batches re-issued after a connection failure.
+    batch_retries: AtomicU64,
+    /// Successful re-dials after a connection died.
+    reconnects: AtomicU64,
     get_latency: Histogram,
     set_latency: Histogram,
 }
@@ -161,6 +185,8 @@ impl Totals {
             sets: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            batch_retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
             get_latency: Histogram::new(),
             set_latency: Histogram::new(),
         }
@@ -173,21 +199,66 @@ enum Op {
     Set,
 }
 
+/// One worker connection (socket halves).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn connect(addr: &str) -> io::Result<Conn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(Conn {
+        reader: BufReader::new(stream.try_clone()?),
+        writer: stream,
+    })
+}
+
 fn push_key(buf: &mut Vec<u8>, id: u64) {
     // Fixed-width keys: "key-00001234".
     let _ = write!(buf, "key-{id:08}");
 }
 
-/// Pre-stores every key so the measured phase runs mostly hits (batches of
-/// 128 pipelined sets).
+/// Writes one pipelined batch of sets and reads the replies. Any reply
+/// other than STORED is an error (the batch is already on the wire, so
+/// the remaining replies are still consumed).
+fn prefill_batch(
+    conn: &mut Conn,
+    request: &[u8],
+    pending: usize,
+    line: &mut Vec<u8>,
+) -> io::Result<()> {
+    conn.writer.write_all(request)?;
+    let mut bad = 0usize;
+    for _ in 0..pending {
+        read_line(&mut conn.reader, line)?;
+        if line != b"STORED" {
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("prefill: {bad} of {pending} sets not stored"),
+        ));
+    }
+    Ok(())
+}
+
+/// Pre-stores every key so the measured phase runs mostly hits. With
+/// `--retries 0` a single connection pipelines batches of 128 and any
+/// failure is fatal; with retries, batches shrink to 32 (a dropped batch
+/// forfeits less) and each failed batch is re-issued over a fresh
+/// connection up to the retry budget — sets are idempotent, so the replay
+/// is safe. A batch that exhausts its budget is skipped: the keys it
+/// covered just miss during the measured phase.
 fn prefill(config: &Config, value: &[u8]) -> io::Result<()> {
-    let stream = TcpStream::connect(&config.addr)?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    let batch_size: u64 = if config.retries > 0 { 32 } else { 128 };
+    let mut conn: Option<Conn> = Some(connect(&config.addr)?);
     let mut request = Vec::new();
     let mut line = Vec::new();
     let mut pending = 0usize;
+    let mut skipped = 0u64;
     for id in 0..config.keys {
         request.extend_from_slice(b"set ");
         push_key(&mut request, id);
@@ -195,22 +266,42 @@ fn prefill(config: &Config, value: &[u8]) -> io::Result<()> {
         request.extend_from_slice(value);
         request.extend_from_slice(b"\r\n");
         pending += 1;
-        if pending == 128 || id + 1 == config.keys {
-            writer.write_all(&request)?;
-            request.clear();
-            for _ in 0..pending {
-                read_line(&mut reader, &mut line)?;
-                if line != b"STORED" {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("prefill: {}", String::from_utf8_lossy(&line)),
-                    ));
+        if pending as u64 == batch_size || id + 1 == config.keys {
+            let mut attempt = 0u32;
+            loop {
+                let ready = match conn.as_mut() {
+                    Some(c) => Ok(c),
+                    None => connect(&config.addr).map(|c| conn.insert(c)),
+                };
+                let result = ready.and_then(|c| prefill_batch(c, &request, pending, &mut line));
+                match result {
+                    Ok(()) => break,
+                    Err(err) if attempt < config.retries => {
+                        conn = None;
+                        attempt += 1;
+                        let _ = err;
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(err) if config.retries > 0 => {
+                        eprintln!("camp-loadgen: prefill batch skipped: {err}");
+                        skipped += pending as u64;
+                        conn = None;
+                        break;
+                    }
+                    Err(err) => return Err(err),
                 }
             }
+            request.clear();
             pending = 0;
         }
     }
-    writer.write_all(b"quit\r\n")
+    if skipped > 0 {
+        eprintln!("camp-loadgen: prefill skipped {skipped} keys after retries");
+    }
+    if let Some(mut c) = conn {
+        let _ = c.writer.write_all(b"quit\r\n");
+    }
+    Ok(())
 }
 
 fn read_line(reader: &mut BufReader<TcpStream>, line: &mut Vec<u8>) -> io::Result<()> {
@@ -259,84 +350,135 @@ fn read_get_response(
     }
 }
 
-fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8>>) {
-    let result = (|| -> io::Result<()> {
-        let stream = TcpStream::connect(&config.addr)?;
-        stream.set_nodelay(true)?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        let mut rng = Rng64::seed_from_u64(config.seed ^ (worker_id.wrapping_mul(0x9E37_79B9)));
-        let mut request = Vec::new();
-        let mut ops: Vec<Op> = Vec::with_capacity(config.pipeline);
-        let mut line = Vec::new();
-        let mut skip = Vec::new();
-        while !totals.stop.load(Ordering::Relaxed) {
-            request.clear();
-            ops.clear();
-            for _ in 0..config.pipeline {
-                let id = rng.range_u64(0, config.keys);
-                if rng.chance(config.get_ratio) {
-                    request.extend_from_slice(b"get ");
-                    push_key(&mut request, id);
-                    request.extend_from_slice(b"\r\n");
-                    ops.push(Op::Get);
-                } else {
-                    request.extend_from_slice(b"set ");
-                    push_key(&mut request, id);
-                    let _ = write!(request, " 0 0 {}\r\n", value.len());
-                    request.extend_from_slice(&value);
-                    request.extend_from_slice(b"\r\n");
-                    ops.push(Op::Set);
+/// Writes one batch and reads all its replies; returns (hits, soft
+/// errors). A soft error is an error *reply* (e.g. an injected
+/// SERVER_ERROR) — the connection stays usable; an `Err` means the
+/// connection is dead.
+fn run_batch(
+    conn: &mut Conn,
+    request: &[u8],
+    ops: &[Op],
+    line: &mut Vec<u8>,
+    skip: &mut Vec<u8>,
+) -> io::Result<(u64, u64)> {
+    conn.writer.write_all(request)?;
+    let mut hits = 0u64;
+    let mut soft_errors = 0u64;
+    for &op in ops {
+        match op {
+            Op::Get => match read_get_response(&mut conn.reader, line, skip)? {
+                Some(true) => hits += 1,
+                Some(false) => {}
+                None => soft_errors += 1,
+            },
+            Op::Set => {
+                read_line(&mut conn.reader, line)?;
+                if line != b"STORED" {
+                    soft_errors += 1;
                 }
-            }
-            let started = Instant::now();
-            writer.write_all(&request)?;
-            let mut hits = 0u64;
-            let mut errors = 0u64;
-            for &op in &ops {
-                match op {
-                    Op::Get => match read_get_response(&mut reader, &mut line, &mut skip)? {
-                        Some(true) => hits += 1,
-                        Some(false) => {}
-                        None => errors += 1,
-                    },
-                    Op::Set => {
-                        read_line(&mut reader, &mut line)?;
-                        if line != b"STORED" {
-                            errors += 1;
-                        }
-                    }
-                }
-            }
-            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            let mut gets = 0u64;
-            let mut sets = 0u64;
-            for &op in &ops {
-                match op {
-                    Op::Get => {
-                        totals.get_latency.record(micros);
-                        gets += 1;
-                    }
-                    Op::Set => {
-                        totals.set_latency.record(micros);
-                        sets += 1;
-                    }
-                }
-            }
-            totals.ops.fetch_add(gets + sets, Ordering::Relaxed);
-            totals.gets.fetch_add(gets, Ordering::Relaxed);
-            totals.sets.fetch_add(sets, Ordering::Relaxed);
-            totals.hits.fetch_add(hits, Ordering::Relaxed);
-            if errors > 0 {
-                totals.errors.fetch_add(errors, Ordering::Relaxed);
             }
         }
-        writer.write_all(b"quit\r\n")
-    })();
-    if let Err(err) = result {
-        eprintln!("camp-loadgen: worker {worker_id}: {err}");
-        totals.errors.fetch_add(1, Ordering::Relaxed);
-        // A dead worker must not wedge the run; the others keep going.
+    }
+    Ok((hits, soft_errors))
+}
+
+fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8>>) {
+    let mut conn: Option<Conn> = None;
+    let mut ever_connected = false;
+    let mut rng = Rng64::seed_from_u64(config.seed ^ (worker_id.wrapping_mul(0x9E37_79B9)));
+    let mut request = Vec::new();
+    let mut ops: Vec<Op> = Vec::with_capacity(config.pipeline);
+    let mut line = Vec::new();
+    let mut skip = Vec::new();
+    while !totals.stop.load(Ordering::Relaxed) {
+        request.clear();
+        ops.clear();
+        for _ in 0..config.pipeline {
+            let id = rng.range_u64(0, config.keys);
+            if rng.chance(config.get_ratio) {
+                request.extend_from_slice(b"get ");
+                push_key(&mut request, id);
+                request.extend_from_slice(b"\r\n");
+                ops.push(Op::Get);
+            } else {
+                request.extend_from_slice(b"set ");
+                push_key(&mut request, id);
+                let _ = write!(request, " 0 0 {}\r\n", value.len());
+                request.extend_from_slice(&value);
+                request.extend_from_slice(b"\r\n");
+                ops.push(Op::Set);
+            }
+        }
+        // Issue the batch, re-dialing and replaying it on connection
+        // failure up to the retry budget. Sets and gets are idempotent,
+        // so replaying a whole batch is safe.
+        let mut attempt = 0u32;
+        let started = Instant::now();
+        let outcome = loop {
+            let ready = match conn.as_mut() {
+                Some(c) => Ok(c),
+                None => connect(&config.addr).map(|c| {
+                    if ever_connected {
+                        totals.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ever_connected = true;
+                    conn.insert(c)
+                }),
+            };
+            let result = ready.and_then(|c| run_batch(c, &request, &ops, &mut line, &mut skip));
+            match result {
+                Ok(counts) => break Ok(counts),
+                Err(err) => {
+                    conn = None;
+                    if attempt >= config.retries || totals.stop.load(Ordering::Relaxed) {
+                        break Err(err);
+                    }
+                    totals.batch_retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        let (hits, soft_errors) = match outcome {
+            Ok(counts) => counts,
+            Err(err) => {
+                if config.retries == 0 {
+                    // Legacy behavior: a dead connection ends the worker
+                    // (the others keep going).
+                    eprintln!("camp-loadgen: worker {worker_id}: {err}");
+                    totals.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                // Budget exhausted: the batch's ops are errors; move on.
+                totals.errors.fetch_add(ops.len() as u64, Ordering::Relaxed);
+                continue;
+            }
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut gets = 0u64;
+        let mut sets = 0u64;
+        for &op in &ops {
+            match op {
+                Op::Get => {
+                    totals.get_latency.record(micros);
+                    gets += 1;
+                }
+                Op::Set => {
+                    totals.set_latency.record(micros);
+                    sets += 1;
+                }
+            }
+        }
+        totals.ops.fetch_add(gets + sets, Ordering::Relaxed);
+        totals.gets.fetch_add(gets, Ordering::Relaxed);
+        totals.sets.fetch_add(sets, Ordering::Relaxed);
+        totals.hits.fetch_add(hits, Ordering::Relaxed);
+        if soft_errors > 0 {
+            totals.errors.fetch_add(soft_errors, Ordering::Relaxed);
+        }
+    }
+    if let Some(mut c) = conn {
+        let _ = c.writer.write_all(b"quit\r\n");
     }
 }
 
@@ -375,6 +517,7 @@ fn render_report(
     total_ops: u64,
     hit_ratio: f64,
     errors: u64,
+    resilience: (u64, u64),
     trajectory: &[(f64, u64, f64)],
     get_snap: &HistogramSnapshot,
     set_snap: &HistogramSnapshot,
@@ -384,6 +527,7 @@ fn render_report(
     } else {
         0.0
     };
+    let (batch_retries, reconnects) = resilience;
     let samples: Vec<String> = trajectory
         .iter()
         .map(|&(t, cumulative, rate)| {
@@ -393,7 +537,7 @@ fn render_report(
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
+        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}, \"retries\": {}, \"expect_errors\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"resilience\": {{\"batch_retries\": {batch_retries}, \"reconnects\": {reconnects}}},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
         escape_json(&config.label),
         escape_json(&config.addr),
         config.connections,
@@ -404,6 +548,8 @@ fn render_report(
         config.duration_secs,
         config.warmup_secs,
         config.seed,
+        config.retries,
+        config.expect_errors,
         command_json("get", get_snap),
         command_json("set", set_snap),
         samples.join(", "),
@@ -478,6 +624,8 @@ fn main() -> ExitCode {
     let gets = totals.gets.load(Ordering::Relaxed) - gets_base;
     let hits = totals.hits.load(Ordering::Relaxed) - hits_base;
     let errors = totals.errors.load(Ordering::Relaxed) - errors_base;
+    let batch_retries = totals.batch_retries.load(Ordering::Relaxed);
+    let reconnects = totals.reconnects.load(Ordering::Relaxed);
     let hit_ratio = if gets > 0 {
         hits as f64 / gets as f64
     } else {
@@ -491,6 +639,7 @@ fn main() -> ExitCode {
         total_ops,
         hit_ratio,
         errors,
+        (batch_retries, reconnects),
         &trajectory,
         &get_snap,
         &set_snap,
@@ -516,6 +665,9 @@ fn main() -> ExitCode {
         set_snap.quantile(0.5),
         set_snap.quantile(0.99),
     );
+    if config.retries > 0 || config.expect_errors {
+        println!("  resilience: {batch_retries} batch retries, {reconnects} reconnects");
+    }
     println!("  report written to {}", config.out);
     if total_ops == 0 {
         eprintln!("camp-loadgen: no operations completed");

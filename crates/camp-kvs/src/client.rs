@@ -1,9 +1,22 @@
 //! A blocking client for the KVS server — the reproduction's stand-in for
 //! the Whalin memcached client the paper's request generator used (§4).
+//!
+//! The client is resilient by configuration: [`ClientConfig`] adds
+//! connect/read/write timeouts, automatic reconnection with exponential
+//! backoff and deterministic jitter, and bounded retries. Retries apply
+//! only to idempotent commands (`get`, `iqget`, `delete`, `touch`, stats,
+//! `version`, `flush_all`) unless [`ClientConfig::retry_sets`] opts the
+//! storage commands in; `incr`/`decr` are never retried, because replaying
+//! one after a lost reply would double-count. The default configuration
+//! (no timeouts, zero retries) behaves exactly like a plain blocking
+//! client.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use camp_core::rng::Rng64;
 
 /// A fetched value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +25,81 @@ pub struct Value {
     pub data: Vec<u8>,
     /// The flags stored with it.
     pub flags: u32,
+}
+
+/// Connection management and retry policy for [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout (`None` = the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout (`None` = block indefinitely).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None` = block indefinitely).
+    pub write_timeout: Option<Duration>,
+    /// Additional attempts after a failed command (0 = fail fast). A
+    /// failed attempt tears the connection down; the next one redials.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Also retry the storage commands (`set`/`add`/`replace`/`iqset`).
+    /// Off by default: a retried `set` whose first attempt succeeded but
+    /// whose reply was lost re-stores the same bytes (harmless for a
+    /// cache, but the caller should opt in knowingly).
+    pub retry_sets: bool,
+    /// Seed for the backoff jitter (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            retry_sets: false,
+            seed: 0x5EED_C0DE,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A sensible resilient profile: 1 s connect/read/write timeouts and
+    /// `retries` retry attempts with the default backoff.
+    #[must_use]
+    pub fn resilient(retries: u32) -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(1)),
+            read_timeout: Some(Duration::from_secs(1)),
+            write_timeout: Some(Duration::from_secs(1)),
+            retries,
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// Cumulative resilience counters for one [`Client`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Command attempts that failed and were retried.
+    pub retries: u64,
+    /// Successful re-dials after the initial connection.
+    pub reconnects: u64,
+}
+
+/// One live connection: socket halves plus the reusable line buffer.
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Reusable response-line buffer: one connection reads thousands of
+    /// lines, so `read_line` fills this in place instead of allocating a
+    /// fresh `Vec` per line.
+    line: Vec<u8>,
 }
 
 /// A blocking text-protocol client.
@@ -29,28 +117,143 @@ pub struct Value {
 /// ```
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    /// Reusable response-line buffer: one connection reads thousands of
-    /// lines, so `read_line` fills this in place instead of allocating a
-    /// fresh `Vec` per line.
-    line: Vec<u8>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    rng: Rng64,
+    retries_total: u64,
+    reconnects_total: u64,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default (non-retrying, blocking)
+    /// configuration.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from establishing the connection.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-            line: Vec::new(),
-        })
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit [`ClientConfig`]. The initial connection
+    /// is established eagerly (and is itself retried per the config).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final I/O error once the configured retries are spent.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let rng = Rng64::seed_from_u64(config.seed);
+        let mut client = Client {
+            addrs,
+            config,
+            conn: None,
+            rng,
+            retries_total: 0,
+            reconnects_total: 0,
+        };
+        let mut attempt = 0u32;
+        client.conn = Some(loop {
+            match client.dial() {
+                Ok(conn) => break conn,
+                Err(err) if attempt >= client.config.retries => return Err(err),
+                Err(_) => {
+                    client.retries_total += 1;
+                    client.backoff(attempt);
+                    attempt += 1;
+                }
+            }
+        });
+        Ok(client)
+    }
+
+    /// Cumulative retry/reconnect counters.
+    #[must_use]
+    pub fn counters(&self) -> ClientCounters {
+        ClientCounters {
+            retries: self.retries_total,
+            reconnects: self.reconnects_total,
+        }
+    }
+
+    /// Whether a connection is currently established.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn dial(&self) -> io::Result<Conn> {
+        let mut last_err = None;
+        for addr in &self.addrs {
+            let attempt = match self.config.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => return Conn::new(stream, &self.config),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses")))
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let conn = self.dial()?;
+            self.reconnects_total += 1;
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// Sleeps `backoff_base * 2^attempt` (capped) with 0.5x–1.5x jitter,
+    /// so a fleet of clients knocked over together doesn't retry in
+    /// lockstep.
+    fn backoff(&mut self, attempt: u32) {
+        let doubled = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32.wrapping_shl(attempt.min(16)));
+        let capped = doubled.min(self.config.backoff_max);
+        std::thread::sleep(capped.mul_f64(0.5 + self.rng.next_f64()));
+    }
+
+    /// Runs `op` on the live connection, redialing and retrying per the
+    /// config. Any failure tears the connection down (a half-written
+    /// command or half-read reply makes the stream unusable). A dial
+    /// failure is always retryable — nothing was sent; an `op` failure is
+    /// retried only when the command is `idempotent`.
+    fn run<T>(
+        &mut self,
+        idempotent: bool,
+        mut op: impl FnMut(&mut Conn) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let (err, retryable) = match self.ensure_conn() {
+                Ok(conn) => match op(conn) {
+                    Ok(value) => return Ok(value),
+                    Err(err) => {
+                        self.conn = None;
+                        (err, idempotent)
+                    }
+                },
+                Err(err) => (err, true),
+            };
+            if !retryable || attempt >= self.config.retries {
+                return Err(err);
+            }
+            self.retries_total += 1;
+            self.backoff(attempt);
+            attempt += 1;
+        }
     }
 
     /// `get <key>` — returns the value if resident.
@@ -59,8 +262,10 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Value>> {
-        self.send_line(b"get", key, None)?;
-        self.read_get_response(key)
+        self.run(true, |conn| {
+            conn.send_line(b"get", key, None)?;
+            conn.read_get_response(key)
+        })
     }
 
     /// `iqget <key>` — like `get`, but a miss arms the server's IQ cost
@@ -70,8 +275,10 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn iqget(&mut self, key: &[u8]) -> io::Result<Option<Value>> {
-        self.send_line(b"iqget", key, None)?;
-        self.read_get_response(key)
+        self.run(true, |conn| {
+            conn.send_line(b"iqget", key, None)?;
+            conn.read_get_response(key)
+        })
     }
 
     /// `set <key> <flags> <exptime> <len>` + data.
@@ -81,7 +288,10 @@ impl Client {
     /// Returns I/O errors; `Ok(false)` when the server replied with an
     /// error status (e.g. the object was too large).
     pub fn set(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64) -> io::Result<bool> {
-        self.send_set(b"set", key, value, flags, exptime, None)
+        let retryable = self.config.retry_sets;
+        self.run(retryable, |conn| {
+            conn.send_set(b"set", key, value, flags, exptime, None)
+        })
     }
 
     /// `iqset`, optionally with an explicit cost hint (the paper's
@@ -98,7 +308,10 @@ impl Client {
         exptime: u64,
         cost_hint: Option<u64>,
     ) -> io::Result<bool> {
-        self.send_set(b"iqset", key, value, flags, exptime, cost_hint)
+        let retryable = self.config.retry_sets;
+        self.run(retryable, |conn| {
+            conn.send_set(b"iqset", key, value, flags, exptime, cost_hint)
+        })
     }
 
     /// `add` — stores only if the key is absent. `Ok(false)` when the key
@@ -108,7 +321,10 @@ impl Client {
     ///
     /// Returns I/O errors as `io::Error`.
     pub fn add(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64) -> io::Result<bool> {
-        self.send_set(b"add", key, value, flags, exptime, None)
+        let retryable = self.config.retry_sets;
+        self.run(retryable, |conn| {
+            conn.send_set(b"add", key, value, flags, exptime, None)
+        })
     }
 
     /// `replace` — stores only if the key is present.
@@ -123,17 +339,21 @@ impl Client {
         flags: u32,
         exptime: u64,
     ) -> io::Result<bool> {
-        self.send_set(b"replace", key, value, flags, exptime, None)
+        let retryable = self.config.retry_sets;
+        self.run(retryable, |conn| {
+            conn.send_set(b"replace", key, value, flags, exptime, None)
+        })
     }
 
     /// `incr <key> <delta>` — returns the new value, or `None` when the key
-    /// is absent or non-numeric.
+    /// is absent or non-numeric. Never retried: replaying an `incr` whose
+    /// reply was lost would double-count.
     ///
     /// # Errors
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn incr(&mut self, key: &[u8], delta: u64) -> io::Result<Option<u64>> {
-        self.arith(b"incr", key, delta)
+        self.run(false, |conn| conn.arith(b"incr", key, delta))
     }
 
     /// `decr <key> <delta>` — like [`Client::incr`], floored at zero.
@@ -142,20 +362,7 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn decr(&mut self, key: &[u8], delta: u64) -> io::Result<Option<u64>> {
-        self.arith(b"decr", key, delta)
-    }
-
-    fn arith(&mut self, verb: &[u8], key: &[u8], delta: u64) -> io::Result<Option<u64>> {
-        self.send_line(verb, key, Some(&delta.to_string()))?;
-        self.read_line()?;
-        if self.line == b"NOT_FOUND" {
-            return Ok(None);
-        }
-        std::str::from_utf8(&self.line)
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Some)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad incr/decr response"))
+        self.run(false, |conn| conn.arith(b"decr", key, delta))
     }
 
     /// `touch <key> <exptime>` — updates a resident key's expiry.
@@ -164,9 +371,11 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn touch(&mut self, key: &[u8], exptime: u64) -> io::Result<bool> {
-        self.send_line(b"touch", key, Some(&exptime.to_string()))?;
-        self.read_line()?;
-        Ok(self.line == b"TOUCHED")
+        self.run(true, |conn| {
+            conn.send_line(b"touch", key, Some(&exptime.to_string()))?;
+            conn.read_line()?;
+            Ok(conn.line == b"TOUCHED")
+        })
     }
 
     /// `flush_all` — drops every item on the server.
@@ -175,16 +384,18 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn flush_all(&mut self) -> io::Result<()> {
-        self.writer.write_all(b"flush_all\r\n")?;
-        self.read_line()?;
-        if self.line == b"OK" {
-            Ok(())
-        } else {
-            Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "flush_all failed",
-            ))
-        }
+        self.run(true, |conn| {
+            conn.writer.write_all(b"flush_all\r\n")?;
+            conn.read_line()?;
+            if conn.line == b"OK" {
+                Ok(())
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "flush_all failed",
+                ))
+            }
+        })
     }
 
     /// `version` — the server's version banner.
@@ -193,9 +404,11 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn version(&mut self) -> io::Result<String> {
-        self.writer.write_all(b"version\r\n")?;
-        self.read_line()?;
-        Ok(String::from_utf8_lossy(&self.line).into_owned())
+        self.run(true, |conn| {
+            conn.writer.write_all(b"version\r\n")?;
+            conn.read_line()?;
+            Ok(String::from_utf8_lossy(&conn.line).into_owned())
+        })
     }
 
     /// `delete <key>`.
@@ -204,9 +417,11 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn delete(&mut self, key: &[u8]) -> io::Result<bool> {
-        self.send_line(b"delete", key, None)?;
-        self.read_line()?;
-        Ok(self.line == b"DELETED")
+        self.run(true, |conn| {
+            conn.send_line(b"delete", key, None)?;
+            conn.read_line()?;
+            Ok(conn.line == b"DELETED")
+        })
     }
 
     /// `stats` — returns the STAT table.
@@ -215,8 +430,10 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn stats(&mut self) -> io::Result<BTreeMap<String, String>> {
-        self.writer.write_all(b"stats\r\n")?;
-        self.read_stat_table()
+        self.run(true, |conn| {
+            conn.writer.write_all(b"stats\r\n")?;
+            conn.read_stat_table()
+        })
     }
 
     /// `stats detail` — the full telemetry table: everything `stats`
@@ -228,8 +445,10 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn stats_detail(&mut self) -> io::Result<BTreeMap<String, String>> {
-        self.writer.write_all(b"stats detail\r\n")?;
-        self.read_stat_table()
+        self.run(true, |conn| {
+            conn.writer.write_all(b"stats detail\r\n")?;
+            conn.read_stat_table()
+        })
     }
 
     /// `stats reset` — zeroes the server's counters and histograms (cache
@@ -239,32 +458,18 @@ impl Client {
     ///
     /// Returns I/O errors and protocol violations as `io::Error`.
     pub fn stats_reset(&mut self) -> io::Result<()> {
-        self.writer.write_all(b"stats reset\r\n")?;
-        self.read_line()?;
-        if self.line == b"RESET" {
-            Ok(())
-        } else {
-            Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "stats reset failed",
-            ))
-        }
-    }
-
-    fn read_stat_table(&mut self) -> io::Result<BTreeMap<String, String>> {
-        let mut out = BTreeMap::new();
-        loop {
-            self.read_line()?;
-            if self.line == b"END" {
-                return Ok(out);
+        self.run(true, |conn| {
+            conn.writer.write_all(b"stats reset\r\n")?;
+            conn.read_line()?;
+            if conn.line == b"RESET" {
+                Ok(())
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stats reset failed",
+                ))
             }
-            let text = String::from_utf8_lossy(&self.line);
-            if let Some(rest) = text.strip_prefix("STAT ") {
-                if let Some((name, value)) = rest.split_once(' ') {
-                    out.insert(name.to_owned(), value.to_owned());
-                }
-            }
-        }
+        })
     }
 
     /// `quit` — asks the server to close the connection.
@@ -273,7 +478,23 @@ impl Client {
     ///
     /// Returns any I/O error from the write.
     pub fn quit(mut self) -> io::Result<()> {
-        self.writer.write_all(b"quit\r\n")
+        match self.conn.as_mut() {
+            Some(conn) => conn.writer.write_all(b"quit\r\n"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Conn {
+    fn new(stream: TcpStream, config: &ClientConfig) -> io::Result<Conn> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            line: Vec::new(),
+        })
     }
 
     fn send_line(&mut self, verb: &[u8], key: &[u8], extra: Option<&str>) -> io::Result<()> {
@@ -307,6 +528,35 @@ impl Client {
         self.writer.write_all(b"\r\n")?;
         self.read_line()?;
         Ok(self.line == b"STORED")
+    }
+
+    fn arith(&mut self, verb: &[u8], key: &[u8], delta: u64) -> io::Result<Option<u64>> {
+        self.send_line(verb, key, Some(&delta.to_string()))?;
+        self.read_line()?;
+        if self.line == b"NOT_FOUND" {
+            return Ok(None);
+        }
+        std::str::from_utf8(&self.line)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Some)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad incr/decr response"))
+    }
+
+    fn read_stat_table(&mut self) -> io::Result<BTreeMap<String, String>> {
+        let mut out = BTreeMap::new();
+        loop {
+            self.read_line()?;
+            if self.line == b"END" {
+                return Ok(out);
+            }
+            let text = String::from_utf8_lossy(&self.line);
+            if let Some(rest) = text.strip_prefix("STAT ") {
+                if let Some((name, value)) = rest.split_once(' ') {
+                    out.insert(name.to_owned(), value.to_owned());
+                }
+            }
+        }
     }
 
     fn read_get_response(&mut self, expected_key: &[u8]) -> io::Result<Option<Value>> {

@@ -17,7 +17,11 @@
 //!   `iqget`/`iqset` with timestamp-difference (or hinted) costs;
 //! * [`shard`] — hash-partitioned multi-shard stores (the §4.1 scaling
 //!   recipe);
-//! * [`server`] / [`client`] — a threaded TCP server and a blocking client;
+//! * [`server`] / [`client`] — a threaded TCP server (graceful drain,
+//!   overload protection, idle eviction) and a blocking client with
+//!   reconnect/retry resilience;
+//! * [`fault`] — deterministic fault injection for chaos testing;
+//! * [`signals`] — dependency-free SIGTERM/SIGINT handling (self-pipe);
 //! * [`replay`] — the §4 trace-replay driver behind Figures 9a–9c.
 //!
 //! ## Quick start
@@ -40,12 +44,16 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one exception is `signals`, which must speak
+// to the C library to install handlers and is individually audited
+// (module-level `allow` with a safety argument at each site).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod buddy;
 pub mod client;
+pub mod fault;
 pub mod item;
 pub mod metrics;
 pub mod protocol;
@@ -53,6 +61,7 @@ pub mod replay;
 pub mod resp;
 pub mod server;
 pub mod shard;
+pub mod signals;
 pub mod slab;
 pub mod store;
 mod sync;

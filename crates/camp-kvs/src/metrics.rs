@@ -61,6 +61,66 @@ impl CmdKind {
     }
 }
 
+/// Why the server refused or severed a connection (the overload /
+/// input-hardening surface). Each cause has its own counter, exported as
+/// `camp_conn_rejected_total{cause=...}` and `STAT conn_rejected:<cause>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// Accept-time rejection: the `max_conns` cap was reached.
+    MaxConns,
+    /// A connection idle (or trickling without completing a command —
+    /// slowloris) past the idle timeout was evicted.
+    IdleTimeout,
+    /// A storage command declared a data block over `max_value_len`.
+    ValueTooLarge,
+}
+
+impl RejectCause {
+    /// Every cause, in display order.
+    pub const ALL: [RejectCause; 3] = [
+        RejectCause::MaxConns,
+        RejectCause::IdleTimeout,
+        RejectCause::ValueTooLarge,
+    ];
+
+    /// The label value used in STAT lines and the Prometheus exposition.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectCause::MaxConns => "max_conns",
+            RejectCause::IdleTimeout => "idle_timeout",
+            RejectCause::ValueTooLarge => "value_too_large",
+        }
+    }
+}
+
+/// Which fault a chaos plan injected (see [`crate::fault`]), exported as
+/// `camp_faults_injected_total{kind=...}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Pre-response connection drop.
+    Drop,
+    /// Injected response delay.
+    Delay,
+    /// Forced `SERVER_ERROR injected fault` reply.
+    Error,
+}
+
+impl FaultKind {
+    /// Every kind, in display order.
+    pub const ALL: [FaultKind; 3] = [FaultKind::Drop, FaultKind::Delay, FaultKind::Error];
+
+    /// The label value used in STAT lines and the Prometheus exposition.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Error => "error",
+        }
+    }
+}
+
 /// Lock-free server-side counters and latency histograms.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -68,6 +128,12 @@ pub struct ServerMetrics {
     /// Wire bytes consumed per command class (command line plus any data
     /// block, terminators included).
     bytes_read: [AtomicU64; 6],
+    /// Connections refused or severed, by cause ([`RejectCause::ALL`]
+    /// order).
+    rejected: [AtomicU64; 3],
+    /// Faults injected by the active chaos plan ([`FaultKind::ALL`]
+    /// order).
+    faults: [AtomicU64; 3],
     /// Connections accepted.
     pub connections_opened: AtomicU64,
     /// Connections that have ended.
@@ -118,12 +184,69 @@ impl ServerMetrics {
             .collect()
     }
 
+    /// Counts one refused or severed connection.
+    pub fn record_rejected(&self, cause: RejectCause) {
+        let index = RejectCause::ALL
+            .iter()
+            .position(|&c| c == cause)
+            .unwrap_or(0);
+        self.rejected[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections refused or severed for `cause` so far.
+    #[must_use]
+    pub fn rejected(&self, cause: RejectCause) -> u64 {
+        let index = RejectCause::ALL
+            .iter()
+            .position(|&c| c == cause)
+            .unwrap_or(0);
+        self.rejected[index].load(Ordering::Relaxed)
+    }
+
+    /// Per-cause rejection counters, in [`RejectCause::ALL`] order.
+    #[must_use]
+    pub fn rejected_snapshot(&self) -> Vec<(&'static str, u64)> {
+        RejectCause::ALL
+            .iter()
+            .map(|&cause| (cause.name(), self.rejected(cause)))
+            .collect()
+    }
+
+    /// Counts one injected fault.
+    pub fn record_fault(&self, kind: FaultKind) {
+        let index = FaultKind::ALL.iter().position(|&k| k == kind).unwrap_or(0);
+        self.faults[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-kind injected-fault counters, in [`FaultKind::ALL`] order.
+    #[must_use]
+    pub fn faults_snapshot(&self) -> Vec<(&'static str, u64)> {
+        FaultKind::ALL
+            .iter()
+            .zip(&self.faults)
+            .map(|(&kind, counter)| (kind.name(), counter.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total commands timed so far, across every class — the denominator
+    /// a drain report uses to count requests completed while draining.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.latency.iter().map(Histogram::count).sum()
+    }
+
     /// Zeroes every histogram and counter (the `stats reset` command).
     pub fn reset(&self) {
         for histogram in &self.latency {
             histogram.reset();
         }
         for counter in &self.bytes_read {
+            counter.store(0, Ordering::Relaxed);
+        }
+        for counter in &self.rejected {
+            counter.store(0, Ordering::Relaxed);
+        }
+        for counter in &self.faults {
             counter.store(0, Ordering::Relaxed);
         }
         self.connections_opened.store(0, Ordering::Relaxed);
@@ -168,6 +291,13 @@ pub struct TelemetryReport {
     pub connections_closed: u64,
     /// Protocol parse errors so far.
     pub protocol_errors: u64,
+    /// Connections refused or severed `(cause, count)`, in
+    /// [`RejectCause::ALL`] order.
+    pub conn_rejected: Vec<(&'static str, u64)>,
+    /// Chaos faults injected `(kind, count)`, in [`FaultKind::ALL`] order.
+    pub faults_injected: Vec<(&'static str, u64)>,
+    /// Poisoned-mutex recoveries since process start.
+    pub lock_poison_recovered: u64,
     /// Unmatched `iqget` misses currently registered.
     pub iq_miss_registry_size: u64,
     /// Registry entries dropped by the TTL sweep so far.
@@ -281,6 +411,16 @@ impl TelemetryReport {
             self.connections_closed
         ));
         lines.push(format!("STAT protocol_errors {}", self.protocol_errors));
+        for (cause, count) in &self.conn_rejected {
+            lines.push(format!("STAT conn_rejected:{cause} {count}"));
+        }
+        for (kind, count) in &self.faults_injected {
+            lines.push(format!("STAT faults_injected:{kind} {count}"));
+        }
+        lines.push(format!(
+            "STAT lock_poison_recovered {}",
+            self.lock_poison_recovered
+        ));
         lines.push(format!(
             "STAT iq_miss_registry_size {}",
             self.iq_miss_registry_size
@@ -364,6 +504,33 @@ impl TelemetryReport {
             exp.family(name, help, MetricKind::Counter);
             exp.int_value(name, &[], value);
         }
+
+        exp.family(
+            "camp_conn_rejected_total",
+            "connections refused or severed, by cause",
+            MetricKind::Counter,
+        );
+        for (cause, count) in &self.conn_rejected {
+            exp.int_value("camp_conn_rejected_total", &[("cause", cause)], *count);
+        }
+        exp.family(
+            "camp_faults_injected_total",
+            "chaos faults injected, by kind",
+            MetricKind::Counter,
+        );
+        for (kind, count) in &self.faults_injected {
+            exp.int_value("camp_faults_injected_total", &[("kind", kind)], *count);
+        }
+        exp.family(
+            "camp_lock_poison_recovered_total",
+            "poisoned mutexes recovered after a panicking holder",
+            MetricKind::Counter,
+        );
+        exp.int_value(
+            "camp_lock_poison_recovered_total",
+            &[],
+            self.lock_poison_recovered,
+        );
 
         exp.family(
             "camp_evictions_total",
@@ -565,6 +732,13 @@ mod tests {
             connections_opened: 1,
             connections_closed: 0,
             protocol_errors: 0,
+            conn_rejected: vec![
+                ("max_conns", 4),
+                ("idle_timeout", 1),
+                ("value_too_large", 3),
+            ],
+            faults_injected: vec![("drop", 7), ("delay", 8), ("error", 9)],
+            lock_poison_recovered: 1,
             iq_miss_registry_size: 5,
             iq_sweep_reclaimed: 2,
         }
@@ -588,6 +762,11 @@ mod tests {
             "STAT shard:0 items=2",
             "STAT bytes_read:get 640",
             "STAT bytes_read:set 1280",
+            "STAT conn_rejected:max_conns 4",
+            "STAT conn_rejected:idle_timeout 1",
+            "STAT conn_rejected:value_too_large 3",
+            "STAT faults_injected:drop 7",
+            "STAT lock_poison_recovered 1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -609,6 +788,10 @@ mod tests {
             "camp_slab_class_items{chunk_size=\"120\"} 2",
             "camp_bytes_read_total{cmd=\"get\"} 640",
             "camp_bytes_read_total{cmd=\"set\"} 1280",
+            "camp_conn_rejected_total{cause=\"max_conns\"} 4",
+            "camp_conn_rejected_total{cause=\"value_too_large\"} 3",
+            "camp_faults_injected_total{kind=\"drop\"} 7",
+            "camp_lock_poison_recovered_total 1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -622,6 +805,25 @@ mod tests {
         metrics.record_bytes(CmdKind::Get, 10);
         metrics.record_bytes(CmdKind::Get, 15);
         metrics.connections_opened.fetch_add(1, Ordering::Relaxed);
+        metrics.record_rejected(RejectCause::MaxConns);
+        metrics.record_rejected(RejectCause::MaxConns);
+        metrics.record_rejected(RejectCause::ValueTooLarge);
+        metrics.record_fault(FaultKind::Drop);
+        assert_eq!(metrics.rejected(RejectCause::MaxConns), 2);
+        assert_eq!(metrics.rejected(RejectCause::IdleTimeout), 0);
+        assert_eq!(
+            metrics.rejected_snapshot(),
+            vec![
+                ("max_conns", 2),
+                ("idle_timeout", 0),
+                ("value_too_large", 1)
+            ]
+        );
+        assert_eq!(
+            metrics.faults_snapshot(),
+            vec![("drop", 1), ("delay", 0), ("error", 0)]
+        );
+        assert_eq!(metrics.total_requests(), 2);
         assert_eq!(metrics.latency(CmdKind::Get).count(), 1);
         assert_eq!(metrics.latency(CmdKind::Set).count(), 1);
         assert_eq!(metrics.latency(CmdKind::Delete).count(), 0);
@@ -633,6 +835,8 @@ mod tests {
         metrics.reset();
         assert_eq!(metrics.latency(CmdKind::Get).count(), 0);
         assert_eq!(metrics.bytes_read(CmdKind::Get), 0);
+        assert_eq!(metrics.rejected(RejectCause::MaxConns), 0);
+        assert_eq!(metrics.faults_snapshot()[0], ("drop", 0));
         assert_eq!(metrics.connections_opened.load(Ordering::Relaxed), 0);
         let snaps = metrics.latency_snapshots();
         assert_eq!(snaps.len(), 6);

@@ -213,16 +213,34 @@ pub struct SetHeader<'a> {
     pub verb: SetVerb,
 }
 
-/// A protocol parse error, rendered to the client as
-/// `CLIENT_ERROR <reason>`.
+/// A protocol parse error. Malformed input renders as
+/// `CLIENT_ERROR <reason>`; limit violations the *server* imposes (an
+/// oversized declared value length) render as `SERVER_ERROR <reason>` and
+/// are [fatal](ProtocolError::is_fatal): the connection must close because
+/// the announced data block will not be read, so the stream cannot stay
+/// in sync.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     reason: &'static str,
+    server: bool,
+    fatal: bool,
 }
 
 impl ProtocolError {
     fn new(reason: &'static str) -> Self {
-        ProtocolError { reason }
+        ProtocolError {
+            reason,
+            server: false,
+            fatal: false,
+        }
+    }
+
+    fn server_fatal(reason: &'static str) -> Self {
+        ProtocolError {
+            reason,
+            server: true,
+            fatal: true,
+        }
     }
 
     /// The reason string sent to the client.
@@ -230,11 +248,23 @@ impl ProtocolError {
     pub fn reason(&self) -> &str {
         self.reason
     }
+
+    /// Whether the connection must close after this error is reported
+    /// (the command's data block was refused, so the stream is desynced).
+    #[must_use]
+    pub fn is_fatal(&self) -> bool {
+        self.fatal
+    }
 }
 
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CLIENT_ERROR {}", self.reason)
+        let prefix = if self.server {
+            "SERVER_ERROR"
+        } else {
+            "CLIENT_ERROR"
+        };
+        write!(f, "{prefix} {}", self.reason)
     }
 }
 
@@ -242,6 +272,11 @@ impl std::error::Error for ProtocolError {}
 
 /// Maximum key length accepted (memcached's limit is 250).
 pub const MAX_KEY_LEN: usize = 250;
+
+/// Default cap on a `set` data block's declared length (1 MiB, the
+/// classic memcached item ceiling). Overridable per server via
+/// [`ServerOptions::max_value_len`](crate::server::ServerOptions).
+pub const DEFAULT_MAX_VALUE_LEN: usize = 1 << 20;
 
 fn parse_u64(token: &[u8], what: &'static str) -> Result<u64, ProtocolError> {
     std::str::from_utf8(token)
@@ -267,10 +302,33 @@ fn validate_key(key: &[u8]) -> Result<(), ProtocolError> {
 /// for every command with at most [`INLINE_KEYS`] keys: the returned
 /// [`Command`] borrows its key slices from `line`.
 ///
+/// Storage commands accept any declared data-block length; the server
+/// uses [`parse_command_limited`] to refuse hostile lengths before a
+/// single data byte is read.
+///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on unknown commands or malformed arguments.
 pub fn parse_command(line: &[u8]) -> Result<Command<'_>, ProtocolError> {
+    parse_command_limited(line, usize::MAX)
+}
+
+/// Like [`parse_command`], additionally rejecting storage commands whose
+/// declared data-block length exceeds `max_value_len`. This is the
+/// server's input-hardening entry point: the check happens at header
+/// parse, *before* any buffer is sized from the client's length field, so
+/// `set k 0 0 4294967295` cannot balloon memory. The resulting error is
+/// a fatal `SERVER_ERROR object too large for cache` (the announced data
+/// block is never read, so the connection must close to avoid desync).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on unknown commands, malformed arguments, or
+/// an over-limit declared length.
+pub fn parse_command_limited(
+    line: &[u8],
+    max_value_len: usize,
+) -> Result<Command<'_>, ProtocolError> {
     let mut tokens = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
     let verb = tokens.next().ok_or(ProtocolError::new("empty command"))?;
     match verb {
@@ -319,7 +377,11 @@ pub fn parse_command(line: &[u8]) -> Result<Command<'_>, ProtocolError> {
             let bytes = parse_u64(
                 tokens.next().ok_or(ProtocolError::new("missing bytes"))?,
                 "bad bytes",
-            )? as usize;
+            )?;
+            if bytes > max_value_len as u64 {
+                return Err(ProtocolError::server_fatal("object too large for cache"));
+            }
+            let bytes = bytes as usize;
             let cost_hint = match tokens.next() {
                 Some(token) if iq => Some(parse_u64(token, "bad cost")?),
                 Some(_) => return Err(ProtocolError::new("unexpected token after bytes")),
@@ -555,6 +617,26 @@ mod tests {
         assert!(parse_command(b"incr k").is_err());
         assert!(parse_command(b"incr k five").is_err());
         assert!(parse_command(b"touch k").is_err());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_a_fatal_server_error() {
+        // Unlimited parse accepts a huge declared length...
+        assert!(parse_command(b"set k 0 0 4294967295").is_ok());
+        // ...the limited parse refuses it before any buffer is sized.
+        let err = parse_command_limited(b"set k 0 0 4294967295", 1 << 20).unwrap_err();
+        assert!(err.is_fatal());
+        assert_eq!(err.to_string(), "SERVER_ERROR object too large for cache");
+        // At-limit passes; one past fails; every storage verb is covered.
+        assert!(parse_command_limited(b"set k 0 0 1024", 1024).is_ok());
+        assert!(parse_command_limited(b"set k 0 0 1025", 1024).is_err());
+        assert!(parse_command_limited(b"add k 0 0 1025", 1024).is_err());
+        assert!(parse_command_limited(b"replace k 0 0 1025", 1024).is_err());
+        assert!(parse_command_limited(b"iqset k 0 0 1025 9", 1024).is_err());
+        // Ordinary malformed input keeps the non-fatal CLIENT_ERROR shape.
+        let err = parse_command_limited(b"set k x 0 5", 1024).unwrap_err();
+        assert!(!err.is_fatal());
+        assert!(err.to_string().starts_with("CLIENT_ERROR"));
     }
 
     #[test]

@@ -22,15 +22,18 @@
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use camp_telemetry::{kvlog, LogLevel};
 
-use crate::metrics::{CmdKind, ServerMetrics, TelemetryReport};
-use crate::protocol::{parse_command, Command, SetHeader, SetVerb, StatsScope};
+use crate::fault::{FaultAction, FaultPlan, FaultState};
+use crate::metrics::{CmdKind, FaultKind, RejectCause, ServerMetrics, TelemetryReport};
+use crate::protocol::{
+    parse_command_limited, Command, SetHeader, SetVerb, StatsScope, DEFAULT_MAX_VALUE_LEN,
+};
 use crate::shard::ShardedStore;
 use crate::store::{StoreConfig, StoreError, StoreStats};
 use crate::sync::lock;
@@ -39,6 +42,20 @@ use crate::sync::lock;
 /// issues the paired `iqset` (crashed, gave up) would otherwise leak its
 /// registry entry forever; the sweep drops entries past this age.
 const IQ_MISS_TTL: Duration = Duration::from_secs(120);
+
+/// Granularity of a connection's blocking reads: the socket read timeout
+/// is capped at this tick so a blocked connection periodically wakes to
+/// check the idle deadline and the drain flag. Reads on a socket that has
+/// data ready return immediately, so the tick costs the hot path nothing.
+const READ_TICK: Duration = Duration::from_millis(500);
+
+/// Read-timeout nudge applied to every live connection when a drain
+/// begins, so idle connections notice the drain within ~this interval
+/// instead of a full [`READ_TICK`].
+const DRAIN_TICK: Duration = Duration::from_millis(50);
+
+/// Default drain deadline for [`Server::shutdown`].
+const DEFAULT_DRAIN: Duration = Duration::from_secs(5);
 
 /// One lock-striped partition of the IQ miss registry.
 #[derive(Debug)]
@@ -118,6 +135,48 @@ impl IqRegistry {
     }
 }
 
+/// The live-connection registry: a cloned stream handle per connection,
+/// so a drain can nudge read timeouts and sever stragglers from outside
+/// the connection threads.
+#[derive(Debug, Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn insert(&self, id: u64, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            lock(&self.streams).insert(id, clone);
+        }
+    }
+
+    fn remove(&self, id: u64) {
+        lock(&self.streams).remove(&id);
+    }
+
+    fn len(&self) -> usize {
+        lock(&self.streams).len()
+    }
+
+    /// Shortens every live connection's read timeout so blocked reads wake
+    /// promptly (SO_RCVTIMEO is per-socket; the clone shares it).
+    fn nudge(&self, timeout: Duration) {
+        for stream in lock(&self.streams).values() {
+            stream.set_read_timeout(Some(timeout)).ok();
+        }
+    }
+
+    /// Severs every connection still registered; returns how many.
+    fn sever_all(&self) -> u64 {
+        let mut severed = 0;
+        for stream in lock(&self.streams).values() {
+            stream.shutdown(Shutdown::Both).ok();
+            severed += 1;
+        }
+        severed
+    }
+}
+
 /// Shared server state.
 #[derive(Debug)]
 struct Shared {
@@ -125,12 +184,33 @@ struct Shared {
     iq_misses: IqRegistry,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    /// Set when a drain begins: connections finish in-flight work and
+    /// close at the next command boundary.
+    draining: AtomicBool,
+    /// Live connections (accept-side count, enforced against `max_conns`).
+    conn_count: AtomicUsize,
+    /// Connection-id allocator (also seeds per-connection fault streams).
+    next_conn_id: AtomicU64,
+    registry: ConnRegistry,
+    /// Accept cap (0 = unlimited).
+    max_conns: usize,
+    /// Declared-length cap on set data blocks.
+    max_value_len: usize,
+    /// Idle eviction deadline measured from the last *completed* command
+    /// (`ZERO` = disabled).
+    idle_timeout: Duration,
+    /// Active chaos plan, if any.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Shared {
     /// The registry stripe for `key` — same hash partition as the store.
     fn iq_stripe(&self, key: &[u8]) -> usize {
         self.store.shard_index(key)
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst)
     }
 }
 
@@ -144,17 +224,63 @@ pub struct ServerOptions {
     /// Bind address for the Prometheus text exposition (e.g.
     /// `127.0.0.1:9184`, port 0 for ephemeral). `None` disables it.
     pub metrics_addr: Option<String>,
+    /// Maximum simultaneous connections; an accept past the cap receives
+    /// `SERVER_ERROR too many connections` and is closed immediately
+    /// (never a silent stall). `0` = unlimited (the library default; the
+    /// daemon defaults to 1024).
+    pub max_conns: usize,
+    /// Cap on a storage command's declared data-block length; a `set`
+    /// announcing more receives a fatal
+    /// `SERVER_ERROR object too large for cache` before any data byte is
+    /// read. Default [`DEFAULT_MAX_VALUE_LEN`] (1 MiB).
+    pub max_value_len: usize,
+    /// Connections that go this long without *completing* a command are
+    /// evicted — this catches both silent idlers and slowloris clients
+    /// trickling bytes forever. `Duration::ZERO` disables. Default 60 s.
+    pub idle_timeout: Duration,
+    /// Deterministic fault-injection plan (`None` = faults off). See
+    /// [`crate::fault`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServerOptions {
-    /// Single-shard options with no metrics listener.
+    /// Single-shard options with no metrics listener, no connection cap,
+    /// a 1 MiB value cap, a 60 s idle timeout and no fault injection.
     #[must_use]
     pub fn new(config: StoreConfig) -> ServerOptions {
         ServerOptions {
             config,
             shards: 1,
             metrics_addr: None,
+            max_conns: 0,
+            max_value_len: DEFAULT_MAX_VALUE_LEN,
+            idle_timeout: Duration::from_secs(60),
+            fault_plan: None,
         }
+    }
+}
+
+/// What a graceful drain accomplished (see [`Server::shutdown_with_drain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DrainReport {
+    /// Connections live when the drain began.
+    pub connections_at_drain: u64,
+    /// Connections that closed on their own before the deadline.
+    pub drained: u64,
+    /// Connections still active at the deadline, forcibly severed.
+    pub severed: u64,
+    /// Commands the server completed while draining.
+    pub requests_completed: u64,
+    /// Wall-clock milliseconds the drain took.
+    pub elapsed_ms: u64,
+}
+
+impl DrainReport {
+    /// Whether every connection closed on its own (nothing severed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.severed == 0
     }
 }
 
@@ -222,6 +348,14 @@ impl Server {
             iq_misses: IqRegistry::new(options.shards),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(1),
+            registry: ConnRegistry::default(),
+            max_conns: options.max_conns,
+            max_value_len: options.max_value_len,
+            idle_timeout: options.idle_timeout,
+            fault_plan: options.fault_plan,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -286,11 +420,53 @@ impl Server {
         self.len() == 0
     }
 
-    /// Stops accepting connections and joins the accept threads. Existing
-    /// connections end when their clients disconnect.
-    pub fn shutdown(mut self) {
+    /// Gracefully stops the server with the default drain deadline (5 s).
+    /// Equivalent to [`Server::shutdown_with_drain`]; idle connections
+    /// close within tens of milliseconds, so this is fast in practice.
+    pub fn shutdown(self) -> DrainReport {
+        self.shutdown_with_drain(DEFAULT_DRAIN)
+    }
+
+    /// Gracefully stops the server: the listener closes immediately (no
+    /// new connections), in-flight commands run to completion, idle
+    /// connections are closed at their next read tick, and anything still
+    /// busy when `deadline` expires is forcibly severed. Returns an
+    /// accounting of what happened.
+    pub fn shutdown_with_drain(mut self, deadline: Duration) -> DrainReport {
+        let started = Instant::now();
+        let requests_before = self.shared.metrics.total_requests();
+        let connections_at_drain = self.shared.registry.len() as u64;
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.signal_shutdown();
         self.join_threads();
+        // Shorten every blocked read so idle connections notice the drain
+        // within a DRAIN_TICK instead of a full READ_TICK.
+        self.shared.registry.nudge(DRAIN_TICK);
+        while self.shared.registry.len() > 0 && started.elapsed() < deadline {
+            std::thread::sleep(DRAIN_TICK);
+        }
+        let severed = self.shared.registry.sever_all();
+        let report = DrainReport {
+            connections_at_drain,
+            drained: connections_at_drain.saturating_sub(severed),
+            severed,
+            requests_completed: self
+                .shared
+                .metrics
+                .total_requests()
+                .saturating_sub(requests_before),
+            elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        };
+        kvlog!(
+            LogLevel::Info,
+            "server_drained",
+            connections = report.connections_at_drain,
+            drained = report.drained,
+            severed = report.severed,
+            requests_completed = report.requests_completed,
+            elapsed_ms = report.elapsed_ms,
+        );
+        report
     }
 
     fn signal_shutdown(&self) {
@@ -325,26 +501,52 @@ impl Drop for Server {
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // Overload protection: past the cap, reply with an explicit
+                // error and close — a client must never stall in a silent
+                // accept-queue limbo.
+                if shared.max_conns > 0
+                    && shared.conn_count.load(Ordering::SeqCst) >= shared.max_conns
+                {
+                    shared.metrics.record_rejected(RejectCause::MaxConns);
+                    let _ = stream.write_all(b"SERVER_ERROR too many connections\r\n");
+                    let _ = stream.shutdown(Shutdown::Both);
+                    kvlog!(
+                        LogLevel::Warn,
+                        "connection_rejected",
+                        cause = "max_conns",
+                        limit = shared.max_conns,
+                    );
+                    continue;
+                }
+                shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                shared.registry.insert(conn_id, &stream);
                 let conn_shared = Arc::clone(shared);
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("camp-kvs-conn".into())
                     .spawn(move || {
                         conn_shared
                             .metrics
                             .connections_opened
                             .fetch_add(1, Ordering::Relaxed);
-                        if let Err(err) = handle_connection(stream, &conn_shared) {
+                        if let Err(err) = handle_connection(stream, conn_id, &conn_shared) {
                             kvlog!(LogLevel::Debug, "connection_error", error = err);
                         }
+                        conn_shared.registry.remove(conn_id);
+                        conn_shared.conn_count.fetch_sub(1, Ordering::SeqCst);
                         conn_shared
                             .metrics
                             .connections_closed
                             .fetch_add(1, Ordering::Relaxed);
                     });
+                if spawned.is_err() {
+                    shared.registry.remove(conn_id);
+                    shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -365,10 +567,142 @@ fn pipeline_pending(buffered: &[u8]) -> bool {
     !buffered.is_empty() && buffered.contains(&b'\n')
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+/// Why a patient read returned without a complete payload.
+enum ReadOutcome {
+    /// A complete line arrived; payload is its wire length in bytes.
+    Done(usize),
+    /// The peer closed the connection.
+    Eof,
+    /// The server began draining while the connection was between
+    /// commands — close it now.
+    Draining,
+    /// The idle deadline passed without a completed command.
+    IdleTimeout,
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn idle_expired(shared: &Shared, last_complete: Instant) -> bool {
+    !shared.idle_timeout.is_zero() && last_complete.elapsed() >= shared.idle_timeout
+}
+
+/// Reads one command line, regaining control after every buffer fill to
+/// check the drain flag and the idle deadline. This is deliberately NOT
+/// `read_until`: that only returns on delimiter/EOF/error, so a slowloris
+/// client trickling one byte per timeout tick would hold the thread
+/// forever. Chunking through `fill_buf` checks the deadline between
+/// chunks — and since only a *completed* command resets the idle clock,
+/// the trickler is evicted on schedule. An active connection's data
+/// arrives in whole buffered chunks, so the hot path still costs one scan
+/// per chunk, same as `read_until`.
+fn read_line_patient(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    shared: &Shared,
+    last_complete: Instant,
+) -> io::Result<ReadOutcome> {
+    loop {
+        let used = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: hand any partial line to the parser, as an un-timed
+                // read would.
+                return Ok(if line.is_empty() {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Done(line.len())
+                });
+            }
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..=pos]);
+                    reader.consume(pos + 1);
+                    return Ok(ReadOutcome::Done(line.len()));
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    buf.len()
+                }
+            },
+            Err(err) if is_timeout(&err) => 0,
+            Err(err) => return Err(err),
+        };
+        reader.consume(used);
+        if line.is_empty() && shared.stopping() {
+            return Ok(ReadOutcome::Draining);
+        }
+        if idle_expired(shared, last_complete) {
+            return Ok(ReadOutcome::IdleTimeout);
+        }
+    }
+}
+
+/// Fills `buf` across read-timeout ticks. std's `read_exact` discards its
+/// progress when a timeout surfaces mid-fill, so the offset is tracked
+/// here. Returns `false` when the idle deadline expires mid-block (a
+/// slowloris upload).
+fn read_exact_patient(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    shared: &Shared,
+    last_complete: Instant,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "client closed mid data block",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(err) if is_timeout(&err) => {
+                if idle_expired(shared, last_complete) {
+                    return Ok(false);
+                }
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(true)
+}
+
+/// Evicts a connection that exceeded the idle deadline: explicit error,
+/// flush, close.
+fn evict_idle(writer: &mut BufWriter<TcpStream>, shared: &Shared) -> io::Result<()> {
+    shared.metrics.record_rejected(RejectCause::IdleTimeout);
+    kvlog!(
+        LogLevel::Info,
+        "idle_connection_evicted",
+        timeout_ms = shared.idle_timeout.as_millis(),
+    );
+    writeln_crlf(writer, "SERVER_ERROR idle timeout")?;
+    writer.flush()
+}
+
+fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    // One read timeout for the connection's lifetime (a per-command
+    // set_read_timeout would cost a syscall on the hot path): short enough
+    // to notice the idle deadline and a drain, long enough that an active
+    // connection never sees it — a read with data ready returns at once.
+    let tick = if shared.idle_timeout.is_zero() {
+        READ_TICK
+    } else {
+        shared.idle_timeout.min(READ_TICK)
+    };
+    stream.set_read_timeout(Some(tick)).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let mut faults = shared
+        .fault_plan
+        .as_ref()
+        .map(|plan| FaultState::new(plan, conn_id));
     // Per-connection scratch buffers, reused across commands: the steady
     // state of this loop allocates nothing. `line` backs the borrowed
     // `Command<'_>` keys, `data` holds one set data block, `response`
@@ -376,14 +710,19 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
     let mut line = Vec::new();
     let mut data = Vec::new();
     let mut response = Vec::new();
+    // The idle clock: time of the last *completed* command.
+    let mut last_complete = Instant::now();
     loop {
         line.clear();
-        let read = reader.read_until(b'\n', &mut line)?;
-        if read == 0 {
-            writer.flush()?;
-            return Ok(()); // client closed
-        }
-        let mut wire_bytes = read as u64;
+        let mut wire_bytes = match read_line_patient(&mut reader, &mut line, shared, last_complete)?
+        {
+            ReadOutcome::Done(read) => read as u64,
+            ReadOutcome::Eof | ReadOutcome::Draining => {
+                writer.flush()?;
+                return Ok(());
+            }
+            ReadOutcome::IdleTimeout => return evict_idle(&mut writer, shared),
+        };
         while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
             line.pop();
         }
@@ -393,7 +732,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
             }
             continue;
         }
-        match parse_command(&line) {
+        match parse_command_limited(&line, shared.max_value_len) {
             Ok(Command::Quit) => {
                 writer.flush()?;
                 return Ok(());
@@ -405,13 +744,48 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                 // command's service-time histogram.
                 let block: &[u8] = match &command {
                     Command::Set { header } => {
-                        read_data_block(&mut reader, &mut data, header.bytes)?;
+                        if !read_data_block(
+                            &mut reader,
+                            &mut data,
+                            header.bytes,
+                            shared,
+                            last_complete,
+                        )? {
+                            return evict_idle(&mut writer, shared);
+                        }
                         wire_bytes += header.bytes as u64 + 2;
                         &data
                     }
                     _ => &[],
                 };
                 shared.metrics.record_bytes(kind, wire_bytes);
+                // Chaos: the fault decision comes *after* the data block is
+                // consumed, so an injected error or delay never
+                // desynchronizes the protocol stream.
+                if let (Some(plan), Some(state)) = (shared.fault_plan.as_ref(), faults.as_mut()) {
+                    match state.decide(plan) {
+                        FaultAction::None => {}
+                        FaultAction::Delay(dur) => {
+                            shared.metrics.record_fault(FaultKind::Delay);
+                            std::thread::sleep(dur);
+                        }
+                        FaultAction::Error => {
+                            shared.metrics.record_fault(FaultKind::Error);
+                            writeln_crlf(&mut writer, "SERVER_ERROR injected fault")?;
+                            if !pipeline_pending(reader.buffer()) {
+                                writer.flush()?;
+                            }
+                            last_complete = Instant::now();
+                            continue;
+                        }
+                        FaultAction::Drop => {
+                            // Vanish pre-response — what a crash mid-request
+                            // looks like from the client's side.
+                            shared.metrics.record_fault(FaultKind::Drop);
+                            return Ok(());
+                        }
+                    }
+                }
                 let started = Instant::now();
                 let keep = execute(&command, block, &mut writer, &mut response, shared)?;
                 // Pipelining-aware flush coalescing: a burst of N commands
@@ -421,6 +795,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                 }
                 let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 shared.metrics.record_latency(kind, micros);
+                last_complete = Instant::now();
                 if !keep {
                     writer.flush()?;
                     return Ok(());
@@ -435,6 +810,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                 kvlog!(LogLevel::Debug, "protocol_error", error = err);
                 writeln_crlf(&mut writer, &err.to_string())?;
                 writer.flush()?;
+                if err.is_fatal() {
+                    // The refused data block is still on the wire; reading
+                    // on would desync, so the connection must close. Today
+                    // the only fatal parse error is an oversize value.
+                    shared.metrics.record_rejected(RejectCause::ValueTooLarge);
+                    return Ok(());
+                }
+                last_complete = Instant::now();
             }
         }
     }
@@ -578,6 +961,9 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         connections_opened: shared.metrics.connections_opened.load(Ordering::Relaxed),
         connections_closed: shared.metrics.connections_closed.load(Ordering::Relaxed),
         protocol_errors: shared.metrics.protocol_errors.load(Ordering::Relaxed),
+        conn_rejected: shared.metrics.rejected_snapshot(),
+        faults_injected: shared.metrics.faults_snapshot(),
+        lock_poison_recovered: crate::sync::poison_recovered_total(),
         iq_miss_registry_size: shared.iq_misses.len() as u64,
         iq_sweep_reclaimed: shared.iq_misses.swept.load(Ordering::Relaxed),
         shards,
@@ -700,26 +1086,33 @@ fn unix_now() -> u64 {
 /// Reads a `bytes`-long data block plus its CRLF terminator into the
 /// connection's reusable scratch buffer (growing but never reallocating
 /// once warm, and never zero-filling more than the growth delta).
-fn read_data_block<R: Read>(
-    reader: &mut BufReader<R>,
+/// Returns `false` when the idle deadline expired mid-upload.
+fn read_data_block(
+    reader: &mut BufReader<TcpStream>,
     data: &mut Vec<u8>,
     bytes: usize,
-) -> io::Result<()> {
+    shared: &Shared,
+    last_complete: Instant,
+) -> io::Result<bool> {
     if data.len() < bytes {
         data.resize(bytes, 0);
     } else {
         data.truncate(bytes);
     }
-    reader.read_exact(data)?;
+    if !read_exact_patient(reader, data, shared, last_complete)? {
+        return Ok(false);
+    }
     let mut crlf = [0u8; 2];
-    reader.read_exact(&mut crlf)?;
+    if !read_exact_patient(reader, &mut crlf, shared, last_complete)? {
+        return Ok(false);
+    }
     if &crlf != b"\r\n" {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "data block not terminated by CRLF",
         ));
     }
-    Ok(())
+    Ok(true)
 }
 
 fn writeln_crlf<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
@@ -793,16 +1186,33 @@ mod tests {
     }
 
     #[test]
+    fn drain_closes_idle_connections_cleanly() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"version\r\n").unwrap();
+        let mut buf = [0u8; 64];
+        assert!(stream.read(&mut buf).unwrap() > 0, "version reply expected");
+        // The connection is now registered and idle: a drain must close it
+        // without severing.
+        let report = server.shutdown_with_drain(Duration::from_secs(2));
+        assert_eq!(report.connections_at_drain, 1, "{report:?}");
+        assert_eq!(report.drained, 1, "{report:?}");
+        assert!(report.is_clean(), "{report:?}");
+        // The client observes an orderly EOF, not a reset.
+        assert_eq!(stream.read(&mut buf).unwrap_or(0), 0);
+    }
+
+    #[test]
     fn metrics_listener_serves_prometheus_text() {
         let server = Server::start_with(
             "127.0.0.1:0",
             ServerOptions {
-                config: StoreConfig {
-                    slab: SlabConfig::small(16 * 1024, 8),
-                    eviction: EvictionMode::Camp(Precision::Bits(5)),
-                },
                 shards: 2,
                 metrics_addr: Some("127.0.0.1:0".into()),
+                ..ServerOptions::new(StoreConfig {
+                    slab: SlabConfig::small(16 * 1024, 8),
+                    eviction: EvictionMode::Camp(Precision::Bits(5)),
+                })
             },
         )
         .expect("bind with metrics");

@@ -2,14 +2,63 @@
 //!
 //! The server holds shard locks only around store operations that maintain
 //! their own invariants, so a panicking connection thread must not wedge
-//! every later request on a `PoisonError`.
+//! every later request on a `PoisonError`. Recovery used to be silent,
+//! which made a panicking connection thread invisible; every recovery now
+//! bumps a process-global counter (exported as
+//! `camp_lock_poison_recovered_total` / `STAT lock_poison_recovered`) and
+//! logs a warning, so "the cache survived a panic" is observable instead
+//! of inferred.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
+use camp_telemetry::{kvlog, LogLevel};
+
+/// Poisoned-mutex recoveries since process start (process-global: a
+/// poison event is a property of the process, not of one store).
+static POISON_RECOVERED: AtomicU64 = AtomicU64::new(0);
+
 /// Locks `mutex`, recovering the guard if a previous holder panicked.
+/// Each recovery is counted and logged.
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     match mutex.lock() {
         Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
+        Err(poisoned) => {
+            let total = POISON_RECOVERED.fetch_add(1, Ordering::Relaxed) + 1;
+            kvlog!(
+                LogLevel::Warn,
+                "lock_poison_recovered",
+                total = total,
+                hint = "a connection thread panicked while holding this lock",
+            );
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Poisoned-mutex recoveries since process start.
+pub(crate) fn poison_recovered_total() -> u64 {
+    POISON_RECOVERED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_is_counted() {
+        let mutex = std::sync::Arc::new(Mutex::new(0u32));
+        let before = poison_recovered_total();
+        let poisoner = std::sync::Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the mutex on purpose");
+        })
+        .join();
+        assert!(mutex.lock().is_err(), "mutex must actually be poisoned");
+        *lock(&mutex) += 1;
+        assert!(poison_recovered_total() > before);
+        // Recovered: the data is reachable again.
+        assert_eq!(*lock(&mutex), 1);
     }
 }

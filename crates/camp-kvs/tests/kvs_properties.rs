@@ -5,7 +5,7 @@
 
 use camp_core::rng::Rng64;
 use camp_kvs::buddy::BuddyAllocator;
-use camp_kvs::protocol::parse_command;
+use camp_kvs::protocol::{parse_command, parse_command_limited};
 use camp_kvs::slab::{SlabAllocator, SlabConfig};
 use camp_kvs::store::{EvictionMode, Store, StoreConfig, StoreError};
 
@@ -47,6 +47,86 @@ fn parsed_set_headers_are_sane() {
                 assert_eq!(header.cost_hint, None);
             }
             other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}
+
+/// Fuzz by mutation: take a corpus of *valid* command lines and mangle
+/// them with seeded byte flips, truncations, splices and duplications.
+/// Mutated near-valid input exercises far deeper parser paths than pure
+/// random bytes (which die at the verb). The parser must never panic, and
+/// any `set` it does accept must respect the declared length limit.
+#[test]
+fn mangled_valid_commands_never_panic_and_respect_limits() {
+    const LIMIT: usize = 4096;
+    let corpus: &[&[u8]] = &[
+        b"get alpha",
+        b"get alpha beta gamma delta epsilon zeta eta theta",
+        b"iqget profile:42",
+        b"set alpha 7 300 120",
+        b"set alpha 4294967295 18446744073709551615 4095",
+        b"add beta 0 0 0",
+        b"replace gamma 1 1 1",
+        b"iqset delta 0 0 64 123456",
+        b"delete epsilon",
+        b"incr counter 9",
+        b"decr counter 18446744073709551615",
+        b"touch zeta 86400",
+        b"stats detail",
+        b"stats reset",
+        b"flush_all",
+        b"version",
+        b"quit",
+    ];
+    let mut rng = Rng64::seed_from_u64(0xF0_22ED);
+    let mut line = Vec::new();
+    for round in 0..20_000 {
+        line.clear();
+        line.extend_from_slice(corpus[rng.range_usize(0, corpus.len())]);
+        // 1–4 mutations per round.
+        for _ in 0..rng.range_usize(1, 5) {
+            if line.is_empty() {
+                line.push(rng.next_u64() as u8);
+                continue;
+            }
+            match rng.range_u64(0, 5) {
+                // Flip one byte anywhere.
+                0 => {
+                    let at = rng.range_usize(0, line.len());
+                    line[at] = rng.next_u64() as u8;
+                }
+                // Truncate.
+                1 => line.truncate(rng.range_usize(0, line.len() + 1)),
+                // Insert a random byte.
+                2 => {
+                    let at = rng.range_usize(0, line.len() + 1);
+                    line.insert(at, rng.next_u64() as u8);
+                }
+                // Duplicate a chunk (often doubles a numeric field).
+                3 => {
+                    let from = rng.range_usize(0, line.len());
+                    let to = rng.range_usize(from, line.len() + 1);
+                    let chunk: Vec<u8> = line[from..to].to_vec();
+                    let at = rng.range_usize(0, line.len() + 1);
+                    line.splice(at..at, chunk);
+                }
+                // Splice in a fragment of another corpus entry.
+                _ => {
+                    let donor = corpus[rng.range_usize(0, corpus.len())];
+                    let from = rng.range_usize(0, donor.len());
+                    let at = rng.range_usize(0, line.len() + 1);
+                    line.splice(at..at, donor[from..].iter().copied());
+                }
+            }
+        }
+        if let Ok(camp_kvs::protocol::Command::Set { header }) = parse_command_limited(&line, LIMIT)
+        {
+            assert!(
+                header.bytes <= LIMIT,
+                "round {round}: accepted an oversize set ({} > {LIMIT}) from {:?}",
+                header.bytes,
+                String::from_utf8_lossy(&line)
+            );
         }
     }
 }

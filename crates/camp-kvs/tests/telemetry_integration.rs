@@ -14,12 +14,12 @@ use camp_kvs::store::{EvictionMode, StoreConfig};
 
 fn options(mode: EvictionMode, shards: usize) -> ServerOptions {
     ServerOptions {
-        config: StoreConfig {
-            slab: SlabConfig::small(16 * 1024, 8),
-            eviction: mode,
-        },
         shards,
         metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerOptions::new(StoreConfig {
+            slab: SlabConfig::small(16 * 1024, 8),
+            eviction: mode,
+        })
     }
 }
 
