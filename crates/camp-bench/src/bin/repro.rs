@@ -4,6 +4,8 @@
 //! repro <experiment-id | all> [--scale small|medium|paper] [--out DIR] [--list]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

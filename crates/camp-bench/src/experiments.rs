@@ -730,8 +730,8 @@ pub fn custom(trace: &Trace) -> Vec<(String, Table)> {
     let boundaries: Vec<u64> = if costs.len() <= 8 {
         costs
     } else {
-        let lo = (*costs.first().unwrap()).max(1);
-        let hi = *costs.last().unwrap();
+        let lo = costs.first().copied().unwrap_or(1).max(1);
+        let hi = costs.last().copied().unwrap_or(1);
         let steps = 4u32;
         (0..steps)
             .map(|i| {

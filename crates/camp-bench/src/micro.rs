@@ -23,6 +23,8 @@ impl Group {
     /// used to derive throughput (pass 0 to omit).
     #[must_use]
     pub fn new(name: &str, elements: u64, iters: u32) -> Group {
+        // lint:allow(println-in-lib) — the bench harness's stdout table IS
+        // its report; kvlog's key=value stderr lines are the wrong shape.
         println!("\n== {name} ==");
         Group {
             name: name.to_owned(),
@@ -54,6 +56,7 @@ impl Group {
         } else {
             String::new()
         };
+        // lint:allow(println-in-lib) — stdout table row, as above.
         println!(
             "{:<28} best {:>10.3?}  mean {:>10.3?}{rate}",
             format!("{}/{label}", self.name),

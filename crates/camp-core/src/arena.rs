@@ -246,6 +246,46 @@ impl<T> Arena<T> {
         })
     }
 
+    /// Checks every structural invariant of the arena: the live count
+    /// matches the occupied slots, the free list covers exactly the vacant
+    /// slots with no index repeated or out of bounds, and no free-list entry
+    /// points at a slot that still holds a value (which would let a future
+    /// insert clobber a live entry).
+    ///
+    /// Compiles to a no-op in release builds, so callers (and property
+    /// tests) can leave it on hot paths unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any invariant is violated.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let occupied = self.slots.iter().filter(|s| s.value.is_some()).count();
+            assert_eq!(occupied, self.len, "len disagrees with occupied slots");
+            assert_eq!(
+                self.free.len() + self.len,
+                self.slots.len(),
+                "free list does not cover every vacant slot"
+            );
+            let mut seen = vec![false; self.slots.len()];
+            for &index in &self.free {
+                let slot = self
+                    .slots
+                    .get(index as usize)
+                    .unwrap_or_else(|| panic!("free-list index {index} out of bounds"));
+                assert!(
+                    slot.value.is_none(),
+                    "free-list index {index} points at a live slot"
+                );
+                assert!(
+                    !std::mem::replace(&mut seen[index as usize], true),
+                    "free-list index {index} appears twice"
+                );
+            }
+        }
+    }
+
     /// Removes every entry, invalidating all handles.
     pub fn clear(&mut self) {
         for (i, slot) in self.slots.iter_mut().enumerate() {
@@ -361,10 +401,12 @@ mod tests {
             ids.push(arena.insert(i));
         }
         assert_eq!(arena.len(), 100);
+        arena.validate();
         for id in ids.drain(..50) {
             arena.remove(id);
         }
         assert_eq!(arena.len(), 50);
+        arena.validate();
         // Reuse recycled slots; slot_count should not grow.
         let before = arena.slot_count();
         for i in 0..50 {
@@ -372,5 +414,59 @@ mod tests {
         }
         assert_eq!(arena.slot_count(), before);
         assert_eq!(arena.len(), 100);
+        arena.validate();
+    }
+
+    #[test]
+    fn validate_holds_through_mixed_op_churn() {
+        // Exhaustive validator sweep: inserts, removes (live and stale),
+        // clears, and lookups in a seeded random interleaving, mirrored in a
+        // model map; the full invariant set is re-checked after every
+        // operation.
+        use crate::rng::Rng64;
+        use std::collections::HashMap;
+        let mut rng = Rng64::seed_from_u64(0xA7E4_2014);
+        let mut arena: Arena<u64> = Arena::new();
+        let mut model: HashMap<EntryId, u64> = HashMap::new();
+        let mut retired: Vec<EntryId> = Vec::new();
+        for _ in 0..10_000 {
+            match rng.range_u64(0, 8) {
+                0..=2 => {
+                    let value = rng.next_u64();
+                    let id = arena.insert(value);
+                    assert!(model.insert(id, value).is_none(), "handle reused: {id:?}");
+                    assert!(!retired.contains(&id), "stale handle re-minted: {id:?}");
+                }
+                3 | 4 => {
+                    if let Some(&id) = model.keys().next() {
+                        assert_eq!(arena.remove(id), model.remove(&id));
+                        retired.push(id);
+                    }
+                }
+                5 => {
+                    // Removing through a stale handle must be a no-op.
+                    if !retired.is_empty() {
+                        let pick = rng.range_usize(0, retired.len());
+                        assert_eq!(arena.remove(retired[pick]), None);
+                    }
+                }
+                6 => {
+                    for (&id, &value) in &model {
+                        assert_eq!(arena.get(id), Some(&value));
+                    }
+                    for &id in &retired {
+                        assert_eq!(arena.get(id), None);
+                    }
+                }
+                _ => {
+                    if rng.chance(0.05) {
+                        arena.clear();
+                        retired.extend(model.drain().map(|(id, _)| id));
+                    }
+                }
+            }
+            assert_eq!(arena.len(), model.len());
+            arena.validate();
+        }
     }
 }

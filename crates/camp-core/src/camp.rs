@@ -588,7 +588,9 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
         if was_head {
             // The head changed (or, for a singleton queue, its priority did):
             // this is the only case where CAMP touches the heap on a hit.
-            let queue = self.queues[queue_idx as usize].as_ref().unwrap();
+            let queue = self.queues[queue_idx as usize]
+                .as_ref()
+                .expect("touch: entry points at a live queue");
             let head = queue.list.front().expect("non-empty queue has a head");
             let head_h = self.arena.get(head).expect("live head").h;
             self.heap.update(queue_idx, head_h);

@@ -276,20 +276,52 @@ impl<K: Ord, const D: usize> DaryHeap<K, D> {
         pos != start
     }
 
-    #[cfg(test)]
-    fn assert_invariants(&self) {
-        for (pos, (id, key)) in self.items.iter().enumerate() {
-            assert_eq!(self.positions[*id as usize] as usize, pos);
-            if pos > 0 {
-                let parent = (pos - 1) / D;
-                assert!(
-                    self.items[parent].1 <= *key,
-                    "heap order violated at pos {pos}"
+    /// Checks every structural invariant of the heap: the d-ary heap order
+    /// between each element and its parent, the id → position map agreeing
+    /// with the element array in both directions, and the live-handle count
+    /// matching the element count.
+    ///
+    /// Compiles to a no-op in release builds, so callers (and property
+    /// tests) can leave it on hot paths unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any invariant is violated.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for (pos, (id, key)) in self.items.iter().enumerate() {
+                let mapped = self.positions.get(*id as usize).copied();
+                assert_eq!(
+                    mapped,
+                    Some(pos as u32),
+                    "position map for id {id} disagrees with slot {pos}"
                 );
+                if pos > 0 {
+                    let parent = (pos - 1) / D;
+                    assert!(
+                        self.items[parent].1 <= *key,
+                        "heap order violated at pos {pos} (parent {parent})"
+                    );
+                }
             }
+            for (id, &pos) in self.positions.iter().enumerate() {
+                if pos != ABSENT {
+                    let slot = self.items.get(pos as usize);
+                    assert_eq!(
+                        slot.map(|(slot_id, _)| *slot_id),
+                        Some(id as u32),
+                        "position map points id {id} at slot {pos}, which holds another id"
+                    );
+                }
+            }
+            let live = self.positions.iter().filter(|&&p| p != ABSENT).count();
+            assert_eq!(
+                live,
+                self.items.len(),
+                "live position count disagrees with element count"
+            );
         }
-        let live = self.positions.iter().filter(|&&p| p != ABSENT).count();
-        assert_eq!(live, self.items.len());
     }
 }
 
@@ -320,11 +352,11 @@ mod tests {
         let keys = [50u64, 20, 80, 10, 30, 70, 60, 40, 90, 0];
         for (i, &k) in keys.iter().enumerate() {
             heap.insert(i as u32, k);
-            heap.assert_invariants();
+            heap.validate();
         }
         let mut out = Vec::new();
         while let Some((_, k)) = heap.pop() {
-            heap.assert_invariants();
+            heap.validate();
             out.push(k);
         }
         let mut want = keys.to_vec();
@@ -339,10 +371,10 @@ mod tests {
             heap.insert(i, u64::from(i) * 10);
         }
         heap.update(0, 1000); // 0 was the min, push it to the back
-        heap.assert_invariants();
+        heap.validate();
         assert_eq!(heap.peek(), Some((1, &10)));
         heap.update(9, 0); // 9 becomes the min
-        heap.assert_invariants();
+        heap.validate();
         assert_eq!(heap.peek(), Some((9, &0)));
         assert_eq!(heap.key_of(0), Some(&1000));
     }
@@ -353,7 +385,7 @@ mod tests {
         heap.insert(0, 5u64);
         heap.insert(1, 7);
         heap.update(1, 7);
-        heap.assert_invariants();
+        heap.validate();
         assert_eq!(heap.peek(), Some((0, &5)));
     }
 
@@ -364,13 +396,13 @@ mod tests {
             heap.insert(i, u64::from((i * 7) % 20));
         }
         assert_eq!(heap.remove(3), Some(1)); // 3*7 % 20 = 1
-        heap.assert_invariants();
+        heap.validate();
         assert_eq!(heap.remove(3), None);
         assert!(!heap.contains(3));
         assert_eq!(heap.len(), 19);
         let mut seen = Vec::new();
         while let Some((_, k)) = heap.pop() {
-            heap.assert_invariants();
+            heap.validate();
             seen.push(k);
         }
         assert!(seen.windows(2).all(|w| w[0] <= w[1]));
@@ -433,6 +465,44 @@ mod tests {
     }
 
     #[test]
+    fn validate_holds_through_mixed_op_churn() {
+        // Exhaustive validator sweep: drive every mutating operation in a
+        // seeded random interleaving and re-check the full invariant set
+        // after each one.
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(0xCA3F_2014);
+        let mut heap = DaryHeap::<u64, 8>::new();
+        for _ in 0..20_000 {
+            let id = rng.range_u64(0, 96) as u32;
+            match rng.range_u64(0, 6) {
+                0 | 1 => {
+                    if !heap.contains(id) {
+                        heap.insert(id, rng.range_u64(0, 1_000));
+                    }
+                }
+                2 => {
+                    if heap.contains(id) {
+                        heap.update(id, rng.range_u64(0, 1_000));
+                    }
+                }
+                3 => {
+                    heap.remove(id);
+                }
+                4 => {
+                    heap.pop();
+                }
+                _ => {
+                    if let Some((min_id, &min_key)) = heap.peek() {
+                        assert!(heap.iter().all(|(_, k)| *k >= min_key));
+                        assert!(heap.contains(min_id));
+                    }
+                }
+            }
+            heap.validate();
+        }
+    }
+
+    #[test]
     fn randomized_model_check_against_btreemap() {
         // Drive the heap with a deterministic pseudo-random op sequence and
         // mirror it in a model; the min must always agree on key value.
@@ -483,7 +553,7 @@ mod tests {
                     }
                 }
             }
-            heap.assert_invariants();
+            heap.validate();
             assert_eq!(heap.len(), model.len());
         }
     }

@@ -221,6 +221,81 @@ impl LruList {
         self.push_back(arena, id);
     }
 
+    /// Checks every structural invariant of the list against the arena the
+    /// links live in: the forward and backward walks visit the same entries
+    /// in opposite order, every `prev`/`next` pair agrees, the walk length
+    /// matches [`LruList::len`], the boundary links are `None`, and the walk
+    /// terminates (no cycle can hide, because it is bounded by `len`).
+    ///
+    /// Compiles to a no-op in release builds, so callers (and property
+    /// tests) can leave it on hot paths unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any invariant is violated, including when a
+    /// linked entry no longer resolves in `arena`.
+    pub fn validate<T: Linked>(&self, arena: &Arena<T>) {
+        #[cfg(not(debug_assertions))]
+        let _ = arena;
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.head.is_none(),
+                self.len == 0,
+                "head/len disagree about emptiness"
+            );
+            assert_eq!(
+                self.tail.is_none(),
+                self.len == 0,
+                "tail/len disagree about emptiness"
+            );
+            let mut forward = Vec::with_capacity(self.len);
+            let mut cursor = self.head;
+            let mut prev: Option<EntryId> = None;
+            while let Some(id) = cursor {
+                assert!(
+                    forward.len() < self.len,
+                    "forward walk exceeds len {}: cycle or stray link at {id:?}",
+                    self.len
+                );
+                let entry = arena
+                    .get(id)
+                    .unwrap_or_else(|| panic!("linked entry {id:?} is stale in the arena"));
+                assert_eq!(
+                    entry.links().prev(),
+                    prev,
+                    "prev link of {id:?} disagrees with the forward walk"
+                );
+                forward.push(id);
+                prev = Some(id);
+                cursor = entry.links().next();
+            }
+            assert_eq!(forward.len(), self.len, "forward walk shorter than len");
+            assert_eq!(
+                forward.last().copied(),
+                self.tail,
+                "tail is not the last entry"
+            );
+            let mut backward = Vec::with_capacity(self.len);
+            let mut cursor = self.tail;
+            while let Some(id) = cursor {
+                assert!(
+                    backward.len() < self.len,
+                    "backward walk exceeds len {}: cycle or stray link at {id:?}",
+                    self.len
+                );
+                backward.push(id);
+                cursor = arena
+                    .get(id)
+                    .unwrap_or_else(|| panic!("linked entry {id:?} is stale in the arena"))
+                    .links()
+                    .prev();
+            }
+            backward.reverse();
+            assert_eq!(forward, backward, "forward and backward walks disagree");
+        }
+    }
+
     /// Iterates LRU→MRU over the entry ids.
     pub fn iter<'a, T: Linked>(&self, arena: &'a Arena<T>) -> Iter<'a, T> {
         Iter {
@@ -281,6 +356,7 @@ mod tests {
     }
 
     fn contents(list: &LruList, arena: &Arena<Node>) -> Vec<u32> {
+        list.validate(arena);
         list.iter(arena)
             .map(|id| arena.get(id).unwrap().value)
             .collect()
@@ -398,6 +474,64 @@ mod tests {
         for q in 0..4 {
             assert_eq!(contents(&lists[q], &arena), expect[q]);
         }
+    }
+
+    #[test]
+    fn validate_holds_through_mixed_op_churn() {
+        // Exhaustive validator sweep: several lists share one arena (as
+        // CAMP's per-ratio queues do) while entries are pushed, touched,
+        // migrated, and evicted in a seeded random interleaving; the full
+        // invariant set is re-checked after every operation.
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(0x10C4_2014);
+        let mut arena: Arena<Node> = Arena::new();
+        let mut lists = [LruList::new(); 3];
+        let mut members: Vec<Vec<EntryId>> = vec![Vec::new(); 3];
+        for step in 0..8_000u32 {
+            let q = rng.range_usize(0, 3);
+            match rng.range_u64(0, 5) {
+                0 | 1 => {
+                    let id = arena.insert(node(step));
+                    lists[q].push_back(&mut arena, id);
+                    members[q].push(id);
+                }
+                2 => {
+                    if !members[q].is_empty() {
+                        let pick = rng.range_usize(0, members[q].len());
+                        lists[q].move_to_back(&mut arena, members[q][pick]);
+                    }
+                }
+                3 => {
+                    if let Some(id) = lists[q].pop_front(&mut arena) {
+                        members[q].retain(|&m| m != id);
+                        arena.remove(id);
+                    }
+                }
+                _ => {
+                    // Migrate a random member to another queue, the CAMP
+                    // "cost changed" motion.
+                    if !members[q].is_empty() {
+                        let pick = rng.range_usize(0, members[q].len());
+                        let id = members[q].swap_remove(pick);
+                        let to = rng.range_usize(0, 3);
+                        lists[q].unlink(&mut arena, id);
+                        lists[to].push_back(&mut arena, id);
+                        members[to].push(id);
+                    }
+                }
+            }
+            for (list, expected) in lists.iter().zip(&members) {
+                list.validate(&arena);
+                assert_eq!(list.len(), expected.len());
+            }
+            arena.validate();
+        }
+        let linked: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(
+            arena.len(),
+            linked,
+            "arena holds exactly the linked entries"
+        );
     }
 
     #[test]

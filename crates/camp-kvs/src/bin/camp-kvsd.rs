@@ -27,6 +27,8 @@
 //! deterministic faults for resilience testing (see
 //! [`camp_kvs::fault`]).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Duration;
 

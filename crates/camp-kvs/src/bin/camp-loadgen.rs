@@ -34,6 +34,8 @@
 //! resilience counters, and the trajectory samples, plus the full config
 //! so before/after runs are comparable.
 
+#![forbid(unsafe_code)]
+
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;

@@ -196,6 +196,8 @@ impl BuddyAllocator {
         let Some(mut o) = found else {
             return Err(BuddyError::NoMemory);
         };
+        // lint:allow(unwrap-in-lib) — the search above selected `o` because
+        // its free list is non-empty.
         let offset = self.free[o as usize].pop().expect("non-empty free list");
         // Split down to the requested order, keeping the lower half each
         // time and returning the upper buddy to its free list.

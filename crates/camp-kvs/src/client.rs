@@ -210,7 +210,13 @@ impl Client {
             self.reconnects_total += 1;
             self.conn = Some(conn);
         }
-        Ok(self.conn.as_mut().expect("connection just established"))
+        match self.conn.as_mut() {
+            Some(conn) => Ok(conn),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection closed before use",
+            )),
+        }
     }
 
     /// Sleeps `backoff_base * 2^attempt` (capped) with 0.5x–1.5x jitter,

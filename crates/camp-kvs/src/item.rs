@@ -8,6 +8,15 @@
 /// The fixed header size in bytes.
 pub const HEADER_LEN: usize = 2 + 4 + 4 + 8 + 8;
 
+/// Reads a big-endian u64 at `at`; the caller has already bounds-checked
+/// `buf` against [`HEADER_LEN`].
+#[inline]
+fn be_u64(buf: &[u8], at: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[at..at + 8]);
+    u64::from_be_bytes(bytes)
+}
+
 /// A decoded item.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Item<'a> {
@@ -39,13 +48,7 @@ impl<'a> Item<'a> {
     pub fn encode_into(&self, buf: &mut [u8]) {
         let need = Item::encoded_len(self.key.len(), self.value.len());
         assert!(buf.len() >= need, "buffer too small for item");
-        let key_len = u16::try_from(self.key.len()).expect("key exceeds 64 KiB");
-        let value_len = u32::try_from(self.value.len()).expect("value exceeds 4 GiB");
-        buf[0..2].copy_from_slice(&key_len.to_be_bytes());
-        buf[2..6].copy_from_slice(&value_len.to_be_bytes());
-        buf[6..10].copy_from_slice(&self.flags.to_be_bytes());
-        buf[10..18].copy_from_slice(&self.cost.to_be_bytes());
-        buf[18..26].copy_from_slice(&self.expires_at.to_be_bytes());
+        buf[0..HEADER_LEN].copy_from_slice(&self.header());
         let key_end = HEADER_LEN + self.key.len();
         buf[HEADER_LEN..key_end].copy_from_slice(self.key);
         buf[key_end..key_end + self.value.len()].copy_from_slice(self.value);
@@ -61,17 +64,33 @@ impl<'a> Item<'a> {
     /// Panics if the key exceeds 64 KiB or the value exceeds 4 GiB.
     pub fn encode_to(&self, buf: &mut Vec<u8>) {
         let need = Item::encoded_len(self.key.len(), self.value.len());
-        let key_len = u16::try_from(self.key.len()).expect("key exceeds 64 KiB");
-        let value_len = u32::try_from(self.value.len()).expect("value exceeds 4 GiB");
         buf.clear();
         buf.reserve(need);
-        buf.extend_from_slice(&key_len.to_be_bytes());
-        buf.extend_from_slice(&value_len.to_be_bytes());
-        buf.extend_from_slice(&self.flags.to_be_bytes());
-        buf.extend_from_slice(&self.cost.to_be_bytes());
-        buf.extend_from_slice(&self.expires_at.to_be_bytes());
+        buf.extend_from_slice(&self.header());
         buf.extend_from_slice(self.key);
         buf.extend_from_slice(self.value);
+    }
+
+    /// The encoded fixed header for this item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key exceeds 64 KiB or the value exceeds 4 GiB — the
+    /// documented contract of both encode entry points.
+    fn header(&self) -> [u8; HEADER_LEN] {
+        // lint:allow(unwrap-in-lib) — enforces the documented "# Panics"
+        // contract; the protocol caps keys at 250 B and values at
+        // --max-value-bytes, far below these encoding limits.
+        let key_len = u16::try_from(self.key.len()).expect("key exceeds 64 KiB");
+        // lint:allow(unwrap-in-lib) — same documented contract as above.
+        let value_len = u32::try_from(self.value.len()).expect("value exceeds 4 GiB");
+        let mut header = [0u8; HEADER_LEN];
+        header[0..2].copy_from_slice(&key_len.to_be_bytes());
+        header[2..6].copy_from_slice(&value_len.to_be_bytes());
+        header[6..10].copy_from_slice(&self.flags.to_be_bytes());
+        header[10..18].copy_from_slice(&self.cost.to_be_bytes());
+        header[18..26].copy_from_slice(&self.expires_at.to_be_bytes());
+        header
     }
 
     /// Decodes an item from a chunk.
@@ -84,11 +103,11 @@ impl<'a> Item<'a> {
     #[inline]
     pub fn decode(buf: &'a [u8]) -> Item<'a> {
         assert!(buf.len() >= HEADER_LEN, "chunk shorter than item header");
-        let key_len = u16::from_be_bytes(buf[0..2].try_into().unwrap()) as usize;
-        let value_len = u32::from_be_bytes(buf[2..6].try_into().unwrap()) as usize;
-        let flags = u32::from_be_bytes(buf[6..10].try_into().unwrap());
-        let cost = u64::from_be_bytes(buf[10..18].try_into().unwrap());
-        let expires_at = u64::from_be_bytes(buf[18..26].try_into().unwrap());
+        let key_len = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+        let value_len = u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+        let flags = u32::from_be_bytes([buf[6], buf[7], buf[8], buf[9]]);
+        let cost = be_u64(buf, 10);
+        let expires_at = be_u64(buf, 18);
         let body = &buf[HEADER_LEN..];
         assert!(
             body.len() >= key_len + value_len,

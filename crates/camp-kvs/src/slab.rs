@@ -294,6 +294,8 @@ impl SlabAllocator {
             let chunk = self.classes[class as usize]
                 .free
                 .pop()
+                // lint:allow(unwrap-in-lib) — grow_class just pushed a full
+                // slab of free chunks for this class.
                 .expect("fresh slab has free chunks");
             let slab = &mut self.slabs[slab_index as usize];
             slab.used[chunk.chunk as usize] = true;
@@ -308,6 +310,8 @@ impl SlabAllocator {
     fn grow_class(&mut self, class: u8) -> u32 {
         let chunk_size = self.class_sizes[class as usize];
         let chunks = self.config.slab_size / chunk_size;
+        // lint:allow(unwrap-in-lib) — callers check slabs.len() < max_slabs
+        // (a u32) before growing, so the index always fits.
         let slab_index = u32::try_from(self.slabs.len()).expect("slab budget fits u32");
         self.slabs.push(Slab {
             class,

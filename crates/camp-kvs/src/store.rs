@@ -540,6 +540,8 @@ impl Store {
                         // item cannot fit.
                         return Err(StoreError::OutOfMemory);
                     };
+                    // lint:allow(unwrap-in-lib) — victim() only returns keys
+                    // the policy owns, and policy and index move in lockstep.
                     let (_, chunk) = self.remove_entry(&victim).expect("victim is resident");
                     self.free_chunk(chunk, class);
                     self.stats.evictions += 1;
@@ -552,6 +554,8 @@ impl Store {
         };
         for chunk in victims {
             let key: Box<[u8]> = Item::decode(self.slabs.read(chunk)).key.into();
+            // lint:allow(unwrap-in-lib) — every chunk in a reassigned slab
+            // was written through insert, which indexed it.
             self.remove_entry(&key).expect("slab item is indexed");
             self.slabs.free(chunk);
             self.stats.slab_evictions += 1;

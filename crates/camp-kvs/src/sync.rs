@@ -51,6 +51,7 @@ mod tests {
         let before = poison_recovered_total();
         let poisoner = std::sync::Arc::clone(&mutex);
         let _ = std::thread::spawn(move || {
+            // lint:allow(raw-mutex-lock) — poisoning the mutex is the point.
             let _guard = poisoner.lock().unwrap();
             panic!("poison the mutex on purpose");
         })

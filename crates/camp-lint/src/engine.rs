@@ -1,0 +1,553 @@
+//! The rule engine: per-file context, suppression handling, orchestration.
+//!
+//! A [`FileContext`] is built once per file (tokens, line table, test
+//! regions, function bodies, file classification) and shared by every rule.
+//! Findings are filtered through `// lint:allow(rule)` suppressions before
+//! being reported.
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::rules;
+use crate::walker::{walk_workspace, SourceFile, WalkError};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// How a file participates in the workspace, derived from its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: `src/**` of a workspace crate (excluding `src/bin`).
+    Lib {
+        /// The crate the file belongs to (`camp` for the umbrella crate).
+        crate_name: String,
+    },
+    /// A binary target: `src/bin/*.rs` or `src/main.rs`.
+    Bin,
+    /// An integration test under a `tests/` directory.
+    Test,
+    /// A benchmark under a `benches/` directory.
+    Bench,
+    /// An example under `examples/`.
+    Example,
+    /// Anything else (`build.rs`, stray scripts).
+    Other,
+}
+
+/// Everything a rule needs to know about one file.
+#[derive(Debug)]
+pub struct FileContext<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: &'a str,
+    /// Raw file bytes.
+    pub src: &'a [u8],
+    /// The full token stream (spans tile `src`).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of every non-trivia token, in order.
+    pub code: Vec<usize>,
+    /// Byte offset of the start of each line.
+    pub line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[test]` / `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Token-index ranges `(open_brace, close_brace)` of every `fn` body.
+    pub fn_bodies: Vec<(usize, usize)>,
+    /// The file's role in the workspace.
+    pub kind: FileKind,
+}
+
+impl<'a> FileContext<'a> {
+    /// Builds the context for one file.
+    #[must_use]
+    pub fn new(rel_path: &'a str, src: &'a [u8]) -> Self {
+        let tokens = lexer::lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_trivia())
+            .map(|(i, _)| i)
+            .collect();
+        let line_starts = lexer::line_starts(src);
+        let test_regions = find_test_regions(src, &tokens, &code);
+        let fn_bodies = find_fn_bodies(src, &tokens, &code);
+        let kind = classify(rel_path);
+        FileContext {
+            rel_path,
+            src,
+            tokens,
+            code,
+            line_starts,
+            test_regions,
+            fn_bodies,
+            kind,
+        }
+    }
+
+    /// Whether the byte offset falls inside a `#[test]`/`#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether this file is library code (subject to the `*-in-lib` rules).
+    #[must_use]
+    pub fn is_lib(&self) -> bool {
+        matches!(self.kind, FileKind::Lib { .. })
+    }
+
+    /// The owning crate's name, when known.
+    #[must_use]
+    pub fn crate_name(&self) -> Option<&str> {
+        match &self.kind {
+            FileKind::Lib { crate_name } => Some(crate_name),
+            _ => None,
+        }
+    }
+
+    /// Whether this file is a crate root (`src/lib.rs`, `src/main.rs`, or a
+    /// `src/bin/*.rs` binary root).
+    #[must_use]
+    pub fn is_crate_root(&self) -> bool {
+        self.rel_path.ends_with("src/lib.rs")
+            || self.rel_path.ends_with("src/main.rs")
+            || self.rel_path.contains("/src/bin/")
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        lexer::line_col(&self.line_starts, offset)
+    }
+
+    /// The trimmed source text of the line containing `offset`.
+    #[must_use]
+    pub fn line_snippet(&self, offset: usize) -> String {
+        let (line, _) = self.line_col(offset);
+        let start = self
+            .line_starts
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(0);
+        let end = self
+            .line_starts
+            .get(line as usize)
+            .copied()
+            .unwrap_or(self.src.len());
+        String::from_utf8_lossy(&self.src[start..end])
+            .trim()
+            .to_string()
+    }
+
+    /// Creates a finding at `offset` for `rule`.
+    #[must_use]
+    pub fn finding(&self, rule: &'static str, offset: usize, message: String) -> Finding {
+        let (line, column) = self.line_col(offset);
+        Finding {
+            rule,
+            file: self.rel_path.to_string(),
+            line,
+            column,
+            message,
+            snippet: self.line_snippet(offset),
+        }
+    }
+}
+
+fn classify(rel_path: &str) -> FileKind {
+    let has = |needle: &str| rel_path.contains(needle) || rel_path.starts_with(&needle[1..]);
+    if has("/tests/") {
+        return FileKind::Test;
+    }
+    if has("/benches/") {
+        return FileKind::Bench;
+    }
+    if has("/examples/") {
+        return FileKind::Example;
+    }
+    if rel_path.contains("/src/bin/") || rel_path.ends_with("src/main.rs") {
+        return FileKind::Bin;
+    }
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        if let Some((crate_name, tail)) = rest.split_once('/') {
+            if tail.starts_with("src/") {
+                return FileKind::Lib {
+                    crate_name: crate_name.to_string(),
+                };
+            }
+        }
+    }
+    if rel_path.starts_with("src/") {
+        return FileKind::Lib {
+            crate_name: "camp".to_string(),
+        };
+    }
+    FileKind::Other
+}
+
+/// Scans for `#[test]`-like and `#[cfg(test)]`-like attributes and returns
+/// the byte ranges of the items they gate. `#[cfg(not(test))]` is excluded.
+fn find_test_regions(src: &[u8], tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut c = 0usize;
+    while c < code.len() {
+        let ti = code[c];
+        if !tokens[ti].is_punct(src, b'#') {
+            c += 1;
+            continue;
+        }
+        let mut k = c + 1;
+        let inner = k < code.len() && tokens[code[k]].is_punct(src, b'!');
+        if inner {
+            k += 1;
+        }
+        if k >= code.len() || !tokens[code[k]].is_punct(src, b'[') {
+            c += 1;
+            continue;
+        }
+        // Collect the attribute's identifiers up to the matching `]`.
+        let mut depth = 0i32;
+        let mut has_test = false;
+        let mut has_not = false;
+        let attr_start = tokens[ti].start;
+        while k < code.len() {
+            let t = &tokens[code[k]];
+            if t.is_punct(src, b'[') {
+                depth += 1;
+            } else if t.is_punct(src, b']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident {
+                has_test |= t.is_ident(src, "test");
+                has_not |= t.is_ident(src, "not");
+            }
+            k += 1;
+        }
+        if !has_test || has_not {
+            c = k.max(c + 1);
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            return vec![(0, src.len())];
+        }
+        // Find the gated item's body: the first `{` at bracket/paren depth
+        // zero after the attribute (skipping any further attributes), or a
+        // `;` meaning the item has no inline body.
+        let mut j = k + 1;
+        let mut nest = 0i32;
+        let mut body_end = None;
+        while j < code.len() {
+            let t = &tokens[code[j]];
+            if t.is_punct(src, b'(') || t.is_punct(src, b'[') {
+                nest += 1;
+            } else if t.is_punct(src, b')') || t.is_punct(src, b']') {
+                nest -= 1;
+            } else if nest == 0 && t.is_punct(src, b';') {
+                break;
+            } else if nest == 0 && t.is_punct(src, b'{') {
+                let close = match_brace(src, tokens, code, j);
+                body_end = Some(tokens[code[close.min(code.len() - 1)]].end);
+                j = close;
+                break;
+            }
+            j += 1;
+        }
+        if let Some(end) = body_end {
+            regions.push((attr_start, end));
+            c = j + 1;
+        } else {
+            c = k.max(c + 1);
+        }
+    }
+    regions
+}
+
+/// Given `code[open]` pointing at a `{`, returns the code-index of the
+/// matching `}` (or the last token if unbalanced).
+fn match_brace(src: &[u8], tokens: &[Token], code: &[usize], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if t.is_punct(src, b'{') {
+            depth += 1;
+        } else if t.is_punct(src, b'}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Finds every `fn` body as a `(open_brace, close_brace)` pair of
+/// code-indices. Nested functions produce their own (inner) entries.
+fn find_fn_bodies(src: &[u8], tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut bodies = Vec::new();
+    for c in 0..code.len() {
+        if !tokens[code[c]].is_ident(src, "fn") {
+            continue;
+        }
+        // Scan the signature for the body's `{`; give up at `;` (trait
+        // method declarations) or if the signature runs off the file.
+        let mut nest = 0i32;
+        let mut j = c + 1;
+        while j < code.len() {
+            let t = &tokens[code[j]];
+            if t.is_punct(src, b'(') || t.is_punct(src, b'[') {
+                nest += 1;
+            } else if t.is_punct(src, b')') || t.is_punct(src, b']') {
+                nest -= 1;
+            } else if nest == 0 && t.is_punct(src, b';') {
+                break;
+            } else if nest == 0 && t.is_punct(src, b'{') {
+                let close = match_brace(src, tokens, code, j);
+                bodies.push((j, close));
+                break;
+            }
+            j += 1;
+        }
+    }
+    bodies
+}
+
+/// One reported rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub column: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All surviving (non-suppressed) findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings grouped per rule, for summaries.
+    #[must_use]
+    pub fn by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for f in &self.findings {
+            *map.entry(f.rule).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// `// lint:allow(rule, ...)` suppressions collected from comments.
+///
+/// A suppression comment applies to findings on its own line; a comment
+/// that stands alone on its line also covers every line through the next
+/// code token, so it can sit above the code it excuses even when the
+/// explanation runs over several comment lines.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// `(rule, line)` pairs that are suppressed. `"*"` matches every rule.
+    allowed: Vec<(String, u32)>,
+}
+
+impl Suppressions {
+    /// Collects suppressions from a file's comment tokens.
+    #[must_use]
+    pub fn collect(ctx: &FileContext<'_>) -> Self {
+        let mut allowed = Vec::new();
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if !t.is_comment() {
+                continue;
+            }
+            let text = t.text(ctx.src);
+            let mut rest = text.as_str();
+            while let Some(at) = rest.find("lint:allow(") {
+                let after = &rest[at + "lint:allow(".len()..];
+                let Some(close) = after.find(')') else { break };
+                let (line, _) = ctx.line_col(t.start);
+                let own_line = {
+                    let ls = ctx.line_starts.get(line as usize - 1).copied().unwrap_or(0);
+                    ctx.src[ls..t.start].iter().all(|&b| is_space(b))
+                };
+                // An own-line comment covers everything up to the code it
+                // sits above, so a multi-line explanation between the
+                // `lint:allow` and the code doesn't break the link.
+                let next_code_line = if own_line {
+                    ctx.tokens[i + 1..]
+                        .iter()
+                        .find(|n| !n.is_trivia())
+                        .map(|n| ctx.line_col(n.start).0)
+                } else {
+                    None
+                };
+                for rule in after[..close].split(',') {
+                    let rule = rule.trim().to_string();
+                    if rule.is_empty() {
+                        continue;
+                    }
+                    allowed.push((rule.clone(), line));
+                    if own_line {
+                        let end = next_code_line.unwrap_or(line + 1).max(line + 1);
+                        for covered in line + 1..=end {
+                            allowed.push((rule.clone(), covered));
+                        }
+                    }
+                }
+                rest = &after[close..];
+            }
+        }
+        Suppressions { allowed }
+    }
+
+    /// Whether a finding for `rule` at `line` is suppressed.
+    #[must_use]
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.allowed
+            .iter()
+            .any(|(r, l)| *l == line && (r == rule || r == "*"))
+    }
+}
+
+fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | b'\n')
+}
+
+/// Lints a single in-memory source file. This is the unit the fixture tests
+/// drive; [`lint_files`] applies it to every file the walker found.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &[u8]) -> Vec<Finding> {
+    let ctx = FileContext::new(rel_path, src);
+    let suppressions = Suppressions::collect(&ctx);
+    let mut findings = Vec::new();
+    for rule in rules::ALL_RULES {
+        for f in (rule.check)(&ctx) {
+            if !suppressions.covers(f.rule, f.line) {
+                findings.push(f);
+            }
+        }
+    }
+    findings
+}
+
+/// Lints a set of walked files.
+#[must_use]
+pub fn lint_files(files: &[SourceFile]) -> LintReport {
+    let mut report = LintReport {
+        findings: Vec::new(),
+        files_scanned: files.len(),
+    };
+    for file in files {
+        report
+            .findings
+            .extend(lint_source(&file.rel_path, &file.bytes));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.column).cmp(&(&b.file, b.line, b.column)));
+    report
+}
+
+/// Walks `root` and lints every discovered file.
+///
+/// # Errors
+///
+/// Propagates any [`WalkError`] from file discovery (CI exit code 2).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, WalkError> {
+    let files = walk_workspace(root)?;
+    Ok(lint_files(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_knows_the_workspace_layout() {
+        assert_eq!(
+            classify("crates/camp-core/src/heap.rs"),
+            FileKind::Lib {
+                crate_name: "camp-core".into()
+            }
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            FileKind::Lib {
+                crate_name: "camp".into()
+            }
+        );
+        assert_eq!(
+            classify("crates/camp-kvs/src/bin/camp-kvsd.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(classify("crates/camp-lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/camp-kvs/tests/chaos.rs"), FileKind::Test);
+        assert_eq!(classify("tests/end_to_end.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/camp-bench/benches/heap.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = br#"
+fn live() { a.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { b.unwrap(); }
+}
+"#;
+        let ctx = FileContext::new("crates/camp-core/src/x.rs", src);
+        assert_eq!(ctx.test_regions.len(), 1);
+        let live_at = find(src, b"a.unwrap");
+        let test_at = find(src, b"b.unwrap");
+        assert!(!ctx.in_test_region(live_at));
+        assert!(ctx.in_test_region(test_at));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = b"#[cfg(not(test))]\nmod live { fn f() {} }\n";
+        let ctx = FileContext::new("crates/camp-core/src/x.rs", src);
+        assert!(ctx.test_regions.is_empty());
+    }
+
+    #[test]
+    fn fn_bodies_are_found_with_nesting() {
+        let src = b"fn outer() { fn inner() { x(); } y(); } trait T { fn decl(&self); }";
+        let ctx = FileContext::new("crates/camp-core/src/x.rs", src);
+        assert_eq!(ctx.fn_bodies.len(), 2);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = b"\n// lint:allow(some-rule) -- reason\nbad();\nalso_bad(); // lint:allow(other-rule)\n";
+        let ctx = FileContext::new("crates/camp-core/src/x.rs", src);
+        let s = Suppressions::collect(&ctx);
+        assert!(s.covers("some-rule", 2));
+        assert!(s.covers("some-rule", 3));
+        assert!(!s.covers("some-rule", 4));
+        assert!(s.covers("other-rule", 4));
+        assert!(!s.covers("other-rule", 5));
+    }
+
+    fn find(hay: &[u8], needle: &[u8]) -> usize {
+        hay.windows(needle.len())
+            .position(|w| w == needle)
+            .expect("needle present")
+    }
+}

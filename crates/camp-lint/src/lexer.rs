@@ -1,0 +1,592 @@
+//! A hand-rolled, panic-free Rust lexer.
+//!
+//! The lexer consumes arbitrary bytes (not necessarily valid UTF-8, not
+//! necessarily valid Rust) and produces a token stream whose spans exactly
+//! tile the input: `tokens[0].start == 0`, `tokens[i].end ==
+//! tokens[i+1].start`, and the last token ends at `src.len()`. Those two
+//! properties — *never panics* and *spans tile* — are what the fuzz test
+//! hammers on, because every rule downstream trusts them.
+//!
+//! The token model is deliberately coarse: rules need to know what is a
+//! comment, what is a string, and what is an identifier, so that a
+//! `lock().unwrap()` inside a doc example or a fix-me marker inside a
+//! string literal never fires a rule. Full expression structure is out of
+//! scope.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace bytes.
+    Whitespace,
+    /// `// ...` to end of line. `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* ... */`, nesting-aware. Unterminated comments run to EOF.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+        /// False when the comment ran off the end of the input.
+        terminated: bool,
+    },
+    /// An identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A character literal such as `'x'` or `'\n'`.
+    Char,
+    /// A byte literal such as `b'x'`.
+    Byte,
+    /// A string literal `"..."` (escape-aware).
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#` (any number of hashes).
+    RawStr,
+    /// A byte-string literal `b"..."`.
+    ByteStr,
+    /// A raw byte-string literal `br#"..."#`.
+    RawByteStr,
+    /// A C-string literal `c"..."` or `cr#"..."#`.
+    CStr,
+    /// A numeric literal (integers, floats, and their suffixes).
+    Number,
+    /// A single punctuation byte (`.`, `(`, `;`, ...).
+    Punct,
+    /// Any byte that fits nowhere else (stray control bytes, lone quotes).
+    Unknown,
+}
+
+/// One lexed token: a kind plus a half-open byte span into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// The raw bytes of this token.
+    #[must_use]
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(b"")
+    }
+
+    /// The token text, lossily decoded for messages.
+    #[must_use]
+    pub fn text(&self, src: &[u8]) -> String {
+        String::from_utf8_lossy(self.bytes(src)).into_owned()
+    }
+
+    /// Whether this token is whitespace or any kind of comment.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is a comment of either form.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is an identifier equal to `name`.
+    #[must_use]
+    pub fn is_ident(&self, src: &[u8], name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.bytes(src) == name.as_bytes()
+    }
+
+    /// Whether this token is the single punctuation byte `p`.
+    #[must_use]
+    pub fn is_punct(&self, src: &[u8], p: u8) -> bool {
+        self.kind == TokenKind::Punct && self.bytes(src) == [p]
+    }
+}
+
+/// Lexes `src` into a token stream whose spans exactly tile the input.
+///
+/// Never panics, for any byte sequence.
+#[must_use]
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < src.len() {
+        let start = pos;
+        let kind = next_token(src, &mut pos);
+        // Defensive: every branch of next_token consumes at least one byte,
+        // and never runs past the end. Clamp rather than trust.
+        if pos <= start {
+            pos = start + 1;
+        }
+        if pos > src.len() {
+            pos = src.len();
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: pos,
+        });
+    }
+    tokens
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn is_whitespace(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c)
+}
+
+/// Dispatches on the byte at `*pos`, advances `*pos`, returns the kind.
+fn next_token(src: &[u8], pos: &mut usize) -> TokenKind {
+    let i = *pos;
+    let b = src[i];
+    match b {
+        _ if is_whitespace(b) => {
+            *pos = scan_while(src, i, is_whitespace);
+            TokenKind::Whitespace
+        }
+        b'/' => match src.get(i + 1) {
+            Some(b'/') => {
+                let doc = matches!(src.get(i + 2), Some(b'!'))
+                    || (matches!(src.get(i + 2), Some(b'/'))
+                        && !matches!(src.get(i + 3), Some(b'/')));
+                *pos = scan_while(src, i, |c| c != b'\n');
+                TokenKind::LineComment { doc }
+            }
+            Some(b'*') => {
+                let doc = matches!(src.get(i + 2), Some(b'!'))
+                    || (matches!(src.get(i + 2), Some(b'*'))
+                        && !matches!(src.get(i + 3), Some(b'*' | b'/')));
+                let terminated = scan_block_comment(src, pos);
+                TokenKind::BlockComment { doc, terminated }
+            }
+            _ => {
+                *pos = i + 1;
+                TokenKind::Punct
+            }
+        },
+        b'r' => scan_r_prefixed(src, pos),
+        b'b' => scan_b_prefixed(src, pos),
+        b'c' => scan_c_prefixed(src, pos),
+        _ if is_ident_start(b) => {
+            *pos = scan_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        }
+        b'0'..=b'9' => {
+            scan_number(src, pos);
+            TokenKind::Number
+        }
+        b'"' => {
+            scan_quoted(src, pos, b'"');
+            TokenKind::Str
+        }
+        b'\'' => scan_quote(src, pos),
+        0x21..=0x7e => {
+            *pos = i + 1;
+            TokenKind::Punct
+        }
+        _ => {
+            *pos = i + 1;
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Advances from `from` while `cond` holds; returns the stop offset.
+fn scan_while(src: &[u8], from: usize, cond: impl Fn(u8) -> bool) -> usize {
+    let mut j = from;
+    while j < src.len() && cond(src[j]) {
+        j += 1;
+    }
+    j
+}
+
+/// Scans a nesting-aware `/* ... */`; returns whether it was terminated.
+fn scan_block_comment(src: &[u8], pos: &mut usize) -> bool {
+    let mut j = *pos + 2; // past "/*"
+    let mut depth = 1usize;
+    while j < src.len() {
+        if src[j] == b'/' && src.get(j + 1) == Some(&b'*') {
+            depth += 1;
+            j += 2;
+        } else if src[j] == b'*' && src.get(j + 1) == Some(&b'/') {
+            depth -= 1;
+            j += 2;
+            if depth == 0 {
+                *pos = j;
+                return true;
+            }
+        } else {
+            j += 1;
+        }
+    }
+    *pos = src.len();
+    false
+}
+
+/// Scans a `"`-style literal with `\` escapes from `*pos` (at the opening
+/// quote). Unterminated literals run to EOF.
+fn scan_quoted(src: &[u8], pos: &mut usize, quote: u8) {
+    let mut j = *pos + 1;
+    while j < src.len() {
+        match src[j] {
+            b'\\' => j = (j + 2).min(src.len()),
+            c if c == quote => {
+                *pos = j + 1;
+                return;
+            }
+            _ => j += 1,
+        }
+    }
+    *pos = src.len();
+}
+
+/// Scans a raw string starting at `*pos` where `hash_start` is the offset of
+/// the first `#` (or of the `"` when there are no hashes). Returns false if
+/// this is not actually a raw-string opener (the caller then falls back).
+fn scan_raw_string(src: &[u8], pos: &mut usize, hash_start: usize) -> bool {
+    let quote_at = scan_while(src, hash_start, |c| c == b'#');
+    let hashes = quote_at - hash_start;
+    if src.get(quote_at) != Some(&b'"') {
+        return false;
+    }
+    let mut j = quote_at + 1;
+    while j < src.len() {
+        if src[j] == b'"' {
+            let close_end = scan_while(src, j + 1, |c| c == b'#');
+            if close_end - (j + 1) >= hashes {
+                *pos = j + 1 + hashes;
+                return true;
+            }
+        }
+        j += 1;
+    }
+    *pos = src.len();
+    true
+}
+
+/// `r` — raw string, raw identifier, or a plain identifier starting with r.
+fn scan_r_prefixed(src: &[u8], pos: &mut usize) -> TokenKind {
+    let i = *pos;
+    match src.get(i + 1) {
+        Some(b'"') | Some(b'#') => {
+            if scan_raw_string(src, pos, i + 1) {
+                return TokenKind::RawStr;
+            }
+            // `r#ident` (raw identifier): consume `r#` plus the identifier.
+            if src.get(i + 1) == Some(&b'#') && src.get(i + 2).copied().is_some_and(is_ident_start)
+            {
+                *pos = scan_while(src, i + 2, is_ident_continue);
+                return TokenKind::Ident;
+            }
+            *pos = i + 1;
+            TokenKind::Ident
+        }
+        _ => {
+            *pos = scan_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// `b` — byte literal, byte string, raw byte string, or identifier.
+fn scan_b_prefixed(src: &[u8], pos: &mut usize) -> TokenKind {
+    let i = *pos;
+    match src.get(i + 1) {
+        Some(b'\'') => {
+            *pos = i + 1;
+            scan_quoted(src, pos, b'\'');
+            TokenKind::Byte
+        }
+        Some(b'"') => {
+            *pos = i + 1;
+            scan_quoted(src, pos, b'"');
+            TokenKind::ByteStr
+        }
+        Some(b'r') if matches!(src.get(i + 2), Some(b'"') | Some(b'#')) => {
+            if scan_raw_string(src, pos, i + 2) {
+                return TokenKind::RawByteStr;
+            }
+            *pos = scan_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => {
+            *pos = scan_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// `c` — C-string literal (`c"..."`, `cr#"..."#`) or identifier.
+fn scan_c_prefixed(src: &[u8], pos: &mut usize) -> TokenKind {
+    let i = *pos;
+    match src.get(i + 1) {
+        Some(b'"') => {
+            *pos = i + 1;
+            scan_quoted(src, pos, b'"');
+            TokenKind::CStr
+        }
+        Some(b'r') if matches!(src.get(i + 2), Some(b'"') | Some(b'#')) => {
+            if scan_raw_string(src, pos, i + 2) {
+                return TokenKind::CStr;
+            }
+            *pos = scan_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => {
+            *pos = scan_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// A loose numeric literal: enough to swallow `0xfff_fu64`, `1_000`, `1.5e3`
+/// and `1.` without ever eating a `..` range or a `.method()` call.
+fn scan_number(src: &[u8], pos: &mut usize) {
+    let i = *pos;
+    let mut j = scan_while(src, i, |c| c.is_ascii_alphanumeric() || c == b'_');
+    if src.get(j) == Some(&b'.') {
+        let after = src.get(j + 1).copied();
+        let is_range = after == Some(b'.');
+        let is_method = after.is_some_and(is_ident_start);
+        if !is_range && !is_method {
+            // Fractional part (possibly empty, as in `1.`), then exponent.
+            j = scan_while(src, j + 1, |c| c.is_ascii_alphanumeric() || c == b'_');
+            if matches!(src.get(j), Some(b'+') | Some(b'-'))
+                && matches!(src.get(j.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+            {
+                j = scan_while(src, j + 1, |c| c.is_ascii_alphanumeric() || c == b'_');
+            }
+        }
+    } else if matches!(src.get(j), Some(b'+') | Some(b'-'))
+        && matches!(src.get(j.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+        && j > i + 1
+    {
+        j = scan_while(src, j + 1, |c| c.is_ascii_alphanumeric() || c == b'_');
+    }
+    *pos = j;
+}
+
+/// `'` — lifetime, char literal, or a stray quote.
+fn scan_quote(src: &[u8], pos: &mut usize) -> TokenKind {
+    let i = *pos;
+    match src.get(i + 1) {
+        None => {
+            *pos = i + 1;
+            TokenKind::Unknown
+        }
+        Some(b'\\') => {
+            // Escaped char literal: scan to the closing quote on this line.
+            let mut j = i + 2;
+            if j < src.len() {
+                j += 1; // the escaped byte itself ('\n', '\'', '\u', ...)
+            }
+            while j < src.len() && src[j] != b'\'' && src[j] != b'\n' {
+                j += 1;
+            }
+            if src.get(j) == Some(&b'\'') {
+                *pos = j + 1;
+                TokenKind::Char
+            } else {
+                *pos = j.min(src.len());
+                TokenKind::Unknown
+            }
+        }
+        Some(&c) if is_ident_start(c) || c.is_ascii_digit() => {
+            let j = scan_while(src, i + 1, is_ident_continue);
+            if src.get(j) == Some(&b'\'') {
+                *pos = j + 1;
+                TokenKind::Char
+            } else {
+                *pos = j;
+                TokenKind::Lifetime
+            }
+        }
+        Some(&b'\'') => {
+            // `''` — an empty (invalid) char literal; consume both quotes.
+            *pos = i + 2;
+            TokenKind::Unknown
+        }
+        Some(_) => {
+            // One arbitrary char (possibly multi-byte UTF-8), then a quote.
+            let mut j = i + 2;
+            while j < src.len() && src[j] >= 0x80 && src[j] < 0xc0 {
+                j += 1; // UTF-8 continuation bytes of the char
+            }
+            if src.get(j) == Some(&b'\'') {
+                *pos = j + 1;
+                TokenKind::Char
+            } else {
+                *pos = i + 1;
+                TokenKind::Unknown
+            }
+        }
+    }
+}
+
+/// Byte offsets of the first byte of each line (line 1 starts at offset 0).
+#[must_use]
+pub fn line_starts(src: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, &b) in src.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Converts a byte offset to a 1-based `(line, column)` pair using the table
+/// from [`line_starts`].
+#[must_use]
+pub fn line_col(starts: &[usize], offset: usize) -> (u32, u32) {
+    let line = match starts.binary_search(&offset) {
+        Ok(l) => l,
+        Err(l) => l.saturating_sub(1),
+    };
+    let col = offset.saturating_sub(starts.get(line).copied().unwrap_or(0));
+    (line as u32 + 1, col as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Whitespace))
+            .map(|t| (t.kind, t.text(src.as_bytes())))
+            .collect()
+    }
+
+    fn assert_tiles(src: &[u8]) {
+        let toks = lex(src);
+        let mut at = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap or overlap at byte {at}");
+            assert!(t.end > t.start, "empty token at byte {at}");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens must cover the whole input");
+    }
+
+    #[test]
+    fn comments_strings_and_idents() {
+        let src = r##"// line
+/// doc
+/* block /* nested */ */
+fn main() { let s = "str \" esc"; let r = r#"raw "x" y"#; }
+"##;
+        assert_tiles(src.as_bytes());
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(ks[1].0, TokenKind::LineComment { doc: true });
+        assert!(matches!(
+            ks[2].0,
+            TokenKind::BlockComment {
+                terminated: true,
+                ..
+            }
+        ));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("esc")));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("raw")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src =
+            "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s: &'static str = \"\"; }";
+        assert_tiles(src.as_bytes());
+        let ks = kinds(src);
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 3, "{lifetimes:?}");
+        assert_eq!(chars.len(), 2, "{chars:?}");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"bytes"; let b = b'x'; let c = br#"raw"#; let d = r#match;"##;
+        assert_tiles(src.as_bytes());
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, _)| *k == TokenKind::ByteStr));
+        assert!(ks.iter().any(|(k, _)| *k == TokenKind::Byte));
+        assert!(ks.iter().any(|(k, _)| *k == TokenKind::RawByteStr));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { let x = 1.5e3; let y = 1.max(2); let z = 0xff_u64; }";
+        assert_tiles(src.as_bytes());
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Number && t == "10"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e3"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Number && t == "1"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0xff_u64"));
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panicking() {
+        for src in [
+            "let s = \"never closed",
+            "let r = r#\"never closed",
+            "/* never closed",
+            "let c = '",
+            "let c = '\\",
+            "b\"",
+            "br###\"x",
+        ] {
+            assert_tiles(src.as_bytes());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_tile() {
+        let junk: Vec<u8> = (0u8..=255).collect();
+        assert_tiles(&junk);
+        assert_tiles(&[0xff, 0xfe, b'\'', 0xff, b'"', 0x00]);
+        assert_tiles(b"");
+    }
+
+    #[test]
+    fn line_col_roundtrip() {
+        let src = b"ab\ncd\n\nef";
+        let starts = line_starts(src);
+        assert_eq!(line_col(&starts, 0), (1, 1));
+        assert_eq!(line_col(&starts, 3), (2, 1));
+        assert_eq!(line_col(&starts, 4), (2, 2));
+        assert_eq!(line_col(&starts, 6), (3, 1));
+        assert_eq!(line_col(&starts, 7), (4, 1));
+    }
+}

@@ -1,0 +1,50 @@
+//! # camp-lint — workspace static analysis for the CAMP repo
+//!
+//! The CAMP paper's correctness argument rests on structural invariants the
+//! Rust compiler cannot see: the heap ordering over queue heads, the
+//! monotone inflation term `L`, the arena's generation discipline, the
+//! rule that only the signal handler may touch `unsafe`. This crate is the
+//! static half of enforcing them (the dynamic half is the
+//! `debug_assertions`-gated `validate()` methods in `camp-core`): an
+//! offline, zero-dependency linter with a hand-rolled, panic-free Rust
+//! lexer and a set of repo-specific rules, wired into CI as a failing step.
+//!
+//! * [`lexer`] — tokenizes arbitrary bytes; spans exactly tile the input;
+//! * [`walker`] — enumerates workspace `.rs` files (I/O errors are exit
+//!   code 2, never silently skipped files);
+//! * [`rules`] — the rule set ([`rules::ALL_RULES`]);
+//! * [`engine`] — per-file context, `// lint:allow(rule)` suppressions;
+//! * [`report`] — `--format text|json` rendering.
+//!
+//! ## Invocation
+//!
+//! ```text
+//! cargo run -p camp-lint -- --workspace [--root DIR] [--format text|json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` broken run (I/O or usage
+//! error) — so CI can tell "dirty tree" from "broken tool".
+//!
+//! ## Suppressions
+//!
+//! A finding is suppressed by a comment on the same line, or on its own
+//! line directly above, naming the rule:
+//!
+//! ```text
+//! // lint:allow(unwrap-in-lib) — length checked three lines up
+//! let first = parts.next().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+pub use engine::{lint_files, lint_source, lint_workspace, Finding, LintReport};
+pub use report::{render, Format};
+pub use walker::{walk_workspace, SourceFile, WalkError};

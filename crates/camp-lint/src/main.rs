@@ -1,0 +1,90 @@
+//! `camp-lint` — offline static analysis for the CAMP workspace.
+//!
+//! ```text
+//! camp-lint [--workspace] [--root DIR] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` no findings, `1` findings reported, `2` the run itself
+//! failed (unreadable tree, bad flags) — CI treats 1 as "dirty tree" and 2
+//! as "broken tool".
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use camp_lint::report::Format;
+use camp_lint::rules::ALL_RULES;
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    "usage: camp-lint [--workspace] [--root DIR] [--format text|json] [--list-rules]\n\
+     exit codes: 0 clean, 1 findings, 2 broken run"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // --workspace is the default (and only) scope; accepted so the
+            // documented invocation reads naturally.
+            "--workspace" => {}
+            "--root" => {
+                let value = it.next().ok_or("--root requires a directory")?;
+                options.root = PathBuf::from(value);
+            }
+            "--format" => {
+                let value = it.next().ok_or("--format requires text|json")?;
+                options.format = value.parse()?;
+            }
+            "--list-rules" => options.list_rules = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list_rules {
+        for rule in ALL_RULES {
+            println!("{:24} {}", rule.name, rule.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match camp_lint::lint_workspace(&options.root) {
+        Ok(report) => {
+            print!("{}", camp_lint::render(&report, options.format));
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(error) => {
+            eprintln!("camp-lint: broken run: {error}");
+            ExitCode::from(2)
+        }
+    }
+}

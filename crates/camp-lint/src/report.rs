@@ -1,0 +1,176 @@
+//! Text and JSON rendering of a [`LintReport`].
+//!
+//! The JSON encoder is hand-rolled (the tool is zero-dependency by
+//! design); output is a single stable object so CI can archive the report
+//! as an artifact and scripts can consume it without a JSON library on the
+//! producing side.
+
+use crate::engine::LintReport;
+use std::fmt::Write as _;
+
+/// Output format selector for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable `file:line:col rule message` lines plus a summary.
+    Text,
+    /// A machine-readable JSON object.
+    Json,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format `{other}` (expected text|json)")),
+        }
+    }
+}
+
+/// Renders the report in the requested format.
+#[must_use]
+pub fn render(report: &LintReport, format: Format) -> String {
+    match format {
+        Format::Text => render_text(report),
+        Format::Json => render_json(report),
+    }
+}
+
+fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] {}\n    {}",
+            f.file, f.line, f.column, f.rule, f.message, f.snippet
+        );
+    }
+    let _ = writeln!(
+        out,
+        "camp-lint: {} finding(s) in {} file(s)",
+        report.findings.len(),
+        report.files_scanned
+    );
+    if !report.findings.is_empty() {
+        for (rule, count) in report.by_rule() {
+            let _ = writeln!(out, "    {rule}: {count}");
+        }
+    }
+    out
+}
+
+fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
+    out.push_str("  \"by_rule\": {");
+    let by_rule = report.by_rule();
+    for (i, (rule, count)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {}", json_string(rule), count);
+    }
+    if !by_rule.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("},\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_string(f.rule),
+            json_string(&f.file),
+            f.line,
+            f.column,
+            json_string(&f.message),
+            json_string(&f.snippet)
+        );
+    }
+    if !report.findings.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Encodes a string as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                rule: "leftover-debug",
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                column: 7,
+                message: "`dbg!` left in the tree".into(),
+                snippet: "dbg!(\"quote \\\" and\ttab\")".into(),
+            }],
+            files_scanned: 10,
+        }
+    }
+
+    #[test]
+    fn text_format_mentions_rule_and_location() {
+        let text = render(&sample(), Format::Text);
+        assert!(text.contains("crates/x/src/lib.rs:3:7"));
+        assert!(text.contains("[leftover-debug]"));
+        assert!(text.contains("1 finding(s) in 10 file(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shape() {
+        let json = render(&sample(), Format::Json);
+        assert!(json.contains("\"total_findings\": 1"));
+        assert!(json.contains("\\\"quote \\\\\\\" and\\ttab\\\"") || json.contains("\\ttab"));
+        // Cheap structural sanity: balanced braces and brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = LintReport {
+            findings: Vec::new(),
+            files_scanned: 0,
+        };
+        let json = render(&report, Format::Json);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"by_rule\": {}"));
+    }
+}

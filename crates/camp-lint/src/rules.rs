@@ -1,0 +1,356 @@
+//! The repo-specific rules.
+//!
+//! Each rule is a pure function from a [`FileContext`] to findings. Rules
+//! match over the *token stream*, so nothing inside comments, doc examples,
+//! or string literals can fire them, and `lint:allow` suppression is applied
+//! uniformly by the engine afterwards.
+//!
+//! The rule set encodes this workspace's written-down-but-previously-
+//! unenforced conventions; the table in `DESIGN.md` §9 is the prose
+//! counterpart of [`ALL_RULES`].
+
+use crate::engine::{FileContext, Finding};
+use crate::lexer::Token;
+
+/// A registered rule: stable name, one-line description, check function.
+#[derive(Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case rule name, used in findings and `lint:allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and the DESIGN.md table.
+    pub description: &'static str,
+    /// The check itself.
+    pub check: fn(&FileContext<'_>) -> Vec<Finding>,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule").field("name", &self.name).finish()
+    }
+}
+
+/// The module that is allowed to contain `unsafe` code.
+pub const UNSAFE_SANCTUARY: &str = "crates/camp-kvs/src/signals.rs";
+
+/// Crates whose library code must never read the wall clock (replay and
+/// simulation determinism depend on it).
+pub const DETERMINISTIC_CRATES: &[&str] = &["camp-core", "camp-policies", "camp-sim"];
+
+/// The crate whose request path must not contain panicking `expect()` calls.
+pub const REQUEST_PATH_CRATE: &str = "camp-kvs";
+
+/// Every rule, in reporting order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule {
+        name: "unsafe-outside-signals",
+        description: "`unsafe` appears outside camp-kvs/src/signals.rs, the one sanctioned module",
+        check: unsafe_outside_signals,
+    },
+    Rule {
+        name: "raw-mutex-lock",
+        description: "`.lock().unwrap()` / `.lock().expect(...)` instead of the poison-recovering sync::lock()",
+        check: raw_mutex_lock,
+    },
+    Rule {
+        name: "unwrap-in-lib",
+        description: "bare `.unwrap()` in library code (and `.expect(` on the camp-kvs request path)",
+        check: unwrap_in_lib,
+    },
+    Rule {
+        name: "println-in-lib",
+        description: "`println!`-family output in library code; use the structured kvlog! instead",
+        check: println_in_lib,
+    },
+    Rule {
+        name: "wall-clock-in-core",
+        description: "`Instant::now`/`SystemTime` inside deterministic crates (camp-core/policies/sim)",
+        check: wall_clock_in_core,
+    },
+    Rule {
+        name: "nested-lock",
+        description: "two lock(...) call sites in one function body — deadlock smell",
+        check: nested_lock,
+    },
+    Rule {
+        name: "leftover-debug",
+        description: "`dbg!`/`todo!`/`unimplemented!` or a FIXME comment left in the tree",
+        check: leftover_debug,
+    },
+    Rule {
+        name: "missing-deny-header",
+        description: "a crate root without the `#![forbid|deny(unsafe_code)]` lint header",
+        check: missing_deny_header,
+    },
+];
+
+/// Looks up a rule by name.
+#[must_use]
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    ALL_RULES.iter().find(|r| r.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers over the non-trivia token list.
+
+/// The `c`-th non-trivia token, if any.
+fn tok<'a>(ctx: &'a FileContext<'_>, c: usize) -> Option<&'a Token> {
+    ctx.code.get(c).map(|&ti| &ctx.tokens[ti])
+}
+
+fn is_ident(ctx: &FileContext<'_>, c: usize, name: &str) -> bool {
+    tok(ctx, c).is_some_and(|t| t.is_ident(ctx.src, name))
+}
+
+fn is_punct(ctx: &FileContext<'_>, c: usize, p: u8) -> bool {
+    tok(ctx, c).is_some_and(|t| t.is_punct(ctx.src, p))
+}
+
+/// Whether code position `c` starts `.lock()`.
+fn is_lock_call(ctx: &FileContext<'_>, c: usize) -> bool {
+    is_punct(ctx, c, b'.')
+        && is_ident(ctx, c + 1, "lock")
+        && is_punct(ctx, c + 2, b'(')
+        && is_punct(ctx, c + 3, b')')
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+
+fn unsafe_outside_signals(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if ctx.rel_path == UNSAFE_SANCTUARY {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        if is_ident(ctx, c, "unsafe") {
+            let t = tok(ctx, c).expect("index in range");
+            out.push(ctx.finding(
+                "unsafe-outside-signals",
+                t.start,
+                format!("`unsafe` is only sanctioned in {UNSAFE_SANCTUARY} (the self-pipe signal handler)"),
+            ));
+        }
+    }
+    out
+}
+
+fn raw_mutex_lock(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        if is_lock_call(ctx, c)
+            && is_punct(ctx, c + 4, b'.')
+            && (is_ident(ctx, c + 5, "unwrap") || is_ident(ctx, c + 5, "expect"))
+        {
+            let t = tok(ctx, c + 5).expect("index in range");
+            let what = t.text(ctx.src);
+            out.push(ctx.finding(
+                "raw-mutex-lock",
+                t.start,
+                format!(
+                    "`.lock().{what}(...)` panics on poison; use the counting, \
+                     poison-recovering `sync::lock(&mutex)` helper"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn unwrap_in_lib(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if !ctx.is_lib() {
+        return Vec::new();
+    }
+    let on_request_path = ctx.crate_name() == Some(REQUEST_PATH_CRATE);
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        if !is_punct(ctx, c, b'.') {
+            continue;
+        }
+        // `.lock().unwrap()` is raw-mutex-lock's finding; don't double-report.
+        let after_lock_call = c >= 4 && is_lock_call(ctx, c - 4);
+        if after_lock_call {
+            continue;
+        }
+        let bare_unwrap = is_ident(ctx, c + 1, "unwrap")
+            && is_punct(ctx, c + 2, b'(')
+            && is_punct(ctx, c + 3, b')');
+        let expect_call =
+            on_request_path && is_ident(ctx, c + 1, "expect") && is_punct(ctx, c + 2, b'(');
+        if !(bare_unwrap || expect_call) {
+            continue;
+        }
+        let t = tok(ctx, c + 1).expect("index in range");
+        if ctx.in_test_region(t.start) {
+            continue;
+        }
+        let message = if bare_unwrap {
+            "bare `.unwrap()` in library code: return an error, use \
+             `.expect(\"invariant\")` with a message, or justify with a lint:allow"
+                .to_string()
+        } else {
+            "`.expect(...)` on the camp-kvs request path: a panic here is a \
+             user-facing outage; return an error or justify with a lint:allow"
+                .to_string()
+        };
+        out.push(ctx.finding("unwrap-in-lib", t.start, message));
+    }
+    out
+}
+
+fn println_in_lib(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if !ctx.is_lib() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        let Some(t) = tok(ctx, c) else { continue };
+        let is_print = ["println", "eprintln", "print", "eprint"]
+            .iter()
+            .any(|m| t.is_ident(ctx.src, m));
+        if is_print && is_punct(ctx, c + 1, b'!') && !ctx.in_test_region(t.start) {
+            let what = t.text(ctx.src);
+            out.push(ctx.finding(
+                "println-in-lib",
+                t.start,
+                format!("`{what}!` in library code bypasses the structured logger; use `kvlog!`"),
+            ));
+        }
+    }
+    out
+}
+
+fn wall_clock_in_core(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let Some(crate_name) = ctx.crate_name() else {
+        return Vec::new();
+    };
+    if !DETERMINISTIC_CRATES.contains(&crate_name) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        let instant_now = is_ident(ctx, c, "Instant")
+            && is_punct(ctx, c + 1, b':')
+            && is_punct(ctx, c + 2, b':')
+            && is_ident(ctx, c + 3, "now");
+        let system_time = is_ident(ctx, c, "SystemTime");
+        if !(instant_now || system_time) {
+            continue;
+        }
+        let t = tok(ctx, c).expect("index in range");
+        if ctx.in_test_region(t.start) {
+            continue;
+        }
+        out.push(ctx.finding(
+            "wall-clock-in-core",
+            t.start,
+            format!(
+                "wall-clock read in deterministic crate `{crate_name}`: replay and \
+                 simulation results must not depend on real time"
+            ),
+        ));
+    }
+    out
+}
+
+fn nested_lock(ctx: &FileContext<'_>) -> Vec<Finding> {
+    use crate::engine::FileKind;
+    if matches!(
+        ctx.kind,
+        FileKind::Test | FileKind::Bench | FileKind::Example
+    ) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for &(open, close) in &ctx.fn_bodies {
+        // Skip token ranges of functions nested inside this one, so an
+        // inner fn's locks are attributed only to the inner fn.
+        let nested: Vec<(usize, usize)> = ctx
+            .fn_bodies
+            .iter()
+            .copied()
+            .filter(|&(o, c)| o > open && c < close)
+            .collect();
+        let mut sites: Vec<usize> = Vec::new();
+        let mut c = open;
+        while c <= close && c < ctx.code.len() {
+            if nested.iter().any(|&(o, cl)| c >= o && c <= cl) {
+                c += 1;
+                continue;
+            }
+            if is_ident(ctx, c, "lock") && is_punct(ctx, c + 1, b'(') {
+                let t = tok(ctx, c).expect("index in range");
+                if !ctx.in_test_region(t.start) {
+                    sites.push(t.start);
+                }
+            }
+            c += 1;
+        }
+        if sites.len() >= 2 {
+            let (first_line, _) = ctx.line_col(sites[0]);
+            out.push(ctx.finding(
+                "nested-lock",
+                sites[1],
+                format!(
+                    "{} lock(...) call sites in one function (first at line {first_line}): \
+                     overlapping guards deadlock; if the locks are strictly sequential, \
+                     say so with a lint:allow",
+                    sites.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn leftover_debug(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        let Some(t) = tok(ctx, c) else { continue };
+        for mac in ["dbg", "todo", "unimplemented"] {
+            if t.is_ident(ctx.src, mac) && is_punct(ctx, c + 1, b'!') {
+                out.push(ctx.finding(
+                    "leftover-debug",
+                    t.start,
+                    format!("`{mac}!` left in the tree"),
+                ));
+            }
+        }
+    }
+    for t in &ctx.tokens {
+        if t.is_comment() && t.text(ctx.src).contains("FIXME") {
+            let off = t.start + t.text(ctx.src).find("FIXME").unwrap_or(0);
+            out.push(ctx.finding(
+                "leftover-debug",
+                off,
+                "FIXME comment left in the tree: file an issue or fix it".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn missing_deny_header(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if !ctx.is_crate_root() {
+        return Vec::new();
+    }
+    for c in 0..ctx.code.len() {
+        let header = is_punct(ctx, c, b'#')
+            && is_punct(ctx, c + 1, b'!')
+            && is_punct(ctx, c + 2, b'[')
+            && (is_ident(ctx, c + 3, "forbid") || is_ident(ctx, c + 3, "deny"))
+            && is_punct(ctx, c + 4, b'(')
+            && is_ident(ctx, c + 5, "unsafe_code")
+            && is_punct(ctx, c + 6, b')')
+            && is_punct(ctx, c + 7, b']');
+        if header {
+            return Vec::new();
+        }
+    }
+    vec![ctx.finding(
+        "missing-deny-header",
+        0,
+        "crate root lacks the `#![forbid(unsafe_code)]` (or `deny`, for signals.rs's \
+         parent) lint header"
+            .to_string(),
+    )]
+}

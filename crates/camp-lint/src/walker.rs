@@ -1,0 +1,116 @@
+//! Workspace file discovery.
+//!
+//! Walks a workspace root for `.rs` files, skipping build output, VCS
+//! metadata, and lint test fixtures. I/O failures are reported as
+//! [`WalkError`]s (CI exit code 2 — "broken tool"), never as findings
+//! (exit code 1 — "dirty tree") and never as silent omissions: a lint run
+//! that cannot read the tree must not claim the tree is clean.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// A failure to enumerate or read part of the workspace.
+#[derive(Debug)]
+pub struct WalkError {
+    /// The path the operation failed on.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WalkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// One discovered source file: its path relative to the workspace root
+/// (always `/`-separated) and its raw bytes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub rel_path: String,
+    /// The file contents, as read (possibly not UTF-8).
+    pub bytes: Vec<u8>,
+}
+
+/// Recursively collects every `.rs` file under `root`, in sorted path order.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while listing directories or
+/// reading files.
+pub fn walk_workspace(root: &Path) -> Result<Vec<SourceFile>, WalkError> {
+    let mut files = Vec::new();
+    let mut paths = Vec::new();
+    collect_paths(root, root, &mut paths)?;
+    paths.sort();
+    for (rel_path, abs) in paths {
+        let bytes = fs::read(&abs).map_err(|source| WalkError { path: abs, source })?;
+        files.push(SourceFile { rel_path, bytes });
+    }
+    Ok(files)
+}
+
+fn collect_paths(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), WalkError> {
+    let entries = fs::read_dir(dir).map_err(|source| WalkError {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| WalkError {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let file_type = entry.file_type().map_err(|source| WalkError {
+            path: path.clone(),
+            source,
+        })?;
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_paths(root, &path, out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_root_is_a_walk_error() {
+        let err = walk_workspace(Path::new("/nonexistent/campd-lint-test"))
+            .expect_err("walking a missing directory must fail");
+        assert!(err.to_string().contains("campd-lint-test"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Fixture corpus: every rule fires on a known-bad snippet, stays quiet on
+//! the matching known-good one, and is silenced by its `lint:allow`.
+//!
+//! Snippets live in string literals inside this file (never on disk as
+//! `.rs` files), for two reasons: the walker must not lint them as part of
+//! the real tree, and keeping them inline makes each case's path-dependent
+//! behaviour — the same bytes are bad in `crates/camp-kvs/src/` and fine in
+//! `tests/` — explicit at the call site.
+
+use camp_lint::lint_source;
+use camp_lint::rules::ALL_RULES;
+
+/// Rule names of the findings for `src` linted as `path`, in order.
+fn fired(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src.as_bytes())
+        .iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn assert_fires(rule: &str, path: &str, src: &str) {
+    let rules = fired(path, src);
+    assert!(
+        rules.contains(&rule),
+        "expected `{rule}` to fire on {path}; got {rules:?}\n---\n{src}"
+    );
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let rules = fired(path, src);
+    assert!(
+        rules.is_empty(),
+        "expected no findings on {path}; got {rules:?}\n---\n{src}"
+    );
+}
+
+/// Inserting an own-line `lint:allow` above each finding's reported line
+/// must silence the snippet completely.
+fn assert_suppressible(path: &str, src: &str) {
+    let findings = lint_source(path, src.as_bytes());
+    assert!(!findings.is_empty(), "suppression case must start dirty");
+    let mut suppressed = String::new();
+    for (i, line) in src.lines().enumerate() {
+        let here: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.line as usize == i + 1)
+            .map(|f| f.rule)
+            .collect();
+        if !here.is_empty() {
+            let stripped = line.trim_start();
+            let indent = &line[..line.len() - stripped.len()];
+            suppressed.push_str(&format!("{indent}// lint:allow({})\n", here.join(", ")));
+        }
+        suppressed.push_str(line);
+        suppressed.push('\n');
+    }
+    let after = fired(path, &suppressed);
+    assert!(
+        after.is_empty(),
+        "lint:allow above each finding failed to silence {path}; still got {after:?}\n---\n{suppressed}"
+    );
+}
+
+const LIB: &str = "crates/camp-core/src/fixture.rs";
+const KVS_LIB: &str = "crates/camp-kvs/src/fixture.rs";
+const BIN: &str = "crates/camp-kvs/src/bin/fixture.rs";
+const TEST: &str = "crates/camp-kvs/tests/fixture.rs";
+
+// -- unsafe-outside-signals -------------------------------------------------
+
+const UNSAFE_SNIPPET: &str =
+    "pub fn poke(p: *const u8) -> u8 { unsafe { std::ptr::read_volatile(p) } }\n";
+
+#[test]
+fn unsafe_outside_signals_fires_everywhere_but_the_sanctuary() {
+    assert_fires("unsafe-outside-signals", KVS_LIB, UNSAFE_SNIPPET);
+    assert_fires("unsafe-outside-signals", TEST, UNSAFE_SNIPPET);
+    assert_clean("crates/camp-kvs/src/signals.rs", UNSAFE_SNIPPET);
+    assert_suppressible(KVS_LIB, UNSAFE_SNIPPET);
+}
+
+// -- raw-mutex-lock ---------------------------------------------------------
+
+#[test]
+fn raw_mutex_lock_fires_on_unwrap_and_expect() {
+    let unwrap = "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n";
+    let expect = "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().expect(\"poisoned\") }\n";
+    for src in [unwrap, expect] {
+        // Exactly one finding: unwrap-in-lib must not double-report it.
+        assert_eq!(fired(KVS_LIB, src), vec!["raw-mutex-lock"]);
+        // The rule is deliberately path-blind — tests hold locks too.
+        assert_fires("raw-mutex-lock", TEST, src);
+        assert_suppressible(KVS_LIB, src);
+    }
+    assert_clean(
+        KVS_LIB,
+        "fn f(m: &std::sync::Mutex<u32>) -> u32 { *crate::sync::lock(m) }\n",
+    );
+}
+
+// -- unwrap-in-lib ----------------------------------------------------------
+
+#[test]
+fn unwrap_in_lib_flags_bare_unwrap_in_library_code_only() {
+    let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_fires("unwrap-in-lib", LIB, src);
+    assert_fires("unwrap-in-lib", KVS_LIB, src);
+    // Binary roots need the deny header, but unwrap is their prerogative.
+    assert_clean(BIN, &format!("#![forbid(unsafe_code)]\n{src}"));
+    assert_clean(TEST, src);
+    assert_suppressible(LIB, src);
+}
+
+#[test]
+fn unwrap_in_lib_flags_expect_only_on_the_request_path() {
+    let src = "fn f(v: Option<u32>) -> u32 { v.expect(\"caller checked\") }\n";
+    assert_fires("unwrap-in-lib", KVS_LIB, src);
+    // Off the request path, expect-with-message is the sanctioned
+    // documented-invariant idiom.
+    assert_clean(LIB, src);
+    assert_suppressible(KVS_LIB, src);
+}
+
+#[test]
+fn unwrap_in_lib_skips_test_regions_inside_lib_files() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1u32).unwrap(); }\n}\n";
+    assert_clean(LIB, src);
+}
+
+// -- println-in-lib ---------------------------------------------------------
+
+#[test]
+fn println_in_lib_fires_on_the_print_family() {
+    for mac in ["println", "eprintln", "print", "eprint"] {
+        let src = format!("fn f() {{ {mac}!(\"x\"); }}\n");
+        assert_fires("println-in-lib", KVS_LIB, &src);
+        assert_clean(BIN, &format!("#![forbid(unsafe_code)]\n{src}"));
+        assert_suppressible(KVS_LIB, &src);
+    }
+    // `writeln!` to an explicit sink is fine.
+    assert_clean(
+        KVS_LIB,
+        "use std::io::Write;\nfn f(w: &mut impl Write) { let _ = writeln!(w, \"x\"); }\n",
+    );
+}
+
+// -- wall-clock-in-core -----------------------------------------------------
+
+#[test]
+fn wall_clock_in_core_guards_the_deterministic_crates() {
+    let instant = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    let systime = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+    for crate_name in ["camp-core", "camp-policies", "camp-sim"] {
+        let path = format!("crates/{crate_name}/src/fixture.rs");
+        assert_fires("wall-clock-in-core", &path, instant);
+        assert_fires("wall-clock-in-core", &path, systime);
+    }
+    // The server crate measures real latencies; the clock is its job.
+    assert_clean(KVS_LIB, instant);
+    assert_suppressible("crates/camp-sim/src/fixture.rs", instant);
+}
+
+// -- nested-lock ------------------------------------------------------------
+
+#[test]
+fn nested_lock_counts_lock_sites_per_function() {
+    let two = "fn f(a: &M, b: &M) {\n    let x = lock(a);\n    let y = lock(b);\n}\n";
+    assert_fires("nested-lock", KVS_LIB, two);
+    assert_clean(KVS_LIB, "fn f(a: &M) {\n    let x = lock(a);\n}\n");
+    // One lock per function is fine even across two functions.
+    assert_clean(
+        KVS_LIB,
+        "fn f(a: &M) { let x = lock(a); }\nfn g(b: &M) { let y = lock(b); }\n",
+    );
+    // Integration tests drive the server from many threads; excluded.
+    assert_clean(TEST, two);
+    assert_suppressible(KVS_LIB, two);
+}
+
+// -- leftover-debug ---------------------------------------------------------
+
+#[test]
+fn leftover_debug_catches_macros_and_fixme_comments() {
+    for mac in ["dbg", "todo", "unimplemented"] {
+        let src = format!("fn f() {{ {mac}!() }}\n");
+        assert_fires("leftover-debug", KVS_LIB, &src);
+        assert_suppressible(KVS_LIB, &src);
+    }
+    let fixme = format!("// {}: resolve before merge\nfn f() {{}}\n", "FIXME");
+    assert_fires("leftover-debug", KVS_LIB, &fixme);
+    // `debug_assert!` is encouraged, not leftover debugging.
+    assert_clean(KVS_LIB, "fn f(x: u32) { debug_assert!(x > 0); }\n");
+}
+
+// -- missing-deny-header ----------------------------------------------------
+
+#[test]
+fn missing_deny_header_requires_the_lint_block_on_crate_roots() {
+    let bare = "//! A crate.\npub fn f() {}\n";
+    assert_fires("missing-deny-header", "crates/camp-core/src/lib.rs", bare);
+    assert_fires(
+        "missing-deny-header",
+        "crates/camp-kvs/src/bin/tool.rs",
+        bare,
+    );
+    // Non-root library files don't need the header.
+    assert_clean(LIB, bare);
+    assert_clean(
+        "crates/camp-core/src/lib.rs",
+        "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    // signals.rs's parent uses `deny` so the sanctuary can opt back in.
+    assert_clean(
+        "crates/camp-kvs/src/lib.rs",
+        "//! A crate.\n#![deny(unsafe_code)]\npub fn f() {}\n",
+    );
+    assert_suppressible("crates/camp-core/src/lib.rs", bare);
+}
+
+// -- suppression mechanics --------------------------------------------------
+
+#[test]
+fn same_line_and_own_line_allow_both_work() {
+    let same_line = "fn f(v: Option<u32>) -> u32 { v.unwrap() } // lint:allow(unwrap-in-lib)\n";
+    assert_clean(LIB, same_line);
+    let own_line =
+        "// lint:allow(unwrap-in-lib) — fixture\nfn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_clean(LIB, own_line);
+    // A multi-line explanation between the allow and the code still counts.
+    let spread = "// lint:allow(unwrap-in-lib) — a justification so long\n// that it wraps onto a second comment line\nfn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_clean(LIB, spread);
+    // The allow must name the right rule.
+    let wrong = "fn f(v: Option<u32>) -> u32 { v.unwrap() } // lint:allow(nested-lock)\n";
+    assert_fires("unwrap-in-lib", LIB, wrong);
+    // And it must not leak past the line it covers.
+    let leak = "// lint:allow(unwrap-in-lib)\nfn ok(v: Option<u32>) -> u32 { v.unwrap() }\nfn bad(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(fired(LIB, leak), vec!["unwrap-in-lib"]);
+}
+
+#[test]
+fn every_registered_rule_has_a_firing_fixture() {
+    // The per-rule tests above must collectively cover ALL_RULES; this
+    // meta-check fails if a ninth rule is added without a fixture.
+    let covered = [
+        "unsafe-outside-signals",
+        "raw-mutex-lock",
+        "unwrap-in-lib",
+        "println-in-lib",
+        "wall-clock-in-core",
+        "nested-lock",
+        "leftover-debug",
+        "missing-deny-header",
+    ];
+    for rule in ALL_RULES {
+        assert!(
+            covered.contains(&rule.name),
+            "rule `{}` has no fixture coverage",
+            rule.name
+        );
+    }
+    assert_eq!(covered.len(), ALL_RULES.len());
+}

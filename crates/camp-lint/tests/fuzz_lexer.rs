@@ -1,0 +1,101 @@
+//! Seeded fuzz of the lexer against mutated slices of the real workspace.
+//!
+//! The lexer's contract is brutal on purpose: it must never panic on
+//! arbitrary bytes, and its token spans must exactly tile the input —
+//! `tokens[0].start == 0`, every `end` equals the next `start`, and the
+//! last `end` equals the input length. Random slicing splits string
+//! literals, comments, and raw-string hash fences at every possible
+//! boundary; random byte mutation injects invalid UTF-8 and unbalanced
+//! quotes. Real workspace sources are the corpus so the mutations start
+//! from realistic token streams rather than noise.
+
+use std::path::Path;
+
+use camp_core::rng::Rng64;
+use camp_lint::lexer::{lex, Token};
+use camp_lint::walk_workspace;
+
+const ROUNDS: usize = 20_000;
+const MAX_SLICE: usize = 2_048;
+const SEED: u64 = 0x1E3C_2014;
+
+fn assert_tiles(src: &[u8], tokens: &[Token], what: &str) {
+    let mut pos = 0;
+    for t in tokens {
+        assert_eq!(t.start, pos, "{what}: gap or overlap before byte {pos}");
+        assert!(t.end > t.start, "{what}: empty token at byte {pos}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "{what}: spans stop short of the input end");
+}
+
+fn workspace_root() -> &'static Path {
+    // crates/camp-lint -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("camp-lint sits two levels below the workspace root")
+}
+
+#[test]
+fn mutated_slices_of_real_sources_lex_without_panic_and_tile() {
+    let corpus = walk_workspace(workspace_root()).expect("walk workspace");
+    assert!(
+        corpus.len() >= 50,
+        "corpus unexpectedly small: {} files",
+        corpus.len()
+    );
+    let mut rng = Rng64::seed_from_u64(SEED);
+    let mut scratch = Vec::with_capacity(MAX_SLICE);
+    for round in 0..ROUNDS {
+        let file = &corpus[rng.range_usize(0, corpus.len())];
+        let bytes = &file.bytes;
+        let (start, end) = if bytes.is_empty() {
+            (0, 0)
+        } else {
+            let a = rng.range_usize(0, bytes.len() + 1);
+            let b = rng.range_usize(0, bytes.len() + 1);
+            (a.min(b), a.max(b).min(a.min(b) + MAX_SLICE))
+        };
+        scratch.clear();
+        scratch.extend_from_slice(&bytes[start..end]);
+        // Half the rounds mutate 1..8 bytes to arbitrary values, so the
+        // lexer also sees invalid UTF-8, NULs, and unbalanced delimiters.
+        if !scratch.is_empty() && rng.chance(0.5) {
+            for _ in 0..rng.range_usize(1, 9) {
+                let at = rng.range_usize(0, scratch.len());
+                scratch[at] = (rng.next_u64() & 0xFF) as u8;
+            }
+        }
+        let tokens = lex(&scratch);
+        assert_tiles(
+            &scratch,
+            &tokens,
+            &format!("round {round} ({}:{start}..{end})", file.rel_path),
+        );
+    }
+}
+
+#[test]
+fn every_full_workspace_source_tiles_exactly() {
+    let corpus = walk_workspace(workspace_root()).expect("walk workspace");
+    for file in &corpus {
+        let tokens = lex(&file.bytes);
+        assert_tiles(&file.bytes, &tokens, &file.rel_path);
+    }
+}
+
+#[test]
+fn all_single_and_paired_bytes_lex_without_panic() {
+    for a in 0..=255u8 {
+        let one = [a];
+        assert_tiles(&one, &lex(&one), "single byte");
+        // Pair each byte with the delimiters that drive lexer mode changes.
+        for b in [b'"', b'\'', b'r', b'#', b'/', b'*', b'\\', 0, 0xFF] {
+            let two = [a, b];
+            assert_tiles(&two, &lex(&two), "byte pair");
+            let rev = [b, a];
+            assert_tiles(&rev, &lex(&rev), "byte pair");
+        }
+    }
+}

@@ -141,6 +141,8 @@ impl<'a> Simulation<'a> {
         let mut series = OccupancySeries::default();
         let mut last_nonzero_at: Option<usize> = None;
 
+        // lint:allow(wall-clock-in-core) — measures only the report's
+        // elapsed wall time; no simulation decision ever reads it.
         let started = std::time::Instant::now();
         for (index, record) in self.trace.iter().enumerate() {
             let &TraceRecord {

@@ -7,6 +7,8 @@
 //! tracegen info trace.txt
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use camp_workload::analysis::{cost_report, locality_report, skew_report};
