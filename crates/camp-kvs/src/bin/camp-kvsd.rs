@@ -5,7 +5,14 @@
 //!           [--shards N] [--slab-kb N] [--metrics-addr ADDR]
 //!           [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]
 //!           [--idle-secs N] [--drain-secs N] [--chaos SPEC]
+//!           [--workers N] [--legacy-threads]
 //! ```
+//!
+//! Connections are served by an in-process epoll reactor: `--workers`
+//! event-loop threads (0 = one per core, capped at 8), each multiplexing
+//! its share of connections — tens of thousands of concurrent clients on
+//! a handful of threads. `--legacy-threads` falls back to the previous
+//! thread-per-connection engine for one release.
 //!
 //! `--policy` accepts any spec understood by
 //! [`EvictionMode`](camp_kvs::store::EvictionMode) — `lru`, `camp`,
@@ -42,7 +49,7 @@ use camp_telemetry::{kvlog, LogLevel};
 
 fn usage() -> String {
     format!(
-        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
         LogLevel::HELP,
         EvictionMode::HELP
     )
@@ -62,6 +69,8 @@ fn main() -> ExitCode {
     let mut idle_secs: u64 = 60;
     let mut drain_secs: u64 = 5;
     let mut chaos: Option<FaultPlan> = None;
+    let mut workers: usize = 0;
+    let mut legacy_threads = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -131,6 +140,12 @@ fn main() -> ExitCode {
                             .map_err(|e| format!("bad --chaos: {e}"))?,
                     );
                 }
+                "--workers" => {
+                    workers = value("--workers")?
+                        .parse()
+                        .map_err(|_| "bad --workers".to_owned())?;
+                }
+                "--legacy-threads" => legacy_threads = true,
                 "--log-level" => {
                     let level: LogLevel = value("--log-level")?
                         .parse()
@@ -188,6 +203,8 @@ fn main() -> ExitCode {
         max_value_len: max_value_bytes.max(1),
         idle_timeout: Duration::from_secs(idle_secs),
         fault_plan: chaos,
+        workers,
+        legacy_threads,
     };
     let server = match Server::start_with(&listen, options) {
         Ok(server) => server,
@@ -208,6 +225,11 @@ fn main() -> ExitCode {
         max_value_bytes = max_value_bytes,
         idle_secs = idle_secs,
         drain_secs = drain_secs,
+        engine = if legacy_threads {
+            "legacy-threads"
+        } else {
+            "reactor"
+        },
     );
     if let Some(addr) = server.metrics_addr() {
         kvlog!(LogLevel::Info, "metrics_exposition", addr = addr);

@@ -1,7 +1,8 @@
 //! `camp-loadgen` — a closed-loop load generator for `camp-kvsd`.
 //!
 //! ```text
-//! camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]
+//! camp-loadgen [--addr ADDR] [--connections N] [--threads N]
+//!              [--pipeline DEPTH]
 //!              [--duration-secs S] [--warmup-secs S] [--get-ratio R]
 //!              [--keys N] [--value-bytes N] [--seed N]
 //!              [--retries N] [--expect-errors]
@@ -18,6 +19,17 @@
 //! and the main thread samples the completed-op counter every 250 ms so
 //! the run's throughput *trajectory* — not just the average — lands in the
 //! machine-readable report.
+//!
+//! `--threads` decouples connection count from thread count: each thread
+//! multiplexes its share of connections by writing one batch to every
+//! connection before collecting any replies, so `--connections 10000
+//! --threads 8` keeps ten thousand server connections busy from eight
+//! OS threads — the shape the server's epoll reactor is built for. The
+//! default (`--threads 0`) runs one thread per connection, the historical
+//! behavior. With multiplexing, a batch's recorded round-trip includes
+//! time the thread spends servicing its sibling connections; that is the
+//! closed-loop convention extended per-thread, and it is why latency
+//! comparisons should hold `--threads` fixed.
 //!
 //! `--retries N` makes the run resilient for chaos testing: a worker whose
 //! connection dies mid-batch reconnects and re-issues the whole batch
@@ -50,6 +62,7 @@ use camp_telemetry::{Histogram, HistogramSnapshot};
 struct Config {
     addr: String,
     connections: usize,
+    threads: usize,
     pipeline: usize,
     duration_secs: f64,
     warmup_secs: f64,
@@ -68,6 +81,7 @@ impl Default for Config {
         Config {
             addr: "127.0.0.1:11311".to_owned(),
             connections: 4,
+            threads: 0,
             pipeline: 16,
             duration_secs: 5.0,
             warmup_secs: 0.5,
@@ -84,7 +98,7 @@ impl Default for Config {
 }
 
 fn usage() -> &'static str {
-    "usage: camp-loadgen [--addr ADDR] [--connections N] [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n"
+    "usage: camp-loadgen [--addr ADDR] [--connections N] [--threads N]\n                    [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --threads 0 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--threads N multiplexes the connections over N threads (0 = one thread per\n  connection); lets one machine hold thousands of server connections open\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n"
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -101,6 +115,11 @@ fn parse_args() -> Result<Config, String> {
                 config.connections = value("--connections")?
                     .parse()
                     .map_err(|_| "bad --connections".to_owned())?;
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_owned())?;
             }
             "--pipeline" => {
                 config.pipeline = value("--pipeline")?
@@ -352,18 +371,16 @@ fn read_get_response(
     }
 }
 
-/// Writes one batch and reads all its replies; returns (hits, soft
-/// errors). A soft error is an error *reply* (e.g. an injected
+/// Reads the replies for one batch already on the wire; returns (hits,
+/// soft errors). A soft error is an error *reply* (e.g. an injected
 /// SERVER_ERROR) — the connection stays usable; an `Err` means the
 /// connection is dead.
-fn run_batch(
+fn read_batch(
     conn: &mut Conn,
-    request: &[u8],
     ops: &[Op],
     line: &mut Vec<u8>,
     skip: &mut Vec<u8>,
 ) -> io::Result<(u64, u64)> {
-    conn.writer.write_all(request)?;
     let mut hits = 0u64;
     let mut soft_errors = 0u64;
     for &op in ops {
@@ -384,103 +401,192 @@ fn run_batch(
     Ok((hits, soft_errors))
 }
 
-fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8>>) {
-    let mut conn: Option<Conn> = None;
-    let mut ever_connected = false;
+/// Writes one batch and reads all its replies.
+fn run_batch(
+    conn: &mut Conn,
+    request: &[u8],
+    ops: &[Op],
+    line: &mut Vec<u8>,
+    skip: &mut Vec<u8>,
+) -> io::Result<(u64, u64)> {
+    conn.writer.write_all(request)?;
+    read_batch(conn, ops, line, skip)
+}
+
+/// One multiplexed connection: the socket plus the batch it has in
+/// flight. A worker thread owns several of these and keeps a batch on
+/// the wire on every one of them at all times.
+struct Slot {
+    conn: Option<Conn>,
+    ever_connected: bool,
+    request: Vec<u8>,
+    ops: Vec<Op>,
+    started: Instant,
+    /// The batch was written successfully and its replies are pending.
+    wrote: bool,
+}
+
+/// Returns the slot's live connection, dialing one if needed and
+/// counting the re-dial once the slot has ever been connected.
+fn ensure_conn<'a>(
+    conn: &'a mut Option<Conn>,
+    ever_connected: &mut bool,
+    addr: &str,
+    totals: &Totals,
+) -> io::Result<&'a mut Conn> {
+    match conn {
+        Some(ready) => Ok(ready),
+        None => {
+            let dialed = connect(addr)?;
+            if *ever_connected {
+                totals.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            *ever_connected = true;
+            Ok(conn.insert(dialed))
+        }
+    }
+}
+
+fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8>>, conns: usize) {
     let mut rng = Rng64::seed_from_u64(config.seed ^ (worker_id.wrapping_mul(0x9E37_79B9)));
-    let mut request = Vec::new();
-    let mut ops: Vec<Op> = Vec::with_capacity(config.pipeline);
+    let mut slots: Vec<Slot> = (0..conns)
+        .map(|_| Slot {
+            conn: None,
+            ever_connected: false,
+            request: Vec::new(),
+            ops: Vec::with_capacity(config.pipeline),
+            started: Instant::now(),
+            wrote: false,
+        })
+        .collect();
     let mut line = Vec::new();
     let mut skip = Vec::new();
     while !totals.stop.load(Ordering::Relaxed) {
-        request.clear();
-        ops.clear();
-        for _ in 0..config.pipeline {
-            let id = rng.range_u64(0, config.keys);
-            if rng.chance(config.get_ratio) {
-                request.extend_from_slice(b"get ");
-                push_key(&mut request, id);
-                request.extend_from_slice(b"\r\n");
-                ops.push(Op::Get);
-            } else {
-                request.extend_from_slice(b"set ");
-                push_key(&mut request, id);
-                let _ = write!(request, " 0 0 {}\r\n", value.len());
-                request.extend_from_slice(&value);
-                request.extend_from_slice(b"\r\n");
-                ops.push(Op::Set);
+        // Issue phase: put one batch on the wire per connection before
+        // reading anything back, so every connection this thread owns has
+        // work in flight at once.
+        for slot in &mut slots {
+            slot.request.clear();
+            slot.ops.clear();
+            slot.wrote = false;
+            for _ in 0..config.pipeline {
+                let id = rng.range_u64(0, config.keys);
+                if rng.chance(config.get_ratio) {
+                    slot.request.extend_from_slice(b"get ");
+                    push_key(&mut slot.request, id);
+                    slot.request.extend_from_slice(b"\r\n");
+                    slot.ops.push(Op::Get);
+                } else {
+                    slot.request.extend_from_slice(b"set ");
+                    push_key(&mut slot.request, id);
+                    let _ = write!(slot.request, " 0 0 {}\r\n", value.len());
+                    slot.request.extend_from_slice(&value);
+                    slot.request.extend_from_slice(b"\r\n");
+                    slot.ops.push(Op::Set);
+                }
             }
-        }
-        // Issue the batch, re-dialing and replaying it on connection
-        // failure up to the retry budget. Sets and gets are idempotent,
-        // so replaying a whole batch is safe.
-        let mut attempt = 0u32;
-        let started = Instant::now();
-        let outcome = loop {
-            let ready = match conn.as_mut() {
-                Some(c) => Ok(c),
-                None => connect(&config.addr).map(|c| {
-                    if ever_connected {
-                        totals.reconnects.fetch_add(1, Ordering::Relaxed);
-                    }
-                    ever_connected = true;
-                    conn.insert(c)
-                }),
-            };
-            let result = ready.and_then(|c| run_batch(c, &request, &ops, &mut line, &mut skip));
-            match result {
-                Ok(counts) => break Ok(counts),
+            slot.started = Instant::now();
+            let issued = ensure_conn(
+                &mut slot.conn,
+                &mut slot.ever_connected,
+                &config.addr,
+                &totals,
+            )
+            .and_then(|c| c.writer.write_all(&slot.request));
+            match issued {
+                Ok(()) => slot.wrote = true,
                 Err(err) => {
-                    conn = None;
-                    if attempt >= config.retries || totals.stop.load(Ordering::Relaxed) {
-                        break Err(err);
+                    slot.conn = None;
+                    if config.retries == 0 {
+                        // Legacy behavior: a dead connection ends the
+                        // worker (the others keep going).
+                        eprintln!("camp-loadgen: worker {worker_id}: {err}");
+                        totals.errors.fetch_add(1, Ordering::Relaxed);
+                        return;
                     }
-                    totals.batch_retries.fetch_add(1, Ordering::Relaxed);
-                    attempt += 1;
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-            }
-        };
-        let (hits, soft_errors) = match outcome {
-            Ok(counts) => counts,
-            Err(err) => {
-                if config.retries == 0 {
-                    // Legacy behavior: a dead connection ends the worker
-                    // (the others keep going).
-                    eprintln!("camp-loadgen: worker {worker_id}: {err}");
-                    totals.errors.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                // Budget exhausted: the batch's ops are errors; move on.
-                totals.errors.fetch_add(ops.len() as u64, Ordering::Relaxed);
-                continue;
-            }
-        };
-        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let mut gets = 0u64;
-        let mut sets = 0u64;
-        for &op in &ops {
-            match op {
-                Op::Get => {
-                    totals.get_latency.record(micros);
-                    gets += 1;
-                }
-                Op::Set => {
-                    totals.set_latency.record(micros);
-                    sets += 1;
+                    // The collect phase below replays the batch over a
+                    // fresh connection.
                 }
             }
         }
-        totals.ops.fetch_add(gets + sets, Ordering::Relaxed);
-        totals.gets.fetch_add(gets, Ordering::Relaxed);
-        totals.sets.fetch_add(sets, Ordering::Relaxed);
-        totals.hits.fetch_add(hits, Ordering::Relaxed);
-        if soft_errors > 0 {
-            totals.errors.fetch_add(soft_errors, Ordering::Relaxed);
+        // Collect phase: read every slot's replies, re-dialing and
+        // replaying a slot's batch on connection failure up to the retry
+        // budget. Sets and gets are idempotent, so a replay is safe.
+        for slot in &mut slots {
+            let mut attempt = 0u32;
+            let outcome = loop {
+                let result = if slot.wrote {
+                    // Replies for the already-written batch.
+                    slot.wrote = false;
+                    match slot.conn.as_mut() {
+                        Some(c) => read_batch(c, &slot.ops, &mut line, &mut skip),
+                        None => Err(io::Error::new(io::ErrorKind::NotConnected, "no connection")),
+                    }
+                } else {
+                    ensure_conn(
+                        &mut slot.conn,
+                        &mut slot.ever_connected,
+                        &config.addr,
+                        &totals,
+                    )
+                    .and_then(|c| run_batch(c, &slot.request, &slot.ops, &mut line, &mut skip))
+                };
+                match result {
+                    Ok(counts) => break Ok(counts),
+                    Err(err) => {
+                        slot.conn = None;
+                        if attempt >= config.retries || totals.stop.load(Ordering::Relaxed) {
+                            break Err(err);
+                        }
+                        totals.batch_retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            };
+            let (hits, soft_errors) = match outcome {
+                Ok(counts) => counts,
+                Err(err) => {
+                    if config.retries == 0 {
+                        eprintln!("camp-loadgen: worker {worker_id}: {err}");
+                        totals.errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    // Budget exhausted: the batch's ops are errors; move on.
+                    totals
+                        .errors
+                        .fetch_add(slot.ops.len() as u64, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let micros = u64::try_from(slot.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut gets = 0u64;
+            let mut sets = 0u64;
+            for &op in &slot.ops {
+                match op {
+                    Op::Get => {
+                        totals.get_latency.record(micros);
+                        gets += 1;
+                    }
+                    Op::Set => {
+                        totals.set_latency.record(micros);
+                        sets += 1;
+                    }
+                }
+            }
+            totals.ops.fetch_add(gets + sets, Ordering::Relaxed);
+            totals.gets.fetch_add(gets, Ordering::Relaxed);
+            totals.sets.fetch_add(sets, Ordering::Relaxed);
+            totals.hits.fetch_add(hits, Ordering::Relaxed);
+            if soft_errors > 0 {
+                totals.errors.fetch_add(soft_errors, Ordering::Relaxed);
+            }
         }
     }
-    if let Some(mut c) = conn {
-        let _ = c.writer.write_all(b"quit\r\n");
+    for slot in &mut slots {
+        if let Some(conn) = slot.conn.as_mut() {
+            let _ = conn.writer.write_all(b"quit\r\n");
+        }
     }
 }
 
@@ -539,10 +645,11 @@ fn render_report(
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}, \"retries\": {}, \"expect_errors\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"resilience\": {{\"batch_retries\": {batch_retries}, \"reconnects\": {reconnects}}},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
+        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"threads\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}, \"retries\": {}, \"expect_errors\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"resilience\": {{\"batch_retries\": {batch_retries}, \"reconnects\": {reconnects}}},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
         escape_json(&config.label),
         escape_json(&config.addr),
         config.connections,
+        config.threads,
         config.pipeline,
         config.get_ratio,
         config.keys,
@@ -575,14 +682,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let totals = Arc::new(Totals::new());
-    let workers: Vec<_> = (0..config.connections)
+    // `--threads 0` keeps the historical one-thread-per-connection shape;
+    // otherwise spread the connections over the threads as evenly as
+    // possible (the first `connections % threads` threads take one extra).
+    let threads = if config.threads == 0 {
+        config.connections
+    } else {
+        config.threads.min(config.connections)
+    };
+    let base = config.connections / threads;
+    let extra = config.connections % threads;
+    let workers: Vec<_> = (0..threads)
         .map(|i| {
             let config = config.clone();
             let totals = Arc::clone(&totals);
             let value = Arc::clone(&value);
+            let conns = base + usize::from(i < extra);
             std::thread::Builder::new()
                 .name(format!("loadgen-{i}"))
-                .spawn(move || worker(config, totals, i as u64, value))
+                .spawn(move || worker(config, totals, i as u64, value, conns))
                 .expect("spawn worker")
         })
         .collect();

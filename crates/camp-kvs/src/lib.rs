@@ -17,7 +17,10 @@
 //!   `iqget`/`iqset` with timestamp-difference (or hinted) costs;
 //! * [`shard`] — hash-partitioned multi-shard stores (the §4.1 scaling
 //!   recipe);
-//! * [`server`] / [`client`] — a threaded TCP server (graceful drain,
+//! * [`net`] — the event-driven core: a dependency-free epoll wrapper,
+//!   timer wheel, per-connection state machine and N-worker reactor;
+//! * [`server`] / [`client`] — the TCP server (epoll reactor by default,
+//!   thread-per-connection behind `legacy_threads`; graceful drain,
 //!   overload protection, idle eviction) and a blocking client with
 //!   reconnect/retry resilience;
 //! * [`fault`] — deterministic fault injection for chaos testing;
@@ -44,9 +47,11 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-// `deny`, not `forbid`: the one exception is `signals`, which must speak
-// to the C library to install handlers and is individually audited
-// (module-level `allow` with a safety argument at each site).
+// `deny`, not `forbid`: the two exceptions are `signals` (installs C
+// handlers over a self-pipe) and `net::epoll` (the epoll syscall shim).
+// Both are individually audited (module-level `allow` with a safety
+// argument at each site) and allowlisted path-exactly by camp-lint's
+// `unsafe-outside-signals` rule.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -56,6 +61,7 @@ pub mod client;
 pub mod fault;
 pub mod item;
 pub mod metrics;
+pub mod net;
 pub mod protocol;
 pub mod replay;
 pub mod resp;

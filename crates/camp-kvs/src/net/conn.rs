@@ -1,0 +1,719 @@
+//! The per-connection protocol state machine: nonblocking buffers in,
+//! nonblocking buffers out, no socket in sight.
+//!
+//! [`Connection`] is the reactor's replacement for the legacy
+//! thread-per-connection `handle_connection` loop, restructured as a
+//! run-to-completion state machine over two byte buffers: the reactor
+//! appends whatever the socket had into the read buffer
+//! ([`Connection::fill_from`]), [`Connection::process`] consumes complete
+//! commands from it and appends replies to the write buffer, and the
+//! reactor flushes that buffer back to the socket
+//! ([`Connection::flush_to`]) — once per processing round, so a pipelined
+//! burst of N commands still produces one syscall-level write, preserving
+//! PR 3's flush-coalescing behaviour by construction.
+//!
+//! Because input arrives in arbitrary fragments, the machine never
+//! consumes a command until every byte it needs is present: a `set`
+//! header line is left unconsumed (and re-parsed on the next readiness
+//! event — rare, so the re-parse is cheap) until the full data block and
+//! its CRLF terminator have arrived. That is what keeps PR 4's chaos
+//! invariant intact under `EAGAIN`/short reads: the fault decision for a
+//! storage command fires *after* the complete data block, exactly as the
+//! legacy blocking path ordered it, so an injected error or delay can
+//! never desynchronize the stream.
+//!
+//! Lifecycle semantics are expressed as data, not threads: a chaos delay
+//! parks the connection behind [`Step::Delayed`] (the reactor schedules a
+//! timer and stops reading), idle eviction and drain close-outs are
+//! decided by the reactor's timer wheel against [`Connection::last_complete`]
+//! and [`Connection::drain_closable`], and `--max-conns` rejections are
+//! ordinary connections born with a preloaded error reply and
+//! `close_after_flush` set.
+
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+use camp_telemetry::{kvlog, LogLevel};
+
+use crate::fault::{FaultAction, FaultState};
+use crate::metrics::{CmdKind, FaultKind, RejectCause};
+use crate::protocol::{parse_command_limited, Command};
+use crate::server::{cmd_kind, execute, Shared};
+
+/// Bytes added to the read buffer per `read` call while filling.
+const READ_CHUNK: usize = 16 * 1024;
+/// Cap on bytes ingested per fill round, so one firehose connection
+/// cannot starve its worker's other connections.
+const READ_ROUND_MAX: usize = 256 * 1024;
+/// Consumed-prefix threshold past which the read buffer is compacted.
+const COMPACT_AT: usize = 4 * 1024;
+/// Buffers larger than this are shrunk once fully drained, so a single
+/// 1 MiB `set` does not pin a megabyte per connection forever.
+const SHRINK_AT: usize = 256 * 1024;
+const SHRINK_TO: usize = 16 * 1024;
+
+/// What [`Connection::process`] wants from the reactor next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// All buffered input consumed (or an incomplete command is waiting
+    /// for more bytes): keep read interest.
+    NeedRead,
+    /// A chaos delay is in force: stop reading, schedule a resume timer
+    /// for the instant, then call `process` again.
+    Delayed(Instant),
+    /// The connection is done (quit, EOF, fatal error, drop fault):
+    /// flush what the write buffer holds, then close.
+    Close,
+}
+
+/// What a [`Connection::fill_from`] round observed on the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fill {
+    /// The socket is drained (or the round cap was hit); more may come.
+    Open,
+    /// The peer closed its write half; `process` runs with EOF semantics.
+    Eof,
+}
+
+/// One client connection's entire protocol state.
+#[derive(Debug)]
+pub(crate) struct Connection {
+    /// Read buffer; `buf[pos..]` is unconsumed input.
+    buf: Vec<u8>,
+    pos: usize,
+    /// Write buffer; `out[out_pos..]` is unflushed output.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Reusable get-serialization scratch (same role as legacy
+    /// `response`): VALUE blocks accumulate here before one bulk append.
+    response: Vec<u8>,
+    faults: Option<FaultState>,
+    /// A Delay was already decided for the currently-pending command;
+    /// on resume, execute without re-rolling the fault RNG.
+    fault_decided: bool,
+    /// In-force chaos delay; cleared by `process` once the instant passes.
+    pub(crate) delayed_until: Option<Instant>,
+    /// The idle clock: time of the last *completed* command.
+    pub(crate) last_complete: Instant,
+    /// Close once the write buffer drains (quit, eviction, rejection...).
+    pub(crate) close_after_flush: bool,
+    /// The peer closed its write half (sticky).
+    pub(crate) peer_eof: bool,
+    /// Whether this connection was counted in `conn_count` and the
+    /// opened/closed metrics (max-conns rejections are not).
+    pub(crate) counted: bool,
+}
+
+impl Connection {
+    /// `id` seeds the connection's deterministic fault stream, exactly as
+    /// the legacy per-thread path did.
+    pub(crate) fn new(id: u64, shared: &Shared) -> Connection {
+        Connection {
+            buf: Vec::new(),
+            pos: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            response: Vec::new(),
+            faults: shared
+                .fault_plan
+                .as_ref()
+                .map(|plan| FaultState::new(plan, id)),
+            fault_decided: false,
+            delayed_until: None,
+            last_complete: Instant::now(),
+            close_after_flush: false,
+            peer_eof: false,
+            counted: true,
+        }
+    }
+
+    /// A connection rejected at the cap: born with the overload error
+    /// queued and `close_after_flush` set, uncounted — the reactor flushes
+    /// the reply and closes without ever reading a byte.
+    pub(crate) fn rejected(shared: &Shared) -> Connection {
+        shared.metrics.record_rejected(RejectCause::MaxConns);
+        kvlog!(
+            LogLevel::Warn,
+            "connection_rejected",
+            cause = "max_conns",
+            limit = shared.max_conns,
+        );
+        let mut conn = Connection::new(0, shared);
+        conn.out
+            .extend_from_slice(b"SERVER_ERROR too many connections\r\n");
+        conn.close_after_flush = true;
+        conn.counted = false;
+        conn
+    }
+
+    /// Appends bytes to the read buffer (test seam; `fill_from` is the
+    /// socket-facing equivalent).
+    #[cfg(test)]
+    pub(crate) fn ingest(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether unflushed output remains.
+    pub(crate) fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Roughly how much unflushed output is queued (drives the reactor's
+    /// read-pause high-water mark).
+    pub(crate) fn pending_out_len(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Whether a drain may close this connection now: nothing buffered in
+    /// either direction and no command in flight. A connection holding a
+    /// partial command line is *not* closable — same as the legacy path,
+    /// where only reads blocked with an empty line buffer noticed the
+    /// drain flag — and gets severed at the deadline instead.
+    pub(crate) fn drain_closable(&self) -> bool {
+        self.pos >= self.buf.len() && !self.has_pending_out() && self.delayed_until.is_none()
+    }
+
+    /// Reads the socket until it would block (or the per-round cap), never
+    /// blocking. Tolerates short reads by construction: whatever fragment
+    /// arrives is appended and `process` decides whether it adds up to a
+    /// complete command yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard socket errors (reset, aborted); `WouldBlock` is a
+    /// normal outcome, not an error.
+    pub(crate) fn fill_from(&mut self, stream: &mut impl Read) -> io::Result<Fill> {
+        let mut round = 0;
+        loop {
+            let len = self.buf.len();
+            self.buf.resize(len + READ_CHUNK, 0);
+            match stream.read(&mut self.buf[len..]) {
+                Ok(0) => {
+                    self.buf.truncate(len);
+                    self.peer_eof = true;
+                    return Ok(Fill::Eof);
+                }
+                Ok(n) => {
+                    self.buf.truncate(len + n);
+                    round += n;
+                    if round >= READ_ROUND_MAX {
+                        return Ok(Fill::Open);
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    self.buf.truncate(len);
+                    return Ok(Fill::Open);
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {
+                    self.buf.truncate(len);
+                }
+                Err(err) => {
+                    self.buf.truncate(len);
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Writes the unflushed output to the socket, stopping at `EAGAIN`.
+    /// Returns true once the buffer is fully drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard socket errors; a zero-length write surfaces as
+    /// `WriteZero`.
+    pub(crate) fn flush_to(&mut self, stream: &mut impl Write) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        if self.out.capacity() > SHRINK_AT {
+            self.out.shrink_to(SHRINK_TO);
+        }
+        Ok(true)
+    }
+
+    /// Evicts the connection for exceeding the idle deadline: explicit
+    /// error reply, then close once it flushes (legacy `evict_idle`).
+    pub(crate) fn evict_idle(&mut self, shared: &Shared) {
+        shared.metrics.record_rejected(RejectCause::IdleTimeout);
+        kvlog!(
+            LogLevel::Info,
+            "idle_connection_evicted",
+            timeout_ms = shared.idle_timeout.as_millis(),
+        );
+        self.out.extend_from_slice(b"SERVER_ERROR idle timeout\r\n");
+        self.close_after_flush = true;
+    }
+
+    /// Consumes every complete command currently buffered, appending the
+    /// replies to the write buffer, and says what the reactor should do
+    /// next. Run-to-completion: one call drains everything actionable.
+    pub(crate) fn process(&mut self, shared: &Shared) -> Step {
+        if self.close_after_flush {
+            return Step::Close;
+        }
+        loop {
+            // An in-force chaos delay pauses the whole connection —
+            // pipelined commands behind the delayed one wait, exactly as
+            // the legacy thread slept.
+            if let Some(until) = self.delayed_until {
+                if Instant::now() < until {
+                    return Step::Delayed(until);
+                }
+                self.delayed_until = None;
+            }
+            if self.pos >= self.buf.len() {
+                self.compact();
+                return if self.peer_eof {
+                    Step::Close
+                } else {
+                    Step::NeedRead
+                };
+            }
+            let newline = self.buf[self.pos..].iter().position(|&b| b == b'\n');
+            let (line_end, line_wire) = match newline {
+                Some(n) => (self.pos + n, n + 1),
+                // No newline yet: with the peer gone, hand the partial
+                // line to the parser (what an un-timed blocking read did
+                // at EOF); otherwise wait for the rest.
+                None if self.peer_eof => (self.buf.len(), self.buf.len() - self.pos),
+                None => {
+                    self.compact();
+                    return Step::NeedRead;
+                }
+            };
+            let mut line = &self.buf[self.pos..line_end];
+            while let [rest @ .., b'\r' | b'\n'] = line {
+                line = rest;
+            }
+            if line.is_empty() {
+                self.pos += line_wire;
+                continue;
+            }
+            let parsed = parse_command_limited(line, shared.max_value_len);
+            match parsed {
+                Ok(Command::Quit) => {
+                    self.pos += line_wire;
+                    return Step::Close;
+                }
+                Ok(command) => {
+                    let kind = cmd_kind(&command);
+                    // For storage commands the header line is not consumed
+                    // until the full data block (+CRLF) is buffered: on a
+                    // short read we leave everything in place and re-parse
+                    // when more bytes arrive. The fault decision therefore
+                    // always happens after the complete block — PR 4's
+                    // invariant, now robust to arbitrary fragmentation.
+                    let (block, consumed, wire_bytes): (&[u8], usize, u64) = match &command {
+                        Command::Set { header } => {
+                            let needed = line_wire + header.bytes + 2;
+                            if self.buf.len() - self.pos < needed {
+                                if self.peer_eof {
+                                    // Mid-block EOF: nothing is stored and
+                                    // nothing more can be parsed (legacy
+                                    // UnexpectedEof).
+                                    return Step::Close;
+                                }
+                                self.compact();
+                                return Step::NeedRead;
+                            }
+                            let start = self.pos + line_wire;
+                            let terminator = &self.buf[start + header.bytes..self.pos + needed];
+                            if terminator != b"\r\n" {
+                                // The stream is desynchronized; reading on
+                                // would misparse data as commands (legacy
+                                // InvalidData: close the connection).
+                                kvlog!(
+                                    LogLevel::Debug,
+                                    "connection_error",
+                                    error = "data block not terminated by CRLF",
+                                );
+                                return Step::Close;
+                            }
+                            (
+                                &self.buf[start..start + header.bytes],
+                                needed,
+                                (line_wire + header.bytes + 2) as u64,
+                            )
+                        }
+                        _ => (&[], line_wire, line_wire as u64),
+                    };
+                    shared.metrics.record_bytes(kind, wire_bytes);
+                    // Chaos: decided once per command, after its data
+                    // block; a Delay stashes the fact that the decision
+                    // already happened so the resume does not re-roll the
+                    // per-connection RNG (determinism parity with the
+                    // sleeping legacy thread).
+                    if !self.fault_decided {
+                        if let (Some(plan), Some(state)) =
+                            (shared.fault_plan.as_ref(), self.faults.as_mut())
+                        {
+                            match state.decide(plan) {
+                                FaultAction::None => {}
+                                FaultAction::Delay(dur) => {
+                                    shared.metrics.record_fault(FaultKind::Delay);
+                                    let until = Instant::now() + dur;
+                                    self.fault_decided = true;
+                                    self.delayed_until = Some(until);
+                                    return Step::Delayed(until);
+                                }
+                                FaultAction::Error => {
+                                    shared.metrics.record_fault(FaultKind::Error);
+                                    self.out
+                                        .extend_from_slice(b"SERVER_ERROR injected fault\r\n");
+                                    self.last_complete = Instant::now();
+                                    self.pos += consumed;
+                                    continue;
+                                }
+                                FaultAction::Drop => {
+                                    // Vanish pre-response; replies already
+                                    // buffered still flush, like the legacy
+                                    // BufWriter did on drop.
+                                    shared.metrics.record_fault(FaultKind::Drop);
+                                    return Step::Close;
+                                }
+                            }
+                        }
+                    }
+                    self.fault_decided = false;
+                    let started = Instant::now();
+                    // Infallible: the sink is a Vec. `unwrap_or` (not
+                    // unwrap) keeps the request path panic-free per the
+                    // workspace rule; the false arm is unreachable.
+                    let keep = execute(&command, block, &mut self.out, &mut self.response, shared)
+                        .unwrap_or(false);
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    shared.metrics.record_latency(kind, micros);
+                    self.last_complete = Instant::now();
+                    self.pos += consumed;
+                    if !keep {
+                        return Step::Close;
+                    }
+                }
+                Err(err) => {
+                    shared
+                        .metrics
+                        .record_bytes(CmdKind::Other, line_wire as u64);
+                    shared
+                        .metrics
+                        .protocol_errors
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    kvlog!(LogLevel::Debug, "protocol_error", error = err);
+                    self.out.extend_from_slice(err.to_string().as_bytes());
+                    self.out.extend_from_slice(b"\r\n");
+                    self.pos += line_wire;
+                    if err.is_fatal() {
+                        // The refused data block is still on the wire;
+                        // reading on would desync (legacy: close). Today
+                        // the only fatal parse error is an oversize value.
+                        shared.metrics.record_rejected(RejectCause::ValueTooLarge);
+                        return Step::Close;
+                    }
+                    self.last_complete = Instant::now();
+                }
+            }
+        }
+    }
+
+    /// Drops the consumed prefix once it is worth the memmove, and returns
+    /// oversized buffers to a modest footprint when fully drained.
+    fn compact(&mut self) {
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.buf.capacity() > SHRINK_AT {
+                self.buf.shrink_to(SHRINK_TO);
+            }
+        } else if self.pos >= COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::metrics::FaultKind;
+    use crate::server::ServerOptions;
+    use crate::slab::SlabConfig;
+    use crate::store::{EvictionMode, StoreConfig};
+    use camp_core::Precision;
+    use std::time::Duration;
+
+    fn test_shared(fault_plan: Option<FaultPlan>) -> Shared {
+        let mut options = ServerOptions::new(StoreConfig {
+            slab: SlabConfig::small(64 * 1024, 8),
+            eviction: EvictionMode::Camp(Precision::Bits(5)),
+        });
+        options.fault_plan = fault_plan;
+        Shared::new(&options)
+    }
+
+    fn flushed(conn: &mut Connection) -> Vec<u8> {
+        let mut sink = Vec::new();
+        conn.flush_to(&mut sink).expect("vec sink");
+        sink
+    }
+
+    #[test]
+    fn pipelined_burst_yields_one_coalesced_reply_buffer() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        conn.ingest(b"set a 0 0 3\r\nAAA\r\nset b 0 0 3\r\nBBB\r\nget a b\r\n");
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(
+            flushed(&mut conn),
+            b"STORED\r\nSTORED\r\nVALUE a 0 3\r\nAAA\r\nVALUE b 0 3\r\nBBB\r\nEND\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn set_survives_arbitrary_fragmentation() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        // Byte-at-a-time: the worst-case short-read stream.
+        let wire = b"set frag 7 0 5\r\nhello\r\nget frag\r\n";
+        for &byte in &wire[..wire.len() - 1] {
+            conn.ingest(&[byte]);
+            assert_eq!(conn.process(&shared), Step::NeedRead);
+        }
+        conn.ingest(&wire[wire.len() - 1..]);
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(
+            flushed(&mut conn),
+            b"STORED\r\nVALUE frag 7 5\r\nhello\r\nEND\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn chaos_decision_waits_for_the_full_data_block() {
+        // error_rate=1: every decided command faults. The decision must
+        // not happen while the data block is still partial.
+        let plan: FaultPlan = "err=1.0,seed=7".parse().expect("plan");
+        let shared = test_shared(Some(plan));
+        let mut conn = Connection::new(3, &shared);
+        conn.ingest(b"set k 0 0 5\r\nhel");
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        let injected = shared.metrics.faults_snapshot();
+        assert_eq!(
+            injected.iter().map(|(_, n)| n).sum::<u64>(),
+            0,
+            "{injected:?}"
+        );
+        conn.ingest(b"lo\r\n");
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(
+            flushed(&mut conn),
+            b"SERVER_ERROR injected fault\r\n".to_vec()
+        );
+        let injected = shared.metrics.faults_snapshot();
+        assert_eq!(
+            injected.iter().map(|(_, n)| n).sum::<u64>(),
+            1,
+            "{injected:?}"
+        );
+    }
+
+    #[test]
+    fn delay_fault_parks_and_resumes_without_rerolling() {
+        let plan: FaultPlan = "delay=2ms@1.0,seed=9".parse().expect("plan");
+        let shared = test_shared(Some(plan));
+        let mut conn = Connection::new(4, &shared);
+        conn.ingest(b"set k 0 0 1\r\nx\r\n");
+        let until = match conn.process(&shared) {
+            Step::Delayed(until) => until,
+            other => panic!("expected Delayed, got {other:?}"),
+        };
+        // Exactly one Delay recorded at decision time, none on resume.
+        let delays = |shared: &Shared| {
+            shared
+                .metrics
+                .faults_snapshot()
+                .iter()
+                .find(|(kind, _)| *kind == FaultKind::Delay.name())
+                .map_or(0, |(_, n)| *n)
+        };
+        assert_eq!(delays(&shared), 1);
+        std::thread::sleep(
+            until.saturating_duration_since(Instant::now()) + Duration::from_millis(1),
+        );
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(delays(&shared), 1);
+        assert_eq!(flushed(&mut conn), b"STORED\r\n".to_vec());
+    }
+
+    #[test]
+    fn eof_hands_the_partial_final_line_to_the_parser() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        conn.ingest(b"version");
+        conn.peer_eof = true;
+        assert_eq!(conn.process(&shared), Step::Close);
+        let reply = flushed(&mut conn);
+        assert!(reply.starts_with(b"VERSION camp-kvs/"), "{reply:?}");
+    }
+
+    #[test]
+    fn eof_mid_data_block_stores_nothing() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        conn.ingest(b"set gone 0 0 10\r\nhalf");
+        conn.peer_eof = true;
+        assert_eq!(conn.process(&shared), Step::Close);
+        assert_eq!(shared.store.len(), 0);
+    }
+
+    #[test]
+    fn bad_block_terminator_closes_the_connection() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        conn.ingest(b"set a 0 0 3\r\nAAAXXget a\r\n");
+        assert_eq!(conn.process(&shared), Step::Close);
+    }
+
+    #[test]
+    fn oversize_set_is_fatal_and_counted() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        let line = format!("set big 0 0 {}\r\n", shared.max_value_len + 1);
+        conn.ingest(line.as_bytes());
+        assert_eq!(conn.process(&shared), Step::Close);
+        let reply = flushed(&mut conn);
+        assert!(
+            reply.starts_with(b"SERVER_ERROR object too large"),
+            "{reply:?}"
+        );
+        let rejected = shared.metrics.rejected_snapshot();
+        assert!(
+            rejected
+                .iter()
+                .any(|(c, n)| *c == "value_too_large" && *n == 1),
+            "{rejected:?}"
+        );
+    }
+
+    #[test]
+    fn quit_closes_after_flush() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        conn.ingest(b"version\r\nquit\r\nget never-processed\r\n");
+        assert_eq!(conn.process(&shared), Step::Close);
+        let reply = flushed(&mut conn);
+        assert!(reply.starts_with(b"VERSION"), "{reply:?}");
+        assert!(!reply.windows(3).any(|w| w == b"END"), "{reply:?}");
+    }
+
+    #[test]
+    fn fill_tolerates_short_reads_and_flush_tolerates_short_writes() {
+        /// Reads the script in `step`-byte sips; writes accept `step`
+        /// bytes then block once.
+        struct Trickle {
+            script: Vec<u8>,
+            step: usize,
+            wrote: Vec<u8>,
+            block_next: bool,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.script.is_empty() {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let n = self.step.min(self.script.len()).min(buf.len());
+                buf[..n].copy_from_slice(&self.script[..n]);
+                self.script.drain(..n);
+                Ok(n)
+            }
+        }
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let n = self.step.min(buf.len());
+                self.wrote.extend_from_slice(&buf[..n]);
+                self.block_next = true;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        let mut io = Trickle {
+            script: b"set s 0 0 4\r\nbody\r\nget s\r\n".to_vec(),
+            step: 3,
+            wrote: Vec::new(),
+            block_next: false,
+        };
+        // Drive fill/process until the input is exhausted.
+        while !io.script.is_empty() {
+            assert_eq!(conn.fill_from(&mut io).expect("fill"), Fill::Open);
+            conn.process(&shared);
+        }
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        // Drive the partial-write loop until fully flushed.
+        let mut rounds = 0;
+        while !conn.flush_to(&mut io).expect("flush") {
+            rounds += 1;
+            assert!(rounds < 100, "flush failed to make progress");
+        }
+        assert_eq!(
+            io.wrote,
+            b"STORED\r\nVALUE s 0 4\r\nbody\r\nEND\r\n".to_vec()
+        );
+        assert!(rounds > 0, "short writes never surfaced");
+    }
+
+    #[test]
+    fn rejected_connection_carries_the_overload_reply() {
+        let shared = test_shared(None);
+        let mut conn = Connection::rejected(&shared);
+        assert!(conn.close_after_flush);
+        assert!(!conn.counted);
+        assert_eq!(conn.process(&shared), Step::Close);
+        assert_eq!(
+            flushed(&mut conn),
+            b"SERVER_ERROR too many connections\r\n".to_vec()
+        );
+        let rejected = shared.metrics.rejected_snapshot();
+        assert!(
+            rejected.iter().any(|(c, n)| *c == "max_conns" && *n == 1),
+            "{rejected:?}"
+        );
+    }
+
+    #[test]
+    fn drain_closable_tracks_buffered_state() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        assert!(conn.drain_closable());
+        // A partial line in flight blocks the drain close (severed later).
+        conn.ingest(b"get par");
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert!(!conn.drain_closable());
+        conn.ingest(b"tial\r\n");
+        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert!(conn.has_pending_out());
+        assert!(!conn.drain_closable());
+        let _ = flushed(&mut conn);
+        assert!(conn.drain_closable());
+    }
+}

@@ -1,0 +1,250 @@
+//! A minimal, dependency-free `epoll(7)` wrapper: the readiness engine
+//! under the reactor.
+//!
+//! The repo builds offline with no external crates (no `libc`, no `mio`),
+//! so this module declares the four kernel entry points it needs —
+//! `epoll_create1`, `epoll_ctl`, `epoll_wait`, `close` — directly against
+//! the C runtime that `std` already links, exactly the way
+//! [`crate::signals`] declares its self-pipe syscalls. Everything above
+//! this file (the reactor, the connection state machine, the timer wheel)
+//! is safe code: worker wake-ups ride on `std`'s `UnixStream` pairs, and
+//! sockets are switched to nonblocking mode with std's `set_nonblocking`.
+//!
+//! This is one of exactly two modules in the workspace allowed to use
+//! `unsafe` (the other is `signals.rs`); camp-lint's
+//! `unsafe-outside-signals` rule enforces the allowlist path-exactly.
+//!
+//! The wrapper is deliberately thin: an [`Epoll`] owns the epoll file
+//! descriptor, `add`/`modify`/`delete` manage interest, and [`Epoll::wait`]
+//! fills a caller-owned event slice. Level-triggered semantics only — the
+//! reactor drains sockets to `EAGAIN` on every readiness event, so
+//! edge-triggered mode would buy nothing and cost correctness headroom.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `EPOLL_CLOEXEC` for [`epoll_create1`].
+const EPOLL_CLOEXEC: i32 = 0o200_0000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readable interest/readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable interest/readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel declares it
+/// packed (a 12-byte struct with an unaligned `u64`); on other
+/// architectures it uses natural alignment — the `cfg_attr` mirrors the
+/// kernel's `EPOLL_PACKED` attribute exactly.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN | ...`).
+    pub events: u32,
+    /// The caller's token, returned verbatim with each event.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// The readiness bits (copied out of the possibly-packed field).
+    #[must_use]
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The registration token (copied out of the possibly-packed field).
+    #[must_use]
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// An owned epoll instance.
+///
+/// # Examples
+///
+/// ```no_run
+/// use camp_kvs::net::epoll::{Epoll, EpollEvent, EPOLLIN};
+/// use std::os::fd::AsRawFd;
+///
+/// let epoll = Epoll::new()?;
+/// let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+/// epoll.add(listener.as_raw_fd(), EPOLLIN, 7)?;
+/// let mut events = [EpollEvent::default(); 64];
+/// let n = epoll.wait(&mut events, 100)?; // 100 ms timeout
+/// for event in &events[..n] {
+///     assert_eq!(event.token(), 7);
+/// }
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_create1` error (fd exhaustion, kernel limits).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes a flags word and returns an fd or -1;
+        // no pointers cross the boundary.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut event
+        };
+        // SAFETY: `event` outlives the call (the kernel copies it before
+        // returning); DEL passes a null pointer, which the kernel accepts.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, ptr) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest bits and token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error (e.g. the fd is already registered).
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes a registered fd's interest bits (and token).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error (e.g. the fd is not registered).
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregisters `fd`. Closing an fd removes it implicitly; an explicit
+    /// delete is only needed when the fd outlives its registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks for up to `timeout_ms` milliseconds (−1 = forever) and fills
+    /// `events` with ready registrations; returns how many. A signal
+    /// interruption (`EINTR`) reports zero events instead of an error, so
+    /// callers re-derive their timeout and re-enter — the reactor loop does
+    /// exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `epoll_wait` error other than `EINTR`.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let capacity = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
+        // SAFETY: `events` is a valid, writable slice of at least
+        // `capacity` entries for the duration of the call.
+        let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), capacity, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(usize::try_from(n).unwrap_or(0))
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is the epoll fd this struct owns; double-close is
+        // impossible because Drop runs once.
+        unsafe {
+            let _ = close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn reports_readable_after_a_write() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        epoll.add(b.as_raw_fd(), EPOLLIN, 42).expect("add");
+        let mut events = [EpollEvent::default(); 8];
+
+        // Nothing written yet: a zero-timeout wait reports nothing.
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+
+        (&a).write_all(b"x").expect("write");
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn modify_and_delete_change_interest() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        epoll.add(b.as_raw_fd(), EPOLLIN, 1).expect("add");
+        (&a).write_all(b"x").expect("write");
+
+        // Re-token and confirm the new token comes back.
+        epoll.modify(b.as_raw_fd(), EPOLLIN, 2).expect("modify");
+        let mut events = [EpollEvent::default(); 8];
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 2);
+
+        // After delete the readable socket no longer reports.
+        epoll.delete(b.as_raw_fd()).expect("delete");
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+    }
+
+    #[test]
+    fn double_add_is_an_error() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let (_a, b) = UnixStream::pair().expect("socketpair");
+        epoll.add(b.as_raw_fd(), EPOLLIN, 1).expect("add");
+        assert!(epoll.add(b.as_raw_fd(), EPOLLIN, 1).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! The event-driven networking core: epoll wrapper, timer wheel,
+//! connection state machine, and the reactor that runs them.
+//!
+//! Layering, bottom up:
+//!
+//! - [`epoll`] — the raw `epoll(7)` syscall shim, the only `unsafe` code
+//!   in this tree (allowlisted alongside `signals.rs` by camp-lint).
+//! - [`timer`] — a hashed timer wheel; idle eviction, chaos delay
+//!   resumes and the drain sweep are all wheel entries.
+//! - `conn` (crate-private) — the per-connection protocol state machine:
+//!   buffers in, buffers out, no sockets, fully unit-testable.
+//! - `reactor` (crate-private) — N worker event loops, connections
+//!   pinned by accept order, drain/sever orchestration.
+//!
+//! The public server API is unchanged: `server::Server` drives this
+//! machinery by default and falls back to the legacy thread-per-
+//! connection loop behind `ServerOptions::legacy_threads`.
+
+pub mod epoll;
+pub mod timer;
+
+pub(crate) mod conn;
+pub(crate) mod reactor;

@@ -1,0 +1,596 @@
+//! The event loop: N run-to-completion workers multiplexing every
+//! connection over [`Epoll`].
+//!
+//! # Worker model
+//!
+//! [`Reactor::start`] spawns N worker threads. The accept thread stays
+//! blocking (accepting is rare and cheap) and hands each new socket to a
+//! worker chosen round-robin by accept order — a connection is *pinned*
+//! to its worker for life, so per-connection state is never shared and
+//! needs no locks. The handoff is a mutex-guarded intake queue plus a
+//! `UnixStream` wake-up pair whose read half sits in the worker's epoll
+//! set; the same wake-up channel delivers drain and sever signals, which
+//! makes SIGINT/SIGTERM a reactor-visible event (the signal watcher's
+//! self-pipe wakes the daemon, the daemon's drain call wakes every
+//! worker).
+//!
+//! # Tokens and timers
+//!
+//! Connections live in a slot table; the epoll registration token packs
+//! `(generation << 32) | slot` so a stale event for a recycled slot is
+//! recognized and dropped. Each worker owns a [`TimerWheel`] driving
+//! three deadline kinds: slowloris idle eviction (replacing the legacy
+//! read-timeout ticks), chaos delay resumes (replacing the legacy
+//! thread sleep), and the 50 ms drain sweep (replacing the ConnRegistry
+//! nudge). The epoll wait timeout is derived from the wheel, so a worker
+//! with nothing due blocks fully.
+//!
+//! # Drain and sever
+//!
+//! When a drain begins, workers close every connection with empty
+//! buffers immediately and keep sweeping on the drain tick; connections
+//! mid-command finish and close at the next boundary. A connection
+//! holding a partial command line is deliberately not drain-closable
+//! (legacy parity: those were severed at the deadline, and the
+//! stuck-connection chaos test counts on it). When the server's drain
+//! deadline expires it sets the sever flag: workers close everything
+//! left, counting each into [`Reactor::severed`], and exit.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use camp_telemetry::{kvlog, LogLevel};
+
+use crate::net::conn::{Connection, Step};
+use crate::net::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::net::timer::TimerWheel;
+use crate::server::Shared;
+use crate::sync::lock;
+
+/// Epoll token reserved for the worker's wake-up stream.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Events fetched per `epoll_wait` call.
+const EVENT_BATCH: usize = 256;
+/// Upper bound on a worker's sleep even with no timers due.
+const MAX_PARK: Duration = Duration::from_secs(1);
+/// Drain sweep cadence (mirrors the legacy registry nudge tick).
+const DRAIN_TICK: Duration = Duration::from_millis(50);
+/// Unflushed-output level past which a connection stops being read,
+/// so a slow-reading client cannot balloon its write buffer.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// A socket handed from the accept thread to a worker.
+#[derive(Debug)]
+pub(crate) struct Handoff {
+    /// Connection id (0 for rejected sockets, which never execute).
+    pub(crate) id: u64,
+    pub(crate) stream: TcpStream,
+    /// Accepted past the cap: the worker replies with the overload error
+    /// and closes without counting the connection.
+    pub(crate) rejected: bool,
+}
+
+/// One worker's handoff channel.
+#[derive(Debug)]
+struct Intake {
+    queue: Mutex<VecDeque<Handoff>>,
+    /// Write half of the worker's wake-up pair (nonblocking: a full pipe
+    /// means a wake-up is already pending, which is all we need).
+    wake: std::os::unix::net::UnixStream,
+}
+
+impl Intake {
+    fn push(&self, handoff: Handoff) {
+        lock(&self.queue).push_back(handoff);
+    }
+
+    fn drain(&self) -> Vec<Handoff> {
+        lock(&self.queue).drain(..).collect()
+    }
+
+    fn wake(&self) {
+        let _ = (&self.wake).write(&[1]);
+    }
+}
+
+/// State shared between the accept thread, the server handle and the
+/// workers.
+#[derive(Debug)]
+struct ReactorShared {
+    intakes: Vec<Intake>,
+    /// Set at the drain deadline: workers close whatever remains.
+    sever: AtomicBool,
+    /// Connections forcibly closed by the sever.
+    severed: AtomicU64,
+}
+
+/// The running reactor: worker threads plus their shared channels. The
+/// join handles sit behind a mutex so the accept thread and the server
+/// handle can share the reactor through an `Arc`.
+#[derive(Debug)]
+pub(crate) struct Reactor {
+    shared: Arc<ReactorShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_worker: AtomicUsize,
+}
+
+impl Reactor {
+    /// Spawns `workers` event-loop threads over `shared`.
+    pub(crate) fn start(shared: &Arc<Shared>, workers: usize) -> io::Result<Reactor> {
+        let workers = workers.max(1);
+        let mut intakes = Vec::with_capacity(workers);
+        let mut wake_readers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            intakes.push(Intake {
+                queue: Mutex::new(VecDeque::new()),
+                wake: tx,
+            });
+            wake_readers.push(rx);
+        }
+        let rshared = Arc::new(ReactorShared {
+            intakes,
+            sever: AtomicBool::new(false),
+            severed: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for (index, wake_rx) in wake_readers.into_iter().enumerate() {
+            let mut worker = Worker::new(index, Arc::clone(shared), Arc::clone(&rshared), wake_rx)?;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("camp-kvs-worker-{index}"))
+                    .spawn(move || worker.run())?,
+            );
+        }
+        kvlog!(LogLevel::Info, "reactor_started", workers = workers);
+        Ok(Reactor {
+            shared: rshared,
+            workers: Mutex::new(handles),
+            next_worker: AtomicUsize::new(0),
+        })
+    }
+
+    /// Hands a socket to the next worker in accept order.
+    pub(crate) fn submit(&self, handoff: Handoff) {
+        let index = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.shared.intakes.len();
+        let intake = &self.shared.intakes[index];
+        intake.push(handoff);
+        intake.wake();
+    }
+
+    /// Wakes every worker (drain began, or state to re-check).
+    pub(crate) fn wake_all(&self) {
+        for intake in &self.shared.intakes {
+            intake.wake();
+        }
+    }
+
+    /// Orders workers to sever whatever is left, joins them, and returns
+    /// how many connections were forcibly closed.
+    pub(crate) fn sever_and_join(&self) -> u64 {
+        self.shared.sever.store(true, Ordering::SeqCst);
+        self.wake_all();
+        let handles: Vec<_> = lock(&self.workers).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.shared.severed.load(Ordering::SeqCst)
+    }
+
+    /// Whether the workers are still running (used by the server's Drop).
+    pub(crate) fn running(&self) -> bool {
+        !lock(&self.workers).is_empty()
+    }
+}
+
+/// A connection slot: the protocol state machine plus its socket and
+/// current epoll interest.
+#[derive(Debug)]
+struct SlotEntry {
+    conn: Connection,
+    stream: TcpStream,
+    interest: u32,
+}
+
+/// Timer payloads; slot/generation pairs make cancellation lazy — a
+/// fired timer for a recycled slot is recognized and ignored.
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    Idle { slot: usize, gen: u32 },
+    Resume { slot: usize, gen: u32 },
+    DrainTick,
+}
+
+/// What a processing cycle decided to do with the connection.
+enum After {
+    Keep(u32),
+    Close,
+}
+
+struct Worker {
+    index: usize,
+    shared: Arc<Shared>,
+    rshared: Arc<ReactorShared>,
+    epoll: Epoll,
+    wake_rx: std::os::unix::net::UnixStream,
+    slots: Vec<Option<SlotEntry>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    wheel: TimerWheel<Timer>,
+    /// The drain sweep tick has been armed since the drain began.
+    drain_armed: bool,
+}
+
+impl Worker {
+    fn new(
+        index: usize,
+        shared: Arc<Shared>,
+        rshared: Arc<ReactorShared>,
+        wake_rx: std::os::unix::net::UnixStream,
+    ) -> io::Result<Worker> {
+        let epoll = Epoll::new()?;
+        epoll.add(wake_rx.as_raw_fd(), EPOLLIN, WAKE_TOKEN)?;
+        Ok(Worker {
+            index,
+            shared,
+            rshared,
+            epoll,
+            wake_rx,
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            wheel: TimerWheel::new(Instant::now()),
+            drain_armed: false,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events = [EpollEvent::default(); EVENT_BATCH];
+        loop {
+            let timeout = self.park_timeout();
+            let n = match self.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(err) => {
+                    kvlog!(LogLevel::Error, "reactor_wait_failed", error = err);
+                    break;
+                }
+            };
+            for event in &events[..n] {
+                let token = event.token();
+                if token == WAKE_TOKEN {
+                    self.drain_wakeups();
+                } else {
+                    self.dispatch(token, event.readiness());
+                }
+            }
+            self.take_intake();
+            self.fire_timers(Instant::now());
+            if self.shared.draining.load(Ordering::SeqCst) {
+                self.on_draining();
+            }
+            if self.rshared.sever.load(Ordering::SeqCst) {
+                self.sever_all();
+                break;
+            }
+        }
+        kvlog!(
+            LogLevel::Debug,
+            "reactor_worker_stopped",
+            worker = self.index,
+        );
+    }
+
+    /// How long the epoll wait may block, bounded by the next timer.
+    fn park_timeout(&self) -> i32 {
+        let until_due = self
+            .wheel
+            .next_timeout(Instant::now())
+            .unwrap_or(MAX_PARK)
+            .min(MAX_PARK);
+        // Round up: sleeping 0 ms on a sub-millisecond deadline would spin.
+        i32::try_from(until_due.as_millis()).unwrap_or(1000).max(1)
+    }
+
+    fn drain_wakeups(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn dispatch(&mut self, token: u64, readiness: u32) {
+        let slot = usize::try_from(token & u32::MAX as u64).unwrap_or(usize::MAX);
+        let gen = (token >> 32) as u32;
+        if slot >= self.slots.len() || self.gens[slot] != gen || self.slots[slot].is_none() {
+            return; // stale: the slot was recycled within this batch
+        }
+        // A delayed connection has no read interest; an ERR/HUP event for
+        // it would re-fire level-triggered until the resume. Close now —
+        // the peer is gone anyway.
+        let delayed = self.slots[slot]
+            .as_ref()
+            .is_some_and(|s| s.conn.delayed_until.is_some());
+        if delayed && readiness & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(slot, false);
+            return;
+        }
+        self.cycle(slot);
+    }
+
+    /// Registers newly accepted sockets handed over by the accept thread.
+    fn take_intake(&mut self) {
+        let handoffs = self.rshared.intakes[self.index].drain();
+        for handoff in handoffs {
+            if self.rshared.sever.load(Ordering::SeqCst) {
+                // Too late to serve: account it like a severed connection.
+                if !handoff.rejected {
+                    self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                    self.rshared.severed.fetch_add(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+            if handoff.stream.set_nonblocking(true).is_err() {
+                if !handoff.rejected {
+                    self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+            handoff.stream.set_nodelay(true).ok();
+            let conn = if handoff.rejected {
+                Connection::rejected(&self.shared)
+            } else {
+                self.shared
+                    .metrics
+                    .connections_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                Connection::new(handoff.id, &self.shared)
+            };
+            let counted = conn.counted;
+            let slot = match self.free.pop() {
+                Some(slot) => slot,
+                None => {
+                    self.slots.push(None);
+                    self.gens.push(0);
+                    self.slots.len() - 1
+                }
+            };
+            let token = (u64::from(self.gens[slot]) << 32) | slot as u64;
+            if let Err(err) = self.epoll.add(handoff.stream.as_raw_fd(), EPOLLIN, token) {
+                kvlog!(LogLevel::Warn, "reactor_register_failed", error = err);
+                self.free.push(slot);
+                if counted {
+                    self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                    self.shared
+                        .metrics
+                        .connections_opened
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            self.slots[slot] = Some(SlotEntry {
+                conn,
+                stream: handoff.stream,
+                interest: EPOLLIN,
+            });
+            self.live += 1;
+            if counted && !self.shared.idle_timeout.is_zero() {
+                self.wheel.schedule(
+                    Instant::now() + self.shared.idle_timeout,
+                    Timer::Idle {
+                        slot,
+                        gen: self.gens[slot],
+                    },
+                );
+            }
+            // Run one cycle right away: fast clients may already have a
+            // command in the socket buffer, and rejections flush-and-close
+            // without waiting for an event.
+            self.cycle(slot);
+        }
+    }
+
+    /// One run-to-completion round for a connection: fill from the
+    /// socket, process every complete command, flush the coalesced
+    /// replies, then re-derive epoll interest.
+    fn cycle(&mut self, slot: usize) {
+        let shared = Arc::clone(&self.shared);
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let mut resume_at: Option<Instant> = None;
+        let after = 'compute: {
+            let Some(entry) = self.slots[slot].as_mut() else {
+                return;
+            };
+            let conn = &mut entry.conn;
+            // Read only when the machine can make use of bytes: not while
+            // closing, not mid-delay, not past the write high-water mark.
+            let readable = !conn.close_after_flush
+                && conn.delayed_until.is_none()
+                && !conn.peer_eof
+                && conn.pending_out_len() <= OUT_HIGH_WATER;
+            if readable {
+                if let Err(err) = conn.fill_from(&mut entry.stream) {
+                    kvlog!(LogLevel::Debug, "connection_error", error = err);
+                    break 'compute After::Close;
+                }
+            }
+            let step = conn.process(&shared);
+            let flushed = match conn.flush_to(&mut entry.stream) {
+                Ok(flushed) => flushed,
+                Err(err) => {
+                    kvlog!(LogLevel::Debug, "connection_error", error = err);
+                    break 'compute After::Close;
+                }
+            };
+            match step {
+                Step::Close => {
+                    conn.close_after_flush = true;
+                    if flushed {
+                        After::Close
+                    } else {
+                        After::Keep(EPOLLOUT)
+                    }
+                }
+                Step::Delayed(until) => {
+                    resume_at = Some(until);
+                    After::Keep(if flushed { 0 } else { EPOLLOUT })
+                }
+                Step::NeedRead => {
+                    if (conn.close_after_flush && flushed) || (draining && conn.drain_closable()) {
+                        After::Close
+                    } else {
+                        let mut interest = if flushed { 0 } else { EPOLLOUT };
+                        if conn.pending_out_len() <= OUT_HIGH_WATER {
+                            interest |= EPOLLIN;
+                        }
+                        After::Keep(interest)
+                    }
+                }
+            }
+        };
+        match after {
+            After::Close => self.close(slot, false),
+            After::Keep(interest) => self.set_interest(slot, interest),
+        }
+        if let Some(until) = resume_at {
+            self.wheel.schedule(
+                until,
+                Timer::Resume {
+                    slot,
+                    gen: self.gens[slot],
+                },
+            );
+        }
+    }
+
+    fn set_interest(&mut self, slot: usize, desired: u32) {
+        let Some(entry) = self.slots[slot].as_mut() else {
+            return;
+        };
+        if entry.interest == desired {
+            return;
+        }
+        let token = (u64::from(self.gens[slot]) << 32) | slot as u64;
+        if self
+            .epoll
+            .modify(entry.stream.as_raw_fd(), desired, token)
+            .is_ok()
+        {
+            entry.interest = desired;
+        }
+    }
+
+    /// Closes a connection and recycles its slot; `severed` marks a
+    /// forced close at the drain deadline.
+    fn close(&mut self, slot: usize, severed: bool) {
+        let Some(mut entry) = self.slots[slot].take() else {
+            return;
+        };
+        // Best-effort farewell flush (the legacy BufWriter flushed on
+        // drop, ignoring errors); then dropping the stream closes the fd,
+        // which also deregisters it from epoll; the generation bump
+        // invalidates in-flight tokens and pending timers.
+        let _ = entry.conn.flush_to(&mut entry.stream);
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        if entry.conn.counted {
+            self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            self.shared
+                .metrics
+                .connections_closed
+                .fetch_add(1, Ordering::Relaxed);
+            if severed {
+                self.rshared.severed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        drop(entry);
+    }
+
+    fn fire_timers(&mut self, now: Instant) {
+        let mut due = Vec::new();
+        self.wheel.expire(now, &mut due);
+        for timer in due {
+            match timer {
+                Timer::Idle { slot, gen } => self.fire_idle(slot, gen, now),
+                Timer::Resume { slot, gen } => {
+                    if slot < self.slots.len()
+                        && self.gens[slot] == gen
+                        && self.slots[slot].is_some()
+                    {
+                        self.cycle(slot);
+                    }
+                }
+                Timer::DrainTick => {
+                    self.drain_armed = false;
+                }
+            }
+        }
+    }
+
+    /// The idle deadline fired: evict if the connection really has been
+    /// idle the whole time, else re-arm at the true deadline (completed
+    /// commands push it forward).
+    fn fire_idle(&mut self, slot: usize, gen: u32, now: Instant) {
+        if slot >= self.slots.len() || self.gens[slot] != gen {
+            return;
+        }
+        let deadline = match self.slots[slot].as_mut() {
+            Some(entry) if !entry.conn.close_after_flush => {
+                entry.conn.last_complete + self.shared.idle_timeout
+            }
+            _ => return,
+        };
+        if now >= deadline {
+            if let Some(entry) = self.slots[slot].as_mut() {
+                entry.conn.evict_idle(&self.shared);
+            }
+            self.cycle(slot);
+        } else {
+            self.wheel.schedule(deadline, Timer::Idle { slot, gen });
+        }
+    }
+
+    /// Drain housekeeping: close everything closable now, keep a sweep
+    /// tick armed for connections that become closable later.
+    fn on_draining(&mut self) {
+        let closable: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, entry)| {
+                entry
+                    .as_ref()
+                    .filter(|e| e.conn.drain_closable())
+                    .map(|_| slot)
+            })
+            .collect();
+        for slot in closable {
+            self.close(slot, false);
+        }
+        if self.live > 0 && !self.drain_armed {
+            self.wheel
+                .schedule(Instant::now() + DRAIN_TICK, Timer::DrainTick);
+            self.drain_armed = true;
+        }
+    }
+
+    /// The drain deadline passed: forcibly close every remaining
+    /// connection (flushing what we can) and drain the intake.
+    fn sever_all(&mut self) {
+        for slot in 0..self.slots.len() {
+            if let Some(entry) = self.slots[slot].as_mut() {
+                let _ = entry.conn.flush_to(&mut entry.stream);
+                let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+                self.close(slot, true);
+            }
+        }
+        self.take_intake();
+    }
+}

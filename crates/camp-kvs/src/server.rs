@@ -177,33 +177,51 @@ impl ConnRegistry {
     }
 }
 
-/// Shared server state.
+/// Shared server state (visible to the `net` reactor modules, which are
+/// the other consumers of the command-execution layer).
 #[derive(Debug)]
-struct Shared {
-    store: ShardedStore,
+pub(crate) struct Shared {
+    pub(crate) store: ShardedStore,
     iq_misses: IqRegistry,
-    metrics: ServerMetrics,
-    shutdown: AtomicBool,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) shutdown: AtomicBool,
     /// Set when a drain begins: connections finish in-flight work and
     /// close at the next command boundary.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Live connections (accept-side count, enforced against `max_conns`).
-    conn_count: AtomicUsize,
+    pub(crate) conn_count: AtomicUsize,
     /// Connection-id allocator (also seeds per-connection fault streams).
-    next_conn_id: AtomicU64,
+    pub(crate) next_conn_id: AtomicU64,
     registry: ConnRegistry,
     /// Accept cap (0 = unlimited).
-    max_conns: usize,
+    pub(crate) max_conns: usize,
     /// Declared-length cap on set data blocks.
-    max_value_len: usize,
+    pub(crate) max_value_len: usize,
     /// Idle eviction deadline measured from the last *completed* command
     /// (`ZERO` = disabled).
-    idle_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
     /// Active chaos plan, if any.
-    fault_plan: Option<FaultPlan>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl Shared {
+    pub(crate) fn new(options: &ServerOptions) -> Shared {
+        Shared {
+            store: ShardedStore::new(options.config.clone(), options.shards),
+            iq_misses: IqRegistry::new(options.shards),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(1),
+            registry: ConnRegistry::default(),
+            max_conns: options.max_conns,
+            max_value_len: options.max_value_len,
+            idle_timeout: options.idle_timeout,
+            fault_plan: options.fault_plan.clone(),
+        }
+    }
+
     /// The registry stripe for `key` — same hash partition as the store.
     fn iq_stripe(&self, key: &[u8]) -> usize {
         self.store.shard_index(key)
@@ -241,11 +259,20 @@ pub struct ServerOptions {
     /// Deterministic fault-injection plan (`None` = faults off). See
     /// [`crate::fault`].
     pub fault_plan: Option<FaultPlan>,
+    /// Reactor worker event loops. `0` = auto: one per available core,
+    /// capped at 8 (the accept thread and shard locks saturate first).
+    /// Ignored under [`ServerOptions::legacy_threads`].
+    pub workers: usize,
+    /// Escape hatch: run the legacy thread-per-connection loop instead of
+    /// the epoll reactor (kept for one release; the daemon exposes it as
+    /// `--legacy-threads`).
+    pub legacy_threads: bool,
 }
 
 impl ServerOptions {
     /// Single-shard options with no metrics listener, no connection cap,
-    /// a 1 MiB value cap, a 60 s idle timeout and no fault injection.
+    /// a 1 MiB value cap, a 60 s idle timeout, no fault injection, and
+    /// the reactor backend with auto worker count.
     #[must_use]
     pub fn new(config: StoreConfig) -> ServerOptions {
         ServerOptions {
@@ -256,8 +283,22 @@ impl ServerOptions {
             max_value_len: DEFAULT_MAX_VALUE_LEN,
             idle_timeout: Duration::from_secs(60),
             fault_plan: None,
+            workers: 0,
+            legacy_threads: false,
         }
     }
+}
+
+/// Resolves [`ServerOptions::workers`]: explicit wins, else one worker
+/// per available core, capped at 8.
+fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// What a graceful drain accomplished (see [`Server::shutdown_with_drain`]).
@@ -304,6 +345,16 @@ pub struct Server {
     metrics_addr: Option<SocketAddr>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     metrics_thread: Option<std::thread::JoinHandle<()>>,
+    backend: Backend,
+}
+
+/// Which connection engine the server is running.
+#[derive(Debug)]
+enum Backend {
+    /// Thread-per-connection (the pre-reactor engine, kept one release).
+    Legacy,
+    /// The epoll reactor: N worker event loops (see [`crate::net`]).
+    Reactor(Arc<crate::net::reactor::Reactor>),
 }
 
 impl Server {
@@ -343,24 +394,22 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let policy = options.config.eviction.to_string();
-        let shared = Arc::new(Shared {
-            store: ShardedStore::new(options.config, options.shards),
-            iq_misses: IqRegistry::new(options.shards),
-            metrics: ServerMetrics::new(),
-            shutdown: AtomicBool::new(false),
-            draining: AtomicBool::new(false),
-            conn_count: AtomicUsize::new(0),
-            next_conn_id: AtomicU64::new(1),
-            registry: ConnRegistry::default(),
-            max_conns: options.max_conns,
-            max_value_len: options.max_value_len,
-            idle_timeout: options.idle_timeout,
-            fault_plan: options.fault_plan,
-        });
+        let shared = Arc::new(Shared::new(&options));
         let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("camp-kvs-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        let (backend, accept_thread) = if options.legacy_threads {
+            let handle = std::thread::Builder::new()
+                .name("camp-kvs-accept".into())
+                .spawn(move || accept_loop(&listener, &accept_shared))?;
+            (Backend::Legacy, handle)
+        } else {
+            let workers = resolve_workers(options.workers);
+            let reactor = Arc::new(crate::net::reactor::Reactor::start(&shared, workers)?);
+            let accept_reactor = Arc::clone(&reactor);
+            let handle = std::thread::Builder::new()
+                .name("camp-kvs-accept".into())
+                .spawn(move || accept_loop_reactor(&listener, &accept_shared, &accept_reactor))?;
+            (Backend::Reactor(reactor), handle)
+        };
         let (metrics_addr, metrics_thread) = match options.metrics_addr.as_deref() {
             Some(addr) => {
                 let listener = TcpListener::bind(addr)?;
@@ -387,6 +436,7 @@ impl Server {
             metrics_addr,
             accept_thread: Some(accept_thread),
             metrics_thread,
+            backend,
         })
     }
 
@@ -435,17 +485,35 @@ impl Server {
     pub fn shutdown_with_drain(mut self, deadline: Duration) -> DrainReport {
         let started = Instant::now();
         let requests_before = self.shared.metrics.total_requests();
-        let connections_at_drain = self.shared.registry.len() as u64;
+        let connections_at_drain = match &self.backend {
+            Backend::Legacy => self.shared.registry.len() as u64,
+            Backend::Reactor(_) => self.shared.conn_count.load(Ordering::SeqCst) as u64,
+        };
         self.shared.draining.store(true, Ordering::SeqCst);
         self.signal_shutdown();
         self.join_threads();
-        // Shorten every blocked read so idle connections notice the drain
-        // within a DRAIN_TICK instead of a full READ_TICK.
-        self.shared.registry.nudge(DRAIN_TICK);
-        while self.shared.registry.len() > 0 && started.elapsed() < deadline {
-            std::thread::sleep(DRAIN_TICK);
-        }
-        let severed = self.shared.registry.sever_all();
+        let severed = match &self.backend {
+            Backend::Legacy => {
+                // Shorten every blocked read so idle connections notice the
+                // drain within a DRAIN_TICK instead of a full READ_TICK.
+                self.shared.registry.nudge(DRAIN_TICK);
+                while self.shared.registry.len() > 0 && started.elapsed() < deadline {
+                    std::thread::sleep(DRAIN_TICK);
+                }
+                self.shared.registry.sever_all()
+            }
+            Backend::Reactor(reactor) => {
+                // The drain flag is already visible; a wake-up makes every
+                // worker sweep its idle connections immediately.
+                reactor.wake_all();
+                while self.shared.conn_count.load(Ordering::SeqCst) > 0
+                    && started.elapsed() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                reactor.sever_and_join()
+            }
+        };
         let report = DrainReport {
             connections_at_drain,
             drained: connections_at_drain.saturating_sub(severed),
@@ -494,6 +562,13 @@ impl Drop for Server {
         if self.accept_thread.is_some() {
             self.signal_shutdown();
             self.join_threads();
+        }
+        // After shutdown_with_drain the workers are already joined; this
+        // covers a Server dropped without an explicit shutdown.
+        if let Backend::Reactor(reactor) = &self.backend {
+            if reactor.running() {
+                reactor.sever_and_join();
+            }
         }
     }
 }
@@ -547,6 +622,53 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     shared.registry.remove(conn_id);
                     shared.conn_count.fetch_sub(1, Ordering::SeqCst);
                 }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The reactor-backend accept loop: sockets are handed to a worker
+/// (round-robin by accept order — the pinning rule) instead of getting a
+/// thread. The `max_conns` slot is reserved here with a compare-exchange
+/// so the cap is exact under bursts, but enforcement — the error reply
+/// and close — happens in the worker's state machine.
+fn accept_loop_reactor(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    reactor: &Arc<crate::net::reactor::Reactor>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let rejected = if shared.max_conns > 0 {
+                    shared
+                        .conn_count
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+                            (live < shared.max_conns).then_some(live + 1)
+                        })
+                        .is_err()
+                } else {
+                    shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                    false
+                };
+                let id = if rejected {
+                    0
+                } else {
+                    shared.next_conn_id.fetch_add(1, Ordering::Relaxed)
+                };
+                reactor.submit(crate::net::reactor::Handoff {
+                    id,
+                    stream,
+                    rejected,
+                });
             }
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -824,7 +946,7 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) -> i
 }
 
 /// The command class `command` is timed under.
-fn cmd_kind(command: &Command) -> CmdKind {
+pub(crate) fn cmd_kind(command: &Command) -> CmdKind {
     match command {
         Command::Get { .. } => CmdKind::Get,
         Command::IqGet { .. } => CmdKind::IqGet,
@@ -841,16 +963,18 @@ fn cmd_kind(command: &Command) -> CmdKind {
 }
 
 /// Executes one command against `shared`, writing the reply to `writer`
-/// (which the caller flushes when no pipelined command is pending).
+/// (which the caller flushes when no pipelined command is pending). The
+/// legacy path passes its socket `BufWriter`; the reactor passes the
+/// connection's in-memory write buffer, where the I/O is infallible.
 /// `data` is the already-read set data block (empty otherwise); `response`
 /// is the connection's reusable get-serialization buffer. Returns false
 /// when the connection should close.
-fn execute<W: Write>(
+pub(crate) fn execute<W: Write>(
     command: &Command<'_>,
     data: &[u8],
-    writer: &mut BufWriter<W>,
+    writer: &mut W,
     response: &mut Vec<u8>,
-    shared: &Arc<Shared>,
+    shared: &Shared,
 ) -> io::Result<bool> {
     match *command {
         Command::Get { ref keys } => {
@@ -1021,7 +1145,7 @@ fn serve_metrics_once(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()>
     writer.flush()
 }
 
-fn apply_set(header: &SetHeader<'_>, data: &[u8], shared: &Arc<Shared>) -> &'static str {
+fn apply_set(header: &SetHeader<'_>, data: &[u8], shared: &Shared) -> &'static str {
     let iq = header.verb == SetVerb::IqSet;
     // Cost: explicit hint, else the IQ registry's elapsed time, else 0.
     let cost = match header.cost_hint {

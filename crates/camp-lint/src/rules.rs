@@ -29,8 +29,20 @@ impl std::fmt::Debug for Rule {
     }
 }
 
-/// The module that is allowed to contain `unsafe` code.
-pub const UNSAFE_SANCTUARY: &str = "crates/camp-kvs/src/signals.rs";
+/// The modules that are allowed to contain `unsafe` code, matched
+/// path-exactly against the file's repo-relative path — a lookalike in
+/// another directory (or a `signals.rs` elsewhere) still fires. Keep the
+/// list short and justified:
+///
+/// * `signals.rs` — installs C signal handlers over a self-pipe; the
+///   handler body is restricted to async-signal-safe calls.
+/// * `net/epoll.rs` — the epoll syscall shim (`epoll_create1`/`epoll_ctl`/
+///   `epoll_wait` declared via `extern "C"`, no libc crate); every call
+///   site carries a safety argument and the fd is owned by the wrapper.
+pub const UNSAFE_SANCTUARY: &[&str] = &[
+    "crates/camp-kvs/src/signals.rs",
+    "crates/camp-kvs/src/net/epoll.rs",
+];
 
 /// Crates whose library code must never read the wall clock (replay and
 /// simulation determinism depend on it).
@@ -43,7 +55,7 @@ pub const REQUEST_PATH_CRATE: &str = "camp-kvs";
 pub const ALL_RULES: &[Rule] = &[
     Rule {
         name: "unsafe-outside-signals",
-        description: "`unsafe` appears outside camp-kvs/src/signals.rs, the one sanctioned module",
+        description: "`unsafe` appears outside the allowlisted modules (signals.rs, net/epoll.rs)",
         check: unsafe_outside_signals,
     },
     Rule {
@@ -117,7 +129,7 @@ fn is_lock_call(ctx: &FileContext<'_>, c: usize) -> bool {
 // The rules.
 
 fn unsafe_outside_signals(ctx: &FileContext<'_>) -> Vec<Finding> {
-    if ctx.rel_path == UNSAFE_SANCTUARY {
+    if UNSAFE_SANCTUARY.contains(&ctx.rel_path) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -127,7 +139,10 @@ fn unsafe_outside_signals(ctx: &FileContext<'_>) -> Vec<Finding> {
             out.push(ctx.finding(
                 "unsafe-outside-signals",
                 t.start,
-                format!("`unsafe` is only sanctioned in {UNSAFE_SANCTUARY} (the self-pipe signal handler)"),
+                format!(
+                    "`unsafe` is only sanctioned in {} (signal handler, epoll shim)",
+                    UNSAFE_SANCTUARY.join(" and ")
+                ),
             ));
         }
     }

@@ -76,7 +76,24 @@ fn unsafe_outside_signals_fires_everywhere_but_the_sanctuary() {
     assert_fires("unsafe-outside-signals", KVS_LIB, UNSAFE_SNIPPET);
     assert_fires("unsafe-outside-signals", TEST, UNSAFE_SNIPPET);
     assert_clean("crates/camp-kvs/src/signals.rs", UNSAFE_SNIPPET);
+    assert_clean("crates/camp-kvs/src/net/epoll.rs", UNSAFE_SNIPPET);
     assert_suppressible(KVS_LIB, UNSAFE_SNIPPET);
+}
+
+#[test]
+fn unsafe_sanctuary_is_path_exact() {
+    // The allowlist matches whole repo-relative paths, not basenames or
+    // suffixes: lookalikes in other crates/directories still fire.
+    for lookalike in [
+        "crates/camp-core/src/signals.rs",
+        "crates/camp-kvs/src/net/signals.rs",
+        "crates/camp-kvs/src/epoll.rs",
+        "crates/camp-kvs/src/net/epoll2.rs",
+        "crates/camp-kvs/tests/epoll.rs",
+        "vendored/crates/camp-kvs/src/net/epoll.rs",
+    ] {
+        assert_fires("unsafe-outside-signals", lookalike, UNSAFE_SNIPPET);
+    }
 }
 
 // -- raw-mutex-lock ---------------------------------------------------------
