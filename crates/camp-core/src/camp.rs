@@ -28,6 +28,7 @@ use crate::arena::{Arena, EntryId};
 use crate::heap::OctonaryHeap;
 use crate::lru_list::{Linked, Links, LruList};
 use crate::rounding::{Precision, RatioRounder};
+use crate::trace::{key_hash, PolicyEvent, PolicyEventKind, SharedTraceSink};
 
 /// Counters maintained by a [`Camp`] cache.
 ///
@@ -73,6 +74,8 @@ pub struct EntryMeta {
     pub rounded_ratio: u64,
     /// The current priority `H = L_at_last_reference + rounded_ratio`.
     pub h: u128,
+    /// Index of the LRU queue currently holding the entry.
+    pub queue: u32,
 }
 
 /// A snapshot of one non-empty LRU queue, for introspection (Figures 5b, 8c).
@@ -175,6 +178,7 @@ impl CampBuilder {
             capacity: self.capacity,
             used: 0,
             stats: CampStats::default(),
+            sink: None,
         }
     }
 }
@@ -213,6 +217,7 @@ pub struct Camp<K, V = ()> {
     capacity: u64,
     used: u64,
     stats: CampStats,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K, V> Camp<K, V> {
@@ -309,6 +314,21 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
         self.heap.reset_counters();
     }
 
+    /// Attaches (or detaches, with `None`) a [`TraceSink`] that will
+    /// receive one [`PolicyEvent`] per admission and eviction. The sink is
+    /// invoked inline, so it must be cheap; without one, tracing costs a
+    /// single branch per decision.
+    ///
+    /// [`TraceSink`]: crate::trace::TraceSink
+    pub fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The saturated-to-`u64` `L` value trace events carry.
+    fn l_for_trace(&self) -> u64 {
+        u64::try_from(self.l).unwrap_or(u64::MAX)
+    }
+
     /// Whether `key` is resident. Does not update recency.
     #[must_use]
     pub fn contains<Q>(&self, key: &Q) -> bool
@@ -343,7 +363,14 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
             cost: e.cost,
             rounded_ratio: e.ratio,
             h: e.h,
+            queue: e.queue,
         })
+    }
+
+    /// The attached trace sink, if any (see [`Camp::set_trace_sink`]).
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
     }
 
     /// Looks `key` up, updating recency and priority on a hit (the paper's
@@ -447,6 +474,17 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
             // The new entry is the queue head: give the queue a heap node.
             self.heap.insert(queue_idx, h);
         }
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent {
+                kind: PolicyEventKind::Admit,
+                key_hash: key_hash(&key),
+                size,
+                cost,
+                ratio,
+                queue: queue_idx,
+                l_value: self.l_for_trace(),
+            });
+        }
         self.map.insert(key, id);
         self.used += size;
         if updating {
@@ -533,6 +571,7 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
                     cost: e.cost,
                     rounded_ratio: e.ratio,
                     h: e.h,
+                    queue: e.queue,
                 },
             )
         })
@@ -623,6 +662,17 @@ impl<K: Eq + Hash + Clone, V> Camp<K, V> {
         };
         debug_assert!(new_l >= self.l, "L must be non-decreasing");
         self.l = new_l;
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent {
+                kind: PolicyEventKind::Evict,
+                key_hash: key_hash(&entry.key),
+                size: entry.size,
+                cost: entry.cost,
+                ratio: entry.ratio,
+                queue: queue_idx,
+                l_value: self.l_for_trace(),
+            });
+        }
         evicted.push((entry.key, entry.value));
         true
     }
@@ -1064,6 +1114,38 @@ mod tests {
             c.insert(k, k, 10, 1);
         }
         assert_eq!(c.len(), 14);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn trace_sink_sees_admissions_and_evictions() {
+        use crate::trace::{CollectingSink, PolicyEventKind};
+        let mut c = cache(30);
+        let sink = std::sync::Arc::new(CollectingSink::default());
+        c.set_trace_sink(Some(sink.clone()));
+        c.insert(1, 0, 10, 4); // ratio rounds using multiplier = max size
+        c.insert(2, 0, 10, 4);
+        c.insert(3, 0, 10, 4);
+        c.insert(4, 0, 10, 4); // evicts key 1
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 5, "4 admits + 1 evict: {events:?}");
+        let evicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == PolicyEventKind::Evict)
+            .collect();
+        assert_eq!(evicts.len(), 1);
+        let evict = evicts[0];
+        assert_eq!(evict.key_hash, key_hash(&1u64));
+        assert_eq!((evict.size, evict.cost), (10, 4));
+        let admit = &events[0];
+        assert_eq!(admit.kind, PolicyEventKind::Admit);
+        assert_eq!(admit.ratio, evict.ratio, "same queue, same rounded ratio");
+        // L advanced on the eviction and the event observed it.
+        assert!(evict.l_value >= admit.l_value);
+        // Detaching the sink stops emission.
+        c.set_trace_sink(None);
+        c.insert(5, 0, 10, 4);
+        assert_eq!(sink.snapshot().len(), 5);
         c.check_invariants();
     }
 

@@ -58,7 +58,9 @@ pub mod lru_list;
 pub mod rng;
 pub mod rounding;
 pub mod sharded;
+pub mod trace;
 
 pub use crate::camp::{Camp, CampBuilder, CampStats, EntryMeta, InsertOutcome, QueueInfo};
 pub use crate::rounding::Precision;
 pub use crate::sharded::ShardedCamp;
+pub use crate::trace::{key_hash, PolicyEvent, PolicyEventKind, SharedTraceSink, TraceSink};

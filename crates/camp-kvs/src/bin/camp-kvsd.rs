@@ -5,7 +5,7 @@
 //!           [--shards N] [--slab-kb N] [--metrics-addr ADDR]
 //!           [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]
 //!           [--idle-secs N] [--drain-secs N] [--chaos SPEC]
-//!           [--workers N] [--legacy-threads]
+//!           [--workers N] [--legacy-threads] [--slow-log MICROS]
 //! ```
 //!
 //! Connections are served by an in-process epoll reactor: `--workers`
@@ -23,9 +23,16 @@
 //! `camp-kvs` crate documentation.
 //!
 //! `--metrics-addr` additionally serves a Prometheus text exposition over
-//! HTTP (scrape any path); `stats detail` reports the same telemetry over
-//! the cache protocol itself. `--log-level` gates the structured
-//! `key=value` log lines written to stderr (default `info`).
+//! HTTP (scrape any path; `GET /trace` dumps the flight recorder); `stats
+//! detail` reports the same telemetry over the cache protocol itself.
+//! `--log-level` gates the structured `key=value` log lines written to
+//! stderr (default `info`).
+//!
+//! The flight recorder is always on: recent request spans and eviction
+//! decisions sit in fixed-size rings, dumped by the `trace` command.
+//! `--slow-log MICROS` additionally retains requests whose end-to-end
+//! latency reaches the threshold in a separate slow ring that fast
+//! traffic cannot overwrite (`--slow-log 0` retains everything).
 //!
 //! The daemon exits gracefully on SIGTERM/SIGINT: the listener closes
 //! immediately, in-flight commands complete, and connections still busy
@@ -49,7 +56,7 @@ use camp_telemetry::{kvlog, LogLevel};
 
 fn usage() -> String {
     format!(
-        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads] [--slow-log MICROS]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given;\n  GET /trace dumps the flight recorder)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--slow-log retains requests at least MICROS us end-to-end in the slow ring\n  (0 retains everything; omit to disable the slow log)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
         LogLevel::HELP,
         EvictionMode::HELP
     )
@@ -71,6 +78,7 @@ fn main() -> ExitCode {
     let mut chaos: Option<FaultPlan> = None;
     let mut workers: usize = 0;
     let mut legacy_threads = false;
+    let mut slow_log_us: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -146,6 +154,13 @@ fn main() -> ExitCode {
                         .map_err(|_| "bad --workers".to_owned())?;
                 }
                 "--legacy-threads" => legacy_threads = true,
+                "--slow-log" => {
+                    slow_log_us = Some(
+                        value("--slow-log")?
+                            .parse()
+                            .map_err(|_| "bad --slow-log".to_owned())?,
+                    );
+                }
                 "--log-level" => {
                     let level: LogLevel = value("--log-level")?
                         .parse()
@@ -205,6 +220,7 @@ fn main() -> ExitCode {
         fault_plan: chaos,
         workers,
         legacy_threads,
+        slow_log_us,
     };
     let server = match Server::start_with(&listen, options) {
         Ok(server) => server,

@@ -12,8 +12,12 @@
 //! Prometheus text, so both protocols speak one vocabulary.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use camp_telemetry::{Exposition, Histogram, HistogramSnapshot, MetricKind};
+use camp_policies::{PolicyEvent, PolicyEventKind, ShadowEstimate, TraceSink};
+use camp_telemetry::{
+    EvictionTrace, Exposition, FlightRecorder, Histogram, HistogramSnapshot, MetricKind,
+};
 
 use crate::shard::ShardSnapshot;
 use crate::store::StoreStats;
@@ -58,6 +62,22 @@ impl CmdKind {
             CmdKind::Delete => "delete",
             CmdKind::Other => "other",
         }
+    }
+
+    /// A stable one-byte discriminant, used to stamp request spans in the
+    /// flight recorder (which stores fixed-width words, not enums).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        CmdKind::ALL.iter().position(|&k| k == self).unwrap_or(5) as u8
+    }
+
+    /// Inverse of [`CmdKind::code`]; unknown bytes decode as `Other`.
+    #[must_use]
+    pub fn from_code(code: u8) -> CmdKind {
+        CmdKind::ALL
+            .get(usize::from(code))
+            .copied()
+            .unwrap_or(CmdKind::Other)
     }
 }
 
@@ -264,6 +284,122 @@ impl ServerMetrics {
     }
 }
 
+/// Live per-worker reactor counters (one row per event-loop worker; the
+/// legacy thread-per-connection backend keeps a single all-zero row).
+/// Incremented with relaxed atomics from inside each worker's loop, read
+/// by `stats detail` and the Prometheus exposition.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Connections currently owned by this worker.
+    pub live_connections: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub epoll_wakeups: AtomicU64,
+    /// Timer-wheel timers fired (idle sweeps, fault resumes, drain ticks).
+    pub timer_fires: AtomicU64,
+    /// Times backpressure paused reads (pending output over the
+    /// high-water mark caused `EPOLLIN` to be withheld).
+    pub write_pauses: AtomicU64,
+}
+
+/// A point-in-time copy of one worker's [`WorkerStats`] row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Connections currently owned by this worker.
+    pub live_connections: u64,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub epoll_wakeups: u64,
+    /// Timer-wheel timers fired.
+    pub timer_fires: u64,
+    /// Reads paused by output backpressure.
+    pub write_pauses: u64,
+}
+
+/// The per-worker reactor counter registry, sized once at startup for the
+/// resolved worker count.
+#[derive(Debug)]
+pub struct ReactorStats {
+    workers: Vec<WorkerStats>,
+}
+
+impl ReactorStats {
+    /// A registry with `workers` zeroed rows (at least one, so the legacy
+    /// backend still has a stable schema).
+    #[must_use]
+    pub fn new(workers: usize) -> ReactorStats {
+        ReactorStats {
+            workers: (0..workers.max(1))
+                .map(|_| WorkerStats::default())
+                .collect(),
+        }
+    }
+
+    /// The counter row for worker `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range — worker indices are assigned from
+    /// the same count the registry was sized with.
+    #[must_use]
+    pub fn worker(&self, index: usize) -> &WorkerStats {
+        &self.workers[index]
+    }
+
+    /// Point-in-time copies of every row, in worker order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<WorkerStatsSnapshot> {
+        self.workers
+            .iter()
+            .map(|w| WorkerStatsSnapshot {
+                live_connections: w.live_connections.load(Ordering::Relaxed),
+                epoll_wakeups: w.epoll_wakeups.load(Ordering::Relaxed),
+                timer_fires: w.timer_fires.load(Ordering::Relaxed),
+                write_pauses: w.write_pauses.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Zeroes the event counters (`stats reset`). Live-connection gauges
+    /// are left alone — they track reality, not history.
+    pub fn reset(&self) {
+        for w in &self.workers {
+            w.epoll_wakeups.store(0, Ordering::Relaxed);
+            w.timer_fires.store(0, Ordering::Relaxed);
+            w.write_pauses.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Adapts policy-layer [`PolicyEvent`]s into the flight recorder's
+/// [`EvictionTrace`] ring. This is the glue the store attaches to every
+/// shard's policy: policies stay clock- and telemetry-free, the recorder
+/// stays policy-agnostic.
+#[derive(Debug, Clone)]
+pub struct RecorderSink {
+    recorder: Arc<FlightRecorder>,
+}
+
+impl RecorderSink {
+    /// A sink feeding `recorder`.
+    #[must_use]
+    pub fn new(recorder: Arc<FlightRecorder>) -> RecorderSink {
+        RecorderSink { recorder }
+    }
+}
+
+impl TraceSink for RecorderSink {
+    fn record(&self, event: &PolicyEvent) {
+        self.recorder.record_eviction(&EvictionTrace {
+            admit: event.kind == PolicyEventKind::Admit,
+            key_hash: event.key_hash,
+            size: event.size,
+            cost: event.cost,
+            ratio: event.ratio,
+            queue: event.queue,
+            l_value: event.l_value,
+        });
+    }
+}
+
 /// A point-in-time copy of every telemetry surface the server exposes,
 /// assembled under no long-held lock and rendered to either protocol.
 #[derive(Debug, Clone)]
@@ -302,6 +438,26 @@ pub struct TelemetryReport {
     pub iq_miss_registry_size: u64,
     /// Registry entries dropped by the TTL sweep so far.
     pub iq_sweep_reclaimed: u64,
+    /// Merged shadow-cache estimates (0.5×/1×/2× capacity), across shards.
+    pub shadow: Vec<ShadowEstimate>,
+    /// The shadow profiler's spatial sampling modulus (1-in-N keys).
+    pub shadow_sample_modulus: u64,
+    /// Request spans recorded by the flight recorder so far.
+    pub spans_recorded: u64,
+    /// Spans promoted to the slow-request log so far.
+    pub slow_recorded: u64,
+    /// The active `--slow-log` threshold, if one is set.
+    pub slow_threshold_us: Option<u64>,
+    /// Policy admissions traced so far.
+    pub trace_admits: u64,
+    /// Policy evictions traced so far.
+    pub trace_evicts: u64,
+    /// Distribution of miss costs over traced evictions.
+    pub eviction_costs: HistogramSnapshot,
+    /// Trajectory of CAMP's `L` term as sampled at eviction decisions.
+    pub l_values: HistogramSnapshot,
+    /// Per-worker reactor internals, in worker order.
+    pub reactor_workers: Vec<WorkerStatsSnapshot>,
 }
 
 impl TelemetryReport {
@@ -429,6 +585,62 @@ impl TelemetryReport {
             "STAT iq_sweep_reclaimed {}",
             self.iq_sweep_reclaimed
         ));
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            lines.push(format!(
+                "STAT reactor:worker{i} live={} wakeups={} timer_fires={} write_pauses={}",
+                w.live_connections, w.epoll_wakeups, w.timer_fires, w.write_pauses,
+            ));
+        }
+        lines.push(format!("STAT trace:spans_recorded {}", self.spans_recorded));
+        lines.push(format!("STAT trace:slow_recorded {}", self.slow_recorded));
+        lines.push(format!(
+            "STAT trace:slow_threshold_us {}",
+            self.slow_threshold_us
+                .map_or_else(|| "disabled".to_owned(), |us| us.to_string())
+        ));
+        lines.push(format!("STAT trace:admits {}", self.trace_admits));
+        lines.push(format!("STAT trace:evictions {}", self.trace_evicts));
+        lines.push(format!(
+            "STAT trace:eviction_cost_p50 {}",
+            self.eviction_costs.quantile(0.5)
+        ));
+        lines.push(format!(
+            "STAT trace:l_value_p50 {}",
+            self.l_values.quantile(0.5)
+        ));
+        lines.extend(self.profile_lines());
+        lines
+    }
+
+    /// The `stats profile` table: the online shadow profiler's hit-ratio
+    /// and cost-miss estimates at fractional capacities.
+    #[must_use]
+    pub fn profile_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "STAT profile:sample_modulus {}",
+            self.shadow_sample_modulus
+        ));
+        for est in &self.shadow {
+            let scale = est.scale_label();
+            lines.push(format!("STAT profile:{scale}:capacity {}", est.capacity));
+            lines.push(format!(
+                "STAT profile:{scale}:sampled_gets {}",
+                est.sampled_gets
+            ));
+            lines.push(format!(
+                "STAT profile:{scale}:sampled_hits {}",
+                est.sampled_hits
+            ));
+            lines.push(format!(
+                "STAT profile:{scale}:hit_ratio {:.4}",
+                est.hit_ratio
+            ));
+            lines.push(format!(
+                "STAT profile:{scale}:est_miss_cost {}",
+                est.est_miss_cost
+            ));
+        }
         lines
     }
 
@@ -695,6 +907,131 @@ impl TelemetryReport {
                 items,
             );
         }
+
+        exp.family(
+            "camp_shadow_hit_ratio",
+            "estimated hit ratio at fractional capacities (sampled shadow caches)",
+            MetricKind::Gauge,
+        );
+        for est in &self.shadow {
+            let scale = est.scale_label();
+            exp.value("camp_shadow_hit_ratio", &[("scale", &scale)], est.hit_ratio);
+        }
+        exp.family(
+            "camp_shadow_est_miss_cost_total",
+            "estimated cumulative miss cost at fractional capacities",
+            MetricKind::Counter,
+        );
+        for est in &self.shadow {
+            let scale = est.scale_label();
+            exp.int_value(
+                "camp_shadow_est_miss_cost_total",
+                &[("scale", &scale)],
+                est.est_miss_cost,
+            );
+        }
+        exp.family(
+            "camp_shadow_sampled_gets_total",
+            "lookups that fell in the shadow profiler's key sample",
+            MetricKind::Counter,
+        );
+        for est in &self.shadow {
+            let scale = est.scale_label();
+            exp.int_value(
+                "camp_shadow_sampled_gets_total",
+                &[("scale", &scale)],
+                est.sampled_gets,
+            );
+        }
+
+        exp.family(
+            "camp_eviction_cost",
+            "miss cost of traced eviction victims",
+            MetricKind::Summary,
+        );
+        exp.summary("camp_eviction_cost", &[], &self.eviction_costs);
+        exp.family(
+            "camp_l_value",
+            "CAMP L term sampled at eviction decisions",
+            MetricKind::Summary,
+        );
+        exp.summary("camp_l_value", &[], &self.l_values);
+
+        let trace_counters: [(&str, &str, u64); 4] = [
+            (
+                "camp_trace_spans_total",
+                "request spans recorded by the flight recorder",
+                self.spans_recorded,
+            ),
+            (
+                "camp_trace_slow_total",
+                "spans promoted to the slow-request log",
+                self.slow_recorded,
+            ),
+            (
+                "camp_trace_admits_total",
+                "policy admissions traced",
+                self.trace_admits,
+            ),
+            (
+                "camp_trace_evictions_total",
+                "policy evictions traced",
+                self.trace_evicts,
+            ),
+        ];
+        for (name, help, value) in trace_counters {
+            exp.family(name, help, MetricKind::Counter);
+            exp.int_value(name, &[], value);
+        }
+
+        exp.family(
+            "camp_reactor_live_connections",
+            "connections currently owned per reactor worker",
+            MetricKind::Gauge,
+        );
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            exp.int_value(
+                "camp_reactor_live_connections",
+                &[("worker", &i.to_string())],
+                w.live_connections,
+            );
+        }
+        exp.family(
+            "camp_reactor_epoll_wakeups_total",
+            "epoll_wait returns that delivered events, per worker",
+            MetricKind::Counter,
+        );
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            exp.int_value(
+                "camp_reactor_epoll_wakeups_total",
+                &[("worker", &i.to_string())],
+                w.epoll_wakeups,
+            );
+        }
+        exp.family(
+            "camp_reactor_timer_fires_total",
+            "timer-wheel timers fired, per worker",
+            MetricKind::Counter,
+        );
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            exp.int_value(
+                "camp_reactor_timer_fires_total",
+                &[("worker", &i.to_string())],
+                w.timer_fires,
+            );
+        }
+        exp.family(
+            "camp_reactor_write_pauses_total",
+            "reads paused by output backpressure, per worker",
+            MetricKind::Counter,
+        );
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            exp.int_value(
+                "camp_reactor_write_pauses_total",
+                &[("worker", &i.to_string())],
+                w.write_pauses,
+            );
+        }
         exp.render()
     }
 }
@@ -741,6 +1078,33 @@ mod tests {
             lock_poison_recovered: 1,
             iq_miss_registry_size: 5,
             iq_sweep_reclaimed: 2,
+            shadow: vec![ShadowEstimate {
+                scale: (1, 2),
+                capacity: 512,
+                sampled_gets: 40,
+                sampled_hits: 30,
+                hit_ratio: 0.75,
+                est_miss_cost: 640,
+            }],
+            shadow_sample_modulus: 64,
+            spans_recorded: 11,
+            slow_recorded: 2,
+            slow_threshold_us: Some(500),
+            trace_admits: 9,
+            trace_evicts: 4,
+            eviction_costs: {
+                let h = Histogram::new();
+                h.record(8);
+                h.record(16);
+                h.snapshot()
+            },
+            l_values: Histogram::new().snapshot(),
+            reactor_workers: vec![WorkerStatsSnapshot {
+                live_connections: 3,
+                epoll_wakeups: 100,
+                timer_fires: 6,
+                write_pauses: 1,
+            }],
         }
     }
 
@@ -767,9 +1131,75 @@ mod tests {
             "STAT conn_rejected:value_too_large 3",
             "STAT faults_injected:drop 7",
             "STAT lock_poison_recovered 1",
+            "STAT reactor:worker0 live=3 wakeups=100 timer_fires=6 write_pauses=1",
+            "STAT trace:spans_recorded 11",
+            "STAT trace:slow_recorded 2",
+            "STAT trace:slow_threshold_us 500",
+            "STAT trace:admits 9",
+            "STAT trace:evictions 4",
+            "STAT profile:sample_modulus 64",
+            "STAT profile:0.5x:hit_ratio 0.7500",
+            "STAT profile:0.5x:est_miss_cost 640",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn profile_lines_stand_alone() {
+        let text = sample_report().profile_lines().join("\n");
+        assert!(text.contains("STAT profile:0.5x:capacity 512"), "{text}");
+        assert!(text.contains("STAT profile:0.5x:sampled_gets 40"), "{text}");
+        assert!(text.contains("STAT profile:0.5x:sampled_hits 30"), "{text}");
+    }
+
+    #[test]
+    fn cmd_kind_codes_round_trip() {
+        for kind in CmdKind::ALL {
+            assert_eq!(CmdKind::from_code(kind.code()), kind);
+        }
+        assert_eq!(CmdKind::from_code(200), CmdKind::Other);
+    }
+
+    #[test]
+    fn reactor_stats_snapshot_and_reset() {
+        let stats = ReactorStats::new(2);
+        stats
+            .worker(0)
+            .epoll_wakeups
+            .fetch_add(5, Ordering::Relaxed);
+        stats.worker(1).live_connections.store(2, Ordering::Relaxed);
+        stats.worker(1).write_pauses.fetch_add(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].epoll_wakeups, 5);
+        assert_eq!(snap[1].live_connections, 2);
+        assert_eq!(snap[1].write_pauses, 1);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap[0].epoll_wakeups, 0);
+        assert_eq!(snap[1].write_pauses, 0);
+        // Gauges survive a reset.
+        assert_eq!(snap[1].live_connections, 2);
+    }
+
+    #[test]
+    fn recorder_sink_forwards_policy_events() {
+        let recorder = Arc::new(FlightRecorder::new(1, None));
+        let sink = RecorderSink::new(recorder.clone());
+        sink.record(&PolicyEvent::basic(PolicyEventKind::Admit, 1, 10, 2));
+        sink.record(&PolicyEvent {
+            kind: PolicyEventKind::Evict,
+            key_hash: 2,
+            size: 20,
+            cost: 5,
+            ratio: 1,
+            queue: 0,
+            l_value: 3,
+        });
+        assert_eq!(recorder.admits_recorded(), 1);
+        assert_eq!(recorder.evicts_recorded(), 1);
+        assert_eq!(recorder.eviction_cost_snapshot().count, 1);
     }
 
     #[test]
@@ -792,6 +1222,20 @@ mod tests {
             "camp_conn_rejected_total{cause=\"value_too_large\"} 3",
             "camp_faults_injected_total{kind=\"drop\"} 7",
             "camp_lock_poison_recovered_total 1",
+            "camp_shadow_hit_ratio{scale=\"0.5x\"} 0.75",
+            "camp_shadow_est_miss_cost_total{scale=\"0.5x\"} 640",
+            "camp_shadow_sampled_gets_total{scale=\"0.5x\"} 40",
+            "# TYPE camp_eviction_cost summary",
+            "camp_eviction_cost_count 2",
+            "# TYPE camp_l_value summary",
+            "camp_trace_spans_total 11",
+            "camp_trace_slow_total 2",
+            "camp_trace_admits_total 9",
+            "camp_trace_evictions_total 4",
+            "camp_reactor_live_connections{worker=\"0\"} 3",
+            "camp_reactor_epoll_wakeups_total{worker=\"0\"} 100",
+            "camp_reactor_timer_fires_total{worker=\"0\"} 6",
+            "camp_reactor_write_pauses_total{worker=\"0\"} 1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -33,7 +33,7 @@
 use std::io::{self, Read, Write};
 use std::time::Instant;
 
-use camp_telemetry::{kvlog, LogLevel};
+use camp_telemetry::{kvlog, LogLevel, RequestSpan};
 
 use crate::fault::{FaultAction, FaultState};
 use crate::metrics::{CmdKind, FaultKind, RejectCause};
@@ -51,6 +51,9 @@ const COMPACT_AT: usize = 4 * 1024;
 /// 1 MiB `set` does not pin a megabyte per connection forever.
 const SHRINK_AT: usize = 256 * 1024;
 const SHRINK_TO: usize = 16 * 1024;
+/// Cap on spans awaiting their flushed stamp; a write-paused connection
+/// drops further spans rather than growing without bound.
+const PENDING_SPAN_CAP: usize = 4096;
 
 /// What [`Connection::process`] wants from the reactor next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +105,14 @@ pub(crate) struct Connection {
     /// Whether this connection was counted in `conn_count` and the
     /// opened/closed metrics (max-conns rejections are not).
     pub(crate) counted: bool,
+    /// Server-assigned connection id (span attribution).
+    id: u64,
+    /// When the most recent socket fragment arrived (the `buffered` span
+    /// phase for commands completed by that fragment).
+    buffered_at: Option<Instant>,
+    /// Spans for executed commands, awaiting the flushed stamp that the
+    /// reactor applies once their replies reach the socket.
+    pending_spans: Vec<RequestSpan>,
 }
 
 impl Connection {
@@ -124,6 +135,9 @@ impl Connection {
             close_after_flush: false,
             peer_eof: false,
             counted: true,
+            id,
+            buffered_at: None,
+            pending_spans: Vec::new(),
         }
     }
 
@@ -151,6 +165,7 @@ impl Connection {
     #[cfg(test)]
     pub(crate) fn ingest(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+        self.buffered_at = Some(Instant::now());
     }
 
     /// Whether unflushed output remains.
@@ -195,6 +210,7 @@ impl Connection {
                 }
                 Ok(n) => {
                     self.buf.truncate(len + n);
+                    self.buffered_at = Some(Instant::now());
                     round += n;
                     if round >= READ_ROUND_MAX {
                         return Ok(Fill::Open);
@@ -243,6 +259,21 @@ impl Connection {
             self.out.shrink_to(SHRINK_TO);
         }
         Ok(true)
+    }
+
+    /// Stamps the `flushed` phase on every span whose reply just reached
+    /// the socket and records them into `ring` of the flight recorder.
+    /// The reactor calls this after a full write-buffer drain (and once
+    /// more at close, so spans stuck behind a slow reader are not lost).
+    pub(crate) fn finish_spans(&mut self, shared: &Shared, ring: usize) {
+        if self.pending_spans.is_empty() {
+            return;
+        }
+        let flushed_us = shared.recorder.micros_since_boot(Instant::now());
+        for mut span in self.pending_spans.drain(..) {
+            span.flushed_us = flushed_us.max(span.executed_us);
+            shared.recorder.record_span(ring, &span);
+        }
     }
 
     /// Evicts the connection for exceeding the idle deadline: explicit
@@ -395,9 +426,24 @@ impl Connection {
                     // workspace rule; the false arm is unreachable.
                     let keep = execute(&command, block, &mut self.out, &mut self.response, shared)
                         .unwrap_or(false);
-                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let executed_at = Instant::now();
+                    let micros =
+                        u64::try_from((executed_at - started).as_micros()).unwrap_or(u64::MAX);
                     shared.metrics.record_latency(kind, micros);
-                    self.last_complete = Instant::now();
+                    if self.pending_spans.len() < PENDING_SPAN_CAP {
+                        let recorder = &shared.recorder;
+                        self.pending_spans.push(RequestSpan {
+                            conn_id: self.id,
+                            cmd: kind.code(),
+                            wire_bytes,
+                            buffered_us: recorder
+                                .micros_since_boot(self.buffered_at.unwrap_or(started)),
+                            parsed_us: recorder.micros_since_boot(started),
+                            executed_us: recorder.micros_since_boot(executed_at),
+                            flushed_us: 0, // stamped by `finish_spans`
+                        });
+                    }
+                    self.last_complete = executed_at;
                     self.pos += consumed;
                     if !keep {
                         return Step::Close;

@@ -264,6 +264,13 @@ impl Worker {
                     break;
                 }
             };
+            if n > 0 {
+                self.shared
+                    .reactor_stats
+                    .worker(self.index)
+                    .epoll_wakeups
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             for event in &events[..n] {
                 let token = event.token();
                 if token == WAKE_TOKEN {
@@ -380,6 +387,11 @@ impl Worker {
                 interest: EPOLLIN,
             });
             self.live += 1;
+            self.shared
+                .reactor_stats
+                .worker(self.index)
+                .live_connections
+                .fetch_add(1, Ordering::Relaxed);
             if counted && !self.shared.idle_timeout.is_zero() {
                 self.wheel.schedule(
                     Instant::now() + self.shared.idle_timeout,
@@ -402,6 +414,7 @@ impl Worker {
     fn cycle(&mut self, slot: usize) {
         let shared = Arc::clone(&self.shared);
         let draining = shared.draining.load(Ordering::SeqCst);
+        let worker = self.index;
         let mut resume_at: Option<Instant> = None;
         let after = 'compute: {
             let Some(entry) = self.slots[slot].as_mut() else {
@@ -428,6 +441,9 @@ impl Worker {
                     break 'compute After::Close;
                 }
             };
+            if flushed {
+                conn.finish_spans(&shared, worker);
+            }
             match step {
                 Step::Close => {
                     conn.close_after_flush = true;
@@ -448,6 +464,14 @@ impl Worker {
                         let mut interest = if flushed { 0 } else { EPOLLOUT };
                         if conn.pending_out_len() <= OUT_HIGH_WATER {
                             interest |= EPOLLIN;
+                        } else {
+                            // High-water mark hit: stop reading until the
+                            // peer drains some output.
+                            shared
+                                .reactor_stats
+                                .worker(worker)
+                                .write_pauses
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                         After::Keep(interest)
                     }
@@ -497,9 +521,17 @@ impl Worker {
         // which also deregisters it from epoll; the generation bump
         // invalidates in-flight tokens and pending timers.
         let _ = entry.conn.flush_to(&mut entry.stream);
+        // Spans still awaiting their flushed stamp get it now rather than
+        // being lost with the connection.
+        entry.conn.finish_spans(&self.shared, self.index);
         self.gens[slot] = self.gens[slot].wrapping_add(1);
         self.free.push(slot);
         self.live -= 1;
+        self.shared
+            .reactor_stats
+            .worker(self.index)
+            .live_connections
+            .fetch_sub(1, Ordering::Relaxed);
         if entry.conn.counted {
             self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
             self.shared
@@ -516,6 +548,13 @@ impl Worker {
     fn fire_timers(&mut self, now: Instant) {
         let mut due = Vec::new();
         self.wheel.expire(now, &mut due);
+        if !due.is_empty() {
+            self.shared
+                .reactor_stats
+                .worker(self.index)
+                .timer_fires
+                .fetch_add(due.len() as u64, Ordering::Relaxed);
+        }
         for timer in due {
             match timer {
                 Timer::Idle { slot, gen } => self.fire_idle(slot, gen, now),

@@ -21,6 +21,13 @@
 //!                                                  policy internals), END
 //! stats reset                                   -> RESET (zeroes counters and
 //!                                                  histograms)
+//! stats profile                                 -> shadow-profiler STAT lines
+//!                                                  (hit-ratio / cost-miss
+//!                                                  estimates at 0.5x/1x/2x
+//!                                                  capacity), END
+//! trace                                         -> flight-recorder dump (recent
+//!                                                  spans, slow log, eviction
+//!                                                  events), END
 //! quit                                          -> connection closed
 //! ```
 //!
@@ -161,11 +168,14 @@ pub enum Command<'a> {
     FlushAll,
     /// `version`.
     Version,
-    /// `stats` / `stats detail` / `stats reset`.
+    /// `stats` / `stats detail` / `stats reset` / `stats profile`.
     Stats {
         /// Which stats surface was requested.
         scope: StatsScope,
     },
+    /// `trace`: dump the flight recorder (recent request spans, the slow
+    /// log, recent eviction events).
+    Trace,
     /// `quit`.
     Quit,
 }
@@ -181,6 +191,9 @@ pub enum StatsScope {
     /// `stats reset`: zero the counters and histograms, re-baselining
     /// measurement (responds `RESET`).
     Reset,
+    /// `stats profile`: the online shadow profiler's hit-ratio and
+    /// cost-miss estimates at fractional capacities.
+    Profile,
 }
 
 /// Which storage command a [`SetHeader`] came from.
@@ -447,12 +460,19 @@ pub fn parse_command_limited(
                 None => StatsScope::Summary,
                 Some(b"detail") => StatsScope::Detail,
                 Some(b"reset") => StatsScope::Reset,
+                Some(b"profile") => StatsScope::Profile,
                 Some(_) => return Err(ProtocolError::new("unknown stats argument")),
             };
             if tokens.next().is_some() {
                 return Err(ProtocolError::new("trailing tokens"));
             }
             Ok(Command::Stats { scope })
+        }
+        b"trace" => {
+            if tokens.next().is_some() {
+                return Err(ProtocolError::new("trace takes no arguments"));
+            }
+            Ok(Command::Trace)
         }
         b"quit" => Ok(Command::Quit),
         _ => Err(ProtocolError::new("unknown command")),
@@ -553,8 +573,20 @@ mod tests {
                 scope: StatsScope::Reset
             }
         );
+        assert_eq!(
+            parse_command(b"stats profile").unwrap(),
+            Command::Stats {
+                scope: StatsScope::Profile
+            }
+        );
         assert!(parse_command(b"stats bogus").is_err());
         assert!(parse_command(b"stats detail extra").is_err());
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(parse_command(b"trace").unwrap(), Command::Trace);
+        assert!(parse_command(b"trace extra").is_err());
     }
 
     #[test]

@@ -27,10 +27,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use camp_telemetry::{kvlog, LogLevel};
+use camp_telemetry::{kvlog, FlightRecorder, LogLevel, RequestSpan};
 
 use crate::fault::{FaultAction, FaultPlan, FaultState};
-use crate::metrics::{CmdKind, FaultKind, RejectCause, ServerMetrics, TelemetryReport};
+use crate::metrics::{
+    CmdKind, FaultKind, ReactorStats, RecorderSink, RejectCause, ServerMetrics, TelemetryReport,
+};
 use crate::protocol::{
     parse_command_limited, Command, SetHeader, SetVerb, StatsScope, DEFAULT_MAX_VALUE_LEN,
 };
@@ -202,12 +204,25 @@ pub(crate) struct Shared {
     pub(crate) idle_timeout: Duration,
     /// Active chaos plan, if any.
     pub(crate) fault_plan: Option<FaultPlan>,
+    /// The always-on flight recorder: per-worker request-span rings, the
+    /// slow-request log, and the eviction-event ring.
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Per-worker reactor counters (`stats detail` / Prometheus).
+    pub(crate) reactor_stats: ReactorStats,
 }
 
 impl Shared {
     pub(crate) fn new(options: &ServerOptions) -> Shared {
+        let workers = if options.legacy_threads {
+            1
+        } else {
+            resolve_workers(options.workers)
+        };
+        let recorder = Arc::new(FlightRecorder::new(workers, options.slow_log_us));
+        let store = ShardedStore::new(options.config.clone(), options.shards);
+        store.set_trace_sink(Some(Arc::new(RecorderSink::new(Arc::clone(&recorder)))));
         Shared {
-            store: ShardedStore::new(options.config.clone(), options.shards),
+            store,
             iq_misses: IqRegistry::new(options.shards),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
@@ -219,6 +234,8 @@ impl Shared {
             max_value_len: options.max_value_len,
             idle_timeout: options.idle_timeout,
             fault_plan: options.fault_plan.clone(),
+            recorder,
+            reactor_stats: ReactorStats::new(workers),
         }
     }
 
@@ -267,6 +284,12 @@ pub struct ServerOptions {
     /// the epoll reactor (kept for one release; the daemon exposes it as
     /// `--legacy-threads`).
     pub legacy_threads: bool,
+    /// Slow-request threshold in microseconds: reactor request spans whose
+    /// buffered→flushed time meets or exceeds this are promoted to the
+    /// retained slow-request log (dumped by `trace` and `/trace`). `None`
+    /// disables promotion; spans are still ring-recorded either way. The
+    /// daemon exposes this as `--slow-log MICROS`.
+    pub slow_log_us: Option<u64>,
 }
 
 impl ServerOptions {
@@ -285,6 +308,7 @@ impl ServerOptions {
             fault_plan: None,
             workers: 0,
             legacy_threads: false,
+            slow_log_us: None,
         }
     }
 }
@@ -1060,14 +1084,92 @@ pub(crate) fn execute<W: Write>(
             StatsScope::Reset => {
                 shared.store.reset_stats();
                 shared.metrics.reset();
+                shared.recorder.reset_derived();
+                shared.reactor_stats.reset();
                 shared.iq_misses.swept.store(0, Ordering::Relaxed);
                 kvlog!(LogLevel::Info, "stats_reset");
                 writeln_crlf(writer, "RESET")?;
             }
+            StatsScope::Profile => {
+                for stat_line in telemetry_report(shared).profile_lines() {
+                    writeln_crlf(writer, &stat_line)?;
+                }
+                writeln_crlf(writer, "END")?;
+            }
         },
+        Command::Trace => {
+            for trace_line in trace_lines(shared) {
+                writeln_crlf(writer, &trace_line)?;
+            }
+            writeln_crlf(writer, "END")?;
+        }
         Command::Quit => return Ok(false),
     }
     Ok(true)
+}
+
+/// How many recent spans / eviction events a `trace` dump includes (the
+/// rings hold more; the dump is bounded so a reply stays small).
+const TRACE_DUMP_SPANS: usize = 64;
+const TRACE_DUMP_EVICTIONS: usize = 64;
+
+fn format_span(tag: &str, span: &RequestSpan) -> String {
+    let parse_us = span.parsed_us.saturating_sub(span.buffered_us);
+    let exec_us = span.executed_us.saturating_sub(span.parsed_us);
+    let flush_us = span.flushed_us.saturating_sub(span.executed_us);
+    format!(
+        "{tag} conn={} cmd={} wire={} at_us={} parse_us={parse_us} exec_us={exec_us} \
+         flush_us={flush_us} total_us={}",
+        span.conn_id,
+        CmdKind::from_code(span.cmd).name(),
+        span.wire_bytes,
+        span.buffered_us,
+        span.total_us(),
+    )
+}
+
+/// The `trace` command / `/trace` page body: recorder counters, the most
+/// recent request spans, the retained slow log, and recent eviction
+/// events.
+fn trace_lines(shared: &Shared) -> Vec<String> {
+    let recorder = &shared.recorder;
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "TRACE slow_threshold_us {}",
+        recorder
+            .slow_threshold_us()
+            .map_or_else(|| "disabled".to_owned(), |us| us.to_string())
+    ));
+    lines.push(format!(
+        "TRACE spans_recorded {}",
+        recorder.spans_recorded()
+    ));
+    lines.push(format!("TRACE slow_recorded {}", recorder.slow_recorded()));
+    lines.push(format!("TRACE admits {}", recorder.admits_recorded()));
+    lines.push(format!("TRACE evictions {}", recorder.evicts_recorded()));
+    let spans = recorder.spans_snapshot();
+    let skip = spans.len().saturating_sub(TRACE_DUMP_SPANS);
+    for span in &spans[skip..] {
+        lines.push(format_span("SPAN", span));
+    }
+    for span in recorder.slow_snapshot() {
+        lines.push(format_span("SLOW", &span));
+    }
+    let evictions = recorder.evictions_snapshot();
+    let skip = evictions.len().saturating_sub(TRACE_DUMP_EVICTIONS);
+    for event in &evictions[skip..] {
+        lines.push(format!(
+            "EVICTION kind={} key={:016x} size={} cost={} ratio={} queue={} l={}",
+            if event.admit { "admit" } else { "evict" },
+            event.key_hash,
+            event.size,
+            event.cost,
+            event.ratio,
+            event.queue,
+            event.l_value,
+        ));
+    }
+    lines
 }
 
 /// Assembles the full telemetry snapshot behind `stats`, `stats detail`
@@ -1090,6 +1192,16 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         lock_poison_recovered: crate::sync::poison_recovered_total(),
         iq_miss_registry_size: shared.iq_misses.len() as u64,
         iq_sweep_reclaimed: shared.iq_misses.swept.load(Ordering::Relaxed),
+        shadow: shared.store.shadow_estimates(),
+        shadow_sample_modulus: shared.store.shadow_sample_modulus(),
+        spans_recorded: shared.recorder.spans_recorded(),
+        slow_recorded: shared.recorder.slow_recorded(),
+        slow_threshold_us: shared.recorder.slow_threshold_us(),
+        trace_admits: shared.recorder.admits_recorded(),
+        trace_evicts: shared.recorder.evicts_recorded(),
+        eviction_costs: shared.recorder.eviction_cost_snapshot(),
+        l_values: shared.recorder.l_value_snapshot(),
+        reactor_workers: shared.reactor_stats.snapshot(),
         shards,
     }
 }
@@ -1117,12 +1229,17 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Answers one HTTP request with the Prometheus text exposition. Any
-/// request line works (`GET /metrics`, `GET /` — there is only one page);
-/// headers are read and discarded up to the blank line.
+/// Answers one HTTP request: `/trace` serves the flight-recorder dump as
+/// plain text, any other path (`GET /metrics`, `GET /`) serves the
+/// Prometheus exposition. Headers are read and discarded up to the blank
+/// line.
 fn serve_metrics_once(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let trace_page = path == "/trace" || path.starts_with("/trace?");
     let mut header_line = String::new();
     loop {
         header_line.clear();
@@ -1131,12 +1248,21 @@ fn serve_metrics_once(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()>
             break;
         }
     }
-    let body = telemetry_report(shared).render_prometheus();
+    let (body, content_type) = if trace_page {
+        let mut text = trace_lines(shared).join("\n");
+        text.push('\n');
+        (text, "text/plain; charset=utf-8")
+    } else {
+        (
+            telemetry_report(shared).render_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    };
     let mut writer = BufWriter::new(stream);
     write!(
         writer,
         "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n",
         body.len()

@@ -24,7 +24,9 @@
 use std::collections::HashMap;
 
 pub use camp_policies::EvictionMode;
-use camp_policies::{AccessOutcome, CacheRequest, EvictionPolicy, PolicyStats};
+use camp_policies::{
+    AccessOutcome, CacheRequest, EvictionPolicy, PolicyStats, ShadowProfiler, SharedTraceSink,
+};
 
 use crate::item::Item;
 use crate::slab::{ChunkRef, SlabAllocator, SlabConfig, SlabError};
@@ -157,6 +159,12 @@ pub struct Store {
     encode_buf: Vec<u8>,
     /// Reusable victim list handed to `EvictionPolicy::reference`.
     evicted_scratch: Vec<Box<[u8]>>,
+    /// Online miss-ratio/cost-miss profiler: spatially sampled shadow
+    /// caches at 0.5×/1×/2× capacity, fed from the get/set/delete paths.
+    profiler: ShadowProfiler,
+    /// The eviction-trace sink attached to the policy, kept so policy
+    /// rebuilds (`flush_all`) can re-attach it.
+    sink: Option<SharedTraceSink>,
 }
 
 impl std::fmt::Debug for Store {
@@ -182,11 +190,27 @@ impl Store {
             slabs: SlabAllocator::new(config.slab),
             index: HashMap::new(),
             policy: config.eviction.build(policy_budget(&config.slab)),
+            profiler: ShadowProfiler::new(&config.eviction, policy_budget(&config.slab)),
             mode: config.eviction,
             stats: StoreStats::default(),
             encode_buf: Vec::new(),
             evicted_scratch: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Attaches (or detaches) the eviction-trace sink. The sink survives
+    /// `flush_all`'s policy rebuild.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.policy.set_trace_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// The online shadow profiler (hit-ratio and cost-miss estimates at
+    /// fractional capacities).
+    #[must_use]
+    pub fn profiler(&self) -> &ShadowProfiler {
+        &self.profiler
     }
 
     /// The eviction policy in use.
@@ -238,6 +262,9 @@ impl Store {
     pub fn reset_stats(&mut self) {
         self.stats = StoreStats::default();
         self.policy.reset_instrumentation();
+        // Re-baseline the profiler's counters but keep its shadow caches
+        // warm — estimates stay meaningful right after a reset.
+        self.profiler.reset_counters();
     }
 
     /// Slab diagnostics: `(chunk_size, slabs, items)` per class.
@@ -286,12 +313,21 @@ impl Store {
     ) -> Option<R> {
         let Some((stored_key, &chunk)) = self.index.get_key_value(key) else {
             self.stats.get_misses += 1;
+            // The miss cost is unknown until the pair is set; charging zero
+            // undercounts est_miss_cost equally at every scale, so the
+            // cross-scale deltas the profiler exists for are unaffected.
+            self.profiler.record_get(key, 0, 0);
             return None;
         };
         let item = Item::decode(self.slabs.read(chunk));
         if item.expires_at == 0 || item.expires_at > now {
             self.policy.touch(stored_key);
             self.stats.get_hits += 1;
+            self.profiler.record_get(
+                key,
+                Item::encoded_len(key.len(), item.value.len()) as u64,
+                item.cost,
+            );
             return Some(f(&item));
         }
         // Expired: drop it lazily.
@@ -299,6 +335,8 @@ impl Store {
         self.slabs.free(chunk);
         self.stats.expired += 1;
         self.stats.get_misses += 1;
+        self.profiler.record_get(key, 0, 0);
+        self.profiler.record_delete(key);
         None
     }
 
@@ -380,6 +418,7 @@ impl Store {
         }
         self.index.insert(Box::from(key), chunk);
         self.stats.sets += 1;
+        self.profiler.record_set(key, u64::from(total), cost);
         Ok(())
     }
 
@@ -476,8 +515,11 @@ impl Store {
             self.slabs.free(chunk);
         }
         // A fresh policy instance is cheaper and simpler than removing every
-        // key from the old one.
+        // key from the old one. The trace sink survives the rebuild, and the
+        // shadow caches restart cold to mirror the emptied store.
         self.policy = self.mode.build(policy_budget(self.slabs.config()));
+        self.policy.set_trace_sink(self.sink.clone());
+        self.profiler = ShadowProfiler::new(&self.mode, policy_budget(self.slabs.config()));
     }
 
     /// Deletes `key`. Returns whether it was resident.
@@ -487,6 +529,7 @@ impl Store {
                 let class = chunk.class();
                 self.free_chunk(chunk, class);
                 self.stats.deletes += 1;
+                self.profiler.record_delete(key);
                 true
             }
             None => false,
@@ -540,6 +583,10 @@ impl Store {
                         // item cannot fit.
                         return Err(StoreError::OutOfMemory);
                     };
+                    // Report the eviction while the policy still holds the
+                    // entry's metadata; remove_entry's own policy.remove then
+                    // finds nothing and is a no-op.
+                    self.policy.evict(&victim);
                     // lint:allow(unwrap-in-lib) — victim() only returns keys
                     // the policy owns, and policy and index move in lockstep.
                     let (_, chunk) = self.remove_entry(&victim).expect("victim is resident");
@@ -843,6 +890,80 @@ mod tests {
             store.set(b"fresh", b"v", 0, 0, 1).unwrap();
             assert!(store.contains(b"fresh"));
         }
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        admits: std::sync::atomic::AtomicU64,
+        evicts: std::sync::atomic::AtomicU64,
+    }
+
+    impl camp_policies::TraceSink for CountingSink {
+        fn record(&self, event: &camp_policies::PolicyEvent) {
+            use std::sync::atomic::Ordering;
+            match event.kind {
+                camp_policies::PolicyEventKind::Admit => {
+                    self.admits.fetch_add(1, Ordering::Relaxed)
+                }
+                camp_policies::PolicyEventKind::Evict => {
+                    self.evicts.fetch_add(1, Ordering::Relaxed)
+                }
+            };
+        }
+    }
+
+    #[test]
+    fn trace_sink_sees_pressure_evictions_and_survives_flush() {
+        use std::sync::atomic::Ordering;
+        let sink = std::sync::Arc::new(CountingSink::default());
+        let mut store = small_store(EvictionMode::Camp(Precision::Bits(5)));
+        store.set_trace_sink(Some(sink.clone()));
+        for i in 0..400u32 {
+            let key = format!("key-{i:04}");
+            store.set(key.as_bytes(), &[0u8; 60], 0, 0, 1).unwrap();
+        }
+        assert!(store.stats().evictions > 0);
+        assert!(sink.admits.load(Ordering::Relaxed) >= 400);
+        assert!(
+            sink.evicts.load(Ordering::Relaxed) >= store.stats().evictions,
+            "every capacity eviction must be traced"
+        );
+        // The sink survives flush_all's policy rebuild.
+        store.flush_all();
+        let admits_before = sink.admits.load(Ordering::Relaxed);
+        store.set(b"fresh", b"v", 0, 0, 1).unwrap();
+        assert!(sink.admits.load(Ordering::Relaxed) > admits_before);
+    }
+
+    #[test]
+    fn explicit_deletes_emit_no_eviction_trace() {
+        use std::sync::atomic::Ordering;
+        let sink = std::sync::Arc::new(CountingSink::default());
+        let mut store = small_store(EvictionMode::Lru);
+        store.set_trace_sink(Some(sink.clone()));
+        store.set(b"k", b"v", 0, 0, 1).unwrap();
+        assert!(store.delete(b"k"));
+        assert_eq!(sink.evicts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shadow_profiler_tracks_traffic() {
+        let mut store = small_store(EvictionMode::Camp(Precision::Bits(5)));
+        for i in 0..1000u32 {
+            let key = format!("key-{i:04}");
+            store.set(key.as_bytes(), &[0u8; 60], 0, 0, 1).unwrap();
+            store.get(key.as_bytes());
+        }
+        let estimates = store.profiler().estimates();
+        assert_eq!(estimates.len(), 3, "0.5x/1x/2x scales");
+        let sampled: u64 = estimates.iter().map(|e| e.sampled_gets).sum();
+        assert!(sampled > 0, "1000 keys must land some 1-in-64 samples");
+        // reset_stats keeps shadows but re-baselines counters.
+        store.reset_stats();
+        assert_eq!(store.profiler().estimates()[0].sampled_gets, 0);
+        // flush_all restarts the shadows cold.
+        store.flush_all();
+        assert_eq!(store.profiler().estimates().len(), 3);
     }
 
     #[test]

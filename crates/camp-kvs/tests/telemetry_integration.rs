@@ -220,6 +220,154 @@ fn stats_reset_zeroes_counters_but_keeps_items() {
     server.shutdown();
 }
 
+/// Pulls one numeric `name=value` field out of a trace dump line.
+fn span_field(line: &str, name: &str) -> u64 {
+    line.split(' ')
+        .find_map(|f| f.strip_prefix(name))
+        .unwrap_or_else(|| panic!("missing {name} in `{line}`"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} is not numeric in `{line}`"))
+}
+
+/// The flight recorder end to end over real TCP: `--slow-log 0` promotes
+/// every request to the slow ring, `trace` dumps spans whose phases are
+/// monotonic, eviction decisions carry CAMP's internals, `stats profile`
+/// reports the shadow estimates, and the metrics listener serves both the
+/// `/trace` page and the new Prometheus families.
+#[test]
+fn trace_dump_is_monotonic_and_profiler_reports() {
+    let mut opts = options(EvictionMode::Camp(Precision::Bits(5)), 2);
+    opts.slow_log_us = Some(0);
+    let server = Server::start_with("127.0.0.1:0", opts).expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Enough volume to overflow the 128 KiB of slab budget and force
+    // capacity evictions, with distinct costs for the cost histogram.
+    for i in 0..1000u32 {
+        let key = format!("trace-key-{i:04}");
+        let cost = 1 + u64::from(i % 8) * 500;
+        assert!(client
+            .iqset(key.as_bytes(), &[0u8; 200], 0, 0, Some(cost))
+            .unwrap());
+    }
+    for i in 0..200u32 {
+        let key = format!("trace-key-{i:04}");
+        let _ = client.get(key.as_bytes()).unwrap();
+    }
+
+    let lines = client.trace().expect("trace");
+    assert!(
+        lines.iter().any(|l| l == "TRACE slow_threshold_us 0"),
+        "{lines:?}"
+    );
+    let spans_recorded = lines
+        .iter()
+        .find_map(|l| l.strip_prefix("TRACE spans_recorded "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("spans_recorded header");
+    assert!(
+        spans_recorded >= 1200,
+        "all commands span: {spans_recorded}"
+    );
+
+    // Every dumped span (fast ring and slow ring alike) reconstructs:
+    // monotonic phases mean the deltas sum exactly to the total.
+    let mut dumped = 0;
+    for line in &lines {
+        if !line.starts_with("SPAN ") && !line.starts_with("SLOW ") {
+            continue;
+        }
+        dumped += 1;
+        let parse_us = span_field(line, "parse_us=");
+        let exec_us = span_field(line, "exec_us=");
+        let flush_us = span_field(line, "flush_us=");
+        let total_us = span_field(line, "total_us=");
+        assert_eq!(
+            total_us,
+            parse_us + exec_us + flush_us,
+            "non-monotonic phases in `{line}`"
+        );
+        assert!(span_field(line, "wire=") > 0, "{line}");
+    }
+    assert!(dumped > 0, "no spans dumped: {lines:?}");
+    assert!(
+        lines.iter().any(|l| l.starts_with("SLOW ")),
+        "threshold 0 must promote spans to the slow ring: {lines:?}"
+    );
+
+    // Eviction decisions: admissions from the sets, capacity evictions
+    // from the overflow, and CAMP's ratio/L internals on the records.
+    assert!(
+        lines.iter().any(|l| l.starts_with("EVICTION kind=admit")),
+        "{lines:?}"
+    );
+    let evict_line = lines
+        .iter()
+        .find(|l| l.starts_with("EVICTION kind=evict"))
+        .expect("capacity evictions traced");
+    assert!(span_field(evict_line, "size=") > 0, "{evict_line}");
+    assert!(evict_line.contains(" ratio="), "{evict_line}");
+    assert!(evict_line.contains(" l="), "{evict_line}");
+
+    // The shadow profiler's what-if table.
+    let profile = client.stats_profile().expect("stats profile");
+    assert_eq!(parse_u64(&profile, "profile:sample_modulus"), 64);
+    for scale in ["0.5x", "1x", "2x"] {
+        assert!(
+            profile.contains_key(&format!("profile:{scale}:hit_ratio")),
+            "{profile:?}"
+        );
+        assert!(parse_u64(&profile, &format!("profile:{scale}:capacity")) > 0);
+    }
+    let half = parse_u64(&profile, "profile:0.5x:capacity");
+    let double = parse_u64(&profile, "profile:2x:capacity");
+    assert!(half < double, "{profile:?}");
+
+    // `stats detail` carries the trace and reactor sections too.
+    let detail = client.stats_detail().expect("stats detail");
+    assert!(parse_u64(&detail, "trace:spans_recorded") >= spans_recorded);
+    assert!(parse_u64(&detail, "trace:admits") >= 1000);
+    assert!(detail.contains_key("reactor:worker0"), "{detail:?}");
+
+    // The metrics listener serves the `/trace` page...
+    let addr = server.metrics_addr().expect("metrics listener bound");
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics");
+    stream
+        .write_all(b"GET /trace HTTP/1.0\r\n\r\n")
+        .expect("send trace request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read trace");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(body.contains("TRACE spans_recorded"), "{body}");
+    assert!(body.contains("SPAN "), "{body}");
+
+    // ...and the Prometheus families the flight recorder derives.
+    let metrics_body = scrape(&server);
+    for needle in [
+        "camp_trace_spans_total",
+        "camp_trace_slow_total",
+        "camp_trace_admits_total",
+        "camp_trace_evictions_total",
+        "# TYPE camp_eviction_cost summary",
+        "camp_eviction_cost_count",
+        "camp_l_value{quantile=\"0.5\"}",
+        "camp_shadow_hit_ratio{scale=\"1x\"}",
+        "camp_shadow_est_miss_cost_total{scale=\"0.5x\"}",
+        "camp_shadow_sampled_gets_total{scale=\"2x\"}",
+        "camp_reactor_live_connections{worker=\"0\"}",
+        "camp_reactor_epoll_wakeups_total{worker=\"0\"}",
+    ] {
+        assert!(
+            metrics_body.contains(needle),
+            "missing {needle} in:\n{metrics_body}"
+        );
+    }
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
 /// The `stats` summary carries the per-shard breakdown, and the shard rows
 /// sum to the aggregate.
 #[test]

@@ -51,6 +51,13 @@ pub const DETERMINISTIC_CRATES: &[&str] = &["camp-core", "camp-policies", "camp-
 /// The crate whose request path must not contain panicking `expect()` calls.
 pub const REQUEST_PATH_CRATE: &str = "camp-kvs";
 
+/// The crate allowed to invoke the ad-hoc `trace_event!`/`trace_span!`
+/// flight-recorder macros in committed non-test code: their home crate,
+/// which defines and self-tests them. Everywhere else they are debugging
+/// leftovers (committed code records through the typed `FlightRecorder`
+/// methods), exactly like `dbg!`.
+pub const TRACE_MACRO_SANCTUARY_CRATE: &str = "camp-telemetry";
+
 /// Every rule, in reporting order.
 pub const ALL_RULES: &[Rule] = &[
     Rule {
@@ -85,7 +92,8 @@ pub const ALL_RULES: &[Rule] = &[
     },
     Rule {
         name: "leftover-debug",
-        description: "`dbg!`/`todo!`/`unimplemented!` or a FIXME comment left in the tree",
+        description: "`dbg!`/`todo!`/`unimplemented!`, a FIXME comment, or a stray \
+                      `trace_event!`/`trace_span!` left in the tree",
         check: leftover_debug,
     },
     Rule {
@@ -318,6 +326,12 @@ fn nested_lock(ctx: &FileContext<'_>) -> Vec<Finding> {
 }
 
 fn leftover_debug(ctx: &FileContext<'_>) -> Vec<Finding> {
+    use crate::engine::FileKind;
+    let trace_macros_sanctioned = ctx.crate_name() == Some(TRACE_MACRO_SANCTUARY_CRATE)
+        || matches!(
+            ctx.kind,
+            FileKind::Test | FileKind::Bench | FileKind::Example
+        );
     let mut out = Vec::new();
     for c in 0..ctx.code.len() {
         let Some(t) = tok(ctx, c) else { continue };
@@ -327,6 +341,25 @@ fn leftover_debug(ctx: &FileContext<'_>) -> Vec<Finding> {
                     "leftover-debug",
                     t.start,
                     format!("`{mac}!` left in the tree"),
+                ));
+            }
+        }
+        if trace_macros_sanctioned {
+            continue;
+        }
+        for mac in ["trace_event", "trace_span"] {
+            if t.is_ident(ctx.src, mac)
+                && is_punct(ctx, c + 1, b'!')
+                && !ctx.in_test_region(t.start)
+            {
+                out.push(ctx.finding(
+                    "leftover-debug",
+                    t.start,
+                    format!(
+                        "`{mac}!` is a debugging aid: committed code records through \
+                         the typed FlightRecorder methods (sanctioned only in \
+                         {TRACE_MACRO_SANCTUARY_CRATE} and tests)"
+                    ),
                 ));
             }
         }

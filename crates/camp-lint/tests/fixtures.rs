@@ -209,6 +209,29 @@ fn leftover_debug_catches_macros_and_fixme_comments() {
     assert_clean(KVS_LIB, "fn f(x: u32) { debug_assert!(x > 0); }\n");
 }
 
+#[test]
+fn leftover_debug_catches_stray_trace_macros_outside_sanctuaries() {
+    for mac in ["trace_event", "trace_span"] {
+        let src = format!("fn f(r: &R) {{ {mac}!(r, \"probe\"); }}\n");
+        // Committed non-test code records through the typed FlightRecorder
+        // methods; the ad-hoc macros are debugging aids, like `dbg!`.
+        assert_fires("leftover-debug", KVS_LIB, &src);
+        assert_suppressible(KVS_LIB, &src);
+        // Sanctioned in the macros' home crate, which defines them...
+        assert_clean("crates/camp-telemetry/src/fixture.rs", &src);
+        // ...and in tests, both integration files and inline modules.
+        assert_clean(TEST, &src);
+        assert_clean(
+            KVS_LIB,
+            &format!(
+                "#[cfg(test)]\nmod tests {{\n    fn f(r: &R) {{ {mac}!(r, \"probe\"); }}\n}}\n"
+            ),
+        );
+    }
+    // A path through the recorder API, not a macro invocation.
+    assert_clean(KVS_LIB, "fn f(r: &R) { r.trace_span(1); }\n");
+}
+
 // -- missing-deny-header ----------------------------------------------------
 
 #[test]

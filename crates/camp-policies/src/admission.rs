@@ -10,7 +10,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, SharedTraceSink,
+};
 
 /// The admission decision rules available to [`Admission`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,6 +193,18 @@ impl<K: CacheKey, P: EvictionPolicy<K>> EvictionPolicy<K> for Admission<P, K> {
 
     fn reset_instrumentation(&mut self) {
         self.inner.reset_instrumentation();
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.inner.set_trace_sink(sink);
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.inner.trace_sink()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        self.inner.eviction_event(key)
     }
 
     fn policy_stats(&self) -> crate::policy::PolicyStats {

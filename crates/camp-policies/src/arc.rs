@@ -20,7 +20,10 @@ use std::collections::{HashMap, VecDeque};
 use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Region {
@@ -28,9 +31,21 @@ enum Region {
     T2,
 }
 
+impl Region {
+    /// Queue index reported in trace events: 0 = recency (T1), 1 = frequency (T2).
+    fn queue_index(self) -> u32 {
+        match self {
+            Region::T1 => 0,
+            Region::T2 => 1,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Resident {
     size: u64,
+    /// Retained for trace events only; ARC ignores cost when evicting.
+    cost: u64,
     region: Region,
     id: EntryId,
 }
@@ -139,6 +154,7 @@ pub struct Arc<K = u64> {
     arena: Arena<Node<K>>,
     b1: GhostList<K>,
     b2: GhostList<K>,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> Arc<K> {
@@ -157,6 +173,20 @@ impl<K: CacheKey> Arc<K> {
             arena: Arena::new(),
             b1: GhostList::default(),
             b2: GhostList::default(),
+            sink: None,
+        }
+    }
+
+    /// Builds the trace event for a resident (queue 0 = T1, 1 = T2).
+    fn event_for(kind: PolicyEventKind, key: &K, resident: &Resident) -> PolicyEvent {
+        PolicyEvent {
+            kind,
+            key_hash: key_hash(key),
+            size: resident.size,
+            cost: resident.cost,
+            ratio: 0,
+            queue: resident.region.queue_index(),
+            l_value: 0,
         }
     }
 
@@ -207,6 +237,13 @@ impl<K: CacheKey> Arc<K> {
             .remove(&node.key)
             .expect("listed key is resident");
         self.used -= resident.size;
+        if let Some(sink) = &self.sink {
+            sink.record(&Self::event_for(
+                PolicyEventKind::Evict,
+                &node.key,
+                &resident,
+            ));
+        }
         match resident.region {
             Region::T1 => {
                 self.t1_bytes -= resident.size;
@@ -240,14 +277,20 @@ impl<K: CacheKey> Arc<K> {
             debug_assert!(ok, "byte accounting out of sync");
         }
         let id = Self::push_node(&mut self.arena, &mut self.t2, req.key.clone());
-        self.residents.insert(
-            req.key,
-            Resident {
-                size: req.size,
-                region: Region::T2,
-                id,
-            },
-        );
+        let resident = Resident {
+            size: req.size,
+            cost: req.cost,
+            region: Region::T2,
+            id,
+        };
+        if let Some(sink) = &self.sink {
+            sink.record(&Self::event_for(
+                PolicyEventKind::Admit,
+                &req.key,
+                &resident,
+            ));
+        }
+        self.residents.insert(req.key, resident);
         self.used += req.size;
         self.t2_bytes += req.size;
     }
@@ -338,14 +381,20 @@ impl<K: CacheKey> EvictionPolicy<K> for Arc<K> {
             debug_assert!(ok, "byte accounting out of sync");
         }
         let id = Self::push_node(&mut self.arena, &mut self.t1, req.key.clone());
-        self.residents.insert(
-            req.key,
-            Resident {
-                size: req.size,
-                region: Region::T1,
-                id,
-            },
-        );
+        let resident = Resident {
+            size: req.size,
+            cost: req.cost,
+            region: Region::T1,
+            id,
+        };
+        if let Some(sink) = &self.sink {
+            sink.record(&Self::event_for(
+                PolicyEventKind::Admit,
+                &req.key,
+                &resident,
+            ));
+        }
+        self.residents.insert(req.key, resident);
         self.used += req.size;
         self.t1_bytes += req.size;
         self.trim_ghosts();
@@ -386,6 +435,19 @@ impl<K: CacheKey> EvictionPolicy<K> for Arc<K> {
         }
         self.arena.remove(resident.id);
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let resident = self.residents.get(key)?;
+        Some(Self::event_for(PolicyEventKind::Evict, key, resident))
     }
 
     fn queue_count(&self) -> Option<usize> {

@@ -23,7 +23,10 @@ use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 use camp_core::rounding::{Precision, RatioRounder};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 
 const WHEEL_BITS: u32 = 8;
 const WHEEL_SLOTS: usize = 1 << WHEEL_BITS; // 256
@@ -33,6 +36,7 @@ const LEVELS: usize = 8; // 8 levels x 8 bits: the full u64 priority space
 struct Entry<K> {
     key: K,
     size: u64,
+    cost: u64,
     ratio: u64,
     deadline: u64,
     level: u8,
@@ -74,6 +78,7 @@ pub struct GdWheel<K = u64> {
     capacity: u64,
     used: u64,
     migrations: u64,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> GdWheel<K> {
@@ -96,6 +101,21 @@ impl<K: CacheKey> GdWheel<K> {
             capacity,
             used: 0,
             migrations: 0,
+            sink: None,
+        }
+    }
+
+    /// Builds the trace event for `entry` at the current clock (the trace
+    /// `queue` field carries the entry's wheel level).
+    fn event_for(&self, kind: PolicyEventKind, entry: &Entry<K>) -> PolicyEvent {
+        PolicyEvent {
+            kind,
+            key_hash: key_hash(&entry.key),
+            size: entry.size,
+            cost: entry.cost,
+            ratio: entry.ratio,
+            queue: u32::from(entry.level),
+            l_value: self.l,
         }
     }
 
@@ -191,6 +211,9 @@ impl<K: CacheKey> GdWheel<K> {
                 self.map.remove(&entry.key);
                 self.used -= entry.size;
                 self.l = self.l.max(entry.deadline);
+                if let Some(sink) = &self.sink {
+                    sink.record(&self.event_for(PolicyEventKind::Evict, &entry));
+                }
                 evicted.push(entry.key);
                 return true;
             }
@@ -251,6 +274,7 @@ impl<K: CacheKey> EvictionPolicy<K> for GdWheel<K> {
         let id = self.arena.insert(Entry {
             key: req.key.clone(),
             size: req.size,
+            cost: req.cost,
             ratio,
             deadline,
             level: 0,
@@ -258,6 +282,10 @@ impl<K: CacheKey> EvictionPolicy<K> for GdWheel<K> {
             links: Links::new(),
         });
         self.place(id);
+        if let Some(sink) = &self.sink {
+            let entry = self.arena.get(id).expect("just inserted");
+            sink.record(&self.event_for(PolicyEventKind::Admit, entry));
+        }
         self.map.insert(req.key, id);
         self.used += req.size;
         AccessOutcome::MissInserted
@@ -292,6 +320,19 @@ impl<K: CacheKey> EvictionPolicy<K> for GdWheel<K> {
         let entry = self.arena.remove(id).expect("live entry");
         self.used -= entry.size;
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let entry = self.arena.get(*self.map.get(key)?)?;
+        Some(self.event_for(PolicyEventKind::Evict, entry))
     }
 }
 

@@ -19,12 +19,16 @@ use camp_core::arena::{Arena, EntryId};
 use camp_core::heap::OctonaryHeap;
 use camp_core::rounding::{Precision, RatioRounder};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 
 #[derive(Debug)]
 struct Entry<K> {
     key: K,
     size: u64,
+    cost: u64,
     ratio: u64,
 }
 
@@ -56,6 +60,7 @@ pub struct Gds<K = u64> {
     l: u128,
     capacity: u64,
     used: u64,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> Gds<K> {
@@ -78,6 +83,20 @@ impl<K: CacheKey> Gds<K> {
             l: 0,
             capacity,
             used: 0,
+            sink: None,
+        }
+    }
+
+    /// Builds the trace event for `entry` at the current `L`.
+    fn event_for(&self, kind: PolicyEventKind, entry: &Entry<K>) -> PolicyEvent {
+        PolicyEvent {
+            kind,
+            key_hash: key_hash(&entry.key),
+            size: entry.size,
+            cost: entry.cost,
+            ratio: entry.ratio,
+            queue: 0,
+            l_value: u64::try_from(self.l).unwrap_or(u64::MAX),
         }
     }
 
@@ -145,6 +164,9 @@ impl<K: CacheKey> Gds<K> {
         };
         debug_assert!(new_l >= self.l);
         self.l = new_l;
+        if let Some(sink) = &self.sink {
+            sink.record(&self.event_for(PolicyEventKind::Evict, &entry));
+        }
         evicted.push(entry.key);
         true
     }
@@ -192,10 +214,15 @@ impl<K: CacheKey> EvictionPolicy<K> for Gds<K> {
         let id = self.arena.insert(Entry {
             key: req.key.clone(),
             size: req.size,
+            cost: req.cost,
             ratio,
         });
         self.track_slot(id);
         self.heap.insert(id.index(), h);
+        if let Some(sink) = &self.sink {
+            let entry = self.arena.get(id).expect("just inserted");
+            sink.record(&self.event_for(PolicyEventKind::Admit, entry));
+        }
         self.map.insert(req.key, id);
         self.used += req.size;
         AccessOutcome::MissInserted
@@ -222,6 +249,19 @@ impl<K: CacheKey> EvictionPolicy<K> for Gds<K> {
         let entry = self.arena.remove(id).expect("live entry");
         self.used -= entry.size;
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let entry = self.arena.get(*self.map.get(key)?)?;
+        Some(self.event_for(PolicyEventKind::Evict, entry))
     }
 
     fn queue_count(&self) -> Option<usize> {

@@ -18,7 +18,10 @@ use camp_core::arena::{Arena, EntryId};
 use camp_core::heap::OctonaryHeap;
 use camp_core::rounding::{Precision, RatioRounder};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 
 /// Frequencies beyond this no longer raise the priority (overflow guard;
 /// in practice hit counts this high mean the pair is effectively pinned
@@ -29,6 +32,7 @@ const MAX_FREQUENCY: u64 = 1 << 20;
 struct Entry<K> {
     key: K,
     size: u64,
+    cost: u64,
     ratio: u64,
     frequency: u64,
 }
@@ -63,6 +67,7 @@ pub struct Gdsf<K = u64> {
     l: u128,
     capacity: u64,
     used: u64,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> Gdsf<K> {
@@ -78,6 +83,20 @@ impl<K: CacheKey> Gdsf<K> {
             l: 0,
             capacity,
             used: 0,
+            sink: None,
+        }
+    }
+
+    /// Builds the trace event for `entry` at the current `L`.
+    fn event_for(&self, kind: PolicyEventKind, entry: &Entry<K>) -> PolicyEvent {
+        PolicyEvent {
+            kind,
+            key_hash: key_hash(&entry.key),
+            size: entry.size,
+            cost: entry.cost,
+            ratio: entry.ratio,
+            queue: 0,
+            l_value: u64::try_from(self.l).unwrap_or(u64::MAX),
         }
     }
 
@@ -146,6 +165,9 @@ impl<K: CacheKey> Gdsf<K> {
         };
         debug_assert!(new_l >= self.l);
         self.l = new_l;
+        if let Some(sink) = &self.sink {
+            sink.record(&self.event_for(PolicyEventKind::Evict, &entry));
+        }
         evicted.push(entry.key);
         true
     }
@@ -190,11 +212,16 @@ impl<K: CacheKey> EvictionPolicy<K> for Gdsf<K> {
         let id = self.arena.insert(Entry {
             key: req.key.clone(),
             size: req.size,
+            cost: req.cost,
             ratio,
             frequency: 1,
         });
         self.track_slot(id);
         self.heap.insert(id.index(), h);
+        if let Some(sink) = &self.sink {
+            let entry = self.arena.get(id).expect("just inserted");
+            sink.record(&self.event_for(PolicyEventKind::Admit, entry));
+        }
         self.map.insert(req.key, id);
         self.used += req.size;
         AccessOutcome::MissInserted
@@ -221,6 +248,19 @@ impl<K: CacheKey> EvictionPolicy<K> for Gdsf<K> {
         let entry = self.arena.remove(id).expect("live entry");
         self.used -= entry.size;
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let entry = self.arena.get(*self.map.get(key)?)?;
+        Some(self.event_for(PolicyEventKind::Evict, entry))
     }
 
     fn heap_node_visits(&self) -> Option<u64> {

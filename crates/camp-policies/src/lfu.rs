@@ -12,13 +12,18 @@ use std::collections::HashMap;
 
 use camp_core::heap::OctonaryHeap;
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 use crate::util::IdAllocator;
 
 #[derive(Debug)]
 struct Resident {
     heap_id: u32,
     size: u64,
+    /// Retained for trace events only; LFU ignores cost when evicting.
+    cost: u64,
     frequency: u64,
 }
 
@@ -49,6 +54,7 @@ pub struct Lfu<K = u64> {
     by_heap_id: HashMap<u32, K>,
     heap: OctonaryHeap<u128>,
     ids: IdAllocator,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> Lfu<K> {
@@ -63,6 +69,7 @@ impl<K: CacheKey> Lfu<K> {
             by_heap_id: HashMap::new(),
             heap: OctonaryHeap::new(),
             ids: IdAllocator::default(),
+            sink: None,
         }
     }
 
@@ -100,6 +107,14 @@ impl<K: CacheKey> Lfu<K> {
         let resident = self.residents.remove(&key).expect("resident entry");
         self.used -= resident.size;
         self.ids.release(heap_id);
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Evict,
+                key_hash(&key),
+                resident.size,
+                resident.cost,
+            ));
+        }
         evicted.push(key);
         true
     }
@@ -142,11 +157,20 @@ impl<K: CacheKey> EvictionPolicy<K> for Lfu<K> {
         let heap_id = self.ids.allocate();
         self.heap.insert(heap_id, Self::heap_key(1, now));
         self.by_heap_id.insert(heap_id, req.key.clone());
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Admit,
+                key_hash(&req.key),
+                req.size,
+                req.cost,
+            ));
+        }
         self.residents.insert(
             req.key,
             Resident {
                 heap_id,
                 size: req.size,
+                cost: req.cost,
                 frequency: 1,
             },
         );
@@ -172,6 +196,24 @@ impl<K: CacheKey> EvictionPolicy<K> for Lfu<K> {
         self.ids.release(resident.heap_id);
         self.used -= resident.size;
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let resident = self.residents.get(key)?;
+        Some(PolicyEvent::basic(
+            PolicyEventKind::Evict,
+            key_hash(key),
+            resident.size,
+            resident.cost,
+        ))
     }
 
     fn heap_node_visits(&self) -> Option<u64> {

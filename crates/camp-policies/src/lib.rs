@@ -66,6 +66,7 @@ pub mod lru_k;
 pub mod offline;
 pub mod policy;
 pub mod pooled_lru;
+pub mod profiler;
 pub mod spec;
 pub mod two_q;
 
@@ -81,8 +82,10 @@ pub use crate::lru::Lru;
 pub use crate::lru_k::LruK;
 pub use crate::offline::BeladyMin;
 pub use crate::policy::{
-    AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyGauge, PolicyStats,
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    PolicyGauge, PolicyStats, SharedTraceSink, TraceSink,
 };
 pub use crate::pooled_lru::{PoolSplit, PooledLru};
+pub use crate::profiler::{ShadowEstimate, ShadowProfiler};
 pub use crate::spec::EvictionMode;
 pub use crate::two_q::TwoQ;

@@ -10,12 +10,17 @@ use std::collections::HashMap;
 use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 
 #[derive(Debug)]
 struct Entry<K> {
     key: K,
     size: u64,
+    /// Retained for trace events only; LRU ignores cost when evicting.
+    cost: u64,
     links: Links,
 }
 
@@ -51,6 +56,7 @@ pub struct Lru<K = u64> {
     list: LruList,
     capacity: u64,
     used: u64,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> Lru<K> {
@@ -63,6 +69,7 @@ impl<K: CacheKey> Lru<K> {
             list: LruList::new(),
             capacity,
             used: 0,
+            sink: None,
         }
     }
 
@@ -89,6 +96,14 @@ impl<K: CacheKey> Lru<K> {
         let entry = self.arena.remove(id).expect("live LRU head");
         self.map.remove(&entry.key);
         self.used -= entry.size;
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Evict,
+                key_hash(&entry.key),
+                entry.size,
+                entry.cost,
+            ));
+        }
         evicted.push(entry.key);
         true
     }
@@ -139,9 +154,18 @@ impl<K: CacheKey> EvictionPolicy<K> for Lru<K> {
         let id = self.arena.insert(Entry {
             key: req.key.clone(),
             size: req.size,
+            cost: req.cost,
             links: Links::new(),
         });
         self.list.push_back(&mut self.arena, id);
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Admit,
+                key_hash(&req.key),
+                req.size,
+                req.cost,
+            ));
+        }
         self.map.insert(req.key, id);
         self.used += req.size;
         AccessOutcome::MissInserted
@@ -161,6 +185,24 @@ impl<K: CacheKey> EvictionPolicy<K> for Lru<K> {
 
     fn remove(&mut self, key: &K) -> bool {
         self.detach(key).is_some()
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let entry = self.arena.get(*self.map.get(key)?)?;
+        Some(PolicyEvent::basic(
+            PolicyEventKind::Evict,
+            key_hash(key),
+            entry.size,
+            entry.cost,
+        ))
     }
 
     fn queue_count(&self) -> Option<usize> {

@@ -15,13 +15,18 @@ use std::collections::{HashMap, VecDeque};
 
 use camp_core::heap::OctonaryHeap;
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 use crate::util::IdAllocator;
 
 #[derive(Debug)]
 struct Resident {
     heap_id: u32,
     size: u64,
+    /// Retained for trace events only; LRU-K ignores cost when evicting.
+    cost: u64,
     history: VecDeque<u64>,
 }
 
@@ -58,6 +63,7 @@ pub struct LruK<K = u64> {
     ghosts: HashMap<K, VecDeque<u64>>,
     ghost_order: VecDeque<K>,
     ghost_capacity: usize,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> LruK<K> {
@@ -84,6 +90,7 @@ impl<K: CacheKey> LruK<K> {
             ghosts: HashMap::new(),
             ghost_order: VecDeque::new(),
             ghost_capacity: Self::DEFAULT_GHOSTS,
+            sink: None,
         }
     }
 
@@ -151,6 +158,14 @@ impl<K: CacheKey> LruK<K> {
         let resident = self.residents.remove(&key).expect("resident entry");
         self.used -= resident.size;
         self.ids.release(heap_id);
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Evict,
+                key_hash(&key),
+                resident.size,
+                resident.cost,
+            ));
+        }
         self.record_ghost(key.clone(), resident.history);
         evicted.push(key);
         true
@@ -201,11 +216,20 @@ impl<K: CacheKey> EvictionPolicy<K> for LruK<K> {
         let key = Self::heap_key(self.k, &history);
         self.heap.insert(heap_id, key);
         self.by_heap_id.insert(heap_id, req.key.clone());
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Admit,
+                key_hash(&req.key),
+                req.size,
+                req.cost,
+            ));
+        }
         self.residents.insert(
             req.key,
             Resident {
                 heap_id,
                 size: req.size,
+                cost: req.cost,
                 history,
             },
         );
@@ -231,6 +255,24 @@ impl<K: CacheKey> EvictionPolicy<K> for LruK<K> {
         self.ids.release(resident.heap_id);
         self.used -= resident.size;
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let resident = self.residents.get(key)?;
+        Some(PolicyEvent::basic(
+            PolicyEventKind::Evict,
+            key_hash(key),
+            resident.size,
+            resident.cost,
+        ))
     }
 
     fn heap_node_visits(&self) -> Option<u64> {

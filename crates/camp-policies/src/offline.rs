@@ -14,7 +14,10 @@ use std::collections::HashMap;
 
 use camp_core::heap::OctonaryHeap;
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 use crate::util::IdAllocator;
 
 /// The MIN policy. Construct it from the exact key sequence it will be
@@ -45,11 +48,12 @@ pub struct BeladyMin<K = u64> {
     /// trace position `i` (usize::MAX when never referenced again).
     next_use: Vec<usize>,
     expected: Vec<K>,
-    residents: HashMap<K, (u32, u64)>, // key -> (heap id, size)
+    residents: HashMap<K, (u32, u64, u64)>, // key -> (heap id, size, cost)
     by_heap_id: HashMap<u32, K>,
     /// Max-heap on next use, expressed as a min-heap on the complement.
     heap: OctonaryHeap<u64>,
     ids: IdAllocator,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> BeladyMin<K> {
@@ -74,6 +78,7 @@ impl<K: CacheKey> BeladyMin<K> {
             by_heap_id: HashMap::new(),
             heap: OctonaryHeap::new(),
             ids: IdAllocator::default(),
+            sink: None,
         }
     }
 
@@ -96,9 +101,17 @@ impl<K: CacheKey> BeladyMin<K> {
             .by_heap_id
             .remove(&heap_id)
             .expect("heap id maps to a resident");
-        let (_, size) = self.residents.remove(&key).expect("resident entry");
+        let (_, size, cost) = self.residents.remove(&key).expect("resident entry");
         self.used -= size;
         self.ids.release(heap_id);
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Evict,
+                key_hash(&key),
+                size,
+                cost,
+            ));
+        }
         evicted.push(key);
         true
     }
@@ -141,7 +154,7 @@ impl<K: CacheKey> EvictionPolicy<K> for BeladyMin<K> {
         );
         let next = self.next_use[self.clock];
         self.clock += 1;
-        if let Some(&(heap_id, _)) = self.residents.get(&req.key) {
+        if let Some(&(heap_id, _, _)) = self.residents.get(&req.key) {
             self.heap.update(heap_id, Self::heap_key(next));
             return AccessOutcome::Hit;
         }
@@ -159,7 +172,16 @@ impl<K: CacheKey> EvictionPolicy<K> for BeladyMin<K> {
         let heap_id = self.ids.allocate();
         self.heap.insert(heap_id, Self::heap_key(next));
         self.by_heap_id.insert(heap_id, req.key.clone());
-        self.residents.insert(req.key, (heap_id, req.size));
+        if let Some(sink) = &self.sink {
+            sink.record(&PolicyEvent::basic(
+                PolicyEventKind::Admit,
+                key_hash(&req.key),
+                req.size,
+                req.cost,
+            ));
+        }
+        self.residents
+            .insert(req.key, (heap_id, req.size, req.cost));
         self.used += req.size;
         AccessOutcome::MissInserted
     }
@@ -176,7 +198,7 @@ impl<K: CacheKey> EvictionPolicy<K> for BeladyMin<K> {
     }
 
     fn remove(&mut self, key: &K) -> bool {
-        let Some((heap_id, size)) = self.residents.remove(key) else {
+        let Some((heap_id, size, _)) = self.residents.remove(key) else {
             return false;
         };
         self.heap.remove(heap_id);
@@ -184,6 +206,24 @@ impl<K: CacheKey> EvictionPolicy<K> for BeladyMin<K> {
         self.ids.release(heap_id);
         self.used -= size;
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let &(_, size, cost) = self.residents.get(key)?;
+        Some(PolicyEvent::basic(
+            PolicyEventKind::Evict,
+            key_hash(key),
+            size,
+            cost,
+        ))
     }
 }
 

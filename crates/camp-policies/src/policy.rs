@@ -17,6 +17,8 @@
 
 use camp_core::{Camp, InsertOutcome};
 
+pub use camp_core::trace::{key_hash, PolicyEvent, PolicyEventKind, SharedTraceSink, TraceSink};
+
 /// Keys an eviction policy can manage: hashable, clonable (for eviction
 /// reporting), and debuggable. Blanket-implemented; `u64` trace keys and
 /// the server's `Box<[u8]>` protocol keys both qualify.
@@ -165,6 +167,37 @@ pub trait EvictionPolicy<K: CacheKey = u64> {
     /// Removes `key` if resident. Returns whether it was.
     fn remove(&mut self, key: &K) -> bool;
 
+    /// Attaches (or detaches, with `None`) a [`TraceSink`] that receives
+    /// one [`PolicyEvent`] per admission and eviction. The default drops
+    /// the sink: a policy opts into tracing by storing it and emitting.
+    fn set_trace_sink(&mut self, _sink: Option<SharedTraceSink>) {}
+
+    /// The attached trace sink, if any.
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        None
+    }
+
+    /// How evicting resident `key` would be reported: its metadata as a
+    /// [`PolicyEvent`]. `None` when the key is absent or the policy does
+    /// not model per-entry metadata.
+    fn eviction_event(&self, _key: &K) -> Option<PolicyEvent> {
+        None
+    }
+
+    /// Removes `key` *as an eviction*: like [`EvictionPolicy::remove`],
+    /// but reports the decision to the trace sink first (while the entry's
+    /// metadata is still resident). Callers evicting under external
+    /// pressure — the slab store's allocation loop — use this; explicit
+    /// deletes use `remove` and stay out of the eviction telemetry.
+    fn evict(&mut self, key: &K) -> bool {
+        if let Some(event) = self.eviction_event(key) {
+            if let Some(sink) = self.trace_sink() {
+                sink.record(&event);
+            }
+        }
+        self.remove(key)
+    }
+
     /// Number of internal queues/pools, for policies where that is a
     /// meaningful quantity (CAMP: non-empty LRU queues; Pooled-LRU: pools).
     fn queue_count(&self) -> Option<usize> {
@@ -268,6 +301,27 @@ impl<K: CacheKey> EvictionPolicy<K> for Camp<K, ()> {
 
     fn remove(&mut self, key: &K) -> bool {
         Camp::remove(self, key).is_some()
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        Camp::set_trace_sink(self, sink);
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        Camp::trace_sink(self)
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let meta = self.entry_meta(key)?;
+        Some(PolicyEvent {
+            kind: PolicyEventKind::Evict,
+            key_hash: key_hash(key),
+            size: meta.size,
+            cost: meta.cost,
+            ratio: meta.rounded_ratio,
+            queue: meta.queue,
+            l_value: u64::try_from(self.l_value()).unwrap_or(u64::MAX),
+        })
     }
 
     fn queue_count(&self) -> Option<usize> {
@@ -427,5 +481,75 @@ mod tests {
         assert!(!AccessOutcome::Hit.is_miss());
         assert!(AccessOutcome::MissInserted.is_miss());
         assert!(AccessOutcome::MissBypassed.is_miss());
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        admits: std::sync::atomic::AtomicU64,
+        evicts: std::sync::atomic::AtomicU64,
+    }
+
+    impl TraceSink for CountingSink {
+        fn record(&self, event: &PolicyEvent) {
+            use std::sync::atomic::Ordering;
+            assert!(event.size > 0, "trace events carry the entry size");
+            match event.kind {
+                PolicyEventKind::Admit => self.admits.fetch_add(1, Ordering::Relaxed),
+                PolicyEventKind::Evict => self.evicts.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    #[test]
+    fn every_policy_emits_trace_events() {
+        use std::sync::atomic::Ordering;
+
+        use crate::spec::EvictionMode;
+        for name in EvictionMode::all_names() {
+            let mode: EvictionMode = name.parse().unwrap();
+            let mut policy: Box<dyn EvictionPolicy> = mode.build(4 << 10);
+            let sink = std::sync::Arc::new(CountingSink::default());
+            policy.set_trace_sink(Some(sink.clone()));
+            assert!(policy.trace_sink().is_some(), "{name}");
+            let mut evicted = Vec::new();
+            // Churn well past capacity: 64 keys x 256 bytes = 4x the budget.
+            for key in 0..64u64 {
+                policy.reference(CacheRequest::new(key, 256, 1 + key % 7), &mut evicted);
+                policy.reference(CacheRequest::new(key, 256, 1 + key % 7), &mut evicted);
+            }
+            let admits = sink.admits.load(Ordering::Relaxed);
+            assert!(admits > 0, "{name}: no admissions traced");
+            assert_eq!(
+                sink.evicts.load(Ordering::Relaxed),
+                evicted.len() as u64,
+                "{name}: one Evict event per reference-driven eviction"
+            );
+            // Store-pressure eviction: `evict` reports before removing.
+            if let Some(victim) = policy.victim() {
+                let before = sink.evicts.load(Ordering::Relaxed);
+                assert!(policy.evict(&victim), "{name}");
+                assert_eq!(
+                    sink.evicts.load(Ordering::Relaxed),
+                    before + 1,
+                    "{name}: evict() must report to the sink"
+                );
+            }
+            // Explicit delete stays out of the eviction telemetry.
+            if let Some(victim) = policy.victim() {
+                let before = sink.evicts.load(Ordering::Relaxed);
+                assert!(policy.remove(&victim), "{name}");
+                assert_eq!(
+                    sink.evicts.load(Ordering::Relaxed),
+                    before,
+                    "{name}: remove() must not emit"
+                );
+            }
+            // Detaching the sink stops emission.
+            policy.set_trace_sink(None);
+            let before = sink.admits.load(Ordering::Relaxed);
+            policy.reference(CacheRequest::new(1_000, 256, 3), &mut evicted);
+            policy.reference(CacheRequest::new(1_000, 256, 3), &mut evicted);
+            assert_eq!(sink.admits.load(Ordering::Relaxed), before, "{name}");
+        }
     }
 }

@@ -12,7 +12,9 @@
 //! from an idle one, which is exactly the weakness Figures 5d and 8a expose.
 
 use crate::lru::Lru;
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, SharedTraceSink,
+};
 
 /// How the available memory is divided among the pools.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +57,7 @@ pub struct PooledLru<K = u64> {
     pools: Vec<Lru<K>>,
     boundaries: Vec<u64>,
     capacity: u64,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> PooledLru<K> {
@@ -93,6 +96,7 @@ impl<K: CacheKey> PooledLru<K> {
             pools,
             boundaries: boundaries.to_vec(),
             capacity,
+            sink: None,
         }
     }
 
@@ -165,6 +169,26 @@ impl<K: CacheKey> EvictionPolicy<K> for PooledLru<K> {
 
     fn remove(&mut self, key: &K) -> bool {
         self.pools.iter_mut().any(|p| p.remove(key))
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        // Each pool emits its own events; the wrapper just fans the sink out.
+        for pool in &mut self.pools {
+            pool.set_trace_sink(sink.clone());
+        }
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        self.pools.iter().enumerate().find_map(|(i, p)| {
+            let mut event = p.eviction_event(key)?;
+            event.queue = i as u32;
+            Some(event)
+        })
     }
 
     fn queue_count(&self) -> Option<usize> {

@@ -17,7 +17,10 @@ use std::collections::{HashMap, VecDeque};
 use camp_core::arena::{Arena, EntryId};
 use camp_core::lru_list::{Linked, Links, LruList};
 
-use crate::policy::{AccessOutcome, CacheKey, CacheRequest, EvictionPolicy};
+use crate::policy::{
+    key_hash, AccessOutcome, CacheKey, CacheRequest, EvictionPolicy, PolicyEvent, PolicyEventKind,
+    SharedTraceSink,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Region {
@@ -25,9 +28,21 @@ enum Region {
     Am,
 }
 
+impl Region {
+    /// Queue index reported in trace events: 0 = probation, 1 = main.
+    fn queue_index(self) -> u32 {
+        match self {
+            Region::A1In => 0,
+            Region::Am => 1,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Resident {
     size: u64,
+    /// Retained for trace events only; 2Q ignores cost when evicting.
+    cost: u64,
     region: Region,
     /// Arena handle of the Am list node, when region is Am.
     am_id: Option<EntryId>,
@@ -74,6 +89,7 @@ pub struct TwoQ<K = u64> {
     a1out: VecDeque<(K, u64)>, // (key, size)
     a1out_set: HashMap<K, u64>,
     a1out_bytes: u64,
+    sink: Option<SharedTraceSink>,
 }
 
 impl<K: CacheKey> TwoQ<K> {
@@ -100,6 +116,20 @@ impl<K: CacheKey> TwoQ<K> {
             a1out: VecDeque::new(),
             a1out_set: HashMap::new(),
             a1out_bytes: 0,
+            sink: None,
+        }
+    }
+
+    /// Builds the trace event for a resident (queue 0 = A1in, 1 = Am).
+    fn event_for(kind: PolicyEventKind, key: &K, resident: &Resident) -> PolicyEvent {
+        PolicyEvent {
+            kind,
+            key_hash: key_hash(key),
+            size: resident.size,
+            cost: resident.cost,
+            ratio: 0,
+            queue: resident.region.queue_index(),
+            l_value: 0,
         }
     }
 
@@ -151,6 +181,9 @@ impl<K: CacheKey> TwoQ<K> {
         let Some(key) = key else { return false };
         let resident = self.residents.remove(&key).expect("queued key is resident");
         self.used -= resident.size;
+        if let Some(sink) = &self.sink {
+            sink.record(&Self::event_for(PolicyEventKind::Evict, &key, &resident));
+        }
         if resident.region == Region::A1In {
             self.a1in_bytes -= resident.size;
             // Only probation evictions are remembered: a re-reference soon
@@ -231,14 +264,20 @@ impl<K: CacheKey> EvictionPolicy<K> for TwoQ<K> {
                 None
             }
         };
-        self.residents.insert(
-            req.key,
-            Resident {
-                size: req.size,
-                region,
-                am_id,
-            },
-        );
+        let resident = Resident {
+            size: req.size,
+            cost: req.cost,
+            region,
+            am_id,
+        };
+        if let Some(sink) = &self.sink {
+            sink.record(&Self::event_for(
+                PolicyEventKind::Admit,
+                &req.key,
+                &resident,
+            ));
+        }
+        self.residents.insert(req.key, resident);
         self.used += req.size;
         AccessOutcome::MissInserted
     }
@@ -279,6 +318,19 @@ impl<K: CacheKey> EvictionPolicy<K> for TwoQ<K> {
             }
         }
         true
+    }
+
+    fn set_trace_sink(&mut self, sink: Option<SharedTraceSink>) {
+        self.sink = sink;
+    }
+
+    fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn eviction_event(&self, key: &K) -> Option<PolicyEvent> {
+        let resident = self.residents.get(key)?;
+        Some(Self::event_for(PolicyEventKind::Evict, key, resident))
     }
 
     fn queue_count(&self) -> Option<usize> {

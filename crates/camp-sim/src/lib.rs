@@ -13,7 +13,10 @@
 //!   and parallel;
 //! * windowed metric timelines for adaptation dynamics ([`timeline`]);
 //! * a two-level memory+SSD hierarchy, the paper's future-work §6
-//!   ([`hierarchy`]).
+//!   ([`hierarchy`]);
+//! * offline what-if profiling via the server's spatially sampled shadow
+//!   caches ([`profile`]) — capacity planning from recorded traces and
+//!   validation of the online estimator against ground truth.
 //!
 //! ## Quick start
 //!
@@ -39,11 +42,13 @@
 
 pub mod hierarchy;
 pub mod metrics;
+pub mod profile;
 pub mod simulator;
 pub mod sweep;
 pub mod timeline;
 
 pub use crate::metrics::SimMetrics;
+pub use crate::profile::{profile_trace, ProfileReport};
 pub use crate::simulator::{
     simulate, OccupancyConfig, OccupancySample, OccupancySeries, SimReport, Simulation,
 };

@@ -1,0 +1,143 @@
+//! Offline what-if profiling: the server's online [`ShadowProfiler`]
+//! replayed against a recorded trace.
+//!
+//! The KVS server answers "what would the hit rate be at half / double
+//! the capacity?" online via spatially sampled shadow caches. This module
+//! drives the *same* profiler over an offline [`Trace`], which serves two
+//! purposes:
+//!
+//! * capacity planning from recorded traces without standing up a server;
+//! * validating the sampling estimator itself — at modulus 1 (sample
+//!   everything) the 1x shadow is an exact re-simulation, so its hit
+//!   ratio must agree with [`crate::simulate`] ground truth, and sampled
+//!   runs can be checked against it for estimator bias.
+//!
+//! The feeding convention mirrors the server's split cycle: every trace
+//! record is a lookup ([`ShadowProfiler::record_get`]) followed by a
+//! store ([`ShadowProfiler::record_set`]), exactly the request
+//! generator's "on miss, insert the pair" loop of the paper's §3 — the
+//! shadow policies themselves decide what each hypothetical capacity
+//! would have retained.
+
+use camp_policies::{EvictionMode, ShadowEstimate, ShadowProfiler};
+use camp_workload::Trace;
+
+/// What one offline profiling pass produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Estimates per hypothetical scale, ascending capacity order.
+    pub estimates: Vec<ShadowEstimate>,
+    /// Total trace records observed (sampled or not).
+    pub total_gets: u64,
+    /// The sampling modulus used (keys sampled at rate `1/modulus`).
+    pub modulus: u64,
+}
+
+/// Replays `trace` through a [`ShadowProfiler`] for a cache of `capacity`
+/// bytes running `mode`, sampling keys at rate `1/modulus`.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero (propagated from
+/// [`ShadowProfiler::with_modulus`]).
+///
+/// # Examples
+///
+/// ```
+/// use camp_sim::profile_trace;
+/// use camp_workload::BgConfig;
+///
+/// let trace = BgConfig::paper_scaled(500, 5_000, 1).generate();
+/// let capacity = trace.stats().unique_bytes / 4;
+/// let report = profile_trace(&"camp".parse().unwrap(), capacity, 1, &trace);
+/// assert_eq!(report.estimates.len(), 3);
+/// ```
+#[must_use]
+pub fn profile_trace(
+    mode: &EvictionMode,
+    capacity: u64,
+    modulus: u64,
+    trace: &Trace,
+) -> ProfileReport {
+    let mut profiler = ShadowProfiler::with_modulus(mode, capacity, modulus);
+    for record in trace.iter() {
+        profiler.record_get(&record.key, record.size, record.cost);
+        profiler.record_set(&record.key, record.size, record.cost);
+    }
+    ProfileReport {
+        estimates: profiler.estimates(),
+        total_gets: profiler.total_gets(),
+        modulus: profiler.modulus(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use camp_workload::BgConfig;
+
+    fn trace() -> Trace {
+        BgConfig::paper_scaled(800, 20_000, 7).generate()
+    }
+
+    #[test]
+    fn hit_ratio_is_monotone_in_capacity() {
+        let trace = trace();
+        let capacity = trace.stats().unique_bytes / 4;
+        let report = profile_trace(&"lru".parse().unwrap(), capacity, 1, &trace);
+        assert_eq!(report.total_gets, trace.len() as u64);
+        let [half, same, double] = report.estimates.as_slice() else {
+            panic!("expected three scales: {report:?}");
+        };
+        assert!(half.capacity < same.capacity && same.capacity < double.capacity);
+        assert!(
+            half.hit_ratio <= same.hit_ratio && same.hit_ratio <= double.hit_ratio,
+            "hit ratio must grow with capacity: {report:?}"
+        );
+        assert!(
+            half.est_miss_cost >= double.est_miss_cost,
+            "smaller cache misses cost more: {report:?}"
+        );
+    }
+
+    #[test]
+    fn unsampled_one_x_estimate_matches_ground_truth() {
+        let trace = trace();
+        let capacity = trace.stats().unique_bytes / 4;
+        let mode: EvictionMode = "lru".parse().unwrap();
+        let report = profile_trace(&mode, capacity, 1, &trace);
+        let shadow = &report.estimates[1];
+        assert_eq!(shadow.scale, (1, 1));
+
+        let mut policy = mode.build(capacity);
+        let truth = simulate(policy.as_mut(), &trace);
+        // Ground truth excludes cold (first-touch) requests; the shadow
+        // counts every lookup, so compare on the same denominator.
+        let truth_ratio = truth.metrics.hits as f64 / trace.len() as f64;
+        assert!(
+            (shadow.hit_ratio - truth_ratio).abs() < 0.01,
+            "unsampled shadow must re-simulate exactly: shadow {} vs truth {}",
+            shadow.hit_ratio,
+            truth_ratio,
+        );
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_the_unsampled_one() {
+        let trace = trace();
+        let capacity = trace.stats().unique_bytes / 4;
+        let mode: EvictionMode = "camp".parse().unwrap();
+        let full = profile_trace(&mode, capacity, 1, &trace);
+        let sampled = profile_trace(&mode, capacity, 4, &trace);
+        assert!(sampled.estimates[1].sampled_gets < full.estimates[1].sampled_gets);
+        let err = (sampled.estimates[1].hit_ratio - full.estimates[1].hit_ratio).abs();
+        assert!(
+            err < 0.15,
+            "1/4 sampling should stay near the full estimate (err {err}): \
+             sampled {:?} vs full {:?}",
+            sampled.estimates[1],
+            full.estimates[1],
+        );
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`expose`] — a Prometheus-style text exposition builder, so the
 //!   simulator's metrics and the live server's `--metrics-addr` endpoint
 //!   report through one vocabulary.
+//! * [`trace`] — the flight recorder: wait-free ring buffers retaining the
+//!   most recent request spans (with a slow-request log) and eviction
+//!   decisions, snapshotable at any time without pausing writers.
 //!
 //! ## Quick start
 //!
@@ -40,7 +43,9 @@
 pub mod expose;
 pub mod histogram;
 pub mod logger;
+pub mod trace;
 
 pub use crate::expose::{Exposition, MetricKind};
 pub use crate::histogram::{Histogram, HistogramSnapshot};
 pub use crate::logger::{set_level, LogLevel};
+pub use crate::trace::{EvictionTrace, FlightRecorder, RequestSpan, TraceRecord, TraceRing};

@@ -1,9 +1,13 @@
 //! A leveled, structured logger with `key=value` line output.
 //!
 //! One global level (an atomic, so checking it costs a relaxed load) gates
-//! all output; lines go to stderr as `ts=<unix_secs> level=<level>
-//! event=<name> key=value ...` — grep-able, machine-parsable, and ordered
-//! by the stderr lock. Use the [`kvlog!`](crate::kvlog) macro:
+//! all output; lines go to stderr as `mono_ms=<ms_since_boot>
+//! ts=<unix_secs> level=<level> event=<name> key=value ...` — grep-able,
+//! machine-parsable, and ordered by the stderr lock. `mono_ms` counts
+//! monotonic milliseconds since the first log line of the process, so log
+//! lines correlate exactly with the flight recorder's span timestamps and
+//! drain reports even when the wall clock steps. Use the
+//! [`kvlog!`](crate::kvlog) macro:
 //!
 //! ```
 //! use camp_telemetry::{kvlog, logger::LogLevel};
@@ -132,14 +136,26 @@ fn push_value(line: &mut String, value: &str) {
     line.push('"');
 }
 
+/// The process's logging epoch, pinned on first use. Monotonic, so the
+/// `mono_ms` prefix never jumps backwards when the wall clock is stepped.
+static BOOT: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+
+/// Monotonic milliseconds since the first log line of this process.
+#[must_use]
+pub fn millis_since_boot() -> u64 {
+    let boot = *BOOT.get_or_init(std::time::Instant::now);
+    u64::try_from(boot.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
 /// Formats and writes one line. Called by [`kvlog!`](crate::kvlog) after
 /// the level check; use the macro rather than calling this directly.
 pub fn write_line(level: LogLevel, event: &str, fields: &[(&str, &dyn fmt::Display)]) {
+    let mono_ms = millis_since_boot();
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let mut line = format!("ts={ts} level={level} event=");
+    let mut line = format!("mono_ms={mono_ms} ts={ts} level={level} event=");
     push_value(&mut line, event);
     for (key, value) in fields {
         line.push(' ');
@@ -208,6 +224,13 @@ mod tests {
         line.clear();
         push_value(&mut line, "a\"b\\c");
         assert_eq!(line, "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn monotonic_millis_never_go_backwards() {
+        let a = millis_since_boot();
+        let b = millis_since_boot();
+        assert!(b >= a);
     }
 
     #[test]

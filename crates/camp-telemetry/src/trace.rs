@@ -1,0 +1,634 @@
+//! The flight recorder: always-on, lock-free, bounded-overhead tracing.
+//!
+//! Production incidents rarely wait for someone to attach a profiler. This
+//! module keeps the last moments of server activity in fixed-size ring
+//! buffers that cost a handful of relaxed atomic operations per record —
+//! cheap enough to leave on permanently — and can be snapshotted at any
+//! time without stopping the writers:
+//!
+//! * **Request spans** ([`RequestSpan`]) — one per completed command, with
+//!   monotonic phase timestamps (buffered → parsed → executed → flushed).
+//!   Spans slower than a configurable threshold are additionally retained
+//!   in a separate slow-request ring that fast traffic cannot overwrite.
+//! * **Eviction events** ([`EvictionTrace`]) — one per admission or
+//!   eviction decision made by the cache policy, carrying the victim's key
+//!   hash, size, cost, rounded cost/size ratio, queue index and the
+//!   policy's `L` value at the time of the decision. Costs and `L` values
+//!   are simultaneously folded into [`Histogram`]s for Prometheus
+//!   exposition.
+//!
+//! # Ring-buffer design
+//!
+//! [`TraceRing`] is a fixed-capacity multi-producer ring of 8-word
+//! records. Writers claim a slot with one `fetch_add` on a shared ticket
+//! counter and then publish through a per-slot sequence word, seqlock
+//! style: the sequence is set to the odd value `2t + 1` while the record's
+//! words are being stored and to the even value `2t + 2` once they are
+//! complete (`t` is the ticket). A snapshot reader accepts a slot only
+//! when the sequence is even, non-zero, and *unchanged* across its reads
+//! of the payload words — a slot overwritten mid-read fails that check and
+//! is simply skipped. Writers never wait, never spin, and never see each
+//! other; the only penalty for contention is that a lapped reader loses a
+//! record it was too slow to observe. All payload words are `AtomicU64`s,
+//! so a torn read is detectable but never undefined.
+//!
+//! ```
+//! use camp_telemetry::trace::{TraceRecord, TraceRing, EvictionTrace};
+//!
+//! let ring = TraceRing::new(64);
+//! ring.record(&TraceRecord::Eviction(EvictionTrace {
+//!     admit: false,
+//!     key_hash: 0xfeed,
+//!     size: 512,
+//!     cost: 40,
+//!     ratio: 8,
+//!     queue: 1,
+//!     l_value: 1234,
+//! }));
+//! let records = ring.snapshot();
+//! assert_eq!(records.len(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// Words of payload per ring slot. Both record types fit with room spare;
+/// widening this is a wire-format change for [`TraceRing`] snapshots.
+pub const RECORD_WORDS: usize = 8;
+
+/// Record-kind tag stored in the low byte of word 0.
+const KIND_SPAN: u64 = 1;
+const KIND_EVICTION: u64 = 2;
+
+/// One request's journey through the server, in microseconds since the
+/// recorder booted. The four phases are monotonically non-decreasing:
+/// `buffered` (bytes arrived from the socket) ≤ `parsed` (command framed
+/// and decoded) ≤ `executed` (store operation finished) ≤ `flushed`
+/// (response bytes handed back to the socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Server-assigned connection id.
+    pub conn_id: u64,
+    /// Command discriminant (the server's `CmdKind as u8`; opaque here).
+    pub cmd: u8,
+    /// Request wire bytes (command line plus any payload).
+    pub wire_bytes: u64,
+    /// Microseconds since recorder boot when the request bytes were read.
+    pub buffered_us: u64,
+    /// When the command had been parsed.
+    pub parsed_us: u64,
+    /// When the store operation completed.
+    pub executed_us: u64,
+    /// When the response was flushed toward the socket.
+    pub flushed_us: u64,
+}
+
+impl RequestSpan {
+    /// End-to-end duration (flushed − buffered), saturating.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.flushed_us.saturating_sub(self.buffered_us)
+    }
+
+    fn encode(&self) -> [u64; RECORD_WORDS] {
+        [
+            KIND_SPAN | (u64::from(self.cmd) << 8),
+            self.conn_id,
+            self.buffered_us,
+            self.parsed_us,
+            self.executed_us,
+            self.flushed_us,
+            self.wire_bytes,
+            0,
+        ]
+    }
+
+    fn decode(words: &[u64; RECORD_WORDS]) -> RequestSpan {
+        RequestSpan {
+            conn_id: words[1],
+            cmd: (words[0] >> 8) as u8,
+            wire_bytes: words[6],
+            buffered_us: words[2],
+            parsed_us: words[3],
+            executed_us: words[4],
+            flushed_us: words[5],
+        }
+    }
+}
+
+/// One eviction-policy decision: an admission (`admit = true`) or an
+/// eviction. Fields a policy does not model (ratio, queue, `L`) are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionTrace {
+    /// Whether this records an admission rather than an eviction.
+    pub admit: bool,
+    /// Stable hash of the affected key (keys themselves stay private).
+    pub key_hash: u64,
+    /// Value size in bytes.
+    pub size: u64,
+    /// The pair's miss cost.
+    pub cost: u64,
+    /// Rounded cost/size ratio (CAMP's queue selector; 0 elsewhere).
+    pub ratio: u64,
+    /// Index of the queue the decision touched (0 when not meaningful).
+    pub queue: u32,
+    /// The policy's `L` value at decision time, saturated to `u64`.
+    pub l_value: u64,
+}
+
+impl EvictionTrace {
+    fn encode(&self) -> [u64; RECORD_WORDS] {
+        [
+            KIND_EVICTION | (u64::from(self.admit) << 8) | (u64::from(self.queue) << 32),
+            self.key_hash,
+            self.size,
+            self.cost,
+            self.ratio,
+            self.l_value,
+            0,
+            0,
+        ]
+    }
+
+    fn decode(words: &[u64; RECORD_WORDS]) -> EvictionTrace {
+        EvictionTrace {
+            admit: (words[0] >> 8) & 1 == 1,
+            queue: (words[0] >> 32) as u32,
+            key_hash: words[1],
+            size: words[2],
+            cost: words[3],
+            ratio: words[4],
+            l_value: words[5],
+        }
+    }
+}
+
+/// A decoded flight-recorder record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A per-request span.
+    Span(RequestSpan),
+    /// An eviction-policy decision.
+    Eviction(EvictionTrace),
+}
+
+impl TraceRecord {
+    fn encode(&self) -> [u64; RECORD_WORDS] {
+        match self {
+            TraceRecord::Span(span) => span.encode(),
+            TraceRecord::Eviction(ev) => ev.encode(),
+        }
+    }
+
+    fn decode(words: &[u64; RECORD_WORDS]) -> Option<TraceRecord> {
+        match words[0] & 0xff {
+            KIND_SPAN => Some(TraceRecord::Span(RequestSpan::decode(words))),
+            KIND_EVICTION => Some(TraceRecord::Eviction(EvictionTrace::decode(words))),
+            _ => None,
+        }
+    }
+}
+
+/// One ring slot: a seqlock word plus the payload words.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; RECORD_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A wait-free multi-producer ring of trace records (see the module docs
+/// for the publication protocol).
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    /// Monotonic ticket counter; slot index is `ticket & (len - 1)`.
+    head: AtomicU64,
+    mask: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring retaining (up to) `capacity` records, rounded up to
+    /// a power of two with a floor of 8.
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.next_power_of_two().max(8);
+        TraceRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// Number of records this ring retains.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (including overwritten ones).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Appends a record. Wait-free: one `fetch_add` plus unconditional
+    /// stores; never blocks and never fails.
+    pub fn record(&self, record: &TraceRecord) {
+        let words = record.encode();
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        // Publish seqlock-style: odd while writing, even when complete.
+        // The write sequence for ticket t strictly increases per slot, so
+        // a racing lapped writer (ticket t + len) wins the final store.
+        slot.seq.store(ticket * 2 + 1, Ordering::Release);
+        for (word, value) in slot.words.iter().zip(words) {
+            word.store(value, Ordering::Release);
+        }
+        slot.seq.store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// Collects the currently retained records, oldest first. Runs
+    /// concurrently with writers; slots overwritten mid-read are skipped
+    /// (their sequence word changes), so the result is always composed of
+    /// whole records.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<(u64, TraceRecord)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue; // Never written, or a write is in flight.
+            }
+            let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Acquire));
+            let after = slot.seq.load(Ordering::Acquire);
+            if before != after {
+                continue; // Overwritten while we were reading.
+            }
+            if let Some(record) = TraceRecord::decode(&words) {
+                out.push(((before - 2) / 2, record));
+            }
+        }
+        out.sort_by_key(|&(ticket, _)| ticket);
+        out.into_iter().map(|(_, record)| record).collect()
+    }
+}
+
+/// Spans retained per worker ring.
+const SPAN_RING_CAPACITY: usize = 1024;
+/// Slow-request spans retained (survive fast-path overwrites).
+const SLOW_RING_CAPACITY: usize = 256;
+/// Eviction decisions retained.
+const EVICTION_RING_CAPACITY: usize = 4096;
+
+/// The assembled flight recorder: per-worker span rings, the slow-request
+/// ring, the eviction-decision ring, and the derived cost/`L` histograms.
+///
+/// One instance serves the whole server; every method takes `&self` and is
+/// safe to call from any thread.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    boot: Instant,
+    spans: Vec<TraceRing>,
+    slow: TraceRing,
+    evictions: TraceRing,
+    /// Spans at least this slow (total µs) are retained in the slow ring.
+    /// `u64::MAX` disables the slow log.
+    slow_threshold_us: AtomicU64,
+    slow_total: AtomicU64,
+    admit_total: AtomicU64,
+    evict_total: AtomicU64,
+    eviction_costs: Histogram,
+    l_values: Histogram,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with `worker_rings` span rings (clamped to at
+    /// least one). `slow_threshold_us` of `None` disables the slow log.
+    #[must_use]
+    pub fn new(worker_rings: usize, slow_threshold_us: Option<u64>) -> FlightRecorder {
+        FlightRecorder {
+            boot: Instant::now(),
+            spans: (0..worker_rings.max(1))
+                .map(|_| TraceRing::new(SPAN_RING_CAPACITY))
+                .collect(),
+            slow: TraceRing::new(SLOW_RING_CAPACITY),
+            evictions: TraceRing::new(EVICTION_RING_CAPACITY),
+            slow_threshold_us: AtomicU64::new(slow_threshold_us.unwrap_or(u64::MAX)),
+            slow_total: AtomicU64::new(0),
+            admit_total: AtomicU64::new(0),
+            evict_total: AtomicU64::new(0),
+            eviction_costs: Histogram::new(),
+            l_values: Histogram::new(),
+        }
+    }
+
+    /// Microseconds between recorder boot and `at` (0 if `at` precedes
+    /// boot). Span phases should all be stamped through this one clock.
+    ///
+    /// Stays in `u64` arithmetic (`Duration::as_micros` divides in
+    /// `u128`): this runs several times per request on the hot path.
+    #[must_use]
+    pub fn micros_since_boot(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.boot);
+        elapsed
+            .as_secs()
+            .saturating_mul(1_000_000)
+            .saturating_add(u64::from(elapsed.subsec_micros()))
+    }
+
+    /// The active slow-log threshold in microseconds, if enabled.
+    #[must_use]
+    pub fn slow_threshold_us(&self) -> Option<u64> {
+        match self.slow_threshold_us.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            micros => Some(micros),
+        }
+    }
+
+    /// Records one completed request span into the ring for `ring_index`
+    /// (wrapped), promoting it to the slow ring when it crosses the
+    /// threshold.
+    pub fn record_span(&self, ring_index: usize, span: &RequestSpan) {
+        let record = TraceRecord::Span(*span);
+        self.spans[ring_index % self.spans.len()].record(&record);
+        if span.total_us() >= self.slow_threshold_us.load(Ordering::Relaxed) {
+            self.slow_total.fetch_add(1, Ordering::Relaxed);
+            self.slow.record(&record);
+        }
+    }
+
+    /// Records one eviction-policy decision and folds it into the cost and
+    /// `L` histograms.
+    pub fn record_eviction(&self, event: &EvictionTrace) {
+        if event.admit {
+            self.admit_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.evict_total.fetch_add(1, Ordering::Relaxed);
+            self.eviction_costs.record(event.cost);
+        }
+        if event.l_value > 0 {
+            self.l_values.record(event.l_value);
+        }
+        self.evictions.record(&TraceRecord::Eviction(*event));
+    }
+
+    /// Recent spans across all worker rings, oldest first per ring, then
+    /// interleaved by buffered timestamp.
+    #[must_use]
+    pub fn spans_snapshot(&self) -> Vec<RequestSpan> {
+        let mut spans: Vec<RequestSpan> = self
+            .spans
+            .iter()
+            .flat_map(TraceRing::snapshot)
+            .filter_map(|record| match record {
+                TraceRecord::Span(span) => Some(span),
+                TraceRecord::Eviction(_) => None,
+            })
+            .collect();
+        spans.sort_by_key(|span| span.buffered_us);
+        spans
+    }
+
+    /// Retained slow-request spans, oldest first.
+    #[must_use]
+    pub fn slow_snapshot(&self) -> Vec<RequestSpan> {
+        self.slow
+            .snapshot()
+            .into_iter()
+            .filter_map(|record| match record {
+                TraceRecord::Span(span) => Some(span),
+                TraceRecord::Eviction(_) => None,
+            })
+            .collect()
+    }
+
+    /// Recent eviction decisions, oldest first.
+    #[must_use]
+    pub fn evictions_snapshot(&self) -> Vec<EvictionTrace> {
+        self.evictions
+            .snapshot()
+            .into_iter()
+            .filter_map(|record| match record {
+                TraceRecord::Eviction(ev) => Some(ev),
+                TraceRecord::Span(_) => None,
+            })
+            .collect()
+    }
+
+    /// Total spans recorded across all rings.
+    #[must_use]
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans.iter().map(TraceRing::pushed).sum()
+    }
+
+    /// Total spans promoted to the slow ring.
+    #[must_use]
+    pub fn slow_recorded(&self) -> u64 {
+        self.slow_total.load(Ordering::Relaxed)
+    }
+
+    /// Total admission events recorded.
+    #[must_use]
+    pub fn admits_recorded(&self) -> u64 {
+        self.admit_total.load(Ordering::Relaxed)
+    }
+
+    /// Total eviction events recorded.
+    #[must_use]
+    pub fn evicts_recorded(&self) -> u64 {
+        self.evict_total.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the eviction cost distribution.
+    #[must_use]
+    pub fn eviction_cost_snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.eviction_costs.snapshot()
+    }
+
+    /// Snapshot of the `L`-value trajectory (one sample per decision).
+    #[must_use]
+    pub fn l_value_snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.l_values.snapshot()
+    }
+
+    /// Zeroes the derived counters and histograms (`stats reset`). Ring
+    /// contents are left in place — the flight recorder's whole point is
+    /// surviving until someone looks.
+    pub fn reset_derived(&self) {
+        self.slow_total.store(0, Ordering::Relaxed);
+        self.admit_total.store(0, Ordering::Relaxed);
+        self.evict_total.store(0, Ordering::Relaxed);
+        self.eviction_costs.reset();
+        self.l_values.reset();
+    }
+}
+
+/// Records an ad-hoc [`EvictionTrace`] during debugging sessions. Not for
+/// committed code outside this crate and tests — `camp-lint`'s
+/// `leftover-debug` rule flags stray uses, exactly like `dbg!`.
+#[macro_export]
+macro_rules! trace_event {
+    ($recorder:expr, $event:expr) => {
+        $recorder.record_eviction(&$event)
+    };
+}
+
+/// Records an ad-hoc [`RequestSpan`] during debugging sessions. Same
+/// committed-code policy as [`trace_event!`].
+#[macro_export]
+macro_rules! trace_span {
+    ($recorder:expr, $ring:expr, $span:expr) => {
+        $recorder.record_span($ring, &$span)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(n: u64) -> RequestSpan {
+        RequestSpan {
+            conn_id: n,
+            cmd: 3,
+            wire_bytes: 10 + n,
+            buffered_us: n * 100,
+            parsed_us: n * 100 + 5,
+            executed_us: n * 100 + 20,
+            flushed_us: n * 100 + 30,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_encoding() {
+        let ring = TraceRing::new(8);
+        let original = span(7);
+        ring.record(&TraceRecord::Span(original));
+        let ev = EvictionTrace {
+            admit: true,
+            key_hash: u64::MAX,
+            size: 1 << 40,
+            cost: 123,
+            ratio: 999,
+            queue: u32::MAX,
+            l_value: u64::MAX - 1,
+        };
+        ring.record(&TraceRecord::Eviction(ev));
+        let records = ring.snapshot();
+        assert_eq!(
+            records,
+            vec![TraceRecord::Span(original), TraceRecord::Eviction(ev)]
+        );
+    }
+
+    #[test]
+    fn ring_retains_the_newest_records() {
+        let ring = TraceRing::new(8);
+        for n in 0..20 {
+            ring.record(&TraceRecord::Span(span(n)));
+        }
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 8);
+        assert_eq!(ring.pushed(), 20);
+        // The oldest retained record is ticket 12; order is preserved.
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(*record, TraceRecord::Span(span(12 + i as u64)));
+        }
+    }
+
+    #[test]
+    fn slow_spans_are_promoted() {
+        let recorder = FlightRecorder::new(2, Some(25));
+        recorder.record_span(0, &span(1)); // total 30 ≥ 25: slow.
+        recorder.record_span(
+            1,
+            &RequestSpan {
+                flushed_us: 110, // total 10 < 25: fast.
+                ..span(1)
+            },
+        );
+        assert_eq!(recorder.spans_recorded(), 2);
+        assert_eq!(recorder.slow_recorded(), 1);
+        assert_eq!(recorder.slow_snapshot(), vec![span(1)]);
+        assert_eq!(recorder.spans_snapshot().len(), 2);
+        assert_eq!(recorder.slow_threshold_us(), Some(25));
+        assert_eq!(FlightRecorder::new(1, None).slow_threshold_us(), None);
+    }
+
+    #[test]
+    fn eviction_events_feed_histograms_and_reset() {
+        let recorder = FlightRecorder::new(1, None);
+        for cost in [10, 20, 40] {
+            recorder.record_eviction(&EvictionTrace {
+                admit: false,
+                key_hash: cost,
+                size: 100,
+                cost,
+                ratio: cost / 100,
+                queue: 0,
+                l_value: cost * 2,
+            });
+        }
+        recorder.record_eviction(&EvictionTrace {
+            admit: true,
+            key_hash: 1,
+            size: 100,
+            cost: 1000,
+            ratio: 10,
+            queue: 0,
+            l_value: 80,
+        });
+        assert_eq!(recorder.evicts_recorded(), 3);
+        assert_eq!(recorder.admits_recorded(), 1);
+        let costs = recorder.eviction_cost_snapshot();
+        assert_eq!(costs.count, 3); // Admissions don't count as costs.
+        assert_eq!(costs.sum, 70);
+        assert_eq!(recorder.l_value_snapshot().count, 4);
+        assert_eq!(recorder.evictions_snapshot().len(), 4);
+        recorder.reset_derived();
+        assert_eq!(recorder.evicts_recorded(), 0);
+        assert_eq!(recorder.eviction_cost_snapshot().count, 0);
+        // Ring contents survive a derived reset.
+        assert_eq!(recorder.evictions_snapshot().len(), 4);
+    }
+
+    #[test]
+    fn micros_since_boot_is_monotonic() {
+        let recorder = FlightRecorder::new(1, None);
+        let a = recorder.micros_since_boot(Instant::now());
+        let b = recorder.micros_since_boot(Instant::now());
+        assert!(b >= a);
+        // An instant before boot clamps to zero rather than wrapping.
+        assert_eq!(recorder.micros_since_boot(recorder.boot), 0);
+    }
+
+    #[test]
+    fn macros_forward_to_the_recorder() {
+        let recorder = FlightRecorder::new(1, Some(0));
+        trace_span!(recorder, 0, span(2));
+        trace_event!(
+            recorder,
+            EvictionTrace {
+                admit: false,
+                key_hash: 9,
+                size: 8,
+                cost: 7,
+                ratio: 0,
+                queue: 0,
+                l_value: 0,
+            }
+        );
+        assert_eq!(recorder.spans_recorded(), 1);
+        assert_eq!(recorder.evicts_recorded(), 1);
+    }
+}
