@@ -5,14 +5,18 @@
 //!           [--shards N] [--slab-kb N] [--metrics-addr ADDR]
 //!           [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]
 //!           [--idle-secs N] [--drain-secs N] [--chaos SPEC]
-//!           [--workers N] [--legacy-threads] [--slow-log MICROS]
+//!           [--workers N] [--legacy-threads] [--single-listener]
+//!           [--slow-log MICROS]
 //! ```
 //!
 //! Connections are served by an in-process epoll reactor: `--workers`
-//! event-loop threads (0 = one per core, capped at 8), each multiplexing
-//! its share of connections — tens of thousands of concurrent clients on
-//! a handful of threads. `--legacy-threads` falls back to the previous
-//! thread-per-connection engine for one release.
+//! event-loop threads (0 = one per core, capped at 8), each owning its
+//! own `SO_REUSEPORT` listener and multiplexing its share of connections
+//! — tens of thousands of concurrent clients on a handful of threads,
+//! with connection intake load-balanced across cores by the kernel.
+//! `--single-listener` keeps the reactor but accepts on one blocking
+//! thread (the pre-multi-listener intake path); `--legacy-threads` falls
+//! back to the previous thread-per-connection engine for one release.
 //!
 //! `--policy` accepts any spec understood by
 //! [`EvictionMode`](camp_kvs::store::EvictionMode) — `lru`, `camp`,
@@ -56,7 +60,7 @@ use camp_telemetry::{kvlog, LogLevel};
 
 fn usage() -> String {
     format!(
-        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads] [--slow-log MICROS]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given;\n  GET /trace dumps the flight recorder)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--slow-log retains requests at least MICROS us end-to-end in the slow ring\n  (0 retains everything; omit to disable the slow log)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads] [--single-listener]\n                 [--slow-log MICROS]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given;\n  GET /trace dumps the flight recorder)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--single-listener accepts on one blocking thread instead of per-worker\n  SO_REUSEPORT listeners (the pre-multi-listener reactor intake path)\n--slow-log retains requests at least MICROS us end-to-end in the slow ring\n  (0 retains everything; omit to disable the slow log)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
         LogLevel::HELP,
         EvictionMode::HELP
     )
@@ -78,6 +82,7 @@ fn main() -> ExitCode {
     let mut chaos: Option<FaultPlan> = None;
     let mut workers: usize = 0;
     let mut legacy_threads = false;
+    let mut single_listener = false;
     let mut slow_log_us: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
@@ -154,6 +159,7 @@ fn main() -> ExitCode {
                         .map_err(|_| "bad --workers".to_owned())?;
                 }
                 "--legacy-threads" => legacy_threads = true,
+                "--single-listener" => single_listener = true,
                 "--slow-log" => {
                     slow_log_us = Some(
                         value("--slow-log")?
@@ -220,6 +226,7 @@ fn main() -> ExitCode {
         fault_plan: chaos,
         workers,
         legacy_threads,
+        single_listener,
         slow_log_us,
     };
     let server = match Server::start_with(&listen, options) {
@@ -243,6 +250,8 @@ fn main() -> ExitCode {
         drain_secs = drain_secs,
         engine = if legacy_threads {
             "legacy-threads"
+        } else if single_listener {
+            "reactor-single-listener"
         } else {
             "reactor"
         },

@@ -6,6 +6,7 @@
 //!              [--duration-secs S] [--warmup-secs S] [--get-ratio R]
 //!              [--keys N] [--value-bytes N] [--seed N]
 //!              [--retries N] [--expect-errors]
+//!              [--worker-sweep LIST] [--server-bin PATH]
 //!              [--out FILE] [--label TEXT]
 //! ```
 //!
@@ -45,12 +46,21 @@
 //! ops/sec, p50/p90/p99/max per command class, hit ratio, error and
 //! resilience counters, and the trajectory samples, plus the full config
 //! so before/after runs are comparable.
+//!
+//! `--worker-sweep 1,2,4` measures multi-core scaling instead of a single
+//! run: for each worker count the loadgen spawns its own `camp-kvsd`
+//! (`--server-bin`, default: the `camp-kvsd` sitting next to this binary)
+//! on an ephemeral port, waits for the `camp_kvsd_ready` banner on the
+//! child's stderr, runs the configured workload against it, and tears the
+//! server down. The report becomes a `scaling` array — ops/sec, speedup
+//! and parallel efficiency per worker count — and a compact table is
+//! printed, one line per point. `--addr` is ignored in sweep mode.
 
 #![forbid(unsafe_code)]
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::process::ExitCode;
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,6 +82,8 @@ struct Config {
     seed: u64,
     retries: u32,
     expect_errors: bool,
+    worker_sweep: Option<Vec<usize>>,
+    server_bin: Option<String>,
     out: String,
     label: String,
 }
@@ -91,6 +103,8 @@ impl Default for Config {
             seed: 42,
             retries: 0,
             expect_errors: false,
+            worker_sweep: None,
+            server_bin: None,
             out: "BENCH_server.json".to_owned(),
             label: String::new(),
         }
@@ -98,7 +112,7 @@ impl Default for Config {
 }
 
 fn usage() -> &'static str {
-    "usage: camp-loadgen [--addr ADDR] [--connections N] [--threads N]\n                    [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --threads 0 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--threads N multiplexes the connections over N threads (0 = one thread per\n  connection); lets one machine hold thousands of server connections open\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n"
+    "usage: camp-loadgen [--addr ADDR] [--connections N] [--threads N]\n                    [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors]\n                    [--worker-sweep LIST] [--server-bin PATH]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --threads 0 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--threads N multiplexes the connections over N threads (0 = one thread per\n  connection); lets one machine hold thousands of server connections open\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n--worker-sweep 1,2,4 spawns one camp-kvsd per worker count on an ephemeral\n  port, runs the workload against each, and reports a scaling table (ops/s,\n  speedup, parallel efficiency); --addr is ignored\n--server-bin PATH the camp-kvsd to spawn in sweep mode (default: the\n  camp-kvsd binary next to camp-loadgen)\n"
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -162,6 +176,19 @@ fn parse_args() -> Result<Config, String> {
                     .map_err(|_| "bad --retries".to_owned())?;
             }
             "--expect-errors" => config.expect_errors = true,
+            "--worker-sweep" => {
+                let list = value("--worker-sweep")?;
+                let counts = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| "bad --worker-sweep (expected e.g. 1,2,4)".to_owned())?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err("--worker-sweep needs positive worker counts".to_owned());
+                }
+                config.worker_sweep = Some(counts);
+            }
+            "--server-bin" => config.server_bin = Some(value("--server-bin")?),
             "--out" => config.out = value("--out")?,
             "--label" => config.label = value("--label")?,
             "--help" | "-h" => {
@@ -590,6 +617,114 @@ fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8
     }
 }
 
+/// Everything one measured run produces (warmup excluded).
+struct RunStats {
+    elapsed_secs: f64,
+    total_ops: u64,
+    hit_ratio: f64,
+    errors: u64,
+    batch_retries: u64,
+    reconnects: u64,
+    trajectory: Vec<(f64, u64, f64)>,
+    get_snap: HistogramSnapshot,
+    set_snap: HistogramSnapshot,
+}
+
+impl RunStats {
+    fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.total_ops as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the full measured phase against `config.addr`: spawns the worker
+/// threads, warms up, re-baselines, samples the trajectory, stops and
+/// joins. The server must already be prefilled.
+fn measure(config: &Config, value: &Arc<Vec<u8>>) -> RunStats {
+    let totals = Arc::new(Totals::new());
+    // `--threads 0` keeps the historical one-thread-per-connection shape;
+    // otherwise spread the connections over the threads as evenly as
+    // possible (the first `connections % threads` threads take one extra).
+    let threads = if config.threads == 0 {
+        config.connections
+    } else {
+        config.threads.min(config.connections)
+    };
+    let base = config.connections / threads;
+    let extra = config.connections % threads;
+    let workers: Vec<_> = (0..threads)
+        .map(|i| {
+            let config = config.clone();
+            let totals = Arc::clone(&totals);
+            let value = Arc::clone(value);
+            let conns = base + usize::from(i < extra);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{i}"))
+                .spawn(move || worker(config, totals, i as u64, value, conns))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    // Warm up, then re-baseline every counter and histogram so the report
+    // reflects steady state only.
+    std::thread::sleep(Duration::from_secs_f64(config.warmup_secs.max(0.0)));
+    totals.get_latency.reset();
+    totals.set_latency.reset();
+    let ops_base = totals.ops.load(Ordering::Relaxed);
+    let gets_base = totals.gets.load(Ordering::Relaxed);
+    let hits_base = totals.hits.load(Ordering::Relaxed);
+    let errors_base = totals.errors.load(Ordering::Relaxed);
+    let started = Instant::now();
+
+    // Sample the throughput trajectory every 250 ms.
+    let mut trajectory: Vec<(f64, u64, f64)> = Vec::new();
+    let mut last_t = 0.0f64;
+    let mut last_ops = 0u64;
+    while started.elapsed().as_secs_f64() < config.duration_secs {
+        let remaining = config.duration_secs - started.elapsed().as_secs_f64();
+        std::thread::sleep(Duration::from_secs_f64(remaining.clamp(0.0, 0.25)));
+        let t = started.elapsed().as_secs_f64();
+        let cumulative = totals.ops.load(Ordering::Relaxed) - ops_base;
+        let rate = if t > last_t {
+            (cumulative - last_ops) as f64 / (t - last_t)
+        } else {
+            0.0
+        };
+        trajectory.push((t, cumulative, rate));
+        last_t = t;
+        last_ops = cumulative;
+    }
+    totals.stop.store(true, Ordering::Relaxed);
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let total_ops = totals.ops.load(Ordering::Relaxed) - ops_base;
+    for handle in workers {
+        let _ = handle.join();
+    }
+
+    let gets = totals.gets.load(Ordering::Relaxed) - gets_base;
+    let hits = totals.hits.load(Ordering::Relaxed) - hits_base;
+    let errors = totals.errors.load(Ordering::Relaxed) - errors_base;
+    let hit_ratio = if gets > 0 {
+        hits as f64 / gets as f64
+    } else {
+        0.0
+    };
+    RunStats {
+        elapsed_secs,
+        total_ops,
+        hit_ratio,
+        errors,
+        batch_retries: totals.batch_retries.load(Ordering::Relaxed),
+        reconnects: totals.reconnects.load(Ordering::Relaxed),
+        trajectory,
+        get_snap: totals.get_latency.snapshot(),
+        set_snap: totals.set_latency.snapshot(),
+    }
+}
+
 fn escape_json(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
@@ -665,6 +800,168 @@ fn render_report(
     )
 }
 
+/// The camp-kvsd to spawn in sweep mode when `--server-bin` is not given:
+/// the binary sitting next to this one (both land in the same cargo
+/// target directory).
+fn default_server_bin() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("camp-kvsd")))
+        .map(|path| path.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "camp-kvsd".to_owned())
+}
+
+/// Spawns `bin --workers N` on an ephemeral port and waits for the
+/// `camp_kvsd_ready` banner on its stderr, returning the child and the
+/// bound address. Remaining stderr is drained by a detached thread so a
+/// chatty server never blocks on a full pipe.
+fn spawn_server(bin: &str, workers: usize) -> io::Result<(Child, String)> {
+    let mut child = Command::new(bin)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--log-level",
+            "info",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|err| io::Error::new(err.kind(), format!("spawning {bin}: {err}")))?;
+    let stderr = child.stderr.take().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::BrokenPipe, "child stderr was not captured")
+    })?;
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    let mut addr = None;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // EOF: the server died before becoming ready.
+        }
+        if line.contains("event=camp_kvsd_ready") {
+            addr = line
+                .split_whitespace()
+                .find_map(|token| token.strip_prefix("addr="))
+                .map(str::to_owned);
+            break;
+        }
+    }
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    match addr {
+        Some(addr) => Ok((child, addr)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("{bin} --workers {workers} exited without a ready banner"),
+            ))
+        }
+    }
+}
+
+/// One measured point of the worker sweep.
+struct SweepPoint {
+    workers: usize,
+    stats: RunStats,
+}
+
+fn render_sweep_report(config: &Config, server_bin: &str, points: &[SweepPoint]) -> String {
+    let base = &points[0];
+    let scaling: Vec<String> = points
+        .iter()
+        .map(|point| {
+            let speedup = point.stats.ops_per_sec() / base.stats.ops_per_sec().max(1.0);
+            let efficiency =
+                speedup / (point.workers as f64 / base.workers as f64);
+            format!(
+                "{{\"workers\": {}, \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"hit_ratio\": {:.4}, \"errors\": {}, \"speedup\": {speedup:.3}, \"efficiency\": {efficiency:.3}}}",
+                point.workers,
+                point.stats.ops_per_sec(),
+                point.stats.total_ops,
+                point.stats.hit_ratio,
+                point.stats.errors,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"camp-loadgen worker sweep\",\n  \"label\": \"{}\",\n  \"server_bin\": \"{}\",\n  \"config\": {{\"connections\": {}, \"threads\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}}},\n  \"scaling\": [{}]\n}}\n",
+        escape_json(&config.label),
+        escape_json(server_bin),
+        config.connections,
+        config.threads,
+        config.pipeline,
+        config.get_ratio,
+        config.keys,
+        config.value_bytes,
+        config.duration_secs,
+        config.warmup_secs,
+        config.seed,
+        scaling.join(", "),
+    )
+}
+
+/// Sweep mode: one spawned server + measured run per worker count.
+fn run_worker_sweep(config: &Config, sweep: &[usize]) -> ExitCode {
+    let server_bin = config.server_bin.clone().unwrap_or_else(default_server_bin);
+    let value = Arc::new(vec![b'x'; config.value_bytes]);
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &workers in sweep {
+        let (mut child, addr) = match spawn_server(&server_bin, workers) {
+            Ok(spawned) => spawned,
+            Err(err) => {
+                eprintln!("camp-loadgen: sweep point --workers {workers}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut run = config.clone();
+        run.addr = addr;
+        let result = prefill(&run, &value).map(|()| measure(&run, &value));
+        let _ = child.kill();
+        let _ = child.wait();
+        match result {
+            Ok(stats) => points.push(SweepPoint { workers, stats }),
+            Err(err) => {
+                eprintln!("camp-loadgen: sweep point --workers {workers}: prefill failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = render_sweep_report(config, &server_bin, &points);
+    if let Err(err) = std::fs::write(&config.out, &report) {
+        eprintln!("camp-loadgen: writing {} failed: {err}", config.out);
+        return ExitCode::FAILURE;
+    }
+    let base_rate = points[0].stats.ops_per_sec().max(1.0);
+    let base_workers = points[0].workers as f64;
+    println!("camp-loadgen: worker sweep ({} points)", points.len());
+    println!("  workers      ops/sec  speedup  efficiency");
+    for point in &points {
+        let speedup = point.stats.ops_per_sec() / base_rate;
+        let efficiency = speedup / (point.workers as f64 / base_workers);
+        println!(
+            "  {:>7}  {:>11.0}  {:>6.2}x  {:>9.0}%",
+            point.workers,
+            point.stats.ops_per_sec(),
+            speedup,
+            efficiency * 100.0,
+        );
+    }
+    println!("  report written to {}", config.out);
+    if points.iter().any(|p| p.stats.total_ops == 0) {
+        eprintln!("camp-loadgen: a sweep point completed no operations");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let config = match parse_args() {
         Ok(config) => config,
@@ -673,6 +970,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(sweep) = config.worker_sweep.clone() {
+        return run_worker_sweep(&config, &sweep);
+    }
     let value = Arc::new(vec![b'x'; config.value_bytes]);
     if let Err(err) = prefill(&config, &value) {
         eprintln!(
@@ -681,115 +981,47 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let totals = Arc::new(Totals::new());
-    // `--threads 0` keeps the historical one-thread-per-connection shape;
-    // otherwise spread the connections over the threads as evenly as
-    // possible (the first `connections % threads` threads take one extra).
-    let threads = if config.threads == 0 {
-        config.connections
-    } else {
-        config.threads.min(config.connections)
-    };
-    let base = config.connections / threads;
-    let extra = config.connections % threads;
-    let workers: Vec<_> = (0..threads)
-        .map(|i| {
-            let config = config.clone();
-            let totals = Arc::clone(&totals);
-            let value = Arc::clone(&value);
-            let conns = base + usize::from(i < extra);
-            std::thread::Builder::new()
-                .name(format!("loadgen-{i}"))
-                .spawn(move || worker(config, totals, i as u64, value, conns))
-                .expect("spawn worker")
-        })
-        .collect();
-
-    // Warm up, then re-baseline every counter and histogram so the report
-    // reflects steady state only.
-    std::thread::sleep(Duration::from_secs_f64(config.warmup_secs.max(0.0)));
-    totals.get_latency.reset();
-    totals.set_latency.reset();
-    let ops_base = totals.ops.load(Ordering::Relaxed);
-    let gets_base = totals.gets.load(Ordering::Relaxed);
-    let hits_base = totals.hits.load(Ordering::Relaxed);
-    let errors_base = totals.errors.load(Ordering::Relaxed);
-    let started = Instant::now();
-
-    // Sample the throughput trajectory every 250 ms.
-    let mut trajectory: Vec<(f64, u64, f64)> = Vec::new();
-    let mut last_t = 0.0f64;
-    let mut last_ops = 0u64;
-    while started.elapsed().as_secs_f64() < config.duration_secs {
-        let remaining = config.duration_secs - started.elapsed().as_secs_f64();
-        std::thread::sleep(Duration::from_secs_f64(remaining.clamp(0.0, 0.25)));
-        let t = started.elapsed().as_secs_f64();
-        let cumulative = totals.ops.load(Ordering::Relaxed) - ops_base;
-        let rate = if t > last_t {
-            (cumulative - last_ops) as f64 / (t - last_t)
-        } else {
-            0.0
-        };
-        trajectory.push((t, cumulative, rate));
-        last_t = t;
-        last_ops = cumulative;
-    }
-    totals.stop.store(true, Ordering::Relaxed);
-    let elapsed_secs = started.elapsed().as_secs_f64();
-    let total_ops = totals.ops.load(Ordering::Relaxed) - ops_base;
-    for handle in workers {
-        let _ = handle.join();
-    }
-
-    let gets = totals.gets.load(Ordering::Relaxed) - gets_base;
-    let hits = totals.hits.load(Ordering::Relaxed) - hits_base;
-    let errors = totals.errors.load(Ordering::Relaxed) - errors_base;
-    let batch_retries = totals.batch_retries.load(Ordering::Relaxed);
-    let reconnects = totals.reconnects.load(Ordering::Relaxed);
-    let hit_ratio = if gets > 0 {
-        hits as f64 / gets as f64
-    } else {
-        0.0
-    };
-    let get_snap = totals.get_latency.snapshot();
-    let set_snap = totals.set_latency.snapshot();
+    let stats = measure(&config, &value);
     let report = render_report(
         &config,
-        elapsed_secs,
-        total_ops,
-        hit_ratio,
-        errors,
-        (batch_retries, reconnects),
-        &trajectory,
-        &get_snap,
-        &set_snap,
+        stats.elapsed_secs,
+        stats.total_ops,
+        stats.hit_ratio,
+        stats.errors,
+        (stats.batch_retries, stats.reconnects),
+        &stats.trajectory,
+        &stats.get_snap,
+        &stats.set_snap,
     );
     if let Err(err) = std::fs::write(&config.out, &report) {
         eprintln!("camp-loadgen: writing {} failed: {err}", config.out);
         return ExitCode::FAILURE;
     }
     println!(
-        "camp-loadgen: {:.0} ops/sec over {elapsed_secs:.2}s ({total_ops} ops, hit ratio {hit_ratio:.3}, {errors} errors)",
-        if elapsed_secs > 0.0 {
-            total_ops as f64 / elapsed_secs
-        } else {
-            0.0
-        }
+        "camp-loadgen: {:.0} ops/sec over {:.2}s ({} ops, hit ratio {:.3}, {} errors)",
+        stats.ops_per_sec(),
+        stats.elapsed_secs,
+        stats.total_ops,
+        stats.hit_ratio,
+        stats.errors,
     );
     println!(
         "  get: {} ops, p50 {}us p99 {}us | set: {} ops, p50 {}us p99 {}us",
-        get_snap.count,
-        get_snap.quantile(0.5),
-        get_snap.quantile(0.99),
-        set_snap.count,
-        set_snap.quantile(0.5),
-        set_snap.quantile(0.99),
+        stats.get_snap.count,
+        stats.get_snap.quantile(0.5),
+        stats.get_snap.quantile(0.99),
+        stats.set_snap.count,
+        stats.set_snap.quantile(0.5),
+        stats.set_snap.quantile(0.99),
     );
     if config.retries > 0 || config.expect_errors {
-        println!("  resilience: {batch_retries} batch retries, {reconnects} reconnects");
+        println!(
+            "  resilience: {} batch retries, {} reconnects",
+            stats.batch_retries, stats.reconnects
+        );
     }
     println!("  report written to {}", config.out);
-    if total_ops == 0 {
+    if stats.total_ops == 0 {
         eprintln!("camp-loadgen: no operations completed");
         return ExitCode::FAILURE;
     }

@@ -160,6 +160,9 @@ pub struct ServerMetrics {
     pub connections_closed: AtomicU64,
     /// Lines rejected with `CLIENT_ERROR`.
     pub protocol_errors: AtomicU64,
+    /// Segments batched into each scatter-gather (`writev`) flush call —
+    /// the distribution proves how deep the iovec batching runs.
+    pub flush_segments: Histogram,
 }
 
 impl ServerMetrics {
@@ -272,6 +275,7 @@ impl ServerMetrics {
         self.connections_opened.store(0, Ordering::Relaxed);
         self.connections_closed.store(0, Ordering::Relaxed);
         self.protocol_errors.store(0, Ordering::Relaxed);
+        self.flush_segments.reset();
     }
 
     /// Snapshots every per-command histogram, in [`CmdKind::ALL`] order.
@@ -299,6 +303,13 @@ pub struct WorkerStats {
     /// Times backpressure paused reads (pending output over the
     /// high-water mark caused `EPOLLIN` to be withheld).
     pub write_pauses: AtomicU64,
+    /// Sockets accepted by this worker's own `SO_REUSEPORT` listener
+    /// (zero on the single-listener path, where an accept thread feeds
+    /// the intake queue instead).
+    pub accepts: AtomicU64,
+    /// Connection events drained from `epoll_wait` into the batched run
+    /// queue.
+    pub events_dispatched: AtomicU64,
 }
 
 /// A point-in-time copy of one worker's [`WorkerStats`] row.
@@ -312,6 +323,10 @@ pub struct WorkerStatsSnapshot {
     pub timer_fires: u64,
     /// Reads paused by output backpressure.
     pub write_pauses: u64,
+    /// Sockets accepted by this worker's own listener.
+    pub accepts: u64,
+    /// Connection events drained into the batched run queue.
+    pub events_dispatched: u64,
 }
 
 /// The per-worker reactor counter registry, sized once at startup for the
@@ -354,6 +369,8 @@ impl ReactorStats {
                 epoll_wakeups: w.epoll_wakeups.load(Ordering::Relaxed),
                 timer_fires: w.timer_fires.load(Ordering::Relaxed),
                 write_pauses: w.write_pauses.load(Ordering::Relaxed),
+                accepts: w.accepts.load(Ordering::Relaxed),
+                events_dispatched: w.events_dispatched.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -365,6 +382,8 @@ impl ReactorStats {
             w.epoll_wakeups.store(0, Ordering::Relaxed);
             w.timer_fires.store(0, Ordering::Relaxed);
             w.write_pauses.store(0, Ordering::Relaxed);
+            w.accepts.store(0, Ordering::Relaxed);
+            w.events_dispatched.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -458,6 +477,8 @@ pub struct TelemetryReport {
     pub l_values: HistogramSnapshot,
     /// Per-worker reactor internals, in worker order.
     pub reactor_workers: Vec<WorkerStatsSnapshot>,
+    /// Distribution of segments batched per scatter-gather flush call.
+    pub flush_segments: HistogramSnapshot,
 }
 
 impl TelemetryReport {
@@ -587,10 +608,28 @@ impl TelemetryReport {
         ));
         for (i, w) in self.reactor_workers.iter().enumerate() {
             lines.push(format!(
-                "STAT reactor:worker{i} live={} wakeups={} timer_fires={} write_pauses={}",
-                w.live_connections, w.epoll_wakeups, w.timer_fires, w.write_pauses,
+                "STAT reactor:worker{i} live={} wakeups={} timer_fires={} write_pauses={} \
+                 accepts={} events={}",
+                w.live_connections,
+                w.epoll_wakeups,
+                w.timer_fires,
+                w.write_pauses,
+                w.accepts,
+                w.events_dispatched,
             ));
         }
+        lines.push(format!(
+            "STAT reactor:flush_segments:count {}",
+            self.flush_segments.count
+        ));
+        lines.push(format!(
+            "STAT reactor:flush_segments:p50 {}",
+            self.flush_segments.quantile(0.5)
+        ));
+        lines.push(format!(
+            "STAT reactor:flush_segments:max {}",
+            self.flush_segments.max
+        ));
         lines.push(format!("STAT trace:spans_recorded {}", self.spans_recorded));
         lines.push(format!("STAT trace:slow_recorded {}", self.slow_recorded));
         lines.push(format!(
@@ -1032,6 +1071,40 @@ impl TelemetryReport {
                 w.write_pauses,
             );
         }
+        exp.family(
+            "camp_reactor_accepts_total",
+            "sockets accepted by each worker's own SO_REUSEPORT listener",
+            MetricKind::Counter,
+        );
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            exp.int_value(
+                "camp_reactor_accepts_total",
+                &[("worker", &i.to_string())],
+                w.accepts,
+            );
+        }
+        exp.family(
+            "camp_reactor_events_dispatched_total",
+            "connection events drained into the batched run queue, per worker",
+            MetricKind::Counter,
+        );
+        for (i, w) in self.reactor_workers.iter().enumerate() {
+            exp.int_value(
+                "camp_reactor_events_dispatched_total",
+                &[("worker", &i.to_string())],
+                w.events_dispatched,
+            );
+        }
+        exp.family(
+            "camp_reactor_flush_writev_segments",
+            "segments batched per scatter-gather (writev) flush call",
+            MetricKind::Summary,
+        );
+        exp.summary(
+            "camp_reactor_flush_writev_segments",
+            &[],
+            &self.flush_segments,
+        );
         exp.render()
     }
 }
@@ -1104,7 +1177,15 @@ mod tests {
                 epoll_wakeups: 100,
                 timer_fires: 6,
                 write_pauses: 1,
+                accepts: 12,
+                events_dispatched: 150,
             }],
+            flush_segments: {
+                let h = Histogram::new();
+                h.record(1);
+                h.record(4);
+                h.snapshot()
+            },
         }
     }
 
@@ -1131,7 +1212,8 @@ mod tests {
             "STAT conn_rejected:value_too_large 3",
             "STAT faults_injected:drop 7",
             "STAT lock_poison_recovered 1",
-            "STAT reactor:worker0 live=3 wakeups=100 timer_fires=6 write_pauses=1",
+            "STAT reactor:worker0 live=3 wakeups=100 timer_fires=6 write_pauses=1 accepts=12 events=150",
+            "STAT reactor:flush_segments:count 2",
             "STAT trace:spans_recorded 11",
             "STAT trace:slow_recorded 2",
             "STAT trace:slow_threshold_us 500",
@@ -1170,14 +1252,23 @@ mod tests {
             .fetch_add(5, Ordering::Relaxed);
         stats.worker(1).live_connections.store(2, Ordering::Relaxed);
         stats.worker(1).write_pauses.fetch_add(1, Ordering::Relaxed);
+        stats.worker(0).accepts.fetch_add(3, Ordering::Relaxed);
+        stats
+            .worker(0)
+            .events_dispatched
+            .fetch_add(9, Ordering::Relaxed);
         let snap = stats.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].epoll_wakeups, 5);
+        assert_eq!(snap[0].accepts, 3);
+        assert_eq!(snap[0].events_dispatched, 9);
         assert_eq!(snap[1].live_connections, 2);
         assert_eq!(snap[1].write_pauses, 1);
         stats.reset();
         let snap = stats.snapshot();
         assert_eq!(snap[0].epoll_wakeups, 0);
+        assert_eq!(snap[0].accepts, 0);
+        assert_eq!(snap[0].events_dispatched, 0);
         assert_eq!(snap[1].write_pauses, 0);
         // Gauges survive a reset.
         assert_eq!(snap[1].live_connections, 2);
@@ -1236,6 +1327,10 @@ mod tests {
             "camp_reactor_epoll_wakeups_total{worker=\"0\"} 100",
             "camp_reactor_timer_fires_total{worker=\"0\"} 6",
             "camp_reactor_write_pauses_total{worker=\"0\"} 1",
+            "camp_reactor_accepts_total{worker=\"0\"} 12",
+            "camp_reactor_events_dispatched_total{worker=\"0\"} 150",
+            "# TYPE camp_reactor_flush_writev_segments summary",
+            "camp_reactor_flush_writev_segments_count 2",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

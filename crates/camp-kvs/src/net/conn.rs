@@ -3,14 +3,20 @@
 //!
 //! [`Connection`] is the reactor's replacement for the legacy
 //! thread-per-connection `handle_connection` loop, restructured as a
-//! run-to-completion state machine over two byte buffers: the reactor
-//! appends whatever the socket had into the read buffer
-//! ([`Connection::fill_from`]), [`Connection::process`] consumes complete
-//! commands from it and appends replies to the write buffer, and the
-//! reactor flushes that buffer back to the socket
-//! ([`Connection::flush_to`]) — once per processing round, so a pipelined
+//! run-to-completion state machine over a read buffer and an output
+//! *rope*: the reactor appends whatever the socket had into the read
+//! buffer ([`Connection::fill_from`]), [`Connection::process`] consumes
+//! complete commands from it and appends replies to the rope's active
+//! tail segment (sealing the tail into the flush queue whenever it
+//! reaches [`SEG_SEAL`]), and the reactor flushes the whole rope back to
+//! the socket with one scatter-gather `write_vectored` — `writev(2)` on a
+//! `TcpStream` — per round ([`Connection::flush_to`]), so a pipelined
 //! burst of N commands still produces one syscall-level write, preserving
-//! PR 3's flush-coalescing behaviour by construction.
+//! PR 3's flush-coalescing behaviour by construction. Unlike the old
+//! single contiguous `out` Vec, a partially flushed rope never memmoves
+//! or reallocates what remains: the cursor advances across fixed
+//! segments, and fully drained segments recycle through the worker's
+//! [`SegmentPool`].
 //!
 //! Because input arrives in arbitrary fragments, the machine never
 //! consumes a command until every byte it needs is present: a `set`
@@ -30,7 +36,8 @@
 //! ordinary connections born with a preloaded error reply and
 //! `close_after_flush` set.
 
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
 use std::time::Instant;
 
 use camp_telemetry::{kvlog, LogLevel, RequestSpan};
@@ -51,6 +58,16 @@ const COMPACT_AT: usize = 4 * 1024;
 /// 1 MiB `set` does not pin a megabyte per connection forever.
 const SHRINK_AT: usize = 256 * 1024;
 const SHRINK_TO: usize = 16 * 1024;
+/// Output-tail size at which the active segment is sealed into the flush
+/// queue. One oversized reply may overshoot — a reply is never split
+/// across segments, so the parser-facing sink stays a plain `Vec`.
+const SEG_SEAL: usize = 16 * 1024;
+/// Segments whose capacity ballooned past this are dropped instead of
+/// recycled, so one huge reply does not pin its allocation in the pool.
+const SEG_RECYCLE_CAP: usize = 64 * 1024;
+/// Most segments handed to one `write_vectored` call (well under Linux's
+/// `IOV_MAX` of 1024; the flush loop re-enters for any remainder).
+const MAX_IOV: usize = 64;
 /// Cap on spans awaiting their flushed stamp; a write-paused connection
 /// drops further spans rather than growing without bound.
 const PENDING_SPAN_CAP: usize = 4096;
@@ -78,15 +95,115 @@ pub(crate) enum Fill {
     Eof,
 }
 
+/// A per-worker recycling pool for drained output segments. Every
+/// connection on a worker seals into and drains from the same pool, so a
+/// worker's steady state allocates no output memory at all: segments
+/// cycle seal → writev → pool → next seal.
+#[derive(Debug, Default)]
+pub(crate) struct SegmentPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl SegmentPool {
+    /// Bound on pooled segments per worker (64 × 64 KiB = 4 MiB ceiling).
+    const MAX_FREE: usize = 64;
+
+    /// A cleared segment, recycled when one is available.
+    pub(crate) fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained segment. Oversized or surplus segments are
+    /// dropped — the pool caps per-worker memory, it does not grow it.
+    pub(crate) fn put(&mut self, mut segment: Vec<u8>) {
+        segment.clear();
+        if segment.capacity() > 0
+            && segment.capacity() <= SEG_RECYCLE_CAP
+            && self.free.len() < SegmentPool::MAX_FREE
+        {
+            self.free.push(segment);
+        }
+    }
+
+    #[cfg(test)]
+    fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// The connection's output rope: sealed segments queued oldest-first for
+/// the scatter-gather flush, plus the active tail segment replies append
+/// to. `head_pos` bytes of the front sealed segment are already on the
+/// wire — a partial `writev` just advances this cursor, never memmoving
+/// or reallocating the remainder.
+#[derive(Debug, Default)]
+struct OutRope {
+    sealed: VecDeque<Vec<u8>>,
+    head_pos: usize,
+    /// Unflushed bytes across `sealed` (excludes the tail).
+    sealed_len: usize,
+    tail: Vec<u8>,
+}
+
+impl OutRope {
+    fn len(&self) -> usize {
+        self.sealed_len + self.tail.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves the tail into the sealed queue (no-op on an empty tail).
+    fn seal(&mut self, pool: &mut SegmentPool) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.sealed_len += self.tail.len();
+        let fresh = pool.take();
+        self.sealed
+            .push_back(std::mem::replace(&mut self.tail, fresh));
+    }
+
+    /// Advances the flush cursor by `written` bytes (never more than
+    /// `sealed_len`), recycling fully drained segments into `pool`.
+    fn consume(&mut self, written: usize, pool: &mut SegmentPool) {
+        self.sealed_len -= written;
+        let mut left = written;
+        while left > 0 {
+            let front_left = self.sealed.front().map_or(0, |s| s.len() - self.head_pos);
+            if left >= front_left {
+                left -= front_left;
+                self.head_pos = 0;
+                if let Some(segment) = self.sealed.pop_front() {
+                    pool.put(segment);
+                }
+            } else {
+                self.head_pos += left;
+                left = 0;
+            }
+        }
+    }
+
+    /// Returns every segment to the pool (the connection is closing).
+    fn recycle(&mut self, pool: &mut SegmentPool) {
+        for segment in self.sealed.drain(..) {
+            pool.put(segment);
+        }
+        self.head_pos = 0;
+        self.sealed_len = 0;
+        pool.put(std::mem::take(&mut self.tail));
+    }
+}
+
 /// One client connection's entire protocol state.
 #[derive(Debug)]
 pub(crate) struct Connection {
     /// Read buffer; `buf[pos..]` is unconsumed input.
     buf: Vec<u8>,
     pos: usize,
-    /// Write buffer; `out[out_pos..]` is unflushed output.
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Output rope: sealed segments awaiting flush plus the active tail.
+    out: OutRope,
     /// Reusable get-serialization scratch (same role as legacy
     /// `response`): VALUE blocks accumulate here before one bulk append.
     response: Vec<u8>,
@@ -122,8 +239,7 @@ impl Connection {
         Connection {
             buf: Vec::new(),
             pos: 0,
-            out: Vec::new(),
-            out_pos: 0,
+            out: OutRope::default(),
             response: Vec::new(),
             faults: shared
                 .fault_plan
@@ -154,6 +270,7 @@ impl Connection {
         );
         let mut conn = Connection::new(0, shared);
         conn.out
+            .tail
             .extend_from_slice(b"SERVER_ERROR too many connections\r\n");
         conn.close_after_flush = true;
         conn.counted = false;
@@ -170,13 +287,20 @@ impl Connection {
 
     /// Whether unflushed output remains.
     pub(crate) fn has_pending_out(&self) -> bool {
-        self.out_pos < self.out.len()
+        !self.out.is_empty()
     }
 
-    /// Roughly how much unflushed output is queued (drives the reactor's
-    /// read-pause high-water mark).
+    /// How much unflushed output is queued across the rope (drives the
+    /// reactor's read-pause high-water mark).
     pub(crate) fn pending_out_len(&self) -> usize {
-        self.out.len() - self.out_pos
+        self.out.len()
+    }
+
+    /// Returns the rope's segments to the worker pool; the reactor calls
+    /// this when the connection closes so its memory is recycled rather
+    /// than freed.
+    pub(crate) fn recycle_out(&mut self, pool: &mut SegmentPool) {
+        self.out.recycle(pool);
     }
 
     /// Whether a drain may close this connection now: nothing buffered in
@@ -231,32 +355,53 @@ impl Connection {
         }
     }
 
-    /// Writes the unflushed output to the socket, stopping at `EAGAIN`.
-    /// Returns true once the buffer is fully drained.
+    /// Writes the unflushed output rope to the socket with scatter-gather
+    /// `write_vectored` calls (a single `writev(2)` per call on a
+    /// `TcpStream`), stopping at `EAGAIN`. A partial write advances the
+    /// cursor across segment boundaries; fully drained segments recycle
+    /// into `pool`. Returns true once the rope is fully drained.
     ///
     /// # Errors
     ///
     /// Propagates hard socket errors; a zero-length write surfaces as
     /// `WriteZero`.
-    pub(crate) fn flush_to(&mut self, stream: &mut impl Write) -> io::Result<bool> {
-        while self.out_pos < self.out.len() {
-            match stream.write(&self.out[self.out_pos..]) {
+    pub(crate) fn flush_to(
+        &mut self,
+        stream: &mut impl Write,
+        pool: &mut SegmentPool,
+        shared: &Shared,
+    ) -> io::Result<bool> {
+        // Seal the active tail so the flush sees one uniform segment
+        // queue; the next round's replies start on a recycled segment.
+        self.out.seal(pool);
+        while self.out.sealed_len > 0 {
+            let mut iov = [IoSlice::new(&[]); MAX_IOV];
+            let mut n_iov = 0;
+            for (index, segment) in self.out.sealed.iter().enumerate() {
+                if n_iov == MAX_IOV {
+                    break;
+                }
+                let bytes = if index == 0 {
+                    &segment[self.out.head_pos..]
+                } else {
+                    &segment[..]
+                };
+                iov[n_iov] = IoSlice::new(bytes);
+                n_iov += 1;
+            }
+            shared.metrics.flush_segments.record(n_iov as u64);
+            match stream.write_vectored(&iov[..n_iov]) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
                         "socket accepted zero bytes",
                     ))
                 }
-                Ok(n) => self.out_pos += n,
+                Ok(n) => self.out.consume(n, pool),
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(false),
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
                 Err(err) => return Err(err),
             }
-        }
-        self.out.clear();
-        self.out_pos = 0;
-        if self.out.capacity() > SHRINK_AT {
-            self.out.shrink_to(SHRINK_TO);
         }
         Ok(true)
     }
@@ -285,23 +430,39 @@ impl Connection {
             "idle_connection_evicted",
             timeout_ms = shared.idle_timeout.as_millis(),
         );
-        self.out.extend_from_slice(b"SERVER_ERROR idle timeout\r\n");
+        self.out
+            .tail
+            .extend_from_slice(b"SERVER_ERROR idle timeout\r\n");
         self.close_after_flush = true;
     }
 
     /// Consumes every complete command currently buffered, appending the
-    /// replies to the write buffer, and says what the reactor should do
+    /// replies to the output rope, and says what the reactor should do
     /// next. Run-to-completion: one call drains everything actionable.
-    pub(crate) fn process(&mut self, shared: &Shared) -> Step {
+    ///
+    /// `now` is the batch timestamp stamped once per reactor wakeup —
+    /// coarse checks (chaos delays, liveness stamps) use it; per-command
+    /// latency still reads the clock around `execute`.
+    pub(crate) fn process(
+        &mut self,
+        shared: &Shared,
+        pool: &mut SegmentPool,
+        now: Instant,
+    ) -> Step {
         if self.close_after_flush {
             return Step::Close;
         }
         loop {
+            // Seal a grown tail so the next flush scatter-gathers bounded
+            // segments instead of one unbounded contiguous buffer.
+            if self.out.tail.len() >= SEG_SEAL {
+                self.out.seal(pool);
+            }
             // An in-force chaos delay pauses the whole connection —
             // pipelined commands behind the delayed one wait, exactly as
             // the legacy thread slept.
             if let Some(until) = self.delayed_until {
-                if Instant::now() < until {
+                if now < until {
                     return Step::Delayed(until);
                 }
                 self.delayed_until = None;
@@ -396,7 +557,7 @@ impl Connection {
                                 FaultAction::None => {}
                                 FaultAction::Delay(dur) => {
                                     shared.metrics.record_fault(FaultKind::Delay);
-                                    let until = Instant::now() + dur;
+                                    let until = now + dur;
                                     self.fault_decided = true;
                                     self.delayed_until = Some(until);
                                     return Step::Delayed(until);
@@ -404,8 +565,9 @@ impl Connection {
                                 FaultAction::Error => {
                                     shared.metrics.record_fault(FaultKind::Error);
                                     self.out
+                                        .tail
                                         .extend_from_slice(b"SERVER_ERROR injected fault\r\n");
-                                    self.last_complete = Instant::now();
+                                    self.last_complete = now;
                                     self.pos += consumed;
                                     continue;
                                 }
@@ -424,8 +586,14 @@ impl Connection {
                     // Infallible: the sink is a Vec. `unwrap_or` (not
                     // unwrap) keeps the request path panic-free per the
                     // workspace rule; the false arm is unreachable.
-                    let keep = execute(&command, block, &mut self.out, &mut self.response, shared)
-                        .unwrap_or(false);
+                    let keep = execute(
+                        &command,
+                        block,
+                        &mut self.out.tail,
+                        &mut self.response,
+                        shared,
+                    )
+                    .unwrap_or(false);
                     let executed_at = Instant::now();
                     let micros =
                         u64::try_from((executed_at - started).as_micros()).unwrap_or(u64::MAX);
@@ -458,8 +626,8 @@ impl Connection {
                         .protocol_errors
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     kvlog!(LogLevel::Debug, "protocol_error", error = err);
-                    self.out.extend_from_slice(err.to_string().as_bytes());
-                    self.out.extend_from_slice(b"\r\n");
+                    self.out.tail.extend_from_slice(err.to_string().as_bytes());
+                    self.out.tail.extend_from_slice(b"\r\n");
                     self.pos += line_wire;
                     if err.is_fatal() {
                         // The refused data block is still on the wire;
@@ -468,7 +636,7 @@ impl Connection {
                         shared.metrics.record_rejected(RejectCause::ValueTooLarge);
                         return Step::Close;
                     }
-                    self.last_complete = Instant::now();
+                    self.last_complete = now;
                 }
             }
         }
@@ -510,9 +678,17 @@ mod tests {
         Shared::new(&options)
     }
 
-    fn flushed(conn: &mut Connection) -> Vec<u8> {
+    /// Runs `process` with a throwaway pool and a fresh batch timestamp.
+    fn step(conn: &mut Connection, shared: &Shared) -> Step {
+        let mut pool = SegmentPool::default();
+        conn.process(shared, &mut pool, Instant::now())
+    }
+
+    fn flushed(conn: &mut Connection, shared: &Shared) -> Vec<u8> {
+        let mut pool = SegmentPool::default();
         let mut sink = Vec::new();
-        conn.flush_to(&mut sink).expect("vec sink");
+        conn.flush_to(&mut sink, &mut pool, shared)
+            .expect("vec sink");
         sink
     }
 
@@ -521,9 +697,9 @@ mod tests {
         let shared = test_shared(None);
         let mut conn = Connection::new(1, &shared);
         conn.ingest(b"set a 0 0 3\r\nAAA\r\nset b 0 0 3\r\nBBB\r\nget a b\r\n");
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         assert_eq!(
-            flushed(&mut conn),
+            flushed(&mut conn, &shared),
             b"STORED\r\nSTORED\r\nVALUE a 0 3\r\nAAA\r\nVALUE b 0 3\r\nBBB\r\nEND\r\n".to_vec()
         );
     }
@@ -536,12 +712,12 @@ mod tests {
         let wire = b"set frag 7 0 5\r\nhello\r\nget frag\r\n";
         for &byte in &wire[..wire.len() - 1] {
             conn.ingest(&[byte]);
-            assert_eq!(conn.process(&shared), Step::NeedRead);
+            assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         }
         conn.ingest(&wire[wire.len() - 1..]);
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         assert_eq!(
-            flushed(&mut conn),
+            flushed(&mut conn, &shared),
             b"STORED\r\nVALUE frag 7 5\r\nhello\r\nEND\r\n".to_vec()
         );
     }
@@ -554,7 +730,7 @@ mod tests {
         let shared = test_shared(Some(plan));
         let mut conn = Connection::new(3, &shared);
         conn.ingest(b"set k 0 0 5\r\nhel");
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         let injected = shared.metrics.faults_snapshot();
         assert_eq!(
             injected.iter().map(|(_, n)| n).sum::<u64>(),
@@ -562,9 +738,9 @@ mod tests {
             "{injected:?}"
         );
         conn.ingest(b"lo\r\n");
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         assert_eq!(
-            flushed(&mut conn),
+            flushed(&mut conn, &shared),
             b"SERVER_ERROR injected fault\r\n".to_vec()
         );
         let injected = shared.metrics.faults_snapshot();
@@ -581,7 +757,7 @@ mod tests {
         let shared = test_shared(Some(plan));
         let mut conn = Connection::new(4, &shared);
         conn.ingest(b"set k 0 0 1\r\nx\r\n");
-        let until = match conn.process(&shared) {
+        let until = match step(&mut conn, &shared) {
             Step::Delayed(until) => until,
             other => panic!("expected Delayed, got {other:?}"),
         };
@@ -598,9 +774,9 @@ mod tests {
         std::thread::sleep(
             until.saturating_duration_since(Instant::now()) + Duration::from_millis(1),
         );
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         assert_eq!(delays(&shared), 1);
-        assert_eq!(flushed(&mut conn), b"STORED\r\n".to_vec());
+        assert_eq!(flushed(&mut conn, &shared), b"STORED\r\n".to_vec());
     }
 
     #[test]
@@ -609,8 +785,8 @@ mod tests {
         let mut conn = Connection::new(1, &shared);
         conn.ingest(b"version");
         conn.peer_eof = true;
-        assert_eq!(conn.process(&shared), Step::Close);
-        let reply = flushed(&mut conn);
+        assert_eq!(step(&mut conn, &shared), Step::Close);
+        let reply = flushed(&mut conn, &shared);
         assert!(reply.starts_with(b"VERSION camp-kvs/"), "{reply:?}");
     }
 
@@ -620,7 +796,7 @@ mod tests {
         let mut conn = Connection::new(1, &shared);
         conn.ingest(b"set gone 0 0 10\r\nhalf");
         conn.peer_eof = true;
-        assert_eq!(conn.process(&shared), Step::Close);
+        assert_eq!(step(&mut conn, &shared), Step::Close);
         assert_eq!(shared.store.len(), 0);
     }
 
@@ -629,7 +805,7 @@ mod tests {
         let shared = test_shared(None);
         let mut conn = Connection::new(1, &shared);
         conn.ingest(b"set a 0 0 3\r\nAAAXXget a\r\n");
-        assert_eq!(conn.process(&shared), Step::Close);
+        assert_eq!(step(&mut conn, &shared), Step::Close);
     }
 
     #[test]
@@ -638,8 +814,8 @@ mod tests {
         let mut conn = Connection::new(1, &shared);
         let line = format!("set big 0 0 {}\r\n", shared.max_value_len + 1);
         conn.ingest(line.as_bytes());
-        assert_eq!(conn.process(&shared), Step::Close);
-        let reply = flushed(&mut conn);
+        assert_eq!(step(&mut conn, &shared), Step::Close);
+        let reply = flushed(&mut conn, &shared);
         assert!(
             reply.starts_with(b"SERVER_ERROR object too large"),
             "{reply:?}"
@@ -658,8 +834,8 @@ mod tests {
         let shared = test_shared(None);
         let mut conn = Connection::new(1, &shared);
         conn.ingest(b"version\r\nquit\r\nget never-processed\r\n");
-        assert_eq!(conn.process(&shared), Step::Close);
-        let reply = flushed(&mut conn);
+        assert_eq!(step(&mut conn, &shared), Step::Close);
+        let reply = flushed(&mut conn, &shared);
         assert!(reply.starts_with(b"VERSION"), "{reply:?}");
         assert!(!reply.windows(3).any(|w| w == b"END"), "{reply:?}");
     }
@@ -712,12 +888,13 @@ mod tests {
         // Drive fill/process until the input is exhausted.
         while !io.script.is_empty() {
             assert_eq!(conn.fill_from(&mut io).expect("fill"), Fill::Open);
-            conn.process(&shared);
+            step(&mut conn, &shared);
         }
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         // Drive the partial-write loop until fully flushed.
+        let mut pool = SegmentPool::default();
         let mut rounds = 0;
-        while !conn.flush_to(&mut io).expect("flush") {
+        while !conn.flush_to(&mut io, &mut pool, &shared).expect("flush") {
             rounds += 1;
             assert!(rounds < 100, "flush failed to make progress");
         }
@@ -734,9 +911,9 @@ mod tests {
         let mut conn = Connection::rejected(&shared);
         assert!(conn.close_after_flush);
         assert!(!conn.counted);
-        assert_eq!(conn.process(&shared), Step::Close);
+        assert_eq!(step(&mut conn, &shared), Step::Close);
         assert_eq!(
-            flushed(&mut conn),
+            flushed(&mut conn, &shared),
             b"SERVER_ERROR too many connections\r\n".to_vec()
         );
         let rejected = shared.metrics.rejected_snapshot();
@@ -753,13 +930,141 @@ mod tests {
         assert!(conn.drain_closable());
         // A partial line in flight blocks the drain close (severed later).
         conn.ingest(b"get par");
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         assert!(!conn.drain_closable());
         conn.ingest(b"tial\r\n");
-        assert_eq!(conn.process(&shared), Step::NeedRead);
+        assert_eq!(step(&mut conn, &shared), Step::NeedRead);
         assert!(conn.has_pending_out());
         assert!(!conn.drain_closable());
-        let _ = flushed(&mut conn);
+        let _ = flushed(&mut conn, &shared);
         assert!(conn.drain_closable());
+    }
+
+    #[test]
+    fn writev_resumes_across_segment_boundaries_after_partial_writes() {
+        /// Accepts at most `cap` bytes per vectored write and blocks on
+        /// every other call — a congested non-blocking socket whose
+        /// partial writes deliberately land mid-segment.
+        struct Gather {
+            wrote: Vec<u8>,
+            cap: usize,
+            block_next: bool,
+            max_iovs: usize,
+            rounds: usize,
+        }
+        impl Write for Gather {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.write_vectored(&[IoSlice::new(buf)])
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                self.block_next = true;
+                self.rounds += 1;
+                self.max_iovs = self.max_iovs.max(bufs.len());
+                let mut budget = self.cap;
+                for buf in bufs {
+                    if budget == 0 {
+                        break;
+                    }
+                    let n = budget.min(buf.len());
+                    self.wrote.extend_from_slice(&buf[..n]);
+                    budget -= n;
+                }
+                Ok(self.cap - budget)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        let mut pool = SegmentPool::default();
+        // Three sealed segments plus a live tail; a 700-byte write cap
+        // splits every 1000-byte segment across two flush rounds.
+        let mut expected = Vec::new();
+        for fill in [b'a', b'b', b'c'] {
+            conn.out.tail.extend_from_slice(&[fill; 1000]);
+            expected.extend_from_slice(&[fill; 1000]);
+            conn.out.seal(&mut pool);
+        }
+        conn.out.tail.extend_from_slice(b"tail");
+        expected.extend_from_slice(b"tail");
+
+        let mut io = Gather {
+            wrote: Vec::new(),
+            cap: 700,
+            block_next: false,
+            max_iovs: 0,
+            rounds: 0,
+        };
+        let mut spins = 0;
+        while !conn.flush_to(&mut io, &mut pool, &shared).expect("flush") {
+            spins += 1;
+            assert!(spins < 100, "flush failed to make progress");
+        }
+        assert_eq!(io.wrote, expected);
+        assert!(!conn.has_pending_out());
+        assert!(
+            io.max_iovs >= 2,
+            "flush never batched multiple segments into one writev: {}",
+            io.max_iovs
+        );
+        assert!(spins > 0, "EAGAIN never surfaced to the caller");
+    }
+
+    #[test]
+    fn drained_segments_recycle_through_the_pool() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        let mut pool = SegmentPool::default();
+        for _ in 0..4 {
+            conn.out.tail.extend_from_slice(&[7u8; 100]);
+            conn.out.seal(&mut pool);
+        }
+        let mut sink = Vec::new();
+        assert!(conn.flush_to(&mut sink, &mut pool, &shared).expect("flush"));
+        assert_eq!(sink.len(), 400);
+        assert!(
+            pool.pooled() >= 4,
+            "drained segments were not recycled: {}",
+            pool.pooled()
+        );
+
+        // Oversized buffers are dropped rather than hoarded...
+        let before = pool.pooled();
+        pool.put(Vec::with_capacity(SEG_RECYCLE_CAP + 1));
+        assert_eq!(pool.pooled(), before);
+        // ...while recycled segments come back out ready to use.
+        let segment = pool.take();
+        assert!(segment.is_empty() && segment.capacity() > 0);
+        assert_eq!(pool.pooled(), before - 1);
+    }
+
+    #[test]
+    fn process_seals_oversized_output_into_segments() {
+        let shared = test_shared(None);
+        let mut conn = Connection::new(1, &shared);
+        let mut pool = SegmentPool::default();
+        // Enough pipelined replies to cross SEG_SEAL several times over.
+        let burst = "version\r\n".repeat(4000);
+        conn.ingest(burst.as_bytes());
+        assert_eq!(
+            conn.process(&shared, &mut pool, Instant::now()),
+            Step::NeedRead
+        );
+        assert!(
+            conn.out.sealed.len() >= 2,
+            "large pipelined output never sealed: {} segments",
+            conn.out.sealed.len()
+        );
+        assert!(conn.pending_out_len() > SEG_SEAL);
+        let reply = flushed(&mut conn, &shared);
+        assert!(reply.starts_with(b"VERSION"));
+        assert!(reply.ends_with(b"\r\n"));
+        assert!(!conn.has_pending_out());
     }
 }

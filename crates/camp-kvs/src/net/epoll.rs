@@ -1,28 +1,35 @@
-//! A minimal, dependency-free `epoll(7)` wrapper: the readiness engine
-//! under the reactor.
+//! A minimal, dependency-free `epoll(7)` + socket syscall wrapper: the
+//! readiness and accept engine under the reactor.
 //!
 //! The repo builds offline with no external crates (no `libc`, no `mio`),
-//! so this module declares the four kernel entry points it needs —
-//! `epoll_create1`, `epoll_ctl`, `epoll_wait`, `close` — directly against
-//! the C runtime that `std` already links, exactly the way
-//! [`crate::signals`] declares its self-pipe syscalls. Everything above
-//! this file (the reactor, the connection state machine, the timer wheel)
-//! is safe code: worker wake-ups ride on `std`'s `UnixStream` pairs, and
-//! sockets are switched to nonblocking mode with std's `set_nonblocking`.
+//! so this module declares the kernel entry points it needs —
+//! `epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`, plus the listener
+//! family `socket`/`setsockopt`/`bind`/`listen`/`getsockname`/`accept4` —
+//! directly against the C runtime that `std` already links, exactly the
+//! way [`crate::signals`] declares its self-pipe syscalls. Everything
+//! above this file (the reactor, the connection state machine, the timer
+//! wheel) is safe code: worker wake-ups ride on `std`'s `UnixStream`
+//! pairs, and scatter-gather flushes ride on `std`'s `write_vectored`
+//! (which is the `writev(2)` syscall for a `TcpStream`).
 //!
 //! This is one of exactly two modules in the workspace allowed to use
 //! `unsafe` (the other is `signals.rs`); camp-lint's
 //! `unsafe-outside-signals` rule enforces the allowlist path-exactly.
 //!
-//! The wrapper is deliberately thin: an [`Epoll`] owns the epoll file
+//! The wrappers are deliberately thin: an [`Epoll`] owns the epoll file
 //! descriptor, `add`/`modify`/`delete` manage interest, and [`Epoll::wait`]
 //! fills a caller-owned event slice. Level-triggered semantics only — the
 //! reactor drains sockets to `EAGAIN` on every readiness event, so
 //! edge-triggered mode would buy nothing and cost correctness headroom.
+//! A [`ReusePortListener`] is a nonblocking `SO_REUSEPORT` listening
+//! socket: binding one per worker lets the kernel spread incoming
+//! connections across workers with no accept thread, no handoff mutex,
+//! and no wake-up write on the accept path.
 #![allow(unsafe_code)]
 
 use std::io;
-use std::os::fd::RawFd;
+use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
 
 /// `EPOLL_CLOEXEC` for [`epoll_create1`].
 const EPOLL_CLOEXEC: i32 = 0o200_0000;
@@ -69,11 +76,203 @@ impl EpollEvent {
     }
 }
 
+/// `AF_INET` / `AF_INET6` socket domains.
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+/// `SOCK_STREAM` plus the flag bits `socket(2)`/`accept4(2)` accept.
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0o4000;
+const SOCK_CLOEXEC: i32 = 0o200_0000;
+/// `setsockopt` level/option numbers (Linux generic socket level).
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+const SO_REUSEPORT: i32 = 15;
+/// Listen backlog; the kernel clamps to `somaxconn`.
+const LISTEN_BACKLOG: i32 = 1024;
+/// Large enough for `sockaddr_in` (16 bytes) and `sockaddr_in6` (28).
+const SOCKADDR_BUF: usize = 32;
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
     fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
     fn close(fd: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+    fn bind(fd: i32, addr: *const u8, addrlen: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+    fn getsockname(fd: i32, addr: *mut u8, addrlen: *mut u32) -> i32;
+    fn accept4(fd: i32, addr: *mut u8, addrlen: *mut u32, flags: i32) -> i32;
+}
+
+/// Serializes `addr` into the kernel's `sockaddr_in`/`sockaddr_in6` byte
+/// layout (family in host order, port and addresses in network order);
+/// returns the encoded length.
+fn encode_sockaddr(addr: SocketAddr, buf: &mut [u8; SOCKADDR_BUF]) -> u32 {
+    match addr {
+        SocketAddr::V4(v4) => {
+            buf[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&v4.ip().octets());
+            16
+        }
+        SocketAddr::V6(v6) => {
+            buf[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+            buf[8..24].copy_from_slice(&v6.ip().octets());
+            buf[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            28
+        }
+    }
+}
+
+/// Inverse of [`encode_sockaddr`] for `getsockname` results.
+fn decode_sockaddr(buf: &[u8; SOCKADDR_BUF]) -> Option<SocketAddr> {
+    let family = u16::from_ne_bytes([buf[0], buf[1]]);
+    let port = u16::from_be_bytes([buf[2], buf[3]]);
+    if family == AF_INET as u16 {
+        let octets: [u8; 4] = buf[4..8].try_into().ok()?;
+        Some(SocketAddr::from((Ipv4Addr::from(octets), port)))
+    } else if family == AF_INET6 as u16 {
+        let octets: [u8; 16] = buf[8..24].try_into().ok()?;
+        Some(SocketAddr::from((Ipv6Addr::from(octets), port)))
+    } else {
+        None
+    }
+}
+
+/// A nonblocking `SO_REUSEPORT` listening socket.
+///
+/// Several listeners may bind the same address; the kernel hashes each
+/// incoming connection to one of them, so a reactor that gives every
+/// worker its own listener gets kernel-balanced accept with no shared
+/// accept thread. Accepted sockets are born nonblocking and close-on-exec
+/// (`accept4` flags), so the hot accept path costs exactly one syscall.
+///
+/// # Examples
+///
+/// ```no_run
+/// use camp_kvs::net::epoll::ReusePortListener;
+///
+/// let first = ReusePortListener::bind("127.0.0.1:0".parse().unwrap())?;
+/// // Bind a second listener to the same (ephemeral) port.
+/// let second = ReusePortListener::bind(first.local_addr())?;
+/// assert_eq!(first.local_addr(), second.local_addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ReusePortListener {
+    fd: RawFd,
+    local: SocketAddr,
+}
+
+impl ReusePortListener {
+    /// Creates a nonblocking listener on `addr` with `SO_REUSEADDR` and
+    /// `SO_REUSEPORT` set (port 0 binds an ephemeral port — read it back
+    /// with [`ReusePortListener::local_addr`] to bind siblings).
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing syscall's error (`socket`, `setsockopt`,
+    /// `bind`, `listen`, or `getsockname`).
+    pub fn bind(addr: SocketAddr) -> io::Result<ReusePortListener> {
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        // SAFETY: socket takes three plain words and returns an fd or -1.
+        let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // From here on the fd is owned: any early return drops `listener`,
+        // whose Drop closes it.
+        let mut listener = ReusePortListener { fd, local: addr };
+        for option in [SO_REUSEADDR, SO_REUSEPORT] {
+            let one: i32 = 1;
+            // SAFETY: `one` outlives the call and optlen matches its size.
+            let rc = unsafe { setsockopt(fd, SOL_SOCKET, option, &one, 4) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        let mut encoded = [0u8; SOCKADDR_BUF];
+        let len = encode_sockaddr(addr, &mut encoded);
+        // SAFETY: `encoded` holds a valid sockaddr of `len` bytes and
+        // outlives the call (the kernel copies it).
+        if unsafe { bind(fd, encoded.as_ptr(), len) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: listen takes two plain words.
+        if unsafe { listen(fd, LISTEN_BACKLOG) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut out = [0u8; SOCKADDR_BUF];
+        let mut out_len = SOCKADDR_BUF as u32;
+        // SAFETY: `out`/`out_len` are valid for writes of the advertised
+        // capacity for the duration of the call.
+        if unsafe { getsockname(fd, out.as_mut_ptr(), &mut out_len) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        listener.local = decode_sockaddr(&out).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "unrecognized sockaddr family")
+        })?;
+        Ok(listener)
+    }
+
+    /// The bound address (with the real port after an ephemeral bind).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Accepts one pending connection, already nonblocking and
+    /// close-on-exec. Returns `None` when the accept queue is empty
+    /// (`EAGAIN`) or the accept was interrupted/aborted before completing
+    /// (`EINTR`/`ECONNABORTED` — level-triggered epoll re-reports anything
+    /// still pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard `accept4` errors (fd exhaustion, listener closed).
+    pub fn accept(&self) -> io::Result<Option<TcpStream>> {
+        // SAFETY: null peer-address pointers are allowed (we do not need
+        // the peer address); flags only set fd modes on the new socket.
+        let fd = unsafe {
+            accept4(
+                self.fd,
+                std::ptr::null_mut(),
+                std::ptr::null_mut(),
+                SOCK_NONBLOCK | SOCK_CLOEXEC,
+            )
+        };
+        if fd < 0 {
+            let err = io::Error::last_os_error();
+            return match err.kind() {
+                io::ErrorKind::WouldBlock
+                | io::ErrorKind::Interrupted
+                | io::ErrorKind::ConnectionAborted => Ok(None),
+                _ => Err(err),
+            };
+        }
+        // SAFETY: accept4 returned a fresh connected socket fd; ownership
+        // transfers wholly to the TcpStream (nothing else closes it).
+        Ok(Some(unsafe { TcpStream::from_raw_fd(fd) }))
+    }
+}
+
+impl AsRawFd for ReusePortListener {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for ReusePortListener {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is the listening socket this struct owns; Drop runs
+        // once, so no double-close.
+        unsafe {
+            let _ = close(self.fd);
+        }
+    }
 }
 
 /// An owned epoll instance.
@@ -246,5 +445,62 @@ mod tests {
         let (_a, b) = UnixStream::pair().expect("socketpair");
         epoll.add(b.as_raw_fd(), EPOLLIN, 1).expect("add");
         assert!(epoll.add(b.as_raw_fd(), EPOLLIN, 1).is_err());
+    }
+
+    #[test]
+    fn sockaddr_round_trips_both_families() {
+        for addr in ["127.0.0.1:11311", "[::1]:11311"] {
+            let addr: std::net::SocketAddr = addr.parse().expect("addr");
+            let mut buf = [0u8; SOCKADDR_BUF];
+            encode_sockaddr(addr, &mut buf);
+            assert_eq!(decode_sockaddr(&buf), Some(addr));
+        }
+        let garbage = [0xffu8; SOCKADDR_BUF];
+        assert_eq!(decode_sockaddr(&garbage), None);
+    }
+
+    #[test]
+    fn reuseport_listeners_share_a_port_and_accept() {
+        use std::io::Read;
+
+        let first = ReusePortListener::bind("127.0.0.1:0".parse().expect("addr")).expect("bind");
+        let addr = first.local_addr();
+        assert_ne!(addr.port(), 0);
+        let second = ReusePortListener::bind(addr).expect("sibling bind");
+        assert_eq!(second.local_addr(), addr);
+
+        // Empty accept queues report None, not an error.
+        assert!(first.accept().expect("accept").is_none());
+
+        // A connection lands on exactly one of the two listeners.
+        let epoll = Epoll::new().expect("epoll");
+        epoll.add(first.as_raw_fd(), EPOLLIN, 1).expect("add");
+        epoll.add(second.as_raw_fd(), EPOLLIN, 2).expect("add");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let mut events = [EpollEvent::default(); 8];
+        let n = epoll.wait(&mut events, 2000).expect("wait");
+        assert!(n >= 1, "no listener became readable");
+        let ready = if events[0].token() == 1 {
+            &first
+        } else {
+            &second
+        };
+        let accepted = ready.accept().expect("accept").expect("one pending");
+        // The accepted socket is nonblocking, as accept4 was told.
+        client.write_all(b"ping").expect("write");
+        drop(client);
+        let mut n = 0;
+        let mut buf = [0u8; 8];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while n < 4 && std::time::Instant::now() < deadline {
+            match (&accepted).read(&mut buf[n..]) {
+                Ok(read) => n += read,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(err) => panic!("read: {err}"),
+            }
+        }
+        assert_eq!(&buf[..4], b"ping");
     }
 }

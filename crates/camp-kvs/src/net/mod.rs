@@ -3,17 +3,25 @@
 //!
 //! Layering, bottom up:
 //!
-//! - [`epoll`] — the raw `epoll(7)` syscall shim, the only `unsafe` code
-//!   in this tree (allowlisted alongside `signals.rs` by camp-lint).
+//! - [`epoll`] — the raw `epoll(7)` + socket syscall shim, the only
+//!   `unsafe` code in this tree (allowlisted alongside `signals.rs` by
+//!   camp-lint). Besides the epoll family it wraps the
+//!   `socket`/`setsockopt`/`bind`/`listen`/`accept4` calls behind
+//!   [`epoll::ReusePortListener`], the per-worker `SO_REUSEPORT` accept
+//!   socket.
 //! - [`timer`] — a hashed timer wheel; idle eviction, chaos delay
 //!   resumes and the drain sweep are all wheel entries.
 //! - `conn` (crate-private) — the per-connection protocol state machine:
-//!   buffers in, buffers out, no sockets, fully unit-testable.
-//! - `reactor` (crate-private) — N worker event loops, connections
-//!   pinned by accept order, drain/sever orchestration.
+//!   buffers in, a segmented output rope flushed with scatter-gather
+//!   `writev`, no sockets, fully unit-testable.
+//! - `reactor` (crate-private) — N worker event loops, each owning its
+//!   own listener by default (connections pinned to the accepting
+//!   worker), batched event processing with one clock read per wakeup,
+//!   drain/sever orchestration.
 //!
 //! The public server API is unchanged: `server::Server` drives this
-//! machinery by default and falls back to the legacy thread-per-
+//! machinery by default and falls back to a single accept thread behind
+//! `ServerOptions::single_listener` or to the legacy thread-per-
 //! connection loop behind `ServerOptions::legacy_threads`.
 
 pub mod epoll;

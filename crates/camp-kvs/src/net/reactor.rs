@@ -3,38 +3,52 @@
 //!
 //! # Worker model
 //!
-//! [`Reactor::start`] spawns N worker threads. The accept thread stays
-//! blocking (accepting is rare and cheap) and hands each new socket to a
-//! worker chosen round-robin by accept order — a connection is *pinned*
-//! to its worker for life, so per-connection state is never shared and
-//! needs no locks. The handoff is a mutex-guarded intake queue plus a
+//! [`Reactor::start_with_listeners`] spawns N worker threads, each
+//! owning its *own* `SO_REUSEPORT` listener registered in its own epoll
+//! set: the kernel load-balances incoming connections across the
+//! listeners, so intake never crosses a thread boundary — no accept
+//! thread, no mutex-guarded handoff queue, no wake-up write on the
+//! accept hot path. A connection is *pinned* to the worker whose
+//! listener accepted it for life, so per-connection state is never
+//! shared and needs no locks. The `--max-conns` slot reservation stays a
+//! CAS on the shared counter, so the cap is exact even when several
+//! workers accept a burst concurrently.
+//!
+//! [`Reactor::start`] (no listeners) keeps the previous model for the
+//! `--single-listener` fallback: a blocking accept thread hands sockets
+//! to workers round-robin through a mutex-guarded intake queue plus a
 //! `UnixStream` wake-up pair whose read half sits in the worker's epoll
-//! set; the same wake-up channel delivers drain and sever signals, which
-//! makes SIGINT/SIGTERM a reactor-visible event (the signal watcher's
-//! self-pipe wakes the daemon, the daemon's drain call wakes every
-//! worker).
+//! set. On both paths the wake-up channel delivers drain and sever
+//! signals, which makes SIGINT/SIGTERM a reactor-visible event.
 //!
-//! # Tokens and timers
+//! # Batched events, tokens and timers
 //!
-//! Connections live in a slot table; the epoll registration token packs
-//! `(generation << 32) | slot` so a stale event for a recycled slot is
-//! recognized and dropped. Each worker owns a [`TimerWheel`] driving
-//! three deadline kinds: slowloris idle eviction (replacing the legacy
-//! read-timeout ticks), chaos delay resumes (replacing the legacy
-//! thread sleep), and the 50 ms drain sweep (replacing the ConnRegistry
-//! nudge). The epoll wait timeout is derived from the wheel, so a worker
-//! with nothing due blocks fully.
+//! Each `epoll_wait` wakeup drains up to [`EVENT_BATCH`] events into a
+//! per-worker run queue and stamps **one** clock read for the whole
+//! batch: connection cycles triggered by the batch share that timestamp
+//! for chaos-delay checks and liveness stamps (per-command latency spans
+//! still read the clock around `execute`). Connections live in a slot
+//! table; the epoll registration token packs `(generation << 32) | slot`
+//! so a stale event for a recycled slot is recognized and dropped —
+//! queued entries re-validate the generation at run time, which also
+//! covers slots closed earlier in the same batch. Each worker owns a
+//! [`TimerWheel`] driving three deadline kinds: slowloris idle eviction
+//! (replacing the legacy read-timeout ticks), chaos delay resumes
+//! (replacing the legacy thread sleep), and the 50 ms drain sweep
+//! (replacing the ConnRegistry nudge). The epoll wait timeout is derived
+//! from the wheel, so a worker with nothing due blocks fully.
 //!
 //! # Drain and sever
 //!
-//! When a drain begins, workers close every connection with empty
-//! buffers immediately and keep sweeping on the drain tick; connections
-//! mid-command finish and close at the next boundary. A connection
-//! holding a partial command line is deliberately not drain-closable
-//! (legacy parity: those were severed at the deadline, and the
-//! stuck-connection chaos test counts on it). When the server's drain
-//! deadline expires it sets the sever flag: workers close everything
-//! left, counting each into [`Reactor::severed`], and exit.
+//! When a drain begins, each worker closes its listener *first* — no
+//! socket may be accepted after SIGTERM — then closes every connection
+//! with empty buffers immediately and keeps sweeping on the drain tick;
+//! connections mid-command finish and close at the next boundary. A
+//! connection holding a partial command line is deliberately not
+//! drain-closable (legacy parity: those were severed at the deadline,
+//! and the stuck-connection chaos test counts on it). When the server's
+//! drain deadline expires it sets the sever flag: workers close
+//! everything left, counting each into [`Reactor::severed`], and exit.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -46,16 +60,23 @@ use std::time::{Duration, Instant};
 
 use camp_telemetry::{kvlog, LogLevel};
 
-use crate::net::conn::{Connection, Step};
-use crate::net::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::net::conn::{Connection, SegmentPool, Step};
+use crate::net::epoll::{
+    Epoll, EpollEvent, ReusePortListener, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT,
+};
 use crate::net::timer::TimerWheel;
 use crate::server::Shared;
 use crate::sync::lock;
 
 /// Epoll token reserved for the worker's wake-up stream.
 const WAKE_TOKEN: u64 = u64::MAX;
+/// Epoll token reserved for the worker's own `SO_REUSEPORT` listener.
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
 /// Events fetched per `epoll_wait` call.
 const EVENT_BATCH: usize = 256;
+/// Cap on sockets accepted per listener-readiness round, so an accept
+/// storm cannot starve the worker's established connections.
+const ACCEPT_ROUND_MAX: usize = 256;
 /// Upper bound on a worker's sleep even with no timers due.
 const MAX_PARK: Duration = Duration::from_secs(1);
 /// Drain sweep cadence (mirrors the legacy registry nudge tick).
@@ -120,9 +141,30 @@ pub(crate) struct Reactor {
 }
 
 impl Reactor {
-    /// Spawns `workers` event-loop threads over `shared`.
+    /// Spawns `workers` event-loop threads over `shared`, fed by an
+    /// external accept thread through [`Reactor::submit`] (the
+    /// `--single-listener` path).
     pub(crate) fn start(shared: &Arc<Shared>, workers: usize) -> io::Result<Reactor> {
-        let workers = workers.max(1);
+        Reactor::start_inner(shared, workers.max(1), Vec::new())
+    }
+
+    /// Spawns one event-loop thread per listener, each worker accepting
+    /// from its own `SO_REUSEPORT` listener inside its own epoll set (the
+    /// default multi-listener path — no accept thread exists).
+    pub(crate) fn start_with_listeners(
+        shared: &Arc<Shared>,
+        listeners: Vec<ReusePortListener>,
+    ) -> io::Result<Reactor> {
+        let workers = listeners.len().max(1);
+        Reactor::start_inner(shared, workers, listeners)
+    }
+
+    fn start_inner(
+        shared: &Arc<Shared>,
+        workers: usize,
+        listeners: Vec<ReusePortListener>,
+    ) -> io::Result<Reactor> {
+        let per_listener = !listeners.is_empty();
         let mut intakes = Vec::with_capacity(workers);
         let mut wake_readers = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -141,15 +183,27 @@ impl Reactor {
             severed: AtomicU64::new(0),
         });
         let mut handles = Vec::with_capacity(workers);
+        let mut listeners = listeners.into_iter();
         for (index, wake_rx) in wake_readers.into_iter().enumerate() {
-            let mut worker = Worker::new(index, Arc::clone(shared), Arc::clone(&rshared), wake_rx)?;
+            let mut worker = Worker::new(
+                index,
+                Arc::clone(shared),
+                Arc::clone(&rshared),
+                wake_rx,
+                listeners.next(),
+            )?;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("camp-kvs-worker-{index}"))
                     .spawn(move || worker.run())?,
             );
         }
-        kvlog!(LogLevel::Info, "reactor_started", workers = workers);
+        kvlog!(
+            LogLevel::Info,
+            "reactor_started",
+            workers = workers,
+            per_worker_listeners = per_listener,
+        );
         Ok(Reactor {
             shared: rshared,
             workers: Mutex::new(handles),
@@ -220,11 +274,18 @@ struct Worker {
     rshared: Arc<ReactorShared>,
     epoll: Epoll,
     wake_rx: std::os::unix::net::UnixStream,
+    /// This worker's own accept socket (multi-listener path only).
+    listener: Option<ReusePortListener>,
     slots: Vec<Option<SlotEntry>>,
     gens: Vec<u32>,
     free: Vec<usize>,
     live: usize,
     wheel: TimerWheel<Timer>,
+    /// Recycled output segments shared by this worker's connections.
+    pool: SegmentPool,
+    /// Connections with events pending from the current batch; entries
+    /// re-validate `(slot, gen)` when run.
+    run_queue: Vec<(usize, u32)>,
     /// The drain sweep tick has been armed since the drain began.
     drain_armed: bool,
 }
@@ -235,20 +296,27 @@ impl Worker {
         shared: Arc<Shared>,
         rshared: Arc<ReactorShared>,
         wake_rx: std::os::unix::net::UnixStream,
+        listener: Option<ReusePortListener>,
     ) -> io::Result<Worker> {
         let epoll = Epoll::new()?;
         epoll.add(wake_rx.as_raw_fd(), EPOLLIN, WAKE_TOKEN)?;
+        if let Some(listener) = &listener {
+            epoll.add(listener.as_raw_fd(), EPOLLIN, LISTEN_TOKEN)?;
+        }
         Ok(Worker {
             index,
             shared,
             rshared,
             epoll,
             wake_rx,
+            listener,
             slots: Vec::new(),
             gens: Vec::new(),
             free: Vec::new(),
             live: 0,
             wheel: TimerWheel::new(Instant::now()),
+            pool: SegmentPool::default(),
+            run_queue: Vec::new(),
             drain_armed: false,
         })
     }
@@ -264,6 +332,9 @@ impl Worker {
                     break;
                 }
             };
+            // One clock read per batch: every cycle this wakeup triggers
+            // shares the stamp instead of re-reading the clock per event.
+            let now = Instant::now();
             if n > 0 {
                 self.shared
                     .reactor_stats
@@ -271,15 +342,22 @@ impl Worker {
                     .epoll_wakeups
                     .fetch_add(1, Ordering::Relaxed);
             }
+            let mut accept_ready = false;
             for event in &events[..n] {
                 let token = event.token();
                 if token == WAKE_TOKEN {
                     self.drain_wakeups();
+                } else if token == LISTEN_TOKEN {
+                    accept_ready = true;
                 } else {
-                    self.dispatch(token, event.readiness());
+                    self.enqueue(token, event.readiness());
                 }
             }
-            self.take_intake();
+            self.run_queued(now);
+            if accept_ready {
+                self.accept_ready(now);
+            }
+            self.take_intake(now);
             self.fire_timers(Instant::now());
             if self.shared.draining.load(Ordering::SeqCst) {
                 self.on_draining();
@@ -312,7 +390,10 @@ impl Worker {
         while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
     }
 
-    fn dispatch(&mut self, token: u64, readiness: u32) {
+    /// Queues a connection event from the current batch. Hard errors on
+    /// delayed connections close immediately; everything else defers to
+    /// [`Worker::run_queued`] so the whole batch shares one timestamp.
+    fn enqueue(&mut self, token: u64, readiness: u32) {
         let slot = usize::try_from(token & u32::MAX as u64).unwrap_or(usize::MAX);
         let gen = (token >> 32) as u32;
         if slot >= self.slots.len() || self.gens[slot] != gen || self.slots[slot].is_none() {
@@ -328,11 +409,105 @@ impl Worker {
             self.close(slot, false);
             return;
         }
-        self.cycle(slot);
+        self.run_queue.push((slot, gen));
     }
 
-    /// Registers newly accepted sockets handed over by the accept thread.
-    fn take_intake(&mut self) {
+    /// Runs every connection queued from the current batch, re-validating
+    /// `(slot, gen)` — an earlier cycle may have closed and recycled a
+    /// slot that still has a queued entry.
+    fn run_queued(&mut self, now: Instant) {
+        if self.run_queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.run_queue);
+        self.shared
+            .reactor_stats
+            .worker(self.index)
+            .events_dispatched
+            .fetch_add(queue.len() as u64, Ordering::Relaxed);
+        for &(slot, gen) in &queue {
+            if slot < self.slots.len() && self.gens[slot] == gen && self.slots[slot].is_some() {
+                self.cycle(slot, now);
+            }
+        }
+        // Hand the allocation back for the next batch.
+        let mut queue = queue;
+        queue.clear();
+        self.run_queue = queue;
+    }
+
+    /// The worker's own listener is readable: accept until it would
+    /// block (or the round cap), reserving `--max-conns` slots with the
+    /// same CAS the accept thread used so bursts across several workers
+    /// still reject exactly.
+    fn accept_ready(&mut self, now: Instant) {
+        for _ in 0..ACCEPT_ROUND_MAX {
+            if self.shared.shutdown.load(Ordering::SeqCst)
+                || self.shared.draining.load(Ordering::SeqCst)
+                || self.rshared.sever.load(Ordering::SeqCst)
+            {
+                self.close_listener();
+                return;
+            }
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            let stream = match listener.accept() {
+                Ok(Some(stream)) => stream,
+                Ok(None) => return,
+                Err(err) => {
+                    kvlog!(LogLevel::Warn, "reactor_accept_failed", error = err);
+                    return;
+                }
+            };
+            self.shared
+                .reactor_stats
+                .worker(self.index)
+                .accepts
+                .fetch_add(1, Ordering::Relaxed);
+            let rejected = if self.shared.max_conns > 0 {
+                self.shared
+                    .conn_count
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+                        (live < self.shared.max_conns).then_some(live + 1)
+                    })
+                    .is_err()
+            } else {
+                self.shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                false
+            };
+            let id = if rejected {
+                0
+            } else {
+                self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed)
+            };
+            self.register(
+                Handoff {
+                    id,
+                    stream,
+                    rejected,
+                },
+                now,
+            );
+        }
+    }
+
+    /// Closes and deregisters this worker's listener (drain began or the
+    /// reactor is severing): nothing may be accepted past this point.
+    fn close_listener(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+            kvlog!(
+                LogLevel::Debug,
+                "reactor_listener_closed",
+                worker = self.index,
+            );
+        }
+    }
+
+    /// Registers newly accepted sockets handed over by the accept thread
+    /// (the `--single-listener` path; a no-op queue otherwise).
+    fn take_intake(&mut self, now: Instant) {
         let handoffs = self.rshared.intakes[self.index].drain();
         for handoff in handoffs {
             if self.rshared.sever.load(Ordering::SeqCst) {
@@ -343,78 +518,85 @@ impl Worker {
                 }
                 continue;
             }
-            if handoff.stream.set_nonblocking(true).is_err() {
-                if !handoff.rejected {
-                    self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
-                }
-                continue;
+            self.register(handoff, now);
+        }
+    }
+
+    /// Installs an accepted socket into a slot: nonblocking + nodelay,
+    /// epoll registration, idle timer, and one immediate cycle.
+    fn register(&mut self, handoff: Handoff, now: Instant) {
+        if handoff.stream.set_nonblocking(true).is_err() {
+            if !handoff.rejected {
+                self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
             }
-            handoff.stream.set_nodelay(true).ok();
-            let conn = if handoff.rejected {
-                Connection::rejected(&self.shared)
-            } else {
+            return;
+        }
+        handoff.stream.set_nodelay(true).ok();
+        let conn = if handoff.rejected {
+            Connection::rejected(&self.shared)
+        } else {
+            self.shared
+                .metrics
+                .connections_opened
+                .fetch_add(1, Ordering::Relaxed);
+            Connection::new(handoff.id, &self.shared)
+        };
+        let counted = conn.counted;
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(None);
+                self.gens.push(0);
+                self.slots.len() - 1
+            }
+        };
+        let token = (u64::from(self.gens[slot]) << 32) | slot as u64;
+        if let Err(err) = self.epoll.add(handoff.stream.as_raw_fd(), EPOLLIN, token) {
+            kvlog!(LogLevel::Warn, "reactor_register_failed", error = err);
+            self.free.push(slot);
+            if counted {
+                self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
                 self.shared
                     .metrics
                     .connections_opened
-                    .fetch_add(1, Ordering::Relaxed);
-                Connection::new(handoff.id, &self.shared)
-            };
-            let counted = conn.counted;
-            let slot = match self.free.pop() {
-                Some(slot) => slot,
-                None => {
-                    self.slots.push(None);
-                    self.gens.push(0);
-                    self.slots.len() - 1
-                }
-            };
-            let token = (u64::from(self.gens[slot]) << 32) | slot as u64;
-            if let Err(err) = self.epoll.add(handoff.stream.as_raw_fd(), EPOLLIN, token) {
-                kvlog!(LogLevel::Warn, "reactor_register_failed", error = err);
-                self.free.push(slot);
-                if counted {
-                    self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
-                    self.shared
-                        .metrics
-                        .connections_opened
-                        .fetch_sub(1, Ordering::Relaxed);
-                }
-                continue;
+                    .fetch_sub(1, Ordering::Relaxed);
             }
-            self.slots[slot] = Some(SlotEntry {
-                conn,
-                stream: handoff.stream,
-                interest: EPOLLIN,
-            });
-            self.live += 1;
-            self.shared
-                .reactor_stats
-                .worker(self.index)
-                .live_connections
-                .fetch_add(1, Ordering::Relaxed);
-            if counted && !self.shared.idle_timeout.is_zero() {
-                self.wheel.schedule(
-                    Instant::now() + self.shared.idle_timeout,
-                    Timer::Idle {
-                        slot,
-                        gen: self.gens[slot],
-                    },
-                );
-            }
-            // Run one cycle right away: fast clients may already have a
-            // command in the socket buffer, and rejections flush-and-close
-            // without waiting for an event.
-            self.cycle(slot);
+            return;
         }
+        self.slots[slot] = Some(SlotEntry {
+            conn,
+            stream: handoff.stream,
+            interest: EPOLLIN,
+        });
+        self.live += 1;
+        self.shared
+            .reactor_stats
+            .worker(self.index)
+            .live_connections
+            .fetch_add(1, Ordering::Relaxed);
+        if counted && !self.shared.idle_timeout.is_zero() {
+            self.wheel.schedule(
+                now + self.shared.idle_timeout,
+                Timer::Idle {
+                    slot,
+                    gen: self.gens[slot],
+                },
+            );
+        }
+        // Run one cycle right away: fast clients may already have a
+        // command in the socket buffer, and rejections flush-and-close
+        // without waiting for an event.
+        self.cycle(slot, now);
     }
 
     /// One run-to-completion round for a connection: fill from the
     /// socket, process every complete command, flush the coalesced
     /// replies, then re-derive epoll interest.
-    fn cycle(&mut self, slot: usize) {
+    fn cycle(&mut self, slot: usize, now: Instant) {
         let shared = Arc::clone(&self.shared);
         let draining = shared.draining.load(Ordering::SeqCst);
         let worker = self.index;
+        let pool = &mut self.pool;
         let mut resume_at: Option<Instant> = None;
         let after = 'compute: {
             let Some(entry) = self.slots[slot].as_mut() else {
@@ -433,8 +615,8 @@ impl Worker {
                     break 'compute After::Close;
                 }
             }
-            let step = conn.process(&shared);
-            let flushed = match conn.flush_to(&mut entry.stream) {
+            let step = conn.process(&shared, pool, now);
+            let flushed = match conn.flush_to(&mut entry.stream, pool, &shared) {
                 Ok(flushed) => flushed,
                 Err(err) => {
                     kvlog!(LogLevel::Debug, "connection_error", error = err);
@@ -520,7 +702,10 @@ impl Worker {
         // drop, ignoring errors); then dropping the stream closes the fd,
         // which also deregisters it from epoll; the generation bump
         // invalidates in-flight tokens and pending timers.
-        let _ = entry.conn.flush_to(&mut entry.stream);
+        let _ = entry
+            .conn
+            .flush_to(&mut entry.stream, &mut self.pool, &self.shared);
+        entry.conn.recycle_out(&mut self.pool);
         // Spans still awaiting their flushed stamp get it now rather than
         // being lost with the connection.
         entry.conn.finish_spans(&self.shared, self.index);
@@ -563,7 +748,7 @@ impl Worker {
                         && self.gens[slot] == gen
                         && self.slots[slot].is_some()
                     {
-                        self.cycle(slot);
+                        self.cycle(slot, now);
                     }
                 }
                 Timer::DrainTick => {
@@ -590,15 +775,18 @@ impl Worker {
             if let Some(entry) = self.slots[slot].as_mut() {
                 entry.conn.evict_idle(&self.shared);
             }
-            self.cycle(slot);
+            self.cycle(slot, now);
         } else {
             self.wheel.schedule(deadline, Timer::Idle { slot, gen });
         }
     }
 
-    /// Drain housekeeping: close everything closable now, keep a sweep
-    /// tick armed for connections that become closable later.
+    /// Drain housekeeping: close the listener *first* — nothing may be
+    /// accepted after the drain begins — then close everything closable
+    /// now, keeping a sweep tick armed for connections that become
+    /// closable later.
     fn on_draining(&mut self) {
+        self.close_listener();
         let closable: Vec<usize> = self
             .slots
             .iter()
@@ -620,16 +808,21 @@ impl Worker {
         }
     }
 
-    /// The drain deadline passed: forcibly close every remaining
-    /// connection (flushing what we can) and drain the intake.
+    /// The drain deadline passed: close the listener first (no accepts
+    /// after the sever, even if the drain flag was never seen), then
+    /// forcibly close every remaining connection (flushing what we can)
+    /// and drain the intake.
     fn sever_all(&mut self) {
+        self.close_listener();
         for slot in 0..self.slots.len() {
             if let Some(entry) = self.slots[slot].as_mut() {
-                let _ = entry.conn.flush_to(&mut entry.stream);
+                let _ = entry
+                    .conn
+                    .flush_to(&mut entry.stream, &mut self.pool, &self.shared);
                 let _ = entry.stream.shutdown(std::net::Shutdown::Both);
                 self.close(slot, true);
             }
         }
-        self.take_intake();
+        self.take_intake(Instant::now());
     }
 }

@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -33,6 +33,7 @@ use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::metrics::{
     CmdKind, FaultKind, ReactorStats, RecorderSink, RejectCause, ServerMetrics, TelemetryReport,
 };
+use crate::net::epoll::ReusePortListener;
 use crate::protocol::{
     parse_command_limited, Command, SetHeader, SetVerb, StatsScope, DEFAULT_MAX_VALUE_LEN,
 };
@@ -284,6 +285,12 @@ pub struct ServerOptions {
     /// the epoll reactor (kept for one release; the daemon exposes it as
     /// `--legacy-threads`).
     pub legacy_threads: bool,
+    /// Reactor accept fallback: feed every worker from one blocking
+    /// accept thread instead of per-worker `SO_REUSEPORT` listeners (the
+    /// pre-PR 8 intake path; the daemon exposes it as
+    /// `--single-listener`). Ignored under
+    /// [`ServerOptions::legacy_threads`], which always uses one listener.
+    pub single_listener: bool,
     /// Slow-request threshold in microseconds: reactor request spans whose
     /// buffered→flushed time meets or exceeds this are promoted to the
     /// retained slow-request log (dumped by `trace` and `/trace`). `None`
@@ -308,6 +315,7 @@ impl ServerOptions {
             fault_plan: None,
             workers: 0,
             legacy_threads: false,
+            single_listener: false,
             slow_log_us: None,
         }
     }
@@ -415,24 +423,47 @@ impl Server {
     ///
     /// Returns any I/O error from binding either listener.
     pub fn start_with(addr: &str, options: ServerOptions) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
         let policy = options.config.eviction.to_string();
         let shared = Arc::new(Shared::new(&options));
-        let accept_shared = Arc::clone(&shared);
-        let (backend, accept_thread) = if options.legacy_threads {
+        let (backend, accept_thread, local_addr) = if options.legacy_threads {
+            let listener = TcpListener::bind(addr)?;
+            let local_addr = listener.local_addr()?;
+            let accept_shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name("camp-kvs-accept".into())
                 .spawn(move || accept_loop(&listener, &accept_shared))?;
-            (Backend::Legacy, handle)
-        } else {
+            (Backend::Legacy, Some(handle), local_addr)
+        } else if options.single_listener {
+            let listener = TcpListener::bind(addr)?;
+            let local_addr = listener.local_addr()?;
             let workers = resolve_workers(options.workers);
             let reactor = Arc::new(crate::net::reactor::Reactor::start(&shared, workers)?);
+            let accept_shared = Arc::clone(&shared);
             let accept_reactor = Arc::clone(&reactor);
             let handle = std::thread::Builder::new()
                 .name("camp-kvs-accept".into())
                 .spawn(move || accept_loop_reactor(&listener, &accept_shared, &accept_reactor))?;
-            (Backend::Reactor(reactor), handle)
+            (Backend::Reactor(reactor), Some(handle), local_addr)
+        } else {
+            // Default: one SO_REUSEPORT listener per worker, each accepted
+            // inside its owner's event loop — no accept thread at all. The
+            // first bind resolves any ephemeral port; siblings bind the
+            // concrete address so they share the same port group.
+            let workers = resolve_workers(options.workers);
+            let first_addr = addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+            let first = ReusePortListener::bind(first_addr)?;
+            let local_addr = first.local_addr();
+            let mut listeners = vec![first];
+            for _ in 1..workers {
+                listeners.push(ReusePortListener::bind(local_addr)?);
+            }
+            let reactor = Arc::new(crate::net::reactor::Reactor::start_with_listeners(
+                &shared, listeners,
+            )?);
+            (Backend::Reactor(reactor), None, local_addr)
         };
         let (metrics_addr, metrics_thread) = match options.metrics_addr.as_deref() {
             Some(addr) => {
@@ -458,7 +489,7 @@ impl Server {
             shared,
             local_addr,
             metrics_addr,
-            accept_thread: Some(accept_thread),
+            accept_thread,
             metrics_thread,
             backend,
         })
@@ -564,8 +595,12 @@ impl Server {
     fn signal_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         kvlog!(LogLevel::Info, "server_stopping", addr = self.local_addr);
-        // Unblock the accept loops.
-        let _ = TcpStream::connect(self.local_addr);
+        // Unblock the accept thread, when one exists. The multi-listener
+        // path has none: workers observe the flag on their next wakeup
+        // (the caller follows with `wake_all` / `sever_and_join`).
+        if self.accept_thread.is_some() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
         if let Some(addr) = self.metrics_addr {
             let _ = TcpStream::connect(addr);
         }
@@ -583,10 +618,10 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
             self.signal_shutdown();
-            self.join_threads();
         }
+        self.join_threads();
         // After shutdown_with_drain the workers are already joined; this
         // covers a Server dropped without an explicit shutdown.
         if let Backend::Reactor(reactor) = &self.backend {
@@ -1202,6 +1237,7 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         eviction_costs: shared.recorder.eviction_cost_snapshot(),
         l_values: shared.recorder.l_value_snapshot(),
         reactor_workers: shared.reactor_stats.snapshot(),
+        flush_segments: shared.metrics.flush_segments.snapshot(),
         shards,
     }
 }

@@ -200,13 +200,11 @@ fn slowloris_client_is_evicted_at_the_idle_deadline() {
 
 /// A 100-connection burst against an 8-connection cap: every connection
 /// past the cap gets an explicit `SERVER_ERROR` (never a silent stall)
-/// and the rejection counter matches exactly.
-#[test]
-fn connection_burst_past_max_conns_is_rejected_explicitly() {
-    let server = start(ServerOptions {
-        max_conns: 8,
-        ..base_options()
-    });
+/// and the rejection counter matches exactly. Shared by the per-worker
+/// SO_REUSEPORT intake path and the single-accept-thread fallback — the
+/// accept-side reservation accounting must be identical on both.
+fn burst_rejects_exactly_92(options: ServerOptions) {
+    let server = start(options);
     let addr = server.local_addr();
     let mut streams = Vec::new();
     for _ in 0..100 {
@@ -263,6 +261,81 @@ fn connection_burst_past_max_conns_is_rejected_explicitly() {
     drop(held);
     drop(conn);
     server.shutdown();
+}
+
+/// The burst on the default intake path: two reactor workers, each with
+/// its own SO_REUSEPORT listener. The cap is one shared counter, so the
+/// 8/92 split must hold exactly no matter which listener the kernel
+/// routes each connection to.
+#[test]
+fn connection_burst_past_max_conns_is_rejected_explicitly() {
+    burst_rejects_exactly_92(ServerOptions {
+        max_conns: 8,
+        workers: 2,
+        ..base_options()
+    });
+}
+
+/// The same burst through the `--single-listener` fallback: one blocking
+/// accept thread feeding both workers must account identically.
+#[test]
+fn connection_burst_is_rejected_identically_on_the_single_listener_path() {
+    burst_rejects_exactly_92(ServerOptions {
+        max_conns: 8,
+        workers: 2,
+        single_listener: true,
+        ..base_options()
+    });
+}
+
+/// Once a drain begins, the per-worker listeners close before anything
+/// else happens: a connection arriving mid-drain is either refused
+/// outright or, if it sneaks into the kernel backlog, never served.
+#[test]
+fn no_connection_is_accepted_after_the_drain_begins() {
+    let server = start(ServerOptions {
+        workers: 2,
+        ..base_options()
+    });
+    let addr = server.local_addr();
+    // A stuck connection (announced data block, missing bytes) holds the
+    // drain open until the deadline severs it.
+    let mut stuck = TcpStream::connect(addr).unwrap();
+    stuck.write_all(b"set stuck 0 0 5\r\nwor").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let handle = std::thread::spawn(move || server.shutdown_with_drain(Duration::from_millis(600)));
+    // Well inside the drain window: every worker has observed the drain
+    // flag and closed its listener.
+    std::thread::sleep(Duration::from_millis(200));
+    match TcpStream::connect(addr) {
+        // Refused: the listening sockets are gone — the strong outcome.
+        Err(_) => {}
+        // A race with lingering kernel state can still complete the TCP
+        // handshake; the server must then never speak to the socket.
+        Ok(mut late) => {
+            late.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let _ = late.write_all(b"version\r\n");
+            let mut response = Vec::new();
+            let mut buf = [0u8; 256];
+            loop {
+                match late.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => response.extend_from_slice(&buf[..n]),
+                    Err(_) => break, // timeout: nothing ever arrived
+                }
+            }
+            let text = String::from_utf8_lossy(&response);
+            assert!(
+                !text.contains("VERSION"),
+                "a connection was served after the drain began: {text:?}"
+            );
+        }
+    }
+    let report = handle.join().expect("drain thread");
+    assert_eq!(report.severed, 1, "{report:?}");
+    // The severed client observes the connection ending.
+    let mut buf = [0u8; 16];
+    assert_eq!(stuck.read(&mut buf).unwrap_or(0), 0);
 }
 
 /// A `set` announcing a data block over the value cap is refused with an

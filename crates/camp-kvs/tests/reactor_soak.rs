@@ -72,12 +72,12 @@ fn stat_value(addr: std::net::SocketAddr, name: &str) -> Option<u64> {
 
 /// Ten thousand concurrent connections through the reactor: a separate
 /// `camp-loadgen` process multiplexes 10k connections over 8 threads
-/// (`--threads`, this PR's loadgen extension), the run completes with at
-/// most a sliver of dial-storm casualties, and the server accounts for
-/// every accept. Skips where RLIMIT_NOFILE cannot hold one fd per
-/// connection plus headroom in each process.
-#[test]
-fn ten_thousand_connection_soak_over_the_reactor() {
+/// (`--threads`), the run completes with at most a sliver of dial-storm
+/// casualties, and the server accounts for every accept. Skips where
+/// RLIMIT_NOFILE cannot hold one fd per connection plus headroom in each
+/// process. Runs on both intake paths: per-worker SO_REUSEPORT listeners
+/// (the default) and the single-accept-thread fallback.
+fn ten_thousand_connection_soak(single_listener: bool) {
     let needed = SOAK_CONNS as u64 + 512;
     match max_open_files() {
         Some(limit) if limit >= needed => {}
@@ -96,6 +96,7 @@ fn ten_thousand_connection_soak_over_the_reactor() {
     let server = start(ServerOptions {
         max_conns: 0, // unlimited: the soak itself is the cap test's opposite
         workers: 2,
+        single_listener,
         ..base_options()
     });
     let addr = server.local_addr();
@@ -174,6 +175,20 @@ fn ten_thousand_connection_soak_over_the_reactor() {
 
     let report = server.shutdown_with_drain(Duration::from_secs(5));
     assert!(report.is_clean(), "drain not clean: {report:?}");
+}
+
+/// The soak on the default intake path: each of the two workers accepts
+/// from its own SO_REUSEPORT listener.
+#[test]
+fn ten_thousand_connection_soak_over_the_reactor() {
+    ten_thousand_connection_soak(false);
+}
+
+/// The soak through the `--single-listener` fallback: one blocking accept
+/// thread hands all ten thousand connections across to the workers.
+#[test]
+fn ten_thousand_connection_soak_over_the_single_listener_path() {
+    ten_thousand_connection_soak(true);
 }
 
 /// The `legacy_threads` engine (one thread per connection) still serves a

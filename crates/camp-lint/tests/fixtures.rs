@@ -96,6 +96,31 @@ fn unsafe_sanctuary_is_path_exact() {
     }
 }
 
+#[test]
+fn unsafe_listener_syscalls_are_confined_to_the_epoll_shim() {
+    // The listener syscall family (socket/setsockopt/bind/listen/accept4)
+    // joined the epoll shim; the same shapes anywhere else still fire.
+    let snippets = [
+        "fn mk() -> i32 { unsafe { socket(2, 1 | 0o4000, 0) } }\n",
+        "fn reuse(fd: i32, on: &u32) -> i32 {\n    unsafe { setsockopt(fd, 1, 15, (on as *const u32).cast(), 4) }\n}\n",
+        "fn take(fd: i32) -> i32 { unsafe { accept4(fd, std::ptr::null_mut(), std::ptr::null_mut(), 0o4000) } }\n",
+    ];
+    for snippet in snippets {
+        assert_clean("crates/camp-kvs/src/net/epoll.rs", snippet);
+        assert_fires("unsafe-outside-signals", KVS_LIB, snippet);
+        assert_fires(
+            "unsafe-outside-signals",
+            "crates/camp-kvs/src/net/listener.rs",
+            snippet,
+        );
+        assert_fires(
+            "unsafe-outside-signals",
+            "crates/camp-core/src/net/epoll.rs",
+            snippet,
+        );
+    }
+}
+
 // -- raw-mutex-lock ---------------------------------------------------------
 
 #[test]
