@@ -6,7 +6,8 @@
 //!           [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]
 //!           [--idle-secs N] [--drain-secs N] [--chaos SPEC]
 //!           [--workers N] [--legacy-threads] [--single-listener]
-//!           [--slow-log MICROS]
+//!           [--slow-log MICROS] [--data-dir PATH]
+//!           [--fsync always|interval|never] [--segment-bytes N]
 //! ```
 //!
 //! Connections are served by an in-process epoll reactor: `--workers`
@@ -38,6 +39,16 @@
 //! latency reaches the threshold in a separate slow ring that fast
 //! traffic cannot overwrite (`--slow-log 0` retains everything).
 //!
+//! `--data-dir` turns on crash-safe durability: every acknowledged
+//! mutation is appended to a checksummed log under PATH, and a restart
+//! pointed at the same directory replays the log — values, flags, TTLs
+//! and CAMP costs intact — before the listeners open. `--fsync` picks
+//! the durability level (`always` = every acknowledged write survives
+//! SIGKILL; `interval` = bounded loss, the default; `never` = page
+//! cache decides) and `--segment-bytes` the rotation/compaction
+//! granularity. Without `--data-dir` the server is a pure cache and the
+//! request path is byte-identical to previous releases.
+//!
 //! The daemon exits gracefully on SIGTERM/SIGINT: the listener closes
 //! immediately, in-flight commands complete, and connections still busy
 //! after `--drain-secs` are severed. A clean drain (and even a forced
@@ -52,6 +63,7 @@ use std::time::Duration;
 
 use camp_core::Precision;
 use camp_kvs::fault::FaultPlan;
+use camp_kvs::persist::{FsyncMode, PersistOptions, MIN_SEGMENT_BYTES};
 use camp_kvs::server::{Server, ServerOptions};
 use camp_kvs::signals::SignalWatcher;
 use camp_kvs::slab::SlabConfig;
@@ -60,7 +72,7 @@ use camp_telemetry::{kvlog, LogLevel};
 
 fn usage() -> String {
     format!(
-        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads] [--single-listener]\n                 [--slow-log MICROS]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given;\n  GET /trace dumps the flight recorder)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--single-listener accepts on one blocking thread instead of per-worker\n  SO_REUSEPORT listeners (the pre-multi-listener reactor intake path)\n--slow-log retains requests at least MICROS us end-to-end in the slow ring\n  (0 retains everything; omit to disable the slow log)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
+        "usage: camp-kvsd [--listen ADDR] [--memory-mb N] [--policy SPEC]\n                 [--shards N] [--slab-kb N] [--metrics-addr ADDR]\n                 [--log-level LEVEL] [--max-conns N] [--max-value-bytes N]\n                 [--idle-secs N] [--drain-secs N] [--chaos SPEC]\n                 [--workers N] [--legacy-threads] [--single-listener]\n                 [--slow-log MICROS] [--data-dir PATH]\n                 [--fsync always|interval|never] [--segment-bytes N]\n\ndefaults: --listen 127.0.0.1:11311 --memory-mb 64 --policy camp:5\n          --shards 1 --slab-kb 1024 --log-level info --max-conns 1024\n          --max-value-bytes 1048576 --idle-secs 60 --drain-secs 5\n          --workers 0 (auto: one per core, capped at 8)\n          --fsync interval --segment-bytes 67108864\n\n--metrics-addr serves a Prometheus text exposition over HTTP (off unless given;\n  GET /trace dumps the flight recorder)\n--max-conns caps simultaneous connections (0 = unlimited); excess accepts get\n  an explicit SERVER_ERROR and are closed\n--idle-secs evicts connections idle past N seconds (0 disables)\n--drain-secs bounds the graceful drain after SIGTERM/SIGINT\n--chaos injects deterministic faults, e.g. drop=0.02,delay=1ms@0.5,err=0.01,seed=7\n  (iowrite=P, fsync=P, enospc=P add disk faults when --data-dir is set)\n--workers sets the epoll reactor's event-loop thread count (0 = auto)\n--legacy-threads serves each connection on its own thread (pre-reactor engine)\n--single-listener accepts on one blocking thread instead of per-worker\n  SO_REUSEPORT listeners (the pre-multi-listener reactor intake path)\n--slow-log retains requests at least MICROS us end-to-end in the slow ring\n  (0 retains everything; omit to disable the slow log)\n--data-dir appends every acknowledged mutation to a checksummed log under PATH\n  and replays it on restart (omit for a pure in-memory cache)\n--fsync picks the durability level for --data-dir (always|interval|never)\n--segment-bytes rotates the append log at N bytes (min 4096)\n--log-level is one of {}\n\n{}\n(legacy flags --eviction camp|lru and --precision N|inf are still accepted)\n",
         LogLevel::HELP,
         EvictionMode::HELP
     )
@@ -84,6 +96,9 @@ fn main() -> ExitCode {
     let mut legacy_threads = false;
     let mut single_listener = false;
     let mut slow_log_us: Option<u64> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncMode::default();
+    let mut segment_bytes: u64 = 64 << 20;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -167,6 +182,22 @@ fn main() -> ExitCode {
                             .map_err(|_| "bad --slow-log".to_owned())?,
                     );
                 }
+                "--data-dir" => data_dir = Some(value("--data-dir")?),
+                "--fsync" => {
+                    fsync = value("--fsync")?
+                        .parse()
+                        .map_err(|e| format!("bad --fsync: {e}"))?;
+                }
+                "--segment-bytes" => {
+                    segment_bytes = value("--segment-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --segment-bytes".to_owned())?;
+                    if segment_bytes < MIN_SEGMENT_BYTES {
+                        return Err(format!(
+                            "--segment-bytes must be at least {MIN_SEGMENT_BYTES}"
+                        ));
+                    }
+                }
                 "--log-level" => {
                     let level: LogLevel = value("--log-level")?
                         .parse()
@@ -216,6 +247,15 @@ fn main() -> ExitCode {
     };
 
     let chaos_banner = chaos.as_ref().map(ToString::to_string);
+    let persist = data_dir.as_ref().map(|dir| {
+        let mut popts = PersistOptions::new(dir);
+        popts.fsync = fsync;
+        popts.segment_bytes = segment_bytes;
+        popts
+    });
+    let persist_banner = persist
+        .as_ref()
+        .map_or_else(|| "disabled".to_owned(), |p| p.fsync.to_string());
     let options = ServerOptions {
         config,
         shards: shards.max(1),
@@ -228,6 +268,7 @@ fn main() -> ExitCode {
         legacy_threads,
         single_listener,
         slow_log_us,
+        persist,
     };
     let server = match Server::start_with(&listen, options) {
         Ok(server) => server,
@@ -255,6 +296,7 @@ fn main() -> ExitCode {
         } else {
             "reactor"
         },
+        persist = persist_banner,
     );
     if let Some(addr) = server.metrics_addr() {
         kvlog!(LogLevel::Info, "metrics_exposition", addr = addr);

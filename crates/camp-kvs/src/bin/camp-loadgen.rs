@@ -5,7 +5,7 @@
 //!              [--pipeline DEPTH]
 //!              [--duration-secs S] [--warmup-secs S] [--get-ratio R]
 //!              [--keys N] [--value-bytes N] [--seed N]
-//!              [--retries N] [--expect-errors]
+//!              [--retries N] [--expect-errors] [--verify]
 //!              [--worker-sweep LIST] [--server-bin PATH]
 //!              [--out FILE] [--label TEXT]
 //! ```
@@ -41,6 +41,16 @@
 //! the error/retry/reconnect counts land in the report's `resilience`
 //! object and the process still exits 0 — only a run that completes zero
 //! ops fails.
+//!
+//! `--verify` adds a read-back pass after the measured phase: a
+//! deterministic sample of the keyspace (up to 2000 keys, spread evenly)
+//! is fetched over a fresh connection and every returned value is
+//! byte-compared against the canonical payload. Misses are reported
+//! separately from mismatches — after a crash under `--fsync interval` a
+//! *missing* recent key is bounded loss, but a *mismatched* value is
+//! corruption and fails the run. With `--duration-secs 0` the loadgen
+//! skips prefill and measurement entirely and runs verification alone:
+//! the read-your-crashed-writes check a recovery harness wants.
 //!
 //! The report is written to `--out` (default `BENCH_server.json`):
 //! ops/sec, p50/p90/p99/max per command class, hit ratio, error and
@@ -82,6 +92,7 @@ struct Config {
     seed: u64,
     retries: u32,
     expect_errors: bool,
+    verify: bool,
     worker_sweep: Option<Vec<usize>>,
     server_bin: Option<String>,
     out: String,
@@ -103,6 +114,7 @@ impl Default for Config {
             seed: 42,
             retries: 0,
             expect_errors: false,
+            verify: false,
             worker_sweep: None,
             server_bin: None,
             out: "BENCH_server.json".to_owned(),
@@ -112,7 +124,7 @@ impl Default for Config {
 }
 
 fn usage() -> &'static str {
-    "usage: camp-loadgen [--addr ADDR] [--connections N] [--threads N]\n                    [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors]\n                    [--worker-sweep LIST] [--server-bin PATH]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --threads 0 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--threads N multiplexes the connections over N threads (0 = one thread per\n  connection); lets one machine hold thousands of server connections open\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n--worker-sweep 1,2,4 spawns one camp-kvsd per worker count on an ephemeral\n  port, runs the workload against each, and reports a scaling table (ops/s,\n  speedup, parallel efficiency); --addr is ignored\n--server-bin PATH the camp-kvsd to spawn in sweep mode (default: the\n  camp-kvsd binary next to camp-loadgen)\n"
+    "usage: camp-loadgen [--addr ADDR] [--connections N] [--threads N]\n                    [--pipeline DEPTH]\n                    [--duration-secs S] [--warmup-secs S] [--get-ratio R]\n                    [--keys N] [--value-bytes N] [--seed N]\n                    [--retries N] [--expect-errors] [--verify]\n                    [--worker-sweep LIST] [--server-bin PATH]\n                    [--out FILE] [--label TEXT]\n\ndefaults: --addr 127.0.0.1:11311 --connections 4 --threads 0 --pipeline 16\n          --duration-secs 5 --warmup-secs 0.5 --get-ratio 0.9\n          --keys 10000 --value-bytes 100 --seed 42 --retries 0\n          --out BENCH_server.json\n\n--threads N multiplexes the connections over N threads (0 = one thread per\n  connection); lets one machine hold thousands of server connections open\n--retries N re-issues a failed batch up to N times over a fresh connection\n--expect-errors records errors/retries/reconnects in the report instead of\n  treating them as suspicious (for runs against a --chaos server); the exit\n  code stays 0 unless zero ops completed\n--verify reads back a deterministic keyspace sample after the run and\n  byte-compares every returned value; any mismatch fails the run. With\n  --duration-secs 0 the verification pass runs alone (no prefill, no\n  measurement) — the read-back check for crash-recovery harnesses\n--worker-sweep 1,2,4 spawns one camp-kvsd per worker count on an ephemeral\n  port, runs the workload against each, and reports a scaling table (ops/s,\n  speedup, parallel efficiency); --addr is ignored and --verify is skipped\n--server-bin PATH the camp-kvsd to spawn in sweep mode (default: the\n  camp-kvsd binary next to camp-loadgen)\n"
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -176,6 +188,7 @@ fn parse_args() -> Result<Config, String> {
                     .map_err(|_| "bad --retries".to_owned())?;
             }
             "--expect-errors" => config.expect_errors = true,
+            "--verify" => config.verify = true,
             "--worker-sweep" => {
                 let list = value("--worker-sweep")?;
                 let counts = list
@@ -440,6 +453,76 @@ fn run_batch(
     read_batch(conn, ops, line, skip)
 }
 
+/// What the `--verify` read-back pass found.
+#[derive(Debug, Clone, Copy, Default)]
+struct VerifyStats {
+    /// Keys fetched and compared.
+    checked: u64,
+    /// Values returned with the wrong bytes (corruption — always fatal).
+    mismatched: u64,
+    /// Keys the server no longer has (bounded loss after a crash under
+    /// `--fsync interval`; not an error).
+    missing: u64,
+}
+
+/// Fetches a deterministic, evenly-spread sample of the keyspace (up to
+/// 2000 keys) over one fresh connection and byte-compares each returned
+/// value against the canonical payload. The VALUE header is parsed
+/// strictly — an unexpected key, a bad length, or wrong data bytes all
+/// count as a mismatch.
+fn verify(config: &Config, value: &[u8]) -> io::Result<VerifyStats> {
+    let mut conn = connect(&config.addr)?;
+    let sample = config.keys.min(2000);
+    let mut stats = VerifyStats::default();
+    let mut request = Vec::new();
+    let mut expected_key = Vec::new();
+    let mut line = Vec::new();
+    let mut data = vec![0u8; value.len() + 2];
+    for i in 0..sample {
+        let id = i * config.keys / sample;
+        request.clear();
+        request.extend_from_slice(b"get ");
+        push_key(&mut request, id);
+        request.extend_from_slice(b"\r\n");
+        conn.writer.write_all(&request)?;
+        expected_key.clear();
+        push_key(&mut expected_key, id);
+        stats.checked += 1;
+
+        read_line(&mut conn.reader, &mut line)?;
+        if line == b"END" {
+            stats.missing += 1;
+            continue;
+        }
+        // Strict header: VALUE <key> <flags> <len>, our key, our length.
+        let mut tokens = line.split(|&b| b == b' ');
+        let well_formed = tokens.next() == Some(b"VALUE")
+            && tokens.next() == Some(expected_key.as_slice())
+            && tokens.next().is_some()
+            && tokens.next().and_then(|t| {
+                std::str::from_utf8(t)
+                    .ok()
+                    .and_then(|t| t.parse::<usize>().ok())
+            }) == Some(value.len())
+            && tokens.next().is_none();
+        if !well_formed {
+            stats.mismatched += 1;
+            // The reply is in an unknown shape; re-dial rather than guess
+            // at how many bytes to skip.
+            conn = connect(&config.addr)?;
+            continue;
+        }
+        conn.reader.read_exact(&mut data)?;
+        let matches = &data[..value.len()] == value && &data[value.len()..] == b"\r\n";
+        read_line(&mut conn.reader, &mut line)?;
+        if !matches || line != b"END" {
+            stats.mismatched += 1;
+        }
+    }
+    let _ = conn.writer.write_all(b"quit\r\n");
+    Ok(stats)
+}
+
 /// One multiplexed connection: the socket plus the batch it has in
 /// flight. A worker thread owns several of these and keeps a batch on
 /// the wire on every one of them at all times.
@@ -638,6 +721,22 @@ impl RunStats {
             0.0
         }
     }
+
+    /// The all-zero stats a pure-verify run (`--verify --duration-secs 0`)
+    /// reports in place of a measured phase.
+    fn empty() -> RunStats {
+        RunStats {
+            elapsed_secs: 0.0,
+            total_ops: 0,
+            hit_ratio: 0.0,
+            errors: 0,
+            batch_retries: 0,
+            reconnects: 0,
+            trajectory: Vec::new(),
+            get_snap: Histogram::new().snapshot(),
+            set_snap: Histogram::new().snapshot(),
+        }
+    }
 }
 
 /// Runs the full measured phase against `config.addr`: spawns the worker
@@ -761,6 +860,7 @@ fn render_report(
     hit_ratio: f64,
     errors: u64,
     resilience: (u64, u64),
+    verify: Option<VerifyStats>,
     trajectory: &[(f64, u64, f64)],
     get_snap: &HistogramSnapshot,
     set_snap: &HistogramSnapshot,
@@ -771,6 +871,14 @@ fn render_report(
         0.0
     };
     let (batch_retries, reconnects) = resilience;
+    let v = verify.unwrap_or_default();
+    let verify_json = format!(
+        "{{\"enabled\": {}, \"checked\": {}, \"mismatched\": {}, \"missing\": {}}}",
+        verify.is_some(),
+        v.checked,
+        v.mismatched,
+        v.missing,
+    );
     let samples: Vec<String> = trajectory
         .iter()
         .map(|&(t, cumulative, rate)| {
@@ -780,7 +888,7 @@ fn render_report(
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"threads\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}, \"retries\": {}, \"expect_errors\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"resilience\": {{\"batch_retries\": {batch_retries}, \"reconnects\": {reconnects}}},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
+        "{{\n  \"bench\": \"camp-loadgen\",\n  \"label\": \"{}\",\n  \"addr\": \"{}\",\n  \"config\": {{\"connections\": {}, \"threads\": {}, \"pipeline\": {}, \"get_ratio\": {}, \"keys\": {}, \"value_bytes\": {}, \"duration_secs\": {}, \"warmup_secs\": {}, \"seed\": {}, \"retries\": {}, \"expect_errors\": {}}},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"total_ops\": {total_ops},\n  \"ops_per_sec\": {ops_per_sec:.1},\n  \"hit_ratio\": {hit_ratio:.4},\n  \"errors\": {errors},\n  \"resilience\": {{\"batch_retries\": {batch_retries}, \"reconnects\": {reconnects}}},\n  \"verify\": {verify_json},\n  \"commands\": {{{}, {}}},\n  \"trajectory\": [{}]\n}}\n",
         escape_json(&config.label),
         escape_json(&config.addr),
         config.connections,
@@ -974,14 +1082,35 @@ fn main() -> ExitCode {
         return run_worker_sweep(&config, &sweep);
     }
     let value = Arc::new(vec![b'x'; config.value_bytes]);
-    if let Err(err) = prefill(&config, &value) {
-        eprintln!(
-            "camp-loadgen: prefill against {} failed: {err}",
-            config.addr
-        );
-        return ExitCode::FAILURE;
-    }
-    let stats = measure(&config, &value);
+    // `--verify --duration-secs 0` is a pure read-back pass: nothing is
+    // written, so a recovery harness can check exactly what survived.
+    let pure_verify = config.verify && config.duration_secs <= 0.0;
+    let stats = if pure_verify {
+        RunStats::empty()
+    } else {
+        if let Err(err) = prefill(&config, &value) {
+            eprintln!(
+                "camp-loadgen: prefill against {} failed: {err}",
+                config.addr
+            );
+            return ExitCode::FAILURE;
+        }
+        measure(&config, &value)
+    };
+    let verify_stats = if config.verify {
+        match verify(&config, &value) {
+            Ok(found) => Some(found),
+            Err(err) => {
+                eprintln!(
+                    "camp-loadgen: verify pass against {} failed: {err}",
+                    config.addr
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let report = render_report(
         &config,
         stats.elapsed_secs,
@@ -989,6 +1118,7 @@ fn main() -> ExitCode {
         stats.hit_ratio,
         stats.errors,
         (stats.batch_retries, stats.reconnects),
+        verify_stats,
         &stats.trajectory,
         &stats.get_snap,
         &stats.set_snap,
@@ -1020,8 +1150,27 @@ fn main() -> ExitCode {
             stats.batch_retries, stats.reconnects
         );
     }
+    if let Some(v) = verify_stats {
+        println!(
+            "  verify: {} checked, {} mismatched, {} missing",
+            v.checked, v.mismatched, v.missing
+        );
+    }
     println!("  report written to {}", config.out);
-    if stats.total_ops == 0 {
+    if let Some(v) = verify_stats {
+        if v.mismatched > 0 {
+            eprintln!(
+                "camp-loadgen: verify found {} mismatched values",
+                v.mismatched
+            );
+            return ExitCode::FAILURE;
+        }
+        if pure_verify && v.checked == 0 {
+            eprintln!("camp-loadgen: verify-only run checked no keys");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !pure_verify && stats.total_ops == 0 {
         eprintln!("camp-loadgen: no operations completed");
         return ExitCode::FAILURE;
     }

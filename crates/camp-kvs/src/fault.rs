@@ -19,11 +19,20 @@
 //!                 P (default 1). DUR takes us/ms/s suffixes: 500us, 1ms, 2s
 //! err=P           probability per command of replying
 //!                 "SERVER_ERROR injected fault" instead of executing
+//! iowrite=P       probability per persistence-log write of an injected
+//!                 short write + EIO (see [`crate::persist`])
+//! fsync=P         probability per persistence-log fsync of a failure
+//! enospc=P        probability per persistence-log write of ENOSPC
 //! seed=N          RNG seed (default 0xC0FFEE); each connection derives
 //!                 its own stream from seed ^ connection id
 //! ```
 //!
 //! Example: `drop=0.02,delay=1ms@0.5,err=0.01,seed=7`.
+//!
+//! The three disk clauses only take effect when the server runs with
+//! `--data-dir`: they drive the [`FaultFs`](crate::persist::FaultFs)
+//! backend under the append-only log, exercising the degraded-state
+//! machine the same way `drop`/`err`/`delay` exercise the network path.
 //!
 //! Faults are decided *after* a `set`'s data block is read, so an injected
 //! error or delay never desynchronizes the protocol stream; only `drop`
@@ -61,8 +70,24 @@ pub struct FaultPlan {
     pub delay_rate: f64,
     /// Probability per command of a forced `SERVER_ERROR` reply.
     pub error_rate: f64,
+    /// Probability per persistence-log write of a short write + `EIO`.
+    pub iowrite_rate: f64,
+    /// Probability per persistence-log fsync of a failure.
+    pub fsync_fail_rate: f64,
+    /// Probability per persistence-log write of `ENOSPC`.
+    pub enospc_rate: f64,
     /// Base RNG seed; per-connection streams derive from it.
     pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Whether any disk clause (`iowrite`/`fsync`/`enospc`) is active —
+    /// i.e. whether the persistence layer should wrap its backend in
+    /// [`FaultFs`](crate::persist::FaultFs).
+    #[must_use]
+    pub fn has_disk_faults(&self) -> bool {
+        self.iowrite_rate > 0.0 || self.fsync_fail_rate > 0.0 || self.enospc_rate > 0.0
+    }
 }
 
 impl Default for FaultPlan {
@@ -72,6 +97,9 @@ impl Default for FaultPlan {
             delay: Duration::ZERO,
             delay_rate: 0.0,
             error_rate: 0.0,
+            iowrite_rate: 0.0,
+            fsync_fail_rate: 0.0,
+            enospc_rate: 0.0,
             seed: DEFAULT_SEED,
         }
     }
@@ -116,6 +144,9 @@ impl FromStr for FaultPlan {
             match key {
                 "drop" => plan.drop_rate = parse_probability(value, clause)?,
                 "err" => plan.error_rate = parse_probability(value, clause)?,
+                "iowrite" => plan.iowrite_rate = parse_probability(value, clause)?,
+                "fsync" => plan.fsync_fail_rate = parse_probability(value, clause)?,
+                "enospc" => plan.enospc_rate = parse_probability(value, clause)?,
                 "delay" => match value.split_once('@') {
                     Some((dur, p)) => {
                         plan.delay = parse_duration(dur, clause)?;
@@ -142,11 +173,14 @@ impl std::fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "drop={},delay={}us@{},err={},seed={}",
+            "drop={},delay={}us@{},err={},iowrite={},fsync={},enospc={},seed={}",
             self.drop_rate,
             self.delay.as_micros(),
             self.delay_rate,
             self.error_rate,
+            self.iowrite_rate,
+            self.fsync_fail_rate,
+            self.enospc_rate,
             self.seed
         )
     }
@@ -225,6 +259,22 @@ mod tests {
     }
 
     #[test]
+    fn parses_disk_fault_clauses() {
+        let plan: FaultPlan = "iowrite=0.1,fsync=0.2,enospc=0.3,seed=11".parse().unwrap();
+        assert_eq!(plan.iowrite_rate, 0.1);
+        assert_eq!(plan.fsync_fail_rate, 0.2);
+        assert_eq!(plan.enospc_rate, 0.3);
+        assert_eq!(plan.seed, 11);
+        assert!(plan.has_disk_faults());
+        // Network clauses stay at their defaults.
+        assert_eq!(plan.drop_rate, 0.0);
+        assert_eq!(plan.error_rate, 0.0);
+        // A pure-network plan reports no disk faults.
+        let net: FaultPlan = "drop=0.5,err=0.5".parse().unwrap();
+        assert!(!net.has_disk_faults());
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         assert!("drop=1.5".parse::<FaultPlan>().is_err());
         assert!("drop=abc".parse::<FaultPlan>().is_err());
@@ -232,6 +282,9 @@ mod tests {
         assert!("delay=1ms@2".parse::<FaultPlan>().is_err());
         assert!("bogus=1".parse::<FaultPlan>().is_err());
         assert!("drop".parse::<FaultPlan>().is_err());
+        assert!("iowrite=2".parse::<FaultPlan>().is_err());
+        assert!("fsync=x".parse::<FaultPlan>().is_err());
+        assert!("enospc=-0.1".parse::<FaultPlan>().is_err());
     }
 
     #[test]
@@ -267,5 +320,10 @@ mod tests {
         let plan: FaultPlan = "drop=0.02,delay=1ms@0.5,err=0.01,seed=7".parse().unwrap();
         let round: FaultPlan = plan.to_string().parse().unwrap();
         assert_eq!(plan, round);
+        let disk: FaultPlan = "iowrite=0.25,fsync=0.5,enospc=0.125,seed=3"
+            .parse()
+            .unwrap();
+        let round: FaultPlan = disk.to_string().parse().unwrap();
+        assert_eq!(disk, round);
     }
 }

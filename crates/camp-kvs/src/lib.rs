@@ -23,6 +23,9 @@
 //!   thread-per-connection behind `legacy_threads`; graceful drain,
 //!   overload protection, idle eviction) and a blocking client with
 //!   reconnect/retry resilience;
+//! * [`persist`] — crash-safe durability: a checksummed append-only log
+//!   with rotating segments, warm restarts that rebuild CAMP costs, and
+//!   graceful degradation when the disk is sick;
 //! * [`fault`] — deterministic fault injection for chaos testing;
 //! * [`signals`] — dependency-free SIGTERM/SIGINT handling (self-pipe);
 //! * [`replay`] — the §4 trace-replay driver behind Figures 9a–9c.
@@ -62,6 +65,7 @@ pub mod fault;
 pub mod item;
 pub mod metrics;
 pub mod net;
+pub mod persist;
 pub mod protocol;
 pub mod replay;
 pub mod resp;

@@ -19,6 +19,7 @@ use camp_telemetry::{
     EvictionTrace, Exposition, FlightRecorder, Histogram, HistogramSnapshot, MetricKind,
 };
 
+use crate::persist::PersistSnapshot;
 use crate::shard::ShardSnapshot;
 use crate::store::StoreStats;
 
@@ -479,6 +480,8 @@ pub struct TelemetryReport {
     pub reactor_workers: Vec<WorkerStatsSnapshot>,
     /// Distribution of segments batched per scatter-gather flush call.
     pub flush_segments: HistogramSnapshot,
+    /// Durability engine counters; `None` when `--data-dir` is unset.
+    pub persist: Option<PersistSnapshot>,
 }
 
 impl TelemetryReport {
@@ -647,6 +650,23 @@ impl TelemetryReport {
             "STAT trace:l_value_p50 {}",
             self.l_values.quantile(0.5)
         ));
+        match &self.persist {
+            None => lines.push("STAT persist:state disabled".to_owned()),
+            Some(p) => {
+                lines.push(format!("STAT persist:state {}", p.state));
+                lines.push(format!("STAT persist:errors {}", p.errors));
+                lines.push(format!("STAT persist:bytes {}", p.bytes));
+                lines.push(format!("STAT persist:fsyncs {}", p.fsyncs));
+                lines.push(format!("STAT persist:records {}", p.records));
+                lines.push(format!("STAT persist:dropped {}", p.dropped));
+                lines.push(format!("STAT persist:recovered {}", p.recovered));
+                lines.push(format!("STAT persist:quarantined {}", p.quarantined));
+                lines.push(format!("STAT persist:torn_bytes {}", p.torn_bytes));
+                lines.push(format!("STAT persist:snapshots {}", p.snapshots));
+                lines.push(format!("STAT persist:rearms {}", p.rearms));
+                lines.push(format!("STAT persist:segments {}", p.segments));
+            }
+        }
         lines.extend(self.profile_lines());
         lines
     }
@@ -1105,6 +1125,63 @@ impl TelemetryReport {
             &[],
             &self.flush_segments,
         );
+
+        // Durability families are emitted even with persistence disabled so
+        // the schema is stable; `camp_persist_state` disambiguates.
+        exp.family(
+            "camp_persist_state",
+            "durability engine state (0=disabled, 1=active, 2=degraded)",
+            MetricKind::Gauge,
+        );
+        let state_code = match self.persist.as_ref().map(|p| p.state) {
+            None => 0,
+            Some("degraded") => 2,
+            Some(_) => 1,
+        };
+        exp.int_value("camp_persist_state", &[], state_code);
+        let p = self.persist.clone().unwrap_or_default();
+        let persist_counters: [(&str, &str, u64); 6] = [
+            (
+                "camp_persist_errors_total",
+                "append-log I/O errors (append, fsync, repair)",
+                p.errors,
+            ),
+            (
+                "camp_persist_bytes_total",
+                "bytes appended to the durability log",
+                p.bytes,
+            ),
+            (
+                "camp_persist_fsyncs_total",
+                "successful fsyncs of the active segment",
+                p.fsyncs,
+            ),
+            (
+                "camp_persist_records_total",
+                "records appended to the durability log",
+                p.records,
+            ),
+            (
+                "camp_persist_dropped_total",
+                "mutations not persisted while degraded",
+                p.dropped,
+            ),
+            (
+                "camp_persist_quarantined_total",
+                "corrupt records skipped by boot-time recovery",
+                p.quarantined,
+            ),
+        ];
+        for (name, help, value) in persist_counters {
+            exp.family(name, help, MetricKind::Counter);
+            exp.int_value(name, &[], value);
+        }
+        exp.family(
+            "camp_persist_segments",
+            "segment files currently in the durability log",
+            MetricKind::Gauge,
+        );
+        exp.int_value("camp_persist_segments", &[], p.segments);
         exp.render()
     }
 }
@@ -1186,6 +1263,20 @@ mod tests {
                 h.record(4);
                 h.snapshot()
             },
+            persist: Some(PersistSnapshot {
+                state: "active",
+                errors: 1,
+                bytes: 4096,
+                fsyncs: 12,
+                records: 57,
+                dropped: 2,
+                recovered: 31,
+                quarantined: 3,
+                torn_bytes: 17,
+                snapshots: 4,
+                rearms: 1,
+                segments: 2,
+            }),
         }
     }
 
@@ -1219,6 +1310,13 @@ mod tests {
             "STAT trace:slow_threshold_us 500",
             "STAT trace:admits 9",
             "STAT trace:evictions 4",
+            "STAT persist:state active",
+            "STAT persist:errors 1",
+            "STAT persist:bytes 4096",
+            "STAT persist:fsyncs 12",
+            "STAT persist:recovered 31",
+            "STAT persist:quarantined 3",
+            "STAT persist:segments 2",
             "STAT profile:sample_modulus 64",
             "STAT profile:0.5x:hit_ratio 0.7500",
             "STAT profile:0.5x:est_miss_cost 640",
@@ -1331,6 +1429,14 @@ mod tests {
             "camp_reactor_events_dispatched_total{worker=\"0\"} 150",
             "# TYPE camp_reactor_flush_writev_segments summary",
             "camp_reactor_flush_writev_segments_count 2",
+            "camp_persist_state 1",
+            "camp_persist_errors_total 1",
+            "camp_persist_bytes_total 4096",
+            "camp_persist_fsyncs_total 12",
+            "camp_persist_records_total 57",
+            "camp_persist_dropped_total 2",
+            "camp_persist_quarantined_total 3",
+            "camp_persist_segments 2",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -675,7 +675,7 @@ mod tests {
             eviction: EvictionMode::Camp(Precision::Bits(5)),
         });
         options.fault_plan = fault_plan;
-        Shared::new(&options)
+        Shared::new(&options).expect("test shared state without persistence")
     }
 
     /// Runs `process` with a throwaway pool and a fresh batch timestamp.

@@ -210,10 +210,20 @@ pub(crate) struct Shared {
     pub(crate) recorder: Arc<FlightRecorder>,
     /// Per-worker reactor counters (`stats detail` / Prometheus).
     pub(crate) reactor_stats: ReactorStats,
+    /// The durability engine (`--data-dir`); `None` = memory-only, with
+    /// the write path byte-identical to a build without persistence.
+    pub(crate) persist: Option<Arc<crate::persist::Persist>>,
 }
 
 impl Shared {
-    pub(crate) fn new(options: &ServerOptions) -> Shared {
+    /// Builds the shared state, replaying the persistence log into the
+    /// fresh store when one is configured — recovery completes before
+    /// any listener binds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence-open failures (unusable `--data-dir`).
+    pub(crate) fn new(options: &ServerOptions) -> io::Result<Shared> {
         let workers = if options.legacy_threads {
             1
         } else {
@@ -222,7 +232,18 @@ impl Shared {
         let recorder = Arc::new(FlightRecorder::new(workers, options.slow_log_us));
         let store = ShardedStore::new(options.config.clone(), options.shards);
         store.set_trace_sink(Some(Arc::new(RecorderSink::new(Arc::clone(&recorder)))));
-        Shared {
+        let persist = match options.persist.as_ref() {
+            Some(persist_options) => {
+                let plan = options.fault_plan.clone().unwrap_or_default();
+                Some(Arc::new(crate::persist::Persist::open(
+                    persist_options.clone(),
+                    &plan,
+                    &store,
+                )?))
+            }
+            None => None,
+        };
+        Ok(Shared {
             store,
             iq_misses: IqRegistry::new(options.shards),
             metrics: ServerMetrics::new(),
@@ -237,7 +258,8 @@ impl Shared {
             fault_plan: options.fault_plan.clone(),
             recorder,
             reactor_stats: ReactorStats::new(workers),
-        }
+            persist,
+        })
     }
 
     /// The registry stripe for `key` — same hash partition as the store.
@@ -297,6 +319,11 @@ pub struct ServerOptions {
     /// disables promotion; spans are still ring-recorded either way. The
     /// daemon exposes this as `--slow-log MICROS`.
     pub slow_log_us: Option<u64>,
+    /// Crash-safe durability (`--data-dir`/`--fsync`): when set, every
+    /// acknowledged mutation is appended to a checksummed log and boot
+    /// replays it before the listeners open. `None` (the default) keeps
+    /// the server memory-only with an untouched hot path.
+    pub persist: Option<crate::persist::PersistOptions>,
 }
 
 impl ServerOptions {
@@ -317,6 +344,7 @@ impl ServerOptions {
             legacy_threads: false,
             single_listener: false,
             slow_log_us: None,
+            persist: None,
         }
     }
 }
@@ -377,6 +405,7 @@ pub struct Server {
     metrics_addr: Option<SocketAddr>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     metrics_thread: Option<std::thread::JoinHandle<()>>,
+    persist_thread: Option<std::thread::JoinHandle<()>>,
     backend: Backend,
 }
 
@@ -424,7 +453,25 @@ impl Server {
     /// Returns any I/O error from binding either listener.
     pub fn start_with(addr: &str, options: ServerOptions) -> io::Result<Server> {
         let policy = options.config.eviction.to_string();
-        let shared = Arc::new(Shared::new(&options));
+        let shared = Arc::new(Shared::new(&options)?);
+        // The persistence maintenance thread (interval fsync, degraded
+        // retry) starts before the listeners: telemetry and re-arm work
+        // even if binding fails later and the Server is dropped.
+        let persist_thread = match shared.persist.as_ref() {
+            Some(_) => {
+                let bg = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("camp-kvs-persist".into())
+                        .spawn(move || {
+                            if let Some(persist) = bg.persist.as_ref() {
+                                persist.background_loop(&bg.store);
+                            }
+                        })?,
+                )
+            }
+            None => None,
+        };
         let (backend, accept_thread, local_addr) = if options.legacy_threads {
             let listener = TcpListener::bind(addr)?;
             let local_addr = listener.local_addr()?;
@@ -491,6 +538,7 @@ impl Server {
             metrics_addr,
             accept_thread,
             metrics_thread,
+            persist_thread,
             backend,
         })
     }
@@ -569,6 +617,8 @@ impl Server {
                 reactor.sever_and_join()
             }
         };
+        // All request workers are gone: no appends can race the seal.
+        self.seal_persistence();
         let report = DrainReport {
             connections_at_drain,
             drained: connections_at_drain.saturating_sub(severed),
@@ -614,6 +664,20 @@ impl Server {
             let _ = handle.join();
         }
     }
+
+    /// Seals the persistence log (clean-shutdown marker + final fsync)
+    /// and joins the maintenance thread. The taken handle makes this
+    /// idempotent: the drain path runs it, and `Drop` only repeats it
+    /// for a `Server` dropped without an explicit shutdown.
+    fn seal_persistence(&mut self) {
+        if let Some(handle) = self.persist_thread.take() {
+            if let Some(persist) = self.shared.persist.as_ref() {
+                persist.seal();
+                persist.request_stop();
+            }
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Drop for Server {
@@ -629,6 +693,7 @@ impl Drop for Server {
                 reactor.sever_and_join();
             }
         }
+        self.seal_persistence();
     }
 }
 
@@ -1074,6 +1139,11 @@ pub(crate) fn execute<W: Write>(
         }
         Command::Delete { key } => {
             let deleted = shared.store.delete(key);
+            if deleted {
+                if let Some(persist) = shared.persist.as_ref() {
+                    persist.append_delete(&shared.store, key);
+                }
+            }
             writeln_crlf(writer, if deleted { "DELETED" } else { "NOT_FOUND" })?;
         }
         Command::Arith { key, delta, up } => {
@@ -1083,17 +1153,43 @@ pub(crate) fn execute<W: Write>(
                 shared.store.decr(key, delta)
             };
             match result {
-                Some(value) => writeln_crlf(writer, &value.to_string())?,
+                Some(value) => {
+                    let text = value.to_string();
+                    if let Some(persist) = shared.persist.as_ref() {
+                        // The rewrite keeps the item's flags, TTL and CAMP
+                        // cost; log the same so recovery does too.
+                        if let Some((flags, expires_at, cost)) = shared.store.peek_meta(key) {
+                            persist.append_set(
+                                &shared.store,
+                                key,
+                                text.as_bytes(),
+                                flags,
+                                expires_at,
+                                cost,
+                            );
+                        }
+                    }
+                    writeln_crlf(writer, &text)?;
+                }
                 None => writeln_crlf(writer, "NOT_FOUND")?,
             }
         }
         Command::Touch { key, exptime } => {
-            let touched = shared.store.touch(key, expiry_to_absolute(exptime));
+            let expires_at = expiry_to_absolute(exptime);
+            let touched = shared.store.touch(key, expires_at);
+            if touched {
+                if let Some(persist) = shared.persist.as_ref() {
+                    persist.append_touch(&shared.store, key, expires_at);
+                }
+            }
             writeln_crlf(writer, if touched { "TOUCHED" } else { "NOT_FOUND" })?;
         }
         Command::FlushAll => {
             shared.store.flush_all();
             shared.iq_misses.clear();
+            if let Some(persist) = shared.persist.as_ref() {
+                persist.append_clear(&shared.store);
+            }
             kvlog!(LogLevel::Info, "flush_all");
             writeln_crlf(writer, "OK")?;
         }
@@ -1238,6 +1334,7 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         l_values: shared.recorder.l_value_snapshot(),
         reactor_workers: shared.reactor_stats.snapshot(),
         flush_segments: shared.metrics.flush_segments.snapshot(),
+        persist: shared.persist.as_ref().map(|p| p.snapshot()),
         shards,
     }
 }
@@ -1342,7 +1439,21 @@ fn apply_set(header: &SetHeader<'_>, data: &[u8], shared: &Shared) -> &'static s
             .replace(header.key, data, header.flags, expires_at, cost),
     };
     match result {
-        Ok(true) => "STORED",
+        Ok(true) => {
+            // Log only acknowledged stores, after the shard lock is
+            // released — the journal records effects, not attempts.
+            if let Some(persist) = shared.persist.as_ref() {
+                persist.append_set(
+                    &shared.store,
+                    header.key,
+                    data,
+                    header.flags,
+                    expires_at,
+                    cost,
+                );
+            }
+            "STORED"
+        }
         Ok(false) => "NOT_STORED",
         Err(StoreError::ValueTooLarge { .. }) => "SERVER_ERROR object too large for cache",
         Err(StoreError::OutOfMemory) => "SERVER_ERROR out of memory storing object",

@@ -209,6 +209,24 @@ impl ShardedStore {
         lock(self.shard_for(key)).contains(key)
     }
 
+    /// Visits every resident item across shards (see
+    /// [`Store::for_each_item`]). Shards are locked one at a time, so the
+    /// visit is per-shard consistent — exactly the guarantee the
+    /// persistence snapshot needs (writes racing into already-visited
+    /// shards are re-logged by their own append hooks).
+    pub fn for_each_item(&self, mut f: impl FnMut(&crate::item::Item<'_>)) {
+        for shard in &self.shards {
+            lock(shard).for_each_item(&mut f);
+        }
+    }
+
+    /// A resident key's `(flags, expires_at, cost)` without recency or
+    /// stats side effects (see [`Store::peek_meta`]).
+    #[must_use]
+    pub fn peek_meta(&self, key: &[u8]) -> Option<(u32, u64, u64)> {
+        lock(self.shard_for(key)).peek_meta(key)
+    }
+
     /// Total live items across shards.
     #[must_use]
     pub fn len(&self) -> usize {

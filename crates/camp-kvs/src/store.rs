@@ -346,6 +346,25 @@ impl Store {
         self.index.contains_key(key)
     }
 
+    /// Visits every resident item in place (no recency update, no expiry
+    /// filtering, no stats). The persistence layer's compaction snapshot
+    /// walks the store through this; iteration order is the index's.
+    pub fn for_each_item(&self, mut f: impl FnMut(&Item<'_>)) {
+        for &chunk in self.index.values() {
+            f(&Item::decode(self.slabs.read(chunk)));
+        }
+    }
+
+    /// A resident key's `(flags, expires_at, cost)` without touching
+    /// recency, stats or the profiler. The persistence layer uses this to
+    /// carry an item's metadata through `incr`/`decr` rewrites.
+    #[must_use]
+    pub fn peek_meta(&self, key: &[u8]) -> Option<(u32, u64, u64)> {
+        let &chunk = self.index.get(key)?;
+        let item = Item::decode(self.slabs.read(chunk));
+        Some((item.flags, item.expires_at, item.cost))
+    }
+
     /// Stores a key-value pair with the given flags, absolute expiry (unix
     /// seconds, 0 = never) and cost.
     ///
