@@ -1,0 +1,35 @@
+//! camp-check: a zero-dependency, deterministic, loom-style concurrency
+//! model checker for the repo's lock-free core.
+//!
+//! The crate has two faces:
+//!
+//! * [`sync`] — a drop-in shim for the handful of `std::sync` primitives the
+//!   workspace's lock-free structures use (`Atomic{U8,U32,U64,Usize,Bool}`,
+//!   `Mutex`, `fence`, `thread::spawn`/`join`). In a normal build it
+//!   re-exports `std::sync` types verbatim (pure type aliases — zero
+//!   runtime overhead). Under `RUSTFLAGS='--cfg camp_check'` the same paths
+//!   resolve to modeled types that route every operation through the
+//!   cooperative scheduler in [`model`].
+//! * [`model`] — the checker itself: virtual threads driven one operation at
+//!   a time, exhaustive DFS over scheduling (and weak-memory read) choices,
+//!   DPOR-style pruning keyed on conflicting accesses, a configurable
+//!   preemption bound, a seeded-random sampling mode, and replayable
+//!   counterexample traces. The model is always compiled, so checker
+//!   self-tests run under plain `cargo test -p camp-check`; only the *shim
+//!   switch* needs the cfg, which is what lets harnesses exercise the real
+//!   production structures.
+//!
+//! The memory model is release/acquire with per-location store histories and
+//! version-vector happens-before tracking (in the style of CDSChecker): a
+//! relaxed load may legally observe stale stores, which is what makes
+//! ordering mutations (e.g. a seqlock publish downgraded to `Relaxed`)
+//! actually observable — a plain sequentially-consistent interleaver could
+//! never catch them. See DESIGN.md §13 for the full sketch.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod model;
+pub mod sync;
+
+pub use model::api::{CheckOutcome, Checker, Failure};

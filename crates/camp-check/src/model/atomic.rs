@@ -1,0 +1,323 @@
+//! Modeled atomic types. Each wraps the corresponding `std` atomic: outside
+//! a model execution every operation falls straight through to `std` (so a
+//! `--cfg camp_check` build still runs ordinary tests correctly), while
+//! inside an execution the operation becomes a scheduling point routed
+//! through the kernel, and the `std` value is kept mirrored to the newest
+//! store in modification order (the kernel serializes vthreads, so the
+//! mirror is race-free by construction).
+//!
+//! Locations are registered lazily, keyed on the atomic's address, and
+//! seeded from the mirrored `std` value — so atomics created before the
+//! execution started (e.g. inside a structure built by the harness closure)
+//! join the model transparently on first touch.
+//!
+//! Modeled subset: the operations the workspace's lock-free code actually
+//! uses (`load`/`store`/`swap`/`compare_exchange[_weak]`/`fetch_update`/
+//! `fetch_add`/`fetch_sub`/`fetch_max`). `compare_exchange_weak` never
+//! spuriously fails under the model (documented approximation: it only
+//! narrows the behavior set of code that must already tolerate failure).
+
+use std::sync::atomic::Ordering;
+
+use crate::model::exec;
+use crate::model::kernel::{Op, OpOutcome, RmwKind};
+
+macro_rules! model_atomic {
+    ($name:ident, $raw:ty, $std:ty, $mask:expr, $from:expr, $into:expr) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            std: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $raw) -> Self {
+                Self {
+                    std: <$std>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            // ordering: Relaxed — seeding the model location / reading the
+            // mirror; vthreads are serialized by the kernel lock, so there
+            // is no concurrent access to order against.
+            fn init(&self) -> u64 {
+                $into(self.std.load(Ordering::Relaxed))
+            }
+
+            fn mirror(&self, v: u64) {
+                // ordering: Relaxed — mirror write under kernel
+                // serialization (see above).
+                self.std.store($from(v), Ordering::Relaxed);
+            }
+
+            pub fn load(&self, ord: Ordering) -> $raw {
+                match exec::current() {
+                    Some(h) => match exec::schedule_op(
+                        &h,
+                        Op::Load {
+                            addr: self.addr(),
+                            init: self.init(),
+                            ord,
+                        },
+                    ) {
+                        OpOutcome::Value(v) => $from(v),
+                        _ => unreachable!("load returned non-value"),
+                    },
+                    None => self.std.load(ord),
+                }
+            }
+
+            pub fn store(&self, val: $raw, ord: Ordering) {
+                match exec::current() {
+                    Some(h) => {
+                        exec::schedule_op(
+                            &h,
+                            Op::Store {
+                                addr: self.addr(),
+                                init: self.init(),
+                                val: $into(val),
+                                ord,
+                            },
+                        );
+                        self.mirror($into(val));
+                    }
+                    None => self.std.store(val, ord),
+                }
+            }
+
+            fn rmw(&self, kind: RmwKind, ord: Ordering) -> $raw {
+                match exec::current() {
+                    Some(h) => match exec::schedule_op(
+                        &h,
+                        Op::Rmw {
+                            addr: self.addr(),
+                            init: self.init(),
+                            kind,
+                            mask: $mask,
+                            ord,
+                        },
+                    ) {
+                        OpOutcome::Rmw { old, new } => {
+                            self.mirror(new);
+                            $from(old)
+                        }
+                        _ => unreachable!("rmw returned non-rmw outcome"),
+                    },
+                    None => match kind {
+                        RmwKind::Add(n) => self.std.fetch_add($from(n), ord),
+                        RmwKind::Sub(n) => self.std.fetch_sub($from(n), ord),
+                        RmwKind::Max(n) => self.std.fetch_max($from(n), ord),
+                        RmwKind::Swap(n) => self.std.swap($from(n), ord),
+                    },
+                }
+            }
+
+            pub fn fetch_add(&self, n: $raw, ord: Ordering) -> $raw {
+                self.rmw(RmwKind::Add($into(n)), ord)
+            }
+
+            pub fn fetch_sub(&self, n: $raw, ord: Ordering) -> $raw {
+                self.rmw(RmwKind::Sub($into(n)), ord)
+            }
+
+            pub fn fetch_max(&self, n: $raw, ord: Ordering) -> $raw {
+                self.rmw(RmwKind::Max($into(n)), ord)
+            }
+
+            pub fn swap(&self, n: $raw, ord: Ordering) -> $raw {
+                self.rmw(RmwKind::Swap($into(n)), ord)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expect: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                match exec::current() {
+                    Some(h) => match exec::schedule_op(
+                        &h,
+                        Op::Cas {
+                            addr: self.addr(),
+                            init: self.init(),
+                            expect: $into(expect),
+                            new: $into(new),
+                            success,
+                            failure,
+                        },
+                    ) {
+                        OpOutcome::Cas(Ok(old)) => {
+                            self.mirror($into(new));
+                            Ok($from(old))
+                        }
+                        OpOutcome::Cas(Err(old)) => Err($from(old)),
+                        _ => unreachable!("cas returned non-cas outcome"),
+                    },
+                    None => self.std.compare_exchange(expect, new, success, failure),
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                expect: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                self.compare_exchange(expect, new, success, failure)
+            }
+
+            pub fn fetch_update<F>(
+                &self,
+                set: Ordering,
+                fetch: Ordering,
+                mut f: F,
+            ) -> Result<$raw, $raw>
+            where
+                F: FnMut($raw) -> Option<$raw>,
+            {
+                // Same load + CAS loop std documents; each iteration is a
+                // pair of model scheduling points, which is exactly the
+                // window a checker harness wants to preempt in.
+                let mut cur = self.load(fetch);
+                loop {
+                    let Some(next) = f(cur) else { return Err(cur) };
+                    match self.compare_exchange(cur, next, set, fetch) {
+                        Ok(old) => return Ok(old),
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(
+    AtomicU8,
+    u8,
+    std::sync::atomic::AtomicU8,
+    u8::MAX as u64,
+    |v: u64| v as u8,
+    |v: u8| v as u64
+);
+model_atomic!(
+    AtomicU32,
+    u32,
+    std::sync::atomic::AtomicU32,
+    u32::MAX as u64,
+    |v: u64| v as u32,
+    |v: u32| v as u64
+);
+model_atomic!(
+    AtomicU64,
+    u64,
+    std::sync::atomic::AtomicU64,
+    u64::MAX,
+    |v: u64| v,
+    |v: u64| v
+);
+model_atomic!(
+    AtomicUsize,
+    usize,
+    std::sync::atomic::AtomicUsize,
+    usize::MAX as u64,
+    |v: u64| v as usize,
+    |v: usize| v as u64
+);
+
+/// `AtomicBool` is its own impl (bool <-> u64 conversion, no arithmetic).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    std: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            std: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn init(&self) -> u64 {
+        // ordering: Relaxed — model-location seed; serialized by the kernel.
+        self.std.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match exec::current() {
+            Some(h) => match exec::schedule_op(
+                &h,
+                Op::Load {
+                    addr: self.addr(),
+                    init: self.init(),
+                    ord,
+                },
+            ) {
+                OpOutcome::Value(v) => v != 0,
+                _ => unreachable!("load returned non-value"),
+            },
+            None => self.std.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match exec::current() {
+            Some(h) => {
+                exec::schedule_op(
+                    &h,
+                    Op::Store {
+                        addr: self.addr(),
+                        init: self.init(),
+                        val: val as u64,
+                        ord,
+                    },
+                );
+                // ordering: Relaxed — mirror write under kernel serialization.
+                self.std.store(val, Ordering::Relaxed);
+            }
+            None => self.std.store(val, ord),
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match exec::current() {
+            Some(h) => match exec::schedule_op(
+                &h,
+                Op::Rmw {
+                    addr: self.addr(),
+                    init: self.init(),
+                    kind: RmwKind::Swap(val as u64),
+                    mask: 1,
+                    ord,
+                },
+            ) {
+                OpOutcome::Rmw { old, new } => {
+                    // ordering: Relaxed — mirror write under kernel serialization.
+                    self.std.store(new != 0, Ordering::Relaxed);
+                    old != 0
+                }
+                _ => unreachable!("rmw returned non-rmw outcome"),
+            },
+            None => self.std.swap(val, ord),
+        }
+    }
+}
+
+/// An atomic fence: a scheduling point with fence semantics under the
+/// model, a plain `std` fence otherwise.
+pub fn fence(ord: Ordering) {
+    match exec::current() {
+        Some(h) => {
+            exec::schedule_op(&h, Op::Fence { ord });
+        }
+        None => std::sync::atomic::fence(ord),
+    }
+}

@@ -1,0 +1,182 @@
+//! Execution harness: virtual threads are real OS threads driven in strict
+//! alternation. A vthread runs user code until it hits a shim operation,
+//! declares the op in the kernel, parks on a condvar, and waits for the
+//! controller to grant it the step; it then executes the op against the
+//! kernel (under the kernel lock), un-parks, and continues. The controller
+//! (the thread that called `Checker::check`) waits for quiescence — every
+//! vthread parked, blocked, or finished — before every scheduling decision,
+//! so the enabled set is always well-defined and the whole execution is
+//! deterministic given the choice sequence.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::model::kernel::{Kernel, Op, OpOutcome};
+use crate::model::search::Tid;
+
+/// Panic payload used to unwind vthreads when an execution aborts (a
+/// failure was recorded elsewhere); recognized and swallowed by the
+/// vthread trampoline.
+pub(crate) struct AbortSignal;
+
+pub(crate) struct ExecShared {
+    pub(crate) kernel: Mutex<Kernel>,
+    pub(crate) cv: Condvar,
+}
+
+impl ExecShared {
+    pub(crate) fn new(kernel: Kernel) -> Self {
+        Self {
+            kernel: Mutex::new(kernel),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Lock the kernel, recovering from poison: a vthread that panics while
+/// holding the kernel lock must not wedge the whole checker.
+pub(crate) fn klock(m: &Mutex<Kernel>) -> MutexGuard<'_, Kernel> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn cv_wait<'a>(
+    shared: &ExecShared,
+    guard: MutexGuard<'a, Kernel>,
+) -> MutexGuard<'a, Kernel> {
+    shared
+        .cv
+        .wait(guard)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Identity of the current OS thread inside a model execution.
+#[derive(Clone)]
+pub(crate) struct ExecHandle {
+    pub(crate) shared: Arc<ExecShared>,
+    pub(crate) tid: Tid,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ExecHandle>> = const { RefCell::new(None) };
+}
+
+/// The current execution context, if this OS thread is a vthread. The shim
+/// types consult this on every operation: `None` means "not under the
+/// checker" and the operation falls through to plain `std` behavior.
+pub(crate) fn current() -> Option<ExecHandle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn resume_abort() -> ! {
+    panic_any(AbortSignal)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Declare `op`, park until granted, execute it, resume. This is the one
+/// scheduling point every shim operation funnels through.
+pub(crate) fn schedule_op(handle: &ExecHandle, op: Op) -> OpOutcome {
+    let shared = &handle.shared;
+    let tid = handle.tid;
+    if std::thread::panicking() {
+        // Unwinding (abort or assertion failure): guard drops still reach
+        // us; keep kernel bookkeeping coherent without scheduling, and
+        // never panic again (that would be a double-panic abort).
+        if let Op::Unlock { addr } = op {
+            let mut k = klock(&shared.kernel);
+            k.force_unlock(addr);
+            drop(k);
+            shared.cv.notify_all();
+        }
+        return OpOutcome::Unit;
+    }
+    let mut k = klock(&shared.kernel);
+    if k.abort {
+        drop(k);
+        shared.cv.notify_all();
+        resume_abort();
+    }
+    k.declare(tid, op);
+    shared.cv.notify_all();
+    loop {
+        if k.abort {
+            drop(k);
+            shared.cv.notify_all();
+            resume_abort();
+        }
+        if k.active == Some(tid) {
+            break;
+        }
+        k = cv_wait(shared, k);
+    }
+    let outcome = match k.execute(tid) {
+        Ok(o) => o,
+        Err(e) => {
+            k.fail(e);
+            drop(k);
+            shared.cv.notify_all();
+            resume_abort();
+        }
+    };
+    k.active = None;
+    k.resume(tid);
+    drop(k);
+    shared.cv.notify_all();
+    outcome
+}
+
+/// Convenience: schedule an op on the current context (panics if absent —
+/// callers check `current()` first).
+pub(crate) fn schedule_on_current(op: Op) -> OpOutcome {
+    let handle = current().expect("schedule_on_current outside a model execution");
+    schedule_op(&handle, op)
+}
+
+/// OS-thread trampoline for one vthread: install the TLS context, run
+/// `Start` + the body under `catch_unwind`, record panics as failures
+/// (abort unwinds are swallowed), and mark the vthread finished.
+fn vthread_entry(shared: Arc<ExecShared>, tid: Tid, body: Box<dyn FnOnce() + Send>) {
+    let handle = ExecHandle {
+        shared: shared.clone(),
+        tid,
+    };
+    CURRENT.with(|c| *c.borrow_mut() = Some(handle.clone()));
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        schedule_op(&handle, Op::Start);
+        body();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut k = klock(&shared.kernel);
+    if let Err(payload) = result {
+        if payload.downcast_ref::<AbortSignal>().is_none() {
+            k.fail(panic_message(payload.as_ref()));
+        }
+    }
+    k.finish_thread(tid);
+    drop(k);
+    shared.cv.notify_all();
+}
+
+/// Start the OS thread backing vthread `tid`. The kernel entry must already
+/// exist (status `Running`), so the controller keeps waiting until the new
+/// thread parks at its `Start` op.
+pub(crate) fn spawn_os_vthread(
+    shared: &Arc<ExecShared>,
+    tid: Tid,
+    body: Box<dyn FnOnce() + Send>,
+) -> std::thread::JoinHandle<()> {
+    let sh = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("camp-check-t{tid}"))
+        .spawn(move || vthread_entry(sh, tid, body))
+        .expect("camp-check: failed to spawn vthread OS thread")
+}

@@ -1,0 +1,674 @@
+//! The model kernel: virtual-thread states, per-location store histories,
+//! the release/acquire memory model, modeled mutexes, and the DPOR access
+//! log. Exactly one OS thread touches the kernel at a time (the controller
+//! and the vthreads hand it around under a single `std::sync::Mutex`), so
+//! everything in here is plain sequential code.
+//!
+//! ## Memory model sketch
+//!
+//! Every atomic location keeps its full modification-order store history.
+//! Each store records its writer, the writer's own clock stamp, and a
+//! *release clock* (the writer's full clock for `Release`/`AcqRel`/`SeqCst`
+//! stores, the writer's release-fence floor for `Relaxed` stores after a
+//! release fence, empty otherwise). A load may observe any store that is not
+//! *obsolete* for the reader: stores older than the newest store that
+//! happens-before the reader are out (write supersession), and stores older
+//! than what this thread already observed at this location are out
+//! (per-thread coherence). `Acquire`-or-stronger loads join the observed
+//! store's release clock into the reader's clock; that is the entire
+//! synchronizes-with edge. RMWs always read the newest store (they act on
+//! the tail of modification order) and inherit the previous store's release
+//! clock into their own (release-sequence behavior). `SeqCst` loads are
+//! restricted to the newest store — a sound approximation of the single
+//! total order S that deliberately errs toward fewer behaviors for SC and
+//! more for relaxed, which is the useful direction for bug hunting.
+
+use std::collections::HashMap;
+
+use crate::model::search::{Choice, Search, Tid};
+use crate::model::vv::VersionVec;
+use std::sync::atomic::Ordering;
+
+/// Pseudo-writer id for the initialization store of each location.
+const INIT_WRITER: Tid = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Store {
+    value: u64,
+    writer: Tid,
+    /// The writer's own clock component at store time (hb test input).
+    stamp: u64,
+    /// Clock transferred to acquire readers; empty = no release payload.
+    release: VersionVec,
+}
+
+#[derive(Debug)]
+struct Location {
+    stores: Vec<Store>,
+}
+
+#[derive(Debug)]
+struct MutexRec {
+    holder: Option<Tid>,
+    /// Clock of the last unlock; joined by the next lock (release/acquire).
+    release: VersionVec,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Executing user code between shim operations (or not yet started).
+    Running,
+    /// Declared a pending op and parked, waiting for a grant.
+    Parked,
+    Finished,
+}
+
+#[derive(Debug)]
+struct VThread {
+    clock: VersionVec,
+    status: Status,
+    pending: Option<Op>,
+    /// Per-location coherence floor: index of the newest store in
+    /// modification order this thread has already observed.
+    last_seen: HashMap<usize, usize>,
+    /// Join of release clocks of every store observed (any ordering); an
+    /// acquire fence promotes this into the thread clock.
+    acq_pool: VersionVec,
+    /// Set by a release fence: later relaxed stores carry at least this.
+    rel_floor: Option<VersionVec>,
+}
+
+/// What kind of value-combining an RMW performs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RmwKind {
+    Add(u64),
+    Sub(u64),
+    Max(u64),
+    Swap(u64),
+}
+
+/// A shim operation declared by a vthread before parking. `addr`/`init` let
+/// the kernel register locations lazily (keyed on the atomic's address, so
+/// the shim types need no explicit registration step).
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// First op of every vthread: a pure scheduling point, so thread starts
+    /// are ordered by the scheduler like any other step.
+    Start,
+    Load {
+        addr: usize,
+        init: u64,
+        ord: Ordering,
+    },
+    Store {
+        addr: usize,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+    },
+    Rmw {
+        addr: usize,
+        init: u64,
+        kind: RmwKind,
+        mask: u64,
+        ord: Ordering,
+    },
+    Cas {
+        addr: usize,
+        init: u64,
+        expect: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    },
+    Fence {
+        ord: Ordering,
+    },
+    Lock {
+        addr: usize,
+    },
+    Unlock {
+        addr: usize,
+    },
+    Spawn,
+    Join {
+        target: Tid,
+    },
+    Yield,
+}
+
+/// Result of executing an op, handed back to the shim caller.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OpOutcome {
+    Unit,
+    Value(u64),
+    Rmw { old: u64, new: u64 },
+    Cas(Result<u64, u64>),
+}
+
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+enum AccessKey {
+    Atomic(usize),
+    Mutex(usize),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Access {
+    tid: Tid,
+    /// The thread-choice node that granted the step, if it had alternatives.
+    node: Option<usize>,
+    write: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct Kernel {
+    threads: Vec<VThread>,
+    locs: Vec<Location>,
+    loc_ids: HashMap<usize, usize>,
+    mutexes: Vec<MutexRec>,
+    mutex_ids: HashMap<usize, usize>,
+    /// The vthread currently granted a step (it is executing its op).
+    pub(crate) active: Option<Tid>,
+    /// Set on failure (or budget exhaustion): every vthread must unwind.
+    pub(crate) abort: bool,
+    pub(crate) failure: Option<String>,
+    steps: usize,
+    max_steps: usize,
+    pub(crate) search: Search,
+    accesses: HashMap<AccessKey, Vec<Access>>,
+    /// Global clock threaded through SeqCst fences.
+    sc_fence: VersionVec,
+    /// Human-readable step log of the current execution.
+    pub(crate) step_log: Vec<String>,
+    live: usize,
+}
+
+impl Kernel {
+    pub(crate) fn new(search: Search, max_steps: usize) -> Self {
+        Self {
+            threads: Vec::new(),
+            locs: Vec::new(),
+            loc_ids: HashMap::new(),
+            mutexes: Vec::new(),
+            mutex_ids: HashMap::new(),
+            active: None,
+            abort: false,
+            failure: None,
+            steps: 0,
+            max_steps,
+            search,
+            accesses: HashMap::new(),
+            sc_fence: VersionVec::new(),
+            step_log: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Register a new vthread; `parent` (if any) seeds its clock.
+    pub(crate) fn create_thread(&mut self, parent: Option<Tid>) -> Tid {
+        let tid = self.threads.len();
+        let mut clock = match parent {
+            Some(p) => self.threads[p].clock.clone(),
+            None => VersionVec::new(),
+        };
+        clock.bump(tid);
+        self.threads.push(VThread {
+            clock,
+            status: Status::Running,
+            pending: None,
+            last_seen: HashMap::new(),
+            acq_pool: VersionVec::new(),
+            rel_floor: None,
+        });
+        self.live += 1;
+        tid
+    }
+
+    /// Register a vthread whose clock is the join of every finished thread's
+    /// final clock (the `after` closure of `Checker::check_threads`).
+    pub(crate) fn create_after_thread(&mut self) -> Tid {
+        let tid = self.threads.len();
+        let mut clock = VersionVec::new();
+        for t in &self.threads {
+            clock.join(&t.clock);
+        }
+        clock.bump(tid);
+        self.threads.push(VThread {
+            clock,
+            status: Status::Running,
+            pending: None,
+            last_seen: HashMap::new(),
+            acq_pool: VersionVec::new(),
+            rel_floor: None,
+        });
+        self.live += 1;
+        tid
+    }
+
+    pub(crate) fn declare(&mut self, tid: Tid, op: Op) {
+        let t = &mut self.threads[tid];
+        debug_assert!(t.pending.is_none(), "vthread declared two ops");
+        t.pending = Some(op);
+        t.status = Status::Parked;
+    }
+
+    pub(crate) fn finish_thread(&mut self, tid: Tid) {
+        let t = &mut self.threads[tid];
+        if t.status != Status::Finished {
+            t.status = Status::Finished;
+            t.pending = None;
+            self.live -= 1;
+        }
+    }
+
+    pub(crate) fn all_finished(&self) -> bool {
+        self.live == 0
+    }
+
+    pub(crate) fn thread_finished(&self, tid: Tid) -> bool {
+        self.threads[tid].status == Status::Finished
+    }
+
+    /// True when no vthread is mid-step or mid-user-code: the controller may
+    /// look at the pending ops and decide the next grant.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.active.is_none()
+            && self
+                .threads
+                .iter()
+                .all(|t| !matches!(t.status, Status::Running))
+    }
+
+    fn is_blocked(&self, tid: Tid) -> bool {
+        match self.threads[tid].pending {
+            Some(Op::Lock { addr }) => match self.mutex_ids.get(&addr) {
+                Some(&mid) => self.mutexes[mid].holder.is_some(),
+                None => false,
+            },
+            Some(Op::Join { target }) => !self.thread_finished(target),
+            _ => false,
+        }
+    }
+
+    /// Parked threads whose pending op can execute now.
+    pub(crate) fn enabled_threads(&self) -> Vec<Tid> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t].status == Status::Parked && !self.is_blocked(t))
+            .collect()
+    }
+
+    pub(crate) fn blocked_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.status == Status::Parked {
+                parts.push(format!("T{i} blocked on {:?}", t.pending));
+            }
+        }
+        parts.join("; ")
+    }
+
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+
+    /// Count a granted step against the livelock budget.
+    pub(crate) fn count_step(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.fail(format!(
+                "step limit exceeded ({} steps): livelock or unbounded spin under the model",
+                self.max_steps
+            ));
+            return false;
+        }
+        true
+    }
+
+    /// Un-park a vthread after it completed its granted step.
+    pub(crate) fn resume(&mut self, tid: Tid) {
+        self.threads[tid].status = Status::Running;
+    }
+
+    fn loc_id(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(&id) = self.loc_ids.get(&addr) {
+            return id;
+        }
+        let id = self.locs.len();
+        self.locs.push(Location {
+            stores: vec![Store {
+                value: init,
+                writer: INIT_WRITER,
+                stamp: 0,
+                release: VersionVec::new(),
+            }],
+        });
+        self.loc_ids.insert(addr, id);
+        id
+    }
+
+    fn mutex_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.mutex_ids.get(&addr) {
+            return id;
+        }
+        let id = self.mutexes.len();
+        self.mutexes.push(MutexRec {
+            holder: None,
+            release: VersionVec::new(),
+        });
+        self.mutex_ids.insert(addr, id);
+        id
+    }
+
+    /// Record an access for DPOR and add backtrack entries for every
+    /// earlier conflicting access by another thread. (Classic DPOR only
+    /// backtracks the *most recent* conflict; with explicit `Start`
+    /// transitions that can hide a conflicting op behind a non-conflicting
+    /// one and lose schedules — e.g. the AB/BA deadlock — so we take the
+    /// conservative all-conflicts variant, which is still a massive prune
+    /// over full enumeration.)
+    fn dpor_note(&mut self, key: AccessKey, tid: Tid, write: bool) {
+        if self.search.dpor_active() {
+            let conflicts: Vec<usize> = self
+                .accesses
+                .get(&key)
+                .map(|hist| {
+                    hist.iter()
+                        .filter(|a| a.tid != tid && (a.write || write))
+                        .filter_map(|a| a.node)
+                        .collect()
+                })
+                .unwrap_or_default();
+            for node_idx in conflicts {
+                self.search.add_backtrack(node_idx, tid);
+            }
+        }
+        let node = self.search.last_thread_node;
+        self.accesses
+            .entry(key)
+            .or_default()
+            .push(Access { tid, node, write });
+    }
+
+    fn acquiring(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn releasing(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// The release clock a store by `tid` carries, given its ordering and
+    /// (for RMWs) the release clock of the store it replaces.
+    fn store_release_clock(
+        &self,
+        tid: Tid,
+        ord: Ordering,
+        rmw_prev: Option<&VersionVec>,
+    ) -> VersionVec {
+        let mut rel = match rmw_prev {
+            // Release sequence: an RMW extends the sequence headed by the
+            // store it reads from, so acquire readers of the RMW still
+            // synchronize with the original release store.
+            Some(prev) => prev.clone(),
+            None => VersionVec::new(),
+        };
+        if Self::releasing(ord) {
+            rel.join(&self.threads[tid].clock);
+        } else if let Some(floor) = &self.threads[tid].rel_floor {
+            rel.join(floor);
+        }
+        rel
+    }
+
+    /// Observe store `idx` of `loc` with ordering `ord`: coherence floor,
+    /// acquire join, acq-pool bookkeeping.
+    fn observe(&mut self, tid: Tid, loc: usize, idx: usize, ord: Ordering) -> u64 {
+        let (value, release) = {
+            let s = &self.locs[loc].stores[idx];
+            (s.value, s.release.clone())
+        };
+        let t = &mut self.threads[tid];
+        let seen = t.last_seen.entry(loc).or_insert(0);
+        *seen = (*seen).max(idx);
+        if !release.is_empty() {
+            t.acq_pool.join(&release);
+            if Self::acquiring(ord) {
+                t.clock.join(&release);
+            }
+        }
+        value
+    }
+
+    /// Index of the oldest store of `loc` still observable by `tid`.
+    fn readable_floor(&self, tid: Tid, loc: usize) -> usize {
+        let clock = &self.threads[tid].clock;
+        let stores = &self.locs[loc].stores;
+        let mut floor = 0;
+        for (i, s) in stores.iter().enumerate() {
+            // A store that happens-before the reader hides everything older.
+            if s.writer == INIT_WRITER || clock.get(s.writer) >= s.stamp {
+                floor = i;
+            }
+        }
+        if let Some(&seen) = self.threads[tid].last_seen.get(&loc) {
+            floor = floor.max(seen);
+        }
+        floor
+    }
+
+    fn do_load(&mut self, tid: Tid, loc: usize, ord: Ordering) -> Result<u64, String> {
+        let len = self.locs[loc].stores.len();
+        let idx = if ord == Ordering::SeqCst {
+            // SC loads read the newest store (see module docs).
+            len - 1
+        } else {
+            let floor = self.readable_floor(tid, loc);
+            let candidates = len - floor;
+            floor + self.search.decide_read(candidates)?
+        };
+        Ok(self.observe(tid, loc, idx, ord))
+    }
+
+    fn push_store(
+        &mut self,
+        tid: Tid,
+        loc: usize,
+        value: u64,
+        ord: Ordering,
+        rmw_prev: Option<&VersionVec>,
+    ) {
+        let release = self.store_release_clock(tid, ord, rmw_prev);
+        let stamp = self.threads[tid].clock.get(tid);
+        self.locs[loc].stores.push(Store {
+            value,
+            writer: tid,
+            stamp,
+            release,
+        });
+        let idx = self.locs[loc].stores.len() - 1;
+        self.threads[tid].last_seen.insert(loc, idx);
+    }
+
+    /// Execute `tid`'s pending op. Called by the vthread itself, under the
+    /// kernel lock, after the controller granted it the step.
+    pub(crate) fn execute(&mut self, tid: Tid) -> Result<OpOutcome, String> {
+        let op = self.threads[tid]
+            .pending
+            .take()
+            .expect("granted vthread has no pending op");
+        self.threads[tid].clock.bump(tid);
+        let outcome = match op {
+            Op::Start => {
+                self.log(tid, "start");
+                OpOutcome::Unit
+            }
+            Op::Yield => {
+                self.log(tid, "yield");
+                OpOutcome::Unit
+            }
+            Op::Load { addr, init, ord } => {
+                let loc = self.loc_id(addr, init);
+                let v = self.do_load(tid, loc, ord)?;
+                self.dpor_note(AccessKey::Atomic(loc), tid, false);
+                self.log(tid, &format!("load atomic#{loc} ({ord:?}) -> {v}"));
+                OpOutcome::Value(v)
+            }
+            Op::Store {
+                addr,
+                init,
+                val,
+                ord,
+            } => {
+                let loc = self.loc_id(addr, init);
+                self.push_store(tid, loc, val, ord, None);
+                self.dpor_note(AccessKey::Atomic(loc), tid, true);
+                self.log(tid, &format!("store atomic#{loc} = {val} ({ord:?})"));
+                OpOutcome::Unit
+            }
+            Op::Rmw {
+                addr,
+                init,
+                kind,
+                mask,
+                ord,
+            } => {
+                let loc = self.loc_id(addr, init);
+                // RMWs read the newest store in modification order.
+                let last = self.locs[loc].stores.len() - 1;
+                let old = self.observe(tid, loc, last, ord);
+                let prev_release = self.locs[loc].stores[last].release.clone();
+                let new = match kind {
+                    RmwKind::Add(n) => old.wrapping_add(n) & mask,
+                    RmwKind::Sub(n) => old.wrapping_sub(n) & mask,
+                    RmwKind::Max(n) => old.max(n),
+                    RmwKind::Swap(n) => n,
+                };
+                self.push_store(tid, loc, new, ord, Some(&prev_release));
+                self.dpor_note(AccessKey::Atomic(loc), tid, true);
+                self.log(
+                    tid,
+                    &format!("rmw atomic#{loc} {kind:?} {old} -> {new} ({ord:?})"),
+                );
+                OpOutcome::Rmw { old, new }
+            }
+            Op::Cas {
+                addr,
+                init,
+                expect,
+                new,
+                success,
+                failure,
+            } => {
+                let loc = self.loc_id(addr, init);
+                let last = self.locs[loc].stores.len() - 1;
+                let cur = self.locs[loc].stores[last].value;
+                if cur == expect {
+                    let old = self.observe(tid, loc, last, success);
+                    let prev_release = self.locs[loc].stores[last].release.clone();
+                    self.push_store(tid, loc, new, success, Some(&prev_release));
+                    self.dpor_note(AccessKey::Atomic(loc), tid, true);
+                    self.log(
+                        tid,
+                        &format!("cas atomic#{loc} {expect} -> {new} ok ({success:?})"),
+                    );
+                    OpOutcome::Cas(Ok(old))
+                } else {
+                    let old = self.observe(tid, loc, last, failure);
+                    self.dpor_note(AccessKey::Atomic(loc), tid, false);
+                    self.log(
+                        tid,
+                        &format!("cas atomic#{loc} expected {expect} found {old} ({failure:?})"),
+                    );
+                    OpOutcome::Cas(Err(old))
+                }
+            }
+            Op::Fence { ord } => {
+                match ord {
+                    Ordering::Acquire => {
+                        let pool = self.threads[tid].acq_pool.clone();
+                        self.threads[tid].clock.join(&pool);
+                    }
+                    Ordering::Release => {
+                        self.threads[tid].rel_floor = Some(self.threads[tid].clock.clone());
+                    }
+                    Ordering::AcqRel => {
+                        let pool = self.threads[tid].acq_pool.clone();
+                        self.threads[tid].clock.join(&pool);
+                        self.threads[tid].rel_floor = Some(self.threads[tid].clock.clone());
+                    }
+                    Ordering::SeqCst => {
+                        let pool = self.threads[tid].acq_pool.clone();
+                        self.threads[tid].clock.join(&pool);
+                        let clock = self.threads[tid].clock.clone();
+                        self.sc_fence.join(&clock);
+                        let sc = self.sc_fence.clone();
+                        self.threads[tid].clock.join(&sc);
+                        self.threads[tid].rel_floor = Some(self.threads[tid].clock.clone());
+                    }
+                    _ => {}
+                }
+                self.log(tid, &format!("fence ({ord:?})"));
+                OpOutcome::Unit
+            }
+            Op::Lock { addr } => {
+                let mid = self.mutex_id(addr);
+                debug_assert!(self.mutexes[mid].holder.is_none(), "granted a held mutex");
+                self.mutexes[mid].holder = Some(tid);
+                let rel = self.mutexes[mid].release.clone();
+                self.threads[tid].clock.join(&rel);
+                self.dpor_note(AccessKey::Mutex(mid), tid, true);
+                self.log(tid, &format!("lock mutex#{mid}"));
+                OpOutcome::Unit
+            }
+            Op::Unlock { addr } => {
+                let mid = self.mutex_id(addr);
+                debug_assert_eq!(self.mutexes[mid].holder, Some(tid), "unlock by non-holder");
+                self.mutexes[mid].holder = None;
+                self.mutexes[mid].release = self.threads[tid].clock.clone();
+                self.dpor_note(AccessKey::Mutex(mid), tid, true);
+                self.log(tid, &format!("unlock mutex#{mid}"));
+                OpOutcome::Unit
+            }
+            Op::Spawn => {
+                let child = self.create_thread(Some(tid));
+                self.log(tid, &format!("spawn T{child}"));
+                OpOutcome::Value(child as u64)
+            }
+            Op::Join { target } => {
+                debug_assert!(self.thread_finished(target), "granted join on live thread");
+                let final_clock = self.threads[target].clock.clone();
+                self.threads[tid].clock.join(&final_clock);
+                self.log(tid, &format!("join T{target}"));
+                OpOutcome::Unit
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// Best-effort unlock while the owning vthread is unwinding from an
+    /// abort: keep the kernel bookkeeping coherent without scheduling.
+    pub(crate) fn force_unlock(&mut self, addr: usize) {
+        if let Some(&mid) = self.mutex_ids.get(&addr) {
+            self.mutexes[mid].holder = None;
+        }
+    }
+
+    fn log(&mut self, tid: Tid, what: &str) {
+        self.step_log.push(format!("T{tid} {what}"));
+    }
+
+    pub(crate) fn take_failure_report(&mut self) -> (String, Vec<Choice>, Vec<String>) {
+        let error = self
+            .failure
+            .take()
+            .unwrap_or_else(|| "unknown failure".to_string());
+        (
+            error,
+            self.search.current_trace.clone(),
+            std::mem::take(&mut self.step_log),
+        )
+    }
+}

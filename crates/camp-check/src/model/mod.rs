@@ -1,0 +1,13 @@
+//! The model checker runtime: version vectors, the memory-model kernel, the
+//! schedule search (DFS + DPOR + preemption bounding + sampling), the
+//! OS-thread execution harness, and the modeled `sync` primitive types.
+
+pub mod api;
+pub mod atomic;
+pub(crate) mod exec;
+pub(crate) mod kernel;
+pub mod mutex;
+pub(crate) mod rng;
+pub(crate) mod search;
+pub mod thread;
+pub(crate) mod vv;

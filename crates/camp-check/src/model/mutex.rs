@@ -1,0 +1,102 @@
+//! Modeled `Mutex`. Like the atomics, it wraps the `std` mutex it shims:
+//! outside an execution `lock()` is just `std::sync::Mutex::lock` (with the
+//! guard re-wrapped so the type is uniform); inside an execution the
+//! acquisition is a blocking scheduling point — the controller will not
+//! grant the step while another vthread holds the mutex — and once granted
+//! the inner `std` lock is taken uncontended.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+use crate::model::exec;
+use crate::model::kernel::Op;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    std: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// `Some(addr)` when the acquisition went through the model and the
+    /// release must be scheduled too.
+    model_addr: Option<usize>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            std: std::sync::Mutex::new(t),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match exec::current() {
+            Some(h) => {
+                exec::schedule_op(&h, Op::Lock { addr: self.addr() });
+                // The model granted us the mutex, so the std lock must be
+                // free; recover poison (a previous execution's failing
+                // vthread may have poisoned it while unwinding).
+                let guard = match self.std.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model granted a std-held mutex")
+                    }
+                };
+                Ok(MutexGuard {
+                    inner: Some(guard),
+                    model_addr: Some(self.addr()),
+                })
+            }
+            None => match self.std.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    model_addr: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    model_addr: None,
+                })),
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.std.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.std.get_mut()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock first, then schedule the model release; the
+        // strict alternation means nobody can touch the std lock until the
+        // model unlock is granted anyway.
+        self.inner.take();
+        if let Some(addr) = self.model_addr {
+            exec::schedule_on_current(Op::Unlock { addr });
+        }
+    }
+}

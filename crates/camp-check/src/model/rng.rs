@@ -1,0 +1,55 @@
+//! A tiny splitmix64 generator for the sampling scheduler.
+//!
+//! camp-check is deliberately zero-dependency (it sits *below* every other
+//! workspace crate in the dependency graph), so it carries its own ~20-line
+//! PRNG instead of reusing `camp_core::rng::Rng64`. Determinism matters more
+//! than statistical quality here: the same seed must always produce the same
+//! schedule so counterexamples stay replayable.
+
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (bound must be nonzero). The modulo bias is
+    /// irrelevant at the bounds the scheduler uses (a handful of threads).
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SplitMix64;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(3) < 3);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Schedule exploration: the persistent choice stack driving DFS, DPOR
+//! backtrack sets, the preemption bound, seeded sampling, and the textual
+//! trace format counterexamples are replayed from.
+//!
+//! An execution is fully determined by the sequence of *choices* made while
+//! running it: which enabled virtual thread steps next, and (for relaxed
+//! loads with several legal candidate stores) which store a load observes.
+//! DFS keeps a stack of choice nodes; after each execution [`Search::advance`]
+//! flips the deepest node with an untried alternative and the next execution
+//! replays the shared prefix deterministically.
+
+use crate::model::rng::SplitMix64;
+
+pub(crate) type Tid = usize;
+
+/// One recorded decision. `Thread(t)` = virtual thread `t` was granted the
+/// next step; `Read(i)` = a load observed candidate store `i` (an index into
+/// the legal-candidate list, `0` = oldest candidate, last = newest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Choice {
+    Thread(Tid),
+    Read(usize),
+}
+
+/// Render a choice sequence in the replayable `T0 T2 R1 ...` form.
+pub(crate) fn format_trace(choices: &[Choice]) -> String {
+    let mut out = String::new();
+    for (i, c) in choices.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match c {
+            Choice::Thread(t) => {
+                out.push('T');
+                out.push_str(&t.to_string());
+            }
+            Choice::Read(r) => {
+                out.push('R');
+                out.push_str(&r.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `T0 T2 R1 ...` form back into a choice sequence.
+pub(crate) fn parse_trace(s: &str) -> Result<Vec<Choice>, String> {
+    let mut out = Vec::new();
+    for tok in s.split_whitespace() {
+        let (kind, num) = tok.split_at(1);
+        let n: usize = num
+            .parse()
+            .map_err(|_| format!("bad trace token {tok:?}"))?;
+        match kind {
+            "T" => out.push(Choice::Thread(n)),
+            "R" => out.push(Choice::Read(n)),
+            _ => return Err(format!("bad trace token {tok:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// A scheduling decision point: some virtual threads were enabled and one
+/// was chosen. `backtrack` is the DPOR persistent set — alternatives proven
+/// (via a conflicting later access) to possibly lead elsewhere. Without DPOR
+/// it starts as the full enabled set.
+#[derive(Debug)]
+struct ThreadNode {
+    enabled: Vec<Tid>,
+    chosen: Tid,
+    tried: Vec<Tid>,
+    backtrack: Vec<Tid>,
+    /// Preemption count on the path *before* this decision.
+    pre_preemptions: u32,
+    /// Which thread was running before this decision (for preemption cost).
+    prev_running: Option<Tid>,
+}
+
+/// A weak-memory read decision point: a load had several legal candidate
+/// stores. Reads are always explored exhaustively (they are the whole point
+/// of modeling release/acquire).
+#[derive(Debug)]
+struct ReadNode {
+    chosen: usize,
+    untried: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Thread(ThreadNode),
+    Read(ReadNode),
+}
+
+#[derive(Debug)]
+pub(crate) enum Mode {
+    /// Exhaustive depth-first search over the choice tree.
+    Dfs,
+    /// `total` independent schedules drawn from a seeded PRNG.
+    Sample {
+        seed: u64,
+        total: u64,
+        index: u64,
+        rng: SplitMix64,
+    },
+    /// Deterministically re-run one recorded choice sequence.
+    Replay { choices: Vec<Choice>, at: usize },
+}
+
+impl Mode {
+    pub(crate) fn sample(seed: u64, total: u64) -> Self {
+        Mode::Sample {
+            seed,
+            total,
+            index: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Search {
+    mode: Mode,
+    dpor: bool,
+    preemption_bound: Option<u32>,
+    nodes: Vec<Node>,
+    cursor: usize,
+    /// Executions started so far (the first one counts).
+    pub(crate) schedules: u64,
+    /// Every choice made in the current execution, including forced
+    /// (singleton) ones, so a failing execution replays verbatim.
+    pub(crate) current_trace: Vec<Choice>,
+    prev_running: Option<Tid>,
+    preemptions: u32,
+    /// Index of the `ThreadNode` that granted the current step, if that
+    /// decision had alternatives. DPOR hangs backtrack entries off this.
+    pub(crate) last_thread_node: Option<usize>,
+}
+
+impl Search {
+    pub(crate) fn new(mode: Mode, dpor: bool, preemption_bound: Option<u32>) -> Self {
+        Self {
+            mode,
+            dpor,
+            preemption_bound,
+            nodes: Vec::new(),
+            cursor: 0,
+            schedules: 1,
+            current_trace: Vec::new(),
+            prev_running: None,
+            preemptions: 0,
+            last_thread_node: None,
+        }
+    }
+
+    /// DPOR is only meaningful (and only applied) during DFS exploration.
+    pub(crate) fn dpor_active(&self) -> bool {
+        self.dpor && matches!(self.mode, Mode::Dfs)
+    }
+
+    fn preemption_cost(prev: Option<Tid>, chosen: Tid, enabled: &[Tid]) -> u32 {
+        match prev {
+            // Switching away from a thread that could have kept running is a
+            // preemption; switching because the previous thread blocked or
+            // finished is free (and so is the very first grant).
+            Some(p) if p != chosen && enabled.contains(&p) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Pick which enabled thread steps next.
+    pub(crate) fn decide_thread(&mut self, enabled: &[Tid]) -> Result<Tid, String> {
+        debug_assert!(!enabled.is_empty());
+        self.last_thread_node = None;
+        let chosen = match &mut self.mode {
+            Mode::Replay { choices, at } => {
+                let c = choices.get(*at).copied();
+                *at += 1;
+                match c {
+                    Some(Choice::Thread(t)) if enabled.contains(&t) => t,
+                    other => {
+                        return Err(format!(
+                            "replay diverged: expected one of {enabled:?}, trace had {other:?}"
+                        ))
+                    }
+                }
+            }
+            Mode::Sample { rng, .. } => {
+                if enabled.len() == 1 {
+                    enabled[0]
+                } else {
+                    enabled[rng.below(enabled.len())]
+                }
+            }
+            Mode::Dfs => {
+                if enabled.len() == 1 {
+                    enabled[0]
+                } else if self.cursor < self.nodes.len() {
+                    // Replaying the shared prefix of the previous execution.
+                    let idx = self.cursor;
+                    match &self.nodes[idx] {
+                        Node::Thread(t) => {
+                            debug_assert_eq!(t.enabled, enabled, "nondeterministic replay");
+                            self.last_thread_node = Some(idx);
+                            self.cursor += 1;
+                            t.chosen
+                        }
+                        Node::Read(_) => {
+                            return Err("replay diverged: read node where thread choice expected"
+                                .to_string())
+                        }
+                    }
+                } else {
+                    let default = match self.prev_running {
+                        Some(p) if enabled.contains(&p) => p,
+                        _ => enabled[0],
+                    };
+                    let backtrack = if self.dpor {
+                        vec![default]
+                    } else {
+                        enabled.to_vec()
+                    };
+                    self.nodes.push(Node::Thread(ThreadNode {
+                        enabled: enabled.to_vec(),
+                        chosen: default,
+                        tried: vec![default],
+                        backtrack,
+                        pre_preemptions: self.preemptions,
+                        prev_running: self.prev_running,
+                    }));
+                    self.last_thread_node = Some(self.nodes.len() - 1);
+                    self.cursor += 1;
+                    default
+                }
+            }
+        };
+        self.preemptions += Self::preemption_cost(self.prev_running, chosen, enabled);
+        self.prev_running = Some(chosen);
+        self.current_trace.push(Choice::Thread(chosen));
+        Ok(chosen)
+    }
+
+    /// Pick which candidate store a load observes (`candidates >= 1`;
+    /// returns an index in `0..candidates`, default = newest).
+    pub(crate) fn decide_read(&mut self, candidates: usize) -> Result<usize, String> {
+        debug_assert!(candidates >= 1);
+        let chosen = match &mut self.mode {
+            Mode::Replay { choices, at } => {
+                let c = choices.get(*at).copied();
+                *at += 1;
+                match c {
+                    Some(Choice::Read(r)) if r < candidates => r,
+                    other => {
+                        return Err(format!(
+                        "replay diverged: expected read choice < {candidates}, trace had {other:?}"
+                    ))
+                    }
+                }
+            }
+            Mode::Sample { rng, .. } => {
+                if candidates == 1 {
+                    0
+                } else {
+                    rng.below(candidates)
+                }
+            }
+            Mode::Dfs => {
+                if candidates == 1 {
+                    0
+                } else if self.cursor < self.nodes.len() {
+                    let idx = self.cursor;
+                    match &self.nodes[idx] {
+                        Node::Read(r) => {
+                            self.cursor += 1;
+                            r.chosen
+                        }
+                        Node::Thread(_) => {
+                            return Err("replay diverged: thread node where read choice expected"
+                                .to_string())
+                        }
+                    }
+                } else {
+                    let default = candidates - 1;
+                    self.nodes.push(Node::Read(ReadNode {
+                        chosen: default,
+                        untried: (0..default).collect(),
+                    }));
+                    self.cursor += 1;
+                    default
+                }
+            }
+        };
+        self.current_trace.push(Choice::Read(chosen));
+        Ok(chosen)
+    }
+
+    /// DPOR hook: a step by `me` conflicted with an earlier step taken at
+    /// choice node `node_idx`; make sure that node will also explore `me`
+    /// (or, if `me` was not enabled there, everything that was).
+    pub(crate) fn add_backtrack(&mut self, node_idx: usize, me: Tid) {
+        if let Node::Thread(t) = &mut self.nodes[node_idx] {
+            if t.backtrack.contains(&me) {
+                return;
+            }
+            if t.enabled.contains(&me) {
+                t.backtrack.push(me);
+            } else {
+                for e in t.enabled.clone() {
+                    if !t.backtrack.contains(&e) {
+                        t.backtrack.push(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prepare the next execution. Returns false when the search space (or
+    /// sampling budget) is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        let has_next = match &mut self.mode {
+            Mode::Replay { .. } => false,
+            Mode::Sample {
+                seed,
+                total,
+                index,
+                rng,
+            } => {
+                *index += 1;
+                if *index >= *total {
+                    false
+                } else {
+                    *rng = SplitMix64::new(
+                        seed.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    );
+                    true
+                }
+            }
+            Mode::Dfs => {
+                let bound = self.preemption_bound;
+                let mut found = false;
+                while let Some(node) = self.nodes.last_mut() {
+                    match node {
+                        Node::Read(r) => {
+                            if let Some(next) = r.untried.pop() {
+                                r.chosen = next;
+                                found = true;
+                                break;
+                            }
+                        }
+                        Node::Thread(t) => {
+                            let mut picked = None;
+                            loop {
+                                let cand =
+                                    t.backtrack.iter().copied().find(|c| !t.tried.contains(c));
+                                let Some(c) = cand else { break };
+                                t.tried.push(c);
+                                let cost = Self::preemption_cost(t.prev_running, c, &t.enabled);
+                                if bound.is_none_or(|b| t.pre_preemptions + cost <= b) {
+                                    picked = Some(c);
+                                    break;
+                                }
+                            }
+                            if let Some(c) = picked {
+                                t.chosen = c;
+                                found = true;
+                                break;
+                            }
+                        }
+                    }
+                    self.nodes.pop();
+                }
+                found
+            }
+        };
+        if has_next {
+            self.cursor = 0;
+            self.current_trace.clear();
+            self.prev_running = None;
+            self.preemptions = 0;
+            self.last_thread_node = None;
+            self.schedules += 1;
+        }
+        has_next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{format_trace, parse_trace, Choice};
+
+    #[test]
+    fn trace_round_trips() {
+        let choices = vec![
+            Choice::Thread(0),
+            Choice::Thread(12),
+            Choice::Read(1),
+            Choice::Read(0),
+            Choice::Thread(3),
+        ];
+        let s = format_trace(&choices);
+        assert_eq!(s, "T0 T12 R1 R0 T3");
+        assert_eq!(parse_trace(&s).expect("parse"), choices);
+        assert!(parse_trace("T0 X9").is_err());
+        assert!(parse_trace("Tx").is_err());
+    }
+}

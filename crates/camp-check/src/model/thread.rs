@@ -1,0 +1,87 @@
+//! Modeled `thread::spawn`/`join`/`yield_now`. Inside an execution, spawn
+//! registers a new vthread with the kernel (inheriting the parent's clock)
+//! and starts a real OS thread for it; join is a blocking scheduling point
+//! granted only once the target vthread finished, and it joins the target's
+//! final clock (the usual spawn/join happens-before edges). Outside an
+//! execution everything falls through to `std::thread`.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::model::exec;
+use crate::model::kernel::{Op, OpOutcome};
+use crate::model::search::Tid;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: Tid,
+        os: std::thread::JoinHandle<()>,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::current() {
+        Some(h) => {
+            let tid = match exec::schedule_op(&h, Op::Spawn) {
+                OpOutcome::Value(t) => t as Tid,
+                _ => unreachable!("spawn returned non-value"),
+            };
+            let slot = Arc::new(Mutex::new(None));
+            let out = slot.clone();
+            let os = exec::spawn_os_vthread(
+                &h.shared,
+                tid,
+                Box::new(move || {
+                    let result = f();
+                    *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                }),
+            );
+            JoinHandle {
+                inner: Inner::Model { tid, os, slot },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, os, slot } => {
+                // Blocks in the model until the target vthread finished; on
+                // an abort this unwinds instead of returning.
+                exec::schedule_on_current(Op::Join { target: tid });
+                // The vthread is finished in the kernel, so the OS thread is
+                // past its last kernel interaction; reap it promptly.
+                let _ = os.join();
+                let result = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined vthread left no result");
+                Ok(result)
+            }
+        }
+    }
+}
+
+pub fn yield_now() {
+    match exec::current() {
+        Some(h) => {
+            exec::schedule_op(&h, Op::Yield);
+        }
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,81 @@
+//! Version vectors: the happens-before clocks the memory model is built on.
+//!
+//! Each virtual thread owns one component; component `t` of a clock is "the
+//! number of events of thread `t` this clock has transitively observed". A
+//! store `S` by thread `w` with stamp `s` happens-before an observer with
+//! clock `C` iff `C[w] >= s`.
+
+/// A grow-on-demand vector clock over virtual-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VersionVec {
+    v: Vec<u64>,
+}
+
+impl VersionVec {
+    pub(crate) fn new() -> Self {
+        Self { v: Vec::new() }
+    }
+
+    pub(crate) fn get(&self, t: usize) -> u64 {
+        self.v.get(t).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, t: usize, val: u64) {
+        if self.v.len() <= t {
+            self.v.resize(t + 1, 0);
+        }
+        self.v[t] = val;
+    }
+
+    /// Advance this thread's own component by one and return the new value
+    /// (the stamp of the event being recorded).
+    pub(crate) fn bump(&mut self, t: usize) -> u64 {
+        let n = self.get(t) + 1;
+        self.set(t, n);
+        n
+    }
+
+    /// Pointwise maximum: absorb everything `other` has observed.
+    pub(crate) fn join(&mut self, other: &VersionVec) {
+        if self.v.len() < other.v.len() {
+            self.v.resize(other.v.len(), 0);
+        }
+        for (a, b) in self.v.iter_mut().zip(other.v.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True if the clock has observed nothing (a store carrying an empty
+    /// release clock transfers no happens-before edge to its readers).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.v.iter().all(|&x| x == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VersionVec;
+
+    #[test]
+    fn join_is_pointwise_max_and_grows() {
+        let mut a = VersionVec::new();
+        a.set(0, 3);
+        let mut b = VersionVec::new();
+        b.set(0, 1);
+        b.set(2, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 7);
+        assert!(!a.is_empty());
+        assert!(VersionVec::new().is_empty());
+    }
+
+    #[test]
+    fn bump_returns_the_new_stamp() {
+        let mut a = VersionVec::new();
+        assert_eq!(a.bump(4), 1);
+        assert_eq!(a.bump(4), 2);
+        assert_eq!(a.get(4), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! The shim layer. Code under test imports its concurrency primitives from
+//! here instead of `std::sync`:
+//!
+//! ```ignore
+//! use camp_check::sync::atomic::{AtomicU64, Ordering};
+//! use camp_check::sync::{Mutex, fence};
+//! use camp_check::sync::thread;
+//! ```
+//!
+//! In a normal build these are *re-exports of the `std` items* — pure type
+//! aliases, zero runtime overhead, identical codegen. Under
+//! `RUSTFLAGS='--cfg camp_check'` the same paths resolve to the modeled
+//! types in [`crate::model`], which route every operation through the
+//! cooperative scheduler when a checker execution is active (and fall back
+//! to `std` behavior when one is not, so ordinary tests still run under the
+//! cfg).
+
+#[cfg(not(camp_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(not(camp_check))]
+pub use std::sync::atomic::fence;
+
+#[cfg(not(camp_check))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(not(camp_check))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(camp_check)]
+pub mod atomic {
+    pub use crate::model::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+    };
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(camp_check)]
+pub use crate::model::atomic::fence;
+
+#[cfg(camp_check)]
+pub use crate::model::mutex::{Mutex, MutexGuard};
+
+#[cfg(camp_check)]
+pub mod thread {
+    pub use crate::model::thread::{spawn, yield_now, JoinHandle};
+}

@@ -1,0 +1,392 @@
+//! Checker self-tests: the checker is itself validated before any harness
+//! trusts it. Exact interleaving counts are asserted against hand-computed
+//! values, seeded mutations must be caught, and counterexample traces must
+//! replay deterministically.
+//!
+//! These run under plain `cargo test -p camp-check` — the model API is
+//! always compiled; only the *shim switch* needs `--cfg camp_check`.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use camp_check::model::atomic::AtomicU64;
+use camp_check::model::mutex::Mutex;
+use camp_check::model::thread;
+use camp_check::{CheckOutcome, Checker};
+
+/// Shared state of the store-buffering litmus: two modeled locations plus
+/// *plain std* result slots — writes to them are not scheduler steps (the
+/// kernel lock serializes vthreads, so the `after` closure sees them), so
+/// each thread contributes exactly 3 scheduler steps: Start, store, load.
+struct Sb {
+    x: AtomicU64,
+    y: AtomicU64,
+    r1: std::sync::atomic::AtomicU64,
+    r2: std::sync::atomic::AtomicU64,
+}
+
+fn sb_setup() -> Sb {
+    Sb {
+        x: AtomicU64::new(0),
+        y: AtomicU64::new(0),
+        r1: std::sync::atomic::AtomicU64::new(u64::MAX),
+        r2: std::sync::atomic::AtomicU64::new(u64::MAX),
+    }
+}
+
+fn sb_threads(ord: Ordering) -> Vec<Box<dyn Fn(Arc<Sb>) + Send + Sync>> {
+    vec![
+        Box::new(move |s: Arc<Sb>| {
+            s.x.store(1, ord);
+            let r = s.y.load(ord);
+            s.r1.store(r, Ordering::Relaxed);
+        }),
+        Box::new(move |s: Arc<Sb>| {
+            s.y.store(1, ord);
+            let r = s.x.load(ord);
+            s.r2.store(r, Ordering::Relaxed);
+        }),
+    ]
+}
+
+fn collect_sb_outcomes(ord: Ordering, checker: Checker) -> (u64, HashSet<(u64, u64)>) {
+    let outcomes = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = outcomes.clone();
+    let result = checker.check_threads_setup(sb_setup, sb_threads(ord), move |s: Arc<Sb>| {
+        let pair = (s.r1.load(Ordering::Relaxed), s.r2.load(Ordering::Relaxed));
+        sink.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(pair);
+    });
+    let schedules = result.assert_pass("store-buffering litmus");
+    let outcomes = outcomes
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    (schedules, outcomes)
+}
+
+/// Hand-computed execution count for relaxed store buffering under full
+/// enumeration (DPOR off, unbounded preemptions).
+///
+/// Each thread contributes 3 scheduler steps (the `Start` op, the store,
+/// the load) — the trailing `r1`/`r2` bookkeeping stores and the `after`
+/// thread run when only one thread is enabled, so they add no branching.
+/// Interleavings of 3+3 steps: C(6,3) = 20.
+///
+/// A load has 2 candidate stores (the other thread's store vs. the init
+/// store) iff the other store was executed before it; otherwise 1. With
+/// P = "T1's store precedes T0's load" and Q = "T0's store precedes T1's
+/// load": 4 interleavings violate P, 4 violate Q, and none violate both
+/// (that would need each load to precede the other thread's store — a
+/// cycle), so 12 satisfy both. Total executions =
+/// 12 * (2*2) + 4 * 2 + 4 * 2 = 64.
+#[test]
+fn store_buffering_full_enumeration_explores_exactly_64() {
+    let (schedules, outcomes) = collect_sb_outcomes(Ordering::Relaxed, Checker::new().dpor(false));
+    assert_eq!(schedules, 64, "hand-computed interleaving count");
+    let all: HashSet<_> = [(0, 0), (0, 1), (1, 0), (1, 1)].into_iter().collect();
+    assert_eq!(
+        outcomes, all,
+        "relaxed SB shows all four outcomes incl. (0,0)"
+    );
+}
+
+#[test]
+fn store_buffering_seqcst_forbids_both_zero() {
+    let (_, outcomes) = collect_sb_outcomes(Ordering::SeqCst, Checker::new().dpor(false));
+    assert!(
+        !outcomes.contains(&(0, 0)),
+        "SC store buffering must not observe (0,0), got {outcomes:?}"
+    );
+    assert!(outcomes.contains(&(1, 1)));
+}
+
+#[test]
+fn dpor_prunes_without_losing_outcomes() {
+    let (schedules, outcomes) = collect_sb_outcomes(Ordering::Relaxed, Checker::new().dpor(true));
+    let all: HashSet<_> = [(0, 0), (0, 1), (1, 0), (1, 1)].into_iter().collect();
+    assert_eq!(outcomes, all, "DPOR must preserve every observable outcome");
+    assert!(
+        schedules < 64,
+        "DPOR should prune the 64 full-enumeration executions, got {schedules}"
+    );
+    assert!(schedules >= 4, "at least one execution per outcome");
+}
+
+/// With a preemption bound of 0 the only schedules are the two
+/// run-to-completion orders; each completes the two read choices of the
+/// second thread's load (the first thread's load has its 2 candidates only
+/// when the other store already happened — which is exactly the case in
+/// one order each): 2 orders * 2 read choices = 4 executions.
+#[test]
+fn preemption_bound_zero_explores_only_completion_orders() {
+    let (schedules, outcomes) = collect_sb_outcomes(
+        Ordering::Relaxed,
+        Checker::new().dpor(false).preemption_bound(0),
+    );
+    assert_eq!(schedules, 4, "2 completion orders x 2 read choices");
+    // In a completion order the first thread's load always precedes the
+    // other store (reads 0), and the second thread's load may still read
+    // the stale init store (relaxed!), so (1,1) is the one outcome that
+    // requires a preemption — and (0,0) notably does NOT.
+    let expected: HashSet<_> = [(0, 0), (0, 1), (1, 0)].into_iter().collect();
+    assert_eq!(outcomes, expected);
+}
+
+/// Message passing: data published with a Release store and consumed with
+/// an Acquire load must never be seen stale. This is the protocol the
+/// seqlock harnesses rely on, validated on the checker itself.
+struct Mp {
+    data: AtomicU64,
+    flag: AtomicU64,
+}
+
+fn mp_threads(publish: Ordering, consume: Ordering) -> Vec<Box<dyn Fn(Arc<Mp>) + Send + Sync>> {
+    vec![
+        Box::new(move |s: Arc<Mp>| {
+            s.data.store(42, Ordering::Relaxed);
+            s.flag.store(1, publish);
+        }),
+        Box::new(move |s: Arc<Mp>| {
+            if s.flag.load(consume) == 1 {
+                let d = s.data.load(Ordering::Relaxed);
+                assert_eq!(d, 42, "consumer saw the flag but stale data ({d})");
+            }
+        }),
+    ]
+}
+
+fn mp_setup() -> Mp {
+    Mp {
+        data: AtomicU64::new(0),
+        flag: AtomicU64::new(0),
+    }
+}
+
+#[test]
+fn message_passing_release_acquire_passes() {
+    Checker::new()
+        .check_threads_setup(
+            mp_setup,
+            mp_threads(Ordering::Release, Ordering::Acquire),
+            |_| {},
+        )
+        .assert_pass("release/acquire message passing");
+}
+
+#[test]
+fn message_passing_relaxed_mutation_is_caught_and_replays() {
+    // Mutation: publish downgraded to Relaxed — the consumer may see the
+    // flag without the data. The checker MUST catch it...
+    let run = |trace: Option<String>| {
+        let checker = Checker::new();
+        let threads = mp_threads(Ordering::Relaxed, Ordering::Acquire);
+        match trace {
+            None => checker.check_threads_setup(mp_setup, threads, |_| {}),
+            Some(t) => checker.replay_threads_setup(&t, mp_setup, threads, |_| {}),
+        }
+    };
+    let first = run(None);
+    let failure = first.expect_fail("relaxed publish mutation").clone();
+    assert!(
+        failure.error.contains("stale data"),
+        "unexpected error: {}",
+        failure.error
+    );
+    assert!(
+        !failure.trace.is_empty(),
+        "counterexample must be replayable"
+    );
+    // ...and the recorded trace must deterministically reproduce it.
+    for _ in 0..3 {
+        let again = run(Some(failure.trace.clone()));
+        let f = again.expect_fail("replay of the counterexample");
+        assert_eq!(f.error, failure.error, "replay diverged from the original");
+        assert_eq!(f.schedules, 1, "replay is a single execution");
+    }
+}
+
+#[test]
+fn lost_update_is_caught_with_counterexample() {
+    // Classic lost update: two load+store increments instead of fetch_add.
+    struct Cnt {
+        n: AtomicU64,
+    }
+    let inc: Box<dyn Fn(Arc<Cnt>) + Send + Sync> = Box::new(|s: Arc<Cnt>| {
+        let v = s.n.load(Ordering::Relaxed);
+        s.n.store(v + 1, Ordering::Relaxed);
+    });
+    let inc2: Box<dyn Fn(Arc<Cnt>) + Send + Sync> = Box::new(|s: Arc<Cnt>| {
+        let v = s.n.load(Ordering::Relaxed);
+        s.n.store(v + 1, Ordering::Relaxed);
+    });
+    let result = Checker::new().check_threads_setup(
+        || Cnt {
+            n: AtomicU64::new(0),
+        },
+        vec![inc, inc2],
+        |s: Arc<Cnt>| {
+            // ordering-wise the after thread joins all finals, so SeqCst vs
+            // Relaxed is immaterial here; the value is what matters.
+            let n = s.n.load(Ordering::Relaxed);
+            assert_eq!(n, 2, "lost update: counter ended at {n}");
+        },
+    );
+    let failure = result.expect_fail("load+store increment races");
+    assert!(failure.error.contains("lost update"));
+    assert!(failure.steps.iter().any(|s| s.contains("load")));
+}
+
+#[test]
+fn fetch_add_increments_are_never_lost() {
+    struct Cnt {
+        n: AtomicU64,
+    }
+    let mk = || -> Box<dyn Fn(Arc<Cnt>) + Send + Sync> {
+        Box::new(|s: Arc<Cnt>| {
+            s.n.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    Checker::new()
+        .check_threads_setup(
+            || Cnt {
+                n: AtomicU64::new(0),
+            },
+            vec![mk(), mk(), mk()],
+            |s: Arc<Cnt>| {
+                assert_eq!(s.n.load(Ordering::Relaxed), 3);
+            },
+        )
+        .assert_pass("3-thread fetch_add counter");
+}
+
+#[test]
+fn lock_order_cycle_deadlock_is_detected() {
+    struct Two {
+        a: Mutex<u64>,
+        b: Mutex<u64>,
+    }
+    let t1: Box<dyn Fn(Arc<Two>) + Send + Sync> = Box::new(|s: Arc<Two>| {
+        let _ga = s.a.lock();
+        let _gb = s.b.lock();
+    });
+    let t2: Box<dyn Fn(Arc<Two>) + Send + Sync> = Box::new(|s: Arc<Two>| {
+        let _gb = s.b.lock();
+        let _ga = s.a.lock();
+    });
+    let result = Checker::new().check_threads_setup(
+        || Two {
+            a: Mutex::new(0),
+            b: Mutex::new(0),
+        },
+        vec![t1, t2],
+        |_| {},
+    );
+    let failure = result.expect_fail("AB/BA lock order");
+    assert!(
+        failure.error.contains("deadlock"),
+        "expected a deadlock report, got: {}",
+        failure.error
+    );
+}
+
+#[test]
+fn mutex_serializes_plain_data() {
+    struct Guarded {
+        n: Mutex<u64>,
+    }
+    let mk = || -> Box<dyn Fn(Arc<Guarded>) + Send + Sync> {
+        Box::new(|s: Arc<Guarded>| {
+            if let Ok(mut g) = s.n.lock() {
+                *g += 1;
+            }
+        })
+    };
+    Checker::new()
+        .check_threads_setup(
+            || Guarded { n: Mutex::new(0) },
+            vec![mk(), mk()],
+            |s: Arc<Guarded>| {
+                if let Ok(g) = s.n.lock() {
+                    assert_eq!(*g, 2);
+                }
+            },
+        )
+        .assert_pass("mutex-guarded counter");
+}
+
+#[test]
+fn spawn_join_transfers_happens_before() {
+    Checker::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let d = data.clone();
+            let h = thread::spawn(move || {
+                d.store(7, Ordering::Relaxed);
+            });
+            h.join().expect("joined vthread");
+            // Join edges make even the relaxed store visible.
+            assert_eq!(data.load(Ordering::Relaxed), 7);
+        })
+        .assert_pass("spawn/join happens-before");
+}
+
+#[test]
+fn sampling_finds_seeded_bug_and_trace_replays() {
+    let buggy = || {
+        let s = Arc::new(Mp {
+            data: AtomicU64::new(0),
+            flag: AtomicU64::new(0),
+        });
+        let p = s.clone();
+        let c = s.clone();
+        let h1 = thread::spawn(move || {
+            p.data.store(42, Ordering::Relaxed);
+            p.flag.store(1, Ordering::Relaxed);
+        });
+        let h2 = thread::spawn(move || {
+            if c.flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(c.data.load(Ordering::Relaxed), 42, "stale data");
+            }
+        });
+        let _ = h1.join();
+        let _ = h2.join();
+    };
+    let result = Checker::new().sample(0xCA5C_ADE5, 5_000, buggy);
+    let failure = result.expect_fail("sampled relaxed publish").clone();
+    assert!(failure.error.contains("stale data"));
+    let again = Checker::new().replay(&failure.trace, buggy);
+    let f = again.expect_fail("replay of sampled counterexample");
+    assert_eq!(f.error, failure.error);
+}
+
+#[test]
+fn step_limit_reports_livelock_instead_of_hanging() {
+    let result = Checker::new().max_steps(200).check(|| {
+        let stop = Arc::new(AtomicU64::new(0));
+        // A spin that no other thread will ever satisfy.
+        while stop.load(Ordering::Acquire) == 0 {}
+    });
+    let failure = result.expect_fail("unbounded spin");
+    assert!(failure.error.contains("step limit"));
+}
+
+#[test]
+fn budget_exhaustion_is_a_failure_not_a_silent_pass() {
+    let result = Checker::new()
+        .max_schedules(3)
+        .dpor(false)
+        .check_threads_setup(sb_setup, sb_threads(Ordering::Relaxed), |_| {});
+    let failure = result.expect_fail("tiny schedule budget");
+    assert!(failure.error.contains("schedule budget"));
+}
+
+#[test]
+fn outcome_accessors_report_schedules() {
+    let pass = Checker::new().check(|| {});
+    assert!(matches!(pass, CheckOutcome::Pass { schedules: 1 }));
+    assert_eq!(pass.schedules(), 1);
+    assert!(pass.failure().is_none());
+}

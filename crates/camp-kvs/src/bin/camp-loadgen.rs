@@ -549,6 +549,7 @@ fn ensure_conn<'a>(
         None => {
             let dialed = connect(addr)?;
             if *ever_connected {
+                // ordering: Relaxed — statistics counter.
                 totals.reconnects.fetch_add(1, Ordering::Relaxed);
             }
             *ever_connected = true;
@@ -571,6 +572,9 @@ fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8
         .collect();
     let mut line = Vec::new();
     let mut skip = Vec::new();
+    // ordering: Relaxed — best-effort stop flag: a worker finishing one
+    // extra batch after the deadline is fine, and the final counts are
+    // ordered by the join below anyway.
     while !totals.stop.load(Ordering::Relaxed) {
         // Issue phase: put one batch on the wire per connection before
         // reading anything back, so every connection this thread owns has
@@ -611,6 +615,7 @@ fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8
                         // Legacy behavior: a dead connection ends the
                         // worker (the others keep going).
                         eprintln!("camp-loadgen: worker {worker_id}: {err}");
+                        // ordering: Relaxed — statistics counter.
                         totals.errors.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
@@ -645,6 +650,8 @@ fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8
                     Ok(counts) => break Ok(counts),
                     Err(err) => {
                         slot.conn = None;
+                        // ordering: Relaxed(x2) — stop flag (see the
+                        // worker loop) and a statistics counter.
                         if attempt >= config.retries || totals.stop.load(Ordering::Relaxed) {
                             break Err(err);
                         }
@@ -659,12 +666,14 @@ fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8
                 Err(err) => {
                     if config.retries == 0 {
                         eprintln!("camp-loadgen: worker {worker_id}: {err}");
+                        // ordering: Relaxed — statistics counter.
                         totals.errors.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
                     // Budget exhausted: the batch's ops are errors; move on.
                     totals
                         .errors
+                        // ordering: Relaxed — statistics counter.
                         .fetch_add(slot.ops.len() as u64, Ordering::Relaxed);
                     continue;
                 }
@@ -684,6 +693,8 @@ fn worker(config: Config, totals: Arc<Totals>, worker_id: u64, value: Arc<Vec<u8
                     }
                 }
             }
+            // ordering: Relaxed(x5) — statistics counters; the final
+            // report reads them after joining every worker.
             totals.ops.fetch_add(gets + sets, Ordering::Relaxed);
             totals.gets.fetch_add(gets, Ordering::Relaxed);
             totals.sets.fetch_add(sets, Ordering::Relaxed);
@@ -772,6 +783,8 @@ fn measure(config: &Config, value: &Arc<Vec<u8>>) -> RunStats {
     std::thread::sleep(Duration::from_secs_f64(config.warmup_secs.max(0.0)));
     totals.get_latency.reset();
     totals.set_latency.reset();
+    // ordering: Relaxed(x4) — statistics baselines; warmup tolerances
+    // dwarf any cross-thread skew.
     let ops_base = totals.ops.load(Ordering::Relaxed);
     let gets_base = totals.gets.load(Ordering::Relaxed);
     let hits_base = totals.hits.load(Ordering::Relaxed);
@@ -786,6 +799,7 @@ fn measure(config: &Config, value: &Arc<Vec<u8>>) -> RunStats {
         let remaining = config.duration_secs - started.elapsed().as_secs_f64();
         std::thread::sleep(Duration::from_secs_f64(remaining.clamp(0.0, 0.25)));
         let t = started.elapsed().as_secs_f64();
+        // ordering: Relaxed — sampling a statistics counter mid-run.
         let cumulative = totals.ops.load(Ordering::Relaxed) - ops_base;
         let rate = if t > last_t {
             (cumulative - last_ops) as f64 / (t - last_t)
@@ -796,6 +810,8 @@ fn measure(config: &Config, value: &Arc<Vec<u8>>) -> RunStats {
         last_t = t;
         last_ops = cumulative;
     }
+    // ordering: Relaxed(x2) — stop flag (see the worker loop) and a
+    // statistics read; the authoritative counts come after the joins.
     totals.stop.store(true, Ordering::Relaxed);
     let elapsed_secs = started.elapsed().as_secs_f64();
     let total_ops = totals.ops.load(Ordering::Relaxed) - ops_base;
@@ -803,6 +819,8 @@ fn measure(config: &Config, value: &Arc<Vec<u8>>) -> RunStats {
         let _ = handle.join();
     }
 
+    // ordering: Relaxed(x3) — statistics counters, read after every
+    // worker has been joined.
     let gets = totals.gets.load(Ordering::Relaxed) - gets_base;
     let hits = totals.hits.load(Ordering::Relaxed) - hits_base;
     let errors = totals.errors.load(Ordering::Relaxed) - errors_base;
@@ -816,6 +834,7 @@ fn measure(config: &Config, value: &Arc<Vec<u8>>) -> RunStats {
         total_ops,
         hit_ratio,
         errors,
+        // ordering: Relaxed(x2) — statistics counters, post-join.
         batch_retries: totals.batch_retries.load(Ordering::Relaxed),
         reconnects: totals.reconnects.load(Ordering::Relaxed),
         trajectory,

@@ -190,12 +190,14 @@ impl ServerMetrics {
 
     /// Adds wire bytes consumed by one command of class `kind`. Wait-free.
     pub fn record_bytes(&self, kind: CmdKind, bytes: u64) {
+        // ordering: Relaxed — statistics counter.
         self.bytes_read[Self::index(kind)].fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Wire bytes consumed so far by commands of class `kind`.
     #[must_use]
     pub fn bytes_read(&self, kind: CmdKind) -> u64 {
+        // ordering: Relaxed — statistics counter.
         self.bytes_read[Self::index(kind)].load(Ordering::Relaxed)
     }
 
@@ -214,6 +216,7 @@ impl ServerMetrics {
             .iter()
             .position(|&c| c == cause)
             .unwrap_or(0);
+        // ordering: Relaxed — statistics counter.
         self.rejected[index].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -224,6 +227,7 @@ impl ServerMetrics {
             .iter()
             .position(|&c| c == cause)
             .unwrap_or(0);
+        // ordering: Relaxed — statistics counter.
         self.rejected[index].load(Ordering::Relaxed)
     }
 
@@ -239,6 +243,7 @@ impl ServerMetrics {
     /// Counts one injected fault.
     pub fn record_fault(&self, kind: FaultKind) {
         let index = FaultKind::ALL.iter().position(|&k| k == kind).unwrap_or(0);
+        // ordering: Relaxed — statistics counter.
         self.faults[index].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -248,6 +253,7 @@ impl ServerMetrics {
         FaultKind::ALL
             .iter()
             .zip(&self.faults)
+            // ordering: Relaxed — statistics counter.
             .map(|(&kind, counter)| (kind.name(), counter.load(Ordering::Relaxed)))
             .collect()
     }
@@ -264,6 +270,9 @@ impl ServerMetrics {
         for histogram in &self.latency {
             histogram.reset();
         }
+        // ordering: Relaxed(x6) — statistics counters; a racing
+        // recorder landing just after the zeroing is a normal race
+        // between `stats reset` and live traffic.
         for counter in &self.bytes_read {
             counter.store(0, Ordering::Relaxed);
         }
@@ -365,6 +374,8 @@ impl ReactorStats {
     pub fn snapshot(&self) -> Vec<WorkerStatsSnapshot> {
         self.workers
             .iter()
+            // ordering: Relaxed(x6) — statistics counters; the snapshot
+            // is advisory and never gates an operation.
             .map(|w| WorkerStatsSnapshot {
                 live_connections: w.live_connections.load(Ordering::Relaxed),
                 epoll_wakeups: w.epoll_wakeups.load(Ordering::Relaxed),
@@ -380,6 +391,7 @@ impl ReactorStats {
     /// are left alone — they track reality, not history.
     pub fn reset(&self) {
         for w in &self.workers {
+            // ordering: Relaxed(x5) — statistics counters; see `snapshot`.
             w.epoll_wakeups.store(0, Ordering::Relaxed);
             w.timer_fires.store(0, Ordering::Relaxed);
             w.write_pauses.store(0, Ordering::Relaxed);
@@ -663,6 +675,7 @@ impl TelemetryReport {
                 lines.push(format!("STAT persist:quarantined {}", p.quarantined));
                 lines.push(format!("STAT persist:torn_bytes {}", p.torn_bytes));
                 lines.push(format!("STAT persist:snapshots {}", p.snapshots));
+                lines.push(format!("STAT persist:trips {}", p.trips));
                 lines.push(format!("STAT persist:rearms {}", p.rearms));
                 lines.push(format!("STAT persist:segments {}", p.segments));
             }
@@ -1140,7 +1153,7 @@ impl TelemetryReport {
         };
         exp.int_value("camp_persist_state", &[], state_code);
         let p = self.persist.clone().unwrap_or_default();
-        let persist_counters: [(&str, &str, u64); 6] = [
+        let persist_counters: [(&str, &str, u64); 7] = [
             (
                 "camp_persist_errors_total",
                 "append-log I/O errors (append, fsync, repair)",
@@ -1170,6 +1183,11 @@ impl TelemetryReport {
                 "camp_persist_quarantined_total",
                 "corrupt records skipped by boot-time recovery",
                 p.quarantined,
+            ),
+            (
+                "camp_persist_trips_total",
+                "active-to-degraded transitions of the durability engine",
+                p.trips,
             ),
         ];
         for (name, help, value) in persist_counters {
@@ -1274,6 +1292,7 @@ mod tests {
                 quarantined: 3,
                 torn_bytes: 17,
                 snapshots: 4,
+                trips: 1,
                 rearms: 1,
                 segments: 2,
             }),

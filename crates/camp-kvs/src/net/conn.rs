@@ -621,6 +621,7 @@ impl Connection {
                     shared
                         .metrics
                         .record_bytes(CmdKind::Other, line_wire as u64);
+                    // ordering: Relaxed — statistics counter.
                     shared
                         .metrics
                         .protocol_errors

@@ -213,6 +213,8 @@ impl Reactor {
 
     /// Hands a socket to the next worker in accept order.
     pub(crate) fn submit(&self, handoff: Handoff) {
+        // ordering: Relaxed — round-robin cursor; the handoff itself
+        // travels through the intake queue's lock.
         let index = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.shared.intakes.len();
         let intake = &self.shared.intakes[index];
         intake.push(handoff);
@@ -229,12 +231,16 @@ impl Reactor {
     /// Orders workers to sever whatever is left, joins them, and returns
     /// how many connections were forcibly closed.
     pub(crate) fn sever_and_join(&self) -> u64 {
+        // ordering: SeqCst — shutdown control plane: rare, and the
+        // simplest reasoning wins over saving a fence at shutdown time.
         self.shared.sever.store(true, Ordering::SeqCst);
         self.wake_all();
         let handles: Vec<_> = lock(&self.workers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
+        // ordering: SeqCst — reads after join(), which already ordered
+        // everything; SeqCst for uniformity with the other sever fields.
         self.shared.severed.load(Ordering::SeqCst)
     }
 
@@ -340,6 +346,7 @@ impl Worker {
                     .reactor_stats
                     .worker(self.index)
                     .epoll_wakeups
+                    // ordering: Relaxed — statistics counter.
                     .fetch_add(1, Ordering::Relaxed);
             }
             let mut accept_ready = false;
@@ -359,6 +366,8 @@ impl Worker {
             }
             self.take_intake(now);
             self.fire_timers(Instant::now());
+            // ordering: SeqCst — shutdown/sever control plane: rare, and the
+            // simplest reasoning wins over saving a fence at drain time.
             if self.shared.draining.load(Ordering::SeqCst) {
                 self.on_draining();
             }
@@ -424,6 +433,7 @@ impl Worker {
             .reactor_stats
             .worker(self.index)
             .events_dispatched
+            // ordering: Relaxed — statistics counter.
             .fetch_add(queue.len() as u64, Ordering::Relaxed);
         for &(slot, gen) in &queue {
             if slot < self.slots.len() && self.gens[slot] == gen && self.slots[slot].is_some() {
@@ -442,6 +452,8 @@ impl Worker {
     /// still reject exactly.
     fn accept_ready(&mut self, now: Instant) {
         for _ in 0..ACCEPT_ROUND_MAX {
+            // ordering: SeqCst(x3) — shutdown/drain/sever control plane;
+            // see the event-loop checks.
             if self.shared.shutdown.load(Ordering::SeqCst)
                 || self.shared.draining.load(Ordering::SeqCst)
                 || self.rshared.sever.load(Ordering::SeqCst)
@@ -464,21 +476,14 @@ impl Worker {
                 .reactor_stats
                 .worker(self.index)
                 .accepts
+                // ordering: Relaxed — statistics counter.
                 .fetch_add(1, Ordering::Relaxed);
-            let rejected = if self.shared.max_conns > 0 {
-                self.shared
-                    .conn_count
-                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
-                        (live < self.shared.max_conns).then_some(live + 1)
-                    })
-                    .is_err()
-            } else {
-                self.shared.conn_count.fetch_add(1, Ordering::SeqCst);
-                false
-            };
+            let rejected = !self.shared.conns.try_reserve();
             let id = if rejected {
                 0
             } else {
+                // ordering: Relaxed — unique-id counter; uniqueness needs
+                // only atomicity.
                 self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed)
             };
             self.register(
@@ -510,10 +515,12 @@ impl Worker {
     fn take_intake(&mut self, now: Instant) {
         let handoffs = self.rshared.intakes[self.index].drain();
         for handoff in handoffs {
+            // ordering: SeqCst(x2) — sever control plane; see the
+            // event-loop checks.
             if self.rshared.sever.load(Ordering::SeqCst) {
                 // Too late to serve: account it like a severed connection.
                 if !handoff.rejected {
-                    self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                    self.shared.conns.release();
                     self.rshared.severed.fetch_add(1, Ordering::SeqCst);
                 }
                 continue;
@@ -527,7 +534,7 @@ impl Worker {
     fn register(&mut self, handoff: Handoff, now: Instant) {
         if handoff.stream.set_nonblocking(true).is_err() {
             if !handoff.rejected {
-                self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                self.shared.conns.release();
             }
             return;
         }
@@ -538,6 +545,7 @@ impl Worker {
             self.shared
                 .metrics
                 .connections_opened
+                // ordering: Relaxed — statistics counter.
                 .fetch_add(1, Ordering::Relaxed);
             Connection::new(handoff.id, &self.shared)
         };
@@ -555,10 +563,11 @@ impl Worker {
             kvlog!(LogLevel::Warn, "reactor_register_failed", error = err);
             self.free.push(slot);
             if counted {
-                self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                self.shared.conns.release();
                 self.shared
                     .metrics
                     .connections_opened
+                    // ordering: Relaxed — statistics counter.
                     .fetch_sub(1, Ordering::Relaxed);
             }
             return;
@@ -573,6 +582,7 @@ impl Worker {
             .reactor_stats
             .worker(self.index)
             .live_connections
+            // ordering: Relaxed — statistics counter.
             .fetch_add(1, Ordering::Relaxed);
         if counted && !self.shared.idle_timeout.is_zero() {
             self.wheel.schedule(
@@ -594,6 +604,7 @@ impl Worker {
     /// replies, then re-derive epoll interest.
     fn cycle(&mut self, slot: usize, now: Instant) {
         let shared = Arc::clone(&self.shared);
+        // ordering: SeqCst — drain control plane; see the event-loop checks.
         let draining = shared.draining.load(Ordering::SeqCst);
         let worker = self.index;
         let pool = &mut self.pool;
@@ -653,6 +664,7 @@ impl Worker {
                                 .reactor_stats
                                 .worker(worker)
                                 .write_pauses
+                                // ordering: Relaxed — statistics counter.
                                 .fetch_add(1, Ordering::Relaxed);
                         }
                         After::Keep(interest)
@@ -716,14 +728,17 @@ impl Worker {
             .reactor_stats
             .worker(self.index)
             .live_connections
+            // ordering: Relaxed — statistics counter.
             .fetch_sub(1, Ordering::Relaxed);
         if entry.conn.counted {
-            self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            self.shared.conns.release();
             self.shared
                 .metrics
                 .connections_closed
+                // ordering: Relaxed — statistics counter.
                 .fetch_add(1, Ordering::Relaxed);
             if severed {
+                // ordering: SeqCst — sever accounting read back after join.
                 self.rshared.severed.fetch_add(1, Ordering::SeqCst);
             }
         }
@@ -738,6 +753,7 @@ impl Worker {
                 .reactor_stats
                 .worker(self.index)
                 .timer_fires
+                // ordering: Relaxed — statistics counter.
                 .fetch_add(due.len() as u64, Ordering::Relaxed);
         }
         for timer in due {

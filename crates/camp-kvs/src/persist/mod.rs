@@ -32,6 +32,7 @@
 
 pub mod io;
 pub mod record;
+mod state;
 
 pub use io::{FaultFs, IoBackend, RealFs};
 pub use record::{Record, ScanSummary};
@@ -51,6 +52,8 @@ use camp_telemetry::{kvlog, LogLevel};
 use crate::fault::FaultPlan;
 use crate::shard::ShardedStore;
 use crate::sync::lock;
+
+use self::state::EngineState;
 
 /// Segment file extension (files are named `seg-<index>.camplog`).
 const SEGMENT_SUFFIX: &str = ".camplog";
@@ -171,6 +174,8 @@ pub struct PersistSnapshot {
     pub torn_bytes: u64,
     /// Compaction snapshots taken (including re-arms).
     pub snapshots: u64,
+    /// Active-to-degraded transitions (trips) since boot.
+    pub trips: u64,
     /// Successful degraded-to-active recoveries.
     pub rearms: u64,
     /// Segment files currently in the log (including the active one).
@@ -190,14 +195,12 @@ impl Default for PersistSnapshot {
             quarantined: 0,
             torn_bytes: 0,
             snapshots: 0,
+            trips: 0,
             rearms: 0,
             segments: 0,
         }
     }
 }
-
-const STATE_ACTIVE: u64 = 0;
-const STATE_DEGRADED: u64 = 1;
 
 /// The mutable write-side state, held under one mutex.
 #[derive(Debug)]
@@ -225,17 +228,15 @@ struct LogWriter {
 pub struct Persist {
     writer: Mutex<LogWriter>,
     options: PersistOptions,
-    state: AtomicU64,
+    engine: EngineState,
     errors: AtomicU64,
     bytes: AtomicU64,
     fsyncs: AtomicU64,
     records: AtomicU64,
-    dropped: AtomicU64,
     recovered: AtomicU64,
     quarantined: AtomicU64,
     torn_bytes: AtomicU64,
     snapshots: AtomicU64,
-    rearms: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -407,17 +408,15 @@ impl Persist {
                 dirty: false,
             }),
             options,
-            state: AtomicU64::new(STATE_ACTIVE),
+            engine: EngineState::new(),
             errors: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             records: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
             recovered: AtomicU64::new(summary.records),
             quarantined: AtomicU64::new(summary.quarantined),
             torn_bytes: AtomicU64::new(summary.torn_bytes),
             snapshots: AtomicU64::new(0),
-            rearms: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         })
     }
@@ -425,7 +424,7 @@ impl Persist {
     /// Whether the engine has tripped to `degraded`.
     #[must_use]
     pub fn is_degraded(&self) -> bool {
-        self.state.load(Ordering::Acquire) == STATE_DEGRADED
+        self.engine.is_degraded()
     }
 
     /// Logs a successful store (`set`/`add`/`replace`/arith rewrite).
@@ -467,7 +466,7 @@ impl Persist {
 
     fn append_record(&self, store: &ShardedStore, rec: &Record<'_>) {
         if self.is_degraded() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.engine.note_dropped();
             return;
         }
         let writer = &mut *lock(&self.writer);
@@ -483,12 +482,15 @@ impl Persist {
                 w.committed += len;
                 w.dirty = true;
                 w.consecutive_errors = 0;
+                // ordering: Relaxed(x2) — statistics counters; durability
+                // state travels through the writer lock, not these.
                 self.bytes.fetch_add(len, Ordering::Relaxed);
                 self.records.fetch_add(1, Ordering::Relaxed);
                 if self.options.fsync == FsyncMode::Always {
                     match w.backend.sync() {
                         Ok(()) => {
                             w.dirty = false;
+                            // ordering: Relaxed — statistics counter.
                             self.fsyncs.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(_) => self.note_io_error_locked(w),
@@ -511,6 +513,7 @@ impl Persist {
     }
 
     fn note_io_error_locked(&self, w: &mut LogWriter) {
+        // ordering: Relaxed — statistics counter.
         self.errors.fetch_add(1, Ordering::Relaxed);
         w.consecutive_errors = w.consecutive_errors.saturating_add(1);
         if w.consecutive_errors >= self.options.trip_after {
@@ -519,11 +522,12 @@ impl Persist {
     }
 
     fn trip_locked(&self, w: &mut LogWriter) {
-        if self.state.swap(STATE_DEGRADED, Ordering::AcqRel) != STATE_DEGRADED {
+        if self.engine.trip() {
             kvlog!(
                 LogLevel::Warn,
                 "persist_degraded",
                 consecutive_errors = u64::from(w.consecutive_errors),
+                // ordering: Relaxed — log-line statistic.
                 errors = self.errors.load(Ordering::Relaxed),
                 hint = "cache keeps serving from memory; background retry will re-arm the log",
             );
@@ -578,6 +582,7 @@ impl Persist {
                 for path in &stale {
                     let _ = w.backend.remove(path);
                 }
+                // ordering: Relaxed — statistics counter.
                 self.snapshots.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
@@ -641,6 +646,7 @@ impl Persist {
         backend.sync()?;
         w.committed = written;
         w.dirty = false;
+        // ordering: Relaxed(x3) — statistics counters.
         self.bytes.fetch_add(written, Ordering::Relaxed);
         self.records.fetch_add(records, Ordering::Relaxed);
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -660,6 +666,7 @@ impl Persist {
         let index = w.seg_index + 1;
         let path = segment_path(&w.dir, index);
         if w.backend.create(&path).is_err() {
+            // ordering: Relaxed — statistics counter.
             self.errors.fetch_add(1, Ordering::Relaxed);
             return false;
         }
@@ -680,18 +687,20 @@ impl Persist {
                     let _ = w.backend.remove(p);
                 }
                 w.consecutive_errors = 0;
+                // ordering: Relaxed — statistics counter.
                 self.snapshots.fetch_add(1, Ordering::Relaxed);
-                self.rearms.fetch_add(1, Ordering::Relaxed);
-                self.state.store(STATE_ACTIVE, Ordering::Release);
+                self.engine.rearm();
                 kvlog!(
                     LogLevel::Info,
                     "persist_rearmed",
                     items = store.len() as u64,
+                    // ordering: Relaxed — log-line statistic.
                     errors = self.errors.load(Ordering::Relaxed),
                 );
                 true
             }
             Err(_) => {
+                // ordering: Relaxed — statistics counter.
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 // Scrap the aborted attempt entirely; the next retry
                 // starts clean.
@@ -717,6 +726,7 @@ impl Persist {
         match w.backend.sync() {
             Ok(()) => {
                 w.dirty = false;
+                // ordering: Relaxed — statistics counter.
                 self.fsyncs.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => self.note_io_error_locked(w),
@@ -736,6 +746,7 @@ impl Persist {
         let len = w.scratch.len() as u64;
         if w.backend.append(&w.scratch).is_ok() {
             w.committed += len;
+            // ordering: Relaxed(x3) — statistics counters.
             self.bytes.fetch_add(len, Ordering::Relaxed);
             self.records.fetch_add(1, Ordering::Relaxed);
             if w.backend.sync().is_ok() {
@@ -747,6 +758,8 @@ impl Persist {
 
     /// Asks the background loop to exit at its next tick.
     pub fn request_stop(&self) {
+        // ordering: Release — pairs with the loop's Acquire load so work
+        // done before the stop request is visible to the loop's last tick.
         self.stop.store(true, Ordering::Release);
     }
 
@@ -762,6 +775,7 @@ impl Persist {
         let mut last_fsync = Instant::now();
         let mut next_retry = Instant::now();
         let mut attempts: u32 = 0;
+        // ordering: Acquire — pairs with `request_stop`'s Release store.
         while !self.stop.load(Ordering::Acquire) {
             std::thread::sleep(TICK);
             if self.is_degraded() {
@@ -796,16 +810,19 @@ impl Persist {
             } else {
                 "active"
             },
+            // ordering: Relaxed(x8) — statistics counters; the snapshot
+            // is advisory and never gates an operation.
             errors: self.errors.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
             records: self.records.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            dropped: self.engine.dropped(),
             recovered: self.recovered.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             torn_bytes: self.torn_bytes.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
-            rearms: self.rearms.load(Ordering::Relaxed),
+            trips: self.engine.trips(),
+            rearms: self.engine.rearms(),
             segments,
         }
     }

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,7 +39,7 @@ use crate::protocol::{
 };
 use crate::shard::ShardedStore;
 use crate::store::{StoreConfig, StoreError, StoreStats};
-use crate::sync::lock;
+use crate::sync::{lock, ConnGauge};
 
 /// How long an unmatched `iqget` miss is remembered. A client that never
 /// issues the paired `iqset` (crashed, gave up) would otherwise leak its
@@ -107,6 +107,7 @@ impl IqRegistry {
                 .retain(|_, started| now.duration_since(*started) < IQ_MISS_TTL);
             let reclaimed = (before - guard.misses.len()) as u64;
             if reclaimed > 0 {
+                // ordering: Relaxed — statistics counter.
                 self.swept.fetch_add(reclaimed, Ordering::Relaxed);
             }
             guard.last_sweep = now;
@@ -191,8 +192,8 @@ pub(crate) struct Shared {
     /// Set when a drain begins: connections finish in-flight work and
     /// close at the next command boundary.
     pub(crate) draining: AtomicBool,
-    /// Live connections (accept-side count, enforced against `max_conns`).
-    pub(crate) conn_count: AtomicUsize,
+    /// Live-connection gauge enforcing `max_conns` (slot reservation).
+    pub(crate) conns: ConnGauge,
     /// Connection-id allocator (also seeds per-connection fault streams).
     pub(crate) next_conn_id: AtomicU64,
     registry: ConnRegistry,
@@ -249,7 +250,7 @@ impl Shared {
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
-            conn_count: AtomicUsize::new(0),
+            conns: ConnGauge::new(options.max_conns),
             next_conn_id: AtomicU64::new(1),
             registry: ConnRegistry::default(),
             max_conns: options.max_conns,
@@ -268,6 +269,8 @@ impl Shared {
     }
 
     fn stopping(&self) -> bool {
+        // ordering: SeqCst(x2) — shutdown/drain control plane; rare, and
+        // the simplest reasoning wins over saving a fence.
         self.shutdown.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst)
     }
 }
@@ -590,8 +593,9 @@ impl Server {
         let requests_before = self.shared.metrics.total_requests();
         let connections_at_drain = match &self.backend {
             Backend::Legacy => self.shared.registry.len() as u64,
-            Backend::Reactor(_) => self.shared.conn_count.load(Ordering::SeqCst) as u64,
+            Backend::Reactor(_) => self.shared.conns.live() as u64,
         };
+        // ordering: SeqCst — drain control plane; see `stopping`.
         self.shared.draining.store(true, Ordering::SeqCst);
         self.signal_shutdown();
         self.join_threads();
@@ -609,9 +613,7 @@ impl Server {
                 // The drain flag is already visible; a wake-up makes every
                 // worker sweep its idle connections immediately.
                 reactor.wake_all();
-                while self.shared.conn_count.load(Ordering::SeqCst) > 0
-                    && started.elapsed() < deadline
-                {
+                while self.shared.conns.live() > 0 && started.elapsed() < deadline {
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 reactor.sever_and_join()
@@ -643,6 +645,7 @@ impl Server {
     }
 
     fn signal_shutdown(&self) {
+        // ordering: SeqCst — shutdown control plane; see `stopping`.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         kvlog!(LogLevel::Info, "server_stopping", addr = self.local_addr);
         // Unblock the accept thread, when one exists. The multi-listener
@@ -682,6 +685,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
+        // ordering: SeqCst — shutdown control plane; see `stopping`.
         if !self.shared.shutdown.load(Ordering::SeqCst) {
             self.signal_shutdown();
         }
@@ -701,15 +705,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
             Ok((mut stream, _)) => {
+                // ordering: SeqCst — shutdown control plane; rare, simplest reasoning.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 // Overload protection: past the cap, reply with an explicit
                 // error and close — a client must never stall in a silent
                 // accept-queue limbo.
-                if shared.max_conns > 0
-                    && shared.conn_count.load(Ordering::SeqCst) >= shared.max_conns
-                {
+                // A reservation, not a check-then-add: under an accept
+                // burst the old separate load + increment admitted past
+                // the cap (caught by the camp-check gauge harness).
+                if !shared.conns.try_reserve() {
                     shared.metrics.record_rejected(RejectCause::MaxConns);
                     let _ = stream.write_all(b"SERVER_ERROR too many connections\r\n");
                     let _ = stream.shutdown(Shutdown::Both);
@@ -721,7 +727,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     );
                     continue;
                 }
-                shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                // ordering: Relaxed — unique-id counter; uniqueness needs
+                // only atomicity.
                 let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 shared.registry.insert(conn_id, &stream);
                 let conn_shared = Arc::clone(shared);
@@ -731,23 +738,26 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                         conn_shared
                             .metrics
                             .connections_opened
+                            // ordering: Relaxed — statistics counter.
                             .fetch_add(1, Ordering::Relaxed);
                         if let Err(err) = handle_connection(stream, conn_id, &conn_shared) {
                             kvlog!(LogLevel::Debug, "connection_error", error = err);
                         }
                         conn_shared.registry.remove(conn_id);
-                        conn_shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                        conn_shared.conns.release();
                         conn_shared
                             .metrics
                             .connections_closed
+                            // ordering: Relaxed — statistics counter.
                             .fetch_add(1, Ordering::Relaxed);
                     });
                 if spawned.is_err() {
                     shared.registry.remove(conn_id);
-                    shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                    shared.conns.release();
                 }
             }
             Err(_) => {
+                // ordering: SeqCst — shutdown control plane; rare, simplest reasoning.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -769,23 +779,15 @@ fn accept_loop_reactor(
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                // ordering: SeqCst — shutdown control plane; rare, simplest reasoning.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                let rejected = if shared.max_conns > 0 {
-                    shared
-                        .conn_count
-                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
-                            (live < shared.max_conns).then_some(live + 1)
-                        })
-                        .is_err()
-                } else {
-                    shared.conn_count.fetch_add(1, Ordering::SeqCst);
-                    false
-                };
+                let rejected = !shared.conns.try_reserve();
                 let id = if rejected {
                     0
                 } else {
+                    // ordering: Relaxed — unique-id counter.
                     shared.next_conn_id.fetch_add(1, Ordering::Relaxed)
                 };
                 reactor.submit(crate::net::reactor::Handoff {
@@ -795,6 +797,7 @@ fn accept_loop_reactor(
                 });
             }
             Err(_) => {
+                // ordering: SeqCst — shutdown control plane; rare, simplest reasoning.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -1052,6 +1055,7 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) -> i
                 shared
                     .metrics
                     .protocol_errors
+                    // ordering: Relaxed — statistics counter.
                     .fetch_add(1, Ordering::Relaxed);
                 kvlog!(LogLevel::Debug, "protocol_error", error = err);
                 writeln_crlf(&mut writer, &err.to_string())?;
@@ -1217,6 +1221,7 @@ pub(crate) fn execute<W: Write>(
                 shared.metrics.reset();
                 shared.recorder.reset_derived();
                 shared.reactor_stats.reset();
+                // ordering: Relaxed — statistics counter reset.
                 shared.iq_misses.swept.store(0, Ordering::Relaxed);
                 kvlog!(LogLevel::Info, "stats_reset");
                 writeln_crlf(writer, "RESET")?;
@@ -1315,6 +1320,8 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         slab_census: shared.store.slab_census(),
         latencies: shared.metrics.latency_snapshots(),
         bytes_read: shared.metrics.bytes_read_snapshot(),
+        // ordering: Relaxed(x3) — statistics counters; the snapshot is
+        // advisory and never gates an operation.
         connections_opened: shared.metrics.connections_opened.load(Ordering::Relaxed),
         connections_closed: shared.metrics.connections_closed.load(Ordering::Relaxed),
         protocol_errors: shared.metrics.protocol_errors.load(Ordering::Relaxed),
@@ -1322,6 +1329,7 @@ fn telemetry_report(shared: &Shared) -> TelemetryReport {
         faults_injected: shared.metrics.faults_snapshot(),
         lock_poison_recovered: crate::sync::poison_recovered_total(),
         iq_miss_registry_size: shared.iq_misses.len() as u64,
+        // ordering: Relaxed — statistics counter.
         iq_sweep_reclaimed: shared.iq_misses.swept.load(Ordering::Relaxed),
         shadow: shared.store.shadow_estimates(),
         shadow_sample_modulus: shared.store.shadow_sample_modulus(),
@@ -1346,6 +1354,7 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                // ordering: SeqCst — shutdown control plane; rare, simplest reasoning.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -1354,6 +1363,7 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
             }
             Err(_) => {
+                // ordering: SeqCst — shutdown control plane; rare, simplest reasoning.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }

@@ -47,6 +47,8 @@ extern "C" {
 
 /// The signal handler: async-signal-safe only (atomic stores + `write`).
 extern "C" fn on_signal(signum: i32) {
+    // ordering: SeqCst(x3) — async-signal context: simplest-possible
+    // reasoning beats micro-optimizing a once-per-process-lifetime path.
     LAST_SIGNAL.store(signum, Ordering::SeqCst);
     NOTIFIED.store(true, Ordering::SeqCst);
     let fd = WRITE_FD.load(Ordering::SeqCst);
@@ -82,6 +84,7 @@ impl std::fmt::Display for Signal {
 /// from any thread; latches true.
 #[must_use]
 pub fn notified() -> bool {
+    // ordering: SeqCst — pairs with the handler's store; see `on_signal`.
     NOTIFIED.load(Ordering::SeqCst)
 }
 
@@ -112,6 +115,9 @@ impl SignalWatcher {
     /// Returns an error if already installed, or if the pipe or either
     /// handler cannot be set up.
     pub fn install() -> io::Result<SignalWatcher> {
+        // ordering: SeqCst — install/uninstall is once-per-process; the
+        // swap is the mutual exclusion and must not reorder with the
+        // pipe/handler setup below.
         if INSTALLED.swap(true, Ordering::SeqCst) {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
@@ -120,9 +126,11 @@ impl SignalWatcher {
         }
         let mut fds = [-1i32; 2];
         if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            // ordering: SeqCst — see the swap above.
             INSTALLED.store(false, Ordering::SeqCst);
             return Err(io::Error::last_os_error());
         }
+        // ordering: SeqCst — publishes the fd to the handler; see `on_signal`.
         WRITE_FD.store(fds[1], Ordering::SeqCst);
         for signum in [SIGTERM, SIGINT] {
             if unsafe { signal(signum, on_signal as *const () as usize) } == SIG_ERR {
@@ -147,6 +155,7 @@ impl SignalWatcher {
             if n == 0 {
                 // Write end closed (cannot happen while the statics hold
                 // it); fall back to the latched signal number.
+                // ordering: SeqCst — pairs with the handler's store.
                 return match LAST_SIGNAL.load(Ordering::SeqCst) {
                     SIGINT => Signal::Int,
                     _ => Signal::Term,

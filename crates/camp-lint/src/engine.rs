@@ -442,17 +442,36 @@ pub fn lint_source(rel_path: &str, src: &[u8]) -> Vec<Finding> {
     findings
 }
 
-/// Lints a set of walked files.
+/// Lints a set of walked files: every per-file rule, then the cross-file
+/// `lock-order` graph pass over the same contexts.
 #[must_use]
 pub fn lint_files(files: &[SourceFile]) -> LintReport {
     let mut report = LintReport {
         findings: Vec::new(),
         files_scanned: files.len(),
     };
-    for file in files {
-        report
-            .findings
-            .extend(lint_source(&file.rel_path, &file.bytes));
+    let contexts: Vec<FileContext<'_>> = files
+        .iter()
+        .map(|f| FileContext::new(&f.rel_path, &f.bytes))
+        .collect();
+    let suppressions: Vec<Suppressions> = contexts.iter().map(Suppressions::collect).collect();
+    for (ctx, supp) in contexts.iter().zip(&suppressions) {
+        for rule in rules::ALL_RULES {
+            for f in (rule.check)(ctx) {
+                if !supp.covers(f.rule, f.line) {
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
+    for f in crate::graph::lock_order(&contexts) {
+        let suppressed = contexts
+            .iter()
+            .position(|c| c.rel_path == f.file)
+            .is_some_and(|i| suppressions[i].covers(f.rule, f.line));
+        if !suppressed {
+            report.findings.push(f);
+        }
     }
     report
         .findings

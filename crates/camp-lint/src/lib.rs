@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;

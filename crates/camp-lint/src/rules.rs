@@ -101,6 +101,19 @@ pub const ALL_RULES: &[Rule] = &[
         description: "a crate root without the `#![forbid|deny(unsafe_code)]` lint header",
         check: missing_deny_header,
     },
+    Rule {
+        name: "atomic-ordering",
+        description: "an `Ordering::*` site without an `// ordering:` justification comment",
+        check: atomic_ordering,
+    },
+    Rule {
+        name: "lock-order",
+        description: "a cycle in the workspace's inter-function lock-acquisition graph",
+        // The analysis is inherently cross-file; the per-file check is a
+        // no-op and the real pass lives in `graph::lock_order`, run by
+        // `engine::lint_files` over the whole file set.
+        check: |_| Vec::new(),
+    },
 ];
 
 /// Looks up a rule by name.
@@ -373,6 +386,79 @@ fn leftover_debug(ctx: &FileContext<'_>) -> Vec<Finding> {
                 "FIXME comment left in the tree: file an issue or fix it".to_string(),
             ));
         }
+    }
+    out
+}
+
+/// The five `std::sync::atomic::Ordering` variants (deliberately not the
+/// `std::cmp::Ordering` ones, which need no justification).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The crate exempt from `atomic-ordering`: the model checker implements
+/// the memory orderings, it doesn't have to justify choosing them.
+const ORDERING_EXEMPT_PREFIX: &str = "crates/camp-check/";
+
+fn atomic_ordering(ctx: &FileContext<'_>) -> Vec<Finding> {
+    use crate::engine::FileKind;
+    if !matches!(ctx.kind, FileKind::Lib { .. } | FileKind::Bin)
+        || ctx.rel_path.starts_with(ORDERING_EXEMPT_PREFIX)
+    {
+        return Vec::new();
+    }
+    // Lines carrying an `// ordering:` comment. A justification covers its
+    // own line and every following line of the same contiguous (blank-line
+    // free) block, so one comment can vouch for a multi-line atomic
+    // expression or a tight group of related sites.
+    let mut justified_lines: Vec<u32> = Vec::new();
+    for t in &ctx.tokens {
+        if t.is_comment() && t.text(ctx.src).contains("ordering:") {
+            justified_lines.push(ctx.line_col(t.start).0);
+        }
+    }
+    let blank = |line: u32| -> bool {
+        let start = ctx.line_starts.get(line as usize - 1).copied().unwrap_or(0);
+        let end = ctx
+            .line_starts
+            .get(line as usize)
+            .copied()
+            .unwrap_or(ctx.src.len());
+        ctx.src[start..end].iter().all(u8::is_ascii_whitespace)
+    };
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        let site = is_ident(ctx, c, "Ordering")
+            && is_punct(ctx, c + 1, b':')
+            && is_punct(ctx, c + 2, b':')
+            && ATOMIC_ORDERINGS.iter().any(|o| is_ident(ctx, c + 3, o));
+        if !site {
+            continue;
+        }
+        let t = tok(ctx, c).expect("index in range");
+        if ctx.in_test_region(t.start) {
+            continue;
+        }
+        let (line, _) = ctx.line_col(t.start);
+        // Walk up through the contiguous block looking for a justification.
+        let mut l = line;
+        let mut covered = justified_lines.contains(&l);
+        while !covered && l > 1 && !blank(l - 1) {
+            l -= 1;
+            covered = justified_lines.contains(&l);
+        }
+        if covered {
+            continue;
+        }
+        let variant = tok(ctx, c + 3).expect("site matched").text(ctx.src);
+        out.push(ctx.finding(
+            "atomic-ordering",
+            t.start,
+            format!(
+                "`Ordering::{variant}` without an `// ordering:` justification \
+                 comment on this line or the contiguous block above: say why \
+                 this ordering is sufficient (what it publishes/acquires, or \
+                 why Relaxed can't lose anything)"
+            ),
+        ));
     }
     out
 }

@@ -7,8 +7,8 @@
 //! behaviour — the same bytes are bad in `crates/camp-kvs/src/` and fine in
 //! `tests/` — explicit at the call site.
 
-use camp_lint::lint_source;
 use camp_lint::rules::ALL_RULES;
+use camp_lint::{lint_files, lint_source, Finding, SourceFile};
 
 /// Rule names of the findings for `src` linted as `path`, in order.
 fn fired(path: &str, src: &str) -> Vec<&'static str> {
@@ -282,6 +282,163 @@ fn missing_deny_header_requires_the_lint_block_on_crate_roots() {
     assert_suppressible("crates/camp-core/src/lib.rs", bare);
 }
 
+// -- atomic-ordering --------------------------------------------------------
+
+const BARE_ORDERING: &str = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n";
+
+#[test]
+fn atomic_ordering_requires_a_justification_in_lib_and_bin() {
+    assert_fires("atomic-ordering", KVS_LIB, BARE_ORDERING);
+    assert_fires("atomic-ordering", LIB, BARE_ORDERING);
+    assert_fires(
+        "atomic-ordering",
+        BIN,
+        &format!("#![forbid(unsafe_code)]\n{BARE_ORDERING}"),
+    );
+    // Tests reach for orderings freely; so does the model checker's shim,
+    // whose whole job is implementing them.
+    assert_clean(TEST, BARE_ORDERING);
+    assert_clean("crates/camp-check/src/fixture.rs", BARE_ORDERING);
+    assert_suppressible(KVS_LIB, BARE_ORDERING);
+}
+
+#[test]
+fn atomic_ordering_accepts_same_line_and_contiguous_block_comments() {
+    assert_clean(
+        KVS_LIB,
+        "fn f(c: &A) -> u64 { c.load(Ordering::Relaxed) } // ordering: Relaxed — stat.\n",
+    );
+    assert_clean(
+        KVS_LIB,
+        "fn f(c: &A) -> u64 {\n    // ordering: Relaxed — statistics counter.\n    c.load(Ordering::Relaxed)\n}\n",
+    );
+    // One comment vouches for every later line of the same contiguous
+    // (blank-line-free) block...
+    assert_clean(
+        KVS_LIB,
+        "fn f(c: &A, d: &A) {\n    // ordering: Relaxed(x2) — independent statistics counters.\n    c.fetch_add(1, Ordering::Relaxed);\n    d.fetch_add(1, Ordering::Relaxed);\n}\n",
+    );
+    // ...and a blank line is where its vouching ends.
+    let gapped = "fn f(c: &A, d: &A) {\n    // ordering: Relaxed — statistics counter.\n    c.fetch_add(1, Ordering::Relaxed);\n\n    d.fetch_add(1, Ordering::Relaxed);\n}\n";
+    assert_eq!(fired(KVS_LIB, gapped), vec!["atomic-ordering"]);
+}
+
+#[test]
+fn atomic_ordering_only_matches_memory_orderings() {
+    // `cmp::Ordering` shares the name but not the hazard.
+    assert_clean(
+        KVS_LIB,
+        "fn f(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }\n",
+    );
+    assert_clean(
+        KVS_LIB,
+        "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Less }\n",
+    );
+}
+
+// -- lock-order -------------------------------------------------------------
+
+/// Lints `specs` as one multi-file workspace and keeps only the
+/// whole-workspace `lock-order` findings.
+fn lock_order_findings(specs: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = specs
+        .iter()
+        .map(|&(p, s)| SourceFile {
+            rel_path: p.to_owned(),
+            bytes: s.as_bytes().to_vec(),
+        })
+        .collect();
+    lint_files(&files)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == "lock-order")
+        .collect()
+}
+
+const CYCLE_CALLER: &str = "fn a(s: &S) {\n    let _g = lock(&s.alpha);\n    b(s);\n}\n";
+const CYCLE_CALLEE: &str = "fn b(s: &S) {\n    let _g = lock(&s.beta);\n}\nfn c(s: &S) {\n    let _g1 = lock(&s.beta);\n    let _g2 = lock(&s.alpha);\n}\n";
+const OTHER_LIB: &str = "crates/camp-kvs/src/fixture2.rs";
+
+#[test]
+fn lock_order_flags_a_cross_file_cycle_once() {
+    // `a` holds alpha while calling into `b` (beta); `c` nests alpha under
+    // beta — the classic reversed pair, across two files.
+    let found = lock_order_findings(&[(KVS_LIB, CYCLE_CALLER), (OTHER_LIB, CYCLE_CALLEE)]);
+    assert_eq!(found.len(), 1, "one finding per cycle: {found:?}");
+    assert!(found[0].message.contains("lock-order cycle"), "{found:?}");
+    // The scheduler kernel of the model checker is exempt by design.
+    let exempt = lock_order_findings(&[
+        ("crates/camp-check/src/fixture.rs", CYCLE_CALLER),
+        ("crates/camp-check/src/fixture2.rs", CYCLE_CALLEE),
+    ]);
+    assert!(exempt.is_empty(), "camp-check must be exempt: {exempt:?}");
+}
+
+#[test]
+fn lock_order_is_quiet_under_a_consistent_acquisition_order() {
+    // Same shapes as the cycle fixture, but `c` takes alpha before beta —
+    // every path agrees, no finding.
+    let ordered = "fn b(s: &S) {\n    let _g = lock(&s.beta);\n}\nfn c(s: &S) {\n    let _g1 = lock(&s.alpha);\n    let _g2 = lock(&s.beta);\n}\n";
+    let found = lock_order_findings(&[(KVS_LIB, CYCLE_CALLER), (OTHER_LIB, ordered)]);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn lock_order_flags_same_class_self_nesting() {
+    // Two locks of one class in a single body: two threads doing it in
+    // opposite per-instance order deadlock.
+    let src = "fn f(s: &S) {\n    let _a = lock(&s.shards);\n    let _b = lock(&s.shards);\n}\n";
+    assert_eq!(lock_order_findings(&[(KVS_LIB, src)]).len(), 1);
+}
+
+#[test]
+fn lock_order_skips_unclassifiable_locals_and_foreign_receivers() {
+    // A bare local has no workspace-global class — no self-nesting report.
+    let local = "fn f(m: &M) {\n    let _g = lock(m);\n    let _h = lock(m);\n}\n";
+    assert!(lock_order_findings(&[(KVS_LIB, local)]).is_empty());
+    // `s.map.insert(...)` must NOT resolve to the workspace `fn insert`:
+    // the receiver roots at a local, so this is a std-collection call and
+    // no alpha→beta edge closes the cycle.
+    let foreign = "fn a(s: &S) {\n    let _g = lock(&s.alpha);\n    s.map.insert(1, 2);\n}\n";
+    let callee = "fn insert(s: &S) {\n    let _g = lock(&s.beta);\n}\nfn d(s: &S) {\n    let _g1 = lock(&s.beta);\n    let _g2 = lock(&s.alpha);\n}\n";
+    assert!(lock_order_findings(&[(KVS_LIB, foreign), (OTHER_LIB, callee)]).is_empty());
+    // The same call through `self` IS a workspace method — cycle closes.
+    let through_self = "impl S {\n    fn a(&self) {\n        let _g = lock(&self.alpha);\n        self.insert(1);\n    }\n}\n";
+    assert_eq!(
+        lock_order_findings(&[(KVS_LIB, through_self), (OTHER_LIB, callee)]).len(),
+        1
+    );
+}
+
+#[test]
+fn lock_order_honours_lint_allow_at_the_witness_line() {
+    let found = lock_order_findings(&[(KVS_LIB, CYCLE_CALLER), (OTHER_LIB, CYCLE_CALLEE)]);
+    assert_eq!(found.len(), 1);
+    let witness = &found[0];
+    // Insert an own-line allow above the reported witness line in the
+    // reported file; the whole-workspace finding must vanish.
+    let dirty = if witness.file == KVS_LIB {
+        CYCLE_CALLER
+    } else {
+        CYCLE_CALLEE
+    };
+    let mut patched = String::new();
+    for (i, line) in dirty.lines().enumerate() {
+        if i + 1 == witness.line as usize {
+            patched.push_str("    // lint:allow(lock-order) — fixture tie-break order\n");
+        }
+        patched.push_str(line);
+        patched.push('\n');
+    }
+    let specs: Vec<(&str, &str)> = if witness.file == KVS_LIB {
+        vec![(KVS_LIB, patched.as_str()), (OTHER_LIB, CYCLE_CALLEE)]
+    } else {
+        vec![(KVS_LIB, CYCLE_CALLER), (OTHER_LIB, patched.as_str())]
+    };
+    let after = lock_order_findings(&specs);
+    assert!(after.is_empty(), "allow failed to silence: {after:?}");
+}
+
 // -- suppression mechanics --------------------------------------------------
 
 #[test]
@@ -315,6 +472,8 @@ fn every_registered_rule_has_a_firing_fixture() {
         "nested-lock",
         "leftover-debug",
         "missing-deny-header",
+        "atomic-ordering",
+        "lock-order",
     ];
     for rule in ALL_RULES {
         assert!(

@@ -14,7 +14,7 @@
 //! through [`Histogram::merge_from`] or [`HistogramSnapshot::merge`]; the
 //! concurrent property tests assert merge equals the sum of its parts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use camp_check::sync::atomic::{AtomicU64, Ordering};
 
 /// Sub-bucket resolution bits: each power-of-2 range splits into
 /// `2^SUB_BUCKET_BITS` sub-buckets.
@@ -77,6 +77,7 @@ pub struct Histogram {
 
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: Relaxed(x3) — debug formatting of statistics counters.
         f.debug_struct("Histogram")
             .field("count", &self.count.load(Ordering::Relaxed))
             .field("sum", &self.sum.load(Ordering::Relaxed))
@@ -105,6 +106,10 @@ impl Histogram {
 
     /// Records one observation. Wait-free; relaxed atomics only.
     pub fn record(&self, value: u64) {
+        // ordering: Relaxed(x4) — independent statistics counters. Each word
+        // is updated with an atomic RMW, so concurrent records are never
+        // lost; readers tolerate observing the words at slightly different
+        // points in time (snapshot documents the skew).
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
@@ -114,11 +119,14 @@ impl Histogram {
     /// Observations recorded so far.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — statistics counter.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Adds every observation of `other` into `self` (cross-shard merge).
     pub fn merge_from(&self, other: &Histogram) {
+        // ordering: Relaxed throughout — merging statistics counters; the
+        // result is only ever read through the same skew-tolerant snapshot.
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
             let n = theirs.load(Ordering::Relaxed);
             if n > 0 {
@@ -137,6 +145,8 @@ impl Histogram {
     /// a racing `record` may land before or after its bucket is cleared,
     /// so a reset under fire is eventually consistent, never corrupt.
     pub fn reset(&self) {
+        // ordering: Relaxed throughout — documented as eventually consistent
+        // under concurrent recording; no ordering between words is promised.
         for bucket in self.buckets.iter() {
             bucket.store(0, Ordering::Relaxed);
         }
@@ -149,6 +159,8 @@ impl Histogram {
     /// skew `count`/`sum` by in-flight observations, never corrupt them.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed throughout — point-in-time statistics read; the
+        // doc comment above owns the skew caveat.
         HistogramSnapshot {
             buckets: self
                 .buckets
@@ -159,6 +171,31 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A deliberately broken `record` for the model-checking harnesses: the
+/// read-modify-write counters replaced by load-then-store pairs, which lose
+/// concurrent increments. The paired harness asserts `camp-check` catches
+/// the lost update (mutation test for the checker, not a usable API).
+#[cfg(camp_check)]
+impl Histogram {
+    /// [`Histogram::record`] with every atomic RMW weakened to a separate
+    /// load and store.
+    pub fn record_mutated_load_store(&self, value: u64) {
+        let bucket = &self.buckets[bucket_index(value)];
+        // MUTATION: load + store is not atomic — concurrent records race.
+        // ordering: Relaxed(x8) — same strength as the real `record`; the
+        // mutation under test is the lost RMW atomicity, not the ordering.
+        bucket.store(bucket.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.count
+            .store(self.count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.sum
+            .store(self.sum.load(Ordering::Relaxed) + value, Ordering::Relaxed);
+        self.max.store(
+            self.max.load(Ordering::Relaxed).max(value),
+            Ordering::Relaxed,
+        );
     }
 }
 

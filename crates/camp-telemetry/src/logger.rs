@@ -96,12 +96,16 @@ static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
 
 /// Sets the global log level.
 pub fn set_level(level: LogLevel) {
+    // ordering: Relaxed — an independent gate; a racing log line seeing
+    // the old level is indistinguishable from logging just before the
+    // change took effect.
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
 /// The current global log level.
 #[must_use]
 pub fn level() -> LogLevel {
+    // ordering: Relaxed — see `set_level`.
     match LEVEL.load(Ordering::Relaxed) {
         1 => LogLevel::Error,
         2 => LogLevel::Warn,
@@ -114,6 +118,7 @@ pub fn level() -> LogLevel {
 /// Whether a message at `at` would currently be emitted.
 #[must_use]
 pub fn enabled(at: LogLevel) -> bool {
+    // ordering: Relaxed — see `set_level`.
     (at as u8) <= LEVEL.load(Ordering::Relaxed)
 }
 

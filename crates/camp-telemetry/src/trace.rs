@@ -20,17 +20,25 @@
 //! # Ring-buffer design
 //!
 //! [`TraceRing`] is a fixed-capacity multi-producer ring of 8-word
-//! records. Writers claim a slot with one `fetch_add` on a shared ticket
-//! counter and then publish through a per-slot sequence word, seqlock
-//! style: the sequence is set to the odd value `2t + 1` while the record's
-//! words are being stored and to the even value `2t + 2` once they are
-//! complete (`t` is the ticket). A snapshot reader accepts a slot only
-//! when the sequence is even, non-zero, and *unchanged* across its reads
-//! of the payload words — a slot overwritten mid-read fails that check and
-//! is simply skipped. Writers never wait, never spin, and never see each
-//! other; the only penalty for contention is that a lapped reader loses a
-//! record it was too slow to observe. All payload words are `AtomicU64`s,
-//! so a torn read is detectable but never undefined.
+//! records. Writers take a ticket with one `fetch_add` on a shared counter
+//! and then publish through a per-slot sequence word, seqlock style: a
+//! single `compare_exchange` *claims* the slot by moving the sequence from
+//! its previous even value to the odd value `2t + 1`, the record's words
+//! are stored, and the even value `2t + 2` releases the slot (`t` is the
+//! ticket). The claim keeps each slot's sequence strictly monotonic even
+//! when a writer laps another writer still mid-record — the lapping (or
+//! lapped) writer's claim fails and that record is dropped and counted in
+//! [`TraceRing::lapped`] instead of corrupting the protocol. (The previous
+//! blind odd/even stores let a stalled writer's final even store overwrite
+//! a newer writer's odd claim, which a concurrent reader could accept as a
+//! torn record — found by the `camp-check` seqlock harness.) A snapshot
+//! reader accepts a slot only when the sequence is even, non-zero, and
+//! *unchanged* across its reads of the payload words — a slot overwritten
+//! mid-read fails that check and is simply skipped. Writers never wait and
+//! never spin; dropping requires two writers `capacity` tickets apart to
+//! overlap inside one record write, which at production capacities is
+//! rarer than the corruption it replaces. All payload words are
+//! `AtomicU64`s, so a torn read is detectable but never undefined.
 //!
 //! ```
 //! use camp_telemetry::trace::{TraceRecord, TraceRing, EvictionTrace};
@@ -49,7 +57,7 @@
 //! assert_eq!(records.len(), 1);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use camp_check::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::histogram::Histogram;
@@ -214,6 +222,8 @@ pub struct TraceRing {
     slots: Box<[Slot]>,
     /// Monotonic ticket counter; slot index is `ticket & (len - 1)`.
     head: AtomicU64,
+    /// Records dropped because the slot was claimed by a lapping writer.
+    lapped: AtomicU64,
     mask: u64,
 }
 
@@ -222,10 +232,24 @@ impl TraceRing {
     /// a power of two with a floor of 8.
     #[must_use]
     pub fn new(capacity: usize) -> TraceRing {
-        let cap = capacity.next_power_of_two().max(8);
+        Self::with_slots(capacity.next_power_of_two().max(8))
+    }
+
+    /// Model-checking constructor: no capacity floor, so a 1-slot ring
+    /// makes every ticket contend for the same slot and the lap-race
+    /// harness stays tractable at a small preemption bound. The protocol
+    /// under test is byte-for-byte the production `record`/`snapshot`.
+    #[cfg(camp_check)]
+    #[must_use]
+    pub fn new_for_model(capacity: usize) -> TraceRing {
+        Self::with_slots(capacity.next_power_of_two().max(1))
+    }
+
+    fn with_slots(cap: usize) -> TraceRing {
         TraceRing {
             slots: (0..cap).map(|_| Slot::new()).collect(),
             head: AtomicU64::new(0),
+            lapped: AtomicU64::new(0),
             mask: cap as u64 - 1,
         }
     }
@@ -239,22 +263,61 @@ impl TraceRing {
     /// Total records ever pushed (including overwritten ones).
     #[must_use]
     pub fn pushed(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistics counter; no payload
+        // hangs off this value.
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Appends a record. Wait-free: one `fetch_add` plus unconditional
-    /// stores; never blocks and never fails.
+    /// Records dropped because a lapping writer owned the slot (requires
+    /// two writers a full ring apart overlapping inside one record).
+    #[must_use]
+    pub fn lapped(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistics counter.
+        self.lapped.load(Ordering::Relaxed)
+    }
+
+    /// Appends a record. Wait-free: one `fetch_add`, one claim CAS, then
+    /// unconditional stores; never blocks or spins. The record is dropped
+    /// (and counted in [`TraceRing::lapped`]) only when the slot is owned
+    /// by a writer a full ring-lap away.
     pub fn record(&self, record: &TraceRecord) {
         let words = record.encode();
+        // ordering: Relaxed — the ticket only needs atomicity; slot
+        // ownership is established by the claim CAS below, not by any
+        // ordering on the ticket counter.
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
-        // Publish seqlock-style: odd while writing, even when complete.
-        // The write sequence for ticket t strictly increases per slot, so
-        // a racing lapped writer (ticket t + len) wins the final store.
-        slot.seq.store(ticket * 2 + 1, Ordering::Release);
+        let claim = ticket * 2 + 1;
+        // ordering: Relaxed — advisory read; the CAS re-validates it.
+        let seen = slot.seq.load(Ordering::Relaxed);
+        if seen % 2 == 1 || seen >= claim {
+            // A lapped writer is mid-record, or a lapping writer already
+            // claimed past us: surrender the slot rather than corrupt the
+            // sequence monotonicity the readers depend on.
+            // ordering: Relaxed — statistics counter.
+            self.lapped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // ordering: Relaxed(x2) — the CAS only needs atomicity for mutual
+        // exclusion: the claim is sequenced before our word stores, and
+        // readers synchronize through the Release word/final stores below.
+        if slot
+            .seq
+            .compare_exchange(seen, claim, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            // ordering: Relaxed — statistics counter.
+            self.lapped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         for (word, value) in slot.words.iter().zip(words) {
+            // ordering: Release — a reader's Acquire word load that sees
+            // this store also sees our odd claim (write-read coherence),
+            // so its before/after sequence check must fail.
             word.store(value, Ordering::Release);
         }
+        // ordering: Release — publishes the payload: a reader that sees
+        // the even sequence sees every word of this record.
         slot.seq.store(ticket * 2 + 2, Ordering::Release);
     }
 
@@ -266,11 +329,19 @@ impl TraceRing {
     pub fn snapshot(&self) -> Vec<TraceRecord> {
         let mut out: Vec<(u64, TraceRecord)> = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
+            // ordering: Acquire — pairs with the writer's final Release
+            // store: an even sequence here makes that record's words
+            // visible to the loads below.
             let before = slot.seq.load(Ordering::Acquire);
             if before == 0 || before % 2 == 1 {
                 continue; // Never written, or a write is in flight.
             }
+            // ordering: Acquire — orders each word load before the
+            // `after` check and synchronizes with in-flight writers'
+            // Release word stores (their odd claim then invalidates us).
             let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Acquire));
+            // ordering: Acquire — must not be reordered before the word
+            // loads it validates.
             let after = slot.seq.load(Ordering::Acquire);
             if before != after {
                 continue; // Overwritten while we were reading.
@@ -281,6 +352,65 @@ impl TraceRing {
         }
         out.sort_by_key(|&(ticket, _)| ticket);
         out.into_iter().map(|(_, record)| record).collect()
+    }
+}
+
+/// Deliberately broken `record` variants for the model-checking harnesses.
+///
+/// Each method reproduces one believed-fatal weakening of the publication
+/// protocol; the harnesses in `tests/model_harness.rs` assert that
+/// `camp-check` *catches* each one with a replayable counterexample. If a
+/// future refactor accidentally made one of these equivalent to the real
+/// `record`, the paired harness would start passing and fail the suite —
+/// these are mutation tests for the checker itself.
+#[cfg(camp_check)]
+impl TraceRing {
+    /// The real protocol with the final publishing store weakened from
+    /// `Release` to `Relaxed`: a reader may observe the even sequence
+    /// without the payload words, and accept a torn record.
+    pub fn record_mutated_relaxed_publish(&self, record: &TraceRecord) {
+        // ordering: identical to the real `record` except the final
+        // publishing store, which is the deliberate weakening under test.
+        let words = record.encode();
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let claim = ticket * 2 + 1;
+        let seen = slot.seq.load(Ordering::Relaxed);
+        if seen % 2 == 1 || seen >= claim {
+            self.lapped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(seen, claim, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lapped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for (word, value) in slot.words.iter().zip(words) {
+            word.store(value, Ordering::Release);
+        }
+        // MUTATION: Relaxed instead of Release — nothing orders the word
+        // stores before this publication.
+        slot.seq.store(ticket * 2 + 2, Ordering::Relaxed);
+    }
+
+    /// The pre-fix protocol exactly as shipped before the claim CAS: blind
+    /// odd/even stores. A lapped writer's final even store can overwrite a
+    /// lapping writer's odd claim, leaving an even sequence over a
+    /// half-written record.
+    pub fn record_mutated_blind_store(&self, record: &TraceRecord) {
+        // ordering: the pre-fix protocol verbatim — Release publication
+        // was always right; the missing claim CAS is the bug under test.
+        let words = record.encode();
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        slot.seq.store(ticket * 2 + 1, Ordering::Release);
+        for (word, value) in slot.words.iter().zip(words) {
+            word.store(value, Ordering::Release);
+        }
+        slot.seq.store(ticket * 2 + 2, Ordering::Release);
     }
 }
 
@@ -350,6 +480,8 @@ impl FlightRecorder {
     /// The active slow-log threshold in microseconds, if enabled.
     #[must_use]
     pub fn slow_threshold_us(&self) -> Option<u64> {
+        // ordering: Relaxed — standalone configuration value; no other
+        // memory depends on observing it in order.
         match self.slow_threshold_us.load(Ordering::Relaxed) {
             u64::MAX => None,
             micros => Some(micros),
@@ -362,6 +494,8 @@ impl FlightRecorder {
     pub fn record_span(&self, ring_index: usize, span: &RequestSpan) {
         let record = TraceRecord::Span(*span);
         self.spans[ring_index % self.spans.len()].record(&record);
+        // ordering: Relaxed — configuration read plus statistics counter;
+        // a racing threshold update may miss one span, which is fine.
         if span.total_us() >= self.slow_threshold_us.load(Ordering::Relaxed) {
             self.slow_total.fetch_add(1, Ordering::Relaxed);
             self.slow.record(&record);
@@ -372,8 +506,10 @@ impl FlightRecorder {
     /// `L` histograms.
     pub fn record_eviction(&self, event: &EvictionTrace) {
         if event.admit {
+            // ordering: Relaxed — statistics counter.
             self.admit_total.fetch_add(1, Ordering::Relaxed);
         } else {
+            // ordering: Relaxed — statistics counter.
             self.evict_total.fetch_add(1, Ordering::Relaxed);
             self.eviction_costs.record(event.cost);
         }
@@ -435,18 +571,21 @@ impl FlightRecorder {
     /// Total spans promoted to the slow ring.
     #[must_use]
     pub fn slow_recorded(&self) -> u64 {
+        // ordering: Relaxed — statistics counter.
         self.slow_total.load(Ordering::Relaxed)
     }
 
     /// Total admission events recorded.
     #[must_use]
     pub fn admits_recorded(&self) -> u64 {
+        // ordering: Relaxed — statistics counter.
         self.admit_total.load(Ordering::Relaxed)
     }
 
     /// Total eviction events recorded.
     #[must_use]
     pub fn evicts_recorded(&self) -> u64 {
+        // ordering: Relaxed — statistics counter.
         self.evict_total.load(Ordering::Relaxed)
     }
 
@@ -466,6 +605,8 @@ impl FlightRecorder {
     /// contents are left in place — the flight recorder's whole point is
     /// surviving until someone looks.
     pub fn reset_derived(&self) {
+        // ordering: Relaxed(x3) — statistics counters; reset tolerates
+        // racing increments by design.
         self.slow_total.store(0, Ordering::Relaxed);
         self.admit_total.store(0, Ordering::Relaxed);
         self.evict_total.store(0, Ordering::Relaxed);

@@ -1,0 +1,213 @@
+//! Model-checking harnesses for the telemetry lock-free structures.
+//!
+//! Compiled and run only under `RUSTFLAGS='--cfg camp_check'`, where the
+//! `camp_check::sync` shim routes every atomic through the cooperative
+//! model-checking scheduler. Each property harness runs against the real
+//! production code paths (`TraceRing::record`/`snapshot`,
+//! `Histogram::record`) and is paired with a mutation harness that runs a
+//! deliberately broken variant and asserts the checker catches it with a
+//! deterministically replayable counterexample.
+#![cfg(camp_check)]
+
+use std::sync::Arc;
+
+use camp_check::Checker;
+use camp_telemetry::trace::{EvictionTrace, TraceRecord, TraceRing};
+use camp_telemetry::Histogram;
+
+/// A fully distinguishable eviction record: every payload field carries the
+/// tag, so any torn mix of two records fails an equality test against both.
+fn ev(tag: u64) -> TraceRecord {
+    TraceRecord::Eviction(EvictionTrace {
+        admit: tag % 2 == 0,
+        key_hash: 0x1000 + tag,
+        size: 0x2000 + tag,
+        cost: 0x3000 + tag,
+        ratio: 0x4000 + tag,
+        queue: tag as u32,
+        l_value: 0x5000 + tag,
+    })
+}
+
+/// Panics (failing the schedule) unless every snapshot record is exactly
+/// one of the allowed whole records.
+fn assert_whole(records: &[TraceRecord], allowed: &[TraceRecord]) {
+    for r in records {
+        assert!(
+            allowed.contains(r),
+            "torn record: snapshot returned {r:?}, not one of the {} records ever written",
+            allowed.len()
+        );
+    }
+}
+
+/// A 1-slot ring with record 0 already published, so the slot under test
+/// holds a valid prior record for readers to (correctly) fall back to.
+fn seeded_ring() -> TraceRing {
+    let ring = TraceRing::new_for_model(1);
+    ring.record(&ev(0));
+    ring
+}
+
+/// Property: a snapshot reader racing one writer on the same slot only
+/// ever returns whole records — the prior record or the new one, never a
+/// mix. This is the harness that found the pre-claim-CAS lap race.
+#[test]
+fn seqlock_reader_never_sees_a_torn_record() {
+    let schedules = Checker::new()
+        .preemption_bound(2)
+        .check_threads_setup(
+            seeded_ring,
+            vec![
+                Box::new(|ring: Arc<TraceRing>| ring.record(&ev(1))),
+                Box::new(|ring: Arc<TraceRing>| assert_whole(&ring.snapshot(), &[ev(0), ev(1)])),
+            ],
+            |ring: Arc<TraceRing>| assert_whole(&ring.snapshot(), &[ev(0), ev(1)]),
+        )
+        .assert_pass("seqlock reader vs writer");
+    assert!(
+        schedules > 10,
+        "suspiciously small exploration: {schedules}"
+    );
+}
+
+/// Mutation: weaken the final publishing store to `Relaxed` and the same
+/// harness must fail — the reader can accept the new sequence number over
+/// stale payload words. The counterexample trace must replay exactly.
+#[test]
+fn seqlock_relaxed_publish_mutation_is_caught_and_replays() {
+    let threads = || -> Vec<Box<dyn Fn(Arc<TraceRing>) + Send + Sync>> {
+        vec![
+            Box::new(|ring: Arc<TraceRing>| ring.record_mutated_relaxed_publish(&ev(1))),
+            Box::new(|ring: Arc<TraceRing>| assert_whole(&ring.snapshot(), &[ev(0), ev(1)])),
+        ]
+    };
+    let after = |ring: Arc<TraceRing>| assert_whole(&ring.snapshot(), &[ev(0), ev(1)]);
+    let failure = Checker::new()
+        .preemption_bound(2)
+        .check_threads_setup(seeded_ring, threads(), after)
+        .expect_fail("relaxed-publish mutation")
+        .clone();
+    assert!(
+        failure.error.contains("torn record"),
+        "unexpected failure: {failure}"
+    );
+    for _ in 0..3 {
+        let replayed = Checker::new()
+            .replay_threads_setup(&failure.trace, seeded_ring, threads(), after)
+            .expect_fail("replay of relaxed-publish counterexample")
+            .clone();
+        assert_eq!(replayed.error, failure.error, "replay diverged");
+        assert_eq!(
+            replayed.schedules, 1,
+            "replay must run exactly one schedule"
+        );
+    }
+}
+
+/// Property: two writers lapping each other on a 1-slot ring never corrupt
+/// the sequence protocol — a later whole-ring read returns only whole
+/// records, and every ticket is either retained, overwritten, or counted
+/// as lapped.
+#[test]
+fn lap_race_two_writers_never_corrupt_the_ring() {
+    Checker::new()
+        .preemption_bound(2)
+        .check_threads_setup(
+            seeded_ring,
+            vec![
+                Box::new(|ring: Arc<TraceRing>| ring.record(&ev(1))),
+                Box::new(|ring: Arc<TraceRing>| ring.record(&ev(2))),
+            ],
+            |ring: Arc<TraceRing>| {
+                assert_whole(&ring.snapshot(), &[ev(0), ev(1), ev(2)]);
+                assert_eq!(ring.pushed(), 3, "every writer must have taken a ticket");
+                assert!(
+                    ring.lapped() <= 2,
+                    "at most the two racing writers can drop"
+                );
+            },
+        )
+        .assert_pass("two lapping writers");
+}
+
+/// Mutation: the exact pre-fix blind-store protocol must fail this
+/// harness — a lapped writer's final even store overwrites the lapping
+/// writer's odd claim, publishing a half-written record that even a
+/// quiescent reader then accepts.
+#[test]
+fn lap_race_blind_store_mutation_is_caught_and_replays() {
+    let threads = || -> Vec<Box<dyn Fn(Arc<TraceRing>) + Send + Sync>> {
+        vec![
+            Box::new(|ring: Arc<TraceRing>| ring.record_mutated_blind_store(&ev(1))),
+            Box::new(|ring: Arc<TraceRing>| ring.record_mutated_blind_store(&ev(2))),
+        ]
+    };
+    let after = |ring: Arc<TraceRing>| assert_whole(&ring.snapshot(), &[ev(0), ev(1), ev(2)]);
+    let failure = Checker::new()
+        .preemption_bound(2)
+        .check_threads_setup(seeded_ring, threads(), after)
+        .expect_fail("blind-store mutation")
+        .clone();
+    assert!(
+        failure.error.contains("torn record"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = Checker::new()
+        .replay_threads_setup(&failure.trace, seeded_ring, threads(), after)
+        .expect_fail("replay of blind-store counterexample")
+        .clone();
+    assert_eq!(replayed.error, failure.error, "replay diverged");
+}
+
+/// Property: concurrent histogram records are never lost — the counters
+/// are RMWs, so two racing `record` calls always both land.
+#[test]
+fn histogram_concurrent_records_are_never_lost() {
+    Checker::new()
+        .preemption_bound(2)
+        .check_threads_setup(
+            Histogram::new,
+            vec![
+                Box::new(|h: Arc<Histogram>| h.record(1)),
+                Box::new(|h: Arc<Histogram>| h.record(2)),
+            ],
+            |h: Arc<Histogram>| {
+                let snap = h.snapshot();
+                assert_eq!(snap.count, 2, "lost update: a concurrent record vanished");
+                assert_eq!(snap.sum, 3);
+                assert_eq!(snap.max, 2);
+            },
+        )
+        .assert_pass("concurrent histogram records");
+}
+
+/// Mutation: replace the RMWs with load-then-store pairs and the same
+/// harness must observe a lost update.
+#[test]
+fn histogram_load_store_mutation_is_caught_and_replays() {
+    let threads = || -> Vec<Box<dyn Fn(Arc<Histogram>) + Send + Sync>> {
+        vec![
+            Box::new(|h: Arc<Histogram>| h.record_mutated_load_store(1)),
+            Box::new(|h: Arc<Histogram>| h.record_mutated_load_store(2)),
+        ]
+    };
+    let after = |h: Arc<Histogram>| {
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2, "lost update: a concurrent record vanished");
+    };
+    let failure = Checker::new()
+        .preemption_bound(2)
+        .check_threads_setup(Histogram::new, threads(), after)
+        .expect_fail("load-store mutation")
+        .clone();
+    assert!(
+        failure.error.contains("lost update"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = Checker::new()
+        .replay_threads_setup(&failure.trace, Histogram::new, threads(), after)
+        .expect_fail("replay of load-store counterexample")
+        .clone();
+    assert_eq!(replayed.error, failure.error, "replay diverged");
+}
